@@ -1,0 +1,149 @@
+// bench_ablation_ports — §5's design-simplification arguments, quantified.
+//
+// The paper's conclusions propose dropping hardware in four places.  Each
+// ablation below runs the same computation with and without the dedicated
+// instruction and reports the modelled pipeline cycles, so the "performance
+// benefits ... outweighed by the hardware complexity" claims have numbers:
+//
+//   1. swap as an instruction vs the 3-xor macro sequence
+//      (saves a 2nd register-file write port)
+//   2. cswap as an instruction vs a 4-op and/or-based macro per output
+//      (saves the 2nd write port AND the 3rd read port)
+//   3. ccnot as an instruction vs and-into-temp + cnot macro
+//      (saves the 3rd read port)
+//   4. cnot as an instruction vs xor @a,@a,@b (no hardware at all)
+//   5. had/zero/one instructions vs §5 reserved constant registers
+#include <benchmark/benchmark.h>
+
+#include "arch/simulators.hpp"
+
+namespace {
+
+using namespace tangled;
+
+void run_and_report(benchmark::State& state, const std::string& src,
+                    unsigned ways = 8) {
+  const Program p = assemble(src);
+  PipelineSim sim(ways);
+  SimStats st;
+  for (auto _ : state) {
+    sim.cpu() = CpuState{};
+    sim.load(p);
+    st = sim.run();
+  }
+  state.counters["modelled_cycles"] = static_cast<double>(st.cycles);
+  state.counters["instructions"] = static_cast<double>(st.instructions);
+  state.counters["cpi"] = st.cpi();
+}
+
+std::string prologue() {
+  return "had @1,1\nhad @2,3\nhad @3,5\n";
+}
+
+// --- 1: swap ---
+
+void BM_swap_instruction(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) src += "swap @1,@2\n";
+  run_and_report(state, src + "sys\n");
+}
+
+void BM_swap_macro(benchmark::State& state) {
+  // The classic xor-exchange: 3 instructions, 1 write port each.
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) {
+    src += "xor @1,@1,@2\nxor @2,@2,@1\nxor @1,@1,@2\n";
+  }
+  run_and_report(state, src + "sys\n");
+}
+
+// --- 2: cswap ---
+
+void BM_cswap_instruction(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) src += "cswap @1,@2,@3\n";
+  run_and_report(state, src + "sys\n");
+}
+
+void BM_cswap_macro(benchmark::State& state) {
+  // t = (a ^ b) & c;  a ^= t;  b ^= t — using a scratch register, all ops
+  // 2-read/1-write.
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) {
+    src +=
+        "xor @200,@1,@2\n"
+        "and @200,@200,@3\n"
+        "xor @1,@1,@200\n"
+        "xor @2,@2,@200\n";
+  }
+  run_and_report(state, src + "sys\n");
+}
+
+// --- 3: ccnot ---
+
+void BM_ccnot_instruction(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) src += "ccnot @1,@2,@3\n";
+  run_and_report(state, src + "sys\n");
+}
+
+void BM_ccnot_macro(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) {
+    src += "and @200,@2,@3\nxor @1,@1,@200\n";
+  }
+  run_and_report(state, src + "sys\n");
+}
+
+// --- 4: cnot ---
+
+void BM_cnot_instruction(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) src += "cnot @1,@2\n";
+  run_and_report(state, src + "sys\n");
+}
+
+void BM_cnot_as_xor(benchmark::State& state) {
+  std::string src = prologue();
+  for (int i = 0; i < 32; ++i) src += "xor @1,@1,@2\n";
+  run_and_report(state, src + "sys\n");
+}
+
+// --- 5: had instruction vs reserved constant registers ---
+
+void BM_had_instruction(benchmark::State& state) {
+  std::string src;
+  for (int i = 0; i < 32; ++i) {
+    src += "had @" + std::to_string(10 + i % 8) + "," + std::to_string(i % 8) +
+           "\n";
+  }
+  run_and_report(state, src + "sys\n");
+}
+
+void BM_had_const_reg_copy(benchmark::State& state) {
+  // §5 layout: H(k) preloaded once into @2..@9; consumers copy with an OR.
+  std::string src;
+  for (int k = 0; k < 8; ++k) {
+    src += "had @" + std::to_string(2 + k) + "," + std::to_string(k) + "\n";
+  }
+  for (int i = 0; i < 32; ++i) {
+    const std::string h = std::to_string(2 + i % 8);
+    src += "or @" + std::to_string(10 + i % 8) + ",@" + h + ",@" + h + "\n";
+  }
+  run_and_report(state, src + "sys\n");
+}
+
+BENCHMARK(BM_swap_instruction);
+BENCHMARK(BM_swap_macro);
+BENCHMARK(BM_cswap_instruction);
+BENCHMARK(BM_cswap_macro);
+BENCHMARK(BM_ccnot_instruction);
+BENCHMARK(BM_ccnot_macro);
+BENCHMARK(BM_cnot_instruction);
+BENCHMARK(BM_cnot_as_xor);
+BENCHMARK(BM_had_instruction);
+BENCHMARK(BM_had_const_reg_copy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// bench_fig10_program — Figure 10 / §4.2: the paper's complete factoring
+// program, end to end, on every implementation model.
+//
+// Reported per model: host time to simulate the whole program, plus the
+// modelled cycle count and CPI as counters.  Expected shape (§3.1): the
+// pipeline sustains ~1 instruction/cycle apart from the two-word Qat
+// fetches (83 of the 91 instructions are two words, so CPI ≈ 1.9); the
+// multi-cycle model pays ~4–5 cycles per instruction; the single-cycle
+// model is CPI 1 by construction.
+#include <benchmark/benchmark.h>
+
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+#include "asm/programs.hpp"
+
+namespace {
+
+using namespace tangled;
+
+template <typename Sim>
+void run_fig10(benchmark::State& state, Sim&& make_sim, unsigned ways) {
+  const Program p = assemble(figure10_source());
+  SimStats st;
+  std::uint16_t r0 = 0;
+  std::uint16_t r1 = 0;
+  for (auto _ : state) {
+    auto sim = make_sim();
+    sim.load(p);
+    st = sim.run();
+    r0 = sim.cpu().reg(0);
+    r1 = sim.cpu().reg(1);
+  }
+  if (r0 != 5 || r1 != 3) state.SkipWithError("wrong factors");
+  state.counters["modelled_cycles"] = static_cast<double>(st.cycles);
+  state.counters["modelled_cpi"] = st.cpi();
+  state.counters["instructions"] = static_cast<double>(st.instructions);
+  state.counters["ways"] = static_cast<double>(ways);
+}
+
+void BM_fig10_functional(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(state, [&] { return FunctionalSim(ways); }, ways);
+}
+
+void BM_fig10_multicycle(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(state, [&] { return MultiCycleSim(ways); }, ways);
+}
+
+void BM_fig10_pipeline5(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(
+      state,
+      [&] { return PipelineSim(ways, {.stages = 5, .forwarding = true}); },
+      ways);
+}
+
+void BM_fig10_pipeline4(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(
+      state,
+      [&] { return PipelineSim(ways, {.stages = 4, .forwarding = true}); },
+      ways);
+}
+
+void BM_fig10_pipeline5_nofwd(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(
+      state,
+      [&] { return PipelineSim(ways, {.stages = 5, .forwarding = false}); },
+      ways);
+}
+
+void BM_fig10_rtl(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  run_fig10(state, [&] { return RtlPipelineSim(ways); }, ways);
+}
+
+// 8-way = the class-project size; 16-way = the paper's full hardware.
+BENCHMARK(BM_fig10_functional)->Arg(8)->Arg(16);
+BENCHMARK(BM_fig10_rtl)->Arg(8)->Arg(16);
+BENCHMARK(BM_fig10_multicycle)->Arg(8)->Arg(16);
+BENCHMARK(BM_fig10_pipeline5)->Arg(8)->Arg(16);
+BENCHMARK(BM_fig10_pipeline4)->Arg(8)->Arg(16);
+BENCHMARK(BM_fig10_pipeline5_nofwd)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// bench_fig7_had — Figure 7 / §3.2 / §5: three hardware structures for the
+// Qat `had` initializer.
+//
+//   generator  — the parametric Figure 7 circuit (word-optimized here)
+//   structural — the same circuit evaluated channel-at-a-time, as the
+//                generate loop literally unrolls (the naive synthesis)
+//   lut        — the student solution: precomputed constants behind a mux
+//   const_reg  — the §5 recommendation: reserved constant registers, so
+//                `had` is just a register-file copy
+//
+// Expected shape: const_reg ≈ lut (a copy) < generator << structural, which
+// is the paper's §5 argument for replacing the had instruction with reserved
+// registers.
+#include <benchmark/benchmark.h>
+
+#include "arch/qat_engine.hpp"
+#include "pbp/hadamard.hpp"
+
+namespace {
+
+using pbp::Aob;
+
+void BM_had_generator(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  unsigned k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbp::hadamard_generate(ways, k));
+    k = (k + 1) % ways;
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          ((std::int64_t{1} << ways) / 8));
+}
+
+void BM_had_structural(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  unsigned k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tangled::QatEngine::had_structural(ways, k));
+    k = (k + 1) % ways;
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          ((std::int64_t{1} << ways) / 8));
+}
+
+void BM_had_lut(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const pbp::HadamardLut lut(ways);
+  Aob dst(ways);
+  unsigned k = 0;
+  for (auto _ : state) {
+    dst = lut.select(k);  // mux select + register write
+    benchmark::DoNotOptimize(dst);
+    k = (k + 1) % ways;
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          ((std::int64_t{1} << ways) / 8));
+}
+
+void BM_had_const_reg(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const pbp::HadamardRegisterFile rf(ways);
+  Aob dst(ways);
+  unsigned k = 0;
+  for (auto _ : state) {
+    dst = rf.h(k);  // plain register copy (§5: copying is allowed in PBP)
+    benchmark::DoNotOptimize(dst);
+    k = (k + 1) % ways;
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          ((std::int64_t{1} << ways) / 8));
+}
+
+#define HAD_SWEEP(fn) BENCHMARK(fn)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+HAD_SWEEP(BM_had_generator);
+HAD_SWEEP(BM_had_structural);
+HAD_SWEEP(BM_had_lut);
+HAD_SWEEP(BM_had_const_reg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// bench_fig8_next — Figure 8 / §3.3: the `next` ALU operation.
+//
+// Measures the behavioural (word-scan) and structural (Figure 8 barrel
+// shifter + recursive halving) implementations across WAYS, and reports the
+// §3.3 gate-delay analysis as counters:
+//
+//   levels_wide_or  — O(WAYS): each halving step's OR-reduction is one wide
+//                     gate level
+//   levels_2in_or   — O(WAYS^2): 2-input OR trees make step k cost k levels
+//   levels_4in_or   — the intermediate fan-in point
+//
+// Expected shape: gate levels grow linearly vs quadratically — the paper's
+// argument that `next` for 16-way entanglement "might more appropriately be
+// split into several pipeline stages" if OR-reduction is inefficient.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "arch/qat_engine.hpp"
+
+namespace {
+
+using pbp::Aob;
+using tangled::QatEngine;
+
+Aob sparse_aob(unsigned ways, unsigned inv_density) {
+  std::mt19937_64 rng(ways * 100 + inv_density);
+  return Aob::from_fn(
+      ways, [&](std::size_t) { return (rng() % inv_density) == 0; });
+}
+
+void attach_delay_counters(benchmark::State& state, unsigned ways) {
+  state.counters["levels_wide_or"] =
+      static_cast<double>(QatEngine::next_gate_delay(ways, 0));
+  state.counters["levels_4in_or"] =
+      static_cast<double>(QatEngine::next_gate_delay(ways, 4));
+  state.counters["levels_2in_or"] =
+      static_cast<double>(QatEngine::next_gate_delay(ways, 2));
+}
+
+void BM_next_behavioural(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const Aob a = sparse_aob(ways, 64);
+  std::uint16_t ch = 0;
+  std::optional<std::size_t> r;
+  for (auto _ : state) {
+    r = a.next_one(ch);
+    ch = r ? static_cast<std::uint16_t>(*r) : 0;
+    benchmark::DoNotOptimize(ch);
+  }
+  attach_delay_counters(state, ways);
+}
+
+void BM_next_structural(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const Aob a = sparse_aob(ways, 64);
+  std::uint16_t ch = 0;
+  for (auto _ : state) {
+    ch = QatEngine::next_structural(a, ch);
+    benchmark::DoNotOptimize(ch);
+  }
+  attach_delay_counters(state, ways);
+}
+
+// Worst case for the behavioural scan: no 1 bits at all (full-vector scan),
+// the case the paper's O-analysis is about.
+void BM_next_behavioural_empty(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const Aob a(ways);
+  for (auto _ : state) benchmark::DoNotOptimize(a.next_one(0));
+}
+
+void BM_next_structural_empty(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const Aob a(ways);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QatEngine::next_structural(a, 0));
+  }
+}
+
+#define NEXT_SWEEP(fn) \
+  BENCHMARK(fn)->Arg(4)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+NEXT_SWEEP(BM_next_behavioural);
+NEXT_SWEEP(BM_next_structural);
+NEXT_SWEEP(BM_next_behavioural_empty);
+NEXT_SWEEP(BM_next_structural_empty);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// bench_fig9_factoring — Figure 9 / §4.1: the word-level factoring workload
+// against a classical baseline.
+//
+// The PBP pitch is not wall-clock speed on a laptop — it is that ONE gate
+// pass evaluates all 2^E candidate pairs and the readout is non-destructive.
+// The series reported:
+//
+//   BM_pbp_factor/N        — build + evaluate the pint circuit for N
+//                            (gate passes touch every channel once)
+//   BM_pbp_readout/N       — ONLY the readout on a prepared superposition
+//                            (next-based; cost ~ number of factors)
+//   BM_classical_trial/N   — classical trial division over all candidates
+//   BM_classical_all_pairs/N — classical evaluation of every (b, c) pair,
+//                            the honest apples-to-apples of what PBP computes
+//
+// Expected shape: PBP's evaluation cost tracks (gates × channels/64 words),
+// beating the naive all-pairs baseline as the per-pair work grows, and the
+// non-destructive readout is microscopic next to recomputation.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pbp/pint.hpp"
+
+namespace {
+
+using pbp::Circuit;
+using pbp::Pint;
+
+struct Problem {
+  std::uint64_t n;
+  unsigned bits;   // operand width
+  unsigned ways;   // 2 * bits
+};
+
+Problem problem_for(std::int64_t n) {
+  switch (n) {
+    case 15:
+      return {15, 4, 8};
+    case 77:
+      return {77, 7, 14};
+    default:
+      return {221, 8, 16};
+  }
+}
+
+/// The full Figure 9 pipeline: superpose, multiply, compare, read out.
+void BM_pbp_factor(benchmark::State& state) {
+  const Problem pr = problem_for(state.range(0));
+  std::size_t factors = 0;
+  for (auto _ : state) {
+    auto ctx = pbp::PbpContext::create(pr.ways, pbp::Backend::kDense);
+    auto circ = std::make_shared<Circuit>(ctx, /*hash_cons=*/true);
+    const Pint nn = Pint::constant(circ, pr.bits, pr.n);
+    const Pint b =
+        Pint::hadamard(circ, pr.bits, (1u << pr.bits) - 1);
+    const Pint c = Pint::hadamard(
+        circ, pr.bits, ((1u << pr.bits) - 1) << pr.bits);
+    const Pint e = Pint::eq(Pint::mul(b, c), nn);
+    factors = circ->popcount(e.bit(0));
+    benchmark::DoNotOptimize(factors);
+  }
+  state.counters["factor_pairs"] = static_cast<double>(factors);
+  state.counters["channels"] =
+      static_cast<double>(std::size_t{1} << pr.ways);
+}
+
+/// Readout only: the superposition is already prepared (PBP never collapses
+/// it, §2.7, so amortizing preparation over many readouts is legal).
+void BM_pbp_readout(benchmark::State& state) {
+  const Problem pr = problem_for(state.range(0));
+  auto ctx = pbp::PbpContext::create(pr.ways, pbp::Backend::kDense);
+  auto circ = std::make_shared<Circuit>(ctx, /*hash_cons=*/true);
+  const Pint nn = Pint::constant(circ, pr.bits, pr.n);
+  const Pint b = Pint::hadamard(circ, pr.bits, (1u << pr.bits) - 1);
+  const Pint c =
+      Pint::hadamard(circ, pr.bits, ((1u << pr.bits) - 1) << pr.bits);
+  const Pint e = Pint::eq(Pint::mul(b, c), nn);
+  circ->eval(e.bit(0));  // force preparation outside the timed loop
+  std::vector<std::size_t> found;
+  for (auto _ : state) {
+    found.clear();
+    std::size_t ch = 0;
+    while (auto nxt = circ->next(e.bit(0), ch)) {
+      ch = *nxt;
+      found.push_back(ch);
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["factor_pairs"] = static_cast<double>(found.size());
+}
+
+/// Classical baseline 1: trial division up to n.
+void BM_classical_trial(benchmark::State& state) {
+  const Problem pr = problem_for(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::uint64_t> divisors;
+    for (std::uint64_t d = 1; d <= pr.n; ++d) {
+      if (pr.n % d == 0) divisors.push_back(d);
+    }
+    benchmark::DoNotOptimize(divisors);
+  }
+}
+
+/// Classical baseline 2: evaluate b*c == n for every (b, c) pair — exactly
+/// the computation the single PBP gate pass performs across channels.
+void BM_classical_all_pairs(benchmark::State& state) {
+  const Problem pr = problem_for(state.range(0));
+  const std::uint64_t lim = std::uint64_t{1} << pr.bits;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (std::uint64_t b = 0; b < lim; ++b) {
+      for (std::uint64_t c = 0; c < lim; ++c) {
+        if (b * c == pr.n) ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["pairs"] = static_cast<double>(lim * lim);
+}
+
+BENCHMARK(BM_pbp_factor)->Arg(15)->Arg(77)->Arg(221);
+BENCHMARK(BM_pbp_readout)->Arg(15)->Arg(77)->Arg(221);
+BENCHMARK(BM_classical_trial)->Arg(15)->Arg(77)->Arg(221);
+BENCHMARK(BM_classical_all_pairs)->Arg(15)->Arg(77)->Arg(221);
+
+}  // namespace
+
+BENCHMARK_MAIN();

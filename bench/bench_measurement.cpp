@@ -1,0 +1,114 @@
+// bench_measurement — §2.7: the cost structure of the measurement family.
+//
+// "operations like the ANY, ALL, and POP described in earlier work provide a
+// way to summarize an entangled superposition in as little as O(1) time,
+// whereas meas would take O(2^E) time enumerating the values."
+//
+// Series:
+//   BM_meas_enumerate/E — read out every channel with meas (the O(2^E) way)
+//   BM_next_enumerate/E — read out only the 1 channels with next
+//                         (cost ~ population, not 2^E)
+//   BM_any_via_next/E   — the paper's ANY recipe: one next + one meas
+//   BM_all_via_next/E   — ALL as NOT(ANY(NOT @a)) (§2.7)
+//   BM_pop/E            — the pop instruction (single reduction pass)
+//
+// Expected shape: meas enumeration doubles per E step; next-based readout
+// scales with how many 1s exist; ANY/ALL/POP stay near-flat.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "arch/qat_engine.hpp"
+
+namespace {
+
+using tangled::QatEngine;
+
+QatEngine sparse_engine(unsigned ways) {
+  QatEngine q(ways);
+  std::mt19937_64 rng(ways);
+  pbp::Aob a(ways);
+  // ~32 set channels regardless of E: a sparse result vector, like the
+  // factoring programs produce.
+  for (int i = 0; i < 32; ++i) {
+    a.set(rng() % a.bit_count(), true);
+  }
+  q.set_reg(7, a);
+  return q;
+}
+
+void BM_meas_enumerate(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  QatEngine q = sparse_engine(ways);
+  const std::size_t channels = q.channels();
+  for (auto _ : state) {
+    std::size_t ones = 0;
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      ones += q.meas(7, static_cast<std::uint16_t>(ch));
+    }
+    benchmark::DoNotOptimize(ones);
+  }
+  state.counters["channels_read"] = static_cast<double>(channels);
+}
+
+void BM_next_enumerate(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  QatEngine q = sparse_engine(ways);
+  std::size_t found = 0;
+  for (auto _ : state) {
+    found = q.meas(7, 0);
+    std::uint16_t ch = 0;
+    while (true) {
+      const std::uint16_t nxt = q.next(7, ch);
+      if (nxt == 0) break;
+      ch = nxt;
+      ++found;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["channels_read"] = static_cast<double>(found);
+}
+
+void BM_any_via_next(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  QatEngine q = sparse_engine(ways);
+  for (auto _ : state) {
+    // §2.7: ANY = (next after 0 != 0) || meas channel 0.
+    const bool any = q.next(7, 0) != 0 || q.meas(7, 0) != 0;
+    benchmark::DoNotOptimize(any);
+  }
+}
+
+void BM_all_via_next(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  QatEngine q = sparse_engine(ways);
+  for (auto _ : state) {
+    // ALL @a = NOT ANY(NOT @a) — two not instructions around the ANY test,
+    // restoring the register afterwards (PBP allows it: no decoherence).
+    q.not_(7);
+    const bool any_zero = q.next(7, 0) != 0 || q.meas(7, 0) != 0;
+    q.not_(7);
+    benchmark::DoNotOptimize(!any_zero);
+  }
+}
+
+void BM_pop(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  QatEngine q = sparse_engine(ways);
+  for (auto _ : state) {
+    // True POP = pop-after-0 + meas(0) (§2.7's overflow-safe split).
+    const std::size_t pop = q.pop(7, 0) + q.meas(7, 0);
+    benchmark::DoNotOptimize(pop);
+  }
+}
+
+#define MEAS_SWEEP(fn) BENCHMARK(fn)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+MEAS_SWEEP(BM_meas_enumerate);
+MEAS_SWEEP(BM_next_enumerate);
+MEAS_SWEEP(BM_any_via_next);
+MEAS_SWEEP(BM_all_via_next);
+MEAS_SWEEP(BM_pop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

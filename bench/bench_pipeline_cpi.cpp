@@ -1,0 +1,106 @@
+// bench_pipeline_cpi — §3.1: pipeline behaviour across workload classes and
+// design points.
+//
+// The paper: "All implementations were capable of sustaining completion of
+// one instruction every clock cycle, provided there were no pipeline
+// interlocks encountered."  Six teams built 4 stages, two built 5.  This
+// bench quantifies what each hazard class costs on each design point.
+//
+// Workloads:  straightline (no hazards), dependent (ALU chains),
+//             loadheavy (load-use pairs), branchy (short taken loops),
+//             qatheavy (two-word Qat instructions).
+// Designs:    pipe4 / pipe5, forwarding on / off.
+//
+// Expected shape: straightline CPI -> 1.0 everywhere; dependent code only
+// hurts with forwarding off; load-use costs 1 bubble on pipe5 only;
+// branches cost 2 flush slots; Qat-heavy code pays exactly the extra fetch
+// word (CPI -> 2).
+#include <benchmark/benchmark.h>
+
+#include "arch/simulators.hpp"
+
+namespace {
+
+using namespace tangled;
+
+std::string workload(int kind) {
+  std::string body;
+  switch (kind) {
+    case 0:  // straightline: independent one-word ops
+      for (int i = 0; i < 64; ++i) {
+        body += "lex $" + std::to_string(i % 8) + ",1\n";
+      }
+      break;
+    case 1:  // dependent ALU chain
+      body = "lex $1,1\n";
+      for (int i = 0; i < 64; ++i) body += "add $1,$1\n";
+      break;
+    case 2:  // load-use pairs
+      body = "lex $2,100\n";
+      for (int i = 0; i < 32; ++i) {
+        body += "load $1,$2\n";
+        body += "add $1,$1\n";
+      }
+      break;
+    case 3:  // branchy: taken loop, 4 instructions per iteration
+      body =
+          "      lex $1,16\n"
+          "      lex $2,-1\n"
+          "loop: add $1,$2\n"
+          "      copy $3,$1\n"
+          "      or $3,$3\n"
+          "      brt $1,loop\n";
+      break;
+    default:  // qatheavy: two-word coprocessor ops
+      body = "had @1,1\nhad @2,2\n";
+      for (int i = 0; i < 64; ++i) {
+        body += "and @" + std::to_string(3 + i % 8) + ",@1,@2\n";
+      }
+      break;
+  }
+  return body + "sys\n";
+}
+
+const char* workload_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "straightline";
+    case 1:
+      return "dependent";
+    case 2:
+      return "loadheavy";
+    case 3:
+      return "branchy";
+    default:
+      return "qatheavy";
+  }
+}
+
+void BM_cpi(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const unsigned stages = static_cast<unsigned>(state.range(1));
+  const bool forwarding = state.range(2) != 0;
+  const Program p = assemble(workload(kind));
+  PipelineSim sim(8, {.stages = stages, .forwarding = forwarding});
+  SimStats st;
+  for (auto _ : state) {
+    sim.cpu() = CpuState{};
+    sim.load(p);
+    st = sim.run();
+  }
+  state.SetLabel(std::string(workload_name(kind)) + "/pipe" +
+                 std::to_string(stages) + (forwarding ? "/fwd" : "/nofwd"));
+  state.counters["cpi"] = st.cpi();
+  state.counters["stall_cycles"] = static_cast<double>(st.data_stall_cycles);
+  state.counters["flush_cycles"] = static_cast<double>(st.flush_cycles);
+  state.counters["extra_fetch"] =
+      static_cast<double>(st.fetch_extra_cycles);
+  state.SetItemsProcessed(state.iterations() * st.instructions);
+}
+
+BENCHMARK(BM_cpi)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {4, 5}, {0, 1}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// bench_re_compression — §1.2: "By storing and operating directly on REs,
+// parallel bit pattern computing reduces both storage requirements and
+// computational complexity by as much as an exponential factor."
+//
+// Series:
+//   BM_dense_gate/E — one AND gate over dense 2^E-bit AoBs
+//   BM_re_gate/E    — the same gate over RE-compressed values built from
+//                     Hadamard patterns (low entropy, the PBP common case)
+//   BM_re_gate_random/E — RE worst case: incompressible random data
+//                     (E <= 16 only; dense storage of the inputs bounds it)
+//   BM_from_aob/E   — compression cost itself
+//
+// Counters report compressed vs dense bytes.  Expected shape: for regular
+// data, RE gate time and storage are flat in E (runs stay O(1)) while dense
+// cost doubles per step — the exponential separation.  For random data RE
+// degrades to ~dense plus overhead, which is the honest trade.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "pbp/hadamard.hpp"
+#include "pbp/re.hpp"
+
+namespace {
+
+using pbp::Aob;
+using pbp::BitOp;
+using pbp::ChunkPool;
+using pbp::Re;
+
+void BM_dense_gate(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const Aob a = pbp::hadamard_generate(ways, ways - 1);
+  const Aob b = pbp::hadamard_generate(ways, ways / 2);
+  Aob r = a;
+  for (auto _ : state) {
+    r = a;
+    r &= b;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes"] = static_cast<double>((std::size_t{1} << ways) / 8);
+}
+
+void BM_re_gate(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  auto pool = std::make_shared<ChunkPool>(12);
+  const Re a = Re::hadamard(pool, ways, ways - 1);
+  const Re b = Re::hadamard(pool, ways, ways / 2);
+  Re r = a;
+  for (auto _ : state) {
+    r = a;
+    r.apply(BitOp::And, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes"] = static_cast<double>(r.compressed_bytes());
+  state.counters["dense_bytes"] = static_cast<double>(r.dense_bytes());
+  state.counters["runs"] = static_cast<double>(r.run_count());
+}
+
+void BM_re_gate_random(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  auto pool = std::make_shared<ChunkPool>(12);
+  std::mt19937_64 rng(ways);
+  const Re a = Re::from_aob(
+      pool, Aob::from_fn(ways, [&](std::size_t) { return rng() & 1; }));
+  const Re b = Re::from_aob(
+      pool, Aob::from_fn(ways, [&](std::size_t) { return rng() & 1; }));
+  Re r = a;
+  for (auto _ : state) {
+    r = a;
+    r.apply(BitOp::And, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes"] = static_cast<double>(r.compressed_bytes());
+  state.counters["runs"] = static_cast<double>(r.run_count());
+}
+
+void BM_from_aob(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  auto pool = std::make_shared<ChunkPool>(12);
+  const Aob a = pbp::hadamard_generate(ways, ways - 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Re::from_aob(pool, a));
+  }
+}
+
+// Dense is bounded by kMaxAobWays; RE keeps going.
+BENCHMARK(BM_dense_gate)->DenseRange(14, 26, 2);
+BENCHMARK(BM_re_gate)->DenseRange(14, 26, 2)->Arg(28)->Arg(30);
+BENCHMARK(BM_re_gate_random)->DenseRange(12, 16, 2);
+BENCHMARK(BM_from_aob)->DenseRange(14, 20, 2);
+
+// A realistic circuit on compressed data: the carry chain of a wide adder
+// stays compressed because every intermediate is Hadamard-structured.
+void BM_re_carry_chain(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  auto pool = std::make_shared<ChunkPool>(12);
+  const unsigned width = ways / 2;
+  std::size_t total_runs = 0;
+  for (auto _ : state) {
+    Re carry = Re::zeros(pool, ways);
+    total_runs = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      Re a = Re::hadamard(pool, ways, i);
+      const Re b = Re::hadamard(pool, ways, width + i);
+      Re axb = a;
+      axb.apply(BitOp::Xor, b);
+      Re g = a;
+      g.apply(BitOp::And, b);
+      Re p = axb;
+      p.apply(BitOp::And, carry);
+      g.apply(BitOp::Or, p);
+      carry = g;
+      total_runs += carry.run_count();
+    }
+    benchmark::DoNotOptimize(carry);
+  }
+  state.counters["sum_runs"] = static_cast<double>(total_runs);
+  state.counters["dense_bytes_each"] =
+      static_cast<double>((std::size_t{1} << ways) / 8);
+}
+BENCHMARK(BM_re_carry_chain)->Arg(16)->Arg(20)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

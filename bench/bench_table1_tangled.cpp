@@ -1,0 +1,151 @@
+// bench_table1_tangled — Table 1: per-instruction cost of the Tangled base
+// ISA on the simulators.
+//
+// The paper's claim for Table 1 is architectural: every instruction is a
+// single-cycle ALU/memory operation (Figure 6), so simulated throughput
+// should be roughly uniform across opcodes, with bfloat16 ops paying only
+// the software cost of the float path.  Each benchmark executes one
+// instruction repeatedly through the full fetch/decode/execute loop.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arch/simulators.hpp"
+
+namespace {
+
+using namespace tangled;
+
+/// Build a program of `reps` copies of `body` followed by sys, run it once
+/// per iteration on the functional simulator.
+void run_program(benchmark::State& state, const std::string& body,
+                 const std::string& setup = "") {
+  constexpr int reps = 256;
+  std::string src = setup;
+  for (int i = 0; i < reps; ++i) {
+    // "%i" in the body becomes the repetition index (for unique labels).
+    std::string expanded = body;
+    for (std::size_t pos; (pos = expanded.find("%i")) != std::string::npos;) {
+      expanded.replace(pos, 2, std::to_string(i));
+    }
+    src += expanded;
+  }
+  src += "sys\n";
+  FunctionalSim sim(8);
+  const Program p = assemble(src);
+  for (auto _ : state) {
+    sim.cpu() = CpuState{};
+    sim.load(p);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+  state.counters["cpi_functional"] = 1.0;
+}
+
+void BM_add(benchmark::State& s) { run_program(s, "add $1,$2\n", "lex $2,3\n"); }
+void BM_addf(benchmark::State& s) {
+  run_program(s, "addf $1,$2\n", "lex $1,1\nfloat $1\nlex $2,3\nfloat $2\n");
+}
+void BM_and(benchmark::State& s) { run_program(s, "and $1,$2\n", "lex $2,3\n"); }
+void BM_brf_untaken(benchmark::State& s) {
+  run_program(s, "brf $1,n%i\nn%i:\n", "lex $1,1\n");
+}
+void BM_brt_untaken(benchmark::State& s) {
+  run_program(s, "brt $1,n%i\nn%i:\n", "lex $1,0\n");
+}
+void BM_copy(benchmark::State& s) { run_program(s, "copy $1,$2\n"); }
+void BM_float(benchmark::State& s) { run_program(s, "float $1\n", "lex $1,7\n"); }
+void BM_int(benchmark::State& s) {
+  run_program(s, "int $1\n", "lex $1,7\nfloat $1\n");
+}
+void BM_lex(benchmark::State& s) { run_program(s, "lex $1,42\n"); }
+void BM_lhi(benchmark::State& s) { run_program(s, "lhi $1,42\n"); }
+void BM_load(benchmark::State& s) { run_program(s, "load $1,$2\n", "lex $2,99\n"); }
+void BM_mul(benchmark::State& s) { run_program(s, "mul $1,$2\n", "lex $2,3\n"); }
+void BM_mulf(benchmark::State& s) {
+  run_program(s, "mulf $1,$2\n", "lex $1,1\nfloat $1\nlex $2,3\nfloat $2\n");
+}
+void BM_neg(benchmark::State& s) { run_program(s, "neg $1\n"); }
+void BM_negf(benchmark::State& s) { run_program(s, "negf $1\n"); }
+void BM_not(benchmark::State& s) { run_program(s, "not $1\n"); }
+void BM_or(benchmark::State& s) { run_program(s, "or $1,$2\n", "lex $2,3\n"); }
+void BM_recip(benchmark::State& s) {
+  run_program(s, "recip $1\n", "lex $1,3\nfloat $1\n");
+}
+void BM_shift(benchmark::State& s) {
+  run_program(s, "shift $1,$2\n", "lex $1,1\nlex $2,1\n");
+}
+void BM_slt(benchmark::State& s) { run_program(s, "slt $1,$2\n", "lex $2,3\n"); }
+void BM_store(benchmark::State& s) {
+  run_program(s, "store $1,$2\n", "lex $2,99\n");
+}
+void BM_xor(benchmark::State& s) { run_program(s, "xor $1,$2\n", "lex $2,3\n"); }
+
+BENCHMARK(BM_add);
+BENCHMARK(BM_addf);
+BENCHMARK(BM_and);
+BENCHMARK(BM_brf_untaken);
+BENCHMARK(BM_brt_untaken);
+BENCHMARK(BM_copy);
+BENCHMARK(BM_float);
+BENCHMARK(BM_int);
+BENCHMARK(BM_lex);
+BENCHMARK(BM_lhi);
+BENCHMARK(BM_load);
+BENCHMARK(BM_mul);
+BENCHMARK(BM_mulf);
+BENCHMARK(BM_neg);
+BENCHMARK(BM_negf);
+BENCHMARK(BM_not);
+BENCHMARK(BM_or);
+BENCHMARK(BM_recip);
+BENCHMARK(BM_shift);
+BENCHMARK(BM_slt);
+BENCHMARK(BM_store);
+BENCHMARK(BM_xor);
+
+/// Whole-ISA mix on each simulator: host-side MIPS and modelled CPI.
+void BM_isa_mix(benchmark::State& state) {
+  const std::string src =
+      "      lex $1,0\n"
+      "      lex $2,40\n"
+      "loop: add $1,$2\n"
+      "      copy $3,$1\n"
+      "      slt $3,$2\n"
+      "      store $1,$2\n"
+      "      load $4,$2\n"
+      "      xor $4,$1\n"
+      "      lex $5,-1\n"
+      "      add $2,$5\n"
+      "      brt $2,loop\n"
+      "      sys\n";
+  const Program p = assemble(src);
+  const int kind = static_cast<int>(state.range(0));
+  std::unique_ptr<SimBase> sim;
+  switch (kind) {
+    case 0:
+      sim = std::make_unique<FunctionalSim>(8);
+      break;
+    case 1:
+      sim = std::make_unique<MultiCycleSim>(8);
+      break;
+    default:
+      sim = std::make_unique<PipelineSim>(8);
+      break;
+  }
+  SimStats st;
+  for (auto _ : state) {
+    sim->cpu() = CpuState{};
+    sim->load(p);
+    st = sim->run();
+  }
+  state.SetItemsProcessed(state.iterations() * st.instructions);
+  state.counters["modelled_cpi"] = st.cpi();
+  state.SetLabel(kind == 0 ? "functional" : kind == 1 ? "multicycle"
+                                                      : "pipeline5");
+}
+BENCHMARK(BM_isa_mix)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// bench_table3_qat — Table 3: per-instruction cost of every Qat coprocessor
+// operation as a function of entanglement WAYS.
+//
+// Shape expected from the paper: all data operations are single-cycle
+// combinatorial in hardware; in simulation their cost is the word-parallel
+// sweep over 2^WAYS bits, so time should scale linearly with AoB size and be
+// nearly identical across and/or/xor/cnot/ccnot.  meas is O(1); next and pop
+// scan words.  swap is pointer-swap cheap (the hardware analogue: register
+// renaming instead of data movement).
+#include <benchmark/benchmark.h>
+
+#include "arch/qat_engine.hpp"
+
+namespace {
+
+using namespace tangled;
+
+QatEngine make_engine(unsigned ways) {
+  QatEngine q(ways);
+  // Populate operand registers with non-trivial patterns.
+  q.had(1, 1);
+  q.had(2, ways > 2 ? ways - 1 : 1);
+  q.had(3, ways / 2);
+  return q;
+}
+
+void BM_qat_zero(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.zero(0);
+}
+void BM_qat_one(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.one(0);
+}
+void BM_qat_had(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.had(0, static_cast<unsigned>(state.range(0)) - 1);
+}
+void BM_qat_not(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.not_(1);
+}
+void BM_qat_cnot(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.cnot(1, 2);
+}
+void BM_qat_ccnot(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.ccnot(1, 2, 3);
+}
+void BM_qat_swap(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.swap(1, 2);
+}
+void BM_qat_cswap(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.cswap(1, 2, 3);
+}
+void BM_qat_and(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.and_(0, 1, 2);
+}
+void BM_qat_or(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.or_(0, 1, 2);
+}
+void BM_qat_xor(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.xor_(0, 1, 2);
+}
+void BM_qat_meas(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  std::uint16_t ch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.meas(2, ch));
+    ch += 7;
+  }
+}
+void BM_qat_next(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  std::uint16_t ch = 0;
+  for (auto _ : state) {
+    ch = q.next(2, ch);
+    benchmark::DoNotOptimize(ch);
+  }
+}
+void BM_qat_pop(benchmark::State& state) {
+  QatEngine q = make_engine(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(q.pop(2, 5));
+}
+
+#define QAT_SWEEP(fn) BENCHMARK(fn)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+
+QAT_SWEEP(BM_qat_zero);
+QAT_SWEEP(BM_qat_one);
+QAT_SWEEP(BM_qat_had);
+QAT_SWEEP(BM_qat_not);
+QAT_SWEEP(BM_qat_cnot);
+QAT_SWEEP(BM_qat_ccnot);
+QAT_SWEEP(BM_qat_swap);
+QAT_SWEEP(BM_qat_cswap);
+QAT_SWEEP(BM_qat_and);
+QAT_SWEEP(BM_qat_or);
+QAT_SWEEP(BM_qat_xor);
+QAT_SWEEP(BM_qat_meas);
+QAT_SWEEP(BM_qat_next);
+QAT_SWEEP(BM_qat_pop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

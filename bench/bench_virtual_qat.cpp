@@ -1,0 +1,73 @@
+// bench_virtual_qat — §1.2 / §5: the software RE-backed Qat beyond the
+// hardware's 16-way limit.
+//
+// "It remains to be seen if the manipulation of regular patterns of AoB
+// blocks will effectively scale to very high entanglements while keeping
+// efficiency high" (§5).  Measured here: Table 3 data ops and the
+// measurement family on VirtualQat from 16-way (the hardware size) to
+// 32-way (4 billion channels), on Hadamard-structured state.
+//
+// Expected shape: compressed ops cost O(runs), so time grows with the run
+// count of the touched patterns (≪ 2^E), and storage stays in kilobytes
+// where dense registers would need gigabytes.
+#include <benchmark/benchmark.h>
+
+#include "pbp/virtual_qat.hpp"
+
+namespace {
+
+using pbp::VirtualQat;
+
+VirtualQat make(unsigned ways) {
+  VirtualQat q(ways, /*chunk_ways=*/12, /*num_regs=*/64);
+  q.had(1, ways - 1);
+  q.had(2, ways / 2);
+  q.had(3, 13);  // finer-grained pattern: more runs
+  return q;
+}
+
+void BM_vqat_and(benchmark::State& state) {
+  VirtualQat q = make(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.and_(0, 1, 2);
+  state.counters["storage_bytes"] = static_cast<double>(q.storage_bytes());
+  state.counters["dense_bytes_each"] =
+      static_cast<double>((std::size_t{1} << state.range(0)) / 8);
+}
+
+void BM_vqat_and_fine(benchmark::State& state) {
+  VirtualQat q = make(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.and_(0, 2, 3);  // the many-run operand
+  state.counters["storage_bytes"] = static_cast<double>(q.storage_bytes());
+}
+
+void BM_vqat_ccnot(benchmark::State& state) {
+  VirtualQat q = make(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) q.ccnot(1, 2, 3);
+}
+
+void BM_vqat_next(benchmark::State& state) {
+  VirtualQat q = make(static_cast<unsigned>(state.range(0)));
+  q.and_(0, 1, 2);
+  std::size_t ch = 0;
+  for (auto _ : state) {
+    ch = q.next(0, ch);
+    benchmark::DoNotOptimize(ch);
+  }
+}
+
+void BM_vqat_popcount(benchmark::State& state) {
+  VirtualQat q = make(static_cast<unsigned>(state.range(0)));
+  q.xor_(0, 1, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(q.popcount(0));
+}
+
+#define VQAT_SWEEP(fn) BENCHMARK(fn)->Arg(16)->Arg(20)->Arg(24)->Arg(28)->Arg(32)
+VQAT_SWEEP(BM_vqat_and);
+VQAT_SWEEP(BM_vqat_and_fine);
+VQAT_SWEEP(BM_vqat_ccnot);
+VQAT_SWEEP(BM_vqat_next);
+VQAT_SWEEP(BM_vqat_popcount);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,195 @@
+#include "arch/bf16_rtl.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+namespace tangled {
+namespace {
+
+struct Unpacked {
+  bool sign = false;
+  int exp = 0;           // biased; denormals reported as exp = 1
+  std::uint32_t sig = 0; // 8-bit significand with hidden bit (0 for denorm)
+  bool nan = false;
+  bool inf = false;
+  bool zero = false;
+};
+
+Unpacked unpack(Bf16 x) {
+  Unpacked u;
+  u.sign = x.sign();
+  const unsigned e = x.exponent();
+  const unsigned f = x.fraction();
+  if (e == 0xff) {
+    u.nan = f != 0;
+    u.inf = f == 0;
+    return u;
+  }
+  if (e == 0) {
+    u.zero = f == 0;
+    u.exp = 1;        // denormal exponent
+    u.sig = f;        // no hidden bit
+  } else {
+    u.exp = static_cast<int>(e);
+    u.sig = 0x80u | f;
+  }
+  return u;
+}
+
+Bf16 make(bool sign, unsigned exp, unsigned frac) {
+  return Bf16(static_cast<std::uint16_t>((sign ? 0x8000u : 0u) |
+                                         ((exp & 0xffu) << 7) |
+                                         (frac & 0x7fu)));
+}
+
+Bf16 quiet_nan(bool sign) { return make(sign, 0xff, 0x40); }
+Bf16 infinity(bool sign) { return make(sign, 0xff, 0); }
+Bf16 zero_val(bool sign) { return make(sign, 0, 0); }
+
+/// Pack sign * sig * 2^pw2 into bf16 with round-to-nearest-even, handling
+/// normal, subnormal, overflow and underflow.  `sig` is a plain integer
+/// (any magnitude); this is the shared normalize-and-round back end that the
+/// adder, multiplier and int converter all feed — one rounding unit, as a
+/// real datapath would share it.
+Bf16 pack_rne(bool sign, std::uint64_t sig, int pw2) {
+  if (sig == 0) return zero_val(sign);
+  const int msb = 63 - std::countl_zero(sig);
+  const int unbiased = msb + pw2;          // value in [2^unbiased, 2^(unbiased+1))
+  int biased = unbiased + 127;
+  if (biased >= 1) {
+    // Normal path: mantissa = bits msb..msb-7; round at bit msb-8.
+    const int drop = msb - 7;
+    std::uint64_t mant;
+    if (drop <= 0) {
+      mant = sig << -drop;  // exact
+    } else {
+      const std::uint64_t kept = sig >> drop;
+      const std::uint64_t guard = (sig >> (drop - 1)) & 1u;
+      const std::uint64_t sticky_mask = (std::uint64_t{1} << (drop - 1)) - 1;
+      const bool sticky = (sig & sticky_mask) != 0;
+      mant = kept + ((guard && (sticky || (kept & 1u))) ? 1u : 0u);
+      if (mant >= 0x100u) {  // rounding carried out of the mantissa
+        mant >>= 1;
+        ++biased;
+      }
+    }
+    if (biased >= 0xff) return infinity(sign);
+    return make(sign, static_cast<unsigned>(biased),
+                static_cast<unsigned>(mant & 0x7fu));
+  }
+  // Subnormal path: align so one unit = 2^-133 (the minimum denormal).
+  const int n = pw2 + 133;
+  std::uint64_t mant;
+  if (n >= 0) {
+    mant = msb + n < 62 ? (sig << n) : ~std::uint64_t{0};  // saturate huge
+  } else {
+    const int drop = -n;
+    if (drop > 63) return zero_val(sign);
+    const std::uint64_t kept = sig >> drop;
+    const std::uint64_t guard = drop >= 1 ? (sig >> (drop - 1)) & 1u : 0u;
+    const bool sticky =
+        drop >= 2 && (sig & ((std::uint64_t{1} << (drop - 1)) - 1)) != 0;
+    mant = kept + ((guard && (sticky || (kept & 1u))) ? 1u : 0u);
+  }
+  if (mant == 0) return zero_val(sign);
+  if (mant >= 0x80u) return make(sign, 1, static_cast<unsigned>(mant & 0x7fu));
+  return make(sign, 0, static_cast<unsigned>(mant));
+}
+
+}  // namespace
+
+Bf16 bf16_add_rtl(Bf16 a, Bf16 b) {
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  if (ua.nan || ub.nan) return quiet_nan(ua.nan ? ua.sign : ub.sign);
+  if (ua.inf && ub.inf) {
+    return ua.sign == ub.sign ? infinity(ua.sign) : quiet_nan(false);
+  }
+  if (ua.inf) return infinity(ua.sign);
+  if (ub.inf) return infinity(ub.sign);
+  if (ua.zero && ub.zero) return zero_val(ua.sign && ub.sign);
+  if (ua.zero) return b;
+  if (ub.zero) return a;
+
+  // Order so |x| >= |y| (compare exponent then significand).
+  Unpacked x = ua;
+  Unpacked y = ub;
+  if (y.exp > x.exp || (y.exp == x.exp && y.sig > x.sig)) std::swap(x, y);
+
+  // Align with 3 guard bits (G, R, S); collapse far shifts into sticky.
+  const int diff = x.exp - y.exp;
+  std::uint64_t sx = static_cast<std::uint64_t>(x.sig) << 3;
+  std::uint64_t sy = static_cast<std::uint64_t>(y.sig) << 3;
+  if (diff >= 12) {
+    sy = sy != 0 ? 1 : 0;  // pure sticky
+  } else if (diff > 0) {
+    const std::uint64_t lost = sy & ((std::uint64_t{1} << diff) - 1);
+    sy = (sy >> diff) | (lost != 0 ? 1 : 0);
+  }
+
+  std::uint64_t sum;
+  bool sign;
+  if (x.sign == y.sign) {
+    sum = sx + sy;
+    sign = x.sign;
+  } else {
+    sum = sx - sy;  // non-negative: |x| >= |y|
+    sign = x.sign;
+    if (sum == 0) return zero_val(false);  // RNE: exact cancellation -> +0
+  }
+  // Units of 2^-3 below bit 0 of the significand; significand unit is
+  // 2^(exp - 127 - 7).
+  return pack_rne(sign, sum, x.exp - 127 - 7 - 3);
+}
+
+Bf16 bf16_mul_rtl(Bf16 a, Bf16 b) {
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  const bool sign = ua.sign != ub.sign;
+  if (ua.nan || ub.nan) return quiet_nan(ua.nan ? ua.sign : ub.sign);
+  if (ua.inf || ub.inf) {
+    if (ua.zero || ub.zero) return quiet_nan(false);  // inf * 0
+    return infinity(sign);
+  }
+  if (ua.zero || ub.zero) return zero_val(sign);
+
+  // 8x8 -> 16-bit significand product (one DSP multiplier / partial-product
+  // array in hardware); each operand's significand unit is 2^(exp-127-7).
+  const std::uint64_t prod =
+      static_cast<std::uint64_t>(ua.sig) * static_cast<std::uint64_t>(ub.sig);
+  return pack_rne(sign, prod, (ua.exp - 127 - 7) + (ub.exp - 127 - 7));
+}
+
+Bf16 bf16_from_int_rtl(std::int16_t v) {
+  if (v == 0) return zero_val(false);
+  const bool sign = v < 0;
+  const std::uint64_t mag =
+      sign ? static_cast<std::uint64_t>(-static_cast<std::int32_t>(v))
+           : static_cast<std::uint64_t>(v);
+  return pack_rne(sign, mag, 0);
+}
+
+std::int16_t bf16_to_int_rtl(Bf16 a) {
+  const Unpacked u = unpack(a);
+  if (u.nan) return 0;
+  if (u.inf) return u.sign ? -32768 : 32767;
+  if (u.zero || u.sig == 0) return 0;
+  // value = sig * 2^(exp - 127 - 7): shift and truncate toward zero.
+  const int shift = u.exp - 127 - 7;
+  std::int64_t mag;
+  if (shift >= 0) {
+    if (shift > 20) return u.sign ? -32768 : 32767;  // saturate
+    mag = static_cast<std::int64_t>(u.sig) << shift;
+  } else {
+    mag = shift < -63
+              ? 0
+              : static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(u.sig) >> -shift);
+  }
+  if (!u.sign && mag > 32767) return 32767;
+  if (u.sign && mag > 32768) return -32768;
+  return static_cast<std::int16_t>(u.sign ? -mag : mag);
+}
+
+}  // namespace tangled

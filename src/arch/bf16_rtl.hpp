@@ -1,0 +1,35 @@
+// bf16_rtl.hpp — gate-level bfloat16 datapath models (paper §2.1, §3.1).
+//
+// The course provided "approximately 127 lines" of Verilog implementing a
+// bfloat16 library whose operations synthesize to single-cycle combinational
+// logic.  bfloat16.hpp gives the behavioural reference (compute in binary32,
+// round to nearest even); this header models the same operations the way the
+// RTL actually computes them — field extraction, significand alignment via a
+// barrel shifter, integer add/multiply, count-leading-zeros normalization,
+// and guard/round/sticky rounding — using only integer steps a synthesis
+// tool would map to adders, shifters and muxes.
+//
+// tests/test_bf16_rtl.cpp proves the datapath model bit-identical to the
+// behavioural ALU over exhaustive and random operand sweeps; this is the
+// same verification obligation the student Verilog faced.
+#pragma once
+
+#include "arch/bfloat16.hpp"
+
+namespace tangled {
+
+/// Gate-style bfloat16 adder: align, add/subtract significands, CLZ
+/// normalize, round to nearest even.
+Bf16 bf16_add_rtl(Bf16 a, Bf16 b);
+
+/// Gate-style bfloat16 multiplier: 8x8 significand product, single-step
+/// normalize, round to nearest even.
+Bf16 bf16_mul_rtl(Bf16 a, Bf16 b);
+
+/// Gate-style int16 -> bf16 conversion (CLZ normalize + round).
+Bf16 bf16_from_int_rtl(std::int16_t v);
+
+/// Gate-style bf16 -> int16 conversion (shift by exponent, truncate).
+std::int16_t bf16_to_int_rtl(Bf16 a);
+
+}  // namespace tangled

@@ -1,0 +1,103 @@
+#include "arch/bfloat16.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace tangled {
+namespace {
+
+std::uint32_t f2u(float f) { return std::bit_cast<std::uint32_t>(f); }
+float u2f(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+/// Round a binary32 pattern to the nearest bf16 (ties to even), the rounding
+/// a hardware bf16 unit applies when writing back.
+std::uint16_t round_to_bf16(std::uint32_t u) {
+  // NaN: keep it NaN (set a fraction bit so it doesn't collapse to inf).
+  if ((u & 0x7f800000u) == 0x7f800000u && (u & 0x007fffffu) != 0) {
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040);
+  }
+  const std::uint32_t lsb = (u >> 16) & 1u;
+  const std::uint32_t rounding_bias = 0x7fffu + lsb;
+  return static_cast<std::uint16_t>((u + rounding_bias) >> 16);
+}
+
+/// The 128-entry fraction-reciprocal table the Verilog design loads from a
+/// VMEM file.  Entry f approximates 2^14 / (1.f), i.e. the reciprocal of the
+/// significand 1.f in 0.14 fixed point (range (0.5, 1.0]).
+const std::array<std::uint16_t, 128>& recip_table() {
+  static const auto table = [] {
+    std::array<std::uint16_t, 128> t{};
+    for (unsigned f = 0; f < 128; ++f) {
+      // significand = (128 + f) / 128; reciprocal in 0.14 fixed point,
+      // rounded to nearest — this is how the course VMEM file was generated.
+      const std::uint32_t num = std::uint32_t{1} << 21;  // 2^14 * 128
+      t[f] = static_cast<std::uint16_t>((num + (128 + f) / 2) / (128 + f));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Bf16 Bf16::from_float(float f) { return Bf16(round_to_bf16(f2u(f))); }
+
+float Bf16::to_float() const {
+  return u2f(static_cast<std::uint32_t>(bits_) << 16);
+}
+
+Bf16 Bf16::from_int(std::int16_t v) {
+  return from_float(static_cast<float>(v));
+}
+
+std::int16_t Bf16::to_int() const {
+  const float f = to_float();
+  if (std::isnan(f)) return 0;
+  if (f >= 32767.0f) return 32767;
+  if (f <= -32768.0f) return -32768;
+  return static_cast<std::int16_t>(f);  // truncates toward zero
+}
+
+Bf16 operator+(Bf16 a, Bf16 b) {
+  return Bf16::from_float(a.to_float() + b.to_float());
+}
+
+Bf16 operator*(Bf16 a, Bf16 b) {
+  return Bf16::from_float(a.to_float() * b.to_float());
+}
+
+Bf16 Bf16::recip() const {
+  // Specials first, matching IEEE conventions the float library follows.
+  if (is_nan()) return *this;
+  if (is_zero()) return sign() ? kBf16NegInf : kBf16Inf;
+  if (is_inf()) return Bf16(static_cast<std::uint16_t>(bits_ & 0x8000));
+  const unsigned e = exponent();
+  if (e == 0) return sign() ? kBf16NegInf : kBf16Inf;  // denormal ~ zero
+
+  // 1 / (1.f * 2^(e-127)) = (1/1.f) * 2^(127-e).  The table gives 1/1.f in
+  // 0.14 fixed point within (0.5, 1.0], i.e. 2^-1 * 1.g — so the result
+  // exponent is (127 - (e - 127)) - 1 unless 1/1.f == 1.0 exactly (f == 0).
+  if (fraction() == 0) {
+    // Reciprocal of an exact power of two is exact.
+    const int re = 127 - (static_cast<int>(e) - 127);
+    if (re >= 0xff) return sign() ? kBf16NegInf : kBf16Inf;
+    if (re <= 0) return Bf16(static_cast<std::uint16_t>(sign() << 15));
+    return Bf16(static_cast<std::uint16_t>((sign() << 15) | (re << 7)));
+  }
+  const std::uint32_t r14 = recip_table()[fraction()];  // in (2^13, 2^14)
+  // Normalize 0.14 -> 1.7: r14 in (8192, 16384) represents (0.5, 1.0);
+  // shift left 1 to get 1.g in [1.0, 2.0) with a 14-bit fraction, keep 7.
+  const std::uint32_t sig15 = r14 << 1;              // 1.14 in [16384, 32768)
+  const std::uint32_t frac7 = (sig15 >> 7) & 0x7f;   // truncate, as hardware
+  const int re = 127 - (static_cast<int>(e) - 127) - 1;
+  if (re >= 0xff) return sign() ? kBf16NegInf : kBf16Inf;
+  if (re <= 0) return Bf16(static_cast<std::uint16_t>(sign() << 15));
+  return Bf16(static_cast<std::uint16_t>((sign() << 15) | (re << 7) | frac7));
+}
+
+Bf16 Bf16::recip_exact() const { return from_float(1.0f / to_float()); }
+
+}  // namespace tangled

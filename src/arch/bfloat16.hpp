@@ -1,0 +1,65 @@
+// bfloat16.hpp — the 16-bit brain-float ALU used by Tangled's addf/mulf/
+// negf/recip/float/int instructions (paper §2.1).
+//
+// bfloat16 is the top 16 bits of an IEEE-754 binary32: 1 sign, 8 exponent
+// (bias 127), 7 fraction.  The paper notes the key property this library
+// leans on: "values can be treated as standard 32-bit float values by simply
+// catenating a 16-bit value of 0".  add/mul therefore compute in binary32
+// (exact for bf16 operands) and round the result back to nearest-even —
+// bit-identical to a correctly rounded bf16 FPU.  recip instead mirrors the
+// Verilog implementation's small lookup table for fraction reciprocals (the
+// VMEM file §2.1 mentions), so its accuracy is deliberately table-limited.
+#pragma once
+
+#include <cstdint>
+
+namespace tangled {
+
+/// One bfloat16 value as its raw 16-bit pattern.  Plain value type: this is
+/// exactly what sits in a Tangled register.
+class Bf16 {
+ public:
+  constexpr Bf16() = default;
+  constexpr explicit Bf16(std::uint16_t bits) : bits_(bits) {}
+
+  static Bf16 from_float(float f);        // round-to-nearest-even
+  /// Convert a signed 16-bit integer (Tangled `float $d`).
+  static Bf16 from_int(std::int16_t v);
+
+  float to_float() const;                 // exact
+  /// Truncate toward zero, clamped to int16 (Tangled `int $d`).
+  std::int16_t to_int() const;
+
+  constexpr std::uint16_t bits() const { return bits_; }
+  constexpr bool sign() const { return bits_ >> 15; }
+  constexpr unsigned exponent() const { return (bits_ >> 7) & 0xff; }
+  constexpr unsigned fraction() const { return bits_ & 0x7f; }
+  bool is_nan() const { return exponent() == 0xff && fraction() != 0; }
+  bool is_inf() const { return exponent() == 0xff && fraction() == 0; }
+  bool is_zero() const { return (bits_ & 0x7fff) == 0; }
+
+  /// addf / mulf / negf (Table 1).
+  friend Bf16 operator+(Bf16 a, Bf16 b);
+  friend Bf16 operator*(Bf16 a, Bf16 b);
+  Bf16 operator-() const { return Bf16(static_cast<std::uint16_t>(bits_ ^ 0x8000)); }
+
+  /// recip (Table 1): lookup-table fraction reciprocal, hardware style.
+  /// Accuracy is bounded by the 7-bit table (max relative error ~2^-7).
+  Bf16 recip() const;
+
+  /// Reference reciprocal (full binary32 divide + RNE) for accuracy tests.
+  Bf16 recip_exact() const;
+
+  bool operator==(const Bf16& o) const { return bits_ == o.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Useful constants.
+inline constexpr Bf16 kBf16Zero{0x0000};
+inline constexpr Bf16 kBf16One{0x3f80};
+inline constexpr Bf16 kBf16Inf{0x7f80};
+inline constexpr Bf16 kBf16NegInf{0xff80};
+
+}  // namespace tangled

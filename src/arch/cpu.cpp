@@ -1,0 +1,168 @@
+#include "arch/cpu.hpp"
+
+#include "arch/bfloat16.hpp"
+
+namespace tangled {
+namespace {
+
+std::int16_t s16(std::uint16_t v) { return static_cast<std::int16_t>(v); }
+std::uint16_t u16(int v) { return static_cast<std::uint16_t>(v); }
+
+/// Table 1 `shift $d,$s`: left for non-negative $s, arithmetic right for
+/// negative $s (the sign selects direction, as in the paper's earlier ISAs).
+std::uint16_t do_shift(std::uint16_t d, std::uint16_t s) {
+  const int amount = s16(s);
+  if (amount >= 0) {
+    return amount >= 16 ? 0 : u16(d << amount);
+  }
+  const int right = -amount;
+  const std::int16_t sd = s16(d);
+  if (right >= 16) return sd < 0 ? 0xffff : 0;
+  return u16(sd >> right);
+}
+
+}  // namespace
+
+ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
+                 std::uint16_t d_val, std::uint16_t s_val, QatEngine& qat) {
+  ExOut o;
+  const std::uint16_t d = d_val;
+  const std::uint16_t s = s_val;
+  const auto write = [&](std::uint16_t v) {
+    o.value = v;
+    o.writes_reg = true;
+  };
+  switch (i.op) {
+    case Op::kAdd:
+      write(u16(d + s));
+      break;
+    case Op::kAddf:
+      write((Bf16(d) + Bf16(s)).bits());
+      break;
+    case Op::kAnd:
+      write(d & s);
+      break;
+    case Op::kBrf:
+      if (d == 0) {
+        o.taken = true;
+        o.target = u16(pc + 1 + i.imm);
+      }
+      break;
+    case Op::kBrt:
+      if (d != 0) {
+        o.taken = true;
+        o.target = u16(pc + 1 + i.imm);
+      }
+      break;
+    case Op::kCopy:
+      write(s);
+      break;
+    case Op::kFloat:
+      write(Bf16::from_int(s16(d)).bits());
+      break;
+    case Op::kInt:
+      write(u16(Bf16(d).to_int()));
+      break;
+    case Op::kJumpr:
+      o.taken = true;
+      o.target = d;
+      break;
+    case Op::kLex:
+      write(u16(i.imm));
+      break;
+    case Op::kLhi:
+      write(u16((d & 0x00ff) | ((i.imm & 0xff) << 8)));
+      break;
+    case Op::kLoad:
+      o.is_load = true;
+      o.addr = s;
+      o.writes_reg = true;  // value supplied by MEM
+      break;
+    case Op::kMul:
+      write(u16(d * s));
+      break;
+    case Op::kMulf:
+      write((Bf16(d) * Bf16(s)).bits());
+      break;
+    case Op::kNeg:
+      write(u16(-s16(d)));
+      break;
+    case Op::kNegf:
+      write((-Bf16(d)).bits());
+      break;
+    case Op::kNot:
+      write(u16(~d));
+      break;
+    case Op::kOr:
+      write(d | s);
+      break;
+    case Op::kRecip:
+      write(Bf16(d).recip().bits());
+      break;
+    case Op::kShift:
+      write(do_shift(d, s));
+      break;
+    case Op::kSlt:
+      write(s16(d) < s16(s) ? 1 : 0);
+      break;
+    case Op::kStore:
+      o.is_store = true;
+      o.addr = s;
+      o.store_data = d;
+      break;
+    case Op::kSys:
+      // The paper's Table 1 leaves `sys` open ("system call"); this repo
+      // defines: plain `sys` ($d = 0) halts, `sys $r` prints $r's value as
+      // a signed integer — enough for self-reporting assembly programs.
+      if ((i.d & 15u) == 0) {
+        o.halt = true;
+      } else {
+        o.print = true;
+        o.print_value = d;
+      }
+      break;
+    case Op::kXor:
+      write(d ^ s);
+      break;
+    case Op::kQMeas:
+    case Op::kQNext:
+    case Op::kQPop: {
+      std::uint16_t value = d;
+      qat.execute(i, value);
+      write(value);
+      break;
+    }
+    case Op::kInvalid:
+      o.halt = true;  // undefined opcodes halt, like the class simulators
+      break;
+    default: {
+      // Remaining Qat data operations touch no Tangled register; the
+      // coprocessor register file is read and written here, in EX.
+      std::uint16_t dummy = 0;
+      qat.execute(i, dummy);
+      break;
+    }
+  }
+  (void)words;
+  return o;
+}
+
+ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
+                         const Instr& i, unsigned words) {
+  const ExOut o =
+      exec_stage(i, cpu.pc, words, cpu.reg(i.d), cpu.reg(i.s), qat);
+  ExecResult r;
+  r.next_pc = o.taken ? o.target : u16(cpu.pc + words);
+  r.taken_branch = o.taken;
+  r.halted = o.halt;
+  r.print = o.print;
+  r.print_value = o.print_value;
+  if (o.is_store) mem.write(o.addr, o.store_data);
+  if (o.writes_reg) {
+    cpu.set_reg(i.d, o.is_load ? mem.read(o.addr) : o.value);
+  }
+  cpu.halted = r.halted;
+  return r;
+}
+
+}  // namespace tangled

@@ -1,0 +1,86 @@
+// cpu.hpp — Tangled architectural state and instruction semantics shared by
+// every simulator (paper §2.1, Figure 6).
+//
+// The simulators (functional, multi-cycle, pipelined) differ only in
+// *timing*; they all apply the same architectural effects via execute_instr,
+// so a semantics bug cannot hide as a cross-simulator difference —
+// tests/test_simulators.cpp and tests/test_property.cpp run the same
+// programs on every model and compare final state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/qat_engine.hpp"
+#include "isa/isa.hpp"
+
+namespace tangled {
+
+/// 64Ki 16-bit words, word-addressed — the "simplified memory interface" of
+/// the class projects (§3.1).
+class Memory {
+ public:
+  Memory() : words_(65536, 0) {}
+
+  std::uint16_t read(std::uint16_t addr) const { return words_[addr]; }
+  void write(std::uint16_t addr, std::uint16_t v) { words_[addr] = v; }
+
+  /// Load a program image at address 0.
+  void load(const std::vector<std::uint16_t>& image) {
+    for (std::size_t i = 0; i < image.size() && i < words_.size(); ++i) {
+      words_[i] = image[i];
+    }
+  }
+
+ private:
+  std::vector<std::uint16_t> words_;
+};
+
+struct CpuState {
+  std::array<std::uint16_t, kNumRegs> regs{};
+  std::uint16_t pc = 0;
+  bool halted = false;
+
+  std::uint16_t reg(unsigned r) const { return regs[r & 15u]; }
+  void set_reg(unsigned r, std::uint16_t v) { regs[r & 15u] = v; }
+};
+
+struct ExecResult {
+  std::uint16_t next_pc = 0;
+  bool taken_branch = false;  // PC diverged from fall-through
+  bool halted = false;        // sys or invalid opcode
+  bool print = false;         // sys $r console service fired
+  std::uint16_t print_value = 0;
+};
+
+/// What the EX stage produces from an instruction and its (possibly
+/// forwarded) operand VALUES.  This is the datapath output a latch-level
+/// pipeline carries into MEM/WB; execute_instr composes the same function
+/// with direct register-file access for the single-cycle model.
+struct ExOut {
+  std::uint16_t value = 0;      // ALU / Qat result (register write data)
+  bool writes_reg = false;      // commit `value` to $d at WB
+  bool is_load = false;         // MEM reads memory[addr] into $d
+  bool is_store = false;        // MEM writes store_data to memory[addr]
+  std::uint16_t addr = 0;
+  std::uint16_t store_data = 0;
+  bool taken = false;           // control transfer resolved taken in EX
+  std::uint16_t target = 0;
+  bool halt = false;
+  bool print = false;           // sys $r console service
+  std::uint16_t print_value = 0;
+};
+
+/// The EX-stage datapath: pure in the Tangled operand values (d_val/s_val),
+/// side-effecting only on the Qat coprocessor (whose register file is read
+/// and written in EX, in program order).
+ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
+                 std::uint16_t d_val, std::uint16_t s_val, QatEngine& qat);
+
+/// Apply one instruction's architectural effects.  `words` is the encoded
+/// length (for fall-through PC).  The caller owns timing entirely.
+ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
+                         const Instr& i, unsigned words);
+
+}  // namespace tangled

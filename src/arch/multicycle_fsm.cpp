@@ -1,0 +1,83 @@
+#include "arch/multicycle_fsm.hpp"
+
+namespace tangled {
+
+SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
+  SimStats stats;
+  console_.clear();
+  state_cycles_.fill(0);
+
+  McState state = McState::kFetch;
+  // Inter-state registers of the multi-cycle datapath.
+  std::uint16_t ir0 = 0;   // first instruction word
+  Decoded dec;
+  std::uint16_t dval = 0;
+  std::uint16_t sval = 0;
+  ExOut ex;
+  std::uint16_t mem_data = 0;
+
+  const std::uint64_t cycle_limit = max_instructions * 8 + 16;
+  std::uint64_t cycle = 0;
+  for (; cycle < cycle_limit && !cpu_.halted; ++cycle) {
+    ++state_cycles_[static_cast<unsigned>(state)];
+    switch (state) {
+      case McState::kFetch:
+        ir0 = mem_.read(cpu_.pc);
+        // Peek the length to decide whether a second fetch state is needed.
+        state = decode(ir0, 0).words == 2 ? McState::kFetch2
+                                          : McState::kDecode;
+        if (state == McState::kDecode) dec = decode(ir0, 0);
+        break;
+      case McState::kFetch2:
+        dec = decode(ir0, mem_.read(static_cast<std::uint16_t>(cpu_.pc + 1)));
+        state = McState::kDecode;
+        break;
+      case McState::kDecode:
+        dval = cpu_.reg(dec.instr.d);
+        sval = cpu_.reg(dec.instr.s);
+        state = McState::kEx;
+        break;
+      case McState::kEx:
+        ex = exec_stage(dec.instr, cpu_.pc, dec.words, dval, sval, qat_);
+        state = (ex.is_load || ex.is_store) ? McState::kMem : McState::kWb;
+        break;
+      case McState::kMem:
+        if (ex.is_store) {
+          mem_.write(ex.addr, ex.store_data);
+        } else {
+          mem_data = mem_.read(ex.addr);
+        }
+        state = McState::kWb;
+        break;
+      case McState::kWb:
+        if (ex.writes_reg) {
+          cpu_.set_reg(dec.instr.d, ex.is_load ? mem_data : ex.value);
+        }
+        if (ex.print) {
+          console_ += std::to_string(static_cast<std::int16_t>(ex.print_value));
+          console_ += '\n';
+        }
+        cpu_.pc = ex.taken ? ex.target
+                           : static_cast<std::uint16_t>(cpu_.pc + dec.words);
+        ++stats.instructions;
+        if (ex.taken) ++stats.taken_branches;
+        if (ex.halt) cpu_.halted = true;
+        state = McState::kFetch;
+        if (!cpu_.halted && stats.instructions >= max_instructions) {
+          stats.cycles = cycle + 1;
+          stats.halted = false;
+          stats.fetch_extra_cycles =
+              state_cycles_[static_cast<unsigned>(McState::kFetch2)];
+          return stats;
+        }
+        break;
+    }
+  }
+  stats.cycles = cycle;
+  stats.halted = cpu_.halted;
+  stats.fetch_extra_cycles =
+      state_cycles_[static_cast<unsigned>(McState::kFetch2)];
+  return stats;
+}
+
+}  // namespace tangled

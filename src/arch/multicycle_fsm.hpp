@@ -1,0 +1,66 @@
+// multicycle_fsm.hpp — the multi-cycle Tangled/Qat as an explicit finite
+// state machine (the first student Verilog project, paper §1.3/§3.1).
+//
+// MultiCycleSim (simulators.hpp) *accounts* 4 + extras cycles per
+// instruction; this model actually sequences the states a multi-cycle
+// controller steps through —
+//
+//   FETCH → [FETCH2] → DECODE → EX → [MEM] → WB → FETCH → ...
+//
+// one state per clock, with the work each state's datapath performs done in
+// that state: FETCH reads instruction words, DECODE cracks fields and reads
+// registers, EX runs the shared exec_stage datapath, MEM touches memory,
+// WB writes the register file and updates PC.  Per-state cycle counters are
+// exposed (what a controller's state-occupancy histogram would show).
+//
+// tests/test_multicycle_fsm.cpp verifies it architecturally identical to
+// the functional model and cycle-identical to the accounting model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/cpu.hpp"
+#include "arch/simulators.hpp"
+
+namespace tangled {
+
+enum class McState : std::uint8_t {
+  kFetch,
+  kFetch2,
+  kDecode,
+  kEx,
+  kMem,
+  kWb,
+};
+inline constexpr unsigned kMcStateCount = 6;
+
+class MultiCycleFsmSim {
+ public:
+  explicit MultiCycleFsmSim(unsigned ways = 16) : qat_(ways) {}
+
+  void load(const Program& p) { mem_.load(p.words); }
+  void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }
+
+  SimStats run(std::uint64_t max_instructions = 1'000'000);
+
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  Memory& memory() { return mem_; }
+  QatEngine& qat() { return qat_; }
+  const std::string& console() const { return console_; }
+
+  /// Cycles spent in each controller state during the last run().
+  std::uint64_t state_cycles(McState s) const {
+    return state_cycles_[static_cast<unsigned>(s)];
+  }
+
+ private:
+  Memory mem_;
+  CpuState cpu_;
+  QatEngine qat_;
+  std::string console_;
+  std::array<std::uint64_t, kMcStateCount> state_cycles_{};
+};
+
+}  // namespace tangled

@@ -1,0 +1,269 @@
+#include "arch/qat_engine.hpp"
+
+#include <stdexcept>
+
+#include "pbp/hadamard.hpp"
+
+namespace tangled {
+
+using pbp::Aob;
+
+QatEngine::QatEngine(unsigned ways) : ways_(ways) {
+  if (ways == 0 || ways > pbp::kMaxAobWays) {
+    throw std::invalid_argument("QatEngine: ways out of range");
+  }
+  regs_.assign(kNumQatRegs, Aob::zeros(ways));
+}
+
+void QatEngine::set_reg(unsigned r, const Aob& v) {
+  if (v.ways() != ways_) {
+    throw std::invalid_argument("QatEngine: wrong AoB size");
+  }
+  regs_[r & 0xffu] = v;
+}
+
+void QatEngine::zero(unsigned a) {
+  regs_[a & 0xffu] = Aob::zeros(ways_);
+  ++stats_.ops;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::one(unsigned a) {
+  regs_[a & 0xffu] = Aob::ones(ways_);
+  ++stats_.ops;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::had(unsigned a, unsigned k) {
+  regs_[a & 0xffu] = pbp::hadamard_generate(ways_, k);
+  ++stats_.ops;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::not_(unsigned a) {
+  regs_[a & 0xffu].invert();
+  ++stats_.ops;
+  ++stats_.reg_reads;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::cnot(unsigned a, unsigned b) {
+  regs_[a & 0xffu] ^= regs_[b & 0xffu];
+  ++stats_.ops;
+  stats_.reg_reads += 2;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::ccnot(unsigned a, unsigned b, unsigned c) {
+  regs_[a & 0xffu] ^= regs_[b & 0xffu] & regs_[c & 0xffu];
+  ++stats_.ops;
+  stats_.reg_reads += 3;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::swap(unsigned a, unsigned b) {
+  ++stats_.ops;
+  stats_.reg_reads += 2;
+  stats_.reg_writes += 2;
+  if ((a & 0xffu) == (b & 0xffu)) return;
+  Aob::swap_values(regs_[a & 0xffu], regs_[b & 0xffu]);
+}
+
+void QatEngine::cswap(unsigned a, unsigned b, unsigned c) {
+  ++stats_.ops;
+  stats_.reg_reads += 3;
+  stats_.reg_writes += 2;
+  if ((a & 0xffu) == (b & 0xffu)) return;
+  // Aliasing with the control is well-defined: the control is read once.
+  const Aob control = regs_[c & 0xffu];
+  Aob::cswap(regs_[a & 0xffu], regs_[b & 0xffu], control);
+}
+
+void QatEngine::and_(unsigned a, unsigned b, unsigned c) {
+  regs_[a & 0xffu] = regs_[b & 0xffu] & regs_[c & 0xffu];
+  ++stats_.ops;
+  stats_.reg_reads += 2;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::or_(unsigned a, unsigned b, unsigned c) {
+  regs_[a & 0xffu] = regs_[b & 0xffu] | regs_[c & 0xffu];
+  ++stats_.ops;
+  stats_.reg_reads += 2;
+  ++stats_.reg_writes;
+}
+
+void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
+  regs_[a & 0xffu] = regs_[b & 0xffu] ^ regs_[c & 0xffu];
+  ++stats_.ops;
+  stats_.reg_reads += 2;
+  ++stats_.reg_writes;
+}
+
+std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {
+  ++stats_.ops;
+  ++stats_.reg_reads;
+  return regs_[a & 0xffu].get(ch) ? 1 : 0;
+}
+
+std::uint16_t QatEngine::next(unsigned a, std::uint16_t ch) const {
+  ++stats_.ops;
+  ++stats_.reg_reads;
+  const auto r = regs_[a & 0xffu].next_one(ch);
+  return r ? static_cast<std::uint16_t>(*r) : 0;
+}
+
+std::uint16_t QatEngine::pop(unsigned a, std::uint16_t ch) const {
+  ++stats_.ops;
+  ++stats_.reg_reads;
+  return static_cast<std::uint16_t>(regs_[a & 0xffu].popcount_after(ch));
+}
+
+void QatEngine::execute(const Instr& i, std::uint16_t& d_value) {
+  switch (i.op) {
+    case Op::kQNot:
+      not_(i.qa);
+      break;
+    case Op::kQZero:
+      zero(i.qa);
+      break;
+    case Op::kQOne:
+      one(i.qa);
+      break;
+    case Op::kQHad:
+      had(i.qa, i.k);
+      break;
+    case Op::kQCnot:
+      cnot(i.qa, i.qb);
+      break;
+    case Op::kQSwap:
+      swap(i.qa, i.qb);
+      break;
+    case Op::kQAnd:
+      and_(i.qa, i.qb, i.qc);
+      break;
+    case Op::kQOr:
+      or_(i.qa, i.qb, i.qc);
+      break;
+    case Op::kQXor:
+      xor_(i.qa, i.qb, i.qc);
+      break;
+    case Op::kQCcnot:
+      ccnot(i.qa, i.qb, i.qc);
+      break;
+    case Op::kQCswap:
+      cswap(i.qa, i.qb, i.qc);
+      break;
+    case Op::kQMeas:
+      d_value = meas(i.qa, d_value);
+      break;
+    case Op::kQNext:
+      d_value = next(i.qa, d_value);
+      break;
+    case Op::kQPop:
+      d_value = pop(i.qa, d_value);
+      break;
+    default:
+      throw std::invalid_argument("QatEngine: not a Qat instruction");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural models.
+
+namespace {
+
+/// A power-of-two-sized bit vector for the Figure 8 halving network.
+struct BitVec {
+  std::vector<std::uint64_t> w;
+  std::size_t bits;
+
+  bool nonzero() const {
+    for (const auto x : w) {
+      if (x != 0) return true;
+    }
+    return false;
+  }
+  bool bit0() const { return w[0] & 1u; }
+
+  /// Split into halves (size is a power of two >= 2).
+  BitVec low_half() const {
+    BitVec r;
+    r.bits = bits / 2;
+    if (r.bits >= 64) {
+      r.w.assign(w.begin(), w.begin() + static_cast<long>(r.bits / 64));
+    } else {
+      r.w = {w[0] & ((std::uint64_t{1} << r.bits) - 1)};
+    }
+    return r;
+  }
+  BitVec high_half() const {
+    BitVec r;
+    r.bits = bits / 2;
+    if (r.bits >= 64) {
+      r.w.assign(w.begin() + static_cast<long>(r.bits / 64), w.end());
+    } else {
+      r.w = {(w[0] >> r.bits) & ((std::uint64_t{1} << r.bits) - 1)};
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::uint16_t QatEngine::next_structural(const Aob& aob, std::uint16_t s) {
+  const unsigned ways = aob.ways();
+  // Step 1 (Figure 8): {((aob[N-1:1] >> s) << s), 1'b0} — a barrel shifter
+  // pass clearing channels 0..s.
+  BitVec cur;
+  cur.bits = aob.bit_count();
+  cur.w.assign(aob.words().begin(), aob.words().end());
+  const std::size_t clear_through = (s & (aob.bit_count() - 1));
+  for (std::size_t i = 0; i <= clear_through; ++i) {
+    cur.w[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  // Step 2: recursive halving; each level emits one result bit.
+  std::uint16_t tr = 0;
+  for (int pow2 = static_cast<int>(ways) - 1; pow2 >= 1; --pow2) {
+    const BitVec low = cur.low_half();
+    if (low.nonzero()) {
+      cur = low;  // tr bit stays 0
+    } else {
+      tr |= static_cast<std::uint16_t>(1u << pow2);
+      cur = cur.high_half();
+    }
+  }
+  // Final 2-bit remnant: tr[0] = ~v[0]; r = v ? tr : 0.
+  if (!cur.bit0()) tr |= 1u;
+  return cur.nonzero() ? tr : 0;
+}
+
+Aob QatEngine::had_structural(unsigned ways, unsigned k) {
+  // Figure 7: for (i = 0; i < 2^WAYS; ++i) aob[i] = (i >> h) & 1 — evaluated
+  // channel-at-a-time, exactly as the generate loop instantiates wires.
+  Aob a(ways);
+  for (std::size_t i = 0; i < a.bit_count(); ++i) {
+    a.set(i, (i >> k) & 1u);
+  }
+  return a;
+}
+
+unsigned QatEngine::next_gate_delay(unsigned ways, unsigned or_fan_in) {
+  // Barrel shifter: one 2:1-mux level per shift-amount bit.
+  unsigned levels = ways;
+  // Halving network: each step ORs 2^pow2 bits to pick a half (plus the
+  // half-select mux).  A tree of fan-in-f OR gates over 2^k inputs is
+  // ceil(k / log2(f)) levels; or_fan_in == 0 models an ideal wide OR.
+  for (unsigned pow2 = ways - 1; pow2 >= 1; --pow2) {
+    unsigned or_levels = 1;
+    if (or_fan_in >= 2) {
+      unsigned log2f = 0;
+      while ((2u << log2f) <= or_fan_in) ++log2f;  // floor(log2(fan_in))
+      or_levels = (pow2 + log2f - 1) / log2f;
+    }
+    levels += or_levels + 1;  // OR tree + select mux
+  }
+  return levels + 1;  // final tr[0] inverter / zero mux
+}
+
+}  // namespace tangled

@@ -1,0 +1,92 @@
+// qat_engine.hpp — the Qat coprocessor datapath (paper §2.2–§2.7, §3).
+//
+// Qat holds 256 AoB registers (@0..@255), each 2^WAYS bits (the paper's
+// hardware uses WAYS = 16, i.e. 65,536-bit registers; the student projects
+// used WAYS = 8).  Qat has no memory interface: every value lives in the
+// register file.  All Table 3 operations are implemented, plus the `pop`
+// extension (§2.7 specifies it; the class projects omitted it).
+//
+// Two ALU models are provided for the operations the paper singles out as
+// "apparently difficult to implement" (§3.1):
+//   * behavioural — word-parallel C++ (what the synthesis tool would infer),
+//   * structural  — a bit-for-bit transliteration of the Figure 7/8 Verilog
+//     generate blocks, plus a gate-delay cost model reproducing the §3.3
+//     O(WAYS) vs O(WAYS^2) analysis.
+// tests/test_qat_engine.cpp proves the two models identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "pbp/aob.hpp"
+
+namespace tangled {
+
+/// Statistics a hardware counter block would expose.
+struct QatStats {
+  std::uint64_t ops = 0;            // Qat instructions executed
+  std::uint64_t reg_reads = 0;      // AoB register-file read ports used
+  std::uint64_t reg_writes = 0;     // AoB register-file write ports used
+};
+
+class QatEngine {
+ public:
+  /// ways in [1, kMaxAobWays]; the paper's hardware is 16, class projects 8.
+  explicit QatEngine(unsigned ways = 16);
+
+  unsigned ways() const { return ways_; }
+  std::size_t channels() const { return std::size_t{1} << ways_; }
+
+  const pbp::Aob& reg(unsigned r) const { return regs_[r & 0xffu]; }
+  void set_reg(unsigned r, const pbp::Aob& v);
+
+  // --- Table 3 operations (register-number interface). ---
+  void zero(unsigned a);
+  void one(unsigned a);
+  void had(unsigned a, unsigned k);
+  void not_(unsigned a);                       // Pauli-X
+  void cnot(unsigned a, unsigned b);           // @a ^= @b
+  void ccnot(unsigned a, unsigned b, unsigned c);  // Toffoli
+  void swap(unsigned a, unsigned b);
+  void cswap(unsigned a, unsigned b, unsigned c);  // Fredkin
+  void and_(unsigned a, unsigned b, unsigned c);   // @a = @b & @c
+  void or_(unsigned a, unsigned b, unsigned c);
+  void xor_(unsigned a, unsigned b, unsigned c);
+  /// meas $d,@a — returns @a[ch]; non-destructive.
+  std::uint16_t meas(unsigned a, std::uint16_t ch) const;
+  /// next $d,@a — lowest set channel strictly after ch, or 0 if none (the
+  /// ISA-level aliasing of "none" onto channel 0, §2.7).
+  std::uint16_t next(unsigned a, std::uint16_t ch) const;
+  /// pop $d,@a — count of set channels strictly after ch (§2.7 extension).
+  std::uint16_t pop(unsigned a, std::uint16_t ch) const;
+
+  /// Execute a decoded Qat instruction.  For meas/next/pop, `d_value` is the
+  /// Tangled register value in and the result out (mirroring the tight
+  /// coprocessor coupling: Tangled supplies and receives $d).
+  void execute(const Instr& i, std::uint16_t& d_value);
+
+  const QatStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  // --- Structural ALU models (Figures 7 and 8). ---
+  /// Figure 8's barrel-shift + recursive count-trailing-zeros network,
+  /// transliterated: step 1 clears channels 0..s, step 2 halves the vector
+  /// WAYS times, emitting one result bit per level.
+  static std::uint16_t next_structural(const pbp::Aob& aob, std::uint16_t s);
+  /// Figure 7's per-channel generator (aob[i] = bit k of i) evaluated
+  /// channel-at-a-time, exactly as the generate loop unrolls.
+  static pbp::Aob had_structural(unsigned ways, unsigned k);
+
+  /// §3.3 gate-delay model for the `next` network: levels of logic given
+  /// OR gates of fan-in `or_fan_in`.  Wide ORs give O(WAYS); 2-input ORs
+  /// give O(WAYS^2).
+  static unsigned next_gate_delay(unsigned ways, unsigned or_fan_in);
+
+ private:
+  unsigned ways_;
+  std::vector<pbp::Aob> regs_;
+  mutable QatStats stats_;
+};
+
+}  // namespace tangled

@@ -1,0 +1,102 @@
+#include "arch/qat_program.hpp"
+
+#include <stdexcept>
+
+#include "asm/assembler.hpp"
+
+namespace tangled {
+
+QatProgram compile_qat(const pbp::Circuit& c,
+                       std::span<const pbp::Circuit::Node> roots,
+                       const pbp::EmitOptions& opts) {
+  // Reuse the text emitter (the single implementation of register
+  // allocation), then assemble its output: the binary program is the exact
+  // instruction-level twin of the Figure 10-style listing, and this path
+  // cross-checks emitter and assembler against each other for free.
+  const pbp::EmitResult emitted = pbp::emit_qat(c, roots, opts);
+  const Program assembled = assemble(emitted.asm_text);
+
+  QatProgram out;
+  out.root_regs = emitted.root_regs;
+  out.registers_used = emitted.registers_used;
+  out.uses_constant_registers = opts.constant_registers;
+  std::size_t pc = 0;
+  while (pc < assembled.words.size()) {
+    const std::uint16_t w0 = assembled.words[pc];
+    const std::uint16_t w1 =
+        pc + 1 < assembled.words.size() ? assembled.words[pc + 1] : 0;
+    const Decoded dec = decode(w0, w1);
+    if (!is_qat(dec.instr.op)) {
+      throw std::runtime_error("compile_qat: emitter produced a non-Qat op");
+    }
+    out.instrs.push_back(dec.instr);
+    pc += dec.words;
+  }
+  return out;
+}
+
+void run_on(QatEngine& engine, const QatProgram& p) {
+  if (p.uses_constant_registers) {
+    engine.zero(0);
+    engine.one(1);
+    for (unsigned k = 0; k < engine.ways() && 2 + k < kNumQatRegs; ++k) {
+      engine.had(2 + k, k);
+    }
+  }
+  for (const Instr& i : p.instrs) {
+    std::uint16_t dummy = 0;
+    engine.execute(i, dummy);
+  }
+}
+
+void run_on(pbp::VirtualQat& engine, const QatProgram& p) {
+  if (p.uses_constant_registers) {
+    engine.zero(0);
+    engine.one(1);
+    for (unsigned k = 0; k < engine.ways() && 2 + k < 256; ++k) {
+      engine.had(2 + k, k);
+    }
+  }
+  for (const Instr& i : p.instrs) {
+    switch (i.op) {
+      case Op::kQNot:
+        engine.not_(i.qa);
+        break;
+      case Op::kQZero:
+        engine.zero(i.qa);
+        break;
+      case Op::kQOne:
+        engine.one(i.qa);
+        break;
+      case Op::kQHad:
+        engine.had(i.qa, i.k);
+        break;
+      case Op::kQCnot:
+        engine.cnot(i.qa, i.qb);
+        break;
+      case Op::kQSwap:
+        engine.swap(i.qa, i.qb);
+        break;
+      case Op::kQAnd:
+        engine.and_(i.qa, i.qb, i.qc);
+        break;
+      case Op::kQOr:
+        engine.or_(i.qa, i.qb, i.qc);
+        break;
+      case Op::kQXor:
+        engine.xor_(i.qa, i.qb, i.qc);
+        break;
+      case Op::kQCcnot:
+        engine.ccnot(i.qa, i.qb, i.qc);
+        break;
+      case Op::kQCswap:
+        engine.cswap(i.qa, i.qb, i.qc);
+        break;
+      default:
+        throw std::runtime_error(
+            "run_on(VirtualQat): measurement ops need a host CPU");
+    }
+  }
+}
+
+}  // namespace tangled

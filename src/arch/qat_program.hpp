@@ -1,0 +1,50 @@
+// qat_program.hpp — compiled Qat instruction streams, bridging the circuit
+// compiler (pbp/circuit.hpp) to execution engines.
+//
+// emit_qat() produces assembly *text* (Figure 10 style).  This layer
+// produces the same program as decoded instructions, ready to execute
+// directly on a coprocessor back end without the host CPU in the loop —
+// what a Tangled runtime library would hand to Qat, and the form in which
+// the §1.2 software layer would drive 65,536-bit hardware chunks for
+// high-entanglement values.
+//
+// Back ends: the hardware-model QatEngine (dense AoB registers) and the
+// compressed VirtualQat (RE registers, arbitrary ways).  Both execute the
+// identical instruction stream; tests/test_qat_program.cpp checks they
+// agree with direct circuit evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/qat_engine.hpp"
+#include "pbp/circuit.hpp"
+#include "pbp/virtual_qat.hpp"
+
+namespace tangled {
+
+/// A straight-line Qat program plus where each requested root value lives.
+struct QatProgram {
+  std::vector<Instr> instrs;
+  std::vector<std::uint8_t> root_regs;
+  unsigned registers_used = 0;
+  bool uses_constant_registers = false;
+};
+
+/// Compile the cone of `roots` to a Qat instruction stream (same register
+/// allocation options as pbp::emit_qat; kLinearScan recommended for big
+/// cones).  The returned program is the binary twin of the emitted text.
+QatProgram compile_qat(const pbp::Circuit& c,
+                       std::span<const pbp::Circuit::Node> roots,
+                       const pbp::EmitOptions& opts = {});
+
+/// Execute on the hardware-model engine (dense registers).  Programs
+/// compiled with constant_registers have @0=0, @1=1, @2+k=H(k) initialized
+/// first, mirroring the §5 reserved-register file.
+void run_on(QatEngine& engine, const QatProgram& p);
+
+/// Execute on the compressed software engine (any ways).
+void run_on(pbp::VirtualQat& engine, const QatProgram& p);
+
+}  // namespace tangled

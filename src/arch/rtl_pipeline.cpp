@@ -1,0 +1,256 @@
+#include "arch/rtl_pipeline.hpp"
+
+#include <algorithm>
+
+namespace tangled {
+
+void RtlPipelineSim::mark(std::uint64_t seq, std::uint64_t cycle, char stage) {
+  if (!trace_enabled_) return;
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->seq == seq) {
+      it->marks.emplace_back(cycle, stage);
+      return;
+    }
+  }
+}
+
+SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
+  stats_ = {};
+  console_.clear();
+  rows_.clear();
+
+  IfId ifid;
+  IdEx idex;
+  ExMem exmem;
+  MemWb memwb;
+
+  // Fetch state: a two-word instruction's first word, waiting for its second.
+  bool pending_valid = false;
+  std::uint16_t pending_w0 = 0;
+  std::uint16_t pending_pc = 0;
+  std::uint64_t pending_seq = 0;
+
+  std::uint64_t seq_counter = 0;
+  bool fetch_stopped = false;  // sys/invalid seen in EX: stop fetching
+  const std::uint64_t cycle_limit = max_instructions * 8 + 64;
+
+  std::uint64_t cycle = 0;
+  for (; cycle < cycle_limit; ++cycle) {
+    // ----- WB (first half: write-before-read register file) -----
+    if (memwb.valid) {
+      if (memwb.writes_reg) cpu_.set_reg(memwb.instr.d, memwb.value);
+      mark(memwb.seq, cycle, 'W');
+      ++stats_.instructions;
+      if (memwb.halt) {
+        cpu_.halted = true;
+        stats_.halted = true;
+        stats_.cycles = cycle + 1;
+        return stats_;
+      }
+      if (stats_.instructions >= max_instructions) {
+        stats_.cycles = cycle + 1;
+        return stats_;
+      }
+    }
+
+    // ----- MEM -----
+    MemWb new_memwb;
+    if (exmem.valid) {
+      const ExOut& o = exmem.out;
+      new_memwb.valid = true;
+      new_memwb.instr = exmem.instr;
+      new_memwb.writes_reg = o.writes_reg;
+      new_memwb.halt = o.halt;
+      new_memwb.seq = exmem.seq;
+      if (o.is_store) {
+        mem_.write(o.addr, o.store_data);
+        new_memwb.value = 0;
+      } else if (o.is_load) {
+        new_memwb.value = mem_.read(o.addr);
+      } else {
+        new_memwb.value = o.value;
+      }
+      mark(exmem.seq, cycle, 'M');
+    }
+
+    // ----- EX (with the forwarding network) -----
+    ExMem new_exmem;
+    bool flush = false;
+    std::uint16_t redirect_pc = 0;
+    bool halt_seen = false;
+    if (idex.valid) {
+      auto forwarded = [&](unsigned reg, std::uint16_t id_value,
+                           bool used) -> std::uint16_t {
+        if (!used) return id_value;
+        // EX hazard: the instruction one ahead (in MEM this cycle) — its
+        // ALU result was computed last cycle.  Loads have no data yet; the
+        // hazard unit guarantees we never need them here.
+        if (exmem.valid && exmem.out.writes_reg && !exmem.out.is_load &&
+            (exmem.instr.d & 15u) == (reg & 15u)) {
+          return exmem.out.value;
+        }
+        // MEM hazard: two ahead (in WB this cycle) — includes load data.
+        if (memwb.valid && memwb.writes_reg &&
+            (memwb.instr.d & 15u) == (reg & 15u)) {
+          return memwb.value;
+        }
+        return id_value;
+      };
+      const std::uint16_t dv =
+          forwarded(idex.instr.d, idex.dval, reads_d(idex.instr.op));
+      const std::uint16_t sv =
+          forwarded(idex.instr.s, idex.sval, reads_s(idex.instr.op));
+      const ExOut o =
+          exec_stage(idex.instr, idex.pc, idex.words, dv, sv, qat_);
+      new_exmem.valid = true;
+      new_exmem.instr = idex.instr;
+      new_exmem.out = o;
+      new_exmem.seq = idex.seq;
+      mark(idex.seq, cycle, 'X');
+      if (o.print) {
+        console_ += std::to_string(static_cast<std::int16_t>(o.print_value));
+        console_ += '\n';
+      }
+      if (o.taken) {
+        flush = true;
+        redirect_pc = o.target;
+        if (flush) ++stats_.taken_branches;
+      }
+      halt_seen = o.halt;
+    }
+
+    // ----- ID (hazard detection + register read) -----
+    IdEx new_idex;  // bubble unless filled
+    bool stall = false;
+    if (ifid.valid && !flush && !halt_seen) {
+      // Load-use: the instruction that just left for MEM is a load whose
+      // destination this instruction reads — its data arrives too late to
+      // forward into our EX next cycle.
+      const bool producer_is_load =
+          idex.valid && idex.instr.op == Op::kLoad;
+      const unsigned load_dest = idex.instr.d & 15u;
+      const bool uses_load =
+          producer_is_load &&
+          ((reads_d(ifid.instr.op) && (ifid.instr.d & 15u) == load_dest) ||
+           (reads_s(ifid.instr.op) && (ifid.instr.s & 15u) == load_dest));
+      if (uses_load) {
+        stall = true;
+        ++stats_.data_stall_cycles;
+        mark(ifid.seq, cycle, '-');
+      } else {
+        new_idex.valid = true;
+        new_idex.pc = ifid.pc;
+        new_idex.instr = ifid.instr;
+        new_idex.words = ifid.words;
+        new_idex.seq = ifid.seq;
+        // Register file read (WB already wrote this cycle).
+        new_idex.dval = cpu_.reg(ifid.instr.d);
+        new_idex.sval = cpu_.reg(ifid.instr.s);
+        mark(ifid.seq, cycle, 'D');
+      }
+    }
+
+    // ----- IF -----
+    IfId new_ifid = stall ? ifid : IfId{};
+    if (flush) {
+      // Squash the wrong path: the ID-stage instruction and any fetch in
+      // progress.  Count the two lost slots like the accounting model.
+      if (ifid.valid || pending_valid) stats_.flush_cycles += 1;
+      stats_.flush_cycles += 1;
+      pending_valid = false;
+      new_ifid = IfId{};
+      new_idex.valid = false;
+      cpu_.pc = redirect_pc;
+    } else if (halt_seen) {
+      fetch_stopped = true;
+      pending_valid = false;
+      new_ifid = IfId{};
+      new_idex.valid = new_idex.valid && false;
+    } else if (!stall && !fetch_stopped) {
+      if (pending_valid) {
+        // Second word of a two-word Qat instruction.
+        const std::uint16_t w1 = mem_.read(cpu_.pc);
+        cpu_.pc = static_cast<std::uint16_t>(cpu_.pc + 1);
+        const Decoded dec = decode(pending_w0, w1);
+        new_ifid.valid = true;
+        new_ifid.pc = pending_pc;
+        new_ifid.instr = dec.instr;
+        new_ifid.words = 2;
+        new_ifid.seq = pending_seq;
+        pending_valid = false;
+        ++stats_.fetch_extra_cycles;
+        mark(pending_seq, cycle, 'f');
+      } else {
+        const std::uint16_t w0 = mem_.read(cpu_.pc);
+        const Decoded peek = decode(w0, 0);
+        const std::uint64_t seq = seq_counter++;
+        if (trace_enabled_) {
+          // Row text is refined after full decode for two-word forms.
+          rows_.push_back({seq, "", {}});
+        }
+        if (peek.words == 2) {
+          pending_valid = true;
+          pending_w0 = w0;
+          pending_pc = cpu_.pc;
+          pending_seq = seq;
+          cpu_.pc = static_cast<std::uint16_t>(cpu_.pc + 1);
+          mark(seq, cycle, 'F');
+          // new_ifid stays a bubble this cycle.
+        } else {
+          new_ifid.valid = true;
+          new_ifid.pc = cpu_.pc;
+          new_ifid.instr = peek.instr;
+          new_ifid.words = 1;
+          new_ifid.seq = seq;
+          cpu_.pc = static_cast<std::uint16_t>(cpu_.pc + 1);
+          mark(seq, cycle, 'F');
+        }
+        // Two-word forms get their text once the second word arrives (the
+        // operand fields live in word 1).
+        if (trace_enabled_ && peek.words == 1) {
+          rows_.back().text = disassemble(peek.instr);
+        }
+      }
+    }
+    if (trace_enabled_ && new_ifid.valid) {
+      for (auto& row : rows_) {
+        if (row.seq == new_ifid.seq && row.text.empty()) {
+          row.text = disassemble(new_ifid.instr);
+        }
+      }
+    }
+
+    // ----- latch update -----
+    memwb = new_memwb;
+    exmem = new_exmem;
+    if (!stall) {
+      idex = new_idex;
+      ifid = new_ifid;
+    } else {
+      // Bubble into EX while ID holds.
+      idex = IdEx{};
+    }
+  }
+  stats_.cycles = cycle;
+  return stats_;
+}
+
+std::string RtlPipelineSim::diagram() const {
+  std::string out;
+  std::uint64_t max_cycle = 0;
+  for (const auto& row : rows_) {
+    for (const auto& [c, ch] : row.marks) max_cycle = std::max(max_cycle, c);
+  }
+  for (const auto& row : rows_) {
+    if (row.marks.empty()) continue;
+    std::string line(max_cycle + 1, '.');
+    for (const auto& [c, ch] : row.marks) line[c] = ch;
+    out += line;
+    out += "  ";
+    out += row.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tangled

@@ -1,0 +1,137 @@
+#include "arch/simulators.hpp"
+
+#include <algorithm>
+
+namespace tangled {
+
+SimStats SimBase::run(std::uint64_t max_instructions) {
+  stats_ = {};
+  console_.clear();
+  reset_timing();
+  while (!cpu_.halted && stats_.instructions < max_instructions) {
+    const std::uint16_t w0 = mem_.read(cpu_.pc);
+    const std::uint16_t w1 = mem_.read(static_cast<std::uint16_t>(cpu_.pc + 1));
+    const Decoded dec = decode(w0, w1);
+    ++coverage_[cpu_.pc];
+    const ExecResult exec =
+        execute_instr(cpu_, mem_, qat_, dec.instr, dec.words);
+    ++stats_.instructions;
+    if (exec.taken_branch) ++stats_.taken_branches;
+    if (exec.print) {
+      console_ +=
+          std::to_string(static_cast<std::int16_t>(exec.print_value));
+      console_ += '\n';
+    }
+    account(dec.instr, dec.words, exec);
+    cpu_.pc = exec.next_pc;
+  }
+  stats_.cycles += drain_cycles();
+  stats_.halted = cpu_.halted;
+  return stats_;
+}
+
+std::vector<std::uint16_t> SimBase::unexecuted(std::uint16_t limit) const {
+  // Walk instruction starts from address 0 (the linker model: code at 0,
+  // data after the final sys — a .word block would be reported as "code",
+  // so pass the code length, not the image length).
+  std::vector<std::uint16_t> out;
+  std::uint32_t pc = 0;
+  while (pc < limit) {
+    const std::uint16_t w0 = mem_.read(static_cast<std::uint16_t>(pc));
+    const std::uint16_t w1 = mem_.read(static_cast<std::uint16_t>(pc + 1));
+    const Decoded dec = decode(w0, w1);
+    if (coverage_[pc] == 0) out.push_back(static_cast<std::uint16_t>(pc));
+    pc += dec.words;
+  }
+  return out;
+}
+
+PipelineSim::PipelineSim(unsigned ways, PipelineConfig config)
+    : SimBase(ways), config_(config) {
+  if (config_.stages != 4 && config_.stages != 5) {
+    throw std::invalid_argument("PipelineSim: stages must be 4 or 5");
+  }
+}
+
+void PipelineSim::account(const Instr& i, unsigned words,
+                          const ExecResult& exec) {
+  // Stage plan (5-stage): IF [F .. F+words-1], ID at D, EX at E,
+  // MEM at E+1, WB at E+2.  The 4-stage variant folds MEM into EX
+  // (IF ID EX/MEM WB): WB at E+1, loads forward like ALU results.
+  const std::uint64_t fetch_start = fetch_time_;
+  const std::uint64_t fetch_end = fetch_start + words - 1;
+  if (words > 1) stats_.fetch_extra_cycles += words - 1;
+
+  std::uint64_t decode_at = fetch_end + 1;
+  if (!first_) decode_at = std::max(decode_at, last_decode_ + 1);
+
+  std::uint64_t ex_at = decode_at + 1;
+  if (!first_) ex_at = std::max(ex_at, last_ex_ + 1);
+
+  // Operand interlocks: every Tangled register the instruction reads must be
+  // ready at EX.  (Qat registers never interlock: the coprocessor register
+  // file is read and written in EX only, in program order.)
+  std::uint64_t ready_needed = 0;
+  if (reads_d(i.op)) ready_needed = std::max(ready_needed, reg_ready_[i.d & 15u]);
+  if (reads_s(i.op)) ready_needed = std::max(ready_needed, reg_ready_[i.s & 15u]);
+  if (ready_needed > ex_at) {
+    stats_.data_stall_cycles += ready_needed - ex_at;
+    ex_at = ready_needed;
+  }
+
+  // Writeback scheduling / forwarding distance.
+  if (writes_tangled_reg(i.op)) {
+    std::uint64_t ready;
+    const bool is_load = i.op == Op::kLoad;
+    if (config_.forwarding) {
+      // ALU/Qat results forward from the end of EX; loads from the end of
+      // MEM (one bubble for a dependent successor in the 5-stage pipe).
+      ready = ex_at + 1;
+      if (is_load && config_.stages == 5) ready = ex_at + 2;
+    } else {
+      // Value visible only after WB writes the register file.
+      ready = ex_at + (config_.stages == 5 ? 3 : 2);
+    }
+    reg_ready_[i.d & 15u] = ready;
+  }
+
+  // Next fetch: sequential fall-through, or redirect after EX resolves a
+  // taken branch (squashing the wrong-path fetch slots).  The IF/ID buffer
+  // is one deep, so while this instruction waits out a data interlock it
+  // occupies the buffer and IF holds: the successor cannot begin fetching
+  // before this instruction enters ID (= its EX cycle minus one).  The
+  // latch-level model (rtl_pipeline.cpp) exhibits exactly this, and the two
+  // are verified cycle-identical in tests/test_rtl_pipeline.cpp.
+  std::uint64_t next_fetch = std::max(fetch_end + 1, ex_at - 1);
+  if (exec.taken_branch) {
+    const std::uint64_t redirect = ex_at + 1;
+    if (redirect > next_fetch) {
+      stats_.flush_cycles += redirect - next_fetch;
+      next_fetch = redirect;
+    }
+  }
+
+  fetch_time_ = next_fetch;
+  last_decode_ = decode_at;
+  last_ex_ = ex_at;
+  first_ = false;
+
+  // Completion time of this instruction (WB end, 0-based -> count).
+  const std::uint64_t wb = ex_at + (config_.stages == 5 ? 2 : 1);
+  stats_.cycles = std::max(stats_.cycles, wb + 1);
+}
+
+std::uint64_t PipelineSim::drain_cycles() const {
+  // stats_.cycles already tracks the last writeback; nothing extra to add.
+  return 0;
+}
+
+void PipelineSim::reset_timing() {
+  reg_ready_.fill(0);
+  fetch_time_ = 0;
+  last_decode_ = 0;
+  last_ex_ = 0;
+  first_ = true;
+}
+
+}  // namespace tangled

@@ -1,0 +1,156 @@
+// simulators.hpp — the three Tangled/Qat implementations the paper's course
+// sequence built (§1.3, §3): single-cycle (Figure 6), multi-cycle, and
+// pipelined (4- or 5-stage, with forwarding and interlocks).
+//
+// All three share architectural semantics (cpu.hpp); they differ only in the
+// cycle accounting a Verilog implementation would exhibit:
+//
+//   * FunctionalSim  — one instruction per cycle, period (the single-cycle
+//     datapath: CPI == 1 by construction, clock period pays for everything).
+//   * MultiCycleSim  — a FETCH/FETCH2/DECODE/EX/MEM/WB state machine; every
+//     instruction takes 4 cycles plus one per extra fetch word and one for a
+//     memory access.
+//   * PipelineSim    — in-order single-issue pipeline, configurable 4 or 5
+//     stages and forwarding on/off, modelling exactly the hazards §3.1 says
+//     the student teams wrestled with: data interlocks, taken-branch
+//     flushes, and the two-word Qat fetch.
+//
+// PipelineSim uses exact cycle accounting (a scoreboard of register-ready
+// times) rather than latch-level simulation; for an in-order single-issue
+// pipeline the two are cycle-identical, and the accounting form cannot
+// deadlock or mis-forward.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cpu.hpp"
+#include "asm/assembler.hpp"
+
+namespace tangled {
+
+struct SimStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t taken_branches = 0;
+  // Pipeline-only detail:
+  std::uint64_t data_stall_cycles = 0;   // operand-not-ready interlocks
+  std::uint64_t flush_cycles = 0;        // taken-branch squashes
+  std::uint64_t fetch_extra_cycles = 0;  // second words of Qat instructions
+  bool halted = false;
+
+  double cpi() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// Common machinery: memory + CPU + Qat coprocessor + fetch/decode loop.
+class SimBase {
+ public:
+  explicit SimBase(unsigned ways = 16) : qat_(ways) {}
+  virtual ~SimBase() = default;
+
+  void load(const Program& p) { mem_.load(p.words); }
+  void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }
+
+  /// Run until sys/invalid or max_instructions; returns the statistics.
+  SimStats run(std::uint64_t max_instructions = 1'000'000);
+
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  Memory& memory() { return mem_; }
+  QatEngine& qat() { return qat_; }
+  const SimStats& stats() const { return stats_; }
+
+  /// Text emitted by `sys $r` console services during run().
+  const std::string& console() const { return console_; }
+
+  /// Per-address execution counts (homage to the Covered tool the course
+  /// used: student testing had to reach 100% line coverage, §4).
+  std::uint64_t execution_count(std::uint16_t pc) const {
+    return pc < coverage_.size() ? coverage_[pc] : 0;
+  }
+  /// Instruction-start addresses in [0, limit) never executed by any run()
+  /// since construction.  `limit` is typically the program's word count.
+  std::vector<std::uint16_t> unexecuted(std::uint16_t limit) const;
+
+ protected:
+  /// Timing hook: account cycles for one instruction.  `exec` carries the
+  /// control-flow outcome; `i` the decoded instruction; `words` its length.
+  virtual void account(const Instr& i, unsigned words,
+                       const ExecResult& exec) = 0;
+  /// Cycles consumed after the last instruction (pipeline drain).
+  virtual std::uint64_t drain_cycles() const { return 0; }
+  /// Clear model-internal timing state at the start of each run().
+  virtual void reset_timing() {}
+
+  Memory mem_;
+  CpuState cpu_;
+  QatEngine qat_;
+  SimStats stats_;
+  std::string console_;
+  std::vector<std::uint64_t> coverage_ = std::vector<std::uint64_t>(65536, 0);
+};
+
+/// Single-cycle implementation (Figure 6): every instruction, including the
+/// two-word Qat forms (fetched through a dual-ported instruction path),
+/// completes in one long cycle.
+class FunctionalSim : public SimBase {
+ public:
+  using SimBase::SimBase;
+
+ protected:
+  void account(const Instr&, unsigned, const ExecResult&) override {
+    ++stats_.cycles;
+  }
+};
+
+/// Multi-cycle state machine: FETCH, FETCH2 (two-word Qat), DECODE, EX,
+/// MEM (load/store only), WB.
+class MultiCycleSim : public SimBase {
+ public:
+  using SimBase::SimBase;
+
+ protected:
+  void account(const Instr& i, unsigned words, const ExecResult&) override {
+    std::uint64_t c = 4;  // FETCH, DECODE, EX, WB
+    if (words > 1) {
+      c += words - 1;
+      stats_.fetch_extra_cycles += words - 1;
+    }
+    if (i.op == Op::kLoad || i.op == Op::kStore) c += 1;  // MEM
+    stats_.cycles += c;
+  }
+};
+
+struct PipelineConfig {
+  unsigned stages = 5;     // 4 or 5 (six of eight teams used 4, two used 5)
+  bool forwarding = true;  // full EX->EX / MEM->EX bypass network
+};
+
+/// In-order pipelined implementation with exact hazard accounting.
+class PipelineSim : public SimBase {
+ public:
+  explicit PipelineSim(unsigned ways = 16, PipelineConfig config = {});
+
+  const PipelineConfig& config() const { return config_; }
+
+ protected:
+  void account(const Instr& i, unsigned words, const ExecResult& exec) override;
+  std::uint64_t drain_cycles() const override;
+  void reset_timing() override;
+
+ private:
+  PipelineConfig config_;
+  // Scoreboard: absolute cycle at which each register's value can feed EX.
+  std::array<std::uint64_t, kNumRegs> reg_ready_{};
+  std::uint64_t fetch_time_ = 0;  // cycle the next IF may start
+  std::uint64_t last_decode_ = 0;
+  std::uint64_t last_ex_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace tangled

@@ -1,0 +1,604 @@
+#include "asm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace tangled {
+namespace {
+
+struct Line {
+  std::size_t number = 0;          // 1-based source line
+  std::string label;               // without ':'
+  std::string mnemonic;            // lowercase
+  std::vector<std::string> operands;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool is_ident(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' &&
+      s[0] != '.') {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '.';
+  });
+}
+
+std::vector<Line> parse_lines(const std::string& source) {
+  std::vector<Line> out;
+  std::istringstream in(source);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    // Strip comment.
+    if (const auto pos = raw.find(';'); pos != std::string::npos) {
+      raw.resize(pos);
+    }
+    std::string text = trim(raw);
+    if (text.empty()) continue;
+    Line line;
+    line.number = number;
+    // Constant definition: `name = value` (an equ).  Encoded as the pseudo
+    // mnemonic "=" with the name as first operand.
+    if (const auto eq = text.find('='); eq != std::string::npos &&
+                                        text.find(':') == std::string::npos) {
+      const std::string name = trim(text.substr(0, eq));
+      const std::string value = trim(text.substr(eq + 1));
+      if (!is_ident(name) || value.empty()) {
+        throw AsmError(number, "bad constant definition");
+      }
+      line.mnemonic = "=";
+      line.operands = {name, value};
+      out.push_back(line);
+      continue;
+    }
+    // Leading label(s).
+    while (true) {
+      const auto colon = text.find(':');
+      if (colon == std::string::npos) break;
+      const std::string head = trim(text.substr(0, colon));
+      if (!is_ident(head)) {
+        throw AsmError(number, "bad label '" + head + "'");
+      }
+      if (!line.label.empty()) {
+        // Multiple labels on one line: emit a label-only line for the first.
+        Line only;
+        only.number = number;
+        only.label = line.label;
+        out.push_back(only);
+      }
+      line.label = head;
+      text = trim(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      // mnemonic [operands]
+      const auto sp = text.find_first_of(" \t");
+      line.mnemonic = lower(text.substr(0, sp));
+      if (sp != std::string::npos) {
+        std::string ops = text.substr(sp + 1);
+        std::string cur;
+        for (const char c : ops) {
+          if (c == ',') {
+            line.operands.push_back(trim(cur));
+            cur.clear();
+          } else {
+            cur += c;
+          }
+        }
+        if (!trim(cur).empty()) line.operands.push_back(trim(cur));
+        for (const auto& o : line.operands) {
+          if (o.empty()) throw AsmError(number, "empty operand");
+        }
+      }
+    }
+    if (!line.label.empty() || !line.mnemonic.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+std::optional<long> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    i = 1;
+  }
+  if (i >= s.size()) return std::nullopt;
+  long v = 0;
+  if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (std::size_t j = i + 2; j < s.size(); ++j) {
+      const char c = static_cast<char>(std::tolower(s[j]));
+      if (c >= '0' && c <= '9') {
+        v = v * 16 + (c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v = v * 16 + (c - 'a' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+  } else {
+    for (std::size_t j = i; j < s.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(s[j]))) return std::nullopt;
+      v = v * 10 + (s[j] - '0');
+    }
+  }
+  return negative ? -v : v;
+}
+
+/// How a source statement maps to machine instructions.
+enum class Form {
+  kOpr2,      // op $d,$s
+  kOpr1,      // op $d
+  kSys,       // sys
+  kBranch,    // brf/brt $c,target
+  kImm,       // lex/lhi $d,imm8
+  kQat1,      // op @a
+  kQatHad,    // had @a,imm4
+  kQat2,      // op @a,@b
+  kQat3,      // op @a,@b,@c
+  kQatMeas,   // meas/next/pop $d,@a
+  kMacroBr,   // br lab
+  kMacroJump, // jump lab
+  kMacroJumpf,
+  kMacroJumpt,
+  kMacroLi,   // li $d,imm16
+  kWord,      // .word
+  kSpace,     // .space n — n zero words
+  kOrigin,    // .origin addr — pad with zeros to addr
+  kEqu,       // name = value
+};
+
+struct Stmt {
+  Form form;
+  Op op = Op::kInvalid;
+};
+
+/// Resolve the statement form from mnemonic + operand sigils.  The and/or/
+/// xor/not mnemonics exist in both Tables 1 and 3; the first operand's sigil
+/// selects the unit, exactly as the opcode does in hardware.
+std::optional<Stmt> classify(const Line& line) {
+  const std::string& m = line.mnemonic;
+  const bool qat_first =
+      !line.operands.empty() && line.operands[0].size() > 1 &&
+      line.operands[0][0] == '@';
+  if (m == "add") return Stmt{Form::kOpr2, Op::kAdd};
+  if (m == "addf") return Stmt{Form::kOpr2, Op::kAddf};
+  if (m == "and" && !qat_first) return Stmt{Form::kOpr2, Op::kAnd};
+  if (m == "and") return Stmt{Form::kQat3, Op::kQAnd};
+  if (m == "brf") return Stmt{Form::kBranch, Op::kBrf};
+  if (m == "brt") return Stmt{Form::kBranch, Op::kBrt};
+  if (m == "copy") return Stmt{Form::kOpr2, Op::kCopy};
+  if (m == "float") return Stmt{Form::kOpr1, Op::kFloat};
+  if (m == "int") return Stmt{Form::kOpr1, Op::kInt};
+  if (m == "jumpr") return Stmt{Form::kOpr1, Op::kJumpr};
+  if (m == "lex") return Stmt{Form::kImm, Op::kLex};
+  if (m == "lhi") return Stmt{Form::kImm, Op::kLhi};
+  if (m == "load") return Stmt{Form::kOpr2, Op::kLoad};
+  if (m == "mul") return Stmt{Form::kOpr2, Op::kMul};
+  if (m == "mulf") return Stmt{Form::kOpr2, Op::kMulf};
+  if (m == "neg") return Stmt{Form::kOpr1, Op::kNeg};
+  if (m == "negf") return Stmt{Form::kOpr1, Op::kNegf};
+  if (m == "not" && !qat_first) return Stmt{Form::kOpr1, Op::kNot};
+  if (m == "not") return Stmt{Form::kQat1, Op::kQNot};
+  if (m == "or" && !qat_first) return Stmt{Form::kOpr2, Op::kOr};
+  if (m == "or") return Stmt{Form::kQat3, Op::kQOr};
+  if (m == "recip") return Stmt{Form::kOpr1, Op::kRecip};
+  if (m == "shift") return Stmt{Form::kOpr2, Op::kShift};
+  if (m == "slt") return Stmt{Form::kOpr2, Op::kSlt};
+  if (m == "store") return Stmt{Form::kOpr2, Op::kStore};
+  if (m == "sys") return Stmt{Form::kSys, Op::kSys};
+  if (m == "xor" && !qat_first) return Stmt{Form::kOpr2, Op::kXor};
+  if (m == "xor") return Stmt{Form::kQat3, Op::kQXor};
+  if (m == "zero") return Stmt{Form::kQat1, Op::kQZero};
+  if (m == "one") return Stmt{Form::kQat1, Op::kQOne};
+  if (m == "had") return Stmt{Form::kQatHad, Op::kQHad};
+  if (m == "cnot") return Stmt{Form::kQat2, Op::kQCnot};
+  if (m == "swap") return Stmt{Form::kQat2, Op::kQSwap};
+  if (m == "ccnot") return Stmt{Form::kQat3, Op::kQCcnot};
+  if (m == "cswap") return Stmt{Form::kQat3, Op::kQCswap};
+  if (m == "meas") return Stmt{Form::kQatMeas, Op::kQMeas};
+  if (m == "next") return Stmt{Form::kQatMeas, Op::kQNext};
+  if (m == "pop") return Stmt{Form::kQatMeas, Op::kQPop};
+  if (m == "br") return Stmt{Form::kMacroBr};
+  if (m == "jump") return Stmt{Form::kMacroJump};
+  if (m == "jumpf") return Stmt{Form::kMacroJumpf};
+  if (m == "jumpt") return Stmt{Form::kMacroJumpt};
+  if (m == "li") return Stmt{Form::kMacroLi};
+  if (m == ".word") return Stmt{Form::kWord};
+  if (m == ".space") return Stmt{Form::kSpace};
+  if (m == ".origin") return Stmt{Form::kOrigin};
+  if (m == "=") return Stmt{Form::kEqu};
+  return std::nullopt;
+}
+
+/// Words a statement occupies in memory (fixed, so pass 1 can place labels).
+std::size_t stmt_words(const Stmt& s) {
+  switch (s.form) {
+    case Form::kOpr2:
+    case Form::kOpr1:
+    case Form::kSys:
+    case Form::kBranch:
+    case Form::kImm:
+    case Form::kQat1:
+    case Form::kWord:
+      return 1;
+    case Form::kQatHad:
+    case Form::kQat2:
+    case Form::kQat3:
+    case Form::kQatMeas:
+      return 2;
+    case Form::kMacroBr:
+      return 2;  // lex $at,1 ; brt $at,lab
+    case Form::kMacroLi:
+      return 2;  // lex ; lhi
+    case Form::kMacroJump:
+      return 3;  // li(2) ; jumpr
+    case Form::kMacroJumpf:
+    case Form::kMacroJumpt:
+      return 4;  // branch-over ; jump(3)
+    case Form::kSpace:
+    case Form::kOrigin:
+    case Form::kEqu:
+      return 0;  // sized by place_labels (value-dependent / no output)
+  }
+  return 1;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const std::string& source) : lines_(parse_lines(source)) {}
+
+  Program run() {
+    place_labels();
+    emit_all();
+    return std::move(program_);
+  }
+
+ private:
+  void place_labels() {
+    std::size_t pc = 0;
+    for (const Line& line : lines_) {
+      if (!line.label.empty()) {
+        if (program_.labels.count(line.label)) {
+          throw AsmError(line.number, "duplicate label '" + line.label + "'");
+        }
+        program_.labels[line.label] = static_cast<std::uint16_t>(pc);
+      }
+      if (line.mnemonic.empty()) continue;
+      const auto stmt = classify(line);
+      if (!stmt) {
+        throw AsmError(line.number,
+                       "unknown instruction '" + line.mnemonic + "'");
+      }
+      switch (stmt->form) {
+        case Form::kEqu: {
+          // Constants must be resolvable in pass 1 (no forward references).
+          if (program_.labels.count(line.operands[0])) {
+            throw AsmError(line.number,
+                           "duplicate symbol '" + line.operands[0] + "'");
+          }
+          program_.labels[line.operands[0]] =
+              static_cast<std::uint16_t>(early_value(line, 1));
+          break;
+        }
+        case Form::kSpace:
+          pc += static_cast<std::size_t>(early_value(line, 0));
+          break;
+        case Form::kOrigin: {
+          const long target = early_value(line, 0);
+          if (target < static_cast<long>(pc)) {
+            throw AsmError(line.number, ".origin moves backwards");
+          }
+          pc = static_cast<std::size_t>(target);
+          break;
+        }
+        default:
+          pc += stmt_words(*stmt);
+          break;
+      }
+      if (pc > 0x10000) throw AsmError(line.number, "program too large");
+    }
+  }
+
+  /// Pass-1 evaluation: integers or already-defined symbols only.
+  long early_value(const Line& line, std::size_t idx) const {
+    if (idx >= line.operands.size()) {
+      throw AsmError(line.number, "missing operand");
+    }
+    const std::string& s = line.operands[idx];
+    if (const auto v = parse_int(s)) return *v;
+    if (const auto it = program_.labels.find(s); it != program_.labels.end()) {
+      return it->second;
+    }
+    throw AsmError(line.number,
+                   "symbol '" + s + "' must be defined before use here");
+  }
+
+  unsigned need_reg(const Line& line, std::size_t idx) const {
+    if (idx >= line.operands.size()) {
+      throw AsmError(line.number, "missing register operand");
+    }
+    const auto r = parse_reg(line.operands[idx]);
+    if (!r) {
+      throw AsmError(line.number,
+                     "bad register '" + line.operands[idx] + "'");
+    }
+    return *r;
+  }
+
+  unsigned need_qreg(const Line& line, std::size_t idx) const {
+    if (idx >= line.operands.size()) {
+      throw AsmError(line.number, "missing Qat register operand");
+    }
+    const std::string& s = line.operands[idx];
+    if (s.size() < 2 || s[0] != '@') {
+      throw AsmError(line.number, "bad Qat register '" + s + "'");
+    }
+    const auto v = parse_int(s.substr(1));
+    if (!v || *v < 0 || *v >= static_cast<long>(kNumQatRegs)) {
+      throw AsmError(line.number, "bad Qat register '" + s + "'");
+    }
+    return static_cast<unsigned>(*v);
+  }
+
+  long need_value(const Line& line, std::size_t idx) const {
+    if (idx >= line.operands.size()) {
+      throw AsmError(line.number, "missing operand");
+    }
+    const std::string& s = line.operands[idx];
+    if (const auto v = parse_int(s)) return *v;
+    if (const auto it = program_.labels.find(s); it != program_.labels.end()) {
+      return it->second;
+    }
+    throw AsmError(line.number, "undefined symbol '" + s + "'");
+  }
+
+  void expect_operands(const Line& line, std::size_t n) const {
+    if (line.operands.size() != n) {
+      throw AsmError(line.number,
+                     "expected " + std::to_string(n) + " operand(s), got " +
+                         std::to_string(line.operands.size()));
+    }
+  }
+
+  void push_instr(const Instr& i) {
+    std::uint16_t w[2];
+    const unsigned n = encode(i, w);
+    for (unsigned j = 0; j < n; ++j) program_.words.push_back(w[j]);
+    ++program_.instruction_count;
+  }
+
+  std::int16_t branch_offset(const Line& line, long target) const {
+    // PC-relative from the word after the branch.
+    const long off = target - (static_cast<long>(program_.words.size()) + 1);
+    if (off < -128 || off > 127) {
+      throw AsmError(line.number,
+                     "branch target out of range (offset " +
+                         std::to_string(off) + "); use jumpt/jumpf");
+    }
+    return static_cast<std::int16_t>(off);
+  }
+
+  void emit_li(unsigned d, long value) {
+    const std::uint16_t v = static_cast<std::uint16_t>(value);
+    Instr lex{Op::kLex, static_cast<std::uint8_t>(d), 0,
+              static_cast<std::int16_t>(static_cast<std::int8_t>(v & 0xff)),
+              0, 0, 0, 0};
+    push_instr(lex);
+    Instr lhi{Op::kLhi, static_cast<std::uint8_t>(d), 0,
+              static_cast<std::int16_t>(v >> 8), 0, 0, 0, 0};
+    push_instr(lhi);
+  }
+
+  void emit_jump(long target) {
+    emit_li(kRegAt, target);
+    Instr jr{};
+    jr.op = Op::kJumpr;
+    jr.d = kRegAt;
+    push_instr(jr);
+  }
+
+  void emit_all() {
+    for (const Line& line : lines_) {
+      if (line.mnemonic.empty()) continue;
+      const Stmt stmt = *classify(line);
+      Instr i{};
+      i.op = stmt.op;
+      switch (stmt.form) {
+        case Form::kOpr2:
+          expect_operands(line, 2);
+          i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          i.s = static_cast<std::uint8_t>(need_reg(line, 1));
+          push_instr(i);
+          break;
+        case Form::kOpr1:
+          expect_operands(line, 1);
+          i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          push_instr(i);
+          break;
+        case Form::kSys:
+          // `sys` halts; `sys $r` prints $r (console service, $0 reserved
+          // for halt since plain sys encodes d = 0).
+          if (line.operands.size() > 1) {
+            throw AsmError(line.number, "sys takes at most one register");
+          }
+          if (line.operands.size() == 1) {
+            i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+            if (i.d == 0) {
+              throw AsmError(line.number,
+                             "sys $0 is the halt encoding; print another "
+                             "register");
+            }
+          }
+          push_instr(i);
+          break;
+        case Form::kBranch: {
+          expect_operands(line, 2);
+          i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          i.imm = branch_offset(line, need_value(line, 1));
+          push_instr(i);
+          break;
+        }
+        case Form::kImm: {
+          expect_operands(line, 2);
+          i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          const long v = need_value(line, 1);
+          if (stmt.op == Op::kLex) {
+            if (v < -128 || v > 255) {
+              throw AsmError(line.number, "lex immediate out of range");
+            }
+            i.imm = static_cast<std::int16_t>(
+                static_cast<std::int8_t>(v & 0xff));
+          } else {
+            if (v < 0 || v > 255) {
+              throw AsmError(line.number, "lhi immediate out of range");
+            }
+            i.imm = static_cast<std::int16_t>(v);
+          }
+          push_instr(i);
+          break;
+        }
+        case Form::kQat1:
+          expect_operands(line, 1);
+          i.qa = static_cast<std::uint8_t>(need_qreg(line, 0));
+          push_instr(i);
+          break;
+        case Form::kQatHad: {
+          expect_operands(line, 2);
+          i.qa = static_cast<std::uint8_t>(need_qreg(line, 0));
+          const long k = need_value(line, 1);
+          if (k < 0 || k > 15) {
+            throw AsmError(line.number, "had index out of range (0..15)");
+          }
+          i.k = static_cast<std::uint8_t>(k);
+          push_instr(i);
+          break;
+        }
+        case Form::kQat2:
+          expect_operands(line, 2);
+          i.qa = static_cast<std::uint8_t>(need_qreg(line, 0));
+          i.qb = static_cast<std::uint8_t>(need_qreg(line, 1));
+          push_instr(i);
+          break;
+        case Form::kQat3:
+          expect_operands(line, 3);
+          i.qa = static_cast<std::uint8_t>(need_qreg(line, 0));
+          i.qb = static_cast<std::uint8_t>(need_qreg(line, 1));
+          i.qc = static_cast<std::uint8_t>(need_qreg(line, 2));
+          push_instr(i);
+          break;
+        case Form::kQatMeas:
+          expect_operands(line, 2);
+          i.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          i.qa = static_cast<std::uint8_t>(need_qreg(line, 1));
+          push_instr(i);
+          break;
+        case Form::kMacroBr: {
+          expect_operands(line, 1);
+          // lex $at,1 ; brt $at,target — unconditional via a known-true reg.
+          Instr lex{};
+          lex.op = Op::kLex;
+          lex.d = kRegAt;
+          lex.imm = 1;
+          push_instr(lex);
+          Instr brt{};
+          brt.op = Op::kBrt;
+          brt.d = kRegAt;
+          brt.imm = branch_offset(line, need_value(line, 0));
+          push_instr(brt);
+          break;
+        }
+        case Form::kMacroJump:
+          expect_operands(line, 1);
+          emit_jump(need_value(line, 0));
+          break;
+        case Form::kMacroJumpf:
+        case Form::kMacroJumpt: {
+          expect_operands(line, 2);
+          // Branch over the 3-word jump when the condition does NOT call
+          // for it, then jump.
+          Instr over{};
+          over.op = stmt.form == Form::kMacroJumpf ? Op::kBrt : Op::kBrf;
+          over.d = static_cast<std::uint8_t>(need_reg(line, 0));
+          over.imm = 3;
+          push_instr(over);
+          emit_jump(need_value(line, 1));
+          break;
+        }
+        case Form::kMacroLi:
+          expect_operands(line, 2);
+          emit_li(need_reg(line, 0), need_value(line, 1));
+          break;
+        case Form::kWord: {
+          expect_operands(line, 1);
+          const long v = need_value(line, 0);
+          if (v < -32768 || v > 65535) {
+            throw AsmError(line.number, ".word value out of range");
+          }
+          program_.words.push_back(static_cast<std::uint16_t>(v));
+          break;
+        }
+        case Form::kSpace: {
+          expect_operands(line, 1);
+          const long n = need_value(line, 0);
+          program_.words.insert(program_.words.end(),
+                                static_cast<std::size_t>(n), 0);
+          break;
+        }
+        case Form::kOrigin: {
+          expect_operands(line, 1);
+          const auto target = static_cast<std::size_t>(need_value(line, 0));
+          program_.words.resize(target, 0);
+          break;
+        }
+        case Form::kEqu:
+          break;  // defined in pass 1
+      }
+    }
+  }
+
+  std::vector<Line> lines_;
+  Program program_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) { return Assembler(source).run(); }
+
+std::string disassemble_words(const std::vector<std::uint16_t>& words,
+                              std::size_t max_words) {
+  std::string out;
+  const std::size_t limit = std::min(max_words, words.size());
+  std::size_t pc = 0;
+  while (pc < limit) {
+    const std::uint16_t w0 = words[pc];
+    const std::uint16_t w1 = pc + 1 < words.size() ? words[pc + 1] : 0;
+    const Decoded d = decode(w0, w1);
+    out += std::to_string(pc);
+    out += ":\t";
+    out += disassemble(d.instr);
+    out += '\n';
+    pc += d.words;
+  }
+  return out;
+}
+
+}  // namespace tangled

@@ -1,0 +1,59 @@
+// assembler.hpp — two-pass assembler for Tangled/Qat assembly source.
+//
+// Plays the role AIK (the Assembler Interpreter from Kentucky) played in the
+// paper's course projects.  Accepts the exact syntax of the paper's listings
+// (Figure 10, §2.7's worked example), including:
+//
+//   * labels (`loop:`), `;` comments
+//   * Tangled forms (`add $d,$s`, `lex $d,imm8`, ...) per Table 1
+//   * Qat forms (`and @a,@b,@c`, `had @a,k`, `meas $d,@a`, ...) per Table 3
+//     — mnemonics shared with Tangled (and/or/xor/not) disambiguate by the
+//     first operand's sigil, as the fetch/decode hardware does by opcode
+//   * Table 2 pseudo-instructions expanded as macros:
+//       br lab            →  lex $at,1 ; brt $at,lab
+//       jump lab          →  li $at,lab ; jumpr $at
+//       jumpf $c,lab      →  brt $c,+skip ; jump lab
+//       jumpt $c,lab      →  brf $c,+skip ; jump lab
+//       li $d,imm16       →  lex $d,low8 ; lhi $d,high8
+//   * `.word value` data directive
+//
+// Branch targets must be within the signed-8-bit PC-relative range;
+// assembly errors carry 1-based line numbers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace tangled {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Program {
+  std::vector<std::uint16_t> words;                    // memory image, word 0 = PC 0
+  std::unordered_map<std::string, std::uint16_t> labels;
+  std::size_t instruction_count = 0;                   // after macro expansion
+};
+
+/// Assemble `source`; throws AsmError on the first problem.
+Program assemble(const std::string& source);
+
+/// Disassemble a memory image into one line per instruction (for the CLI and
+/// round-trip tests).  Stops at `max_words` or the end of the image.
+std::string disassemble_words(const std::vector<std::uint16_t>& words,
+                              std::size_t max_words = SIZE_MAX);
+
+}  // namespace tangled

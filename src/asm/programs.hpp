@@ -1,0 +1,14 @@
+// programs.hpp — canned Tangled/Qat assembly programs from the paper.
+#pragma once
+
+#include <string>
+
+namespace tangled {
+
+/// The complete Figure 10 program: prime factoring of 15 on 8-way
+/// entanglement, transcribed verbatim (three columns, read top-to-bottom
+/// left-to-right), with a final `sys` appended so simulators halt.
+/// Running it leaves the prime factors in $0 (5) and $1 (3).
+std::string figure10_source();
+
+}  // namespace tangled

@@ -1,0 +1,416 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace tangled {
+namespace {
+
+// Primary opcode values (word bits [15:12]).
+constexpr std::uint16_t kOpr2 = 0x0;  // two-register group, sub in [3:0]
+constexpr std::uint16_t kOpr1 = 0x1;  // one-register group, sub in [3:0]
+constexpr std::uint16_t kBrfOp = 0x2;
+constexpr std::uint16_t kBrtOp = 0x3;
+constexpr std::uint16_t kLexOp = 0x4;
+constexpr std::uint16_t kLhiOp = 0x5;
+constexpr std::uint16_t kQatOp = 0xE;
+
+// OPR2 sub-opcodes.
+constexpr std::array<Op, 12> kOpr2Sub = {
+    Op::kAdd, Op::kAddf, Op::kAnd, Op::kCopy, Op::kLoad,  Op::kMul,
+    Op::kMulf, Op::kOr,  Op::kShift, Op::kSlt, Op::kStore, Op::kXor};
+
+// OPR1 sub-opcodes.
+constexpr std::array<Op, 8> kOpr1Sub = {Op::kFloat, Op::kInt,  Op::kNeg,
+                                        Op::kNegf,  Op::kNot,  Op::kRecip,
+                                        Op::kJumpr, Op::kSys};
+
+// Qat sub-opcodes (word bits [11:8]).
+constexpr std::array<Op, 14> kQatSub = {
+    Op::kQNot,  Op::kQZero, Op::kQOne,   Op::kQHad,   Op::kQCnot,
+    Op::kQSwap, Op::kQAnd,  Op::kQOr,    Op::kQXor,   Op::kQCcnot,
+    Op::kQCswap, Op::kQMeas, Op::kQNext, Op::kQPop};
+
+template <typename Table>
+int find_sub(const Table& table, Op op) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == op) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string reg_name(unsigned r) {
+  switch (r & 15u) {
+    case kRegAt:
+      return "$at";
+    case kRegRv:
+      return "$rv";
+    case kRegRa:
+      return "$ra";
+    case kRegFp:
+      return "$fp";
+    case kRegSp:
+      return "$sp";
+    default:
+      return "$" + std::to_string(r & 15u);
+  }
+}
+
+std::optional<unsigned> parse_reg(const std::string& name) {
+  if (name.size() < 2 || name[0] != '$') return std::nullopt;
+  const std::string body = name.substr(1);
+  if (body == "at") return kRegAt;
+  if (body == "rv") return kRegRv;
+  if (body == "ra") return kRegRa;
+  if (body == "fp") return kRegFp;
+  if (body == "sp") return kRegSp;
+  unsigned v = 0;
+  for (const char ch : body) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    v = v * 10 + static_cast<unsigned>(ch - '0');
+  }
+  if (v >= kNumRegs) return std::nullopt;
+  return v;
+}
+
+bool is_qat(Op op) { return op >= Op::kQNot && op <= Op::kQPop; }
+
+unsigned instr_words(Op op) {
+  switch (op) {
+    case Op::kQNot:
+    case Op::kQZero:
+    case Op::kQOne:
+      return 1;
+    default:
+      return is_qat(op) ? 2 : 1;
+  }
+}
+
+bool is_branch(Op op) {
+  return op == Op::kBrf || op == Op::kBrt || op == Op::kJumpr;
+}
+
+bool writes_tangled_reg(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kAddf:
+    case Op::kAnd:
+    case Op::kCopy:
+    case Op::kFloat:
+    case Op::kInt:
+    case Op::kLex:
+    case Op::kLhi:
+    case Op::kLoad:
+    case Op::kMul:
+    case Op::kMulf:
+    case Op::kNeg:
+    case Op::kNegf:
+    case Op::kNot:
+    case Op::kOr:
+    case Op::kRecip:
+    case Op::kShift:
+    case Op::kSlt:
+    case Op::kXor:
+    case Op::kQMeas:
+    case Op::kQNext:
+    case Op::kQPop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_d(Op op) {
+  switch (op) {
+    // $d is an accumulator input for most ALU forms, the condition for
+    // branches, the store data, and the channel argument for meas/next/pop.
+    case Op::kAdd:
+    case Op::kAddf:
+    case Op::kAnd:
+    case Op::kBrf:
+    case Op::kBrt:
+    case Op::kFloat:
+    case Op::kInt:
+    case Op::kMul:
+    case Op::kMulf:
+    case Op::kNeg:
+    case Op::kNegf:
+    case Op::kNot:
+    case Op::kOr:
+    case Op::kRecip:
+    case Op::kShift:
+    case Op::kSlt:
+    case Op::kStore:
+    case Op::kXor:
+    case Op::kJumpr:
+    case Op::kQMeas:
+    case Op::kQNext:
+    case Op::kQPop:
+    case Op::kLhi:  // read-modify-write of the low byte's complement half
+    case Op::kSys:  // sys $r prints $r's value
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_s(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kAddf:
+    case Op::kAnd:
+    case Op::kCopy:
+    case Op::kLoad:
+    case Op::kMul:
+    case Op::kMulf:
+    case Op::kOr:
+    case Op::kShift:
+    case Op::kSlt:
+    case Op::kStore:
+    case Op::kXor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned encode(const Instr& i, std::uint16_t out[2]) {
+  const auto word = [](std::uint16_t op, std::uint16_t d,
+                       std::uint16_t low8) -> std::uint16_t {
+    return static_cast<std::uint16_t>((op << 12) | ((d & 15u) << 8) |
+                                      (low8 & 0xffu));
+  };
+  if (int sub = find_sub(kOpr2Sub, i.op); sub >= 0) {
+    out[0] = word(kOpr2, i.d,
+                  static_cast<std::uint16_t>(((i.s & 15u) << 4) | sub));
+    return 1;
+  }
+  if (int sub = find_sub(kOpr1Sub, i.op); sub >= 0) {
+    out[0] = word(kOpr1, i.d, static_cast<std::uint16_t>(sub));
+    return 1;
+  }
+  switch (i.op) {
+    case Op::kBrf:
+      out[0] = word(kBrfOp, i.d, static_cast<std::uint16_t>(i.imm & 0xff));
+      return 1;
+    case Op::kBrt:
+      out[0] = word(kBrtOp, i.d, static_cast<std::uint16_t>(i.imm & 0xff));
+      return 1;
+    case Op::kLex:
+      out[0] = word(kLexOp, i.d, static_cast<std::uint16_t>(i.imm & 0xff));
+      return 1;
+    case Op::kLhi:
+      out[0] = word(kLhiOp, i.d, static_cast<std::uint16_t>(i.imm & 0xff));
+      return 1;
+    default:
+      break;
+  }
+  if (is_qat(i.op)) {
+    const int qop = find_sub(kQatSub, i.op);
+    std::uint16_t a8 = i.qa;
+    if (i.op == Op::kQMeas || i.op == Op::kQNext || i.op == Op::kQPop) {
+      a8 = i.d & 15u;
+    }
+    out[0] = static_cast<std::uint16_t>((kQatOp << 12) | (qop << 8) | a8);
+    switch (i.op) {
+      case Op::kQNot:
+      case Op::kQZero:
+      case Op::kQOne:
+        return 1;
+      case Op::kQHad:
+        out[1] = static_cast<std::uint16_t>(i.k & 15u);
+        return 2;
+      case Op::kQCnot:
+      case Op::kQSwap:
+        out[1] = static_cast<std::uint16_t>(i.qb << 8);
+        return 2;
+      case Op::kQAnd:
+      case Op::kQOr:
+      case Op::kQXor:
+      case Op::kQCcnot:
+      case Op::kQCswap:
+        out[1] = static_cast<std::uint16_t>((i.qb << 8) | i.qc);
+        return 2;
+      case Op::kQMeas:
+      case Op::kQNext:
+      case Op::kQPop:
+        out[1] = static_cast<std::uint16_t>(i.qa);
+        return 2;
+      default:
+        break;
+    }
+  }
+  throw std::invalid_argument("encode: invalid instruction");
+}
+
+Decoded decode(std::uint16_t w0, std::uint16_t w1) {
+  Decoded r;
+  Instr& i = r.instr;
+  const std::uint16_t op = w0 >> 12;
+  const std::uint8_t d = (w0 >> 8) & 15u;
+  const std::uint8_t s = (w0 >> 4) & 15u;
+  const std::uint8_t sub = w0 & 15u;
+  const std::uint8_t low8 = w0 & 0xffu;
+  switch (op) {
+    case kOpr2:
+      if (sub < kOpr2Sub.size()) {
+        i.op = kOpr2Sub[sub];
+        i.d = d;
+        i.s = s;
+      }
+      return r;
+    case kOpr1:
+      if (sub < kOpr1Sub.size()) {
+        i.op = kOpr1Sub[sub];
+        i.d = d;
+      }
+      return r;
+    case kBrfOp:
+    case kBrtOp:
+      i.op = op == kBrfOp ? Op::kBrf : Op::kBrt;
+      i.d = d;
+      i.imm = static_cast<std::int16_t>(static_cast<std::int8_t>(low8));
+      return r;
+    case kLexOp:
+      i.op = Op::kLex;
+      i.d = d;
+      i.imm = static_cast<std::int16_t>(static_cast<std::int8_t>(low8));
+      return r;
+    case kLhiOp:
+      i.op = Op::kLhi;
+      i.d = d;
+      i.imm = static_cast<std::int16_t>(low8);
+      return r;
+    case kQatOp: {
+      const std::uint8_t qop = (w0 >> 8) & 15u;
+      if (qop >= kQatSub.size()) return r;
+      i.op = kQatSub[qop];
+      r.words = instr_words(i.op);
+      switch (i.op) {
+        case Op::kQNot:
+        case Op::kQZero:
+        case Op::kQOne:
+          i.qa = low8;
+          break;
+        case Op::kQHad:
+          i.qa = low8;
+          i.k = w1 & 15u;
+          break;
+        case Op::kQCnot:
+        case Op::kQSwap:
+          i.qa = low8;
+          i.qb = (w1 >> 8) & 0xffu;
+          break;
+        case Op::kQAnd:
+        case Op::kQOr:
+        case Op::kQXor:
+        case Op::kQCcnot:
+        case Op::kQCswap:
+          i.qa = low8;
+          i.qb = (w1 >> 8) & 0xffu;
+          i.qc = w1 & 0xffu;
+          break;
+        case Op::kQMeas:
+        case Op::kQNext:
+        case Op::kQPop:
+          i.d = low8 & 15u;
+          i.qa = w1 & 0xffu;
+          break;
+        default:
+          break;
+      }
+      return r;
+    }
+    default:
+      return r;  // kInvalid
+  }
+}
+
+std::string disassemble(const Instr& i) {
+  const auto q = [](unsigned r) { return "@" + std::to_string(r); };
+  switch (i.op) {
+    case Op::kAdd:
+      return "add " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kAddf:
+      return "addf " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kAnd:
+      return "and " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kBrf:
+      return "brf " + reg_name(i.d) + "," + std::to_string(i.imm);
+    case Op::kBrt:
+      return "brt " + reg_name(i.d) + "," + std::to_string(i.imm);
+    case Op::kCopy:
+      return "copy " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kFloat:
+      return "float " + reg_name(i.d);
+    case Op::kInt:
+      return "int " + reg_name(i.d);
+    case Op::kJumpr:
+      return "jumpr " + reg_name(i.d);
+    case Op::kLex:
+      return "lex " + reg_name(i.d) + "," + std::to_string(i.imm);
+    case Op::kLhi:
+      return "lhi " + reg_name(i.d) + "," + std::to_string(i.imm);
+    case Op::kLoad:
+      return "load " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kMul:
+      return "mul " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kMulf:
+      return "mulf " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kNeg:
+      return "neg " + reg_name(i.d);
+    case Op::kNegf:
+      return "negf " + reg_name(i.d);
+    case Op::kNot:
+      return "not " + reg_name(i.d);
+    case Op::kOr:
+      return "or " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kRecip:
+      return "recip " + reg_name(i.d);
+    case Op::kShift:
+      return "shift " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kSlt:
+      return "slt " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kStore:
+      return "store " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kSys:
+      return i.d != 0 ? "sys " + reg_name(i.d) : "sys";
+    case Op::kXor:
+      return "xor " + reg_name(i.d) + "," + reg_name(i.s);
+    case Op::kQNot:
+      return "not " + q(i.qa);
+    case Op::kQZero:
+      return "zero " + q(i.qa);
+    case Op::kQOne:
+      return "one " + q(i.qa);
+    case Op::kQHad:
+      return "had " + q(i.qa) + "," + std::to_string(i.k);
+    case Op::kQCnot:
+      return "cnot " + q(i.qa) + "," + q(i.qb);
+    case Op::kQSwap:
+      return "swap " + q(i.qa) + "," + q(i.qb);
+    case Op::kQAnd:
+      return "and " + q(i.qa) + "," + q(i.qb) + "," + q(i.qc);
+    case Op::kQOr:
+      return "or " + q(i.qa) + "," + q(i.qb) + "," + q(i.qc);
+    case Op::kQXor:
+      return "xor " + q(i.qa) + "," + q(i.qb) + "," + q(i.qc);
+    case Op::kQCcnot:
+      return "ccnot " + q(i.qa) + "," + q(i.qb) + "," + q(i.qc);
+    case Op::kQCswap:
+      return "cswap " + q(i.qa) + "," + q(i.qb) + "," + q(i.qc);
+    case Op::kQMeas:
+      return "meas " + reg_name(i.d) + "," + q(i.qa);
+    case Op::kQNext:
+      return "next " + reg_name(i.d) + "," + q(i.qa);
+    case Op::kQPop:
+      return "pop " + reg_name(i.d) + "," + q(i.qa);
+    case Op::kInvalid:
+      return "<invalid>";
+  }
+  return "<invalid>";
+}
+
+}  // namespace tangled

@@ -1,0 +1,124 @@
+// isa.hpp — the Tangled + Qat instruction set (paper Tables 1 and 3).
+//
+// The paper deliberately leaves instruction encoding open (each student
+// picked their own and built an assembler for it with AIK).  This repo fixes
+// one encoding, documented in DESIGN.md §1:
+//
+//   word:  op[15:12] | d[11:8] | s[7:4] | sub[3:0]       (register forms)
+//          op[15:12] | d[11:8] | imm8[7:0]               (immediate forms)
+//          0xE       | qop[11:8] | A[7:0]                (Qat word 0)
+//          B[15:8] | C[7:0]                              (Qat word 1)
+//
+// Qat instructions name 8-bit coprocessor registers, so most encode as two
+// 16-bit words (the variable-length fetch the paper's §3.1 calls out as the
+// students' main pipeline challenge); not/zero/one fit in one word.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tangled {
+
+enum class Op : std::uint8_t {
+  // --- Tangled base instructions (Table 1) ---
+  kAdd,    // $d += $s
+  kAddf,   // bfloat16 $d += $s
+  kAnd,    // $d &= $s
+  kBrf,    // if (!$c) PC += offset
+  kBrt,    // if ($c) PC += offset
+  kCopy,   // $d = $s
+  kFloat,  // $d = (bfloat16)$d
+  kInt,    // $d = (int)$d
+  kJumpr,  // PC = $a
+  kLex,    // $d = sext(imm8)
+  kLhi,    // $d[15:8] = imm8
+  kLoad,   // $d = memory[$s]
+  kMul,    // $d *= $s
+  kMulf,   // bfloat16 $d *= $s
+  kNeg,    // $d = -$d
+  kNegf,   // bfloat16 $d = -$d
+  kNot,    // $d = ~$d
+  kOr,     // $d |= $s
+  kRecip,  // bfloat16 $d = 1.0/$d
+  kShift,  // $d <<= $s ($s < 0 shifts right arithmetic)
+  kSlt,    // $d = ($d < $s), signed
+  kStore,  // memory[$s] = $d
+  kSys,    // system call (halts the simulators)
+  kXor,    // $d ^= $s
+  // --- Qat coprocessor instructions (Table 3, + pop extension §2.7) ---
+  kQNot,    // @a = ~@a (Pauli-X)
+  kQZero,   // @a = 0
+  kQOne,    // @a = 1
+  kQHad,    // @a = H(imm4)
+  kQCnot,   // @a ^= @b
+  kQSwap,   // swap(@a, @b)
+  kQAnd,    // @a = @b & @c
+  kQOr,     // @a = @b | @c
+  kQXor,    // @a = @b ^ @c
+  kQCcnot,  // @a ^= @b & @c (Toffoli)
+  kQCswap,  // where (@c) swap(@a, @b) (Fredkin)
+  kQMeas,   // $d = @a[$d]
+  kQNext,   // $d = next set channel of @a after $d (0 if none)
+  kQPop,    // $d = popcount of @a strictly after channel $d
+  kInvalid,
+};
+
+/// Conventional register numbers/names: $0..$10 general, $at=11, $rv=12,
+/// $ra=13, $fp=14, $sp=15 (paper §2.1).
+inline constexpr unsigned kRegAt = 11;
+inline constexpr unsigned kRegRv = 12;
+inline constexpr unsigned kRegRa = 13;
+inline constexpr unsigned kRegFp = 14;
+inline constexpr unsigned kRegSp = 15;
+inline constexpr unsigned kNumRegs = 16;
+inline constexpr unsigned kNumQatRegs = 256;
+
+/// Name for Tangled register r ("$0".."$10", "$at", ...).
+std::string reg_name(unsigned r);
+/// Parse "$3" / "$at" / "$sp"; nullopt when malformed.
+std::optional<unsigned> parse_reg(const std::string& name);
+
+/// A decoded instruction, operands already field-extracted.
+struct Instr {
+  Op op = Op::kInvalid;
+  std::uint8_t d = 0;   // Tangled dest/cond register (also meas/next/pop $d)
+  std::uint8_t s = 0;   // Tangled source register
+  std::int16_t imm = 0; // sign-extended imm8 (lex/brf/brt) or raw (lhi)
+  std::uint8_t qa = 0;  // Qat @a (or had target)
+  std::uint8_t qb = 0;  // Qat @b
+  std::uint8_t qc = 0;  // Qat @c
+  std::uint8_t k = 0;   // had imm4
+
+  bool operator==(const Instr&) const = default;
+};
+
+bool is_qat(Op op);
+/// Number of 16-bit words this instruction encodes to (1 or 2).
+unsigned instr_words(Op op);
+/// True for branch/jump instructions (pipeline control hazards).
+bool is_branch(Op op);
+/// True when the instruction writes Tangled register `d`.
+bool writes_tangled_reg(Op op);
+/// True when the instruction reads Tangled register `d` as an input.
+bool reads_d(Op op);
+/// True when the instruction reads Tangled register `s`.
+bool reads_s(Op op);
+
+/// Encode into out[0..1]; returns the word count (1 or 2).
+/// Throws std::invalid_argument for kInvalid.
+unsigned encode(const Instr& i, std::uint16_t out[2]);
+
+struct Decoded {
+  Instr instr;
+  unsigned words = 1;
+};
+
+/// Decode the instruction starting at w0 (w1 is only examined for two-word
+/// forms).  Undefined opcodes decode as kInvalid, one word long.
+Decoded decode(std::uint16_t w0, std::uint16_t w1);
+
+/// Assembly text for an instruction, in the paper's syntax.
+std::string disassemble(const Instr& i);
+
+}  // namespace tangled

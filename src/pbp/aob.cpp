@@ -1,0 +1,186 @@
+#include "pbp/aob.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pbp {
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+// Number of storage words for 2^ways bits (at least one, for ways < 6).
+std::size_t words_for(unsigned ways) {
+  const std::size_t bits = std::size_t{1} << ways;
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+}  // namespace
+
+Aob::Aob(unsigned ways) : ways_(ways) {
+  if (ways > kMaxAobWays) {
+    throw std::invalid_argument("Aob: ways " + std::to_string(ways) +
+                                " exceeds dense-representation limit " +
+                                std::to_string(kMaxAobWays));
+  }
+  w_.assign(words_for(ways), 0);
+}
+
+Aob Aob::zeros(unsigned ways) { return Aob(ways); }
+
+Aob Aob::ones(unsigned ways) {
+  Aob a(ways);
+  const std::size_t bits = a.bit_count();
+  for (auto& w : a.w_) w = ~std::uint64_t{0};
+  if (bits < kWordBits) a.w_[0] = (std::uint64_t{1} << bits) - 1;
+  return a;
+}
+
+bool Aob::get(std::size_t ch) const {
+  ch = mask_channel(ch);
+  return (w_[ch / kWordBits] >> (ch % kWordBits)) & 1u;
+}
+
+void Aob::set(std::size_t ch, bool v) {
+  ch = mask_channel(ch);
+  const std::uint64_t bit = std::uint64_t{1} << (ch % kWordBits);
+  if (v) {
+    w_[ch / kWordBits] |= bit;
+  } else {
+    w_[ch / kWordBits] &= ~bit;
+  }
+}
+
+void Aob::check_compatible(const Aob& o) const {
+  if (ways_ != o.ways_) {
+    throw std::invalid_argument("Aob: mixing " + std::to_string(ways_) +
+                                "-way and " + std::to_string(o.ways_) +
+                                "-way values");
+  }
+}
+
+Aob& Aob::operator&=(const Aob& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= o.w_[i];
+  return *this;
+}
+
+Aob& Aob::operator|=(const Aob& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+  return *this;
+}
+
+Aob& Aob::operator^=(const Aob& o) {
+  check_compatible(o);
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] ^= o.w_[i];
+  return *this;
+}
+
+void Aob::invert() {
+  for (auto& w : w_) w = ~w;
+  const std::size_t bits = bit_count();
+  if (bits < kWordBits) w_[0] &= (std::uint64_t{1} << bits) - 1;
+}
+
+Aob Aob::operator~() const {
+  Aob r = *this;
+  r.invert();
+  return r;
+}
+
+void Aob::cswap(Aob& a, Aob& b, const Aob& c) {
+  a.check_compatible(b);
+  a.check_compatible(c);
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    // Channel-wise conditional exchange via the classic XOR-mask trick:
+    // t has a 1 exactly where a and b differ AND the control is 1.
+    const std::uint64_t t = (a.w_[i] ^ b.w_[i]) & c.w_[i];
+    a.w_[i] ^= t;
+    b.w_[i] ^= t;
+  }
+}
+
+void Aob::swap_values(Aob& a, Aob& b) noexcept {
+  a.w_.swap(b.w_);
+  std::swap(a.ways_, b.ways_);
+}
+
+std::size_t Aob::popcount() const {
+  std::size_t n = 0;
+  for (const auto w : w_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t Aob::popcount_after(std::size_t ch) const {
+  ch = mask_channel(ch);
+  const std::size_t start = ch + 1;  // strictly after
+  if (start >= bit_count()) return 0;
+  const std::size_t wi = start / kWordBits;
+  const std::size_t bi = start % kWordBits;
+  std::size_t n = static_cast<std::size_t>(
+      std::popcount(w_[wi] & (~std::uint64_t{0} << bi)));
+  for (std::size_t i = wi + 1; i < w_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(w_[i]));
+  }
+  return n;
+}
+
+std::optional<std::size_t> Aob::next_one(std::size_t ch) const {
+  ch = mask_channel(ch);
+  const std::size_t start = ch + 1;
+  if (start >= bit_count()) return std::nullopt;
+  std::size_t wi = start / kWordBits;
+  const std::size_t bi = start % kWordBits;
+  std::uint64_t w = w_[wi] & (~std::uint64_t{0} << bi);
+  while (true) {
+    if (w != 0) {
+      const std::size_t pos =
+          wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+      return pos < bit_count() ? std::optional<std::size_t>{pos} : std::nullopt;
+    }
+    if (++wi == w_.size()) return std::nullopt;
+    w = w_[wi];
+  }
+}
+
+bool Aob::any() const {
+  for (const auto w : w_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool Aob::all() const {
+  const std::size_t bits = bit_count();
+  if (bits < kWordBits) return w_[0] == (std::uint64_t{1} << bits) - 1;
+  for (const auto w : w_) {
+    if (w != ~std::uint64_t{0}) return false;
+  }
+  return true;
+}
+
+bool Aob::operator==(const Aob& o) const {
+  return ways_ == o.ways_ && w_ == o.w_;
+}
+
+std::uint64_t Aob::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto w : w_) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+std::string Aob::to_string(std::size_t max_bits) const {
+  const std::size_t n = bit_count();
+  std::string s;
+  const std::size_t shown = n < max_bits ? n : max_bits;
+  s.reserve(shown + 3);
+  for (std::size_t e = 0; e < shown; ++e) s.push_back(get(e) ? '1' : '0');
+  if (shown < n) s += "...";
+  return s;
+}
+
+}  // namespace pbp

@@ -1,0 +1,106 @@
+// aob.hpp — Array-of-Bits (AoB) values: the dense representation of an
+// E-way entangled superposed pbit (paper §1.1).
+//
+// An E-way AoB holds 2^E bits.  Bit position e is "entanglement channel" e:
+// the value this pbit takes in the e-th jointly-possible world.  All Qat
+// coprocessor operations act channel-wise on whole AoB vectors, which is what
+// makes the model a bit-level SIMD machine rather than a quantum simulator.
+//
+// Storage is packed little-endian into 64-bit words (channel 0 is bit 0 of
+// word 0).  All kernels are straight word loops so the compiler can vectorize
+// them; for E = 16 (the hardware described in the paper) an AoB is 1024 words.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pbp {
+
+/// Maximum entanglement ways the dense representation accepts.  2^30 bits is
+/// 128 MiB — past the paper's stated "practical scaling limit" for AoB (§5);
+/// higher entanglement belongs to the RE representation (re.hpp).
+inline constexpr unsigned kMaxAobWays = 30;
+
+/// Dense 2^E-bit entangled-superposition value.
+class Aob {
+ public:
+  /// All-zero AoB with 2^ways channels.  Throws std::invalid_argument for
+  /// ways > kMaxAobWays.
+  explicit Aob(unsigned ways);
+
+  /// The pbit constant 0 / 1 in every channel.
+  static Aob zeros(unsigned ways);
+  static Aob ones(unsigned ways);
+  /// Fill from a channel predicate (mostly for tests).
+  template <typename Fn>
+  static Aob from_fn(unsigned ways, Fn&& fn) {
+    Aob a(ways);
+    for (std::size_t e = 0; e < a.bit_count(); ++e) a.set(e, fn(e));
+    return a;
+  }
+
+  unsigned ways() const { return ways_; }
+  /// Number of entanglement channels: 2^ways.
+  std::size_t bit_count() const { return std::size_t{1} << ways_; }
+  std::size_t word_count() const { return w_.size(); }
+
+  /// Channel accessors.  `ch` is masked to the channel range, matching the
+  /// hardware behaviour of indexing with a 16-bit register into a 2^16-bit
+  /// vector (no out-of-range trap exists in Qat).
+  bool get(std::size_t ch) const;
+  void set(std::size_t ch, bool v);
+
+  // --- Channel-wise logic (the Qat ALU data operations, Table 3). ---
+  Aob& operator&=(const Aob& o);
+  Aob& operator|=(const Aob& o);
+  Aob& operator^=(const Aob& o);
+  /// Pauli-X across every channel (Qat `not`).
+  void invert();
+
+  friend Aob operator&(Aob a, const Aob& b) { return a &= b; }
+  friend Aob operator|(Aob a, const Aob& b) { return a |= b; }
+  friend Aob operator^(Aob a, const Aob& b) { return a ^= b; }
+  Aob operator~() const;
+
+  /// Fredkin gate: exchange a and b in every channel where c holds a 1.
+  static void cswap(Aob& a, Aob& b, const Aob& c);
+  /// Unconditional exchange (Qat `swap`).
+  static void swap_values(Aob& a, Aob& b) noexcept;
+
+  // --- Measurement-family reductions (paper §2.7). ---
+  /// Count of 1 channels (true POP, 0..2^E inclusive).
+  std::size_t popcount() const;
+  /// Qat `pop` extension: 1 channels strictly after `ch`.
+  std::size_t popcount_after(std::size_t ch) const;
+  /// Qat `next`: lowest channel > ch holding a 1, or nullopt if none.
+  /// (The ISA maps nullopt to the value 0; that aliasing is the ISA's, not
+  /// the data structure's.)
+  std::optional<std::size_t> next_one(std::size_t ch) const;
+  /// ANY / ALL reductions from the LCPC'20 PBP model.
+  bool any() const;
+  bool all() const;
+
+  bool operator==(const Aob& o) const;
+
+  std::span<const std::uint64_t> words() const { return w_; }
+  std::span<std::uint64_t> words_mut() { return w_; }
+
+  /// FNV-1a over the packed words; used by the RE chunk pool.
+  std::uint64_t hash() const noexcept;
+
+  /// "01101..." starting at channel 0; truncated with "..." past max_bits.
+  std::string to_string(std::size_t max_bits = 64) const;
+
+ private:
+  std::size_t mask_channel(std::size_t ch) const { return ch & (bit_count() - 1); }
+  void check_compatible(const Aob& o) const;
+
+  unsigned ways_;
+  std::vector<std::uint64_t> w_;
+};
+
+}  // namespace pbp

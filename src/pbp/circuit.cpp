@@ -1,0 +1,331 @@
+#include "pbp/circuit.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pbp {
+namespace {
+
+std::uint64_t gate_hash(const Circuit::Gate& g) {
+  std::uint64_t h = static_cast<std::uint64_t>(g.kind);
+  h = h * 0x9e3779b97f4a7c15ull + g.a;
+  h = h * 0x9e3779b97f4a7c15ull + g.b;
+  h = h * 0x9e3779b97f4a7c15ull + g.k;
+  return h;
+}
+
+bool gate_equal(const Circuit::Gate& x, const Circuit::Gate& y) {
+  return x.kind == y.kind && x.a == y.a && x.b == y.b && x.k == y.k;
+}
+
+}  // namespace
+
+const char* gate_kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::kZero:
+      return "zero";
+    case GateKind::kOne:
+      return "one";
+    case GateKind::kHad:
+      return "had";
+    case GateKind::kNot:
+      return "not";
+    case GateKind::kAnd:
+      return "and";
+    case GateKind::kOr:
+      return "or";
+    case GateKind::kXor:
+      return "xor";
+  }
+  return "?";
+}
+
+Circuit::Circuit(std::shared_ptr<PbpContext> ctx, bool hash_cons)
+    : ctx_(std::move(ctx)), hash_cons_(hash_cons) {
+  if (!ctx_) throw std::invalid_argument("Circuit: null context");
+}
+
+std::optional<Circuit::Node> Circuit::find_consed(const Gate& g) const {
+  if (!hash_cons_) return std::nullopt;
+  const std::uint64_t h = gate_hash(g);
+  auto [lo, hi] = cons_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (gate_equal(gates_[it->second], g)) return it->second;
+  }
+  return std::nullopt;
+}
+
+Circuit::Node Circuit::push(Gate g) {
+  // Canonicalize commutative operand order so hash-consing sees a&b == b&a.
+  if ((g.kind == GateKind::kAnd || g.kind == GateKind::kOr ||
+       g.kind == GateKind::kXor) &&
+      g.a > g.b) {
+    std::swap(g.a, g.b);
+  }
+  if (auto n = find_consed(g)) return *n;
+  if (gates_.size() >= std::numeric_limits<Node>::max()) {
+    throw std::runtime_error("Circuit: node limit exceeded");
+  }
+  const Node n = static_cast<Node>(gates_.size());
+  gates_.push_back(g);
+  values_.emplace_back();
+  if (hash_cons_) cons_.emplace(gate_hash(g), n);
+  return n;
+}
+
+Circuit::Node Circuit::zero() { return push({GateKind::kZero, 0, 0, 0}); }
+Circuit::Node Circuit::one() { return push({GateKind::kOne, 0, 0, 0}); }
+
+Circuit::Node Circuit::had(unsigned k) {
+  return push({GateKind::kHad, 0, 0, static_cast<std::uint16_t>(k)});
+}
+
+Circuit::Node Circuit::g_not(Node a) { return push({GateKind::kNot, a, 0, 0}); }
+
+Circuit::Node Circuit::g_and(Node a, Node b) {
+  return push({GateKind::kAnd, a, b, 0});
+}
+
+Circuit::Node Circuit::g_or(Node a, Node b) {
+  return push({GateKind::kOr, a, b, 0});
+}
+
+Circuit::Node Circuit::g_xor(Node a, Node b) {
+  return push({GateKind::kXor, a, b, 0});
+}
+
+Circuit::Node Circuit::g_mux(Node sel, Node t, Node f) {
+  return g_or(g_and(t, sel), g_and(f, g_not(sel)));
+}
+
+const Pbit& Circuit::eval(Node n) {
+  if (values_[n]) return *values_[n];
+  // Two passes keep evaluation iterative (no recursion on DAG depth) and
+  // proportional to n's input cone: mark the cone, then evaluate marked
+  // nodes in index order (operands are always lower-numbered).
+  std::vector<Node> stack{n};
+  std::vector<bool> in_cone(n + 1, false);
+  while (!stack.empty()) {
+    const Node x = stack.back();
+    stack.pop_back();
+    if (in_cone[x] || values_[x]) continue;
+    in_cone[x] = true;
+    const Gate& gx = gates_[x];
+    if (gx.kind == GateKind::kNot) stack.push_back(gx.a);
+    if (gx.kind == GateKind::kAnd || gx.kind == GateKind::kOr ||
+        gx.kind == GateKind::kXor) {
+      stack.push_back(gx.a);
+      stack.push_back(gx.b);
+    }
+  }
+  for (Node i = 0; i <= n; ++i) {
+    if (!in_cone[i] || values_[i]) continue;
+    const Gate& gi = gates_[i];
+    ++evals_;
+    switch (gi.kind) {
+      case GateKind::kZero:
+        values_[i] = ctx_->zero();
+        break;
+      case GateKind::kOne:
+        values_[i] = ctx_->one();
+        break;
+      case GateKind::kHad:
+        values_[i] = ctx_->hadamard(gi.k);
+        break;
+      case GateKind::kNot:
+        values_[i] = ~*values_[gi.a];
+        break;
+      case GateKind::kAnd:
+        values_[i] = *values_[gi.a] & *values_[gi.b];
+        break;
+      case GateKind::kOr:
+        values_[i] = *values_[gi.a] | *values_[gi.b];
+        break;
+      case GateKind::kXor:
+        values_[i] = *values_[gi.a] ^ *values_[gi.b];
+        break;
+    }
+  }
+  return *values_[n];
+}
+
+void Circuit::clear_values() {
+  for (auto& v : values_) v.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Qat assembly emission.
+
+EmitResult emit_qat(const Circuit& c, std::span<const Circuit::Node> roots,
+                    const EmitOptions& opts) {
+  using Node = Circuit::Node;
+  constexpr std::size_t kLive = std::numeric_limits<std::size_t>::max();
+
+  const std::size_t n = c.node_count();
+  std::vector<bool> needed(n, false);
+  {
+    std::vector<Node> stack(roots.begin(), roots.end());
+    while (!stack.empty()) {
+      const Node x = stack.back();
+      stack.pop_back();
+      if (needed[x]) continue;
+      needed[x] = true;
+      const auto& g = c.gate(x);
+      switch (g.kind) {
+        case GateKind::kNot:
+          stack.push_back(g.a);
+          break;
+        case GateKind::kAnd:
+        case GateKind::kOr:
+        case GateKind::kXor:
+          stack.push_back(g.a);
+          stack.push_back(g.b);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Last use per node (node index of the highest user; kLive for roots).
+  std::vector<std::size_t> last_use(n, 0);
+  for (Node i = 0; i < n; ++i) {
+    if (!needed[i]) continue;
+    const auto& g = c.gate(i);
+    switch (g.kind) {
+      case GateKind::kNot:
+        last_use[g.a] = i;
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kXor:
+        last_use[g.a] = i;
+        last_use[g.b] = i;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const Node r : roots) last_use[r] = kLive;
+
+  const unsigned ways = c.ways();
+  const unsigned first_free =
+      opts.constant_registers ? 2 + ways : 0;  // @0,@1,@H0..@H(ways-1)
+
+  EmitResult out;
+  std::vector<int> reg(n, -1);
+  std::vector<unsigned> free_regs;
+  unsigned next_reg = first_free;
+  unsigned high_water = first_free;
+
+  auto alloc_reg = [&]() -> unsigned {
+    if (opts.alloc == EmitOptions::RegAlloc::kLinearScan && !free_regs.empty()) {
+      const unsigned r = free_regs.back();
+      free_regs.pop_back();
+      return r;
+    }
+    if (next_reg >= opts.max_registers) {
+      throw std::runtime_error(
+          "emit_qat: out of Qat registers (" +
+          std::to_string(opts.max_registers) +
+          "); try EmitOptions::RegAlloc::kLinearScan");
+    }
+    const unsigned r = next_reg++;
+    if (r + 1 > high_water) high_water = r + 1;
+    return r;
+  };
+
+  auto release_operand = [&](Node op, Node user) {
+    if (opts.alloc != EmitOptions::RegAlloc::kLinearScan) return;
+    if (last_use[op] != user) return;
+    if (reg[op] >= 0 && static_cast<unsigned>(reg[op]) >= first_free) {
+      free_regs.push_back(static_cast<unsigned>(reg[op]));
+      reg[op] = -1;
+    }
+  };
+
+  auto emit = [&](const std::string& line) {
+    out.asm_text += '\t';
+    out.asm_text += line;
+    out.asm_text += '\n';
+    ++out.instruction_count;
+  };
+  auto r = [](int x) {
+    std::string s = "@";
+    s += std::to_string(x);
+    return s;
+  };
+
+  for (Node i = 0; i < n; ++i) {
+    if (!needed[i]) continue;
+    const auto& g = c.gate(i);
+    switch (g.kind) {
+      case GateKind::kZero:
+        if (opts.constant_registers) {
+          reg[i] = 0;
+        } else {
+          reg[i] = static_cast<int>(alloc_reg());
+          emit("zero " + r(reg[i]));
+        }
+        break;
+      case GateKind::kOne:
+        if (opts.constant_registers) {
+          reg[i] = 1;
+        } else {
+          reg[i] = static_cast<int>(alloc_reg());
+          emit("one " + r(reg[i]));
+        }
+        break;
+      case GateKind::kHad:
+        if (opts.constant_registers && g.k < ways) {
+          reg[i] = static_cast<int>(2 + g.k);
+        } else {
+          reg[i] = static_cast<int>(alloc_reg());
+          emit("had " + r(reg[i]) + "," + std::to_string(g.k));
+        }
+        break;
+      case GateKind::kNot: {
+        const int ra = reg[g.a];
+        const bool in_place = opts.alloc == EmitOptions::RegAlloc::kLinearScan &&
+                              last_use[g.a] == i &&
+                              static_cast<unsigned>(ra) >= first_free;
+        if (in_place) {
+          // The operand dies here: invert it where it sits.
+          reg[i] = ra;
+          reg[g.a] = -1;
+          emit("not " + r(reg[i]));
+        } else {
+          // Paper idiom (§4.2): copy with a self-OR, then invert the copy so
+          // the original operand value survives.
+          release_operand(g.a, i);
+          reg[i] = static_cast<int>(alloc_reg());
+          emit("or " + r(reg[i]) + "," + r(ra) + "," + r(ra));
+          emit("not " + r(reg[i]));
+        }
+        break;
+      }
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kXor: {
+        const int ra = reg[g.a];
+        const int rb = reg[g.b];
+        release_operand(g.a, i);
+        if (g.b != g.a) release_operand(g.b, i);
+        reg[i] = static_cast<int>(alloc_reg());
+        emit(std::string(gate_kind_name(g.kind)) + " " + r(reg[i]) + "," +
+             r(ra) + "," + r(rb));
+        break;
+      }
+    }
+  }
+
+  out.root_regs.reserve(roots.size());
+  for (const Node root : roots) {
+    out.root_regs.push_back(static_cast<std::uint8_t>(reg[root]));
+  }
+  out.registers_used = high_water;
+  return out;
+}
+
+}  // namespace pbp

@@ -1,0 +1,125 @@
+// circuit.hpp — gate-level circuit recording over pbits, with Qat assembly
+// emission (paper §4.2).
+//
+// The LCPC'20 software-only PBP prototype was "slightly modified to output
+// the gate-level operations rather than to perform them"; that is exactly
+// this module's job.  Word-level pint operations (pint.hpp) build a DAG of
+// gates here; the DAG can be lazily *evaluated* (each node producing a Pbit),
+// *optimized* (optimizer.hpp), and *emitted* as Tangled/Qat assembly text in
+// the style of Figure 10, with either the paper's greedy one-register-per-
+// gate allocation or a register-reusing linear scan.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pbp/pbit.hpp"
+
+namespace pbp {
+
+enum class GateKind : std::uint8_t { kZero, kOne, kHad, kNot, kAnd, kOr, kXor };
+
+/// Name of the Qat instruction implementing a gate kind (for emission).
+const char* gate_kind_name(GateKind k);
+
+/// A DAG of channel-wise gate operations.  Nodes are append-only and always
+/// topologically ordered (operands precede users).
+class Circuit {
+ public:
+  using Node = std::uint32_t;
+
+  struct Gate {
+    GateKind kind;
+    Node a = 0;          // first operand (kNot/kAnd/kOr/kXor)
+    Node b = 0;          // second operand (kAnd/kOr/kXor)
+    std::uint16_t k = 0; // Hadamard index (kHad)
+  };
+
+  /// hash_cons = false reproduces the paper's behaviour (every requested gate
+  /// becomes an instruction, duplicates included, as in Figure 10);
+  /// hash_cons = true deduplicates structurally identical gates at build
+  /// time, i.e. free common-subexpression elimination.
+  explicit Circuit(std::shared_ptr<PbpContext> ctx, bool hash_cons = false);
+
+  const std::shared_ptr<PbpContext>& context() const { return ctx_; }
+  unsigned ways() const { return ctx_->ways(); }
+
+  // --- Builders. ---
+  Node zero();
+  Node one();
+  Node had(unsigned k);
+  Node g_not(Node a);
+  Node g_and(Node a, Node b);
+  Node g_or(Node a, Node b);
+  Node g_xor(Node a, Node b);
+  /// Derived: NOT(XOR) — equality of two pbits per channel.
+  Node g_xnor(Node a, Node b) { return g_not(g_xor(a, b)); }
+  /// Derived 2:1 mux: sel ? t : f, built from and/or/not.
+  Node g_mux(Node sel, Node t, Node f);
+
+  std::size_t node_count() const { return gates_.size(); }
+  const Gate& gate(Node n) const { return gates_[n]; }
+
+  // --- Lazy evaluation: compute the Pbit value of a node (memoized). ---
+  const Pbit& eval(Node n);
+  /// Number of gate evaluations actually performed (memo misses).
+  std::uint64_t evals_performed() const { return evals_; }
+  /// Drop all cached values (e.g. after measuring storage).
+  void clear_values();
+
+  // --- Non-destructive measurement on a node's value (§2.7). ---
+  bool meas(Node n, std::size_t ch) { return eval(n).meas(ch); }
+  std::optional<std::size_t> next(Node n, std::size_t ch) {
+    return eval(n).next_one(ch);
+  }
+  std::size_t pop_after(Node n, std::size_t ch) {
+    return eval(n).pop_after(ch);
+  }
+  std::size_t popcount(Node n) { return eval(n).popcount(); }
+  bool any(Node n) { return eval(n).any(); }
+  bool all(Node n) { return eval(n).all(); }
+
+ private:
+  std::optional<Node> find_consed(const Gate& g) const;
+  Node push(Gate g);
+
+  std::shared_ptr<PbpContext> ctx_;
+  bool hash_cons_;
+  std::vector<Gate> gates_;
+  std::vector<std::optional<Pbit>> values_;
+  std::unordered_multimap<std::uint64_t, Node> cons_;  // gate hash -> node
+  std::uint64_t evals_ = 0;
+};
+
+/// Qat assembly emission options.
+struct EmitOptions {
+  enum class RegAlloc {
+    kGreedy,      // paper style: a fresh register per gate, §4.2
+    kLinearScan,  // reuse registers after last use
+  };
+  RegAlloc alloc = RegAlloc::kGreedy;
+  /// §5 simplification: assume @0=0, @1=1, @2..@(2+WAYS-1)=H(0..WAYS-1) are
+  /// reserved constant registers, so zero/one/had emit no instructions.
+  bool constant_registers = false;
+  unsigned max_registers = 256;  // Qat has @0..@255
+};
+
+struct EmitResult {
+  std::string asm_text;
+  /// Qat register where each requested root value ends up.
+  std::vector<std::uint8_t> root_regs;
+  unsigned registers_used = 0;
+  std::size_t instruction_count = 0;
+};
+
+/// Emit Qat assembly computing every node in `roots`.  Throws
+/// std::runtime_error if the allocation strategy runs out of registers.
+EmitResult emit_qat(const Circuit& c, std::span<const Circuit::Node> roots,
+                    const EmitOptions& opts = {});
+
+}  // namespace pbp

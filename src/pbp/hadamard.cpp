@@ -1,0 +1,56 @@
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+namespace {
+
+constexpr unsigned kWordBits = 64;
+
+// The 64-bit word whose bit b equals hadamard_bit(k, b), for k < 6.
+std::uint64_t word_pattern(unsigned k) {
+  // Standard "magic" alternating masks: k=0 -> 0xAAAA..., k=1 -> 0xCCCC..., etc.
+  std::uint64_t w = 0;
+  for (unsigned b = 0; b < kWordBits; ++b) {
+    if ((b >> k) & 1u) w |= std::uint64_t{1} << b;
+  }
+  return w;
+}
+
+}  // namespace
+
+Aob hadamard_generate(unsigned ways, unsigned k) {
+  Aob a(ways);
+  // Figure 7's Verilog takes the low bit of (i >> h): for k >= ways every
+  // channel index has bit k clear, so the result is all zeros.
+  if (k >= ways) return a;
+  auto words = a.words_mut();
+  if (a.bit_count() < kWordBits) {
+    // Sub-word AoB (ways < 6): mask the repeating pattern to the live bits.
+    words[0] = word_pattern(k) & ((std::uint64_t{1} << a.bit_count()) - 1);
+    return a;
+  }
+  if (k < 6) {
+    const std::uint64_t pat = word_pattern(k);
+    for (auto& w : words) w = pat;
+    return a;
+  }
+  // Blocks of 2^(k-6) words of all-zero alternating with all-one.
+  const std::size_t block = std::size_t{1} << (k - 6);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = ((i / block) & 1u) ? ~std::uint64_t{0} : 0;
+  }
+  return a;
+}
+
+HadamardLut::HadamardLut(unsigned ways) : ways_(ways), zero_(Aob::zeros(ways)) {
+  table_.reserve(ways);
+  for (unsigned k = 0; k < ways; ++k) table_.push_back(hadamard_generate(ways, k));
+}
+
+HadamardRegisterFile::HadamardRegisterFile(unsigned ways) : ways_(ways) {
+  regs_.reserve(2 + ways);
+  regs_.push_back(Aob::zeros(ways));
+  regs_.push_back(Aob::ones(ways));
+  for (unsigned k = 0; k < ways; ++k) regs_.push_back(hadamard_generate(ways, k));
+}
+
+}  // namespace pbp

@@ -1,0 +1,72 @@
+// hadamard.hpp — the Qat `had` initializer patterns (paper §2.3, Figure 7).
+//
+// `had @a,k` loads the k-th "standard" entangled superposition: channel e of
+// the result is bit k of the binary representation of e, i.e. a repeating
+// run of 2^k zeros followed by 2^k ones.  Three implementation models are
+// provided, mirroring the three hardware structures the paper discusses:
+//
+//  * hadamard_generate — the parametric generator of Figure 7 (per-channel
+//    combinatorial function), word-optimized here.
+//  * HadamardLut — the student solution: a pre-built table of all WAYS
+//    constants selected by a multiplexor (a `case` statement in Verilog).
+//  * HadamardRegisterFile — the §5 simplification: reserve constant-valued
+//    registers @H0..@H(WAYS-1) plus the 0 and 1 constants, making `zero`,
+//    `one` and `had` plain register copies.
+//
+// All three must agree bit-for-bit; tests/test_hadamard.cpp cross-checks them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pbp/aob.hpp"
+
+namespace pbp {
+
+/// Reference single-channel definition: bit k of channel index e.
+constexpr bool hadamard_bit(unsigned k, std::size_t e) {
+  return (e >> k) & 1u;
+}
+
+/// Figure 7 generator, word-parallel: for k < 6 each 64-bit word repeats a
+/// fixed sub-pattern; for k >= 6 whole words alternate in 2^(k-6)-word blocks.
+Aob hadamard_generate(unsigned ways, unsigned k);
+
+/// The "lookup table expressed as a combinatorial case statement" model:
+/// all WAYS patterns are built once, `select(k)` is the multiplexor.
+class HadamardLut {
+ public:
+  explicit HadamardLut(unsigned ways);
+  unsigned ways() const { return ways_; }
+  /// Out-of-range k selects the all-zero default case, matching Figure 7's
+  /// generator semantics ((e >> k) & 1 == 0 for every channel).
+  const Aob& select(unsigned k) const {
+    return k < ways_ ? table_[k] : zero_;
+  }
+
+ private:
+  unsigned ways_;
+  std::vector<Aob> table_;
+  Aob zero_;
+};
+
+/// The §5 constant-register-file model: @0 = 0, @1 = 1, @2 = H(0), @3 = H(1),
+/// ... matching the layout the paper recommends (and the LCPC'20 software
+/// prototype used).
+class HadamardRegisterFile {
+ public:
+  explicit HadamardRegisterFile(unsigned ways);
+  unsigned ways() const { return ways_; }
+  std::size_t size() const { return regs_.size(); }
+  const Aob& zero() const { return regs_[0]; }
+  const Aob& one() const { return regs_[1]; }
+  const Aob& h(unsigned k) const { return regs_[2 + (k % ways_)]; }
+  /// Raw indexed access (register-file read port).
+  const Aob& reg(std::size_t i) const { return regs_[i % regs_.size()]; }
+
+ private:
+  unsigned ways_;
+  std::vector<Aob> regs_;
+};
+
+}  // namespace pbp

@@ -1,0 +1,201 @@
+#include "pbp/optimizer.hpp"
+
+namespace pbp {
+namespace {
+
+bool is_zero(const Circuit& c, Circuit::Node n) {
+  return c.gate(n).kind == GateKind::kZero;
+}
+bool is_one(const Circuit& c, Circuit::Node n) {
+  return c.gate(n).kind == GateKind::kOne;
+}
+bool is_not(const Circuit& c, Circuit::Node n) {
+  return c.gate(n).kind == GateKind::kNot;
+}
+/// True when a and b are structural complements (one is NOT of the other).
+bool complements(const Circuit& c, Circuit::Node a, Circuit::Node b) {
+  return (is_not(c, a) && c.gate(a).a == b) ||
+         (is_not(c, b) && c.gate(b).a == a);
+}
+
+}  // namespace
+
+namespace {
+
+OptimizeResult optimize_once(const Circuit& in,
+                             std::span<const Circuit::Node> roots,
+                             const OptimizeOptions& opts) {
+  using Node = Circuit::Node;
+  const std::size_t n = in.node_count();
+
+  // Mark the cone of the roots (dead-gate elimination falls out of only
+  // rebuilding marked nodes).
+  std::vector<bool> live(n, false);
+  {
+    std::vector<Node> stack(roots.begin(), roots.end());
+    while (!stack.empty()) {
+      const Node x = stack.back();
+      stack.pop_back();
+      if (live[x]) continue;
+      live[x] = true;
+      const auto& g = in.gate(x);
+      switch (g.kind) {
+        case GateKind::kNot:
+          stack.push_back(g.a);
+          break;
+        case GateKind::kAnd:
+        case GateKind::kOr:
+        case GateKind::kXor:
+          stack.push_back(g.a);
+          stack.push_back(g.b);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  OptimizeResult out{Circuit(in.context(), opts.cse), {}, {}};
+  out.stats.gates_before = n;
+  Circuit& c = out.circuit;
+
+  auto fold = [&](auto make) -> Node {
+    // Track CSE hits: push returning an already-existing node leaves the
+    // node count unchanged.
+    const std::size_t before = c.node_count();
+    const Node r = make();
+    if (c.node_count() == before) ++out.stats.cse_hits;
+    return r;
+  };
+
+  std::vector<Node> map(n, 0);
+  for (Node i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    const auto& g = in.gate(i);
+    switch (g.kind) {
+      case GateKind::kZero:
+        map[i] = fold([&] { return c.zero(); });
+        break;
+      case GateKind::kOne:
+        map[i] = fold([&] { return c.one(); });
+        break;
+      case GateKind::kHad:
+        if (opts.fold_constants && g.k >= c.ways()) {
+          // had @a,k with k >= WAYS writes all zeros (Figure 7 semantics).
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.zero(); });
+        } else {
+          map[i] = fold([&] { return c.had(g.k); });
+        }
+        break;
+      case GateKind::kNot: {
+        const Node a = map[g.a];
+        if (opts.simplify_not && is_not(c, a)) {
+          ++out.stats.folds;
+          map[i] = c.gate(a).a;  // ~~x = x
+        } else if (opts.fold_constants && is_zero(c, a)) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.one(); });
+        } else if (opts.fold_constants && is_one(c, a)) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.zero(); });
+        } else {
+          map[i] = fold([&] { return c.g_not(a); });
+        }
+        break;
+      }
+      case GateKind::kAnd: {
+        const Node a = map[g.a];
+        const Node b = map[g.b];
+        if (opts.fold_constants &&
+            (is_zero(c, a) || is_zero(c, b) || complements(c, a, b))) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.zero(); });
+        } else if (opts.fold_constants && is_one(c, a)) {
+          ++out.stats.folds;
+          map[i] = b;
+        } else if (opts.fold_constants && (is_one(c, b) || a == b)) {
+          ++out.stats.folds;
+          map[i] = a;
+        } else {
+          map[i] = fold([&] { return c.g_and(a, b); });
+        }
+        break;
+      }
+      case GateKind::kOr: {
+        const Node a = map[g.a];
+        const Node b = map[g.b];
+        if (opts.fold_constants &&
+            (is_one(c, a) || is_one(c, b) || complements(c, a, b))) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.one(); });
+        } else if (opts.fold_constants && is_zero(c, a)) {
+          ++out.stats.folds;
+          map[i] = b;
+        } else if (opts.fold_constants && (is_zero(c, b) || a == b)) {
+          ++out.stats.folds;
+          map[i] = a;
+        } else {
+          map[i] = fold([&] { return c.g_or(a, b); });
+        }
+        break;
+      }
+      case GateKind::kXor: {
+        const Node a = map[g.a];
+        const Node b = map[g.b];
+        if (opts.fold_constants && a == b) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.zero(); });
+        } else if (opts.fold_constants && complements(c, a, b)) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.one(); });
+        } else if (opts.fold_constants && is_zero(c, a)) {
+          ++out.stats.folds;
+          map[i] = b;
+        } else if (opts.fold_constants && is_zero(c, b)) {
+          ++out.stats.folds;
+          map[i] = a;
+        } else if (opts.simplify_not && is_one(c, a)) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.g_not(b); });
+        } else if (opts.simplify_not && is_one(c, b)) {
+          ++out.stats.folds;
+          map[i] = fold([&] { return c.g_not(a); });
+        } else {
+          map[i] = fold([&] { return c.g_xor(a, b); });
+        }
+        break;
+      }
+    }
+  }
+
+  out.roots.reserve(roots.size());
+  for (const Node root : roots) out.roots.push_back(map[root]);
+  out.stats.gates_after = c.node_count();
+  return out;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Circuit& in,
+                        std::span<const Circuit::Node> roots,
+                        const OptimizeOptions& opts) {
+  // A simplification can orphan its operands (e.g. ~~x = x leaves the inner
+  // NOT dead), so iterate to a fixpoint; each pass strictly shrinks or stops.
+  OptimizeResult r = optimize_once(in, roots, opts);
+  const std::size_t original = r.stats.gates_before;
+  while (r.stats.gates_after < r.stats.gates_before || r.stats.folds > 0) {
+    OptimizeResult next = optimize_once(r.circuit, r.roots, opts);
+    if (next.stats.gates_after == r.stats.gates_after &&
+        next.stats.folds == 0) {
+      break;
+    }
+    next.stats.folds += r.stats.folds;
+    next.stats.cse_hits += r.stats.cse_hits;
+    r = std::move(next);
+  }
+  r.stats.gates_before = original;
+  return r;
+}
+
+}  // namespace pbp

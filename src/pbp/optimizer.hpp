@@ -1,0 +1,52 @@
+// optimizer.hpp — gate-level optimization of recorded PBP circuits.
+//
+// The paper's motivation cites "extensive application of compiler
+// optimization of programs at the gate level" ([2], Dietz LCPC 2017) as a
+// route to order-of-magnitude reductions in gate actions.  The LCPC'20
+// prototype the Figure 10 program came from deliberately did NOT optimize
+// (it even inserted extra copies to preserve every intermediate, §4.2).
+// This pass closes that loop: rebuild a circuit from its roots with
+//
+//  * dead-gate elimination   (only the cone of the roots is kept),
+//  * constant folding        (x&0=0, x|1=1, x^x=0, had(k>=WAYS)=0, ...),
+//  * double-negation removal (~~x = x),
+//  * common-subexpression elimination (structural hash-consing).
+//
+// bench_fig9_factoring and bench_ablation_ports measure what this buys on
+// the paper's own factoring circuit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pbp/circuit.hpp"
+
+namespace pbp {
+
+struct OptimizeOptions {
+  bool fold_constants = true;
+  bool simplify_not = true;  // ~~x = x, x^1 = ~x
+  bool cse = true;
+};
+
+struct OptimizeStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t folds = 0;       // algebraic-identity hits
+  std::size_t cse_hits = 0;    // structurally duplicate gates merged
+};
+
+struct OptimizeResult {
+  Circuit circuit;
+  std::vector<Circuit::Node> roots;  // same order as the input roots
+  OptimizeStats stats;
+};
+
+/// Rebuild `in` keeping only the cone of `roots`, applying the enabled
+/// simplifications.  The result evaluates to bit-identical Pbit values for
+/// every root (tests/test_optimizer.cpp verifies this property).
+OptimizeResult optimize(const Circuit& in,
+                        std::span<const Circuit::Node> roots,
+                        const OptimizeOptions& opts = {});
+
+}  // namespace pbp

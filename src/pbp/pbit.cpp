@@ -1,0 +1,173 @@
+#include "pbp/pbit.hpp"
+
+#include <stdexcept>
+
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+
+PbpContext::PbpContext(unsigned ways, Backend backend, unsigned chunk_ways)
+    : ways_(ways), backend_(backend) {
+  if (backend == Backend::kCompressed) {
+    if (chunk_ways > ways) {
+      throw std::invalid_argument("PbpContext: chunk_ways > ways");
+    }
+    pool_ = std::make_shared<ChunkPool>(chunk_ways);
+  } else if (ways > kMaxAobWays) {
+    throw std::invalid_argument("PbpContext: dense backend limited to 2^" +
+                                std::to_string(kMaxAobWays) + " channels");
+  }
+}
+
+std::shared_ptr<PbpContext> PbpContext::create(unsigned ways, Backend backend,
+                                               unsigned chunk_ways) {
+  return std::shared_ptr<PbpContext>(
+      new PbpContext(ways, backend, chunk_ways));
+}
+
+Pbit PbpContext::zero() {
+  if (backend_ == Backend::kDense) return Pbit(Aob::zeros(ways_));
+  return Pbit(Re::zeros(pool_, ways_));
+}
+
+Pbit PbpContext::one() {
+  if (backend_ == Backend::kDense) return Pbit(Aob::ones(ways_));
+  return Pbit(Re::ones(pool_, ways_));
+}
+
+Pbit PbpContext::hadamard(unsigned k) {
+  if (backend_ == Backend::kDense) return Pbit(hadamard_generate(ways_, k));
+  return Pbit(Re::hadamard(pool_, ways_, k));
+}
+
+Pbit PbpContext::from_aob(const Aob& a) {
+  if (a.ways() != ways_) throw std::invalid_argument("from_aob: wrong ways");
+  if (backend_ == Backend::kDense) return Pbit(a);
+  return Pbit(Re::from_aob(pool_, a));
+}
+
+unsigned Pbit::ways() const {
+  return std::visit([](const auto& v) { return v.ways(); }, v_);
+}
+
+void Pbit::apply(BitOp op, const Pbit& o) {
+  if (v_.index() != o.v_.index()) {
+    throw std::invalid_argument("Pbit: mixing dense and compressed values");
+  }
+  if (auto* a = std::get_if<Aob>(&v_)) {
+    const Aob& b = std::get<Aob>(o.v_);
+    switch (op) {
+      case BitOp::And:
+        *a &= b;
+        break;
+      case BitOp::Or:
+        *a |= b;
+        break;
+      case BitOp::Xor:
+        *a ^= b;
+        break;
+      case BitOp::AndNot:
+        *a &= ~b;
+        break;
+    }
+  } else {
+    std::get<Re>(v_).apply(op, std::get<Re>(o.v_));
+  }
+}
+
+Pbit Pbit::operator&(const Pbit& o) const {
+  Pbit r = *this;
+  r.apply(BitOp::And, o);
+  return r;
+}
+
+Pbit Pbit::operator|(const Pbit& o) const {
+  Pbit r = *this;
+  r.apply(BitOp::Or, o);
+  return r;
+}
+
+Pbit Pbit::operator^(const Pbit& o) const {
+  Pbit r = *this;
+  r.apply(BitOp::Xor, o);
+  return r;
+}
+
+Pbit Pbit::and_not(const Pbit& o) const {
+  Pbit r = *this;
+  r.apply(BitOp::AndNot, o);
+  return r;
+}
+
+Pbit Pbit::operator~() const {
+  Pbit r = *this;
+  r.pauli_x();
+  return r;
+}
+
+void Pbit::pauli_x() {
+  std::visit([](auto& v) { v.invert(); }, v_);
+}
+
+void Pbit::cnot(const Pbit& control) { apply(BitOp::Xor, control); }
+
+void Pbit::ccnot(const Pbit& c1, const Pbit& c2) {
+  Pbit t = c1;
+  t.apply(BitOp::And, c2);
+  apply(BitOp::Xor, t);
+}
+
+void Pbit::swap_values(Pbit& a, Pbit& b) noexcept { a.v_.swap(b.v_); }
+
+void Pbit::cswap(Pbit& a, Pbit& b, const Pbit& control) {
+  if (auto* aa = std::get_if<Aob>(&a.v_)) {
+    Aob::cswap(*aa, std::get<Aob>(b.v_), std::get<Aob>(control.v_));
+  } else {
+    Re::cswap(std::get<Re>(a.v_), std::get<Re>(b.v_),
+              std::get<Re>(control.v_));
+  }
+}
+
+bool Pbit::meas(std::size_t channel) const {
+  return std::visit([&](const auto& v) { return v.get(channel); }, v_);
+}
+
+std::optional<std::size_t> Pbit::next_one(std::size_t ch) const {
+  return std::visit([&](const auto& v) { return v.next_one(ch); }, v_);
+}
+
+std::size_t Pbit::pop_after(std::size_t ch) const {
+  return std::visit([&](const auto& v) { return v.popcount_after(ch); }, v_);
+}
+
+std::size_t Pbit::popcount() const {
+  return std::visit([](const auto& v) { return v.popcount(); }, v_);
+}
+
+bool Pbit::any() const {
+  return std::visit([](const auto& v) { return v.any(); }, v_);
+}
+
+bool Pbit::all() const {
+  return std::visit([](const auto& v) { return v.all(); }, v_);
+}
+
+bool Pbit::operator==(const Pbit& o) const {
+  if (v_.index() != o.v_.index()) return false;
+  if (const auto* a = std::get_if<Aob>(&v_)) return *a == std::get<Aob>(o.v_);
+  return std::get<Re>(v_) == std::get<Re>(o.v_);
+}
+
+Aob Pbit::to_aob() const {
+  if (const auto* a = std::get_if<Aob>(&v_)) return *a;
+  return std::get<Re>(v_).to_aob();
+}
+
+std::size_t Pbit::storage_bytes() const {
+  if (const auto* a = std::get_if<Aob>(&v_)) {
+    return a->word_count() * sizeof(std::uint64_t);
+  }
+  return std::get<Re>(v_).compressed_bytes();
+}
+
+}  // namespace pbp

@@ -1,0 +1,102 @@
+// pbit.hpp — a pattern bit (pbit): one E-way entangled superposed bit value,
+// stored either densely (Aob) or compressed (Re), with a uniform gate and
+// measurement interface (paper §1, §2.7).
+//
+// The hardware Qat coprocessor only ever holds dense AoBs; the RE backend is
+// the software layer the paper assumes for entanglement beyond 16 ways
+// (§1.2), where each 65,536-bit AoB becomes one RE symbol.  PbpContext fixes
+// the ways and backend for a family of pbits so mixed-representation bugs
+// are impossible by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+
+#include "pbp/aob.hpp"
+#include "pbp/re.hpp"
+
+namespace pbp {
+
+enum class Backend : std::uint8_t {
+  kDense,       // raw Aob, exactly what Qat hardware registers hold
+  kCompressed,  // RLE-of-chunks Re, the software scaling path
+};
+
+class Pbit;
+
+/// Shared configuration for a family of entangled pbits.
+class PbpContext : public std::enable_shared_from_this<PbpContext> {
+ public:
+  /// chunk_ways only matters for the compressed backend; the LCPC'20
+  /// prototype's 4096-bit chunks correspond to chunk_ways = 12.
+  static std::shared_ptr<PbpContext> create(unsigned ways,
+                                            Backend backend = Backend::kDense,
+                                            unsigned chunk_ways = 12);
+
+  unsigned ways() const { return ways_; }
+  Backend backend() const { return backend_; }
+  const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
+
+  Pbit zero();
+  Pbit one();
+  Pbit hadamard(unsigned k);
+  Pbit from_aob(const Aob& a);
+
+ private:
+  PbpContext(unsigned ways, Backend backend, unsigned chunk_ways);
+
+  unsigned ways_;
+  Backend backend_;
+  std::shared_ptr<ChunkPool> pool_;  // null for the dense backend
+};
+
+/// One entangled superposed bit.  Value-semantic; copying is O(size) dense
+/// and O(runs) compressed.
+class Pbit {
+ public:
+  unsigned ways() const;
+  std::size_t bit_count() const { return std::size_t{1} << ways(); }
+
+  // --- Channel-wise gates (Table 3 semantics). ---
+  Pbit operator&(const Pbit& o) const;
+  Pbit operator|(const Pbit& o) const;
+  Pbit operator^(const Pbit& o) const;
+  Pbit operator~() const;
+  Pbit and_not(const Pbit& o) const;
+
+  /// In-place reversible gates, matching the Qat instruction forms.
+  void pauli_x();                              // not @a
+  void cnot(const Pbit& control);              // @a ^= control
+  void ccnot(const Pbit& c1, const Pbit& c2);  // @a ^= c1 & c2 (Toffoli)
+  static void swap_values(Pbit& a, Pbit& b) noexcept;
+  static void cswap(Pbit& a, Pbit& b, const Pbit& control);  // Fredkin
+
+  // --- Non-destructive measurement family (§2.7). ---
+  bool meas(std::size_t channel) const;                       // meas $d,@a
+  std::optional<std::size_t> next_one(std::size_t ch) const;  // next $d,@a
+  std::size_t pop_after(std::size_t ch) const;                // pop extension
+  std::size_t popcount() const;                               // true POP
+  bool any() const;
+  bool all() const;
+
+  bool operator==(const Pbit& o) const;
+
+  /// Dense view (decompresses if needed; requires small enough ways).
+  Aob to_aob() const;
+
+  /// Compressed-size metric; equals dense size for the dense backend.
+  std::size_t storage_bytes() const;
+
+ private:
+  friend class PbpContext;
+  explicit Pbit(Aob a) : v_(std::move(a)) {}
+  explicit Pbit(Re r) : v_(std::move(r)) {}
+
+  void apply(BitOp op, const Pbit& o);
+
+  std::variant<Aob, Re> v_;
+};
+
+}  // namespace pbp

@@ -1,0 +1,358 @@
+#include "pbp/pint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+namespace pbp {
+
+Pint::Pint(std::shared_ptr<Circuit> c, std::vector<Node> bits)
+    : c_(std::move(c)), bits_(std::move(bits)) {
+  if (!c_) throw std::invalid_argument("Pint: null circuit");
+  if (bits_.empty()) throw std::invalid_argument("Pint: zero width");
+}
+
+Pint Pint::constant(std::shared_ptr<Circuit> c, unsigned width,
+                    std::uint64_t value) {
+  if (width == 0 || width > 64) throw std::invalid_argument("Pint: bad width");
+  std::vector<Node> bits;
+  bits.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bits.push_back(((value >> i) & 1u) ? c->one() : c->zero());
+  }
+  return Pint(std::move(c), std::move(bits));
+}
+
+Pint Pint::hadamard(std::shared_ptr<Circuit> c, unsigned width,
+                    std::uint32_t channel_mask) {
+  if (static_cast<unsigned>(std::popcount(channel_mask)) != width) {
+    throw std::invalid_argument(
+        "Pint::hadamard: channel_mask popcount must equal width");
+  }
+  std::vector<Node> bits;
+  bits.reserve(width);
+  for (unsigned k = 0; k < 32; ++k) {
+    if ((channel_mask >> k) & 1u) bits.push_back(c->had(k));
+  }
+  return Pint(std::move(c), std::move(bits));
+}
+
+std::shared_ptr<Circuit> Pint::same_circuit(const Pint& a, const Pint& b) {
+  if (a.c_ != b.c_) {
+    throw std::invalid_argument("Pint: operands from different circuits");
+  }
+  return a.c_;
+}
+
+void Pint::align(const Pint& a, const Pint& b, std::vector<Node>& xa,
+                 std::vector<Node>& xb) {
+  auto c = same_circuit(a, b);
+  const unsigned w = std::max(a.width(), b.width());
+  xa = a.bits_;
+  xb = b.bits_;
+  while (xa.size() < w) xa.push_back(c->zero());
+  while (xb.size() < w) xb.push_back(c->zero());
+}
+
+namespace {
+
+using Node = Circuit::Node;
+
+/// One full-adder layer: returns sum bit, updates carry in place.
+Node full_adder(Circuit& c, Node a, Node b, Node& carry) {
+  const Node axb = c.g_xor(a, b);
+  const Node sum = c.g_xor(axb, carry);
+  // carry' = (a & b) | (carry & (a ^ b))
+  carry = c.g_or(c.g_and(a, b), c.g_and(carry, axb));
+  return sum;
+}
+
+std::vector<Node> ripple_add(Circuit& c, const std::vector<Node>& a,
+                             const std::vector<Node>& b, bool keep_carry) {
+  std::vector<Node> out;
+  out.reserve(a.size() + 1);
+  Node carry = c.zero();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(full_adder(c, a[i], b[i], carry));
+  }
+  if (keep_carry) out.push_back(carry);
+  return out;
+}
+
+}  // namespace
+
+Pint Pint::add(const Pint& a, const Pint& b) {
+  std::vector<Node> xa;
+  std::vector<Node> xb;
+  align(a, b, xa, xb);
+  auto c = same_circuit(a, b);
+  return Pint(c, ripple_add(*c, xa, xb, /*keep_carry=*/true));
+}
+
+Pint Pint::add_mod(const Pint& a, const Pint& b) {
+  std::vector<Node> xa;
+  std::vector<Node> xb;
+  align(a, b, xa, xb);
+  auto c = same_circuit(a, b);
+  return Pint(c, ripple_add(*c, xa, xb, /*keep_carry=*/false));
+}
+
+Pint Pint::sub_mod(const Pint& a, const Pint& b) {
+  std::vector<Node> xa;
+  std::vector<Node> xb;
+  align(a, b, xa, xb);
+  auto c = same_circuit(a, b);
+  // a - b = a + ~b + 1 (two's complement), carry-in forced to 1.
+  std::vector<Node> out;
+  out.reserve(xa.size());
+  Node carry = c->one();
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    out.push_back(full_adder(*c, xa[i], c->g_not(xb[i]), carry));
+  }
+  return Pint(c, std::move(out));
+}
+
+Pint Pint::mul(const Pint& a, const Pint& b) {
+  auto c = same_circuit(a, b);
+  const unsigned wr = a.width() + b.width();
+  // Shift-and-add: accumulate partial products (a AND b_j) << j.
+  std::vector<Node> acc(wr, c->zero());
+  for (unsigned j = 0; j < b.width(); ++j) {
+    std::vector<Node> pp(wr, c->zero());
+    for (unsigned i = 0; i < a.width(); ++i) {
+      pp[i + j] = c->g_and(a.bits_[i], b.bits_[j]);
+    }
+    acc = ripple_add(*c, acc, pp, /*keep_carry=*/false);
+  }
+  return Pint(c, std::move(acc));
+}
+
+std::pair<Pint, Pint> Pint::divmod_const(const Pint& a,
+                                         std::uint64_t divisor) {
+  if (divisor == 0) throw std::invalid_argument("Pint: division by zero");
+  auto c = a.c_;
+  const unsigned dw = static_cast<unsigned>(std::bit_width(divisor));
+  // Remainder register: one spare bit so (rem << 1) | a_i never overflows
+  // before the compare-and-restore step.
+  const unsigned rw = dw + 1;
+  Pint rem = Pint::constant(c, rw, 0);
+  const Pint d = Pint::constant(c, rw, divisor);
+  std::vector<Node> quot(a.width());
+  for (unsigned i = a.width(); i-- > 0;) {
+    // rem = (rem << 1) | a_i, dropping the spare bit (always 0 here).
+    std::vector<Node> shifted;
+    shifted.reserve(rw);
+    shifted.push_back(a.bits_[i]);
+    for (unsigned j = 0; j + 1 < rw; ++j) shifted.push_back(rem.bits_[j]);
+    rem = Pint(c, std::move(shifted));
+    // ge = rem >= divisor; restore or keep.
+    const Pint ge = Pint::le(d, rem);
+    quot[i] = ge.bits_[0];
+    rem = Pint::select(ge, Pint::sub_mod(rem, d), rem);
+  }
+  return {Pint(c, std::move(quot)), rem.resize(dw)};
+}
+
+Pint Pint::mod_const(const Pint& a, std::uint64_t m) {
+  return divmod_const(a, m).second;
+}
+
+Pint Pint::modexp_const(std::uint64_t base, const Pint& a, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("Pint: modulus zero");
+  auto c = a.c_;
+  const unsigned w = static_cast<unsigned>(std::bit_width(m));
+  Pint acc = Pint::constant(c, w, 1 % m);
+  std::uint64_t factor = base % m;
+  for (unsigned i = 0; i < a.width(); ++i) {
+    // Where bit i of the exponent is 1, multiply by base^(2^i) mod m.
+    const Pint scaled =
+        mod_const(mul(acc, Pint::constant(c, w, factor)), m);
+    const Pint bit(c, {a.bits_[i]});
+    acc = Pint::select(bit, scaled, acc);
+    factor = (factor * factor) % m;  // classical square of the constant
+  }
+  return acc;
+}
+
+Pint Pint::eq(const Pint& a, const Pint& b) {
+  std::vector<Node> xa;
+  std::vector<Node> xb;
+  align(a, b, xa, xb);
+  auto c = same_circuit(a, b);
+  // AND-reduce per-bit XNORs.
+  Node r = c->g_not(c->g_xor(xa[0], xb[0]));
+  for (std::size_t i = 1; i < xa.size(); ++i) {
+    r = c->g_and(r, c->g_not(c->g_xor(xa[i], xb[i])));
+  }
+  return Pint(c, {r});
+}
+
+Pint Pint::ne(const Pint& a, const Pint& b) {
+  const Pint e = eq(a, b);
+  return Pint(e.c_, {e.c_->g_not(e.bits_[0])});
+}
+
+Pint Pint::lt(const Pint& a, const Pint& b) {
+  std::vector<Node> xa;
+  std::vector<Node> xb;
+  align(a, b, xa, xb);
+  auto c = same_circuit(a, b);
+  // LSB-to-MSB ripple: after bit i, lt = (~a_i & b_i) | (a_i == b_i & lt-so-far),
+  // so the final accumulator compares the full words with MSB priority.
+  Node lt2 = c->zero();
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    const Node ai = xa[i];
+    const Node bi = xb[i];
+    const Node this_lt = c->g_and(c->g_not(ai), bi);
+    const Node eq_i = c->g_not(c->g_xor(ai, bi));
+    lt2 = c->g_or(this_lt, c->g_and(eq_i, lt2));
+  }
+  return Pint(c, {lt2});
+}
+
+Pint Pint::le(const Pint& a, const Pint& b) {
+  const Pint g = lt(b, a);
+  return Pint(g.c_, {g.c_->g_not(g.bits_[0])});
+}
+
+Pint operator&(const Pint& a, const Pint& b) {
+  std::vector<Pint::Node> xa;
+  std::vector<Pint::Node> xb;
+  Pint::align(a, b, xa, xb);
+  auto c = Pint::same_circuit(a, b);
+  std::vector<Pint::Node> out;
+  out.reserve(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) out.push_back(c->g_and(xa[i], xb[i]));
+  return Pint(c, std::move(out));
+}
+
+Pint operator|(const Pint& a, const Pint& b) {
+  std::vector<Pint::Node> xa;
+  std::vector<Pint::Node> xb;
+  Pint::align(a, b, xa, xb);
+  auto c = Pint::same_circuit(a, b);
+  std::vector<Pint::Node> out;
+  out.reserve(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) out.push_back(c->g_or(xa[i], xb[i]));
+  return Pint(c, std::move(out));
+}
+
+Pint operator^(const Pint& a, const Pint& b) {
+  std::vector<Pint::Node> xa;
+  std::vector<Pint::Node> xb;
+  Pint::align(a, b, xa, xb);
+  auto c = Pint::same_circuit(a, b);
+  std::vector<Pint::Node> out;
+  out.reserve(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) out.push_back(c->g_xor(xa[i], xb[i]));
+  return Pint(c, std::move(out));
+}
+
+Pint Pint::operator~() const {
+  std::vector<Node> out;
+  out.reserve(bits_.size());
+  for (const Node b : bits_) out.push_back(c_->g_not(b));
+  return Pint(c_, std::move(out));
+}
+
+Pint Pint::shl(unsigned k) const {
+  std::vector<Node> out;
+  out.reserve(bits_.size() + k);
+  for (unsigned i = 0; i < k; ++i) out.push_back(c_->zero());
+  out.insert(out.end(), bits_.begin(), bits_.end());
+  return Pint(c_, std::move(out));
+}
+
+Pint Pint::shl_var(const Pint& a, const Pint& amount) {
+  auto c = same_circuit(a, amount);
+  if (amount.width() > 6) {
+    throw std::invalid_argument("Pint::shl_var: amount wider than 6 bits");
+  }
+  const unsigned max_shift = (1u << amount.width()) - 1;
+  Pint cur = a.resize(a.width() + max_shift);
+  // One conditional-shift layer per amount bit, exactly a barrel shifter:
+  // layer k selects between cur and cur << 2^k under amount's bit k.
+  for (unsigned k = 0; k < amount.width(); ++k) {
+    const Pint bit(c, {amount.bits_[k]});
+    const Pint shifted = cur.shl(1u << k).resize(cur.width());
+    cur = Pint::select(bit, shifted, cur);
+  }
+  return cur;
+}
+
+Pint Pint::resize(unsigned w) const {
+  if (w == 0) throw std::invalid_argument("Pint::resize: zero width");
+  std::vector<Node> out(bits_.begin(),
+                        bits_.begin() + std::min<std::size_t>(w, bits_.size()));
+  while (out.size() < w) out.push_back(c_->zero());
+  return Pint(c_, std::move(out));
+}
+
+Pint Pint::select(const Pint& cond, const Pint& then_v, const Pint& else_v) {
+  if (cond.width() != 1) {
+    throw std::invalid_argument("Pint::select: cond must be 1 pbit");
+  }
+  std::vector<Node> xt;
+  std::vector<Node> xf;
+  align(then_v, else_v, xt, xf);
+  auto c = same_circuit(then_v, else_v);
+  same_circuit(cond, then_v);
+  std::vector<Node> out;
+  out.reserve(xt.size());
+  for (std::size_t i = 0; i < xt.size(); ++i) {
+    out.push_back(c->g_mux(cond.bits_[0], xt[i], xf[i]));
+  }
+  return Pint(c, std::move(out));
+}
+
+Pint Pint::gate_by(const Pint& a, const Pint& enable) {
+  if (enable.width() != 1) {
+    throw std::invalid_argument("Pint::gate_by: enable must be 1 pbit");
+  }
+  auto c = same_circuit(a, enable);
+  std::vector<Node> out;
+  out.reserve(a.bits_.size());
+  for (const Node b : a.bits_) out.push_back(c->g_and(b, enable.bits_[0]));
+  return Pint(c, std::move(out));
+}
+
+std::uint64_t Pint::value_at_channel(std::size_t ch) const {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width(); ++i) {
+    if (c_->meas(bits_[i], ch)) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::vector<std::pair<std::uint64_t, std::size_t>> Pint::measure_distribution()
+    const {
+  // Force evaluation of every pbit once, then sweep channels.
+  std::vector<const Pbit*> vals;
+  vals.reserve(width());
+  for (const Node b : bits_) vals.push_back(&c_->eval(b));
+  const std::size_t channels = std::size_t{1} << c_->ways();
+  std::map<std::uint64_t, std::size_t> hist;
+  for (std::size_t e = 0; e < channels; ++e) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width(); ++i) {
+      if (vals[i]->meas(e)) v |= std::uint64_t{1} << i;
+    }
+    ++hist[v];
+  }
+  return {hist.begin(), hist.end()};
+}
+
+std::vector<std::uint64_t> Pint::measure_values() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& entry : measure_distribution()) out.push_back(entry.first);
+  return out;
+}
+
+std::size_t Pint::channels_equal_to(std::uint64_t value) const {
+  // POP of the equality pbit: probability of `value` in parts per 2^E.
+  const Pint v = Pint::constant(c_, width(), value);
+  return c_->popcount(eq(*this, v).bits_[0]);
+}
+
+}  // namespace pbp

@@ -1,0 +1,125 @@
+// pint.hpp — pattern integers: multi-pbit words over a shared gate circuit
+// (paper §4.1, Figure 9).
+//
+// A pint is an ordered vector of pbits (LSB first), each a node of one shared
+// Circuit.  Word-level operations synthesize the corresponding gate networks
+// channel-wise — a ripple-carry adder really is a per-channel ripple-carry
+// adder evaluated simultaneously in all 2^E entanglement channels, which is
+// how multiplying two Hadamard-initialized pints computes *every* product at
+// once.  Measurement is non-destructive and returns the full distribution
+// (the PBP advantage over quantum measurement, §2.7).
+//
+// The Figure 9 program maps directly:
+//   pint a = pint_mk(4, 15)    → Pint::constant(c, 4, 15)
+//   pint b = pint_h(4, 0x0f)   → Pint::hadamard(c, 4, 0x0f)
+//   pint d = pint_mul(b, c)    → Pint::mul(b, c)
+//   pint e = pint_eq(d, a)     → Pint::eq(d, a)
+//   pint_measure(f)            → f.measure_values()
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pbp/circuit.hpp"
+
+namespace pbp {
+
+class Pint {
+ public:
+  using Node = Circuit::Node;
+
+  Pint(std::shared_ptr<Circuit> c, std::vector<Node> bits);
+
+  /// pint_mk: a width-bit constant (every channel holds `value`).
+  static Pint constant(std::shared_ptr<Circuit> c, unsigned width,
+                       std::uint64_t value);
+
+  /// pint_h: width-bit value whose i-th pbit is the Hadamard pattern of the
+  /// i-th set bit of `channel_mask`.  Figure 9 uses pint_h(4,0x0f) for
+  /// H(0..3) and pint_h(4,0xf0) for H(4..7), giving disjoint entanglement
+  /// channels so that products are 8-way entangled.  The popcount of
+  /// channel_mask must equal width.
+  static Pint hadamard(std::shared_ptr<Circuit> c, unsigned width,
+                       std::uint32_t channel_mask);
+
+  unsigned width() const { return static_cast<unsigned>(bits_.size()); }
+  Node bit(unsigned i) const { return bits_[i]; }
+  const std::shared_ptr<Circuit>& circuit() const { return c_; }
+
+  // --- Arithmetic (unsigned). ---
+  /// Full-width sum: result is max(width)+1 bits (no overflow loss).
+  static Pint add(const Pint& a, const Pint& b);
+  /// Modular sum at max(width) bits (wraps).
+  static Pint add_mod(const Pint& a, const Pint& b);
+  /// a - b modulo 2^max(width) (two's complement).
+  static Pint sub_mod(const Pint& a, const Pint& b);
+  /// Full product: width(a)+width(b) bits — pint_mul of Figure 9.
+  static Pint mul(const Pint& a, const Pint& b);
+
+  /// Unsigned division by a nonzero constant, per channel, via restoring
+  /// long division (one compare/subtract/select layer per dividend bit).
+  /// Returns {quotient (width(a) bits), remainder (bit_width(divisor) bits)}.
+  static std::pair<Pint, Pint> divmod_const(const Pint& a,
+                                            std::uint64_t divisor);
+  /// a mod m for constant m >= 1.
+  static Pint mod_const(const Pint& a, std::uint64_t m);
+  /// base^a mod m for constants base, m — the modular-exponentiation network
+  /// at the heart of Shor-style period finding, evaluated in every channel
+  /// at once (square-and-multiply with per-channel select on a's pbits).
+  static Pint modexp_const(std::uint64_t base, const Pint& a,
+                           std::uint64_t m);
+
+  // --- Comparisons: produce a 1-pbit pint. ---
+  static Pint eq(const Pint& a, const Pint& b);  // pint_eq of Figure 9
+  static Pint ne(const Pint& a, const Pint& b);
+  static Pint lt(const Pint& a, const Pint& b);  // unsigned a < b
+  static Pint le(const Pint& a, const Pint& b);
+
+  // --- Bitwise (zero-extending the narrower operand). ---
+  friend Pint operator&(const Pint& a, const Pint& b);
+  friend Pint operator|(const Pint& a, const Pint& b);
+  friend Pint operator^(const Pint& a, const Pint& b);
+  Pint operator~() const;
+
+  /// Left shift by a constant (width grows by k).
+  Pint shl(unsigned k) const;
+  /// Left shift by a superposed amount: a log-depth barrel network (one mux
+  /// layer per amount bit — the same structure as Figure 8's step-1 barrel
+  /// shifter, here built from gates over pbits).  Result width is
+  /// width() + 2^amount.width() - 1 so no channel's value is truncated.
+  static Pint shl_var(const Pint& a, const Pint& amount);
+  /// Truncate/zero-extend to exactly w bits.
+  Pint resize(unsigned w) const;
+
+  /// Per-channel conditional: cond must be 1 pbit wide.
+  static Pint select(const Pint& cond, const Pint& then_v,
+                     const Pint& else_v);
+
+  /// Broadcast-AND with a single pbit (Figure 9's `pint_mul(e, b)` zeroing
+  /// of non-factors is exactly this).
+  static Pint gate_by(const Pint& a, const Pint& enable);
+
+  // --- Non-destructive measurement. ---
+  /// Full distribution: (value, channel count), sorted by value.  O(2^E · w).
+  std::vector<std::pair<std::uint64_t, std::size_t>> measure_distribution()
+      const;
+  /// Distinct values present in the superposition — what pint_measure prints
+  /// in Figure 9.
+  std::vector<std::uint64_t> measure_values() const;
+  /// The value encoded in one entanglement channel.
+  std::uint64_t value_at_channel(std::size_t ch) const;
+  /// Probability of `value` in parts per 2^E (a popcount per §2.7).
+  std::size_t channels_equal_to(std::uint64_t value) const;
+
+ private:
+  static void align(const Pint& a, const Pint& b, std::vector<Node>& xa,
+                    std::vector<Node>& xb);
+  static std::shared_ptr<Circuit> same_circuit(const Pint& a, const Pint& b);
+
+  std::shared_ptr<Circuit> c_;
+  std::vector<Node> bits_;  // LSB first
+};
+
+}  // namespace pbp

@@ -1,0 +1,419 @@
+#include "pbp/re.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+namespace {
+
+std::uint64_t pack_memo_key(BitOp op, ChunkPool::SymbolId a,
+                            ChunkPool::SymbolId b) {
+  // Symbols are pool indices; 2^28 distinct chunks is far beyond any
+  // realistic pool, so 28+28+4 bits pack losslessly into 60.
+  return (static_cast<std::uint64_t>(op) << 56) |
+         (static_cast<std::uint64_t>(a) << 28) | b;
+}
+
+std::uint64_t apply_op_word(BitOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case BitOp::And:
+      return a & b;
+    case BitOp::Or:
+      return a | b;
+    case BitOp::Xor:
+      return a ^ b;
+    case BitOp::AndNot:
+      return a & ~b;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ChunkPool::ChunkPool(unsigned chunk_ways) : chunk_ways_(chunk_ways) {
+  if (chunk_ways > kMaxAobWays) {
+    throw std::invalid_argument("ChunkPool: chunk_ways too large");
+  }
+  zero_ = intern(Aob::zeros(chunk_ways));
+  one_ = intern(Aob::ones(chunk_ways));
+}
+
+ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
+  if (chunk.ways() != chunk_ways_) {
+    throw std::invalid_argument("ChunkPool: wrong chunk size");
+  }
+  const std::uint64_t h = chunk.hash();
+  auto [lo, hi] = by_hash_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (chunks_[it->second] == chunk) return it->second;
+  }
+  const SymbolId id = static_cast<SymbolId>(chunks_.size());
+  chunks_.push_back(chunk);
+  pops_.push_back(std::numeric_limits<std::size_t>::max());
+  by_hash_.emplace(h, id);
+  return id;
+}
+
+ChunkPool::SymbolId ChunkPool::hadamard_symbol(unsigned k) {
+  if (k >= chunk_ways_) {
+    throw std::invalid_argument("ChunkPool: hadamard_symbol k >= chunk_ways");
+  }
+  return intern(hadamard_generate(chunk_ways_, k));
+}
+
+ChunkPool::SymbolId ChunkPool::apply(BitOp op, SymbolId a, SymbolId b) {
+  // Trivial identities avoid touching chunk data at all.
+  switch (op) {
+    case BitOp::And:
+      if (a == zero_ || b == zero_) return zero_;
+      if (a == one_) return b;
+      if (b == one_) return a;
+      if (a == b) return a;
+      break;
+    case BitOp::Or:
+      if (a == one_ || b == one_) return one_;
+      if (a == zero_) return b;
+      if (b == zero_) return a;
+      if (a == b) return a;
+      break;
+    case BitOp::Xor:
+      if (a == b) return zero_;
+      if (a == zero_) return b;
+      if (b == zero_) return a;
+      break;
+    case BitOp::AndNot:
+      if (a == zero_ || b == one_) return zero_;
+      if (b == zero_) return a;
+      if (a == b) return zero_;
+      break;
+  }
+  // Commutative ops: canonicalize operand order to double memo hit rate.
+  if (op != BitOp::AndNot && a > b) std::swap(a, b);
+  const std::uint64_t key = pack_memo_key(op, a, b);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++memo_misses_;
+  Aob r = chunks_[a];
+  auto rw = r.words_mut();
+  const auto bw = chunks_[b].words();
+  for (std::size_t i = 0; i < rw.size(); ++i) {
+    rw[i] = apply_op_word(op, rw[i], bw[i]);
+  }
+  if (op == BitOp::AndNot && r.bit_count() < 64) {
+    // AndNot can set dead tail bits via ~b; re-mask.  (a & ~b with a's tail
+    // zero keeps the tail zero, so this is only defensive.)
+    rw[0] &= (std::uint64_t{1} << r.bit_count()) - 1;
+  }
+  const SymbolId rid = intern(r);
+  memo_.emplace(key, rid);
+  return rid;
+}
+
+ChunkPool::SymbolId ChunkPool::apply_not(SymbolId a) {
+  if (a == zero_) return one_;
+  if (a == one_) return zero_;
+  if (auto it = not_memo_.find(a); it != not_memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++memo_misses_;
+  const SymbolId rid = intern(~chunks_[a]);
+  not_memo_.emplace(a, rid);
+  not_memo_.emplace(rid, a);  // involution: cache both directions
+  return rid;
+}
+
+std::size_t ChunkPool::popcount(SymbolId id) {
+  if (pops_[id] == std::numeric_limits<std::size_t>::max()) {
+    pops_[id] = chunks_[id].popcount();
+  }
+  return pops_[id];
+}
+
+// ---------------------------------------------------------------------------
+
+Re::Re(std::shared_ptr<ChunkPool> pool, unsigned ways)
+    : pool_(std::move(pool)), ways_(ways) {
+  if (!pool_) throw std::invalid_argument("Re: null pool");
+  if (ways < pool_->chunk_ways()) {
+    throw std::invalid_argument("Re: ways below chunk_ways");
+  }
+  if (ways >= 64) throw std::invalid_argument("Re: ways out of range");
+  runs_.push_back({pool_->zero_symbol(), chunks_total()});
+}
+
+Re Re::zeros(std::shared_ptr<ChunkPool> pool, unsigned ways) {
+  return Re(std::move(pool), ways);
+}
+
+Re Re::ones(std::shared_ptr<ChunkPool> pool, unsigned ways) {
+  Re r(std::move(pool), ways);
+  r.runs_[0].sym = r.pool_->one_symbol();
+  return r;
+}
+
+Re Re::hadamard(std::shared_ptr<ChunkPool> pool, unsigned ways, unsigned k) {
+  Re r(std::move(pool), ways);
+  const unsigned cw = r.pool_->chunk_ways();
+  if (k >= ways) return r;  // all zeros, matching hadamard_generate
+  if (k < cw) {
+    // The pattern repeats entirely within each chunk: one run of one symbol.
+    r.runs_[0].sym = r.pool_->hadamard_symbol(k);
+    return r;
+  }
+  // Alternating blocks of 2^(k-cw) all-zero / all-one chunks.
+  const std::uint64_t block = std::uint64_t{1} << (k - cw);
+  const std::uint64_t total = r.chunks_total();
+  r.runs_.clear();
+  for (std::uint64_t done = 0; done < total; done += 2 * block) {
+    r.runs_.push_back({r.pool_->zero_symbol(), block});
+    r.runs_.push_back({r.pool_->one_symbol(), block});
+  }
+  return r;
+}
+
+Re Re::from_aob(std::shared_ptr<ChunkPool> pool, const Aob& a) {
+  Re r(pool, a.ways());
+  const unsigned cw = pool->chunk_ways();
+  const std::size_t cbits = std::size_t{1} << cw;
+  std::vector<Run> runs;
+  Aob chunk(cw);
+  for (std::size_t c = 0; c < r.chunks_total(); ++c) {
+    for (std::size_t b = 0; b < cbits; ++b) chunk.set(b, a.get(c * cbits + b));
+    r.push_run(runs, pool->intern(chunk), 1);
+  }
+  r.runs_ = std::move(runs);
+  return r;
+}
+
+Aob Re::to_aob() const {
+  Aob a(ways_);
+  const std::size_t cbits = pool_->chunk_bits();
+  std::size_t base = 0;
+  for (const Run& run : runs_) {
+    for (std::uint64_t i = 0; i < run.count; ++i) {
+      const Aob& c = pool_->chunk(run.sym);
+      for (std::size_t b = 0; b < cbits; ++b) {
+        if (c.get(b)) a.set(base + b, true);
+      }
+      base += cbits;
+    }
+  }
+  return a;
+}
+
+void Re::push_run(std::vector<Run>& out, ChunkPool::SymbolId sym,
+                  std::uint64_t count) const {
+  if (count == 0) return;
+  if (!out.empty() && out.back().sym == sym) {
+    out.back().count += count;
+  } else {
+    out.push_back({sym, count});
+  }
+}
+
+void Re::check_compatible(const Re& o) const {
+  if (pool_ != o.pool_) throw std::invalid_argument("Re: different pools");
+  if (ways_ != o.ways_) throw std::invalid_argument("Re: different ways");
+}
+
+bool Re::get(std::size_t ch) const {
+  ch &= bit_count() - 1;
+  const std::size_t cbits = pool_->chunk_bits();
+  std::uint64_t chunk_index = ch / cbits;
+  for (const Run& run : runs_) {
+    if (chunk_index < run.count) return pool_->chunk(run.sym).get(ch % cbits);
+    chunk_index -= run.count;
+  }
+  return false;  // unreachable for well-formed runs
+}
+
+void Re::set(std::size_t ch, bool v) {
+  ch &= bit_count() - 1;
+  const std::size_t cbits = pool_->chunk_bits();
+  const std::uint64_t target = ch / cbits;
+  std::vector<Run> out;
+  out.reserve(runs_.size() + 2);
+  std::uint64_t base = 0;
+  for (const Run& run : runs_) {
+    if (target >= base && target < base + run.count) {
+      const std::uint64_t before = target - base;
+      Aob chunk = pool_->chunk(run.sym);
+      chunk.set(ch % cbits, v);
+      push_run(out, run.sym, before);
+      push_run(out, pool_->intern(chunk), 1);
+      push_run(out, run.sym, run.count - before - 1);
+    } else {
+      push_run(out, run.sym, run.count);
+    }
+    base += run.count;
+  }
+  runs_ = std::move(out);
+}
+
+void Re::apply(BitOp op, const Re& o) {
+  check_compatible(o);
+  std::vector<Run> out;
+  out.reserve(runs_.size() + o.runs_.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::uint64_t ra = runs_.empty() ? 0 : runs_[0].count;
+  std::uint64_t rb = o.runs_.empty() ? 0 : o.runs_[0].count;
+  // Lockstep run walk: each output run covers min(remaining-a, remaining-b)
+  // chunks, and the chunk-level op is memoized in the pool — so total work is
+  // O(run pairs), not O(2^E).
+  while (ia < runs_.size() && ib < o.runs_.size()) {
+    const std::uint64_t n = ra < rb ? ra : rb;
+    push_run(out, pool_->apply(op, runs_[ia].sym, o.runs_[ib].sym), n);
+    ra -= n;
+    rb -= n;
+    if (ra == 0 && ++ia < runs_.size()) ra = runs_[ia].count;
+    if (rb == 0 && ++ib < o.runs_.size()) rb = o.runs_[ib].count;
+  }
+  runs_ = std::move(out);
+}
+
+void Re::invert() {
+  for (Run& run : runs_) run.sym = pool_->apply_not(run.sym);
+  // Adjacent runs can now merge (e.g. H(k) and ~H(k) share structure).
+  std::vector<Run> out;
+  out.reserve(runs_.size());
+  for (const Run& run : runs_) push_run(out, run.sym, run.count);
+  runs_ = std::move(out);
+}
+
+void Re::cswap(Re& a, Re& b, const Re& c) {
+  a.check_compatible(b);
+  a.check_compatible(c);
+  // a' = (a & ~c) | (b & c);  b' = (b & ~c) | (a & c) — four symbolic ops.
+  Re a_keep = a;
+  a_keep.apply(BitOp::AndNot, c);
+  Re a_take = b;
+  a_take.apply(BitOp::And, c);
+  Re b_keep = b;
+  b_keep.apply(BitOp::AndNot, c);
+  Re b_take = a;
+  b_take.apply(BitOp::And, c);
+  a = std::move(a_keep);
+  a.apply(BitOp::Or, a_take);
+  b = std::move(b_keep);
+  b.apply(BitOp::Or, b_take);
+}
+
+void Re::swap_values(Re& a, Re& b) noexcept {
+  std::swap(a.pool_, b.pool_);
+  std::swap(a.ways_, b.ways_);
+  a.runs_.swap(b.runs_);
+}
+
+std::size_t Re::popcount() const {
+  std::size_t n = 0;
+  for (const Run& run : runs_) n += run.count * pool_->popcount(run.sym);
+  return n;
+}
+
+std::size_t Re::popcount_after(std::size_t ch) const {
+  ch &= bit_count() - 1;
+  const std::size_t start = ch + 1;
+  if (start >= bit_count()) return 0;
+  const std::size_t cbits = pool_->chunk_bits();
+  const std::uint64_t first_full_chunk = (start + cbits - 1) / cbits;
+  std::size_t n = 0;
+  // Partial leading chunk, if `start` falls mid-chunk.
+  if (start % cbits != 0) {
+    const std::uint64_t ci = start / cbits;
+    std::uint64_t base = 0;
+    for (const Run& run : runs_) {
+      if (ci < base + run.count) {
+        // popcount_after takes the *previous* channel; start%cbits > 0 here.
+        n += pool_->chunk(run.sym).popcount_after(start % cbits - 1);
+        break;
+      }
+      base += run.count;
+    }
+  }
+  // Whole chunks from first_full_chunk onward.
+  std::uint64_t base = 0;
+  for (const Run& run : runs_) {
+    const std::uint64_t lo = base > first_full_chunk ? base : first_full_chunk;
+    const std::uint64_t hi = base + run.count;
+    if (hi > lo) n += (hi - lo) * pool_->popcount(run.sym);
+    base = hi;
+  }
+  return n;
+}
+
+std::optional<std::size_t> Re::next_one(std::size_t ch) const {
+  ch &= bit_count() - 1;
+  const std::size_t start = ch + 1;
+  if (start >= bit_count()) return std::nullopt;
+  const std::size_t cbits = pool_->chunk_bits();
+  std::uint64_t base = 0;  // in chunks
+  for (const Run& run : runs_) {
+    const std::uint64_t run_end = base + run.count;
+    const std::size_t run_first_bit = base * cbits;
+    const std::size_t run_last_bit = run_end * cbits;  // exclusive
+    if (run_last_bit > start && pool_->popcount(run.sym) > 0) {
+      // The search may begin mid-run; examine at most two chunk positions
+      // symbolically (the partial first chunk, then the run's repeating
+      // chunk), never the full run.
+      std::size_t from = start > run_first_bit ? start : run_first_bit;
+      const std::uint64_t ci = from / cbits;
+      const std::size_t off = from % cbits;
+      const Aob& sym = pool_->chunk(run.sym);
+      if (off != 0) {
+        if (auto p = sym.next_one(off - 1)) return ci * cbits + *p;
+        if (ci + 1 >= run_end) {
+          base = run_end;
+          continue;  // partial chunk exhausted this run
+        }
+        from = (ci + 1) * cbits;
+      }
+      // A full repeat of the chunk starts at `from`; its first 1 is the
+      // chunk's first 1 (bit 0 handled via get + next_one).
+      if (sym.get(0)) return from;
+      if (auto p = sym.next_one(0)) return from + *p;
+    }
+    base = run_end;
+  }
+  return std::nullopt;
+}
+
+bool Re::any() const {
+  for (const Run& run : runs_) {
+    if (run.sym != pool_->zero_symbol() && pool_->popcount(run.sym) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Re::all() const {
+  const std::size_t cbits = pool_->chunk_bits();
+  for (const Run& run : runs_) {
+    if (pool_->popcount(run.sym) != cbits) return false;
+  }
+  return true;
+}
+
+bool Re::operator==(const Re& o) const {
+  if (pool_ != o.pool_ || ways_ != o.ways_) return false;
+  // Runs are kept merge-canonical by push_run, so direct comparison works.
+  if (runs_.size() != o.runs_.size()) return false;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].sym != o.runs_[i].sym || runs_[i].count != o.runs_[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Re::compressed_bytes() const {
+  return runs_.size() * sizeof(Run);
+}
+
+}  // namespace pbp

@@ -1,0 +1,141 @@
+// re.hpp — the regular-expression (RE) compressed pbit representation
+// (paper §1.2; LCPC'20 PBP software prototype).
+//
+// An AoB for high entanglement is huge (2^E bits) but typically has very low
+// entropy: it is built from Hadamard patterns and channel-wise logic, so long
+// stretches repeat.  The PBP model therefore chops the AoB into fixed-size
+// chunks (the prototype used 4096-bit chunks; the paper's hardware makes
+// 65,536-bit chunks natural) and stores a run-length-encoded sequence of
+// chunk *symbols*.  Operating directly on the compressed form gives "as much
+// as an exponential factor" savings in both storage and work (§1.2).
+//
+// Two pieces:
+//  * ChunkPool — hash-consed chunk storage shared by many Re values, with
+//    memoized chunk-level logic ops and cached popcounts.  Interning means a
+//    chunk bit-pattern is stored once no matter how many runs reference it.
+//  * Re — one 2^E-bit value as a vector of (symbol, repeat-count) runs.
+//
+// Every Re operation has an AoB counterpart with identical semantics;
+// tests/test_re.cpp checks them against each other exhaustively at small E.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pbp/aob.hpp"
+
+namespace pbp {
+
+/// Channel-wise binary logic ops shared by the AoB and RE layers.
+enum class BitOp : std::uint8_t { And, Or, Xor, AndNot };
+
+/// Hash-consed pool of 2^chunk_ways-bit chunks with memoized chunk ops.
+class ChunkPool {
+ public:
+  using SymbolId = std::uint32_t;
+
+  explicit ChunkPool(unsigned chunk_ways);
+
+  unsigned chunk_ways() const { return chunk_ways_; }
+  std::size_t chunk_bits() const { return std::size_t{1} << chunk_ways_; }
+
+  /// Intern a chunk (must be chunk_ways-way); returns its canonical symbol.
+  SymbolId intern(const Aob& chunk);
+  const Aob& chunk(SymbolId id) const { return chunks_[id]; }
+
+  SymbolId zero_symbol() const { return zero_; }
+  SymbolId one_symbol() const { return one_; }
+  /// Hadamard pattern H(k) restricted to one chunk (k < chunk_ways).
+  SymbolId hadamard_symbol(unsigned k);
+
+  /// Memoized symbolic ops: work is done once per distinct operand pair.
+  SymbolId apply(BitOp op, SymbolId a, SymbolId b);
+  SymbolId apply_not(SymbolId a);
+
+  /// Cached popcount of a symbol's chunk.
+  std::size_t popcount(SymbolId id);
+
+  /// Distinct symbols interned so far (a compression metric).
+  std::size_t size() const { return chunks_.size(); }
+  /// Memo-table hits (a symbolic-execution effectiveness metric).
+  std::uint64_t memo_hits() const { return memo_hits_; }
+  std::uint64_t memo_misses() const { return memo_misses_; }
+
+ private:
+  unsigned chunk_ways_;
+  std::vector<Aob> chunks_;
+  std::vector<std::size_t> pops_;  // SIZE_MAX = not yet computed
+  std::unordered_multimap<std::uint64_t, SymbolId> by_hash_;
+  std::unordered_map<std::uint64_t, SymbolId> memo_;      // packed (op,a,b)
+  std::unordered_map<SymbolId, SymbolId> not_memo_;
+  SymbolId zero_ = 0;
+  SymbolId one_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_misses_ = 0;
+};
+
+/// One 2^E-bit entangled-superposition value in compressed RE form.
+class Re {
+ public:
+  /// All-zero value; requires ways >= pool->chunk_ways().
+  Re(std::shared_ptr<ChunkPool> pool, unsigned ways);
+
+  static Re zeros(std::shared_ptr<ChunkPool> pool, unsigned ways);
+  static Re ones(std::shared_ptr<ChunkPool> pool, unsigned ways);
+  static Re hadamard(std::shared_ptr<ChunkPool> pool, unsigned ways, unsigned k);
+  static Re from_aob(std::shared_ptr<ChunkPool> pool, const Aob& a);
+
+  /// Decompress (only valid for ways small enough for a dense Aob).
+  Aob to_aob() const;
+
+  unsigned ways() const { return ways_; }
+  std::size_t bit_count() const { return std::size_t{1} << ways_; }
+  const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
+
+  bool get(std::size_t ch) const;
+  void set(std::size_t ch, bool v);
+
+  /// Channel-wise logic, computed run-lockstep on the compressed form.
+  void apply(BitOp op, const Re& o);
+  void invert();
+  static void cswap(Re& a, Re& b, const Re& c);
+  static void swap_values(Re& a, Re& b) noexcept;
+
+  std::size_t popcount() const;
+  std::size_t popcount_after(std::size_t ch) const;
+  std::optional<std::size_t> next_one(std::size_t ch) const;
+  bool any() const;
+  bool all() const;
+
+  bool operator==(const Re& o) const;
+
+  // --- Compression metrics (bench_re_compression) ---
+  /// Number of RLE runs in this value.
+  std::size_t run_count() const { return runs_.size(); }
+  /// Bytes to store this value in compressed form (runs only; pool amortized).
+  std::size_t compressed_bytes() const;
+  /// Bytes a dense AoB of the same ways would need.
+  std::size_t dense_bytes() const { return bit_count() / 8; }
+
+ private:
+  struct Run {
+    ChunkPool::SymbolId sym;
+    std::uint64_t count;  // repeats, >= 1
+  };
+
+  void push_run(std::vector<Run>& out, ChunkPool::SymbolId sym,
+                std::uint64_t count) const;
+  void check_compatible(const Re& o) const;
+  std::size_t chunks_total() const {
+    return std::size_t{1} << (ways_ - pool_->chunk_ways());
+  }
+
+  std::shared_ptr<ChunkPool> pool_;
+  unsigned ways_;
+  std::vector<Run> runs_;
+};
+
+}  // namespace pbp

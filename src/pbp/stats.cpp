@@ -1,0 +1,114 @@
+#include "pbp/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pbp {
+
+PintMoments moments(const Pint& p) {
+  auto circ = p.circuit();
+  const double channels =
+      static_cast<double>(std::size_t{1} << circ->context()->ways());
+  const unsigned w = p.width();
+
+  // First moment from per-bit populations.
+  double mean = 0.0;
+  for (unsigned i = 0; i < w; ++i) {
+    mean += std::ldexp(static_cast<double>(circ->popcount(p.bit(i))), i);
+  }
+  mean /= channels;
+
+  // Second moment from pairwise-AND populations:
+  // E[v²] = Σ_i Σ_j 2^{i+j} P(b_i ∧ b_j); the diagonal term uses b_i∧b_i=b_i.
+  double second = 0.0;
+  for (unsigned i = 0; i < w; ++i) {
+    for (unsigned j = 0; j <= i; ++j) {
+      const auto both =
+          i == j ? p.bit(i) : circ->g_and(p.bit(i), p.bit(j));
+      const double pop = static_cast<double>(circ->popcount(both));
+      second += std::ldexp(pop, i + j) * (i == j ? 1.0 : 2.0);
+    }
+  }
+  second /= channels;
+
+  PintMoments m;
+  m.mean = mean;
+  m.variance = second - mean * mean;
+  if (m.variance < 0) m.variance = 0;  // guard rounding on constants
+
+  // Extremes via the channel-enumeration-free reductions: lowest present
+  // value = value with the first ANY bit pattern...  Simplest exact route
+  // that stays cheap: scan values by bit-slicing from the MSB.
+  // max: greedily force bits high where a channel survives.
+  {
+    auto survivors = circ->one();
+    std::uint64_t v = 0;
+    for (unsigned i = w; i-- > 0;) {
+      const auto with_bit = circ->g_and(survivors, p.bit(i));
+      if (circ->any(with_bit)) {
+        survivors = with_bit;
+        v |= std::uint64_t{1} << i;
+      } else {
+        survivors = circ->g_and(survivors, circ->g_not(p.bit(i)));
+      }
+    }
+    m.max_value = v;
+  }
+  {
+    auto survivors = circ->one();
+    std::uint64_t v = 0;
+    for (unsigned i = w; i-- > 0;) {
+      const auto without = circ->g_and(survivors, circ->g_not(p.bit(i)));
+      if (circ->any(without)) {
+        survivors = without;
+      } else {
+        survivors = circ->g_and(survivors, p.bit(i));
+        v |= std::uint64_t{1} << i;
+      }
+    }
+    m.min_value = v;
+  }
+  return m;
+}
+
+double pbit_correlation(const Pint& a, unsigned bit_a, const Pint& b,
+                        unsigned bit_b) {
+  if (a.circuit() != b.circuit()) {
+    throw std::invalid_argument("pbit_correlation: different circuits");
+  }
+  auto circ = a.circuit();
+  const double n =
+      static_cast<double>(std::size_t{1} << circ->context()->ways());
+  const double pa = static_cast<double>(circ->popcount(a.bit(bit_a))) / n;
+  const double pb = static_cast<double>(circ->popcount(b.bit(bit_b))) / n;
+  const double pab =
+      static_cast<double>(
+          circ->popcount(circ->g_and(a.bit(bit_a), b.bit(bit_b)))) /
+      n;
+  const double va = pa * (1 - pa);
+  const double vb = pb * (1 - pb);
+  if (va == 0.0 || vb == 0.0) return 0.0;  // constant pbit: undefined -> 0
+  return (pab - pa * pb) / std::sqrt(va * vb);
+}
+
+std::uint64_t sample(const Pint& p, std::mt19937_64& rng) {
+  const std::size_t channels = std::size_t{1}
+                               << p.circuit()->context()->ways();
+  return p.value_at_channel(rng() % channels);
+}
+
+double entropy_bits(const Pint& p) {
+  const auto dist = p.measure_distribution();
+  std::size_t total = 0;
+  for (const auto& e : dist) total += e.second;
+  double h = 0.0;
+  for (const auto& e : dist) {
+    if (e.second == 0) continue;
+    const double prob =
+        static_cast<double>(e.second) / static_cast<double>(total);
+    h -= prob * std::log2(prob);
+  }
+  return h;
+}
+
+}  // namespace pbp

@@ -1,0 +1,52 @@
+// stats.hpp — exact distribution statistics and sampling for pattern
+// integers.
+//
+// In the PBP model a pint IS its probability distribution: value v has
+// probability (channels encoding v) / 2^E, "measured in integral parts per
+// 2^E" (paper §1.1).  Because measurement is non-destructive (§2.7), these
+// are exact quantities computed by popcount-style reductions, not estimates:
+//
+//   * expectation:   E[v]  = Σ_i 2^i · POP(bit_i) / 2^E        (w popcounts)
+//   * second moment: E[v²] = Σ_{i,j} 2^{i+j} · POP(bit_i ∧ bit_j) / 2^E
+//   * bit correlations between two pints
+//
+// sample() emulates what a QUANTUM measurement of the same register would
+// return: one value drawn with the superposition's probabilities — except
+// nothing collapses, so you can sample forever (the paper's point about
+// "no number of runs sufficient to guarantee all values have been seen" in
+// quantum computers does not apply here: measure_values() is exhaustive).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "pbp/pint.hpp"
+
+namespace pbp {
+
+struct PintMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+  /// Exact probability of the most/least-probable present values.
+  std::uint64_t min_value = 0;
+  std::uint64_t max_value = 0;
+};
+
+/// Exact moments of a pint's value distribution.  Cost: O(w²) popcounts over
+/// 2^E-bit vectors — no per-channel enumeration.
+PintMoments moments(const Pint& p);
+
+/// Exact Pearson correlation of two single pbits viewed as Bernoulli
+/// variables over the channel space; both must share the pint's circuit.
+double pbit_correlation(const Pint& a, unsigned bit_a, const Pint& b,
+                        unsigned bit_b);
+
+/// Quantum-measurement emulation: draw one value with the distribution's
+/// probabilities (uniform channel choice).  Non-destructive.
+std::uint64_t sample(const Pint& p, std::mt19937_64& rng);
+
+/// Shannon entropy (bits) of the value distribution.  Cost: O(2^E · w) —
+/// this one does enumerate channels; fine to E ≈ 20.
+double entropy_bits(const Pint& p);
+
+}  // namespace pbp

@@ -1,0 +1,74 @@
+// virtual_qat.hpp — the software Qat for entanglement beyond the hardware's
+// 16 ways (paper §1.2, §5).
+//
+// "The PBP model does not suggest representing higher degrees of entangled
+// superposition using AoB, but instead using regular expressions compressing
+// patterns in which AoB representations are treated as individual symbols."
+// VirtualQat is exactly that layer: the same register-file-plus-ALU surface
+// as the hardware QatEngine (Table 3 + pop), but each register is an Re —
+// run-length-encoded chunks interned in a shared pool, with chunk-level op
+// memoization.  chunk_ways = 16 makes every symbol one hardware-sized
+// 65,536-bit AoB, i.e. this models software driving the real coprocessor
+// chunk by chunk; smaller chunk sizes model pure-software deployments (the
+// LCPC'20 prototype used 4096-bit chunks).
+//
+// Channel arguments are std::size_t because a 16-bit Tangled register can no
+// longer address all channels — the ISA-level consequence the paper's §5
+// scaling discussion implies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pbp/re.hpp"
+
+namespace pbp {
+
+class VirtualQat {
+ public:
+  /// ways may exceed kMaxAobWays (registers are never materialized densely).
+  VirtualQat(unsigned ways, unsigned chunk_ways = 12,
+             unsigned num_regs = 256);
+
+  unsigned ways() const { return ways_; }
+  std::size_t channels() const { return std::size_t{1} << ways_; }
+  std::size_t num_regs() const { return regs_.size(); }
+  const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
+
+  const Re& reg(unsigned r) const { return regs_[r % regs_.size()]; }
+
+  // --- Table 3 operations ---
+  void zero(unsigned a);
+  void one(unsigned a);
+  void had(unsigned a, unsigned k);
+  void not_(unsigned a);
+  void cnot(unsigned a, unsigned b);
+  void ccnot(unsigned a, unsigned b, unsigned c);
+  void swap(unsigned a, unsigned b);
+  void cswap(unsigned a, unsigned b, unsigned c);
+  void and_(unsigned a, unsigned b, unsigned c);
+  void or_(unsigned a, unsigned b, unsigned c);
+  void xor_(unsigned a, unsigned b, unsigned c);
+
+  // --- Measurement family (§2.7), non-destructive ---
+  bool meas(unsigned a, std::size_t ch) const;
+  /// next: 0 aliases "none", matching the hardware ISA.
+  std::size_t next(unsigned a, std::size_t ch) const;
+  std::size_t pop_after(unsigned a, std::size_t ch) const;
+  std::size_t popcount(unsigned a) const;
+  bool any(unsigned a) const;
+  bool all(unsigned a) const;
+
+  /// Total compressed bytes across all registers (storage metric).
+  std::size_t storage_bytes() const;
+
+ private:
+  Re& rw(unsigned r) { return regs_[r % regs_.size()]; }
+
+  unsigned ways_;
+  std::shared_ptr<ChunkPool> pool_;
+  std::vector<Re> regs_;
+};
+
+}  // namespace pbp

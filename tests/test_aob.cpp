@@ -1,0 +1,252 @@
+// Tests for the dense AoB representation (paper §1.1, Figure 1).
+#include "pbp/aob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace pbp {
+namespace {
+
+TEST(Aob, ZerosAndOnesBasics) {
+  for (unsigned ways : {0u, 1u, 2u, 4u, 6u, 7u, 10u, 16u}) {
+    const Aob z = Aob::zeros(ways);
+    const Aob o = Aob::ones(ways);
+    EXPECT_EQ(z.bit_count(), std::size_t{1} << ways);
+    EXPECT_EQ(z.popcount(), 0u);
+    EXPECT_EQ(o.popcount(), o.bit_count());
+    EXPECT_FALSE(z.any());
+    EXPECT_TRUE(o.any());
+    EXPECT_FALSE(z.all());
+    EXPECT_TRUE(o.all());
+  }
+}
+
+TEST(Aob, WaysLimitEnforced) {
+  EXPECT_NO_THROW((void)Aob(kMaxAobWays));
+  EXPECT_THROW((void)Aob(kMaxAobWays + 1), std::invalid_argument);
+}
+
+TEST(Aob, GetSetRoundTrip) {
+  Aob a(10);
+  a.set(0, true);
+  a.set(511, true);
+  a.set(1023, true);
+  EXPECT_TRUE(a.get(0));
+  EXPECT_TRUE(a.get(511));
+  EXPECT_TRUE(a.get(1023));
+  EXPECT_FALSE(a.get(1));
+  EXPECT_EQ(a.popcount(), 3u);
+  a.set(511, false);
+  EXPECT_FALSE(a.get(511));
+  EXPECT_EQ(a.popcount(), 2u);
+}
+
+TEST(Aob, ChannelIndexMasksLikeHardware) {
+  // Indexing a 2^E-bit vector with a wider register wraps, as a hardware
+  // address decoder would.
+  Aob a(4);  // 16 channels
+  a.set(3, true);
+  EXPECT_TRUE(a.get(3 + 16));
+  EXPECT_TRUE(a.get(3 + 32));
+  a.set(5 + 16, true);
+  EXPECT_TRUE(a.get(5));
+}
+
+// Figure 1: two 2-way-entangled pbits {0,1,0,1} and {0,0,1,1} encode the
+// two-bit values {0,1,2,3}, one per entanglement channel.
+TEST(Aob, Figure1EquiprobablePair) {
+  Aob lsb = Aob::from_fn(2, [](std::size_t e) { return e % 2 == 1; });   // 0101
+  Aob msb = Aob::from_fn(2, [](std::size_t e) { return e >= 2; });       // 0011
+  for (std::size_t e = 0; e < 4; ++e) {
+    const unsigned value = (lsb.get(e) ? 1 : 0) + (msb.get(e) ? 2 : 0);
+    EXPECT_EQ(value, e) << "channel " << e;
+  }
+}
+
+// Figure 1's second example: vectors {0,0,1,0} and {0,0,1,1} encode values
+// {0,0,3,2} — 50% zero, 0% one, 25% two, 25% three.
+TEST(Aob, Figure1BiasedDistribution) {
+  Aob lsb(2);
+  lsb.set(2, true);  // {0,0,1,0}
+  Aob msb(2);
+  msb.set(2, true);
+  msb.set(3, true);  // {0,0,1,1}
+  unsigned counts[4] = {0, 0, 0, 0};
+  for (std::size_t e = 0; e < 4; ++e) {
+    ++counts[(lsb.get(e) ? 1 : 0) + (msb.get(e) ? 2 : 0)];
+  }
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Aob, BitwiseOpsMatchChannelwiseReference) {
+  std::mt19937_64 rng(42);
+  for (unsigned ways : {3u, 6u, 8u, 12u}) {
+    Aob a = Aob::from_fn(ways, [&](std::size_t) { return rng() & 1; });
+    Aob b = Aob::from_fn(ways, [&](std::size_t) { return rng() & 1; });
+    const Aob land = a & b;
+    const Aob lor = a | b;
+    const Aob lxor = a ^ b;
+    const Aob lnot = ~a;
+    for (std::size_t e = 0; e < a.bit_count(); ++e) {
+      EXPECT_EQ(land.get(e), a.get(e) && b.get(e));
+      EXPECT_EQ(lor.get(e), a.get(e) || b.get(e));
+      EXPECT_EQ(lxor.get(e), a.get(e) != b.get(e));
+      EXPECT_EQ(lnot.get(e), !a.get(e));
+    }
+  }
+}
+
+TEST(Aob, MixedWaysThrows) {
+  Aob a(4);
+  Aob b(5);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(Aob, InvertKeepsTailClean) {
+  // For ways < 6 the storage word has dead tail bits; inversion must not
+  // leak 1s into them (they would corrupt popcount/any/all).
+  Aob a(2);
+  a.invert();
+  EXPECT_EQ(a.popcount(), 4u);
+  EXPECT_TRUE(a.all());
+  a.invert();
+  EXPECT_EQ(a.popcount(), 0u);
+}
+
+TEST(Aob, CswapIsFredkin) {
+  std::mt19937_64 rng(7);
+  Aob a = Aob::from_fn(8, [&](std::size_t) { return rng() & 1; });
+  Aob b = Aob::from_fn(8, [&](std::size_t) { return rng() & 1; });
+  const Aob c = Aob::from_fn(8, [&](std::size_t) { return rng() & 1; });
+  const Aob a0 = a;
+  const Aob b0 = b;
+  Aob::cswap(a, b, c);
+  for (std::size_t e = 0; e < a.bit_count(); ++e) {
+    if (c.get(e)) {
+      EXPECT_EQ(a.get(e), b0.get(e));
+      EXPECT_EQ(b.get(e), a0.get(e));
+    } else {
+      EXPECT_EQ(a.get(e), a0.get(e));
+      EXPECT_EQ(b.get(e), b0.get(e));
+    }
+  }
+  // Fredkin is its own inverse.
+  Aob::cswap(a, b, c);
+  EXPECT_EQ(a, a0);
+  EXPECT_EQ(b, b0);
+}
+
+TEST(Aob, CswapConservesPopcount) {
+  // "Billiard-ball conservancy" (§2.5): the pair's total popcount is
+  // preserved through swap-based gates.
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Aob a = Aob::from_fn(7, [&](std::size_t) { return rng() & 1; });
+    Aob b = Aob::from_fn(7, [&](std::size_t) { return rng() & 1; });
+    const Aob c = Aob::from_fn(7, [&](std::size_t) { return rng() & 1; });
+    const std::size_t before = a.popcount() + b.popcount();
+    Aob::cswap(a, b, c);
+    EXPECT_EQ(a.popcount() + b.popcount(), before);
+  }
+}
+
+TEST(Aob, SwapValuesExchanges) {
+  Aob a = Aob::ones(5);
+  Aob b = Aob::zeros(5);
+  Aob::swap_values(a, b);
+  EXPECT_FALSE(a.any());
+  EXPECT_TRUE(b.all());
+}
+
+TEST(Aob, NextOneBasic) {
+  Aob a(8);
+  a.set(0, true);
+  a.set(42, true);
+  a.set(200, true);
+  EXPECT_EQ(a.next_one(0), 42u);
+  EXPECT_EQ(a.next_one(41), 42u);
+  EXPECT_EQ(a.next_one(42), 200u);
+  EXPECT_EQ(a.next_one(200), std::nullopt);
+  // Bit 0 is never returned: the search is strictly after the argument.
+  EXPECT_EQ(a.next_one(255), std::nullopt);
+}
+
+TEST(Aob, NextOneExhaustiveAgainstReference) {
+  std::mt19937_64 rng(11);
+  for (unsigned ways : {3u, 6u, 9u}) {
+    Aob a = Aob::from_fn(ways, [&](std::size_t) { return (rng() & 7) == 0; });
+    for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+      std::optional<std::size_t> expect;
+      for (std::size_t e = ch + 1; e < a.bit_count(); ++e) {
+        if (a.get(e)) {
+          expect = e;
+          break;
+        }
+      }
+      EXPECT_EQ(a.next_one(ch), expect) << "ways=" << ways << " ch=" << ch;
+    }
+  }
+}
+
+TEST(Aob, PopcountAfterExhaustive) {
+  std::mt19937_64 rng(13);
+  Aob a = Aob::from_fn(9, [&](std::size_t) { return rng() & 1; });
+  for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+    std::size_t expect = 0;
+    for (std::size_t e = ch + 1; e < a.bit_count(); ++e) expect += a.get(e);
+    EXPECT_EQ(a.popcount_after(ch), expect) << "ch=" << ch;
+  }
+}
+
+// §2.7: pop after channel 0 plus meas of channel 0 equals the true POP.
+TEST(Aob, PopSplitIdentity) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Aob a = Aob::from_fn(10, [&](std::size_t) { return rng() & 1; });
+    EXPECT_EQ(a.popcount(), a.popcount_after(0) + (a.get(0) ? 1 : 0));
+  }
+}
+
+TEST(Aob, HashDiffersOnContent) {
+  Aob a(8);
+  Aob b(8);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(17, true);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Aob, ToStringTruncates) {
+  Aob a(8);
+  a.set(1, true);
+  const std::string s = a.to_string(8);
+  EXPECT_EQ(s, "01000000...");
+  EXPECT_EQ(Aob::zeros(2).to_string(), "0000");
+}
+
+TEST(Aob, EqualityIncludesWays) {
+  EXPECT_FALSE(Aob::zeros(3) == Aob::zeros(4));
+  EXPECT_TRUE(Aob::zeros(4) == Aob::zeros(4));
+}
+
+// Measurement is non-destructive: reading every channel leaves the value
+// intact (Figure 5 discussion).
+TEST(Aob, MeasurementIsNonDestructive) {
+  std::mt19937_64 rng(23);
+  Aob a = Aob::from_fn(10, [&](std::size_t) { return rng() & 1; });
+  const Aob before = a;
+  std::size_t ones = 0;
+  for (std::size_t e = 0; e < a.bit_count(); ++e) ones += a.get(e);
+  (void)a.next_one(5);
+  (void)a.popcount_after(100);
+  EXPECT_EQ(a, before);
+  EXPECT_EQ(ones, a.popcount());
+}
+
+}  // namespace
+}  // namespace pbp

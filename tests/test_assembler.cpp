@@ -1,0 +1,284 @@
+// Tests for the two-pass assembler (paper §2.1, Table 2 macros).
+#include "asm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/simulators.hpp"
+
+namespace tangled {
+namespace {
+
+/// Assemble, run to sys on the functional simulator, return the CPU.
+CpuState run(const std::string& src, unsigned ways = 8) {
+  FunctionalSim sim(ways);
+  sim.load(assemble(src));
+  const SimStats st = sim.run();
+  EXPECT_TRUE(st.halted) << "program did not halt";
+  return sim.cpu();
+}
+
+TEST(Assembler, BasicInstructionBytes) {
+  const Program p = assemble("lex $8,42\n");
+  ASSERT_EQ(p.words.size(), 1u);
+  const Decoded d = decode(p.words[0], 0);
+  EXPECT_EQ(d.instr.op, Op::kLex);
+  EXPECT_EQ(d.instr.d, 8);
+  EXPECT_EQ(d.instr.imm, 42);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(
+      "; full-line comment\n"
+      "\n"
+      "  lex $1,5  ; trailing comment\n"
+      "\t\n"
+      "sys\n");
+  EXPECT_EQ(p.instruction_count, 2u);
+}
+
+TEST(Assembler, PaperFigure10SyntaxFragment) {
+  // A verbatim fragment of Figure 10, including the `;5` style comments.
+  const Program p = assemble(
+      "had @0,3\n"
+      "and @2,@0,@1\n"
+      "lex $0,31\n"
+      "next $0,@80\n"
+      "copy $1,$0\n"
+      "lex $2,15\n"
+      "and $0,$2 ;5\n"
+      "and $1,$2 ;3\n");
+  EXPECT_EQ(p.instruction_count, 8u);
+  // had and the three-operand and are two words; next is two words.
+  EXPECT_EQ(p.words.size(), 2u + 2u + 1u + 2u + 1u + 1u + 1u + 1u);
+}
+
+TEST(Assembler, SharedMnemonicsDispatchOnSigil) {
+  // `and $d,$s` is Tangled; `and @a,@b,@c` is Qat (§2.2's shared gate names).
+  const Program p = assemble(
+      "and $1,$2\n"
+      "and @1,@2,@3\n"
+      "not $1\n"
+      "not @1\n"
+      "or $1,$2\n"
+      "xor @4,@5,@6\n");
+  std::size_t pc = 0;
+  std::vector<Op> ops;
+  while (pc < p.words.size()) {
+    const Decoded d =
+        decode(p.words[pc], pc + 1 < p.words.size() ? p.words[pc + 1] : 0);
+    ops.push_back(d.instr.op);
+    pc += d.words;
+  }
+  EXPECT_EQ(ops, (std::vector<Op>{Op::kAnd, Op::kQAnd, Op::kNot, Op::kQNot,
+                                  Op::kOr, Op::kQXor}));
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const auto cpu = run(
+      "      lex $1,0\n"
+      "      lex $2,5\n"
+      "loop: add $1,$2\n"
+      "      lex $3,1\n"
+      "      neg $3\n"
+      "      add $2,$3\n"  // $2 -= 1
+      "      brt $2,loop\n"
+      "      sys\n");
+  // 5+4+3+2+1 = 15
+  EXPECT_EQ(cpu.reg(1), 15u);
+  EXPECT_EQ(cpu.reg(2), 0u);
+}
+
+TEST(Assembler, ForwardLabelReference) {
+  const auto cpu = run(
+      "      lex $1,1\n"
+      "      brt $1,done\n"
+      "      lex $2,99\n"  // skipped
+      "done: sys\n");
+  EXPECT_EQ(cpu.reg(2), 0u);
+}
+
+TEST(Assembler, MacroBr) {
+  const auto cpu = run(
+      "      br over\n"
+      "      lex $2,99\n"
+      "over: lex $3,7\n"
+      "      sys\n");
+  EXPECT_EQ(cpu.reg(2), 0u);
+  EXPECT_EQ(cpu.reg(3), 7u);
+  // br clobbers $at (documented macro behaviour).
+  EXPECT_EQ(cpu.reg(kRegAt), 1u);
+}
+
+TEST(Assembler, MacroJumpReachesFarTargets) {
+  // Build a gap too large for an 8-bit branch: jump must still work.
+  std::string src = "      jump far\n";
+  for (int i = 0; i < 200; ++i) src += "      lex $2,99\n";
+  src += "far:  lex $3,1\n      sys\n";
+  const auto cpu = run(src);
+  EXPECT_EQ(cpu.reg(2), 0u);
+  EXPECT_EQ(cpu.reg(3), 1u);
+}
+
+TEST(Assembler, MacroJumpfJumpt) {
+  const auto cpu = run(
+      "      lex $1,0\n"
+      "      lex $2,1\n"
+      "      jumpf $1,a\n"   // taken: $1 == 0
+      "      lex $3,99\n"
+      "a:    jumpt $2,b\n"   // taken: $2 != 0
+      "      lex $4,99\n"
+      "b:    jumpf $2,c\n"   // NOT taken
+      "      lex $5,55\n"
+      "c:    sys\n");
+  EXPECT_EQ(cpu.reg(3), 0u);
+  EXPECT_EQ(cpu.reg(4), 0u);
+  EXPECT_EQ(cpu.reg(5), 55u);
+}
+
+TEST(Assembler, MacroLiLoadsFull16Bits) {
+  const auto cpu = run(
+      "li $1,0x1234\n"
+      "li $2,65535\n"
+      "li $3,-2\n"
+      "li $4,128\n"  // would sign-extend wrong without the lhi
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 0x1234u);
+  EXPECT_EQ(cpu.reg(2), 0xffffu);
+  EXPECT_EQ(cpu.reg(3), 0xfffeu);
+  EXPECT_EQ(cpu.reg(4), 128u);
+}
+
+TEST(Assembler, LiWithLabelValue) {
+  const auto cpu = run(
+      "      li $1,data\n"
+      "      load $2,$1\n"
+      "      sys\n"
+      "data: .word 1234\n");
+  EXPECT_EQ(cpu.reg(2), 1234u);
+}
+
+TEST(Assembler, WordDirective) {
+  const Program p = assemble(".word 0xABCD\n.word -1\n.word 42\n");
+  ASSERT_EQ(p.words.size(), 3u);
+  EXPECT_EQ(p.words[0], 0xABCDu);
+  EXPECT_EQ(p.words[1], 0xFFFFu);
+  EXPECT_EQ(p.words[2], 42u);
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const auto cpu = run(
+      "lex $1,0x2A\n"
+      "lex $2,-5\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 42u);
+  EXPECT_EQ(cpu.reg(2), 0xFFFBu);
+}
+
+TEST(Assembler, EquConstants) {
+  const auto cpu = run(
+      "answer = 42\n"
+      "base = 0x100\n"
+      "lex $1,answer\n"
+      "li $2,base\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 42u);
+  EXPECT_EQ(cpu.reg(2), 0x100u);
+}
+
+TEST(Assembler, EquForwardUseThrows) {
+  EXPECT_THROW(assemble("x = y\ny = 2\n"), AsmError);
+  EXPECT_THROW(assemble("x = 1\nx = 2\n"), AsmError);  // redefinition
+}
+
+TEST(Assembler, SpaceDirective) {
+  const Program p = assemble(
+      "      lex $1,1\n"
+      "      sys\n"
+      "buf:  .space 4\n"
+      "end:  .word 7\n");
+  EXPECT_EQ(p.labels.at("buf"), 2u);
+  EXPECT_EQ(p.labels.at("end"), 6u);
+  ASSERT_EQ(p.words.size(), 7u);
+  EXPECT_EQ(p.words[6], 7u);
+  for (int i = 2; i < 6; ++i) EXPECT_EQ(p.words[i], 0u);
+}
+
+TEST(Assembler, OriginDirective) {
+  const Program p = assemble(
+      "lex $1,1\n"
+      ".origin 0x10\n"
+      "data: .word 99\n");
+  EXPECT_EQ(p.labels.at("data"), 0x10u);
+  ASSERT_EQ(p.words.size(), 0x11u);
+  EXPECT_EQ(p.words[0x10], 99u);
+  EXPECT_THROW(assemble(".origin 10\n.origin 5\n"), AsmError);
+}
+
+TEST(Assembler, SpaceUsedAsScratchMemory) {
+  const auto cpu = run(
+      "      li $1,buf\n"
+      "      lex $2,123\n"
+      "      store $2,$1\n"
+      "      load $3,$1\n"
+      "      sys\n"
+      "buf:  .space 2\n");
+  EXPECT_EQ(cpu.reg(3), 123u);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("bogus $1,$2\n"), AsmError);
+  EXPECT_THROW(assemble("add $1\n"), AsmError);          // operand count
+  EXPECT_THROW(assemble("add $1,$2,$3\n"), AsmError);    // operand count
+  EXPECT_THROW(assemble("add $16,$2\n"), AsmError);      // bad register
+  EXPECT_THROW(assemble("and @256,@0,@1\n"), AsmError);  // bad Qat register
+  EXPECT_THROW(assemble("lex $1,300\n"), AsmError);      // imm out of range
+  EXPECT_THROW(assemble("lhi $1,-1\n"), AsmError);
+  EXPECT_THROW(assemble("had @1,16\n"), AsmError);       // had index range
+  EXPECT_THROW(assemble("brt $1,nowhere\n"), AsmError);  // undefined symbol
+  EXPECT_THROW(assemble("x: lex $1,1\nx: sys\n"), AsmError);  // dup label
+  EXPECT_THROW(assemble("meas @1,$2\n"), AsmError);      // swapped operands
+  EXPECT_THROW(assemble("sys $0\n"), AsmError);           // $0 = halt encoding
+  EXPECT_THROW(assemble("sys $1,$2\n"), AsmError);        // operand count
+}
+
+TEST(Assembler, ErrorCarriesLineNumber) {
+  try {
+    assemble("lex $1,1\nbogus\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, BranchOutOfRangeSuggestsJump) {
+  std::string src = "      brt $1,far\n";
+  for (int i = 0; i < 200; ++i) src += "      lex $2,0\n";
+  src += "far:  sys\n";
+  EXPECT_THROW(assemble(src), AsmError);
+}
+
+TEST(Assembler, DisassembleRoundTrip) {
+  const std::string src =
+      "had @0,3\n"
+      "and @2,@0,@1\n"
+      "lex $0,31\n"
+      "next $0,@80\n"
+      "sys\n";
+  const Program p = assemble(src);
+  const std::string dis = disassemble_words(p.words);
+  // Reassembling the disassembly (addresses stripped) gives identical words.
+  std::string stripped;
+  for (std::size_t i = 0; i < dis.size(); ++i) {
+    if (dis[i] == '\t') {
+      const auto eol = dis.find('\n', i);
+      stripped += dis.substr(i + 1, eol - i - 1);
+      stripped += '\n';
+      i = eol;
+    }
+  }
+  const Program p2 = assemble(stripped);
+  EXPECT_EQ(p2.words, p.words);
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,146 @@
+// Differential verification of the gate-level bfloat16 datapath against the
+// behavioural ALU — the same obligation the course's Verilog float library
+// faced (§2.1, §3.1).
+#include "arch/bf16_rtl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace tangled {
+namespace {
+
+bool agree(Bf16 rtl, Bf16 ref) {
+  if (ref.is_nan()) return rtl.is_nan();  // payload is platform-defined
+  return rtl.bits() == ref.bits();
+}
+
+std::string show(Bf16 a, Bf16 b) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "a=0x%04x (%g) b=0x%04x (%g)", a.bits(),
+                a.to_float(), b.bits(), b.to_float());
+  return buf;
+}
+
+TEST(Bf16Rtl, AddSpecials) {
+  const Bf16 inf = kBf16Inf;
+  const Bf16 ninf = kBf16NegInf;
+  const Bf16 nan = Bf16(0x7fc0);
+  EXPECT_TRUE(bf16_add_rtl(inf, kBf16One).is_inf());
+  EXPECT_TRUE(bf16_add_rtl(inf, ninf).is_nan());
+  EXPECT_TRUE(bf16_add_rtl(nan, kBf16One).is_nan());
+  EXPECT_TRUE(bf16_add_rtl(kBf16Zero, kBf16Zero).is_zero());
+  // -0 + -0 = -0; x + -x = +0 under round-to-nearest.
+  EXPECT_EQ(bf16_add_rtl(Bf16(0x8000), Bf16(0x8000)).bits(), 0x8000);
+  EXPECT_EQ(bf16_add_rtl(kBf16One, -kBf16One).bits(), 0x0000);
+}
+
+TEST(Bf16Rtl, AddKnownValues) {
+  EXPECT_EQ(bf16_add_rtl(Bf16::from_float(1.5f), Bf16::from_float(2.25f))
+                .to_float(),
+            3.75f);
+  EXPECT_EQ(bf16_add_rtl(Bf16::from_float(100.0f), Bf16::from_float(-100.0f))
+                .to_float(),
+            0.0f);
+}
+
+TEST(Bf16Rtl, AddExhaustiveSmallExponentRange) {
+  // All sign/fraction pairs over a band of exponents around 1.0: exercises
+  // alignment, cancellation, normalization, and rounding carries.
+  for (unsigned ea = 124; ea <= 130; ++ea) {
+    for (unsigned fa = 0; fa < 128; fa += 3) {
+      for (unsigned eb = 124; eb <= 130; eb += 2) {
+        for (unsigned fb = 1; fb < 128; fb += 7) {
+          for (unsigned signs = 0; signs < 4; ++signs) {
+            const Bf16 a(static_cast<std::uint16_t>(((signs & 1) << 15) |
+                                                    (ea << 7) | fa));
+            const Bf16 b(static_cast<std::uint16_t>(((signs >> 1) << 15) |
+                                                    (eb << 7) | fb));
+            const Bf16 ref = a + b;
+            ASSERT_TRUE(agree(bf16_add_rtl(a, b), ref)) << show(a, b);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Bf16Rtl, AddRandomSweepAllBitPatterns) {
+  std::mt19937 rng(31);
+  for (int i = 0; i < 200000; ++i) {
+    const Bf16 a(static_cast<std::uint16_t>(rng()));
+    const Bf16 b(static_cast<std::uint16_t>(rng()));
+    const Bf16 ref = a + b;
+    ASSERT_TRUE(agree(bf16_add_rtl(a, b), ref)) << show(a, b);
+  }
+}
+
+TEST(Bf16Rtl, AddDenormals) {
+  // Denormal arithmetic (gradual underflow) must match binary32 exactly.
+  for (unsigned fa = 0; fa < 128; ++fa) {
+    for (unsigned fb = 0; fb < 128; fb += 5) {
+      const Bf16 a(static_cast<std::uint16_t>(fa));           // +denormal
+      const Bf16 b(static_cast<std::uint16_t>(0x8000u | fb)); // -denormal
+      ASSERT_TRUE(agree(bf16_add_rtl(a, b), a + b)) << show(a, b);
+      ASSERT_TRUE(agree(bf16_add_rtl(a, a), a + a)) << show(a, a);
+    }
+  }
+}
+
+TEST(Bf16Rtl, MulSpecials) {
+  EXPECT_TRUE(bf16_mul_rtl(kBf16Inf, kBf16Zero).is_nan());
+  EXPECT_TRUE(bf16_mul_rtl(kBf16Inf, kBf16One).is_inf());
+  EXPECT_EQ(bf16_mul_rtl(kBf16One, Bf16(0x8000)).bits(), 0x8000);  // 1 * -0
+  EXPECT_TRUE(bf16_mul_rtl(Bf16(0x7fc0), kBf16One).is_nan());
+}
+
+TEST(Bf16Rtl, MulRandomSweepAllBitPatterns) {
+  std::mt19937 rng(32);
+  for (int i = 0; i < 200000; ++i) {
+    const Bf16 a(static_cast<std::uint16_t>(rng()));
+    const Bf16 b(static_cast<std::uint16_t>(rng()));
+    const Bf16 ref = a * b;
+    ASSERT_TRUE(agree(bf16_mul_rtl(a, b), ref)) << show(a, b);
+  }
+}
+
+TEST(Bf16Rtl, MulExhaustiveFractionGrid) {
+  for (unsigned fa = 0; fa < 128; fa += 2) {
+    for (unsigned fb = 0; fb < 128; fb += 3) {
+      for (unsigned ea : {1u, 64u, 127u, 128u, 200u, 254u}) {
+        const Bf16 a(static_cast<std::uint16_t>((ea << 7) | fa));
+        const Bf16 b(static_cast<std::uint16_t>((100u << 7) | fb));
+        ASSERT_TRUE(agree(bf16_mul_rtl(a, b), a * b)) << show(a, b);
+      }
+    }
+  }
+}
+
+TEST(Bf16Rtl, MulUnderflowAndOverflow) {
+  const Bf16 tiny(0x0080);   // smallest normal
+  const Bf16 huge(0x7f00);   // large normal
+  ASSERT_TRUE(agree(bf16_mul_rtl(tiny, tiny), tiny * tiny));  // denormal/0
+  ASSERT_TRUE(agree(bf16_mul_rtl(huge, huge), huge * huge));  // inf
+  const Bf16 denorm(0x0001);  // minimum denormal
+  ASSERT_TRUE(agree(bf16_mul_rtl(denorm, huge), denorm * huge));
+  ASSERT_TRUE(agree(bf16_mul_rtl(denorm, denorm), denorm * denorm));  // 0
+}
+
+TEST(Bf16Rtl, FromIntExhaustive) {
+  for (int v = -32768; v <= 32767; ++v) {
+    const auto i16 = static_cast<std::int16_t>(v);
+    ASSERT_EQ(bf16_from_int_rtl(i16).bits(), Bf16::from_int(i16).bits())
+        << v;
+  }
+}
+
+TEST(Bf16Rtl, ToIntExhaustiveOverAllBitPatterns) {
+  for (unsigned bits = 0; bits <= 0xffff; ++bits) {
+    const Bf16 a(static_cast<std::uint16_t>(bits));
+    ASSERT_EQ(bf16_to_int_rtl(a), a.to_int()) << "bits=0x" << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,152 @@
+// Tests for the bfloat16 ALU (paper §2.1).
+#include "arch/bfloat16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace tangled {
+namespace {
+
+Bf16 bf(float f) { return Bf16::from_float(f); }
+
+TEST(Bf16, FieldExtraction) {
+  const Bf16 one = kBf16One;
+  EXPECT_FALSE(one.sign());
+  EXPECT_EQ(one.exponent(), 127u);
+  EXPECT_EQ(one.fraction(), 0u);
+  const Bf16 neg2 = bf(-2.0f);
+  EXPECT_TRUE(neg2.sign());
+  EXPECT_EQ(neg2.exponent(), 128u);
+}
+
+TEST(Bf16, ToFloatIsExact) {
+  // "values can be treated as standard 32-bit float values by simply
+  // catenating a 16-bit value of 0" — every bf16 is exactly a float.
+  for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 3.140625f, 1024.0f, -0.0078125f}) {
+    EXPECT_EQ(bf(f).to_float(), f);
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 is exactly between bf16(1.0) and bf16(1 + 2^-7): ties to even
+  // rounds down to 1.0.
+  EXPECT_EQ(bf(1.0f + 1.0f / 256.0f).bits(), kBf16One.bits());
+  // 1 + 3*2^-8 is between 1+2^-7 and 1+2^-6; ties to even rounds up.
+  EXPECT_EQ(bf(1.0f + 3.0f / 256.0f).bits(), bf(1.0f + 2.0f / 128.0f).bits());
+  // Anything past the midpoint rounds up.
+  EXPECT_EQ(bf(1.0f + 1.1f / 256.0f).bits(), bf(1.0f + 1.0f / 128.0f).bits());
+}
+
+TEST(Bf16, AddMatchesRoundedFloatAdd) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  for (int i = 0; i < 2000; ++i) {
+    const Bf16 a = bf(dist(rng));
+    const Bf16 b = bf(dist(rng));
+    const Bf16 sum = a + b;
+    EXPECT_EQ(sum.bits(), bf(a.to_float() + b.to_float()).bits());
+  }
+}
+
+TEST(Bf16, MulMatchesRoundedFloatMul) {
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<float> dist(-16.0f, 16.0f);
+  for (int i = 0; i < 2000; ++i) {
+    const Bf16 a = bf(dist(rng));
+    const Bf16 b = bf(dist(rng));
+    EXPECT_EQ((a * b).bits(), bf(a.to_float() * b.to_float()).bits());
+  }
+}
+
+TEST(Bf16, NegFlipsSignOnly) {
+  const Bf16 x = bf(3.5f);
+  EXPECT_EQ((-x).to_float(), -3.5f);
+  EXPECT_EQ((-(-x)).bits(), x.bits());
+  EXPECT_EQ((-kBf16Zero).bits(), 0x8000);
+}
+
+TEST(Bf16, IntConversionRoundTrip) {
+  for (int v : {0, 1, -1, 2, -2, 100, -100, 127, -128}) {
+    const Bf16 f = Bf16::from_int(static_cast<std::int16_t>(v));
+    EXPECT_EQ(f.to_int(), v) << v;
+  }
+  // Values above 2^8 lose precision but stay close (7-bit fraction).
+  const Bf16 big = Bf16::from_int(1000);
+  EXPECT_NEAR(big.to_float(), 1000.0f, 4.0f);
+}
+
+TEST(Bf16, IntConversionTruncatesTowardZero) {
+  EXPECT_EQ(bf(2.9f).to_int(), 2);
+  EXPECT_EQ(bf(-2.9f).to_int(), -2);
+  EXPECT_EQ(bf(0.99f).to_int(), 0);
+}
+
+TEST(Bf16, IntConversionClamps) {
+  EXPECT_EQ(bf(1e9f).to_int(), 32767);
+  EXPECT_EQ(bf(-1e9f).to_int(), -32768);
+  EXPECT_EQ(kBf16Inf.to_int(), 32767);
+  EXPECT_EQ(kBf16NegInf.to_int(), -32768);
+}
+
+TEST(Bf16, Specials) {
+  EXPECT_TRUE(kBf16Inf.is_inf());
+  EXPECT_FALSE(kBf16Inf.is_nan());
+  const Bf16 nan = bf(std::nanf(""));
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE((nan + kBf16One).is_nan());
+  EXPECT_TRUE((nan * kBf16One).is_nan());
+  EXPECT_TRUE((kBf16Inf + kBf16NegInf).is_nan());
+  EXPECT_TRUE(kBf16Zero.is_zero());
+  EXPECT_TRUE(Bf16(0x8000).is_zero());  // -0
+}
+
+TEST(Bf16, RecipPowersOfTwoAreExact) {
+  for (float f : {1.0f, 2.0f, 4.0f, 0.5f, 0.25f, 1024.0f, -8.0f}) {
+    EXPECT_EQ(bf(f).recip().to_float(), 1.0f / f) << f;
+  }
+}
+
+TEST(Bf16, RecipSpecials) {
+  EXPECT_TRUE(kBf16Zero.recip().is_inf());
+  EXPECT_EQ(Bf16(0x8000).recip().bits(), kBf16NegInf.bits());
+  EXPECT_TRUE(kBf16Inf.recip().is_zero());
+  EXPECT_TRUE(bf(std::nanf("")).recip().is_nan());
+}
+
+TEST(Bf16, RecipTableAccuracy) {
+  // The LUT reciprocal is accurate to about one bf16 ULP (2^-7 relative):
+  // that is the hardware trade the Verilog VMEM table makes.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> dist(0.01f, 1000.0f);
+  for (int i = 0; i < 2000; ++i) {
+    const Bf16 x = bf(dist(rng));
+    if (x.is_zero()) continue;
+    const float approx = x.recip().to_float();
+    const float exact = 1.0f / x.to_float();
+    EXPECT_NEAR(approx / exact, 1.0f, 1.0f / 64.0f) << x.to_float();
+  }
+}
+
+TEST(Bf16, RecipExactMatchesFloatDivision) {
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<float> dist(0.01f, 1000.0f);
+  for (int i = 0; i < 500; ++i) {
+    const Bf16 x = bf(dist(rng));
+    EXPECT_EQ(x.recip_exact().bits(), bf(1.0f / x.to_float()).bits());
+  }
+}
+
+TEST(Bf16, AdditionCommutes) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1000.0f, 1000.0f);
+  for (int i = 0; i < 500; ++i) {
+    const Bf16 a = bf(dist(rng));
+    const Bf16 b = bf(dist(rng));
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+  }
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,199 @@
+// Tests for the gate-circuit recorder and Qat assembly emission (§4.2).
+#include "pbp/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbp {
+namespace {
+
+std::shared_ptr<Circuit> circ(unsigned ways = 8, bool cons = false) {
+  return std::make_shared<Circuit>(PbpContext::create(ways, Backend::kDense),
+                                   cons);
+}
+
+TEST(Circuit, EvalMatchesDirectPbitOps) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a = c->g_and(h0, h1);
+  const auto o = c->g_or(h0, h1);
+  const auto x = c->g_xor(h0, h1);
+  const auto n = c->g_not(h0);
+  auto ctx = c->context();
+  EXPECT_TRUE(c->eval(a) == (ctx->hadamard(0) & ctx->hadamard(1)));
+  EXPECT_TRUE(c->eval(o) == (ctx->hadamard(0) | ctx->hadamard(1)));
+  EXPECT_TRUE(c->eval(x) == (ctx->hadamard(0) ^ ctx->hadamard(1)));
+  EXPECT_TRUE(c->eval(n) == ~ctx->hadamard(0));
+}
+
+TEST(Circuit, EvalIsMemoized) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a = c->g_and(h0, h1);
+  c->eval(a);
+  const auto evals = c->evals_performed();
+  c->eval(a);
+  c->eval(h0);
+  EXPECT_EQ(c->evals_performed(), evals);
+  c->clear_values();
+  c->eval(a);
+  EXPECT_GT(c->evals_performed(), evals);
+}
+
+TEST(Circuit, EvalIsLazyOverCone) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  (void)c->g_and(h0, h1);              // unrelated gate
+  const auto wanted = c->g_not(h1);
+  c->eval(wanted);
+  // Only h1 and the NOT should have evaluated: 2 gate evals, not 4.
+  EXPECT_EQ(c->evals_performed(), 2u);
+}
+
+TEST(Circuit, HashConsDeduplicates) {
+  auto c = circ(8, /*cons=*/true);
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a1 = c->g_and(h0, h1);
+  const auto a2 = c->g_and(h0, h1);
+  const auto a3 = c->g_and(h1, h0);  // commutative canonicalization
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1, a3);
+  EXPECT_EQ(c->had(0), h0);
+  EXPECT_EQ(c->node_count(), 3u);
+}
+
+TEST(Circuit, NoConsKeepsDuplicates) {
+  // Paper-faithful mode: the Figure 10 generator repeats gates freely.
+  auto c = circ(8, /*cons=*/false);
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a1 = c->g_and(h0, h1);
+  const auto a2 = c->g_and(h0, h1);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(c->node_count(), 4u);
+}
+
+TEST(Circuit, MuxSelects) {
+  auto c = circ();
+  const auto sel = c->had(2);
+  const auto t = c->one();
+  const auto f = c->zero();
+  const auto m = c->g_mux(sel, t, f);
+  EXPECT_TRUE(c->eval(m) == c->context()->hadamard(2));
+}
+
+TEST(Circuit, MeasurementHelpers) {
+  auto c = circ();
+  const auto h4 = c->had(4);
+  EXPECT_FALSE(c->meas(h4, 42));
+  EXPECT_EQ(c->next(h4, 42), 48u);  // the paper's §2.7 worked example
+  EXPECT_EQ(c->popcount(h4), 128u);
+  EXPECT_TRUE(c->any(h4));
+  EXPECT_FALSE(c->all(h4));
+  EXPECT_EQ(c->pop_after(h4, 0) + (c->meas(h4, 0) ? 1 : 0), 128u);
+}
+
+// --- Emission ---
+
+TEST(Emit, GreedyAllocMatchesPaperStyle) {
+  auto c = circ();
+  const auto h3 = c->had(3);
+  const auto h5 = c->had(5);
+  const auto a = c->g_and(h3, h5);
+  const Circuit::Node roots[] = {a};
+  const EmitResult r = emit_qat(*c, roots);
+  EXPECT_EQ(r.asm_text, "\thad @0,3\n\thad @1,5\n\tand @2,@0,@1\n");
+  EXPECT_EQ(r.root_regs.size(), 1u);
+  EXPECT_EQ(r.root_regs[0], 2u);
+  EXPECT_EQ(r.registers_used, 3u);
+  EXPECT_EQ(r.instruction_count, 3u);
+}
+
+TEST(Emit, NotUsesCopyThenInvertIdiom) {
+  // §4.2: "or @80,@79,@79 ... so that the not will not destroy the value".
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto n = c->g_not(h0);
+  const Circuit::Node roots[] = {n, h0};  // h0 must survive
+  const EmitResult r = emit_qat(*c, roots);
+  EXPECT_EQ(r.asm_text, "\thad @0,0\n\tor @1,@0,@0\n\tnot @1\n");
+}
+
+TEST(Emit, LinearScanInvertsDyingOperandInPlace) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto n = c->g_not(h0);  // h0 dies at the NOT
+  const Circuit::Node roots[] = {n};
+  EmitOptions opts;
+  opts.alloc = EmitOptions::RegAlloc::kLinearScan;
+  const EmitResult r = emit_qat(*c, roots, opts);
+  EXPECT_EQ(r.asm_text, "\thad @0,0\n\tnot @0\n");
+  EXPECT_EQ(r.instruction_count, 2u);
+}
+
+TEST(Emit, DeadGatesNotEmitted) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  (void)c->g_and(h0, h1);  // dead
+  const auto keep = c->g_or(h0, h1);
+  const Circuit::Node roots[] = {keep};
+  const EmitResult r = emit_qat(*c, roots);
+  EXPECT_EQ(r.instruction_count, 3u);  // had, had, or
+}
+
+TEST(Emit, GreedyRunsOutOfRegisters) {
+  auto c = circ();
+  auto prev = c->had(0);
+  for (int i = 0; i < 300; ++i) prev = c->g_xor(prev, c->had(1));
+  const Circuit::Node roots[] = {prev};
+  EXPECT_THROW(emit_qat(*c, roots), std::runtime_error);
+}
+
+TEST(Emit, LinearScanReusesRegisters) {
+  auto c = circ();
+  auto prev = c->had(0);
+  for (int i = 0; i < 300; ++i) prev = c->g_xor(prev, c->had(i % 8));
+  const Circuit::Node roots[] = {prev};
+  EmitOptions opts;
+  opts.alloc = EmitOptions::RegAlloc::kLinearScan;
+  const EmitResult r = emit_qat(*c, roots, opts);
+  EXPECT_LE(r.registers_used, 8u);
+}
+
+TEST(Emit, ConstantRegistersSkipInitializers) {
+  // §5: with @0=0, @1=1, @2..=H(k) reserved, zero/one/had emit nothing.
+  auto c = circ();
+  const auto h3 = c->had(3);
+  const auto z = c->zero();
+  const auto o = c->one();
+  const auto r1 = c->g_and(h3, o);
+  const auto r2 = c->g_or(r1, z);
+  const Circuit::Node roots[] = {r2};
+  EmitOptions opts;
+  opts.constant_registers = true;
+  const EmitResult r = emit_qat(*c, roots, opts);
+  // Only the two logic gates emit; operands read reserved registers.
+  EXPECT_EQ(r.instruction_count, 2u);
+  // H(3) lives in @5 (= 2 + 3), one in @1, zero in @0.  Commutative operand
+  // canonicalization puts the lower-numbered node first in the OR.
+  EXPECT_EQ(r.asm_text, "\tand @10,@5,@1\n\tor @11,@0,@10\n");
+}
+
+TEST(Emit, MultipleRootsReported) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a = c->g_and(h0, h1);
+  const auto x = c->g_xor(h0, h1);
+  const Circuit::Node roots[] = {a, x};
+  const EmitResult r = emit_qat(*c, roots);
+  ASSERT_EQ(r.root_regs.size(), 2u);
+  EXPECT_NE(r.root_regs[0], r.root_regs[1]);
+}
+
+}  // namespace
+}  // namespace pbp

@@ -1,0 +1,317 @@
+// Assembly program corpus: realistic Tangled/Qat programs with golden
+// console output, each executed on every implementation model (single-cycle,
+// multi-cycle, 4/5-stage accounting pipelines, latch-level RTL pipeline).
+// One program per ISA-interplay theme — loops, memory, subroutine linkage,
+// the stack registers, bfloat16 kernels, Qat measurement idioms.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+
+namespace tangled {
+namespace {
+
+struct CorpusProgram {
+  const char* name;
+  const char* source;
+  const char* expected_console;
+};
+
+const CorpusProgram kCorpus[] = {
+    {"fibonacci",
+     // Iterative Fibonacci: F(10) = 55.
+     R"(      lex $1,0        ; a = F(0)
+      lex $2,1        ; b = F(1)
+      lex $3,10       ; n
+loop: copy $4,$2      ; t = b
+      add $2,$1       ; b = a + b
+      copy $1,$4      ; a = t
+      lex $5,-1
+      add $3,$5
+      brt $3,loop
+      sys $1          ; 55
+      sys
+)",
+     "55\n"},
+
+    {"gcd_subroutine",
+     // Euclid by subtraction, as a $ra-linked subroutine: gcd(54, 24) = 6.
+     R"(      lex $1,54
+      lex $2,24
+      li $ra,back
+      jump gcd
+back: sys $1          ; 6
+      sys
+
+gcd:  copy $3,$1
+      xor $3,$2
+      brf $3,done     ; a == b
+      copy $3,$1
+      slt $3,$2       ; a < b ?
+      brt $3,less
+      neg $2
+      add $1,$2       ; a -= b
+      neg $2
+      br gcd
+less: neg $1
+      add $2,$1       ; b -= a
+      neg $1
+      br gcd
+done: jumpr $ra
+)",
+     "6\n"},
+
+    {"bubble_sort",
+     // In-memory bubble sort of five words, printed ascending.
+     R"(n = 5
+      lex $7,n
+      lex $6,-1
+      add $7,$6       ; passes = n-1
+pass: li $1,arr       ; p = &arr[0]
+      lex $2,n
+      add $2,$6       ; inner = n-1 compares
+scan: load $3,$1      ; x = *p
+      copy $4,$1
+      lex $5,1
+      add $4,$5       ; q = p+1
+      load $5,$4      ; y = *q
+      copy $8,$5
+      slt $8,$3       ; y < x ?
+      brf $8,noswap
+      store $5,$1     ; *p = y
+      store $3,$4     ; *q = x
+noswap:
+      lex $5,1
+      add $1,$5       ; ++p
+      add $2,$6       ; --inner
+      brt $2,scan
+      add $7,$6       ; --passes
+      brt $7,pass
+      li $1,arr
+      lex $2,n
+print:load $3,$1
+      sys $3
+      lex $5,1
+      add $1,$5
+      add $2,$6
+      brt $2,print
+      sys
+arr:  .word 9
+      .word 3
+      .word 7
+      .word 1
+      .word 5
+)",
+     "1\n3\n5\n7\n9\n"},
+
+    {"stack_push_pop",
+     // Classic $sp usage: push three values, pop and accumulate.
+     R"(      li $sp,0xF000
+      lex $1,1
+      lex $2,-1
+      add $sp,$2
+      store $1,$sp    ; push 1
+      lex $1,2
+      add $sp,$2
+      store $1,$sp    ; push 2
+      lex $1,3
+      add $sp,$2
+      store $1,$sp    ; push 3
+      lex $4,0
+      lex $5,1
+      load $3,$sp     ; pop 3
+      add $4,$3
+      add $sp,$5
+      load $3,$sp     ; pop 2
+      add $4,$3
+      add $sp,$5
+      load $3,$sp     ; pop 1
+      add $4,$3
+      add $sp,$5
+      sys $4          ; 6
+      sys
+)",
+     "6\n"},
+
+    {"bf16_kernel",
+     // (3.0 + 4.0) * (1/4) = 1.75; int truncation prints 1.
+     R"(      lex $1,3
+      float $1
+      lex $2,4
+      float $2
+      addf $1,$2      ; 7.0
+      copy $3,$2
+      recip $3        ; 0.25
+      mulf $1,$3      ; 1.75
+      int $1
+      sys $1          ; 1
+      lex $4,-6
+      float $4
+      negf $4         ; 6.0
+      int $4
+      sys $4          ; 6
+      sys
+)",
+     "1\n6\n"},
+
+    {"popcount_shift",
+     // Software popcount of 0xB7 (= 6 ones) with shift/and.
+     R"(      li $1,0xB7
+      lex $2,0        ; count
+      lex $3,16       ; bits
+      lex $4,-1
+bit:  copy $5,$1
+      lex $6,1
+      and $5,$6
+      add $2,$5
+      shift $1,$4     ; logical? arithmetic right by 1
+      li $6,0x7FFF
+      and $1,$6       ; mask sign fill: logical shift
+      add $3,$4
+      brt $3,bit
+      sys $2          ; 6
+      sys
+)",
+     "6\n"},
+
+    {"qat_any_all",
+     // §2.7's ANY and ALL recipes, printed as flags.
+     R"(      had @5,2
+      zero @6
+      one @7
+; ANY @5: next after 0, else meas channel 0
+      lex $1,0
+      next $1,@5
+      brt $1,a1
+      lex $1,0
+      meas $1,@5
+a1:   brf $1,a2
+      lex $1,1
+a2:   sys $1          ; 1  (H(2) has ones)
+; ANY @6
+      lex $2,0
+      next $2,@6
+      brt $2,b1
+      lex $2,0
+      meas $2,@6
+b1:   brf $2,b2
+      lex $2,1
+b2:   sys $2          ; 0
+; ALL @7 = NOT ANY(NOT @7)
+      not @7
+      lex $3,0
+      next $3,@7
+      brt $3,c1
+      lex $3,0
+      meas $3,@7
+c1:   not @7          ; restore
+      lex $4,1
+      brf $3,c2
+      lex $4,0
+c2:   sys $4          ; 1
+      sys
+)",
+     "1\n0\n1\n"},
+
+    {"next_worked_example",
+     // The paper's §2.7 worked example, printed: next 1 after channel 42 of
+     // H(4) is 48; pop confirms 128 ones total.
+     R"(      had @123,4
+      lex $8,42
+      next $8,@123
+      sys $8          ; 48
+      lex $9,0
+      pop $9,@123
+      lex $10,0
+      meas $10,@123
+      add $9,$10
+      sys $9          ; 128
+      sys
+)",
+     "48\n128\n"},
+};
+
+enum class Model { kFunctional, kMultiCycle, kPipe4, kPipe5, kRtl };
+
+struct Case {
+  const CorpusProgram* program;
+  Model model;
+};
+
+class Corpus : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Corpus, GoldenConsoleOutput) {
+  const auto& [prog, model] = GetParam();
+  const Program p = assemble(prog->source);
+  std::string console;
+  bool halted = false;
+  if (model == Model::kRtl) {
+    RtlPipelineSim sim(8);
+    sim.load(p);
+    halted = sim.run(1'000'000).halted;
+    console = sim.console();
+  } else {
+    std::unique_ptr<SimBase> sim;
+    switch (model) {
+      case Model::kFunctional:
+        sim = std::make_unique<FunctionalSim>(8);
+        break;
+      case Model::kMultiCycle:
+        sim = std::make_unique<MultiCycleSim>(8);
+        break;
+      case Model::kPipe4:
+        sim = std::make_unique<PipelineSim>(
+            8, PipelineConfig{.stages = 4, .forwarding = true});
+        break;
+      default:
+        sim = std::make_unique<PipelineSim>(8);
+        break;
+    }
+    sim->load(p);
+    halted = sim->run(1'000'000).halted;
+    console = sim->console();
+  }
+  ASSERT_TRUE(halted) << prog->name;
+  EXPECT_EQ(console, prog->expected_console) << prog->name;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& prog : kCorpus) {
+    for (const Model m : {Model::kFunctional, Model::kMultiCycle,
+                          Model::kPipe4, Model::kPipe5, Model::kRtl}) {
+      cases.push_back({&prog, m});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* model = nullptr;
+  switch (info.param.model) {
+    case Model::kFunctional:
+      model = "functional";
+      break;
+    case Model::kMultiCycle:
+      model = "multicycle";
+      break;
+    case Model::kPipe4:
+      model = "pipe4";
+      break;
+    case Model::kPipe5:
+      model = "pipe5";
+      break;
+    case Model::kRtl:
+      model = "rtl";
+      break;
+  }
+  return std::string(info.param.program->name) + "_" + model;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, Corpus, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,182 @@
+// End-to-end reproduction of the paper's §4: prime factoring of 15 through
+// the whole stack — Figure 10's literal program on all three simulators, and
+// the same circuit regenerated from the Figure 9 word-level source via the
+// circuit recorder.
+#include <gtest/gtest.h>
+
+#include "arch/simulators.hpp"
+#include "asm/programs.hpp"
+#include "pbp/optimizer.hpp"
+#include "pbp/pint.hpp"
+
+namespace tangled {
+namespace {
+
+TEST(Figure10, AssemblesToExpectedShape) {
+  const Program p = assemble(figure10_source());
+  // 83 Qat ops + 2 not + ... : 90 instructions + appended sys.
+  EXPECT_EQ(p.instruction_count, 91u);
+}
+
+class Figure10Sims : public ::testing::Test {
+ protected:
+  static void check(SimBase& sim) {
+    sim.load(assemble(figure10_source()));
+    const SimStats st = sim.run();
+    ASSERT_TRUE(st.halted);
+    // §4.2: "the complete Tangled/Qat code to place the prime factors of 15
+    // in registers $0 and $1" — with the ;5 and ;3 comments giving expected
+    // values.
+    EXPECT_EQ(sim.cpu().reg(0), 5u);
+    EXPECT_EQ(sim.cpu().reg(1), 3u);
+  }
+};
+
+TEST_F(Figure10Sims, Functional8Way) {
+  FunctionalSim sim(8);
+  check(sim);
+}
+
+TEST_F(Figure10Sims, MultiCycle8Way) {
+  MultiCycleSim sim(8);
+  check(sim);
+}
+
+TEST_F(Figure10Sims, Pipeline8Way) {
+  PipelineSim sim(8);
+  check(sim);
+}
+
+TEST_F(Figure10Sims, Pipeline4StageNoForwarding) {
+  PipelineSim sim(8, {.stages = 4, .forwarding = false});
+  check(sim);
+}
+
+TEST_F(Figure10Sims, FullSize16Way) {
+  // The author's hardware size: 65,536-bit AoBs.  The factoring program only
+  // uses H(0..7), so results are identical — the superposition just carries
+  // 256x redundancy across the wider channels.
+  FunctionalSim sim(16);
+  check(sim);
+}
+
+TEST(Figure10, E80EncodesTheFactorChannels) {
+  // @80 ends as the equality pbit e: 1 exactly in channels where b*c == 15,
+  // i.e. channels 31 (1*16+15... b=15,c=1), 53 (b=5,c=3), 83 (b=3,c=5),
+  // 241 (b=1,c=15).
+  FunctionalSim sim(8);
+  sim.load(assemble(figure10_source()));
+  sim.run();
+  const pbp::Aob& e = sim.qat().reg(80);
+  EXPECT_EQ(e.popcount(), 4u);
+  for (std::size_t ch : {31u, 53u, 83u, 241u}) {
+    EXPECT_TRUE(e.get(ch)) << "channel " << ch;
+  }
+  for (std::size_t ch = 0; ch < 256; ++ch) {
+    const unsigned b = ch % 16;
+    const unsigned c = ch / 16;
+    EXPECT_EQ(e.get(ch), b * c == 15) << "channel " << ch;
+  }
+}
+
+TEST(Figure10, NonDestructiveReadoutRepeats) {
+  // Rerunning only the readout suffix (next/next/and) must reproduce the
+  // factors: nothing collapsed.
+  FunctionalSim sim(8);
+  sim.load(assemble(figure10_source()));
+  sim.run();
+  auto& qat = sim.qat();
+  for (int round = 0; round < 3; ++round) {
+    std::uint16_t d = 31;
+    d = qat.next(80, d);
+    EXPECT_EQ(d & 15u, 5u);
+    d = qat.next(80, d);
+    EXPECT_EQ(d & 15u, 3u);
+  }
+}
+
+// Regenerate a Figure 10-class program from the Figure 9 word-level source
+// using the circuit recorder, then run the emitted assembly.
+class GeneratedFactoring : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GeneratedFactoring, EmittedProgramFactors15) {
+  const bool optimize_gates = GetParam();
+  auto ctx = pbp::PbpContext::create(8, pbp::Backend::kDense);
+  auto circ = std::make_shared<pbp::Circuit>(ctx);
+  const pbp::Pint a = pbp::Pint::constant(circ, 4, 15);
+  const pbp::Pint b = pbp::Pint::hadamard(circ, 4, 0x0f);
+  const pbp::Pint cc = pbp::Pint::hadamard(circ, 4, 0xf0);
+  const pbp::Pint d = pbp::Pint::mul(b, cc);
+  const pbp::Pint e = pbp::Pint::eq(d, a);
+
+  std::string asm_text;
+  std::uint8_t e_reg;
+  if (optimize_gates) {
+    const pbp::Circuit::Node roots[] = {e.bit(0)};
+    auto opt = pbp::optimize(*circ, roots);
+    pbp::EmitOptions eo;
+    eo.alloc = pbp::EmitOptions::RegAlloc::kLinearScan;
+    const auto r = pbp::emit_qat(opt.circuit, opt.roots, eo);
+    asm_text = r.asm_text;
+    e_reg = r.root_regs[0];
+  } else {
+    const pbp::Circuit::Node roots[] = {e.bit(0)};
+    pbp::EmitOptions eo;
+    eo.alloc = pbp::EmitOptions::RegAlloc::kLinearScan;  // >256 gates greedy
+    const auto r = pbp::emit_qat(*circ, roots, eo);
+    asm_text = r.asm_text;
+    e_reg = r.root_regs[0];
+  }
+
+  // Append the readout epilogue of Figure 10, retargeted at e's register.
+  const std::string er = std::to_string(e_reg);
+  asm_text += "\tlex $0,31\n";
+  asm_text += "\tnext $0,@" + er + "\n";
+  asm_text += "\tcopy $1,$0\n";
+  asm_text += "\tnext $1,@" + er + "\n";
+  asm_text += "\tlex $2,15\n";
+  asm_text += "\tand $0,$2\n";
+  asm_text += "\tand $1,$2\n";
+  asm_text += "\tsys\n";
+
+  FunctionalSim sim(8);
+  sim.load(assemble(asm_text));
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(sim.cpu().reg(0), 5u);
+  EXPECT_EQ(sim.cpu().reg(1), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OptOnOff, GeneratedFactoring, ::testing::Bool());
+
+TEST(GeneratedFactoring, OptimizerShrinksTheProgram) {
+  auto ctx = pbp::PbpContext::create(8, pbp::Backend::kDense);
+  auto circ = std::make_shared<pbp::Circuit>(ctx);
+  const pbp::Pint a = pbp::Pint::constant(circ, 4, 15);
+  const pbp::Pint b = pbp::Pint::hadamard(circ, 4, 0x0f);
+  const pbp::Pint cc = pbp::Pint::hadamard(circ, 4, 0xf0);
+  const pbp::Pint e = pbp::Pint::eq(pbp::Pint::mul(b, cc), a);
+  const pbp::Circuit::Node roots[] = {e.bit(0)};
+
+  pbp::EmitOptions eo;
+  eo.alloc = pbp::EmitOptions::RegAlloc::kLinearScan;
+  const auto raw = pbp::emit_qat(*circ, roots, eo);
+  auto opt = pbp::optimize(*circ, roots);
+  const auto optimized = pbp::emit_qat(opt.circuit, opt.roots, eo);
+  EXPECT_LT(optimized.instruction_count, raw.instruction_count / 2);
+}
+
+// The factoring approach generalizes: factor 21 = 3 * 7 the same way.
+TEST(GeneratedFactoring, Factor21) {
+  auto ctx = pbp::PbpContext::create(10, pbp::Backend::kDense);
+  auto circ = std::make_shared<pbp::Circuit>(ctx);
+  const pbp::Pint n = pbp::Pint::constant(circ, 5, 21);
+  const pbp::Pint b = pbp::Pint::hadamard(circ, 5, 0x01f);   // H(0..4)
+  const pbp::Pint cc = pbp::Pint::hadamard(circ, 5, 0x3e0);  // H(5..9)
+  const pbp::Pint e = pbp::Pint::eq(pbp::Pint::mul(b, cc), n);
+  const pbp::Pint f = pbp::Pint::gate_by(b, e);
+  EXPECT_EQ(f.measure_values(), (std::vector<std::uint64_t>{0, 1, 3, 7, 21}));
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,128 @@
+// Tests for the Hadamard initializer models (paper §2.3, §3.2, Figure 7).
+#include "pbp/hadamard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbp {
+namespace {
+
+// Cross-check all three hardware models against the single-channel reference
+// definition for every k at every ways up to 12.
+class HadamardModels : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HadamardModels, GeneratorMatchesReference) {
+  const unsigned ways = GetParam();
+  for (unsigned k = 0; k < ways; ++k) {
+    const Aob a = hadamard_generate(ways, k);
+    for (std::size_t e = 0; e < a.bit_count(); ++e) {
+      ASSERT_EQ(a.get(e), hadamard_bit(k, e))
+          << "ways=" << ways << " k=" << k << " e=" << e;
+    }
+  }
+}
+
+TEST_P(HadamardModels, LutMatchesGenerator) {
+  const unsigned ways = GetParam();
+  const HadamardLut lut(ways);
+  for (unsigned k = 0; k < ways; ++k) {
+    EXPECT_EQ(lut.select(k), hadamard_generate(ways, k)) << "k=" << k;
+  }
+}
+
+TEST_P(HadamardModels, RegisterFileMatchesGenerator) {
+  const unsigned ways = GetParam();
+  const HadamardRegisterFile rf(ways);
+  EXPECT_EQ(rf.zero(), Aob::zeros(ways));
+  EXPECT_EQ(rf.one(), Aob::ones(ways));
+  for (unsigned k = 0; k < ways; ++k) {
+    EXPECT_EQ(rf.h(k), hadamard_generate(ways, k)) << "k=" << k;
+  }
+  // §5 layout: @0 = 0, @1 = 1, @2 = H(0), @3 = H(1), ...
+  EXPECT_EQ(rf.reg(0), Aob::zeros(ways));
+  EXPECT_EQ(rf.reg(1), Aob::ones(ways));
+  for (unsigned k = 0; k < ways; ++k) {
+    EXPECT_EQ(rf.reg(2 + k), hadamard_generate(ways, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WaysSweep, HadamardModels,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u, 16u));
+
+// §2.3's worked examples.
+TEST(Hadamard, HadZeroAlternates) {
+  const Aob a = hadamard_generate(8, 0);
+  for (std::size_t e = 0; e < a.bit_count(); ++e) {
+    EXPECT_EQ(a.get(e), e % 2 == 1) << "e=" << e;
+  }
+}
+
+TEST(Hadamard, Had15SplitsInHalf) {
+  // "The AoB value created by had @a,15 would consist of 32,768 0 bits
+  // followed by 32,768 1 bits."
+  const Aob a = hadamard_generate(16, 15);
+  for (std::size_t e : {std::size_t{0}, std::size_t{100}, std::size_t{32767}}) {
+    EXPECT_FALSE(a.get(e));
+  }
+  for (std::size_t e : {std::size_t{32768}, std::size_t{40000},
+                        std::size_t{65535}}) {
+    EXPECT_TRUE(a.get(e));
+  }
+  EXPECT_EQ(a.popcount(), 32768u);
+}
+
+TEST(Hadamard, RunStructure) {
+  // had @a,k is runs of 2^k zeros then 2^k ones, repeating.
+  for (unsigned k = 0; k < 8; ++k) {
+    const Aob a = hadamard_generate(8, k);
+    const std::size_t run = std::size_t{1} << k;
+    for (std::size_t e = 0; e < a.bit_count(); ++e) {
+      EXPECT_EQ(a.get(e), ((e / run) % 2) == 1) << "k=" << k << " e=" << e;
+    }
+  }
+}
+
+TEST(Hadamard, EveryPatternIsBalanced) {
+  // Each H(k) has exactly half its channels 1 — the 50/50 superposition.
+  for (unsigned ways : {4u, 8u, 12u}) {
+    for (unsigned k = 0; k < ways; ++k) {
+      EXPECT_EQ(hadamard_generate(ways, k).popcount(),
+                (std::size_t{1} << ways) / 2);
+    }
+  }
+}
+
+TEST(Hadamard, OutOfRangeKIsAllZero) {
+  // Figure 7's Verilog takes the LSB of (i >> h); h >= WAYS gives 0.
+  EXPECT_FALSE(hadamard_generate(8, 8).any());
+  EXPECT_FALSE(hadamard_generate(8, 15).any());
+  const HadamardLut lut(8);
+  EXPECT_FALSE(lut.select(9).any());
+}
+
+TEST(Hadamard, ReversibleViaXorWithConstant) {
+  // §5: "a quantum-like reversible Hadamard operator can be implemented by
+  // XOR with a Hadamard constant register."
+  const Aob h3 = hadamard_generate(10, 3);
+  Aob v = hadamard_generate(10, 7);
+  const Aob orig = v;
+  v ^= h3;
+  EXPECT_NE(v, orig);
+  v ^= h3;
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Hadamard, DisjointChannelSetsAreIndependent) {
+  // Two pbits using disjoint Hadamard indices take all 4 combinations
+  // across channels — the independence Figure 9's b and c rely on.
+  const Aob b0 = hadamard_generate(8, 0);
+  const Aob c0 = hadamard_generate(8, 4);
+  bool seen[2][2] = {{false, false}, {false, false}};
+  for (std::size_t e = 0; e < b0.bit_count(); ++e) {
+    seen[b0.get(e)][c0.get(e)] = true;
+  }
+  EXPECT_TRUE(seen[0][0] && seen[0][1] && seen[1][0] && seen[1][1]);
+}
+
+}  // namespace
+}  // namespace pbp

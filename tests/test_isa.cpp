@@ -1,0 +1,220 @@
+// Tests for instruction encoding/decoding (DESIGN.md's encoding of the
+// paper's Tables 1 and 3).
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace tangled {
+namespace {
+
+/// Every encodable opcode with representative operand values.
+std::vector<Instr> sample_instrs() {
+  std::vector<Instr> v;
+  const auto opr2 = [&](Op op) {
+    Instr i;
+    i.op = op;
+    i.d = 3;
+    i.s = 12;
+    v.push_back(i);
+  };
+  const auto opr1 = [&](Op op) {
+    Instr i;
+    i.op = op;
+    i.d = 9;
+    v.push_back(i);
+  };
+  for (Op op : {Op::kAdd, Op::kAddf, Op::kAnd, Op::kCopy, Op::kLoad, Op::kMul,
+                Op::kMulf, Op::kOr, Op::kShift, Op::kSlt, Op::kStore,
+                Op::kXor}) {
+    opr2(op);
+  }
+  for (Op op : {Op::kFloat, Op::kInt, Op::kNeg, Op::kNegf, Op::kNot,
+                Op::kRecip, Op::kJumpr, Op::kSys}) {
+    opr1(op);
+  }
+  for (Op op : {Op::kBrf, Op::kBrt, Op::kLex}) {
+    for (int imm : {-128, -1, 0, 1, 127}) {
+      Instr i;
+      i.op = op;
+      i.d = 5;
+      i.imm = static_cast<std::int16_t>(imm);
+      v.push_back(i);
+    }
+  }
+  {
+    Instr i;
+    i.op = Op::kLhi;
+    i.d = 5;
+    i.imm = 0xAB;
+    v.push_back(i);
+  }
+  for (Op op : {Op::kQNot, Op::kQZero, Op::kQOne}) {
+    Instr i;
+    i.op = op;
+    i.qa = 200;
+    v.push_back(i);
+  }
+  {
+    Instr i;
+    i.op = Op::kQHad;
+    i.qa = 123;
+    i.k = 15;
+    v.push_back(i);
+  }
+  for (Op op : {Op::kQCnot, Op::kQSwap}) {
+    Instr i;
+    i.op = op;
+    i.qa = 1;
+    i.qb = 255;
+    v.push_back(i);
+  }
+  for (Op op : {Op::kQAnd, Op::kQOr, Op::kQXor, Op::kQCcnot, Op::kQCswap}) {
+    Instr i;
+    i.op = op;
+    i.qa = 80;
+    i.qb = 79;
+    i.qc = 78;
+    v.push_back(i);
+  }
+  for (Op op : {Op::kQMeas, Op::kQNext, Op::kQPop}) {
+    Instr i;
+    i.op = op;
+    i.d = 8;
+    i.qa = 123;
+    v.push_back(i);
+  }
+  return v;
+}
+
+TEST(Isa, EncodeDecodeRoundTripsEveryOpcode) {
+  for (const Instr& i : sample_instrs()) {
+    std::uint16_t w[2] = {0, 0};
+    const unsigned n = encode(i, w);
+    EXPECT_EQ(n, instr_words(i.op)) << disassemble(i);
+    const Decoded d = decode(w[0], w[1]);
+    EXPECT_EQ(d.words, n) << disassemble(i);
+    EXPECT_EQ(d.instr, i) << disassemble(i) << " vs " << disassemble(d.instr);
+  }
+}
+
+TEST(Isa, WordCounts) {
+  // "some Qat instructions encode as two 16-bit words" (§3.1): exactly the
+  // ones that cannot fit their 8-bit register fields in one word.
+  EXPECT_EQ(instr_words(Op::kQNot), 1u);
+  EXPECT_EQ(instr_words(Op::kQZero), 1u);
+  EXPECT_EQ(instr_words(Op::kQOne), 1u);
+  for (Op op : {Op::kQHad, Op::kQCnot, Op::kQSwap, Op::kQAnd, Op::kQOr,
+                Op::kQXor, Op::kQCcnot, Op::kQCswap, Op::kQMeas, Op::kQNext,
+                Op::kQPop}) {
+    EXPECT_EQ(instr_words(op), 2u);
+  }
+  EXPECT_EQ(instr_words(Op::kAdd), 1u);
+  EXPECT_EQ(instr_words(Op::kSys), 1u);
+}
+
+TEST(Isa, InvalidOpcodesDecodeAsInvalid) {
+  // Unassigned primary opcodes 0x6..0xD and out-of-range sub-opcodes.
+  for (std::uint16_t op = 0x6; op <= 0xD; ++op) {
+    EXPECT_EQ(decode(static_cast<std::uint16_t>(op << 12), 0).instr.op,
+              Op::kInvalid);
+  }
+  EXPECT_EQ(decode(0x000F, 0).instr.op, Op::kInvalid);  // OPR2 sub 15
+  EXPECT_EQ(decode(0x1008, 0).instr.op, Op::kInvalid);  // OPR1 sub 8
+  EXPECT_EQ(decode(0xEE00, 0).instr.op, Op::kInvalid);  // Qat sub 14
+  EXPECT_EQ(decode(0xEE00, 0).words, 1u);
+}
+
+TEST(Isa, EncodeInvalidThrows) {
+  Instr i;
+  std::uint16_t w[2];
+  EXPECT_THROW(encode(i, w), std::invalid_argument);
+}
+
+TEST(Isa, RegisterNames) {
+  EXPECT_EQ(reg_name(0), "$0");
+  EXPECT_EQ(reg_name(10), "$10");
+  EXPECT_EQ(reg_name(kRegAt), "$at");
+  EXPECT_EQ(reg_name(kRegRv), "$rv");
+  EXPECT_EQ(reg_name(kRegRa), "$ra");
+  EXPECT_EQ(reg_name(kRegFp), "$fp");
+  EXPECT_EQ(reg_name(kRegSp), "$sp");
+}
+
+TEST(Isa, ParseRegAcceptsNamesAndNumbers) {
+  EXPECT_EQ(parse_reg("$0"), 0u);
+  EXPECT_EQ(parse_reg("$15"), 15u);
+  EXPECT_EQ(parse_reg("$at"), kRegAt);
+  EXPECT_EQ(parse_reg("$sp"), kRegSp);
+  EXPECT_EQ(parse_reg("$16"), std::nullopt);
+  EXPECT_EQ(parse_reg("r3"), std::nullopt);
+  EXPECT_EQ(parse_reg("$"), std::nullopt);
+  EXPECT_EQ(parse_reg("$x"), std::nullopt);
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(is_qat(Op::kQNot));
+  EXPECT_TRUE(is_qat(Op::kQPop));
+  EXPECT_FALSE(is_qat(Op::kNot));
+  EXPECT_TRUE(is_branch(Op::kBrf));
+  EXPECT_TRUE(is_branch(Op::kJumpr));
+  EXPECT_FALSE(is_branch(Op::kAdd));
+  EXPECT_TRUE(writes_tangled_reg(Op::kQNext));
+  EXPECT_FALSE(writes_tangled_reg(Op::kStore));
+  EXPECT_FALSE(writes_tangled_reg(Op::kQAnd));
+  EXPECT_TRUE(reads_d(Op::kStore));
+  EXPECT_TRUE(reads_s(Op::kStore));
+  EXPECT_FALSE(reads_d(Op::kLex));
+  EXPECT_FALSE(reads_s(Op::kLex));
+  EXPECT_TRUE(reads_d(Op::kQMeas));
+}
+
+TEST(Isa, DisassembleMatchesPaperSyntax) {
+  Instr i;
+  i.op = Op::kQHad;
+  i.qa = 123;
+  i.k = 4;
+  EXPECT_EQ(disassemble(i), "had @123,4");
+  i = {};
+  i.op = Op::kQNext;
+  i.d = 8;
+  i.qa = 123;
+  EXPECT_EQ(disassemble(i), "next $8,@123");
+  i = {};
+  i.op = Op::kLex;
+  i.d = 8;
+  i.imm = 42;
+  EXPECT_EQ(disassemble(i), "lex $8,42");
+  i = {};
+  i.op = Op::kQAnd;
+  i.qa = 2;
+  i.qb = 0;
+  i.qc = 1;
+  EXPECT_EQ(disassemble(i), "and @2,@0,@1");
+}
+
+TEST(Isa, DecodeFuzzNeverCrashes) {
+  std::mt19937 rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    const auto w0 = static_cast<std::uint16_t>(rng());
+    const auto w1 = static_cast<std::uint16_t>(rng());
+    const Decoded d = decode(w0, w1);
+    EXPECT_GE(d.words, 1u);
+    EXPECT_LE(d.words, 2u);
+    // Whatever decoded must disassemble without throwing.
+    (void)disassemble(d.instr);
+    // And valid decodes must re-encode to the same semantic instruction.
+    if (d.instr.op != Op::kInvalid) {
+      std::uint16_t w[2] = {0, 0};
+      const unsigned n = encode(d.instr, w);
+      const Decoded d2 = decode(w[0], w[1]);
+      EXPECT_EQ(d2.instr, d.instr);
+      EXPECT_EQ(n, d.words);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,176 @@
+// Tests for the gate-level optimizer.
+#include "pbp/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pbp/pint.hpp"
+
+namespace pbp {
+namespace {
+
+std::shared_ptr<Circuit> circ(unsigned ways = 8) {
+  return std::make_shared<Circuit>(PbpContext::create(ways, Backend::kDense));
+}
+
+TEST(Optimizer, DeadGateElimination) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  (void)c->g_and(h0, h1);  // dead
+  (void)c->g_or(h0, h1);   // dead
+  const auto keep = c->g_xor(h0, h1);
+  const Circuit::Node roots[] = {keep};
+  auto r = optimize(*c, roots);
+  EXPECT_EQ(r.stats.gates_before, 5u);
+  EXPECT_EQ(r.stats.gates_after, 3u);
+  EXPECT_TRUE(r.circuit.eval(r.roots[0]) == c->eval(keep));
+}
+
+TEST(Optimizer, ConstantFolding) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto z = c->zero();
+  const auto o = c->one();
+  const auto and_z = c->g_and(h0, z);   // -> 0
+  const auto or_o = c->g_or(h0, o);     // -> 1
+  const auto xor_self = c->g_xor(h0, h0);  // -> 0
+  const auto and_o = c->g_and(h0, o);   // -> h0
+  const Circuit::Node roots[] = {and_z, or_o, xor_self, and_o};
+  auto r = optimize(*c, roots);
+  EXPECT_GE(r.stats.folds, 4u);
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kZero);
+  EXPECT_EQ(r.circuit.gate(r.roots[1]).kind, GateKind::kOne);
+  EXPECT_EQ(r.circuit.gate(r.roots[2]).kind, GateKind::kZero);
+  EXPECT_EQ(r.circuit.gate(r.roots[3]).kind, GateKind::kHad);
+}
+
+TEST(Optimizer, ComplementRules) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto n = c->g_not(h0);
+  const auto and_c = c->g_and(h0, n);  // -> 0
+  const auto or_c = c->g_or(h0, n);    // -> 1
+  const auto xor_c = c->g_xor(h0, n);  // -> 1
+  const Circuit::Node roots[] = {and_c, or_c, xor_c};
+  auto r = optimize(*c, roots);
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kZero);
+  EXPECT_EQ(r.circuit.gate(r.roots[1]).kind, GateKind::kOne);
+  EXPECT_EQ(r.circuit.gate(r.roots[2]).kind, GateKind::kOne);
+}
+
+TEST(Optimizer, DoubleNegation) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto nn = c->g_not(c->g_not(h0));
+  const Circuit::Node roots[] = {nn};
+  auto r = optimize(*c, roots);
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kHad);
+  EXPECT_EQ(r.stats.gates_after, 1u);
+}
+
+TEST(Optimizer, XorWithOneBecomesNot) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto x = c->g_xor(h0, c->one());
+  const Circuit::Node roots[] = {x};
+  auto r = optimize(*c, roots);
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kNot);
+  EXPECT_TRUE(r.circuit.eval(r.roots[0]) == c->eval(x));
+}
+
+TEST(Optimizer, HadOutOfRangeFoldsToZero) {
+  auto c = circ();  // 8 ways
+  const auto h9 = c->had(9);
+  const Circuit::Node roots[] = {h9};
+  auto r = optimize(*c, roots);
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kZero);
+}
+
+TEST(Optimizer, CseMergesDuplicates) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto h1 = c->had(1);
+  const auto a1 = c->g_and(h0, h1);
+  const auto a2 = c->g_and(h0, h1);
+  const auto out = c->g_xor(a1, a2);  // really x ^ x = 0
+  const Circuit::Node roots[] = {out};
+  auto r = optimize(*c, roots);
+  // After CSE, a1 and a2 collapse; then xor(x, x) folds to 0.
+  EXPECT_EQ(r.circuit.gate(r.roots[0]).kind, GateKind::kZero);
+  EXPECT_GE(r.stats.cse_hits + r.stats.folds, 1u);
+}
+
+TEST(Optimizer, DisableFlagsRespected) {
+  auto c = circ();
+  const auto h0 = c->had(0);
+  const auto and_z = c->g_and(h0, c->zero());
+  const Circuit::Node roots[] = {and_z};
+  OptimizeOptions opts;
+  opts.fold_constants = false;
+  opts.cse = false;
+  opts.simplify_not = false;
+  auto r = optimize(*c, roots, opts);
+  EXPECT_EQ(r.stats.folds, 0u);
+  EXPECT_EQ(r.stats.gates_after, 3u);  // nothing removed except dead gates
+}
+
+// Property: optimization preserves every root's value on randomly built DAGs.
+class OptimizerRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OptimizerRandom, PreservesSemantics) {
+  std::mt19937_64 rng(GetParam());
+  auto c = circ();
+  std::vector<Circuit::Node> nodes;
+  for (unsigned k = 0; k < 8; ++k) nodes.push_back(c->had(k));
+  nodes.push_back(c->zero());
+  nodes.push_back(c->one());
+  for (int i = 0; i < 120; ++i) {
+    const auto a = nodes[rng() % nodes.size()];
+    const auto b = nodes[rng() % nodes.size()];
+    switch (rng() % 4) {
+      case 0:
+        nodes.push_back(c->g_and(a, b));
+        break;
+      case 1:
+        nodes.push_back(c->g_or(a, b));
+        break;
+      case 2:
+        nodes.push_back(c->g_xor(a, b));
+        break;
+      default:
+        nodes.push_back(c->g_not(a));
+        break;
+    }
+  }
+  std::vector<Circuit::Node> roots(nodes.end() - 5, nodes.end());
+  auto r = optimize(*c, roots);
+  EXPECT_LE(r.stats.gates_after, r.stats.gates_before);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_TRUE(r.circuit.eval(r.roots[i]) == c->eval(roots[i]))
+        << "root " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// End-to-end: the Figure 9 factoring circuit shrinks under optimization but
+// still factors 15.
+TEST(Optimizer, Figure9CircuitShrinksAndStillWorks) {
+  auto c = circ();
+  const Pint a = Pint::constant(c, 4, 15);
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const Pint cc = Pint::hadamard(c, 4, 0xf0);
+  const Pint d = Pint::mul(b, cc);
+  const Pint e = Pint::eq(d, a);
+  const Circuit::Node roots[] = {e.bit(0)};
+  auto r = optimize(*c, roots);
+  EXPECT_LT(r.stats.gates_after, r.stats.gates_before / 2)
+      << "multiplying by constant-0 partial products should fold hard";
+  EXPECT_TRUE(r.circuit.eval(r.roots[0]) == c->eval(e.bit(0)));
+}
+
+}  // namespace
+}  // namespace pbp

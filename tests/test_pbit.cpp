@@ -1,0 +1,152 @@
+// Tests for the unified Pbit abstraction (dense and compressed backends).
+#include "pbp/pbit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+namespace {
+
+struct BackendCase {
+  Backend backend;
+  unsigned ways;
+  unsigned chunk_ways;
+};
+
+class PbitBothBackends : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  std::shared_ptr<PbpContext> ctx() const {
+    const auto& p = GetParam();
+    return PbpContext::create(p.ways, p.backend, p.chunk_ways);
+  }
+};
+
+TEST_P(PbitBothBackends, ConstantsAndHadamard) {
+  auto c = ctx();
+  EXPECT_FALSE(c->zero().any());
+  EXPECT_TRUE(c->one().all());
+  for (unsigned k = 0; k < c->ways(); ++k) {
+    EXPECT_EQ(c->hadamard(k).to_aob(), hadamard_generate(c->ways(), k));
+  }
+}
+
+TEST_P(PbitBothBackends, GateSemantics) {
+  auto c = ctx();
+  std::mt19937_64 rng(5);
+  const Aob aa = Aob::from_fn(c->ways(), [&](std::size_t) { return rng() & 1; });
+  const Aob bb = Aob::from_fn(c->ways(), [&](std::size_t) { return rng() & 1; });
+  const Pbit a = c->from_aob(aa);
+  const Pbit b = c->from_aob(bb);
+  EXPECT_EQ((a & b).to_aob(), aa & bb);
+  EXPECT_EQ((a | b).to_aob(), aa | bb);
+  EXPECT_EQ((a ^ b).to_aob(), aa ^ bb);
+  EXPECT_EQ((~a).to_aob(), ~aa);
+  EXPECT_EQ(a.and_not(b).to_aob(), aa & ~bb);
+}
+
+TEST_P(PbitBothBackends, ReversibleGatesAreInvolutions) {
+  auto c = ctx();
+  std::mt19937_64 rng(6);
+  const Aob aa = Aob::from_fn(c->ways(), [&](std::size_t) { return rng() & 1; });
+  const Aob cc = Aob::from_fn(c->ways(), [&](std::size_t) { return rng() & 1; });
+  Pbit a = c->from_aob(aa);
+  const Pbit ctl = c->from_aob(cc);
+  const Pbit orig = a;
+
+  a.pauli_x();
+  a.pauli_x();
+  EXPECT_TRUE(a == orig);
+
+  a.cnot(ctl);
+  a.cnot(ctl);
+  EXPECT_TRUE(a == orig);
+
+  const Pbit c2 = c->hadamard(0);
+  a.ccnot(ctl, c2);
+  a.ccnot(ctl, c2);
+  EXPECT_TRUE(a == orig);
+}
+
+TEST_P(PbitBothBackends, CcnotIsToffoli) {
+  auto c = ctx();
+  Pbit t = c->zero();
+  const Pbit c1 = c->hadamard(0);
+  const Pbit c2 = c->hadamard(1);
+  t.ccnot(c1, c2);
+  // t = H0 & H1: 1 in exactly a quarter of channels.
+  EXPECT_EQ(t.popcount(), t.bit_count() / 4);
+  EXPECT_TRUE(t == (c1 & c2));
+}
+
+TEST_P(PbitBothBackends, SwapAndCswap) {
+  auto c = ctx();
+  Pbit a = c->hadamard(0);
+  Pbit b = c->hadamard(1);
+  const Pbit a0 = a;
+  const Pbit b0 = b;
+  Pbit::swap_values(a, b);
+  EXPECT_TRUE(a == b0);
+  EXPECT_TRUE(b == a0);
+  Pbit::swap_values(a, b);
+
+  const Pbit ctl = c->hadamard(2);
+  Pbit::cswap(a, b, ctl);
+  Pbit::cswap(a, b, ctl);
+  EXPECT_TRUE(a == a0);
+  EXPECT_TRUE(b == b0);
+}
+
+TEST_P(PbitBothBackends, MeasurementFamily) {
+  auto c = ctx();
+  const Pbit h = c->hadamard(2);  // period-8 pattern: 4 zeros then 4 ones
+  EXPECT_FALSE(h.meas(0));
+  EXPECT_TRUE(h.meas(4));
+  EXPECT_EQ(h.next_one(0), 4u);
+  EXPECT_EQ(h.next_one(7), 12u);
+  EXPECT_EQ(h.popcount(), h.bit_count() / 2);
+  EXPECT_TRUE(h.any());
+  EXPECT_FALSE(h.all());
+  EXPECT_FALSE(c->zero().any());
+  EXPECT_TRUE(c->one().all());
+  // pop-after + meas(0) = POP identity (§2.7).
+  EXPECT_EQ(h.pop_after(0) + (h.meas(0) ? 1 : 0), h.popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, PbitBothBackends,
+    ::testing::Values(BackendCase{Backend::kDense, 8, 0},
+                      BackendCase{Backend::kDense, 12, 0},
+                      BackendCase{Backend::kCompressed, 8, 4},
+                      BackendCase{Backend::kCompressed, 12, 6},
+                      BackendCase{Backend::kCompressed, 16, 12}));
+
+TEST(Pbit, MixingBackendsThrows) {
+  auto dense = PbpContext::create(8, Backend::kDense);
+  auto comp = PbpContext::create(8, Backend::kCompressed, 4);
+  Pbit a = dense->zero();
+  const Pbit b = comp->zero();
+  EXPECT_THROW((void)(a & b), std::invalid_argument);
+}
+
+TEST(Pbit, CompressedStorageSmallerOnRegularData) {
+  auto comp = PbpContext::create(20, Backend::kCompressed, 12);
+  const Pbit h = comp->hadamard(19);
+  auto dense = PbpContext::create(20, Backend::kDense);
+  const Pbit hd = dense->hadamard(19);
+  EXPECT_LT(h.storage_bytes(), hd.storage_bytes() / 1000);
+}
+
+TEST(Pbit, ContextValidation) {
+  EXPECT_THROW(PbpContext::create(kMaxAobWays + 1, Backend::kDense),
+               std::invalid_argument);
+  EXPECT_THROW(PbpContext::create(8, Backend::kCompressed, 12),
+               std::invalid_argument);
+  auto c = PbpContext::create(8, Backend::kDense);
+  EXPECT_THROW(c->from_aob(Aob::zeros(9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbp

@@ -1,0 +1,316 @@
+// Tests for pattern integers (paper §4.1, Figure 9).
+#include "pbp/pint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace pbp {
+namespace {
+
+std::shared_ptr<Circuit> circ8() {
+  return std::make_shared<Circuit>(PbpContext::create(8, Backend::kDense));
+}
+
+TEST(Pint, ConstantMeasuresToItself) {
+  auto c = circ8();
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 15ull}) {
+    const Pint p = Pint::constant(c, 4, v);
+    const auto values = p.measure_values();
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_EQ(values[0], v);
+    EXPECT_EQ(p.channels_equal_to(v), 256u);  // every channel holds v
+  }
+}
+
+TEST(Pint, HadamardIsUniformSuperposition) {
+  auto c = circ8();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const auto dist = b.measure_distribution();
+  ASSERT_EQ(dist.size(), 16u);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(dist[v].first, v);
+    EXPECT_EQ(dist[v].second, 16u);  // 256 channels / 16 values
+  }
+}
+
+TEST(Pint, HadamardMaskWidthMismatchThrows) {
+  auto c = circ8();
+  EXPECT_THROW(Pint::hadamard(c, 4, 0x07), std::invalid_argument);
+  EXPECT_THROW(Pint::hadamard(c, 4, 0x1f), std::invalid_argument);
+}
+
+TEST(Pint, ChannelEncodingMatchesHadamardIndices) {
+  // With b = H(0..3) and c = H(4..7), channel e encodes b = e % 16 and
+  // c = e / 16 — the identity §4.2 uses to skip the final multiply.
+  auto c = circ8();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const Pint cc = Pint::hadamard(c, 4, 0xf0);
+  for (std::size_t e = 0; e < 256; e += 17) {
+    EXPECT_EQ(b.value_at_channel(e), e % 16);
+    EXPECT_EQ(cc.value_at_channel(e), e / 16);
+  }
+}
+
+TEST(Pint, AddExhaustive4x4) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint s = Pint::add(a, b);
+  ASSERT_EQ(s.width(), 5u);
+  // Every channel is one (x, y) pair; the sum must be exact in all 256.
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(s.value_at_channel(e), (e % 16) + (e / 16)) << "e=" << e;
+  }
+}
+
+TEST(Pint, AddModWraps) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint s = Pint::add_mod(a, b);
+  ASSERT_EQ(s.width(), 4u);
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(s.value_at_channel(e), ((e % 16) + (e / 16)) & 15u);
+  }
+}
+
+TEST(Pint, SubModExhaustive) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint d = Pint::sub_mod(a, b);
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(d.value_at_channel(e), ((e % 16) - (e / 16)) & 15u);
+  }
+}
+
+TEST(Pint, MulExhaustive4x4) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint m = Pint::mul(a, b);
+  ASSERT_EQ(m.width(), 8u);
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(m.value_at_channel(e), (e % 16) * (e / 16)) << "e=" << e;
+  }
+}
+
+TEST(Pint, SharedChannelsComputeSquares) {
+  // §4.1: "Had b and c used the same entanglement channels, that
+  // multiplication would only have computed 4-way entangled squares."
+  auto c = circ8();
+  const Pint b1 = Pint::hadamard(c, 4, 0x0f);
+  const Pint b2 = Pint::hadamard(c, 4, 0x0f);
+  const Pint m = Pint::mul(b1, b2);
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(m.value_at_channel(e), (e % 16) * (e % 16));
+  }
+}
+
+TEST(Pint, ComparisonsExhaustive) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint eq = Pint::eq(a, b);
+  const Pint ne = Pint::ne(a, b);
+  const Pint lt = Pint::lt(a, b);
+  const Pint le = Pint::le(a, b);
+  for (std::size_t e = 0; e < 256; ++e) {
+    const std::uint64_t x = e % 16;
+    const std::uint64_t y = e / 16;
+    EXPECT_EQ(eq.value_at_channel(e), x == y ? 1u : 0u);
+    EXPECT_EQ(ne.value_at_channel(e), x != y ? 1u : 0u);
+    EXPECT_EQ(lt.value_at_channel(e), x < y ? 1u : 0u);
+    EXPECT_EQ(le.value_at_channel(e), x <= y ? 1u : 0u);
+  }
+}
+
+TEST(Pint, DivmodConstExhaustive) {
+  auto c = circ8();
+  const Pint a4 = Pint::hadamard(c, 4, 0x0f);
+  const Pint b4 = Pint::hadamard(c, 4, 0xf0);
+  const Pint a = Pint::mul(a4, b4);  // 8-bit values 0..225 across channels
+  for (std::uint64_t d : {1ull, 2ull, 3ull, 7ull, 10ull, 15ull, 16ull,
+                          100ull, 255ull}) {
+    const auto [q, r] = Pint::divmod_const(a, d);
+    for (std::size_t e = 0; e < 256; e += 5) {
+      const std::uint64_t v = (e % 16) * (e / 16);
+      ASSERT_EQ(q.value_at_channel(e), v / d) << "d=" << d << " e=" << e;
+      ASSERT_EQ(r.value_at_channel(e), v % d) << "d=" << d << " e=" << e;
+    }
+  }
+}
+
+TEST(Pint, DivByZeroThrows) {
+  auto c = circ8();
+  const Pint a = Pint::constant(c, 4, 5);
+  EXPECT_THROW(Pint::divmod_const(a, 0), std::invalid_argument);
+  EXPECT_THROW(Pint::modexp_const(2, a, 0), std::invalid_argument);
+}
+
+TEST(Pint, ModConstMatchesReference) {
+  auto c = circ8();
+  const Pint x = Pint::hadamard(c, 8, 0xff);  // 0..255 uniform
+  const Pint m = Pint::mod_const(x, 15);
+  for (std::size_t e = 0; e < 256; ++e) {
+    ASSERT_EQ(m.value_at_channel(e), e % 15) << e;
+  }
+}
+
+TEST(Pint, ModexpConstAllChannels) {
+  auto c = circ8();
+  const Pint x = Pint::hadamard(c, 8, 0xff);  // exponent 0..255
+  for (const auto& [base, mod] : std::vector<std::pair<std::uint64_t,
+                                                       std::uint64_t>>{
+           {2, 15}, {7, 15}, {3, 7}, {5, 21}}) {
+    const Pint f = Pint::modexp_const(base, x, mod);
+    for (std::size_t e = 0; e < 256; e += 3) {
+      std::uint64_t want = 1 % mod;
+      for (std::size_t k = 0; k < e; ++k) want = (want * base) % mod;
+      ASSERT_EQ(f.value_at_channel(e), want)
+          << "base=" << base << " mod=" << mod << " x=" << e;
+    }
+  }
+}
+
+TEST(Pint, ModexpPeriodOf2Mod15IsFour) {
+  // The Shor connection (§2.2 cites Shor's algorithm): f(x) = 2^x mod 15
+  // takes exactly 4 distinct values {1, 2, 4, 8}; the period IS the count,
+  // read off non-destructively in one evaluation.
+  auto c = circ8();
+  const Pint x = Pint::hadamard(c, 4, 0x0f);
+  const Pint f = Pint::modexp_const(2, x, 15);
+  EXPECT_EQ(f.measure_values(), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(Pint, MixedWidthComparison) {
+  auto c = circ8();
+  const Pint narrow = Pint::constant(c, 3, 5);
+  const Pint wide = Pint::constant(c, 6, 5);
+  EXPECT_EQ(Pint::eq(narrow, wide).measure_values(),
+            std::vector<std::uint64_t>{1});
+  const Pint wide2 = Pint::constant(c, 6, 37);  // 5 + 32: high bit differs
+  EXPECT_EQ(Pint::eq(narrow, wide2).measure_values(),
+            std::vector<std::uint64_t>{0});
+}
+
+TEST(Pint, BitwiseOps) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint land = a & b;
+  const Pint lor = a | b;
+  const Pint lxor = a ^ b;
+  const Pint lnot = ~a;
+  for (std::size_t e = 0; e < 256; e += 7) {
+    const std::uint64_t x = e % 16;
+    const std::uint64_t y = e / 16;
+    EXPECT_EQ(land.value_at_channel(e), x & y);
+    EXPECT_EQ(lor.value_at_channel(e), x | y);
+    EXPECT_EQ(lxor.value_at_channel(e), x ^ y);
+    EXPECT_EQ(lnot.value_at_channel(e), (~x) & 15u);
+  }
+}
+
+TEST(Pint, ShlAndResize) {
+  auto c = circ8();
+  const Pint a = Pint::constant(c, 4, 5);
+  EXPECT_EQ(a.shl(2).measure_values(), std::vector<std::uint64_t>{20});
+  EXPECT_EQ(a.resize(8).measure_values(), std::vector<std::uint64_t>{5});
+  EXPECT_EQ(a.resize(2).measure_values(), std::vector<std::uint64_t>{1});
+}
+
+TEST(Pint, ShlVarBarrelNetwork) {
+  auto c = circ8();
+  const Pint v = Pint::hadamard(c, 4, 0x0f);       // value 0..15
+  const Pint amt = Pint::hadamard(c, 4, 0xf0).resize(3);  // shift 0..7
+  const Pint r = Pint::shl_var(v, amt);
+  ASSERT_EQ(r.width(), 4u + 7u);
+  for (std::size_t e = 0; e < 256; ++e) {
+    const std::uint64_t value = e % 16;
+    const std::uint64_t shift = (e / 16) & 7u;
+    EXPECT_EQ(r.value_at_channel(e), value << shift) << "e=" << e;
+  }
+}
+
+TEST(Pint, ShlVarRejectsHugeAmounts) {
+  auto c = circ8();
+  const Pint v = Pint::constant(c, 4, 1);
+  const Pint amt = Pint::constant(c, 7, 0);
+  EXPECT_THROW(Pint::shl_var(v, amt), std::invalid_argument);
+}
+
+TEST(Pint, SelectPerChannel) {
+  auto c = circ8();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint cond = Pint::lt(a, b);
+  const Pint m = Pint::select(cond, a, b);  // min(a, b)
+  for (std::size_t e = 0; e < 256; ++e) {
+    EXPECT_EQ(m.value_at_channel(e), std::min(e % 16, e / 16));
+  }
+}
+
+TEST(Pint, GateByZeroesDisabledChannels) {
+  auto c = circ8();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const Pint three = Pint::constant(c, 4, 3);
+  const Pint is3 = Pint::eq(b, three);
+  const Pint f = Pint::gate_by(b, is3);
+  // Channels where b==3 keep the value 3; all others become 0.
+  const auto values = f.measure_values();
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{0, 3}));
+}
+
+// The headline: Figure 9's word-level prime factoring of 15, verbatim.
+TEST(Pint, Figure9Factoring15) {
+  auto c = circ8();
+  const Pint a = Pint::constant(c, 4, 15);     // a = 15
+  const Pint b = Pint::hadamard(c, 4, 0x0f);   // b = 0..15
+  const Pint cc = Pint::hadamard(c, 4, 0xf0);  // c = 0..15
+  const Pint d = Pint::mul(b, cc);             // d = b*c
+  const Pint e = Pint::eq(d, a);               // e = (d == 15)
+  const Pint f = Pint::gate_by(b, e);          // zero the non-factors
+  EXPECT_EQ(f.measure_values(), (std::vector<std::uint64_t>{0, 1, 3, 5, 15}));
+}
+
+// Non-destructive measurement: measuring f again gives the same answer, and
+// the inputs are still usable afterwards.
+TEST(Pint, MeasurementIsRepeatable) {
+  auto c = circ8();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const Pint cc = Pint::hadamard(c, 4, 0xf0);
+  const Pint d = Pint::mul(b, cc);
+  const Pint e = Pint::eq(d, Pint::constant(c, 4, 15));
+  const Pint f = Pint::gate_by(b, e);
+  const auto first = f.measure_values();
+  const auto second = f.measure_values();
+  EXPECT_EQ(first, second);
+  // b is still the full superposition.
+  EXPECT_EQ(b.measure_values().size(), 16u);
+}
+
+TEST(Pint, DifferentCircuitsThrow) {
+  auto c1 = circ8();
+  auto c2 = circ8();
+  const Pint a = Pint::constant(c1, 4, 1);
+  const Pint b = Pint::constant(c2, 4, 1);
+  EXPECT_THROW(Pint::add(a, b), std::invalid_argument);
+}
+
+TEST(Pint, DistributionCountsSumToChannels) {
+  auto c = circ8();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);
+  const Pint cc = Pint::hadamard(c, 4, 0xf0);
+  const Pint m = Pint::mul(b, cc);
+  std::size_t total = 0;
+  for (const auto& entry : m.measure_distribution()) total += entry.second;
+  EXPECT_EQ(total, 256u);
+  // Probability of product 15: 4 channels in parts per 256 (§1.1 units).
+  EXPECT_EQ(m.channels_equal_to(15), 4u);
+  EXPECT_EQ(m.channels_equal_to(0), 31u);  // x*y==0 for 16+16-1 pairs
+}
+
+}  // namespace
+}  // namespace pbp

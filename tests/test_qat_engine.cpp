@@ -1,0 +1,285 @@
+// Tests for the Qat coprocessor engine (paper §2.2–§2.7, §3.2–§3.3).
+#include "arch/qat_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pbp/hadamard.hpp"
+
+namespace tangled {
+namespace {
+
+using pbp::Aob;
+
+TEST(QatEngine, RegistersStartZero) {
+  QatEngine q(8);
+  for (unsigned r = 0; r < kNumQatRegs; r += 37) {
+    EXPECT_FALSE(q.reg(r).any());
+  }
+  EXPECT_EQ(q.channels(), 256u);
+}
+
+TEST(QatEngine, Initializers) {
+  QatEngine q(8);
+  q.one(5);
+  EXPECT_TRUE(q.reg(5).all());
+  q.zero(5);
+  EXPECT_FALSE(q.reg(5).any());
+  q.had(7, 3);
+  EXPECT_EQ(q.reg(7), pbp::hadamard_generate(8, 3));
+}
+
+TEST(QatEngine, LogicOps) {
+  QatEngine q(8);
+  q.had(0, 0);
+  q.had(1, 1);
+  q.and_(2, 0, 1);
+  q.or_(3, 0, 1);
+  q.xor_(4, 0, 1);
+  const Aob h0 = pbp::hadamard_generate(8, 0);
+  const Aob h1 = pbp::hadamard_generate(8, 1);
+  EXPECT_EQ(q.reg(2), h0 & h1);
+  EXPECT_EQ(q.reg(3), h0 | h1);
+  EXPECT_EQ(q.reg(4), h0 ^ h1);
+}
+
+TEST(QatEngine, ReversibleGates) {
+  QatEngine q(8);
+  q.had(0, 2);
+  q.had(1, 5);
+  q.had(2, 7);
+  const Aob a0 = q.reg(0);
+  q.not_(0);
+  EXPECT_EQ(q.reg(0), ~a0);
+  q.not_(0);
+  EXPECT_EQ(q.reg(0), a0);
+
+  q.cnot(0, 1);
+  EXPECT_EQ(q.reg(0), a0 ^ q.reg(1));
+  q.cnot(0, 1);
+  EXPECT_EQ(q.reg(0), a0);
+
+  q.ccnot(0, 1, 2);
+  EXPECT_EQ(q.reg(0), a0 ^ (q.reg(1) & q.reg(2)));
+  q.ccnot(0, 1, 2);
+  EXPECT_EQ(q.reg(0), a0);
+}
+
+TEST(QatEngine, CnotEqualsXorSelf) {
+  // §5: "cnot @a,@b is actually equivalent to xor @a,@a,@b".
+  QatEngine q1(8);
+  QatEngine q2(8);
+  q1.had(0, 1);
+  q1.had(1, 4);
+  q2.had(0, 1);
+  q2.had(1, 4);
+  q1.cnot(0, 1);
+  q2.xor_(0, 0, 1);
+  EXPECT_EQ(q1.reg(0), q2.reg(0));
+}
+
+TEST(QatEngine, SwapAndCswap) {
+  QatEngine q(8);
+  q.had(0, 0);
+  q.had(1, 1);
+  q.had(2, 2);
+  const Aob a0 = q.reg(0);
+  const Aob a1 = q.reg(1);
+  q.swap(0, 1);
+  EXPECT_EQ(q.reg(0), a1);
+  EXPECT_EQ(q.reg(1), a0);
+  q.swap(0, 1);
+
+  q.cswap(0, 1, 2);
+  q.cswap(0, 1, 2);  // involution
+  EXPECT_EQ(q.reg(0), a0);
+  EXPECT_EQ(q.reg(1), a1);
+}
+
+TEST(QatEngine, SwapSameRegisterIsIdentity) {
+  QatEngine q(8);
+  q.had(3, 4);
+  const Aob before = q.reg(3);
+  q.swap(3, 3);
+  EXPECT_EQ(q.reg(3), before);
+  q.cswap(3, 3, 3);
+  EXPECT_EQ(q.reg(3), before);
+}
+
+TEST(QatEngine, CswapAliasedControl) {
+  // cswap @a,@b,@a: channels where @a is 1 exchange — result must match the
+  // mathematical Fredkin applied with the ORIGINAL control value.
+  QatEngine q(8);
+  q.had(0, 2);
+  q.had(1, 5);
+  const Aob a = q.reg(0);
+  const Aob b = q.reg(1);
+  Aob ea = a;
+  Aob eb = b;
+  Aob::cswap(ea, eb, a);
+  q.cswap(0, 1, 0);
+  EXPECT_EQ(q.reg(0), ea);
+  EXPECT_EQ(q.reg(1), eb);
+}
+
+TEST(QatEngine, MeasurementInstructions) {
+  QatEngine q(8);
+  q.had(123, 4);
+  // §2.7's worked example: next after channel 42 of H(4) is 48.
+  EXPECT_EQ(q.next(123, 42), 48u);
+  EXPECT_EQ(q.meas(123, 48), 1u);
+  EXPECT_EQ(q.meas(123, 42), 0u);
+  // pop: strictly-after count (§2.7); H(4) has 128 ones total.
+  EXPECT_EQ(q.pop(123, 0) + q.meas(123, 0), 128u);
+  // next on an all-zero register aliases "none" to 0.
+  q.zero(9);
+  EXPECT_EQ(q.next(9, 0), 0u);
+}
+
+TEST(QatEngine, MeasurementIsNonDestructive) {
+  QatEngine q(8);
+  q.had(5, 3);
+  const Aob before = q.reg(5);
+  for (std::uint16_t ch = 0; ch < 256; ++ch) {
+    (void)q.meas(5, ch);
+    (void)q.next(5, ch);
+    (void)q.pop(5, ch);
+  }
+  EXPECT_EQ(q.reg(5), before);
+}
+
+TEST(QatEngine, ExecuteDispatch) {
+  QatEngine q(8);
+  std::uint16_t d = 0;
+  Instr had{};
+  had.op = Op::kQHad;
+  had.qa = 0;
+  had.k = 4;
+  q.execute(had, d);
+  Instr next{};
+  next.op = Op::kQNext;
+  next.qa = 0;
+  d = 42;
+  q.execute(next, d);
+  EXPECT_EQ(d, 48u);
+  Instr meas{};
+  meas.op = Op::kQMeas;
+  meas.qa = 0;
+  d = 48;
+  q.execute(meas, d);
+  EXPECT_EQ(d, 1u);
+  Instr bad{};
+  bad.op = Op::kAdd;
+  EXPECT_THROW(q.execute(bad, d), std::invalid_argument);
+}
+
+TEST(QatEngine, StatsCountPorts) {
+  // §5's ablation arguments hinge on port counts: ccnot/cswap need a third
+  // read port, swap/cswap a second write port.
+  QatEngine q(8);
+  q.reset_stats();
+  q.ccnot(0, 1, 2);
+  EXPECT_EQ(q.stats().reg_reads, 3u);
+  EXPECT_EQ(q.stats().reg_writes, 1u);
+  q.reset_stats();
+  q.cswap(0, 1, 2);
+  EXPECT_EQ(q.stats().reg_reads, 3u);
+  EXPECT_EQ(q.stats().reg_writes, 2u);
+  q.reset_stats();
+  q.and_(0, 1, 2);
+  EXPECT_EQ(q.stats().reg_reads, 2u);
+  EXPECT_EQ(q.stats().reg_writes, 1u);
+}
+
+TEST(QatEngine, WaysValidation) {
+  EXPECT_THROW(QatEngine(0), std::invalid_argument);
+  EXPECT_THROW(QatEngine(31), std::invalid_argument);
+  QatEngine q(4);
+  EXPECT_THROW(q.set_reg(0, Aob::zeros(5)), std::invalid_argument);
+}
+
+// --- Structural model cross-checks (Figures 7 and 8) ---
+
+class StructuralWays : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StructuralWays, HadStructuralMatchesGenerator) {
+  const unsigned ways = GetParam();
+  for (unsigned k = 0; k < ways; ++k) {
+    EXPECT_EQ(QatEngine::had_structural(ways, k),
+              pbp::hadamard_generate(ways, k))
+        << "k=" << k;
+  }
+}
+
+TEST_P(StructuralWays, NextStructuralMatchesBehaviouralExhaustive) {
+  const unsigned ways = GetParam();
+  std::mt19937_64 rng(ways * 1234 + 1);
+  for (int trial = 0; trial < 4; ++trial) {
+    const unsigned density = trial + 2;
+    const Aob a = Aob::from_fn(
+        ways, [&](std::size_t) { return (rng() % density) == 0; });
+    const std::size_t n = a.bit_count();
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto ref = a.next_one(s);
+      const std::uint16_t want =
+          ref ? static_cast<std::uint16_t>(*ref) : 0;
+      ASSERT_EQ(QatEngine::next_structural(a, static_cast<std::uint16_t>(s)),
+                want)
+          << "ways=" << ways << " s=" << s;
+    }
+  }
+}
+
+TEST_P(StructuralWays, NextStructuralOnHadamards) {
+  const unsigned ways = GetParam();
+  for (unsigned k = 0; k < ways; ++k) {
+    const Aob h = pbp::hadamard_generate(ways, k);
+    for (std::size_t s = 0; s < h.bit_count(); s += 3) {
+      const auto ref = h.next_one(s);
+      const std::uint16_t want = ref ? static_cast<std::uint16_t>(*ref) : 0;
+      ASSERT_EQ(QatEngine::next_structural(h, static_cast<std::uint16_t>(s)),
+                want);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WaysSweep, StructuralWays,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u));
+
+TEST(QatEngine, NextStructural16Way) {
+  // Full-size hardware: 65,536-bit AoB, spot-checked against behavioural.
+  std::mt19937_64 rng(77);
+  const Aob a =
+      Aob::from_fn(16, [&](std::size_t) { return (rng() % 97) == 0; });
+  for (std::uint16_t s :
+       {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{1000},
+        std::uint16_t{32767}, std::uint16_t{65000}, std::uint16_t{65535}}) {
+    const auto ref = a.next_one(s);
+    EXPECT_EQ(QatEngine::next_structural(a, s),
+              ref ? static_cast<std::uint16_t>(*ref) : 0);
+  }
+}
+
+TEST(QatEngine, GateDelayModelMatchesSection33) {
+  // Wide OR: total levels grow linearly in WAYS.
+  // 2-input OR: the reduction term is sum(k) = WAYS(WAYS-1)/2 — quadratic.
+  const unsigned wide16 = QatEngine::next_gate_delay(16, 0);
+  const unsigned wide8 = QatEngine::next_gate_delay(8, 0);
+  const unsigned narrow16 = QatEngine::next_gate_delay(16, 2);
+  const unsigned narrow8 = QatEngine::next_gate_delay(8, 2);
+  // Linear: doubling WAYS roughly doubles the wide-OR delay.
+  EXPECT_LT(wide16, 3 * wide8);
+  // Quadratic: doubling WAYS roughly quadruples the reduction-dominated
+  // 2-input delay.
+  EXPECT_GT(narrow16, 3 * narrow8 - wide8);
+  // The quadratic model is strictly worse, and the gap widens with WAYS.
+  EXPECT_GT(narrow16 - wide16, narrow8 - wide8);
+  // Intermediate fan-in sits between the extremes.
+  const unsigned mid16 = QatEngine::next_gate_delay(16, 4);
+  EXPECT_LT(mid16, narrow16);
+  EXPECT_GT(mid16, wide16);
+}
+
+}  // namespace
+}  // namespace tangled

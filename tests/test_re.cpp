@@ -1,0 +1,281 @@
+// Tests for the RE compressed representation (paper §1.2).
+//
+// Every Re operation is checked against the dense Aob reference at small
+// entanglement, plus compression-specific behaviour at large entanglement.
+#include "pbp/re.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+namespace {
+
+std::shared_ptr<ChunkPool> pool4() { return std::make_shared<ChunkPool>(4); }
+
+Aob random_aob(unsigned ways, std::mt19937_64& rng, unsigned density = 2) {
+  return Aob::from_fn(ways, [&](std::size_t) { return (rng() % density) == 0; });
+}
+
+TEST(ChunkPool, InternDeduplicates) {
+  auto p = pool4();
+  const auto a = p->intern(Aob::zeros(4));
+  const auto b = p->intern(Aob::zeros(4));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, p->zero_symbol());
+  Aob x(4);
+  x.set(3, true);
+  const auto c = p->intern(x);
+  EXPECT_NE(c, a);
+  EXPECT_EQ(p->intern(x), c);
+}
+
+TEST(ChunkPool, WrongChunkSizeThrows) {
+  auto p = pool4();
+  EXPECT_THROW(p->intern(Aob::zeros(5)), std::invalid_argument);
+}
+
+TEST(ChunkPool, ApplyMemoizes) {
+  auto p = pool4();
+  std::mt19937_64 rng(1);
+  const auto a = p->intern(random_aob(4, rng));
+  const auto b = p->intern(random_aob(4, rng));
+  const auto misses0 = p->memo_misses();
+  const auto r1 = p->apply(BitOp::Xor, a, b);
+  const auto misses1 = p->memo_misses();
+  const auto r2 = p->apply(BitOp::Xor, a, b);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(p->memo_misses(), misses1);
+  EXPECT_GE(misses1, misses0);
+  // Commutative canonicalization: the swapped operand order also hits.
+  const auto r3 = p->apply(BitOp::Xor, b, a);
+  EXPECT_EQ(r3, r1);
+  EXPECT_EQ(p->memo_misses(), misses1);
+}
+
+TEST(ChunkPool, IdentitiesAvoidWork) {
+  auto p = pool4();
+  std::mt19937_64 rng(2);
+  const auto a = p->intern(random_aob(4, rng));
+  const auto misses = p->memo_misses();
+  EXPECT_EQ(p->apply(BitOp::And, a, p->zero_symbol()), p->zero_symbol());
+  EXPECT_EQ(p->apply(BitOp::And, a, p->one_symbol()), a);
+  EXPECT_EQ(p->apply(BitOp::Or, a, p->zero_symbol()), a);
+  EXPECT_EQ(p->apply(BitOp::Or, a, p->one_symbol()), p->one_symbol());
+  EXPECT_EQ(p->apply(BitOp::Xor, a, a), p->zero_symbol());
+  EXPECT_EQ(p->apply(BitOp::AndNot, a, a), p->zero_symbol());
+  EXPECT_EQ(p->memo_misses(), misses);  // all resolved symbolically
+}
+
+TEST(ChunkPool, NotIsInvolutionInMemo) {
+  auto p = pool4();
+  std::mt19937_64 rng(3);
+  const auto a = p->intern(random_aob(4, rng));
+  const auto na = p->apply_not(a);
+  EXPECT_EQ(p->apply_not(na), a);
+  EXPECT_EQ(p->chunk(na), ~p->chunk(a));
+}
+
+TEST(ChunkPool, PopcountCached) {
+  auto p = pool4();
+  Aob x(4);
+  x.set(1, true);
+  x.set(9, true);
+  const auto s = p->intern(x);
+  EXPECT_EQ(p->popcount(s), 2u);
+  EXPECT_EQ(p->popcount(p->one_symbol()), 16u);
+}
+
+// --- Re vs dense reference ---
+
+class ReVsDense : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReVsDense, RoundTrip) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways);
+  const Aob a = random_aob(ways, rng);
+  const Re r = Re::from_aob(p, a);
+  EXPECT_EQ(r.to_aob(), a);
+  EXPECT_EQ(r.popcount(), a.popcount());
+  EXPECT_EQ(r.any(), a.any());
+  EXPECT_EQ(r.all(), a.all());
+}
+
+TEST_P(ReVsDense, BinaryOpsMatch) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 31 + 1);
+  const Aob a = random_aob(ways, rng);
+  const Aob b = random_aob(ways, rng);
+  for (const BitOp op :
+       {BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot}) {
+    Re r = Re::from_aob(p, a);
+    r.apply(op, Re::from_aob(p, b));
+    Aob expect = a;
+    switch (op) {
+      case BitOp::And:
+        expect &= b;
+        break;
+      case BitOp::Or:
+        expect |= b;
+        break;
+      case BitOp::Xor:
+        expect ^= b;
+        break;
+      case BitOp::AndNot:
+        expect &= ~b;
+        break;
+    }
+    EXPECT_EQ(r.to_aob(), expect) << "op=" << static_cast<int>(op);
+  }
+}
+
+TEST_P(ReVsDense, InvertMatches) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 7 + 5);
+  const Aob a = random_aob(ways, rng);
+  Re r = Re::from_aob(p, a);
+  r.invert();
+  EXPECT_EQ(r.to_aob(), ~a);
+}
+
+TEST_P(ReVsDense, NextOneMatchesEverywhere) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 13 + 2);
+  const Aob a = random_aob(ways, rng, /*density=*/8);  // sparse
+  const Re r = Re::from_aob(p, a);
+  for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+    ASSERT_EQ(r.next_one(ch), a.next_one(ch)) << "ways=" << ways << " ch=" << ch;
+  }
+}
+
+TEST_P(ReVsDense, PopcountAfterMatchesEverywhere) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 17 + 3);
+  const Aob a = random_aob(ways, rng);
+  const Re r = Re::from_aob(p, a);
+  for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+    ASSERT_EQ(r.popcount_after(ch), a.popcount_after(ch)) << "ch=" << ch;
+  }
+}
+
+TEST_P(ReVsDense, GetMatchesEverywhere) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 19 + 4);
+  const Aob a = random_aob(ways, rng);
+  const Re r = Re::from_aob(p, a);
+  for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+    ASSERT_EQ(r.get(ch), a.get(ch));
+  }
+}
+
+TEST_P(ReVsDense, SetMatches) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 23 + 5);
+  Aob a = random_aob(ways, rng);
+  Re r = Re::from_aob(p, a);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::size_t ch = rng() % a.bit_count();
+    const bool v = rng() & 1;
+    a.set(ch, v);
+    r.set(ch, v);
+  }
+  EXPECT_EQ(r.to_aob(), a);
+}
+
+TEST_P(ReVsDense, HadamardMatches) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  for (unsigned k = 0; k <= ways; ++k) {
+    EXPECT_EQ(Re::hadamard(p, ways, k).to_aob(), hadamard_generate(ways, k))
+        << "k=" << k;
+  }
+}
+
+TEST_P(ReVsDense, CswapMatches) {
+  const unsigned ways = GetParam();
+  auto p = pool4();
+  std::mt19937_64 rng(ways * 29 + 6);
+  Aob a = random_aob(ways, rng);
+  Aob b = random_aob(ways, rng);
+  const Aob c = random_aob(ways, rng);
+  Re ra = Re::from_aob(p, a);
+  Re rb = Re::from_aob(p, b);
+  const Re rc = Re::from_aob(p, c);
+  Aob::cswap(a, b, c);
+  Re::cswap(ra, rb, rc);
+  EXPECT_EQ(ra.to_aob(), a);
+  EXPECT_EQ(rb.to_aob(), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(WaysSweep, ReVsDense,
+                         ::testing::Values(4u, 5u, 6u, 8u, 10u));
+
+// --- Compression behaviour ---
+
+TEST(Re, HadamardCompressesExponentially) {
+  // H(k) for k >= chunk_ways is alternating all-0/all-1 chunk runs: run
+  // count stays tiny regardless of 2^E size; storage stays O(runs).
+  auto p = std::make_shared<ChunkPool>(12);  // 4096-bit chunks, as LCPC'20
+  const Re h = Re::hadamard(p, 26, 25);      // 2^26-bit value = 8 MiB dense
+  EXPECT_EQ(h.run_count(), 2u);
+  EXPECT_LT(h.compressed_bytes(), 64u);
+  EXPECT_EQ(h.dense_bytes(), std::size_t{1} << 23);
+  EXPECT_EQ(h.popcount(), std::size_t{1} << 25);
+}
+
+TEST(Re, LogicOnCompressedStaysCompressed) {
+  auto p = std::make_shared<ChunkPool>(12);
+  Re a = Re::hadamard(p, 24, 20);
+  const Re b = Re::hadamard(p, 24, 22);
+  a.apply(BitOp::And, b);
+  EXPECT_LE(a.run_count(), 8u);
+  // a AND b is 1 in a quarter of the channels.
+  EXPECT_EQ(a.popcount(), (std::size_t{1} << 24) / 4);
+}
+
+TEST(Re, NextOneOnHugeValueIsFast) {
+  auto p = std::make_shared<ChunkPool>(12);
+  const Re h = Re::hadamard(p, 26, 25);
+  // First 1 strictly after channel 0 is the start of the upper half.
+  EXPECT_EQ(h.next_one(0), std::size_t{1} << 25);
+  EXPECT_EQ(h.next_one((std::size_t{1} << 26) - 1), std::nullopt);
+}
+
+TEST(Re, WaysBelowChunkThrows) {
+  auto p = std::make_shared<ChunkPool>(12);
+  EXPECT_THROW(Re::zeros(p, 8), std::invalid_argument);
+}
+
+TEST(Re, MixedPoolsThrow) {
+  auto p = pool4();
+  auto q = pool4();
+  Re a = Re::zeros(p, 8);
+  const Re b = Re::zeros(q, 8);
+  EXPECT_THROW(a.apply(BitOp::And, b), std::invalid_argument);
+}
+
+TEST(Re, EqualityIsCanonical) {
+  auto p = pool4();
+  std::mt19937_64 rng(99);
+  const Aob a = random_aob(8, rng);
+  // Build the same value two different ways.
+  Re r1 = Re::from_aob(p, a);
+  Re r2 = Re::zeros(p, 8);
+  for (std::size_t ch = 0; ch < a.bit_count(); ++ch) {
+    if (a.get(ch)) r2.set(ch, true);
+  }
+  EXPECT_TRUE(r1 == r2);
+}
+
+}  // namespace
+}  // namespace pbp

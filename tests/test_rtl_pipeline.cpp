@@ -1,0 +1,254 @@
+// Tests for the latch-level RTL pipeline simulator, including differential
+// verification against both the functional model (architectural state) and
+// the accounting pipeline model (cycle counts).
+#include "arch/rtl_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asm/programs.hpp"
+
+namespace tangled {
+namespace {
+
+RtlPipelineSim run_rtl(const std::string& src, unsigned ways = 8) {
+  RtlPipelineSim sim(ways);
+  sim.load(assemble(src));
+  EXPECT_TRUE(sim.run().halted);
+  return sim;
+}
+
+TEST(RtlPipeline, BasicProgram) {
+  auto sim = run_rtl(
+      "lex $1,5\n"
+      "lex $2,7\n"
+      "add $1,$2\n"
+      "sys\n");
+  EXPECT_EQ(sim.cpu().reg(1), 12u);
+}
+
+TEST(RtlPipeline, ForwardingFromExMem) {
+  // Back-to-back dependency: only correct if the EX/MEM forward works.
+  auto sim = run_rtl(
+      "lex $1,3\n"
+      "add $1,$1\n"
+      "add $1,$1\n"
+      "add $1,$1\n"
+      "sys\n");
+  EXPECT_EQ(sim.cpu().reg(1), 24u);
+}
+
+TEST(RtlPipeline, ForwardingFromMemWb) {
+  // Producer two ahead: exercises the MEM/WB forwarding path alone.
+  auto sim = run_rtl(
+      "lex $1,3\n"
+      "lex $2,0\n"
+      "add $1,$1\n"
+      "sys\n");
+  EXPECT_EQ(sim.cpu().reg(1), 6u);
+}
+
+TEST(RtlPipeline, LoadUseStallsAndForwards) {
+  auto sim = run_rtl(
+      "li $2,0x8000\n"
+      "li $1,1234\n"
+      "store $1,$2\n"
+      "load $3,$2\n"
+      "add $3,$3\n"  // immediate use: needs the stall + MEM/WB forward
+      "sys\n");
+  EXPECT_EQ(sim.cpu().reg(3), 2468u);
+  EXPECT_EQ(sim.stats().data_stall_cycles, 1u);
+}
+
+TEST(RtlPipeline, BranchSquashesWrongPath) {
+  auto sim = run_rtl(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      lex $2,99\n"   // wrong path: must be squashed
+      "      lex $3,99\n"
+      "skip: lex $4,4\n"
+      "      sys\n");
+  EXPECT_EQ(sim.cpu().reg(2), 0u);
+  EXPECT_EQ(sim.cpu().reg(3), 0u);
+  EXPECT_EQ(sim.cpu().reg(4), 4u);
+}
+
+TEST(RtlPipeline, WrongPathQatOpsHaveNoEffect) {
+  // A squashed Qat instruction must not touch the coprocessor register
+  // file (side effects happen in EX, which wrong-path ops never reach).
+  auto sim = run_rtl(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      one @5\n"      // wrong path
+      "skip: sys\n");
+  EXPECT_FALSE(sim.qat().reg(5).any());
+}
+
+TEST(RtlPipeline, BranchConditionForwarded) {
+  // The branch condition is produced by the immediately preceding add: the
+  // EX forward must feed the branch, or it would test a stale zero (and
+  // fall through).
+  auto sim = run_rtl(
+      "      lex $1,0\n"
+      "      lex $2,1\n"
+      "      add $1,$2\n"
+      "      brt $1,skip\n"
+      "      lex $3,99\n"
+      "skip: sys\n");
+  EXPECT_EQ(sim.cpu().reg(3), 0u);
+}
+
+TEST(RtlPipeline, TwoWordQatFetch) {
+  auto sim = run_rtl(
+      "had @0,4\n"
+      "lex $1,42\n"
+      "next $1,@0\n"
+      "sys\n");
+  EXPECT_EQ(sim.cpu().reg(1), 48u);
+  EXPECT_EQ(sim.stats().fetch_extra_cycles, 2u);  // had + next second words
+}
+
+TEST(RtlPipeline, Figure10EndToEnd) {
+  RtlPipelineSim sim(8);
+  sim.load(assemble(figure10_source()));
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(sim.cpu().reg(0), 5u);
+  EXPECT_EQ(sim.cpu().reg(1), 3u);
+}
+
+TEST(RtlPipeline, DiagramShowsClassicShape) {
+  RtlPipelineSim sim(8);
+  sim.enable_trace();
+  sim.load(assemble("lex $1,1\nadd $1,$1\nsys\n"));
+  sim.run();
+  const std::string d = sim.diagram();
+  // First instruction occupies F at cycle 0 and retires in W at cycle 4.
+  EXPECT_NE(d.find("FDXMW"), std::string::npos);
+  EXPECT_NE(d.find("lex $1,1"), std::string::npos);
+  EXPECT_NE(d.find("add $1,$1"), std::string::npos);
+}
+
+TEST(RtlPipeline, DiagramShowsLoadUseStall) {
+  RtlPipelineSim sim(8);
+  sim.enable_trace();
+  sim.load(assemble("lex $2,100\nload $1,$2\nadd $1,$1\nsys\n"));
+  sim.run();
+  // The dependent add shows a '-' stall bubble between D and X.
+  EXPECT_NE(sim.diagram().find('-'), std::string::npos);
+}
+
+// --- Differential: RTL vs functional (state) and accounting (cycles) ---
+
+/// Same generator as test_property.cpp, kept local for independence.
+class RandomProgram {
+ public:
+  explicit RandomProgram(std::uint64_t seed) : rng_(seed) {}
+
+  Program generate() {
+    std::string src;
+    for (unsigned r = 0; r < 8; ++r) {
+      src += "li $" + std::to_string(r) + "," +
+             std::to_string(rng_() % 65536) + "\n";
+    }
+    src += "had @1,1\nhad @2,3\nhad @3,5\n";
+    for (int i = 0; i < 100; ++i) src += random_instr();
+    src += "sys\n";
+    return assemble(src);
+  }
+
+ private:
+  std::string r() { return "$" + std::to_string(rng_() % 11); }
+  std::string q() { return "@" + std::to_string(rng_() % 16); }
+
+  std::string random_instr() {
+    switch (rng_() % 18) {
+      case 0:
+        return "add " + r() + "," + r() + "\n";
+      case 1:
+        return "and " + r() + "," + r() + "\n";
+      case 2:
+        return "xor " + r() + "," + r() + "\n";
+      case 3:
+        return "mul " + r() + "," + r() + "\n";
+      case 4:
+        return "copy " + r() + "," + r() + "\n";
+      case 5:
+        return "not " + r() + "\n";
+      case 6:
+        return "neg " + r() + "\n";
+      case 7:
+        return "slt " + r() + "," + r() + "\n";
+      case 8:
+        return "lex " + r() + "," + std::to_string((rng_() % 256) - 128) +
+               "\n";
+      case 9: {
+        const std::string addr = r();
+        return "li $at,0x7fff\nand " + addr + ",$at\nlhi " + addr +
+               ",0x80\nstore " + r() + "," + addr + "\n";
+      }
+      case 10: {
+        const std::string addr = r();
+        return "li $at,0x7fff\nand " + addr + ",$at\nlhi " + addr +
+               ",0x80\nload " + r() + "," + addr + "\n";
+      }
+      case 11: {
+        const std::string lab = "L" + std::to_string(label_++);
+        return "brt " + r() + "," + lab + "\nadd " + r() + "," + r() + "\n" +
+               lab + ":\n";
+      }
+      case 12:
+        return "shift " + r() + "," + r() + "\n";
+      case 13:
+        return "had " + q() + "," + std::to_string(rng_() % 8) + "\n";
+      case 14:
+        return "and " + q() + "," + q() + "," + q() + "\n";
+      case 15:
+        return "xor " + q() + "," + q() + "," + q() + "\n";
+      case 16:
+        return "meas " + r() + "," + q() + "\n";
+      default:
+        return "next " + r() + "," + q() + "\n";
+    }
+  }
+
+  std::mt19937_64 rng_;
+  int label_ = 0;
+};
+
+class RtlDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtlDifferential, MatchesFunctionalStateAndAccountingCycles) {
+  const Program p = RandomProgram(GetParam()).generate();
+  FunctionalSim f(8);
+  PipelineSim acc(8, {.stages = 5, .forwarding = true});
+  RtlPipelineSim rtl(8);
+  f.load(p);
+  acc.load(p);
+  rtl.load(p);
+  const SimStats sf = f.run(100000);
+  const SimStats sa = acc.run(100000);
+  const SimStats sr = rtl.run(100000);
+  ASSERT_TRUE(sf.halted && sa.halted && sr.halted);
+  // Architectural state: the forwarding network really works.
+  for (unsigned r = 0; r < kNumRegs; ++r) {
+    ASSERT_EQ(sr.instructions, sf.instructions);
+    ASSERT_EQ(rtl.cpu().reg(r), f.cpu().reg(r))
+        << "seed " << GetParam() << " reg $" << r;
+  }
+  for (unsigned qr = 0; qr < 16; ++qr) {
+    ASSERT_EQ(rtl.qat().reg(qr), f.qat().reg(qr))
+        << "seed " << GetParam() << " @" << qr;
+  }
+  // Timing: the latch-level machine and the accounting model agree exactly.
+  EXPECT_EQ(sr.cycles, sa.cycles) << "seed " << GetParam();
+  EXPECT_EQ(sr.data_stall_cycles, sa.data_stall_cycles)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlDifferential,
+                         ::testing::Range<std::uint64_t>(100, 116));
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,508 @@
+// Tests for the three simulators: instruction semantics on the functional
+// model (Figure 6), cycle accounting on the multi-cycle and pipelined
+// models (§3.1).
+#include "arch/simulators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/bfloat16.hpp"
+#include "arch/rtl_pipeline.hpp"
+
+namespace tangled {
+namespace {
+
+CpuState run_func(const std::string& src, unsigned ways = 8) {
+  FunctionalSim sim(ways);
+  sim.load(assemble(src));
+  EXPECT_TRUE(sim.run().halted);
+  return sim.cpu();
+}
+
+// --- Table 1 semantics, one behaviour per test ---
+
+TEST(Semantics, AddWraps) {
+  const auto cpu = run_func(
+      "li $1,65535\n"
+      "lex $2,1\n"
+      "add $1,$2\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST(Semantics, BitwiseOps) {
+  const auto cpu = run_func(
+      "li $1,0x0F0F\n"
+      "li $2,0x00FF\n"
+      "copy $3,$1\n"
+      "and $3,$2\n"
+      "copy $4,$1\n"
+      "or $4,$2\n"
+      "copy $5,$1\n"
+      "xor $5,$2\n"
+      "copy $6,$1\n"
+      "not $6\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(3), 0x000Fu);
+  EXPECT_EQ(cpu.reg(4), 0x0FFFu);
+  EXPECT_EQ(cpu.reg(5), 0x0FF0u);
+  EXPECT_EQ(cpu.reg(6), 0xF0F0u);
+}
+
+TEST(Semantics, MulLow16) {
+  const auto cpu = run_func(
+      "li $1,300\n"
+      "li $2,300\n"
+      "mul $1,$2\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 90000u & 0xffffu);
+}
+
+TEST(Semantics, NegAndSlt) {
+  const auto cpu = run_func(
+      "lex $1,5\n"
+      "neg $1\n"          // $1 = -5
+      "lex $2,3\n"
+      "copy $3,$1\n"
+      "slt $3,$2\n"       // -5 < 3 -> 1 (signed)
+      "copy $4,$2\n"
+      "slt $4,$1\n"       // 3 < -5 -> 0
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 0xFFFBu);
+  EXPECT_EQ(cpu.reg(3), 1u);
+  EXPECT_EQ(cpu.reg(4), 0u);
+}
+
+TEST(Semantics, ShiftBothDirections) {
+  const auto cpu = run_func(
+      "lex $1,1\n"
+      "lex $2,4\n"
+      "shift $1,$2\n"   // 1 << 4 = 16
+      "li $3,0x8000\n"
+      "lex $4,-3\n"
+      "shift $3,$4\n"   // arithmetic right: sign fills
+      "lex $5,1\n"
+      "lex $6,20\n"
+      "shift $5,$6\n"   // over-shift left -> 0
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 16u);
+  EXPECT_EQ(cpu.reg(3), 0xF000u);
+  EXPECT_EQ(cpu.reg(5), 0u);
+}
+
+TEST(Semantics, LexSignExtendsLhiSetsHigh) {
+  const auto cpu = run_func(
+      "lex $1,-1\n"
+      "lex $2,-1\n"
+      "lhi $2,0x12\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(1), 0xFFFFu);
+  EXPECT_EQ(cpu.reg(2), 0x12FFu);
+}
+
+TEST(Semantics, LoadStore) {
+  const auto cpu = run_func(
+      "li $1,0x1234\n"
+      "li $2,100\n"
+      "store $1,$2\n"
+      "load $3,$2\n"
+      "sys\n");
+  EXPECT_EQ(cpu.reg(3), 0x1234u);
+}
+
+TEST(Semantics, FloatIntRoundTrip) {
+  const auto cpu = run_func(
+      "lex $1,25\n"
+      "float $1\n"
+      "copy $2,$1\n"
+      "int $2\n"
+      "sys\n");
+  EXPECT_EQ(Bf16(cpu.reg(1)).to_float(), 25.0f);
+  EXPECT_EQ(cpu.reg(2), 25u);
+}
+
+TEST(Semantics, FloatArithmetic) {
+  const auto cpu = run_func(
+      "lex $1,3\n"
+      "float $1\n"
+      "lex $2,4\n"
+      "float $2\n"
+      "copy $3,$1\n"
+      "addf $3,$2\n"   // 7.0
+      "copy $4,$1\n"
+      "mulf $4,$2\n"   // 12.0
+      "copy $5,$2\n"
+      "negf $5\n"      // -4.0
+      "copy $6,$2\n"
+      "recip $6\n"     // 0.25
+      "sys\n");
+  EXPECT_EQ(Bf16(cpu.reg(3)).to_float(), 7.0f);
+  EXPECT_EQ(Bf16(cpu.reg(4)).to_float(), 12.0f);
+  EXPECT_EQ(Bf16(cpu.reg(5)).to_float(), -4.0f);
+  EXPECT_EQ(Bf16(cpu.reg(6)).to_float(), 0.25f);
+}
+
+TEST(Semantics, JumprAndReturn) {
+  const auto cpu = run_func(
+      "      li $ra,back\n"
+      "      li $at,sub\n"
+      "      jumpr $at\n"
+      "back: lex $2,7\n"
+      "      sys\n"
+      "sub:  lex $1,9\n"
+      "      jumpr $ra\n");
+  EXPECT_EQ(cpu.reg(1), 9u);
+  EXPECT_EQ(cpu.reg(2), 7u);
+}
+
+TEST(Semantics, QatMeasNextPopViaProgram) {
+  const auto cpu = run_func(
+      "had @123,4\n"
+      "lex $8,42\n"
+      "next $8,@123\n"  // §2.7 worked example: 48
+      "lex $9,48\n"
+      "meas $9,@123\n"  // 1
+      "lex $10,0\n"
+      "pop $10,@123\n"  // ones strictly after channel 0 of H(4): 128
+      "sys\n");
+  EXPECT_EQ(cpu.reg(8), 48u);
+  EXPECT_EQ(cpu.reg(9), 1u);
+  EXPECT_EQ(cpu.reg(10), 128u);
+}
+
+TEST(Semantics, SysPrintService) {
+  FunctionalSim sim(8);
+  sim.load(assemble(
+      "lex $1,42\n"
+      "sys $1\n"       // print 42
+      "lex $2,-7\n"
+      "sys $2\n"       // print -7 (signed formatting)
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_TRUE(st.halted);
+  EXPECT_EQ(sim.console(), "42\n-7\n");
+}
+
+TEST(Semantics, SysPrintOnRtlMatchesFunctional) {
+  const Program p = assemble(
+      "lex $1,5\n"
+      "add $1,$1\n"
+      "sys $1\n"  // prints the forwarded value: 10
+      "sys\n");
+  FunctionalSim f(8);
+  RtlPipelineSim rtl(8);
+  f.load(p);
+  rtl.load(p);
+  f.run();
+  rtl.run();
+  EXPECT_EQ(f.console(), "10\n");
+  EXPECT_EQ(rtl.console(), f.console());
+}
+
+TEST(Semantics, SysPrintOnWrongPathNeverFires) {
+  RtlPipelineSim sim(8);
+  sim.load(assemble(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      sys $1\n"  // squashed
+      "skip: sys\n"));
+  sim.run();
+  EXPECT_EQ(sim.console(), "");
+}
+
+TEST(Coverage, ReportsUnexecutedInstructions) {
+  // The course required students to demonstrate 100% line coverage (§4);
+  // SimBase provides the analogous measurement for Tangled programs.
+  FunctionalSim sim(8);
+  const Program p = assemble(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      lex $2,99\n"  // never executed
+      "skip: sys\n");
+  sim.load(p);
+  sim.run();
+  const auto dead = sim.unexecuted(static_cast<std::uint16_t>(p.words.size()));
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 2u);  // the skipped lex
+  EXPECT_EQ(sim.execution_count(0), 1u);
+  EXPECT_EQ(sim.execution_count(2), 0u);
+}
+
+TEST(Coverage, AccumulatesAcrossRuns) {
+  FunctionalSim sim(8);
+  const Program p = assemble(
+      "      load $1,$2\n"     // $2 = 100: reads a flag
+      "      brf $1,skip\n"
+      "      lex $3,7\n"
+      "skip: sys\n");
+  sim.cpu().set_reg(2, 100);
+  sim.load(p);
+  sim.run();  // flag 0: lex skipped
+  EXPECT_EQ(sim.unexecuted(static_cast<std::uint16_t>(p.words.size())).size(),
+            1u);
+  sim.memory().write(100, 1);
+  sim.cpu() = CpuState{};
+  sim.cpu().set_reg(2, 100);
+  sim.run();  // flag 1: lex now covered
+  EXPECT_TRUE(
+      sim.unexecuted(static_cast<std::uint16_t>(p.words.size())).empty());
+}
+
+TEST(Semantics, InvalidOpcodeHalts) {
+  FunctionalSim sim(8);
+  sim.load_words({0x6000});  // unassigned primary opcode
+  const SimStats st = sim.run();
+  EXPECT_TRUE(st.halted);
+  EXPECT_EQ(st.instructions, 1u);
+}
+
+TEST(Semantics, RunAbortsAtInstructionLimit) {
+  FunctionalSim sim(8);
+  // br self: infinite loop.
+  sim.load(assemble("self: br self\n"));
+  const SimStats st = sim.run(1000);
+  EXPECT_FALSE(st.halted);
+  EXPECT_EQ(st.instructions, 1000u);
+}
+
+// --- Timing models ---
+
+TEST(Timing, FunctionalIsOneCyclePerInstruction) {
+  FunctionalSim sim(8);
+  sim.load(assemble("lex $1,1\nlex $2,2\nadd $1,$2\nsys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.instructions, 4u);
+  EXPECT_EQ(st.cycles, 4u);
+  EXPECT_DOUBLE_EQ(st.cpi(), 1.0);
+}
+
+TEST(Timing, MultiCycleBaseline) {
+  // 4 cycles per plain instruction; +1 per extra fetch word; +1 for memory.
+  MultiCycleSim sim(8);
+  sim.load(assemble(
+      "lex $1,1\n"      // 4
+      "had @0,3\n"      // 5 (two words)
+      "store $1,$1\n"   // 5 (MEM)
+      "sys\n"));        // 4
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.cycles, 4u + 5u + 5u + 4u);
+  EXPECT_EQ(st.fetch_extra_cycles, 1u);
+}
+
+TEST(Timing, PipelineSustainsOneInstructionPerCycle) {
+  // §3.1: "capable of sustaining completion of one instruction every clock
+  // cycle, provided there were no pipeline interlocks".  Independent
+  // one-word instructions: CPI -> 1 asymptotically (pipeline fill excluded).
+  std::string src;
+  for (int i = 0; i < 200; ++i) src += "lex $" + std::to_string(i % 8) + ",1\n";
+  src += "sys\n";
+  PipelineSim sim(8);
+  sim.load(assemble(src));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.instructions, 201u);
+  // 201 instructions + 4-cycle fill for a 5-stage pipe.
+  EXPECT_EQ(st.cycles, 201u + 4u);
+  EXPECT_EQ(st.data_stall_cycles, 0u);
+  EXPECT_EQ(st.flush_cycles, 0u);
+}
+
+TEST(Timing, ForwardingHidesAluLatency) {
+  // Back-to-back dependent ALU ops need no stalls with forwarding.
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "lex $1,1\n"
+      "add $1,$1\n"
+      "add $1,$1\n"
+      "add $1,$1\n"
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.data_stall_cycles, 0u);
+  EXPECT_EQ(st.cycles, 5u + 4u);
+}
+
+TEST(Timing, LoadUseInterlockStallsOneCycle) {
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "lex $2,100\n"
+      "load $1,$2\n"
+      "add $1,$1\n"  // consumes the load result immediately
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.data_stall_cycles, 1u);
+}
+
+TEST(Timing, LoadUseGapRemovesStall) {
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "lex $2,100\n"
+      "load $1,$2\n"
+      "lex $3,0\n"   // independent filler covers the load delay slot
+      "add $1,$1\n"
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.data_stall_cycles, 0u);
+}
+
+TEST(Timing, FourStageLoadHasNoUseDelay) {
+  // The 4-stage teams folded MEM into EX: loads forward like ALU results.
+  PipelineSim sim(8, {.stages = 4, .forwarding = true});
+  sim.load(assemble(
+      "lex $2,100\n"
+      "load $1,$2\n"
+      "add $1,$1\n"
+      "sys\n"));
+  EXPECT_EQ(sim.run().data_stall_cycles, 0u);
+}
+
+TEST(Timing, NoForwardingStallsHard) {
+  PipelineSim fwd(8, {.stages = 5, .forwarding = true});
+  PipelineSim nofwd(8, {.stages = 5, .forwarding = false});
+  const Program p = assemble(
+      "lex $1,1\n"
+      "add $1,$1\n"
+      "add $1,$1\n"
+      "sys\n");
+  fwd.load(p);
+  nofwd.load(p);
+  const auto sf = fwd.run();
+  const auto sn = nofwd.run();
+  EXPECT_EQ(sf.data_stall_cycles, 0u);
+  EXPECT_GT(sn.data_stall_cycles, 0u);
+  EXPECT_GT(sn.cycles, sf.cycles);
+}
+
+TEST(Timing, TakenBranchFlushesTwo) {
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "lex $1,1\n"
+      "brt $1,skip\n"
+      "lex $2,99\n"   // squashed
+      "lex $3,99\n"
+      "skip: sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.flush_cycles, 2u);  // branch resolves in EX: 2 wrong fetches
+  EXPECT_EQ(sim.cpu().reg(2), 0u);
+}
+
+TEST(Timing, UntakenBranchCostsNothing) {
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "lex $1,0\n"
+      "brt $1,skip\n"
+      "lex $2,5\n"
+      "skip: sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.flush_cycles, 0u);
+  EXPECT_EQ(sim.cpu().reg(2), 5u);
+}
+
+TEST(Timing, TwoWordQatFetchAddsACycle) {
+  // "The most common student questions involved the fetch and decode
+  // handling of variable-length instructions" (§3.1).
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "had @0,1\n"
+      "had @1,2\n"
+      "and @2,@0,@1\n"
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.fetch_extra_cycles, 3u);
+  // 4 instructions, 7 words: cycles = words + fill.
+  EXPECT_EQ(st.cycles, 7u + 4u);
+}
+
+TEST(Timing, QatResultForwardsIntoTangledPipe) {
+  // meas/next results forward exactly like ALU results — the "tangled"
+  // coupling of §1.3: no stall for an immediately dependent add.
+  PipelineSim sim(8);
+  sim.load(assemble(
+      "had @0,4\n"
+      "lex $1,42\n"
+      "next $1,@0\n"
+      "add $1,$1\n"
+      "sys\n"));
+  const SimStats st = sim.run();
+  EXPECT_EQ(st.data_stall_cycles, 0u);
+  EXPECT_EQ(sim.cpu().reg(1), 96u);  // 48 + 48
+}
+
+TEST(Timing, PipelineConfigValidation) {
+  EXPECT_THROW(PipelineSim(8, {.stages = 3, .forwarding = true}),
+               std::invalid_argument);
+  EXPECT_THROW(PipelineSim(8, {.stages = 6, .forwarding = true}),
+               std::invalid_argument);
+}
+
+// All three simulators agree on architectural results for a mixed program.
+TEST(SimsAgree, MixedProgramSameArchitecturalState) {
+  const Program p = assemble(
+      "      lex $1,0\n"
+      "      lex $2,10\n"
+      "      had @0,2\n"
+      "loop: add $1,$2\n"
+      "      lex $3,-1\n"
+      "      add $2,$3\n"
+      "      brt $2,loop\n"
+      "      lex $4,0\n"
+      "      next $4,@0\n"
+      "      pop $5,@0\n"
+      "      sys\n");
+  FunctionalSim f(8);
+  MultiCycleSim m(8);
+  PipelineSim pl(8);
+  PipelineSim pl4(8, {.stages = 4, .forwarding = false});
+  f.load(p);
+  m.load(p);
+  pl.load(p);
+  pl4.load(p);
+  f.run();
+  m.run();
+  pl.run();
+  pl4.run();
+  for (unsigned r = 0; r < kNumRegs; ++r) {
+    EXPECT_EQ(f.cpu().reg(r), m.cpu().reg(r)) << "$" << r;
+    EXPECT_EQ(f.cpu().reg(r), pl.cpu().reg(r)) << "$" << r;
+    EXPECT_EQ(f.cpu().reg(r), pl4.cpu().reg(r)) << "$" << r;
+  }
+  EXPECT_EQ(f.qat().reg(0), pl.qat().reg(0));
+}
+
+TEST(Timing, RerunningASimulatorGivesIdenticalStats) {
+  // Regression: the pipeline scoreboard must reset between run() calls, or
+  // reused simulators report absurd cycle counts.
+  const Program p = assemble(
+      "lex $1,3\nadd $1,$1\nhad @0,1\nload $2,$1\nadd $2,$2\nsys\n");
+  PipelineSim sim(8);
+  sim.load(p);
+  const SimStats first = sim.run();
+  sim.cpu() = CpuState{};
+  sim.load(p);
+  const SimStats second = sim.run();
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.data_stall_cycles, second.data_stall_cycles);
+  EXPECT_EQ(first.flush_cycles, second.flush_cycles);
+  EXPECT_DOUBLE_EQ(first.cpi(), second.cpi());
+}
+
+TEST(SimsAgree, CycleOrdering) {
+  // For any program: functional <= pipeline <= multicycle cycles.
+  const Program p = assemble(
+      "lex $1,3\n"
+      "add $1,$1\n"
+      "had @0,1\n"
+      "store $1,$1\n"
+      "sys\n");
+  FunctionalSim f(8);
+  MultiCycleSim m(8);
+  PipelineSim pl(8);
+  f.load(p);
+  m.load(p);
+  pl.load(p);
+  const auto sf = f.run();
+  const auto sm = m.run();
+  const auto sp = pl.run();
+  EXPECT_LE(sf.cycles, sp.cycles);
+  EXPECT_LE(sp.cycles, sm.cycles);
+}
+
+}  // namespace
+}  // namespace tangled

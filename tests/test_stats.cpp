@@ -1,0 +1,125 @@
+// Tests for exact pint distribution statistics (stats.hpp).
+#include "pbp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace pbp {
+namespace {
+
+std::shared_ptr<Circuit> circ(unsigned ways = 8) {
+  return std::make_shared<Circuit>(PbpContext::create(ways, Backend::kDense));
+}
+
+TEST(Stats, ConstantHasZeroVariance) {
+  auto c = circ();
+  const Pint p = Pint::constant(c, 6, 37);
+  const PintMoments m = moments(p);
+  EXPECT_DOUBLE_EQ(m.mean, 37.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+  EXPECT_EQ(m.min_value, 37u);
+  EXPECT_EQ(m.max_value, 37u);
+}
+
+TEST(Stats, UniformSuperpositionMoments) {
+  auto c = circ();
+  const Pint b = Pint::hadamard(c, 4, 0x0f);  // uniform over 0..15
+  const PintMoments m = moments(b);
+  EXPECT_DOUBLE_EQ(m.mean, 7.5);
+  // Var of discrete uniform over 0..15: (16² - 1) / 12 = 21.25.
+  EXPECT_NEAR(m.variance, 21.25, 1e-9);
+  EXPECT_EQ(m.min_value, 0u);
+  EXPECT_EQ(m.max_value, 15u);
+}
+
+TEST(Stats, MomentsMatchEnumerationOnArbitraryPint) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint s = Pint::mul(a, b);  // triangular-ish product distribution
+  const PintMoments m = moments(s);
+  // Reference by full enumeration.
+  double mean = 0;
+  double second = 0;
+  std::uint64_t lo = ~0ull;
+  std::uint64_t hi = 0;
+  for (const auto& [value, count] : s.measure_distribution()) {
+    mean += static_cast<double>(value) * count;
+    second += static_cast<double>(value) * value * count;
+    if (count > 0) {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  mean /= 256.0;
+  second /= 256.0;
+  EXPECT_NEAR(m.mean, mean, 1e-9);
+  EXPECT_NEAR(m.variance, second - mean * mean, 1e-6);
+  EXPECT_EQ(m.min_value, lo);
+  EXPECT_EQ(m.max_value, hi);
+}
+
+TEST(Stats, CorrelationOfIndependentHadamardsIsZero) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  EXPECT_NEAR(pbit_correlation(a, 0, b, 0), 0.0, 1e-12);
+  EXPECT_NEAR(pbit_correlation(a, 2, b, 3), 0.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfSharedChannelIsOne) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  EXPECT_NEAR(pbit_correlation(a, 1, a, 1), 1.0, 1e-12);
+  // b = ~a has correlation -1 with a on every bit.
+  const Pint b = ~a;
+  EXPECT_NEAR(pbit_correlation(a, 1, b, 1), -1.0, 1e-12);
+}
+
+TEST(Stats, ConstantCorrelationIsDefinedAsZero) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint k = Pint::constant(c, 4, 9);
+  EXPECT_EQ(pbit_correlation(a, 0, k, 0), 0.0);
+}
+
+TEST(Stats, SamplingMatchesDistribution) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const Pint e = Pint::eq(Pint::mul(a, b), Pint::constant(c, 4, 15));
+  const Pint f = Pint::gate_by(a, e);
+  std::mt19937_64 rng(123);
+  std::map<std::uint64_t, int> hist;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) ++hist[sample(f, rng)];
+  // P(0) = 252/256; each factor channel has probability 1/256.
+  EXPECT_NEAR(hist[0] / double(kSamples), 252.0 / 256.0, 0.01);
+  for (const std::uint64_t v : {1ull, 3ull, 5ull, 15ull}) {
+    EXPECT_NEAR(hist[v] / double(kSamples), 1.0 / 256.0, 0.005) << v;
+  }
+  // Sampling is non-destructive: the distribution is still exact.
+  EXPECT_EQ(f.measure_values(), (std::vector<std::uint64_t>{0, 1, 3, 5, 15}));
+}
+
+TEST(Stats, EntropyOfUniformIsWidth) {
+  auto c = circ();
+  EXPECT_NEAR(entropy_bits(Pint::hadamard(c, 4, 0x0f)), 4.0, 1e-12);
+  EXPECT_NEAR(entropy_bits(Pint::hadamard(c, 8, 0xff)), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(entropy_bits(Pint::constant(c, 4, 3)), 0.0);
+}
+
+TEST(Stats, EntropyOfSumIsBelowUniform) {
+  auto c = circ();
+  const Pint a = Pint::hadamard(c, 4, 0x0f);
+  const Pint b = Pint::hadamard(c, 4, 0xf0);
+  const double h = entropy_bits(Pint::add(a, b));
+  // 31 values, triangular weights: strictly between 4 and log2(31) bits.
+  EXPECT_GT(h, 4.0);
+  EXPECT_LT(h, std::log2(31.0));
+}
+
+}  // namespace
+}  // namespace pbp
