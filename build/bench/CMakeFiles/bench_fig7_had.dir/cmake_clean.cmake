@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_had.dir/bench_fig7_had.cpp.o"
+  "CMakeFiles/bench_fig7_had.dir/bench_fig7_had.cpp.o.d"
+  "bench_fig7_had"
+  "bench_fig7_had.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_had.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

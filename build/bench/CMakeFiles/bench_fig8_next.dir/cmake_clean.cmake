@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_next.dir/bench_fig8_next.cpp.o"
+  "CMakeFiles/bench_fig8_next.dir/bench_fig8_next.cpp.o.d"
+  "bench_fig8_next"
+  "bench_fig8_next.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_next.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_factoring.dir/bench_fig9_factoring.cpp.o"
+  "CMakeFiles/bench_fig9_factoring.dir/bench_fig9_factoring.cpp.o.d"
+  "bench_fig9_factoring"
+  "bench_fig9_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_cpi.dir/bench_pipeline_cpi.cpp.o"
+  "CMakeFiles/bench_pipeline_cpi.dir/bench_pipeline_cpi.cpp.o.d"
+  "bench_pipeline_cpi"
+  "bench_pipeline_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

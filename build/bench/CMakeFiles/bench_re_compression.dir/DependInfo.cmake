@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_re_compression.cpp" "bench/CMakeFiles/bench_re_compression.dir/bench_re_compression.cpp.o" "gcc" "bench/CMakeFiles/bench_re_compression.dir/bench_re_compression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbp/CMakeFiles/pbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tangled_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/tangled_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tangled_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

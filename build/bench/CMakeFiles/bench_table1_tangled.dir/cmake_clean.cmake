@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tangled.dir/bench_table1_tangled.cpp.o"
+  "CMakeFiles/bench_table1_tangled.dir/bench_table1_tangled.cpp.o.d"
+  "bench_table1_tangled"
+  "bench_table1_tangled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tangled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_qat.dir/bench_table3_qat.cpp.o"
+  "CMakeFiles/bench_table3_qat.dir/bench_table3_qat.cpp.o.d"
+  "bench_table3_qat"
+  "bench_table3_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_qat.dir/bench_virtual_qat.cpp.o"
+  "CMakeFiles/bench_virtual_qat.dir/bench_virtual_qat.cpp.o.d"
+  "bench_virtual_qat"
+  "bench_virtual_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

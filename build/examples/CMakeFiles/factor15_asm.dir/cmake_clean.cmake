@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor15_asm.dir/factor15_asm.cpp.o"
+  "CMakeFiles/factor15_asm.dir/factor15_asm.cpp.o.d"
+  "factor15_asm"
+  "factor15_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor15_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

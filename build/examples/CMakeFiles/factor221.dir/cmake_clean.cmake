@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor221.dir/factor221.cpp.o"
+  "CMakeFiles/factor221.dir/factor221.cpp.o.d"
+  "factor221"
+  "factor221.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor221.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

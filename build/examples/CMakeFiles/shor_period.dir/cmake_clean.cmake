@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shor_period.dir/shor_period.cpp.o"
+  "CMakeFiles/shor_period.dir/shor_period.cpp.o.d"
+  "shor_period"
+  "shor_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shor_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

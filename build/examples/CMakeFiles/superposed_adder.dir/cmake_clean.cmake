@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superposed_adder.dir/superposed_adder.cpp.o"
+  "CMakeFiles/superposed_adder.dir/superposed_adder.cpp.o.d"
+  "superposed_adder"
+  "superposed_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superposed_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

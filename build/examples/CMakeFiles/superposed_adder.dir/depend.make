@@ -1,0 +1,2 @@
+# Empty dependencies file for superposed_adder.
+# This may be replaced when dependencies are built.

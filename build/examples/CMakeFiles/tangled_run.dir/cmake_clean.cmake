@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_run.dir/tangled_run.cpp.o"
+  "CMakeFiles/tangled_run.dir/tangled_run.cpp.o.d"
+  "tangled_run"
+  "tangled_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "pint_measure\\(f\\): 0 1 3 5 15" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_factor15_asm "/root/repo/build/examples/factor15_asm")
+set_tests_properties(example_factor15_asm PROPERTIES  PASS_REGULAR_EXPRESSION "\\\$0 = 5, \\\$1 = 3" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_factor221 "/root/repo/build/examples/factor221")
+set_tests_properties(example_factor221 PROPERTIES  PASS_REGULAR_EXPRESSION "factors b = 221, 17, 13, 1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grover_search "/root/repo/build/examples/grover_search")
+set_tests_properties(example_grover_search PROPERTIES  PASS_REGULAR_EXPRESSION "identical sets" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_superposed_adder "/root/repo/build/examples/superposed_adder")
+set_tests_properties(example_superposed_adder PROPERTIES  PASS_REGULAR_EXPRESSION "P\\(carry\\) = 8386560 / 16777216" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shor_period "/root/repo/build/examples/shor_period")
+set_tests_properties(example_shor_period PROPERTIES  PASS_REGULAR_EXPRESSION "period 4 -> gcd\\(a\\^\\(r/2\\)\\+-1, n\\) = 5, 3" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tangled_run "/root/repo/build/examples/tangled_run" "-s" "rtl" "-w" "8" "/root/repo/build/examples/figure10.s")
+set_tests_properties(example_tangled_run PROPERTIES  PASS_REGULAR_EXPRESSION "halted \\(sys\\)" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tangled_run_multi_fsm "/root/repo/build/examples/tangled_run" "-s" "multi-fsm" "-w" "8" "/root/repo/build/examples/figure10.s")
+set_tests_properties(example_tangled_run_multi_fsm PROPERTIES  PASS_REGULAR_EXPRESSION "91 instructions, 447 cycles" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/bf16_rtl.cpp" "src/arch/CMakeFiles/tangled_arch.dir/bf16_rtl.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/bf16_rtl.cpp.o.d"
+  "/root/repo/src/arch/bfloat16.cpp" "src/arch/CMakeFiles/tangled_arch.dir/bfloat16.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/bfloat16.cpp.o.d"
+  "/root/repo/src/arch/cpu.cpp" "src/arch/CMakeFiles/tangled_arch.dir/cpu.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/cpu.cpp.o.d"
+  "/root/repo/src/arch/multicycle_fsm.cpp" "src/arch/CMakeFiles/tangled_arch.dir/multicycle_fsm.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/multicycle_fsm.cpp.o.d"
+  "/root/repo/src/arch/qat_engine.cpp" "src/arch/CMakeFiles/tangled_arch.dir/qat_engine.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/qat_engine.cpp.o.d"
+  "/root/repo/src/arch/qat_program.cpp" "src/arch/CMakeFiles/tangled_arch.dir/qat_program.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/qat_program.cpp.o.d"
+  "/root/repo/src/arch/rtl_pipeline.cpp" "src/arch/CMakeFiles/tangled_arch.dir/rtl_pipeline.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/rtl_pipeline.cpp.o.d"
+  "/root/repo/src/arch/simulators.cpp" "src/arch/CMakeFiles/tangled_arch.dir/simulators.cpp.o" "gcc" "src/arch/CMakeFiles/tangled_arch.dir/simulators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbp/CMakeFiles/pbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tangled_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/tangled_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

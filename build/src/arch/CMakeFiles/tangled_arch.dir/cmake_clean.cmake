@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_arch.dir/bf16_rtl.cpp.o"
+  "CMakeFiles/tangled_arch.dir/bf16_rtl.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/bfloat16.cpp.o"
+  "CMakeFiles/tangled_arch.dir/bfloat16.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/cpu.cpp.o"
+  "CMakeFiles/tangled_arch.dir/cpu.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/multicycle_fsm.cpp.o"
+  "CMakeFiles/tangled_arch.dir/multicycle_fsm.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/qat_engine.cpp.o"
+  "CMakeFiles/tangled_arch.dir/qat_engine.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/qat_program.cpp.o"
+  "CMakeFiles/tangled_arch.dir/qat_program.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/rtl_pipeline.cpp.o"
+  "CMakeFiles/tangled_arch.dir/rtl_pipeline.cpp.o.d"
+  "CMakeFiles/tangled_arch.dir/simulators.cpp.o"
+  "CMakeFiles/tangled_arch.dir/simulators.cpp.o.d"
+  "libtangled_arch.a"
+  "libtangled_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtangled_arch.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_asm.dir/assembler.cpp.o"
+  "CMakeFiles/tangled_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/tangled_asm.dir/programs.cpp.o"
+  "CMakeFiles/tangled_asm.dir/programs.cpp.o.d"
+  "libtangled_asm.a"
+  "libtangled_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

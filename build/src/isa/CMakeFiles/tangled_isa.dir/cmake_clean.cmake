@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangled_isa.dir/isa.cpp.o"
+  "CMakeFiles/tangled_isa.dir/isa.cpp.o.d"
+  "libtangled_isa.a"
+  "libtangled_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangled_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbp/aob.cpp" "src/pbp/CMakeFiles/pbp.dir/aob.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/aob.cpp.o.d"
+  "/root/repo/src/pbp/circuit.cpp" "src/pbp/CMakeFiles/pbp.dir/circuit.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/circuit.cpp.o.d"
+  "/root/repo/src/pbp/hadamard.cpp" "src/pbp/CMakeFiles/pbp.dir/hadamard.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/hadamard.cpp.o.d"
+  "/root/repo/src/pbp/optimizer.cpp" "src/pbp/CMakeFiles/pbp.dir/optimizer.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/optimizer.cpp.o.d"
+  "/root/repo/src/pbp/pbit.cpp" "src/pbp/CMakeFiles/pbp.dir/pbit.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/pbit.cpp.o.d"
+  "/root/repo/src/pbp/pint.cpp" "src/pbp/CMakeFiles/pbp.dir/pint.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/pint.cpp.o.d"
+  "/root/repo/src/pbp/re.cpp" "src/pbp/CMakeFiles/pbp.dir/re.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/re.cpp.o.d"
+  "/root/repo/src/pbp/stats.cpp" "src/pbp/CMakeFiles/pbp.dir/stats.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/stats.cpp.o.d"
+  "/root/repo/src/pbp/virtual_qat.cpp" "src/pbp/CMakeFiles/pbp.dir/virtual_qat.cpp.o" "gcc" "src/pbp/CMakeFiles/pbp.dir/virtual_qat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbp.dir/aob.cpp.o"
+  "CMakeFiles/pbp.dir/aob.cpp.o.d"
+  "CMakeFiles/pbp.dir/circuit.cpp.o"
+  "CMakeFiles/pbp.dir/circuit.cpp.o.d"
+  "CMakeFiles/pbp.dir/hadamard.cpp.o"
+  "CMakeFiles/pbp.dir/hadamard.cpp.o.d"
+  "CMakeFiles/pbp.dir/optimizer.cpp.o"
+  "CMakeFiles/pbp.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pbp.dir/pbit.cpp.o"
+  "CMakeFiles/pbp.dir/pbit.cpp.o.d"
+  "CMakeFiles/pbp.dir/pint.cpp.o"
+  "CMakeFiles/pbp.dir/pint.cpp.o.d"
+  "CMakeFiles/pbp.dir/re.cpp.o"
+  "CMakeFiles/pbp.dir/re.cpp.o.d"
+  "CMakeFiles/pbp.dir/stats.cpp.o"
+  "CMakeFiles/pbp.dir/stats.cpp.o.d"
+  "CMakeFiles/pbp.dir/virtual_qat.cpp.o"
+  "CMakeFiles/pbp.dir/virtual_qat.cpp.o.d"
+  "libpbp.a"
+  "libpbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

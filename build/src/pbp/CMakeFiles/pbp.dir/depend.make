@@ -1,0 +1,2 @@
+# Empty dependencies file for pbp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alu_reference.cpp" "tests/CMakeFiles/tangled_tests.dir/test_alu_reference.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_alu_reference.cpp.o.d"
+  "/root/repo/tests/test_aob.cpp" "tests/CMakeFiles/tangled_tests.dir/test_aob.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_aob.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/tangled_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_bf16_rtl.cpp" "tests/CMakeFiles/tangled_tests.dir/test_bf16_rtl.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_bf16_rtl.cpp.o.d"
+  "/root/repo/tests/test_bfloat16.cpp" "tests/CMakeFiles/tangled_tests.dir/test_bfloat16.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_bfloat16.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/tangled_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/tangled_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_fig10.cpp" "tests/CMakeFiles/tangled_tests.dir/test_fig10.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_fig10.cpp.o.d"
+  "/root/repo/tests/test_hadamard.cpp" "tests/CMakeFiles/tangled_tests.dir/test_hadamard.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_hadamard.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/tangled_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_multicycle_fsm.cpp" "tests/CMakeFiles/tangled_tests.dir/test_multicycle_fsm.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_multicycle_fsm.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/tangled_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pbit.cpp" "tests/CMakeFiles/tangled_tests.dir/test_pbit.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_pbit.cpp.o.d"
+  "/root/repo/tests/test_pint.cpp" "tests/CMakeFiles/tangled_tests.dir/test_pint.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_pint.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/tangled_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_qat_engine.cpp" "tests/CMakeFiles/tangled_tests.dir/test_qat_engine.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_qat_engine.cpp.o.d"
+  "/root/repo/tests/test_qat_program.cpp" "tests/CMakeFiles/tangled_tests.dir/test_qat_program.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_qat_program.cpp.o.d"
+  "/root/repo/tests/test_re.cpp" "tests/CMakeFiles/tangled_tests.dir/test_re.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_re.cpp.o.d"
+  "/root/repo/tests/test_rtl_pipeline.cpp" "tests/CMakeFiles/tangled_tests.dir/test_rtl_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_rtl_pipeline.cpp.o.d"
+  "/root/repo/tests/test_simulators.cpp" "tests/CMakeFiles/tangled_tests.dir/test_simulators.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_simulators.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tangled_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_virtual_qat.cpp" "tests/CMakeFiles/tangled_tests.dir/test_virtual_qat.cpp.o" "gcc" "tests/CMakeFiles/tangled_tests.dir/test_virtual_qat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbp/CMakeFiles/pbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tangled_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/tangled_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tangled_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
