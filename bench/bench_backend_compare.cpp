@@ -1,0 +1,149 @@
+// bench_backend_compare — dense vs RE-compressed Qat register files running
+// the SAME compiled instruction stream (the §1.2 storage/work claim, made
+// measurable end to end).
+//
+// The workload is the Figure 9 / §4.1 factoring kernel: compile the
+// b*c == N equality cone to a Qat program once, then execute it on a
+// QatEngine whose register file is
+//
+//   dense — one materialized 2^E-bit AoB per register (the hardware model);
+//   re    — run-length-encoded chunk symbols over a shared ChunkPool with
+//           chunk-level op memoization and copy-on-write register moves.
+//
+// Engines are constructed OUTSIDE the timed loop, so the RE pool's memo
+// table is warm across iterations — deliberately: that is the steady state
+// of a resident coprocessor runtime, and it is exactly where the paper's
+// "exponential factor" for low-entropy states shows up.  Counters report
+// the storage ratio and the compiled program size.
+//
+//   BM_factor_program/<ways>/dense
+//   BM_factor_program/<ways>/re
+//   BM_factor_readout/<ways>/<backend>   (measurement family only)
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/qat_program.hpp"
+#include "pbp/pint.hpp"
+
+namespace {
+
+using pbp::Circuit;
+using pbp::Pint;
+using tangled::compile_qat;
+using tangled::QatEngine;
+using tangled::QatProgram;
+using tangled::run_on;
+
+struct Problem {
+  std::uint64_t n;
+  unsigned bits;
+};
+
+Problem problem_for(unsigned ways) {
+  switch (ways) {
+    case 8:
+      return {15, 4};
+    case 14:
+      return {77, 7};
+    default:
+      return {221, 8};  // ways 16, the paper's hardware width
+  }
+}
+
+/// Compile the factoring cone once per (ways); shared by all iterations.
+const QatProgram& program_for(unsigned ways) {
+  static std::unordered_map<unsigned, std::unique_ptr<QatProgram>> cache;
+  auto it = cache.find(ways);
+  if (it == cache.end()) {
+    const Problem pr = problem_for(ways);
+    auto ctx = pbp::PbpContext::create(ways, pbp::Backend::kDense);
+    auto circ = std::make_shared<Circuit>(ctx, /*hash_cons=*/true);
+    const Pint n = Pint::constant(circ, pr.bits, pr.n);
+    const Pint b = Pint::hadamard(circ, pr.bits, (1u << pr.bits) - 1);
+    const Pint c = Pint::hadamard(circ, pr.bits,
+                                  ((1u << pr.bits) - 1) << pr.bits);
+    const pbp::Circuit::Node roots[] = {
+        Pint::eq(Pint::mul(b, c), n).bit(0)};
+    pbp::EmitOptions opts;
+    opts.alloc = pbp::EmitOptions::RegAlloc::kLinearScan;
+    it = cache
+             .emplace(ways, std::make_unique<QatProgram>(
+                                compile_qat(*circ, roots, opts)))
+             .first;
+  }
+  return *it->second;
+}
+
+pbp::Backend backend_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? pbp::Backend::kDense
+                             : pbp::Backend::kCompressed;
+}
+
+/// §1.2: "AoB representations are treated as individual symbols" — the RE
+/// layer's natural chunk is one full hardware AoB, so chunk_ways = ways.
+/// (Smaller chunks trade steady-state speed for pool dedup; see the
+/// chunk-size sweep in EXPERIMENTS.md.)
+QatEngine make_engine(unsigned ways, pbp::Backend kind) {
+  return QatEngine(ways, kind, /*chunk_ways=*/ways);
+}
+
+void set_label(benchmark::State& state) {
+  state.SetLabel(state.range(1) == 0 ? "dense" : "re");
+}
+
+/// Full program execution per iteration on a persistent engine.
+void BM_factor_program(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const QatProgram& p = program_for(ways);
+  QatEngine engine = make_engine(ways, backend_arg(state));
+  for (auto _ : state) {
+    run_on(engine, p);
+    benchmark::DoNotOptimize(engine.reg_popcount(p.root_regs[0]));
+  }
+  set_label(state);
+  state.counters["qat_instrs"] =
+      static_cast<double>(p.instrs.size());
+  state.counters["storage_bytes"] =
+      static_cast<double>(engine.storage_bytes());
+  state.counters["factors_pop"] =
+      static_cast<double>(engine.reg_popcount(p.root_regs[0]));
+}
+
+/// Non-destructive readout only: walk every factor channel with next.
+void BM_factor_readout(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const QatProgram& p = program_for(ways);
+  QatEngine engine = make_engine(ways, backend_arg(state));
+  run_on(engine, p);
+  const unsigned root = p.root_regs[0];
+  std::size_t found = 0;
+  for (auto _ : state) {
+    found = 0;
+    std::size_t ch = 0;
+    while (auto nx = engine.next_wide(root, ch)) {
+      ch = *nx;
+      ++found;
+      if (ch + 1 >= engine.channels()) break;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  set_label(state);
+  state.counters["factors"] = static_cast<double>(found);
+}
+
+void FactorArgs(benchmark::internal::Benchmark* b) {
+  for (int ways : {8, 14, 16}) {
+    b->Args({ways, 0});
+    b->Args({ways, 1});
+  }
+}
+
+BENCHMARK(BM_factor_program)->Apply(FactorArgs);
+BENCHMARK(BM_factor_readout)->Args({16, 0})->Args({16, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

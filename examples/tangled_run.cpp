@@ -9,6 +9,9 @@
 //   tangled_run -s rtl prog.s              latch-level 5-stage pipeline
 //   tangled_run -t prog.s                  print the pipeline diagram (rtl)
 //   tangled_run -w 16 prog.s               16-way Qat (default 8)
+//   tangled_run --backend=re prog.s        RE-compressed Qat register file
+//   tangled_run -b re -w 36 prog.s         compressed registers past the
+//                                          dense 2^30-bit limit
 //   tangled_run -d prog.s                  disassemble only
 //   tangled_run -m 5000000 prog.s          instruction limit
 //   tangled_run -q 80 prog.s               also dump Qat register @80
@@ -36,15 +39,34 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: tangled_run [-s func|multi|pipe4|pipe5|pipe5-nofwd] "
-               "[-w ways] [-m max] [-d] [-q reg]... file.s|-\n");
+               "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] [-d] "
+               "[-q reg]... file.s|-\n");
 }
 
 }  // namespace
 
+namespace {
+int run_main(int argc, char** argv);
+}
+
 int main(int argc, char** argv) {
+  // Backend/ways validation throws (e.g. dense ways > 30, re ways > 40):
+  // surface those as CLI errors, not std::terminate.
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tangled_run: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+int run_main(int argc, char** argv) {
   using namespace tangled;
 
   std::string sim_kind = "pipe5";
+  pbp::Backend backend = pbp::Backend::kDense;
+  std::string backend_name = "dense";
   unsigned ways = 8;
   std::uint64_t max_instructions = 10'000'000;
   bool disassemble_only = false;
@@ -62,8 +84,23 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto set_backend = [&](const std::string& name) {
+      backend_name = name;
+      if (name == "dense") {
+        backend = pbp::Backend::kDense;
+      } else if (name == "re") {
+        backend = pbp::Backend::kCompressed;
+      } else {
+        usage();
+        std::exit(2);
+      }
+    };
     if (arg == "-s") {
       sim_kind = next_arg();
+    } else if (arg == "-b") {
+      set_backend(next_arg());
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      set_backend(arg.substr(10));
     } else if (arg == "-w") {
       ways = static_cast<unsigned>(std::atoi(next_arg()));
     } else if (arg == "-m") {
@@ -123,12 +160,12 @@ int main(int argc, char** argv) {
   }
 
   if (sim_kind == "multi-fsm") {
-    MultiCycleFsmSim sim(ways);
+    MultiCycleFsmSim sim(ways, backend);
     sim.load(program);
     const SimStats st = sim.run(max_instructions);
     if (!sim.console().empty()) std::fputs(sim.console().c_str(), stdout);
-    std::printf("== multi-fsm (explicit state machine), %u-way Qat ==\n",
-                ways);
+    std::printf("== multi-fsm (explicit state machine), %u-way %s Qat ==\n",
+                ways, backend_name.c_str());
     for (unsigned r = 0; r < kNumRegs; ++r) {
       std::printf("%-4s= %5u (0x%04x)%s", reg_name(r).c_str(),
                   sim.cpu().reg(r), sim.cpu().reg(r),
@@ -150,21 +187,22 @@ int main(int argc, char** argv) {
   }
 
   if (sim_kind == "rtl") {
-    RtlPipelineSim sim(ways);
+    RtlPipelineSim sim(ways, backend);
     sim.enable_trace(pipeline_diagram);
     sim.load(program);
     const SimStats st = sim.run(max_instructions);
     if (pipeline_diagram) std::fputs(sim.diagram().c_str(), stdout);
-    std::printf("== rtl (latch-level 5-stage), %u-way Qat ==\n", ways);
+    std::printf("== rtl (latch-level 5-stage), %u-way %s Qat ==\n", ways,
+                backend_name.c_str());
     for (unsigned r = 0; r < kNumRegs; ++r) {
       std::printf("%-4s= %5u (0x%04x)%s", reg_name(r).c_str(),
                   sim.cpu().reg(r), sim.cpu().reg(r),
                   (r % 4 == 3) ? "\n" : "   ");
     }
     for (const unsigned qr : dump_qregs) {
-      const auto& v = sim.qat().reg(qr);
-      std::printf("@%u = %s (pop %zu of %zu)\n", qr, v.to_string(64).c_str(),
-                  v.popcount(), v.bit_count());
+      std::printf("@%u = %s (pop %zu of %zu)\n", qr,
+                  sim.qat().reg_string(qr).c_str(), sim.qat().reg_popcount(qr),
+                  sim.qat().channels());
     }
     std::printf(
         "%llu instructions, %llu cycles, CPI %.3f | stalls %llu, flushes "
@@ -180,18 +218,18 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<SimBase> sim;
   if (sim_kind == "func") {
-    sim = std::make_unique<FunctionalSim>(ways);
+    sim = std::make_unique<FunctionalSim>(ways, backend);
   } else if (sim_kind == "multi") {
-    sim = std::make_unique<MultiCycleSim>(ways);
+    sim = std::make_unique<MultiCycleSim>(ways, backend);
   } else if (sim_kind == "pipe4") {
     sim = std::make_unique<PipelineSim>(
-        ways, PipelineConfig{.stages = 4, .forwarding = true});
+        ways, PipelineConfig{.stages = 4, .forwarding = true}, backend);
   } else if (sim_kind == "pipe5") {
     sim = std::make_unique<PipelineSim>(
-        ways, PipelineConfig{.stages = 5, .forwarding = true});
+        ways, PipelineConfig{.stages = 5, .forwarding = true}, backend);
   } else if (sim_kind == "pipe5-nofwd") {
     sim = std::make_unique<PipelineSim>(
-        ways, PipelineConfig{.stages = 5, .forwarding = false});
+        ways, PipelineConfig{.stages = 5, .forwarding = false}, backend);
   } else {
     usage();
     return 2;
@@ -218,16 +256,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("== %s, %u-way Qat ==\n", sim_kind.c_str(), ways);
+  std::printf("== %s, %u-way %s Qat ==\n", sim_kind.c_str(), ways,
+              backend_name.c_str());
   for (unsigned r = 0; r < kNumRegs; ++r) {
     std::printf("%-4s= %5u (0x%04x)%s", reg_name(r).c_str(),
                 sim->cpu().reg(r), sim->cpu().reg(r),
                 (r % 4 == 3) ? "\n" : "   ");
   }
   for (const unsigned qr : dump_qregs) {
-    const auto& v = sim->qat().reg(qr);
-    std::printf("@%u = %s (pop %zu of %zu)\n", qr, v.to_string(64).c_str(),
-                v.popcount(), v.bit_count());
+    std::printf("@%u = %s (pop %zu of %zu)\n", qr,
+                sim->qat().reg_string(qr).c_str(), sim->qat().reg_popcount(qr),
+                sim->qat().channels());
   }
   std::printf(
       "%llu instructions, %llu cycles, CPI %.3f | stalls %llu, flushes %llu, "
@@ -240,3 +279,4 @@ int main(int argc, char** argv) {
       st.halted ? "halted (sys)" : "INSTRUCTION LIMIT REACHED");
   return st.halted ? 0 : 3;
 }
+}  // namespace

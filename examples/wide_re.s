@@ -1,0 +1,10 @@
+; wide_re.s — exercise the RE-compressed register file past the dense
+; 2^30-bit AoB ceiling (run with: tangled_run --backend=re -w 36 -q 5).
+; H(35) sets the top half of 2^36 channels; ccnot carves H(35)&H(34)
+; into @6 (a quarter of the channels).
+        had @5,35
+        had @4,34
+        zero @6
+        ccnot @6,@5,@4
+        next $3,@5          ; first one-channel is 2^35: truncates to 0
+        sys

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1 gate, run locally before pushing.
+#
+#   scripts/check.sh            normal (Release) build + full ctest
+#   scripts/check.sh --asan     additionally build + test with
+#                               -DTANGLED_SANITIZE=ON (ASan + UBSan)
+#   scripts/check.sh --all      both configs
+#
+# Build trees: build/ (normal, the repo default) and build-asan/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "== configuring ${dir} ($*) =="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "== building ${dir} =="
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "== testing ${dir} =="
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-}"
+
+case "${mode}" in
+  --asan)
+    run_config build-asan -DTANGLED_SANITIZE=ON
+    ;;
+  --all)
+    run_config build
+    run_config build-asan -DTANGLED_SANITIZE=ON
+    ;;
+  "")
+    run_config build
+    ;;
+  *)
+    echo "usage: scripts/check.sh [--asan|--all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== all checks passed =="

@@ -79,7 +79,9 @@ ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
       o.writes_reg = true;  // value supplied by MEM
       break;
     case Op::kMul:
-      write(u16(d * s));
+      // Widen explicitly: uint16 operands promote to (signed) int, and a
+      // large product is signed-overflow UB.  Low 16 bits are identical.
+      write(u16(std::uint32_t{d} * std::uint32_t{s}));
       break;
     case Op::kMulf:
       write((Bf16(d) * Bf16(s)).bits());

@@ -37,7 +37,9 @@ inline constexpr unsigned kMcStateCount = 6;
 
 class MultiCycleFsmSim {
  public:
-  explicit MultiCycleFsmSim(unsigned ways = 16) : qat_(ways) {}
+  explicit MultiCycleFsmSim(unsigned ways = 16,
+                            pbp::Backend backend = pbp::Backend::kDense)
+      : qat_(ways, backend) {}
 
   void load(const Program& p) { mem_.load(p.words); }
   void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }

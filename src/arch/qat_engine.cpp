@@ -8,54 +8,48 @@ namespace tangled {
 
 using pbp::Aob;
 
-QatEngine::QatEngine(unsigned ways) : ways_(ways) {
-  if (ways == 0 || ways > pbp::kMaxAobWays) {
-    throw std::invalid_argument("QatEngine: ways out of range");
-  }
-  regs_.assign(kNumQatRegs, Aob::zeros(ways));
+QatEngine::QatEngine(unsigned ways, pbp::Backend backend, unsigned chunk_ways)
+    : backend_(pbp::make_qat_backend(backend, ways, kNumQatRegs, chunk_ways)) {
 }
 
 void QatEngine::set_reg(unsigned r, const Aob& v) {
-  if (v.ways() != ways_) {
-    throw std::invalid_argument("QatEngine: wrong AoB size");
-  }
-  regs_[r & 0xffu] = v;
+  backend_->set_reg_aob(r & 0xffu, v);
 }
 
 void QatEngine::zero(unsigned a) {
-  regs_[a & 0xffu] = Aob::zeros(ways_);
+  backend_->zero(a & 0xffu);
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::one(unsigned a) {
-  regs_[a & 0xffu] = Aob::ones(ways_);
+  backend_->one(a & 0xffu);
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::had(unsigned a, unsigned k) {
-  regs_[a & 0xffu] = pbp::hadamard_generate(ways_, k);
+  backend_->had(a & 0xffu, k);
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::not_(unsigned a) {
-  regs_[a & 0xffu].invert();
+  backend_->not_(a & 0xffu);
   ++stats_.ops;
   ++stats_.reg_reads;
   ++stats_.reg_writes;
 }
 
 void QatEngine::cnot(unsigned a, unsigned b) {
-  regs_[a & 0xffu] ^= regs_[b & 0xffu];
+  backend_->cnot(a & 0xffu, b & 0xffu);
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::ccnot(unsigned a, unsigned b, unsigned c) {
-  regs_[a & 0xffu] ^= regs_[b & 0xffu] & regs_[c & 0xffu];
+  backend_->ccnot(a & 0xffu, b & 0xffu, c & 0xffu);
   ++stats_.ops;
   stats_.reg_reads += 3;
   ++stats_.reg_writes;
@@ -65,36 +59,32 @@ void QatEngine::swap(unsigned a, unsigned b) {
   ++stats_.ops;
   stats_.reg_reads += 2;
   stats_.reg_writes += 2;
-  if ((a & 0xffu) == (b & 0xffu)) return;
-  Aob::swap_values(regs_[a & 0xffu], regs_[b & 0xffu]);
+  backend_->swap(a & 0xffu, b & 0xffu);
 }
 
 void QatEngine::cswap(unsigned a, unsigned b, unsigned c) {
   ++stats_.ops;
   stats_.reg_reads += 3;
   stats_.reg_writes += 2;
-  if ((a & 0xffu) == (b & 0xffu)) return;
-  // Aliasing with the control is well-defined: the control is read once.
-  const Aob control = regs_[c & 0xffu];
-  Aob::cswap(regs_[a & 0xffu], regs_[b & 0xffu], control);
+  backend_->cswap(a & 0xffu, b & 0xffu, c & 0xffu);
 }
 
 void QatEngine::and_(unsigned a, unsigned b, unsigned c) {
-  regs_[a & 0xffu] = regs_[b & 0xffu] & regs_[c & 0xffu];
+  backend_->and_(a & 0xffu, b & 0xffu, c & 0xffu);
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::or_(unsigned a, unsigned b, unsigned c) {
-  regs_[a & 0xffu] = regs_[b & 0xffu] | regs_[c & 0xffu];
+  backend_->or_(a & 0xffu, b & 0xffu, c & 0xffu);
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
-  regs_[a & 0xffu] = regs_[b & 0xffu] ^ regs_[c & 0xffu];
+  backend_->xor_(a & 0xffu, b & 0xffu, c & 0xffu);
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
@@ -103,20 +93,35 @@ void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {
   ++stats_.ops;
   ++stats_.reg_reads;
-  return regs_[a & 0xffu].get(ch) ? 1 : 0;
+  // The hardware indexes a 2^WAYS-bit vector with a 16-bit register; the
+  // backend masks ch to the channel range exactly as the mux tree would.
+  return backend_->meas(a & 0xffu, ch) ? 1 : 0;
 }
 
 std::uint16_t QatEngine::next(unsigned a, std::uint16_t ch) const {
   ++stats_.ops;
   ++stats_.reg_reads;
-  const auto r = regs_[a & 0xffu].next_one(ch);
+  const auto r = backend_->next_one(a & 0xffu, ch);
   return r ? static_cast<std::uint16_t>(*r) : 0;
 }
 
 std::uint16_t QatEngine::pop(unsigned a, std::uint16_t ch) const {
   ++stats_.ops;
   ++stats_.reg_reads;
-  return static_cast<std::uint16_t>(regs_[a & 0xffu].popcount_after(ch));
+  return static_cast<std::uint16_t>(backend_->pop_after(a & 0xffu, ch));
+}
+
+bool QatEngine::meas_wide(unsigned a, std::size_t ch) const {
+  return backend_->meas(a & 0xffu, ch);
+}
+
+std::optional<std::size_t> QatEngine::next_wide(unsigned a,
+                                                std::size_t ch) const {
+  return backend_->next_one(a & 0xffu, ch);
+}
+
+std::size_t QatEngine::pop_wide(unsigned a, std::size_t ch) const {
+  return backend_->pop_after(a & 0xffu, ch);
 }
 
 void QatEngine::execute(const Instr& i, std::uint16_t& d_value) {

@@ -1,10 +1,22 @@
 // qat_engine.hpp — the Qat coprocessor datapath (paper §2.2–§2.7, §3).
 //
-// Qat holds 256 AoB registers (@0..@255), each 2^WAYS bits (the paper's
-// hardware uses WAYS = 16, i.e. 65,536-bit registers; the student projects
-// used WAYS = 8).  Qat has no memory interface: every value lives in the
-// register file.  All Table 3 operations are implemented, plus the `pop`
-// extension (§2.7 specifies it; the class projects omitted it).
+// Qat holds 256 registers (@0..@255), each 2^WAYS bits (the paper's hardware
+// uses WAYS = 16, i.e. 65,536-bit registers; the student projects used
+// WAYS = 8).  Qat has no memory interface: every value lives in the register
+// file.  All Table 3 operations are implemented, plus the `pop` extension
+// (§2.7 specifies it; the class projects omitted it).
+//
+// The register file itself is a pluggable backend (pbp/qat_backend.hpp):
+//   * pbp::Backend::kDense      — raw AoB per register, the hardware model
+//                                 (ways ≤ pbp::kMaxAobWays);
+//   * pbp::Backend::kCompressed — RE-compressed registers over a shared
+//                                 chunk pool, the §1.2 software scaling path
+//                                 (ways up to pbp::kMaxReWays, storage and
+//                                 work proportional to run counts).
+// Both expose identical Table 3 semantics; tests/test_qat_backend.cpp proves
+// it differentially.  The ISA-level interface below still speaks 16-bit
+// channel values (what a Tangled register can hold); the _wide variants give
+// software access to the full channel space of compressed registers.
 //
 // Two ALU models are provided for the operations the paper singles out as
 // "apparently difficult to implement" (§3.1):
@@ -16,30 +28,53 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "isa/isa.hpp"
 #include "pbp/aob.hpp"
+#include "pbp/qat_backend.hpp"
 
 namespace tangled {
 
 /// Statistics a hardware counter block would expose.
 struct QatStats {
   std::uint64_t ops = 0;            // Qat instructions executed
-  std::uint64_t reg_reads = 0;      // AoB register-file read ports used
-  std::uint64_t reg_writes = 0;     // AoB register-file write ports used
+  std::uint64_t reg_reads = 0;      // register-file read ports used
+  std::uint64_t reg_writes = 0;     // register-file write ports used
 };
 
 class QatEngine {
  public:
-  /// ways in [1, kMaxAobWays]; the paper's hardware is 16, class projects 8.
-  explicit QatEngine(unsigned ways = 16);
+  /// Dense: ways in [1, pbp::kMaxAobWays] (the paper's hardware is 16, class
+  /// projects 8).  Compressed: ways in [1, pbp::kMaxReWays]; chunk_ways
+  /// picks the RE symbol size (12 = the LCPC'20 prototype's 4096-bit chunks,
+  /// 16 = driving real 65,536-bit hardware chunks).
+  explicit QatEngine(unsigned ways = 16,
+                     pbp::Backend backend = pbp::Backend::kDense,
+                     unsigned chunk_ways = 12);
 
-  unsigned ways() const { return ways_; }
-  std::size_t channels() const { return std::size_t{1} << ways_; }
+  unsigned ways() const { return backend_->ways(); }
+  std::size_t channels() const { return backend_->channels(); }
+  pbp::Backend backend_kind() const { return backend_->kind(); }
+  const pbp::QatBackend& backend() const { return *backend_; }
 
-  const pbp::Aob& reg(unsigned r) const { return regs_[r & 0xffu]; }
+  /// Materialized register value (dense copy).  Throws std::length_error on
+  /// a compressed engine wider than pbp::kMaxAobWays — use the measurement
+  /// family or reg_string there.
+  pbp::Aob reg(unsigned r) const { return backend_->reg_aob(r & 0xffu); }
   void set_reg(unsigned r, const pbp::Aob& v);
+
+  /// "01101..." debug rendering; works at any ways on either backend.
+  std::string reg_string(unsigned r, std::size_t max_bits = 64) const {
+    return backend_->reg_string(r & 0xffu, max_bits);
+  }
+  std::size_t reg_popcount(unsigned r) const {
+    return backend_->popcount(r & 0xffu);
+  }
+  /// Register-file bytes in the active representation (§1.2 storage claim).
+  std::size_t storage_bytes() const { return backend_->storage_bytes(); }
 
   // --- Table 3 operations (register-number interface). ---
   void zero(unsigned a);
@@ -60,6 +95,12 @@ class QatEngine {
   std::uint16_t next(unsigned a, std::uint16_t ch) const;
   /// pop $d,@a — count of set channels strictly after ch (§2.7 extension).
   std::uint16_t pop(unsigned a, std::uint16_t ch) const;
+
+  // --- Full-width measurement (software access beyond 16-bit channels,
+  // meaningful for compressed engines wider than 16 ways). ---
+  bool meas_wide(unsigned a, std::size_t ch) const;
+  std::optional<std::size_t> next_wide(unsigned a, std::size_t ch) const;
+  std::size_t pop_wide(unsigned a, std::size_t ch) const;
 
   /// Execute a decoded Qat instruction.  For meas/next/pop, `d_value` is the
   /// Tangled register value in and the result out (mirroring the tight
@@ -84,8 +125,7 @@ class QatEngine {
   static unsigned next_gate_delay(unsigned ways, unsigned or_fan_in);
 
  private:
-  unsigned ways_;
-  std::vector<pbp::Aob> regs_;
+  std::unique_ptr<pbp::QatBackend> backend_;
   mutable QatStats stats_;
 };
 

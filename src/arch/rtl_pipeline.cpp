@@ -155,6 +155,23 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
     if (flush) {
       // Squash the wrong path: the ID-stage instruction and any fetch in
       // progress.  Count the two lost slots like the accounting model.
+      //
+      // The two increments below are NOT a double count.  A taken branch
+      // resolving in EX always costs exactly two fetch slots here:
+      //   (1) the wrong-path instruction one stage behind it — either
+      //       sitting in IF/ID (`ifid.valid`) or mid-way through a
+      //       two-word fetch (`pending_valid`).  The branch itself is a
+      //       one-word instruction, so by the cycle it reaches EX the
+      //       fetch unit has always had time to issue at least the first
+      //       wrong-path word: exactly one of the two flags is set.
+      //   (2) this cycle's IF slot, suppressed by the `!flush` guard on
+      //       the fetch arm below — a second lost fetch opportunity that
+      //       no squashed latch records.
+      // This matches PipelineSim::account, where `redirect - next_fetch`
+      // is provably always 2 for a one-word branch (ex_at - 1 >=
+      // fetch_end + 1, so next_fetch = ex_at - 1 and redirect = ex_at + 1).
+      // Pinned cycle-exact in tests/test_rtl_pipeline.cpp (FlushAccounting*)
+      // and cross-checked per-seed in RtlDifferential.
       if (ifid.valid || pending_valid) stats_.flush_cycles += 1;
       stats_.flush_cycles += 1;
       pending_valid = false;

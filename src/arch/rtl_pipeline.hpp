@@ -32,7 +32,9 @@ namespace tangled {
 
 class RtlPipelineSim {
  public:
-  explicit RtlPipelineSim(unsigned ways = 16) : qat_(ways) {}
+  explicit RtlPipelineSim(unsigned ways = 16,
+                          pbp::Backend backend = pbp::Backend::kDense)
+      : qat_(ways, backend) {}
 
   void load(const Program& p) { mem_.load(p.words); }
   void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }

@@ -46,8 +46,9 @@ std::vector<std::uint16_t> SimBase::unexecuted(std::uint16_t limit) const {
   return out;
 }
 
-PipelineSim::PipelineSim(unsigned ways, PipelineConfig config)
-    : SimBase(ways), config_(config) {
+PipelineSim::PipelineSim(unsigned ways, PipelineConfig config,
+                         pbp::Backend backend)
+    : SimBase(ways, backend), config_(config) {
   if (config_.stages != 4 && config_.stages != 5) {
     throw std::invalid_argument("PipelineSim: stages must be 4 or 5");
   }

@@ -48,9 +48,13 @@ struct SimStats {
 };
 
 /// Common machinery: memory + CPU + Qat coprocessor + fetch/decode loop.
+/// `backend` selects the Qat register-file representation (dense AoB or
+/// RE-compressed); timing models are representation-agnostic.
 class SimBase {
  public:
-  explicit SimBase(unsigned ways = 16) : qat_(ways) {}
+  explicit SimBase(unsigned ways = 16,
+                   pbp::Backend backend = pbp::Backend::kDense)
+      : qat_(ways, backend) {}
   virtual ~SimBase() = default;
 
   void load(const Program& p) { mem_.load(p.words); }
@@ -134,7 +138,8 @@ struct PipelineConfig {
 /// In-order pipelined implementation with exact hazard accounting.
 class PipelineSim : public SimBase {
  public:
-  explicit PipelineSim(unsigned ways = 16, PipelineConfig config = {});
+  explicit PipelineSim(unsigned ways = 16, PipelineConfig config = {},
+                       pbp::Backend backend = pbp::Backend::kDense);
 
   const PipelineConfig& config() const { return config_; }
 

@@ -123,9 +123,14 @@ std::optional<long> parse_int(const std::string& s) {
   }
   if (i >= s.size()) return std::nullopt;
   long v = 0;
+  // No assembler operand is wider than 16 bits, so reject absurd literals
+  // before the accumulator can overflow (which would be UB, and silently
+  // wrapped to a "valid" 16-bit value on common targets).
+  constexpr long kOverflowGuard = 1L << 32;
   if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
     for (std::size_t j = i + 2; j < s.size(); ++j) {
       const char c = static_cast<char>(std::tolower(s[j]));
+      if (v >= kOverflowGuard) return std::nullopt;
       if (c >= '0' && c <= '9') {
         v = v * 16 + (c - '0');
       } else if (c >= 'a' && c <= 'f') {
@@ -137,6 +142,7 @@ std::optional<long> parse_int(const std::string& s) {
   } else {
     for (std::size_t j = i; j < s.size(); ++j) {
       if (!std::isdigit(static_cast<unsigned char>(s[j]))) return std::nullopt;
+      if (v >= kOverflowGuard) return std::nullopt;
       v = v * 10 + (s[j] - '0');
     }
   }
@@ -151,7 +157,7 @@ enum class Form {
   kBranch,    // brf/brt $c,target
   kImm,       // lex/lhi $d,imm8
   kQat1,      // op @a
-  kQatHad,    // had @a,imm4
+  kQatHad,    // had @a,imm6
   kQat2,      // op @a,@b
   kQat3,      // op @a,@b,@c
   kQatMeas,   // meas/next/pop $d,@a
@@ -485,8 +491,11 @@ class Assembler {
           expect_operands(line, 2);
           i.qa = static_cast<std::uint8_t>(need_qreg(line, 0));
           const long k = need_value(line, 1);
-          if (k < 0 || k > 15) {
-            throw AsmError(line.number, "had index out of range (0..15)");
+          // 6-bit encoded field; k >= ways yields the all-zeros pattern
+          // (hadamard_generate), so wide-ways software backends can use the
+          // full range while 16-way hardware programs keep using 0..15.
+          if (k < 0 || k > 63) {
+            throw AsmError(line.number, "had index out of range (0..63)");
           }
           i.k = static_cast<std::uint8_t>(k);
           push_instr(i);

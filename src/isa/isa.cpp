@@ -220,7 +220,9 @@ unsigned encode(const Instr& i, std::uint16_t out[2]) {
       case Op::kQOne:
         return 1;
       case Op::kQHad:
-        out[1] = static_cast<std::uint16_t>(i.k & 15u);
+        // 6-bit k: the paper's hardware only needs 4 (ways 16), but the
+        // second word has room and the RE software backend runs to ways 40.
+        out[1] = static_cast<std::uint16_t>(i.k & 63u);
         return 2;
       case Op::kQCnot:
       case Op::kQSwap:
@@ -296,7 +298,7 @@ Decoded decode(std::uint16_t w0, std::uint16_t w1) {
           break;
         case Op::kQHad:
           i.qa = low8;
-          i.k = w1 & 15u;
+          i.k = w1 & 63u;
           break;
         case Op::kQCnot:
         case Op::kQSwap:

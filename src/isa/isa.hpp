@@ -50,7 +50,7 @@ enum class Op : std::uint8_t {
   kQNot,    // @a = ~@a (Pauli-X)
   kQZero,   // @a = 0
   kQOne,    // @a = 1
-  kQHad,    // @a = H(imm4)
+  kQHad,    // @a = H(imm6)
   kQCnot,   // @a ^= @b
   kQSwap,   // swap(@a, @b)
   kQAnd,    // @a = @b & @c
@@ -88,7 +88,7 @@ struct Instr {
   std::uint8_t qa = 0;  // Qat @a (or had target)
   std::uint8_t qb = 0;  // Qat @b
   std::uint8_t qc = 0;  // Qat @c
-  std::uint8_t k = 0;   // had imm4
+  std::uint8_t k = 0;   // had imm6
 
   bool operator==(const Instr&) const = default;
 };

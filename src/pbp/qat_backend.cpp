@@ -1,0 +1,270 @@
+#include "pbp/qat_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pbp/hadamard.hpp"
+
+namespace pbp {
+
+QatBackend::QatBackend(unsigned ways, unsigned num_regs)
+    : ways_(ways), num_regs_(num_regs) {
+  if (num_regs == 0) {
+    throw std::invalid_argument("QatBackend: no registers");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DenseQatBackend — the historical std::vector<Aob> register file.
+
+DenseQatBackend::DenseQatBackend(unsigned ways, unsigned num_regs)
+    : QatBackend(ways, num_regs) {
+  if (ways == 0 || ways > kMaxAobWays) {
+    throw std::invalid_argument("DenseQatBackend: ways out of range");
+  }
+  regs_.assign(num_regs, Aob::zeros(ways));
+}
+
+void DenseQatBackend::zero(unsigned a) { regs_[idx(a)] = Aob::zeros(ways_); }
+
+void DenseQatBackend::one(unsigned a) { regs_[idx(a)] = Aob::ones(ways_); }
+
+void DenseQatBackend::had(unsigned a, unsigned k) {
+  regs_[idx(a)] = hadamard_generate(ways_, k);
+}
+
+void DenseQatBackend::not_(unsigned a) { regs_[idx(a)].invert(); }
+
+void DenseQatBackend::cnot(unsigned a, unsigned b) {
+  regs_[idx(a)] ^= regs_[idx(b)];
+}
+
+void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
+  regs_[idx(a)] ^= regs_[idx(b)] & regs_[idx(c)];
+}
+
+void DenseQatBackend::swap(unsigned a, unsigned b) {
+  if (idx(a) == idx(b)) return;
+  Aob::swap_values(regs_[idx(a)], regs_[idx(b)]);
+}
+
+void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
+  if (idx(a) == idx(b)) return;
+  // Aliasing with the control is well-defined: the control is read once.
+  const Aob control = regs_[idx(c)];
+  Aob::cswap(regs_[idx(a)], regs_[idx(b)], control);
+}
+
+void DenseQatBackend::and_(unsigned a, unsigned b, unsigned c) {
+  regs_[idx(a)] = regs_[idx(b)] & regs_[idx(c)];
+}
+
+void DenseQatBackend::or_(unsigned a, unsigned b, unsigned c) {
+  regs_[idx(a)] = regs_[idx(b)] | regs_[idx(c)];
+}
+
+void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
+  regs_[idx(a)] = regs_[idx(b)] ^ regs_[idx(c)];
+}
+
+bool DenseQatBackend::meas(unsigned a, std::size_t ch) const {
+  return regs_[idx(a)].get(ch);
+}
+
+std::optional<std::size_t> DenseQatBackend::next_one(unsigned a,
+                                                     std::size_t ch) const {
+  return regs_[idx(a)].next_one(ch);
+}
+
+std::size_t DenseQatBackend::pop_after(unsigned a, std::size_t ch) const {
+  return regs_[idx(a)].popcount_after(ch);
+}
+
+std::size_t DenseQatBackend::popcount(unsigned a) const {
+  return regs_[idx(a)].popcount();
+}
+
+bool DenseQatBackend::any(unsigned a) const { return regs_[idx(a)].any(); }
+
+bool DenseQatBackend::all(unsigned a) const { return regs_[idx(a)].all(); }
+
+Aob DenseQatBackend::reg_aob(unsigned a) const { return regs_[idx(a)]; }
+
+void DenseQatBackend::set_reg_aob(unsigned a, const Aob& v) {
+  if (v.ways() != ways_) {
+    throw std::invalid_argument("DenseQatBackend: wrong AoB size");
+  }
+  regs_[idx(a)] = v;
+}
+
+std::string DenseQatBackend::reg_string(unsigned a,
+                                        std::size_t max_bits) const {
+  return regs_[idx(a)].to_string(max_bits);
+}
+
+std::size_t DenseQatBackend::storage_bytes() const {
+  return static_cast<std::size_t>(num_regs_) * (channels() / 8);
+}
+
+// ---------------------------------------------------------------------------
+// ReQatBackend — copy-on-write compressed register file.
+
+ReQatBackend::ReQatBackend(unsigned ways, unsigned num_regs,
+                           unsigned chunk_ways)
+    : QatBackend(ways, num_regs),
+      pool_(std::make_shared<ChunkPool>(std::min(chunk_ways, ways))),
+      constants_(2 + ways) {
+  if (ways == 0 || ways > kMaxReWays) {
+    throw std::invalid_argument("ReQatBackend: ways out of range");
+  }
+  regs_.assign(num_regs, constant(0));
+}
+
+std::shared_ptr<const Re> ReQatBackend::constant(unsigned which_k) {
+  auto& slot = constants_[which_k];
+  if (!slot) {
+    if (which_k == 0) {
+      slot = std::make_shared<const Re>(Re::zeros(pool_, ways_));
+    } else if (which_k == 1) {
+      slot = std::make_shared<const Re>(Re::ones(pool_, ways_));
+    } else {
+      slot = std::make_shared<const Re>(
+          Re::hadamard(pool_, ways_, which_k - 2));
+    }
+  }
+  return slot;
+}
+
+void ReQatBackend::zero(unsigned a) { regs_[idx(a)] = constant(0); }
+
+void ReQatBackend::one(unsigned a) { regs_[idx(a)] = constant(1); }
+
+void ReQatBackend::had(unsigned a, unsigned k) {
+  if (k >= ways_) {
+    // hadamard_generate yields all-zeros past the register width; match it.
+    regs_[idx(a)] = constant(0);
+    return;
+  }
+  regs_[idx(a)] = constant(2 + k);
+}
+
+void ReQatBackend::not_(unsigned a) {
+  Re t = get(a);
+  t.invert();
+  put(a, std::move(t));
+}
+
+void ReQatBackend::cnot(unsigned a, unsigned b) {
+  Re t = get(a);
+  t.apply(BitOp::Xor, get(b));
+  put(a, std::move(t));
+}
+
+void ReQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
+  Re m = get(b);
+  m.apply(BitOp::And, get(c));
+  Re t = get(a);
+  t.apply(BitOp::Xor, m);
+  put(a, std::move(t));
+}
+
+void ReQatBackend::swap(unsigned a, unsigned b) {
+  if (idx(a) == idx(b)) return;
+  // The whole point of copy-on-write: a register move is a pointer move.
+  regs_[idx(a)].swap(regs_[idx(b)]);
+}
+
+void ReQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
+  if (idx(a) == idx(b)) return;
+  Re va = get(a);
+  Re vb = get(b);
+  Re::cswap(va, vb, get(c));
+  put(a, std::move(va));
+  put(b, std::move(vb));
+}
+
+void ReQatBackend::and_(unsigned a, unsigned b, unsigned c) {
+  Re t = get(b);
+  t.apply(BitOp::And, get(c));
+  put(a, std::move(t));
+}
+
+void ReQatBackend::or_(unsigned a, unsigned b, unsigned c) {
+  Re t = get(b);
+  t.apply(BitOp::Or, get(c));
+  put(a, std::move(t));
+}
+
+void ReQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
+  Re t = get(b);
+  t.apply(BitOp::Xor, get(c));
+  put(a, std::move(t));
+}
+
+bool ReQatBackend::meas(unsigned a, std::size_t ch) const {
+  return get(a).get(ch);
+}
+
+std::optional<std::size_t> ReQatBackend::next_one(unsigned a,
+                                                  std::size_t ch) const {
+  return get(a).next_one(ch);
+}
+
+std::size_t ReQatBackend::pop_after(unsigned a, std::size_t ch) const {
+  return get(a).popcount_after(ch);
+}
+
+std::size_t ReQatBackend::popcount(unsigned a) const {
+  return get(a).popcount();
+}
+
+bool ReQatBackend::any(unsigned a) const { return get(a).any(); }
+
+bool ReQatBackend::all(unsigned a) const { return get(a).all(); }
+
+Aob ReQatBackend::reg_aob(unsigned a) const {
+  if (ways_ > kMaxAobWays) {
+    throw std::length_error(
+        "ReQatBackend: register too wide to materialize densely");
+  }
+  return get(a).to_aob();
+}
+
+void ReQatBackend::set_reg_aob(unsigned a, const Aob& v) {
+  if (v.ways() != ways_) {
+    throw std::invalid_argument("ReQatBackend: wrong AoB size");
+  }
+  put(a, Re::from_aob(pool_, v));
+}
+
+std::string ReQatBackend::reg_string(unsigned a, std::size_t max_bits) const {
+  return get(a).to_string(max_bits);
+}
+
+std::size_t ReQatBackend::storage_bytes() const {
+  std::size_t n = 0;
+  for (const auto& r : regs_) n += r->compressed_bytes();
+  return n;
+}
+
+std::size_t ReQatBackend::total_runs() const {
+  std::size_t n = 0;
+  for (const auto& r : regs_) n += r->run_count();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
+                                             unsigned num_regs,
+                                             unsigned chunk_ways) {
+  switch (kind) {
+    case Backend::kDense:
+      return std::make_unique<DenseQatBackend>(ways, num_regs);
+    case Backend::kCompressed:
+      return std::make_unique<ReQatBackend>(ways, num_regs, chunk_ways);
+  }
+  throw std::invalid_argument("make_qat_backend: unknown backend");
+}
+
+}  // namespace pbp

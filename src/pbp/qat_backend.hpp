@@ -1,0 +1,199 @@
+// qat_backend.hpp — pluggable Qat register-file backends (paper §1.2, §5).
+//
+// The coprocessor's architectural surface — 256 registers, the Table 3
+// operation set, the non-destructive measurement family — is independent of
+// how register *values* are stored.  The paper describes two storage models:
+//
+//   * dense  — each register is a raw 2^E-bit AoB, exactly what the hardware
+//     register file holds (and what the class-project Verilog implements);
+//   * RE     — each register is a run-length-encoded sequence of interned
+//     chunk symbols over one shared ChunkPool (re.hpp), the representation
+//     §1.2 credits with "as much as an exponential factor" savings on the
+//     low-entropy states real programs build.
+//
+// QatBackend is that seam.  DenseQatBackend reproduces the historical
+// std::vector<Aob> behaviour bit for bit; ReQatBackend keeps every register
+// as a copy-on-write shared Re so register moves (`swap`, the hot
+// `cnot`/`cswap` shuffles of factoring kernels) exchange pointers instead of
+// copying megabytes, and lifts the entanglement ceiling past kMaxAobWays —
+// storage is proportional to run count, not 2^E.
+//
+// QatEngine (src/arch) layers ISA semantics, 16-bit channel truncation and
+// port statistics on top; VirtualQat (virtual_qat.hpp) is a thin veneer over
+// ReQatBackend.  tests/test_qat_backend.cpp drives both backends through
+// identical random Table 3 sequences and requires equality after every op.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbp/aob.hpp"
+#include "pbp/pbit.hpp"
+#include "pbp/re.hpp"
+
+namespace pbp {
+
+/// Entanglement ceiling for the RE backend.  Run counts — not 2^E — bound
+/// storage, so this is set by the 64-bit channel index math and by how much
+/// decompression to_aob() we are willing to forbid, not by memory.
+inline constexpr unsigned kMaxReWays = 40;
+
+/// Abstract Qat register file: Table 3 operations + measurement family over
+/// `num_regs` registers of 2^ways channels.  Register indices wrap modulo
+/// num_regs (the hardware masks its 8-bit register field the same way).
+class QatBackend {
+ public:
+  virtual ~QatBackend() = default;
+
+  virtual Backend kind() const = 0;
+  unsigned ways() const { return ways_; }
+  std::size_t channels() const { return std::size_t{1} << ways_; }
+  unsigned num_regs() const { return num_regs_; }
+
+  // --- Table 3 register operations ---
+  virtual void zero(unsigned a) = 0;
+  virtual void one(unsigned a) = 0;
+  virtual void had(unsigned a, unsigned k) = 0;
+  virtual void not_(unsigned a) = 0;
+  virtual void cnot(unsigned a, unsigned b) = 0;
+  virtual void ccnot(unsigned a, unsigned b, unsigned c) = 0;
+  virtual void swap(unsigned a, unsigned b) = 0;
+  virtual void cswap(unsigned a, unsigned b, unsigned c) = 0;
+  virtual void and_(unsigned a, unsigned b, unsigned c) = 0;
+  virtual void or_(unsigned a, unsigned b, unsigned c) = 0;
+  virtual void xor_(unsigned a, unsigned b, unsigned c) = 0;
+
+  // --- Non-destructive measurement family (§2.7), full-width channels ---
+  virtual bool meas(unsigned a, std::size_t ch) const = 0;
+  virtual std::optional<std::size_t> next_one(unsigned a,
+                                              std::size_t ch) const = 0;
+  virtual std::size_t pop_after(unsigned a, std::size_t ch) const = 0;
+  virtual std::size_t popcount(unsigned a) const = 0;
+  virtual bool any(unsigned a) const = 0;
+  virtual bool all(unsigned a) const = 0;
+
+  // --- Register access / observability ---
+  /// Materialize a register densely.  Throws for RE registers wider than
+  /// kMaxAobWays — at that size there is no dense form to give.
+  virtual Aob reg_aob(unsigned a) const = 0;
+  virtual void set_reg_aob(unsigned a, const Aob& v) = 0;
+  /// "01101..." debug rendering without full decompression.
+  virtual std::string reg_string(unsigned a, std::size_t max_bits) const = 0;
+  /// Bytes the register file occupies in this representation (the §1.2
+  /// storage claim, measurable).
+  virtual std::size_t storage_bytes() const = 0;
+
+ protected:
+  QatBackend(unsigned ways, unsigned num_regs);
+  unsigned idx(unsigned r) const { return r % num_regs_; }
+
+  unsigned ways_;
+  unsigned num_regs_;
+};
+
+/// Dense backend: the hardware model.  One materialized Aob per register;
+/// identical semantics (and identical memory behaviour) to the historical
+/// QatEngine register file.
+class DenseQatBackend final : public QatBackend {
+ public:
+  DenseQatBackend(unsigned ways, unsigned num_regs);
+
+  Backend kind() const override { return Backend::kDense; }
+
+  void zero(unsigned a) override;
+  void one(unsigned a) override;
+  void had(unsigned a, unsigned k) override;
+  void not_(unsigned a) override;
+  void cnot(unsigned a, unsigned b) override;
+  void ccnot(unsigned a, unsigned b, unsigned c) override;
+  void swap(unsigned a, unsigned b) override;
+  void cswap(unsigned a, unsigned b, unsigned c) override;
+  void and_(unsigned a, unsigned b, unsigned c) override;
+  void or_(unsigned a, unsigned b, unsigned c) override;
+  void xor_(unsigned a, unsigned b, unsigned c) override;
+
+  bool meas(unsigned a, std::size_t ch) const override;
+  std::optional<std::size_t> next_one(unsigned a,
+                                      std::size_t ch) const override;
+  std::size_t pop_after(unsigned a, std::size_t ch) const override;
+  std::size_t popcount(unsigned a) const override;
+  bool any(unsigned a) const override;
+  bool all(unsigned a) const override;
+
+  Aob reg_aob(unsigned a) const override;
+  void set_reg_aob(unsigned a, const Aob& v) override;
+  std::string reg_string(unsigned a, std::size_t max_bits) const override;
+  std::size_t storage_bytes() const override;
+
+ private:
+  std::vector<Aob> regs_;
+};
+
+/// RE backend: registers are copy-on-write shared Re values over one shared
+/// ChunkPool.  Moves (`swap`) and the constant loads (`zero`/`one`/`had`)
+/// are pointer operations; data operations run run-lockstep with chunk-level
+/// memoization, so cost tracks run counts rather than 2^E.
+class ReQatBackend final : public QatBackend {
+ public:
+  /// ways in [chunk_ways, kMaxReWays].  chunk_ways is clamped down to ways
+  /// for tiny register files so small-E differential tests stay exact.
+  ReQatBackend(unsigned ways, unsigned num_regs, unsigned chunk_ways = 12);
+
+  Backend kind() const override { return Backend::kCompressed; }
+  const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
+
+  void zero(unsigned a) override;
+  void one(unsigned a) override;
+  void had(unsigned a, unsigned k) override;
+  void not_(unsigned a) override;
+  void cnot(unsigned a, unsigned b) override;
+  void ccnot(unsigned a, unsigned b, unsigned c) override;
+  void swap(unsigned a, unsigned b) override;
+  void cswap(unsigned a, unsigned b, unsigned c) override;
+  void and_(unsigned a, unsigned b, unsigned c) override;
+  void or_(unsigned a, unsigned b, unsigned c) override;
+  void xor_(unsigned a, unsigned b, unsigned c) override;
+
+  bool meas(unsigned a, std::size_t ch) const override;
+  std::optional<std::size_t> next_one(unsigned a,
+                                      std::size_t ch) const override;
+  std::size_t pop_after(unsigned a, std::size_t ch) const override;
+  std::size_t popcount(unsigned a) const override;
+  bool any(unsigned a) const override;
+  bool all(unsigned a) const override;
+
+  Aob reg_aob(unsigned a) const override;
+  void set_reg_aob(unsigned a, const Aob& v) override;
+  std::string reg_string(unsigned a, std::size_t max_bits) const override;
+  std::size_t storage_bytes() const override;
+
+  /// Direct compressed view (VirtualQat's public surface).
+  const Re& re_reg(unsigned a) const { return *regs_[idx(a)]; }
+  /// Total RLE runs across the register file (a compression metric).
+  std::size_t total_runs() const;
+
+ private:
+  const Re& get(unsigned r) const { return *regs_[idx(r)]; }
+  void put(unsigned r, Re v) {
+    regs_[idx(r)] = std::make_shared<const Re>(std::move(v));
+  }
+  /// Memoized constant registers: repeated zero/one/had of the same pattern
+  /// share one immutable Re (copy-on-write: a later write to the register
+  /// replaces the pointer, never the shared value).
+  std::shared_ptr<const Re> constant(unsigned which_k);
+
+  std::shared_ptr<ChunkPool> pool_;
+  std::vector<std::shared_ptr<const Re>> regs_;
+  // Slot 0 = zeros, 1 = ones, 2+k = H(k); filled lazily.
+  std::vector<std::shared_ptr<const Re>> constants_;
+};
+
+/// Factory keyed by the pbit-layer Backend enum (the user-facing choice).
+std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
+                                             unsigned num_regs = 256,
+                                             unsigned chunk_ways = 12);
+
+}  // namespace pbp

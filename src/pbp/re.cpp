@@ -1,5 +1,6 @@
 #include "pbp/re.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -10,8 +11,13 @@ namespace {
 
 std::uint64_t pack_memo_key(BitOp op, ChunkPool::SymbolId a,
                             ChunkPool::SymbolId b) {
-  // Symbols are pool indices; 2^28 distinct chunks is far beyond any
-  // realistic pool, so 28+28+4 bits pack losslessly into 60.
+  // Symbols are pool indices packed 28+28+4 bits into 60.  This is lossless
+  // ONLY because ChunkPool::intern refuses to mint a symbol >= kMaxSymbols:
+  // without that guard, symbol 2^28 would alias symbol 0 and the memo would
+  // silently return chunks computed from the wrong operands.
+  static_assert(ChunkPool::kMaxSymbols <= (std::uint64_t{1} << 28),
+                "pack_memo_key packs SymbolIds into 28 bits; the intern guard "
+                "must not admit ids that need more");
   return (static_cast<std::uint64_t>(op) << 56) |
          (static_cast<std::uint64_t>(a) << 28) | b;
 }
@@ -32,9 +38,13 @@ std::uint64_t apply_op_word(BitOp op, std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
-ChunkPool::ChunkPool(unsigned chunk_ways) : chunk_ways_(chunk_ways) {
+ChunkPool::ChunkPool(unsigned chunk_ways, std::size_t max_symbols)
+    : chunk_ways_(chunk_ways), max_symbols_(std::min(max_symbols, kMaxSymbols)) {
   if (chunk_ways > kMaxAobWays) {
     throw std::invalid_argument("ChunkPool: chunk_ways too large");
+  }
+  if (max_symbols_ < 2) {
+    throw std::invalid_argument("ChunkPool: max_symbols must admit 0 and 1");
   }
   zero_ = intern(Aob::zeros(chunk_ways));
   one_ = intern(Aob::ones(chunk_ways));
@@ -48,6 +58,11 @@ ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
   auto [lo, hi] = by_hash_.equal_range(h);
   for (auto it = lo; it != hi; ++it) {
     if (chunks_[it->second] == chunk) return it->second;
+  }
+  if (chunks_.size() >= max_symbols_) {
+    // See pack_memo_key: a 29-bit SymbolId would alias memo keys and make
+    // apply() return wrong chunks, so refuse loudly instead.
+    throw std::length_error("ChunkPool: symbol space exhausted");
   }
   const SymbolId id = static_cast<SymbolId>(chunks_.size());
   chunks_.push_back(chunk);
@@ -410,6 +425,16 @@ bool Re::operator==(const Re& o) const {
     }
   }
   return true;
+}
+
+std::string Re::to_string(std::size_t max_bits) const {
+  const std::size_t n = bit_count();
+  const std::size_t shown = n < max_bits ? n : max_bits;
+  std::string s;
+  s.reserve(shown + 3);
+  for (std::size_t e = 0; e < shown; ++e) s.push_back(get(e) ? '1' : '0');
+  if (shown < n) s += "...";
+  return s;
 }
 
 std::size_t Re::compressed_bytes() const {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +38,18 @@ class ChunkPool {
  public:
   using SymbolId = std::uint32_t;
 
-  explicit ChunkPool(unsigned chunk_ways);
+  /// Hard ceiling on distinct symbols: the memo table packs (op, a, b) as
+  /// 4 + 28 + 28 bits into one 64-bit key (re.cpp pack_memo_key), so a
+  /// SymbolId must fit in 28 bits or keys alias and apply() returns chunks
+  /// for the *wrong* operands.  intern() throws std::length_error rather
+  /// than ever crossing this line.
+  static constexpr std::size_t kMaxSymbols = std::size_t{1} << 28;
+
+  /// `max_symbols` lowers the guard threshold (tests exercise the guard
+  /// path with a tiny pool); it is clamped to kMaxSymbols and must leave
+  /// room for the built-in zero and one symbols.
+  explicit ChunkPool(unsigned chunk_ways,
+                     std::size_t max_symbols = kMaxSymbols);
 
   unsigned chunk_ways() const { return chunk_ways_; }
   std::size_t chunk_bits() const { return std::size_t{1} << chunk_ways_; }
@@ -66,6 +78,7 @@ class ChunkPool {
 
  private:
   unsigned chunk_ways_;
+  std::size_t max_symbols_;
   std::vector<Aob> chunks_;
   std::vector<std::size_t> pops_;  // SIZE_MAX = not yet computed
   std::unordered_multimap<std::uint64_t, SymbolId> by_hash_;
@@ -111,6 +124,10 @@ class Re {
   bool all() const;
 
   bool operator==(const Re& o) const;
+
+  /// "01101..." starting at channel 0, truncated with "..." past max_bits —
+  /// same format as Aob::to_string, but computed without decompressing.
+  std::string to_string(std::size_t max_bits = 64) const;
 
   // --- Compression metrics (bench_re_compression) ---
   /// Number of RLE runs in this value.

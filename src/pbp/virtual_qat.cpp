@@ -1,92 +1,8 @@
 #include "pbp/virtual_qat.hpp"
 
-#include <stdexcept>
-
 namespace pbp {
 
 VirtualQat::VirtualQat(unsigned ways, unsigned chunk_ways, unsigned num_regs)
-    : ways_(ways), pool_(std::make_shared<ChunkPool>(chunk_ways)) {
-  if (num_regs == 0) throw std::invalid_argument("VirtualQat: no registers");
-  regs_.reserve(num_regs);
-  for (unsigned i = 0; i < num_regs; ++i) {
-    regs_.push_back(Re::zeros(pool_, ways));
-  }
-}
-
-void VirtualQat::zero(unsigned a) { rw(a) = Re::zeros(pool_, ways_); }
-
-void VirtualQat::one(unsigned a) { rw(a) = Re::ones(pool_, ways_); }
-
-void VirtualQat::had(unsigned a, unsigned k) {
-  rw(a) = Re::hadamard(pool_, ways_, k);
-}
-
-void VirtualQat::not_(unsigned a) { rw(a).invert(); }
-
-void VirtualQat::cnot(unsigned a, unsigned b) {
-  rw(a).apply(BitOp::Xor, reg(b));
-}
-
-void VirtualQat::ccnot(unsigned a, unsigned b, unsigned c) {
-  Re t = reg(b);
-  t.apply(BitOp::And, reg(c));
-  rw(a).apply(BitOp::Xor, t);
-}
-
-void VirtualQat::swap(unsigned a, unsigned b) {
-  if (a % regs_.size() == b % regs_.size()) return;
-  Re::swap_values(rw(a), rw(b));
-}
-
-void VirtualQat::cswap(unsigned a, unsigned b, unsigned c) {
-  if (a % regs_.size() == b % regs_.size()) return;
-  const Re control = reg(c);  // read once: aliasing-safe, like the hardware
-  Re::cswap(rw(a), rw(b), control);
-}
-
-void VirtualQat::and_(unsigned a, unsigned b, unsigned c) {
-  Re t = reg(b);
-  t.apply(BitOp::And, reg(c));
-  rw(a) = std::move(t);
-}
-
-void VirtualQat::or_(unsigned a, unsigned b, unsigned c) {
-  Re t = reg(b);
-  t.apply(BitOp::Or, reg(c));
-  rw(a) = std::move(t);
-}
-
-void VirtualQat::xor_(unsigned a, unsigned b, unsigned c) {
-  Re t = reg(b);
-  t.apply(BitOp::Xor, reg(c));
-  rw(a) = std::move(t);
-}
-
-bool VirtualQat::meas(unsigned a, std::size_t ch) const {
-  return reg(a).get(ch);
-}
-
-std::size_t VirtualQat::next(unsigned a, std::size_t ch) const {
-  const auto r = reg(a).next_one(ch);
-  return r ? *r : 0;
-}
-
-std::size_t VirtualQat::pop_after(unsigned a, std::size_t ch) const {
-  return reg(a).popcount_after(ch);
-}
-
-std::size_t VirtualQat::popcount(unsigned a) const {
-  return reg(a).popcount();
-}
-
-bool VirtualQat::any(unsigned a) const { return reg(a).any(); }
-
-bool VirtualQat::all(unsigned a) const { return reg(a).all(); }
-
-std::size_t VirtualQat::storage_bytes() const {
-  std::size_t n = 0;
-  for (const Re& r : regs_) n += r.compressed_bytes();
-  return n;
-}
+    : impl_(ways, num_regs, chunk_ways) {}
 
 }  // namespace pbp

@@ -5,12 +5,13 @@
 // superposition using AoB, but instead using regular expressions compressing
 // patterns in which AoB representations are treated as individual symbols."
 // VirtualQat is exactly that layer: the same register-file-plus-ALU surface
-// as the hardware QatEngine (Table 3 + pop), but each register is an Re —
-// run-length-encoded chunks interned in a shared pool, with chunk-level op
-// memoization.  chunk_ways = 16 makes every symbol one hardware-sized
-// 65,536-bit AoB, i.e. this models software driving the real coprocessor
-// chunk by chunk; smaller chunk sizes model pure-software deployments (the
-// LCPC'20 prototype used 4096-bit chunks).
+// as the hardware QatEngine (Table 3 + pop), realized by the shared
+// ReQatBackend (qat_backend.hpp) — run-length-encoded chunks interned in a
+// shared pool, chunk-level op memoization, copy-on-write register moves.
+// chunk_ways = 16 makes every symbol one hardware-sized 65,536-bit AoB,
+// i.e. this models software driving the real coprocessor chunk by chunk;
+// smaller chunk sizes model pure-software deployments (the LCPC'20
+// prototype used 4096-bit chunks).
 //
 // Channel arguments are std::size_t because a 16-bit Tangled register can no
 // longer address all channels — the ISA-level consequence the paper's §5
@@ -19,8 +20,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
+#include "pbp/qat_backend.hpp"
 #include "pbp/re.hpp"
 
 namespace pbp {
@@ -31,44 +32,45 @@ class VirtualQat {
   VirtualQat(unsigned ways, unsigned chunk_ways = 12,
              unsigned num_regs = 256);
 
-  unsigned ways() const { return ways_; }
-  std::size_t channels() const { return std::size_t{1} << ways_; }
-  std::size_t num_regs() const { return regs_.size(); }
-  const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
+  unsigned ways() const { return impl_.ways(); }
+  std::size_t channels() const { return impl_.channels(); }
+  std::size_t num_regs() const { return impl_.num_regs(); }
+  const std::shared_ptr<ChunkPool>& pool() const { return impl_.pool(); }
 
-  const Re& reg(unsigned r) const { return regs_[r % regs_.size()]; }
+  const Re& reg(unsigned r) const { return impl_.re_reg(r); }
 
   // --- Table 3 operations ---
-  void zero(unsigned a);
-  void one(unsigned a);
-  void had(unsigned a, unsigned k);
-  void not_(unsigned a);
-  void cnot(unsigned a, unsigned b);
-  void ccnot(unsigned a, unsigned b, unsigned c);
-  void swap(unsigned a, unsigned b);
-  void cswap(unsigned a, unsigned b, unsigned c);
-  void and_(unsigned a, unsigned b, unsigned c);
-  void or_(unsigned a, unsigned b, unsigned c);
-  void xor_(unsigned a, unsigned b, unsigned c);
+  void zero(unsigned a) { impl_.zero(a); }
+  void one(unsigned a) { impl_.one(a); }
+  void had(unsigned a, unsigned k) { impl_.had(a, k); }
+  void not_(unsigned a) { impl_.not_(a); }
+  void cnot(unsigned a, unsigned b) { impl_.cnot(a, b); }
+  void ccnot(unsigned a, unsigned b, unsigned c) { impl_.ccnot(a, b, c); }
+  void swap(unsigned a, unsigned b) { impl_.swap(a, b); }
+  void cswap(unsigned a, unsigned b, unsigned c) { impl_.cswap(a, b, c); }
+  void and_(unsigned a, unsigned b, unsigned c) { impl_.and_(a, b, c); }
+  void or_(unsigned a, unsigned b, unsigned c) { impl_.or_(a, b, c); }
+  void xor_(unsigned a, unsigned b, unsigned c) { impl_.xor_(a, b, c); }
 
   // --- Measurement family (§2.7), non-destructive ---
-  bool meas(unsigned a, std::size_t ch) const;
+  bool meas(unsigned a, std::size_t ch) const { return impl_.meas(a, ch); }
   /// next: 0 aliases "none", matching the hardware ISA.
-  std::size_t next(unsigned a, std::size_t ch) const;
-  std::size_t pop_after(unsigned a, std::size_t ch) const;
-  std::size_t popcount(unsigned a) const;
-  bool any(unsigned a) const;
-  bool all(unsigned a) const;
+  std::size_t next(unsigned a, std::size_t ch) const {
+    const auto r = impl_.next_one(a, ch);
+    return r ? *r : 0;
+  }
+  std::size_t pop_after(unsigned a, std::size_t ch) const {
+    return impl_.pop_after(a, ch);
+  }
+  std::size_t popcount(unsigned a) const { return impl_.popcount(a); }
+  bool any(unsigned a) const { return impl_.any(a); }
+  bool all(unsigned a) const { return impl_.all(a); }
 
   /// Total compressed bytes across all registers (storage metric).
-  std::size_t storage_bytes() const;
+  std::size_t storage_bytes() const { return impl_.storage_bytes(); }
 
  private:
-  Re& rw(unsigned r) { return regs_[r % regs_.size()]; }
-
-  unsigned ways_;
-  std::shared_ptr<ChunkPool> pool_;
-  std::vector<Re> regs_;
+  ReQatBackend impl_;
 };
 
 }  // namespace pbp

@@ -233,7 +233,11 @@ TEST(Assembler, Errors) {
   EXPECT_THROW(assemble("and @256,@0,@1\n"), AsmError);  // bad Qat register
   EXPECT_THROW(assemble("lex $1,300\n"), AsmError);      // imm out of range
   EXPECT_THROW(assemble("lhi $1,-1\n"), AsmError);
-  EXPECT_THROW(assemble("had @1,16\n"), AsmError);       // had index range
+  EXPECT_THROW(assemble("had @1,64\n"), AsmError);       // had index range (6-bit)
+  // A literal too wide for any operand must be rejected, not wrapped by
+  // (undefined) accumulator overflow into a plausible 16-bit value.
+  EXPECT_THROW(assemble("lex $1,18446744073709551530\n"), AsmError);
+  EXPECT_THROW(assemble(".word 0xffffffffffffffffff\n"), AsmError);
   EXPECT_THROW(assemble("brt $1,nowhere\n"), AsmError);  // undefined symbol
   EXPECT_THROW(assemble("x: lex $1,1\nx: sys\n"), AsmError);  // dup label
   EXPECT_THROW(assemble("meas @1,$2\n"), AsmError);      // swapped operands

@@ -177,7 +177,7 @@ class RandomProgram {
       case 8:
         return "slt " + r() + "," + r() + "\n";
       case 9:
-        return "lex " + r() + "," + std::to_string((rng_() % 256) - 128) +
+        return "lex " + r() + "," + std::to_string(static_cast<int>(rng_() % 256) - 128) +
                "\n";
       case 10:
         return "lhi " + r() + "," + std::to_string(rng_() % 256) + "\n";

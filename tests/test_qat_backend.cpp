@@ -1,0 +1,264 @@
+// Differential and regression tests for the pluggable Qat register-file
+// backends (pbp/qat_backend.hpp):
+//   * fixed-seed random Table 3 sequences through DenseQatBackend and
+//     ReQatBackend at WAYS 6..12, comparing every register plus the whole
+//     measurement family after every op;
+//   * the RE backend past the dense kMaxAobWays ceiling (ways 32/40);
+//   * the ChunkPool symbol-space guard that protects pack_memo_key;
+//   * QatEngine construction over both backends.
+#include "pbp/qat_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/qat_engine.hpp"
+
+namespace pbp {
+namespace {
+
+constexpr unsigned kRegs = 16;  // enough registers to shuffle, fast to scan
+
+/// One random Table 3 op applied to BOTH backends.
+template <typename Rng>
+void random_op(Rng& rng, QatBackend& d, QatBackend& r, unsigned ways) {
+  const unsigned a = static_cast<unsigned>(rng() % kRegs);
+  const unsigned b = static_cast<unsigned>(rng() % kRegs);
+  const unsigned c = static_cast<unsigned>(rng() % kRegs);
+  const unsigned k = static_cast<unsigned>(rng() % (ways + 2));  // may exceed
+  switch (rng() % 11) {
+    case 0:
+      d.zero(a);
+      r.zero(a);
+      break;
+    case 1:
+      d.one(a);
+      r.one(a);
+      break;
+    case 2:
+      d.had(a, k);
+      r.had(a, k);
+      break;
+    case 3:
+      d.not_(a);
+      r.not_(a);
+      break;
+    case 4:
+      d.cnot(a, b);
+      r.cnot(a, b);
+      break;
+    case 5:
+      d.ccnot(a, b, c);
+      r.ccnot(a, b, c);
+      break;
+    case 6:
+      d.swap(a, b);
+      r.swap(a, b);
+      break;
+    case 7:
+      d.cswap(a, b, c);
+      r.cswap(a, b, c);
+      break;
+    case 8:
+      d.and_(a, b, c);
+      r.and_(a, b, c);
+      break;
+    case 9:
+      d.or_(a, b, c);
+      r.or_(a, b, c);
+      break;
+    default:
+      d.xor_(a, b, c);
+      r.xor_(a, b, c);
+      break;
+  }
+}
+
+/// Full architectural comparison: every register, dense materialization and
+/// the entire measurement family at a sample of channels.
+template <typename Rng>
+void expect_equal(Rng& rng, const QatBackend& d, const QatBackend& r,
+                  std::uint64_t seed, int step) {
+  for (unsigned reg = 0; reg < kRegs; ++reg) {
+    ASSERT_EQ(d.reg_aob(reg), r.reg_aob(reg))
+        << "seed " << seed << " step " << step << " reg @" << reg;
+    ASSERT_EQ(d.popcount(reg), r.popcount(reg))
+        << "seed " << seed << " step " << step << " reg @" << reg;
+    ASSERT_EQ(d.any(reg), r.any(reg)) << "seed " << seed << " @" << reg;
+    ASSERT_EQ(d.all(reg), r.all(reg)) << "seed " << seed << " @" << reg;
+    ASSERT_EQ(d.reg_string(reg, 64), r.reg_string(reg, 64))
+        << "seed " << seed << " step " << step << " reg @" << reg;
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t ch = rng() % d.channels();
+      ASSERT_EQ(d.meas(reg, ch), r.meas(reg, ch))
+          << "seed " << seed << " step " << step << " reg @" << reg
+          << " ch " << ch;
+      ASSERT_EQ(d.next_one(reg, ch), r.next_one(reg, ch))
+          << "seed " << seed << " step " << step << " reg @" << reg
+          << " ch " << ch;
+      ASSERT_EQ(d.pop_after(reg, ch), r.pop_after(reg, ch))
+          << "seed " << seed << " step " << step << " reg @" << reg
+          << " ch " << ch;
+    }
+  }
+}
+
+class BackendDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BackendDifferential, DenseAndReAgreeOnRandomSequences) {
+  const unsigned ways = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::mt19937_64 rng(seed * 1000 + ways);
+    DenseQatBackend dense(ways, kRegs);
+    ReQatBackend re(ways, kRegs, /*chunk_ways=*/4);
+    // Non-trivial starting state.
+    for (unsigned reg = 0; reg < kRegs; ++reg) {
+      dense.had(reg, reg % (ways + 1));
+      re.had(reg, reg % (ways + 1));
+    }
+    for (int step = 0; step < 120; ++step) {
+      random_op(rng, dense, re, ways);
+      expect_equal(rng, dense, re, seed, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, BackendDifferential,
+                         ::testing::Values(6u, 7u, 8u, 9u, 10u, 11u, 12u));
+
+TEST(BackendFactory, ProducesRequestedKind) {
+  auto d = make_qat_backend(Backend::kDense, 8, kRegs);
+  auto r = make_qat_backend(Backend::kCompressed, 8, kRegs);
+  EXPECT_EQ(d->kind(), Backend::kDense);
+  EXPECT_EQ(r->kind(), Backend::kCompressed);
+  EXPECT_EQ(d->channels(), 256u);
+  EXPECT_EQ(r->channels(), 256u);
+}
+
+// --- RE backend past the dense ceiling ---
+
+TEST(ReBackendWide, EntanglementBeyondMaxAobWays) {
+  constexpr unsigned ways = 32;  // 2^32 channels: undeniably not an Aob
+  ASSERT_GT(ways, kMaxAobWays);
+  ReQatBackend re(ways, 8, /*chunk_ways=*/12);
+
+  // H(20) on @1: channel i is set iff bit 20 of i is set.
+  re.had(1, 20);
+  EXPECT_EQ(re.popcount(1), std::size_t{1} << (ways - 1));
+  EXPECT_FALSE(re.meas(1, 0));
+  EXPECT_TRUE(re.meas(1, std::size_t{1} << 20));
+
+  // CNOT from H(31) flips the top half.
+  re.had(2, 31);
+  re.cnot(1, 2);
+  const std::size_t top = std::size_t{1} << 31;
+  EXPECT_TRUE(re.meas(1, top));                      // 0 ^ 1
+  EXPECT_FALSE(re.meas(1, top | (std::size_t{1} << 20)));  // 1 ^ 1
+
+  // next/pop walk full-width channel indices.
+  re.zero(3);
+  re.had(3, 31);
+  EXPECT_EQ(re.next_one(3, 0), std::optional<std::size_t>{top});
+  // Strictly after `top`: all of [top, 2^32) except top itself.
+  EXPECT_EQ(re.pop_after(3, top), (std::size_t{1} << 31) - 1);
+  EXPECT_EQ(re.popcount(3), std::size_t{1} << 31);
+
+  // Dense materialization is correctly refused, not silently wrong.
+  EXPECT_THROW(re.reg_aob(1), std::length_error);
+  // But bounded rendering still works.
+  EXPECT_EQ(re.reg_string(3, 8).substr(0, 8), "00000000");
+}
+
+TEST(ReBackendWide, MaxReWaysRunsToCompletion) {
+  ReQatBackend re(kMaxReWays, 4, /*chunk_ways=*/12);
+  re.one(0);
+  re.had(1, kMaxReWays - 1);
+  re.and_(2, 0, 1);  // = H(ways-1)
+  EXPECT_EQ(re.popcount(2), std::size_t{1} << (kMaxReWays - 1));
+  EXPECT_TRUE(re.all(0));
+  EXPECT_FALSE(re.all(2));
+  EXPECT_TRUE(re.any(2));
+  const std::size_t top = std::size_t{1} << (kMaxReWays - 1);
+  EXPECT_EQ(re.next_one(2, 1), std::optional<std::size_t>{top});
+  EXPECT_THROW(ReQatBackend(kMaxReWays + 1, 4), std::invalid_argument);
+}
+
+TEST(ReBackendWide, SwapIsPointerCheap) {
+  ReQatBackend re(36, 4, /*chunk_ways=*/12);
+  re.had(0, 35);
+  re.one(1);
+  const std::size_t before = re.total_runs();
+  for (int i = 0; i < 1000; ++i) re.swap(0, 1);  // must not decompress
+  EXPECT_EQ(re.total_runs(), before);
+  EXPECT_TRUE(re.all(1));  // even number of swaps: @1 still all-ones
+  EXPECT_EQ(re.popcount(0), std::size_t{1} << 35);
+}
+
+// --- ChunkPool symbol-space guard (pack_memo_key regression) ---
+
+TEST(ChunkPoolGuard, InternThrowsWhenSymbolSpaceExhausted) {
+  // A tiny pool makes the guard testable: 2 chunk-ways, at most 5 symbols.
+  ChunkPool pool(2, /*max_symbols=*/5);
+  // Interning distinct 4-bit chunks; the pool pre-seeds some constants, so
+  // just count how many distinct values fit before the guard trips.
+  bool threw = false;
+  int interned = 0;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    const Aob chunk = Aob::from_fn(2, [v](std::size_t e) {
+      return ((v >> e) & 1u) != 0;
+    });
+    try {
+      pool.intern(chunk);
+      ++interned;
+    } catch (const std::length_error&) {
+      threw = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(threw) << "guard never tripped after " << interned
+                     << " interns";
+  EXPECT_LE(pool.size(), 5u);
+}
+
+TEST(ChunkPoolGuard, DefaultLimitMatchesMemoKeyLayout) {
+  // pack_memo_key packs symbol ids into 28-bit fields; the static limit must
+  // never exceed that.  (The static_assert in re.cpp enforces it at compile
+  // time; this documents the value at the API level.)
+  EXPECT_EQ(ChunkPool::kMaxSymbols, std::size_t{1} << 28);
+  EXPECT_THROW(ChunkPool(2, 1), std::invalid_argument);
+}
+
+// --- QatEngine over both backends ---
+
+TEST(QatEngineBackend, ExecutesTable3OverBothBackends) {
+  for (const Backend kind : {Backend::kDense, Backend::kCompressed}) {
+    tangled::QatEngine eng(10, kind);
+    EXPECT_EQ(eng.backend_kind(), kind);
+    eng.had(1, 3);
+    eng.one(2);
+    eng.and_(3, 1, 2);
+    EXPECT_EQ(eng.reg_popcount(3), 512u);
+    EXPECT_EQ(eng.reg(3), eng.reg(1));  // materialized comparison
+    EXPECT_EQ(eng.reg_string(3, 16), eng.reg_string(1, 16));
+  }
+}
+
+TEST(QatEngineBackend, WideReEngineMeasuresCorrectly) {
+  tangled::QatEngine eng(34, Backend::kCompressed);
+  eng.had(5, 33);
+  EXPECT_EQ(eng.reg_popcount(5), std::size_t{1} << 33);
+  EXPECT_TRUE(eng.meas_wide(5, std::size_t{1} << 33));
+  EXPECT_FALSE(eng.meas_wide(5, 0));
+  EXPECT_EQ(eng.next_wide(5, 0), std::size_t{1} << 33);
+  EXPECT_EQ(eng.pop_wide(5, std::size_t{1} << 33),
+            (std::size_t{1} << 33) - 1);
+  EXPECT_THROW(eng.reg(5), std::length_error);
+  EXPECT_THROW(tangled::QatEngine(34, Backend::kDense), std::exception);
+}
+
+}  // namespace
+}  // namespace pbp

@@ -139,6 +139,128 @@ TEST(RtlPipeline, DiagramShowsLoadUseStall) {
   EXPECT_NE(sim.diagram().find('-'), std::string::npos);
 }
 
+// --- Flush accounting (rtl_pipeline.cpp IF-stage squash) ---
+//
+// A taken branch resolving in EX always loses exactly two fetch slots: the
+// wrong-path instruction behind it (in IF/ID or mid two-word fetch) plus the
+// suppressed same-cycle fetch.  These tests pin the cycle-exact behaviour in
+// all the structurally distinct squash situations, against hand-computed
+// values that also match PipelineSim's accounting (redirect - next_fetch is
+// provably always 2 for a one-word branch).
+
+struct FlushCase {
+  SimStats acc;
+  SimStats rtl;
+};
+
+FlushCase run_both(const std::string& src) {
+  const Program p = assemble(src);
+  PipelineSim acc(8, {.stages = 5, .forwarding = true});
+  RtlPipelineSim rtl(8);
+  acc.load(p);
+  rtl.load(p);
+  FlushCase c{acc.run(100000), rtl.run(100000)};
+  EXPECT_TRUE(c.acc.halted && c.rtl.halted);
+  return c;
+}
+
+TEST(RtlPipelineFlushAccounting, PlainTakenBranch) {
+  // The squashed slot is a plain one-word instruction sitting in IF/ID.
+  const auto c = run_both(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      lex $2,99\n"
+      "      lex $3,99\n"
+      "skip: lex $4,4\n"
+      "      sys\n");
+  EXPECT_EQ(c.rtl.cycles, 10u);
+  EXPECT_EQ(c.rtl.flush_cycles, 2u);
+  EXPECT_EQ(c.rtl.taken_branches, 1u);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+  EXPECT_EQ(c.acc.flush_cycles, c.rtl.flush_cycles);
+}
+
+TEST(RtlPipelineFlushAccounting, ForwardedCondition) {
+  // The branch condition is produced by the immediately preceding add and
+  // must be forwarded into EX; the flush cost is unchanged.
+  const auto c = run_both(
+      "      lex $1,0\n"
+      "      lex $2,1\n"
+      "      add $1,$2\n"
+      "      brt $1,skip\n"
+      "      lex $3,99\n"
+      "skip: sys\n");
+  EXPECT_EQ(c.rtl.cycles, 11u);
+  EXPECT_EQ(c.rtl.flush_cycles, 2u);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+  EXPECT_EQ(c.acc.flush_cycles, c.rtl.flush_cycles);
+}
+
+TEST(RtlPipelineFlushAccounting, SquashesPendingTwoWordFetch) {
+  // The wrong-path instruction is a two-word `had` caught mid-fetch:
+  // `pending_valid` (not `ifid.valid`) accounts the first lost slot.
+  const auto c = run_both(
+      "      lex $1,1\n"
+      "      brt $1,skip\n"
+      "      had @0,4\n"
+      "      lex $3,99\n"
+      "skip: sys\n");
+  EXPECT_EQ(c.rtl.cycles, 9u);
+  EXPECT_EQ(c.rtl.flush_cycles, 2u);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+  EXPECT_EQ(c.acc.flush_cycles, c.rtl.flush_cycles);
+}
+
+TEST(RtlPipelineFlushAccounting, LoadUseStalledBranch) {
+  // The branch stalls on a load-use interlock before resolving; the stall
+  // is counted as data_stall_cycles, the squash still as exactly 2.
+  const auto c = run_both(
+      "      li $2,0x8000\n"
+      "      li $1,1\n"
+      "      store $1,$2\n"
+      "      load $4,$2\n"
+      "      brt $4,skip\n"
+      "      lex $3,99\n"
+      "skip: sys\n");
+  EXPECT_EQ(c.rtl.cycles, 15u);
+  EXPECT_EQ(c.rtl.flush_cycles, 2u);
+  EXPECT_GE(c.rtl.data_stall_cycles, 1u);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+  EXPECT_EQ(c.acc.flush_cycles, c.rtl.flush_cycles);
+}
+
+TEST(RtlPipelineFlushAccounting, BackToBackTakenBranches) {
+  // Two taken branches in a row: each costs its own two slots, no overlap.
+  const auto c = run_both(
+      "      lex $1,1\n"
+      "      brt $1,a\n"
+      "      lex $2,99\n"
+      "a:    brt $1,b\n"
+      "      lex $3,99\n"
+      "b:    sys\n");
+  EXPECT_EQ(c.rtl.cycles, 12u);
+  EXPECT_EQ(c.rtl.flush_cycles, 4u);
+  EXPECT_EQ(c.rtl.taken_branches, 2u);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+  EXPECT_EQ(c.acc.flush_cycles, c.rtl.flush_cycles);
+}
+
+TEST(RtlPipelineFlushAccounting, TightLoopAlwaysTwoPerTaken) {
+  // A counted loop: flush_cycles is exactly 2 * taken_branches, in both
+  // the latch-level machine and the accounting model.
+  const auto c = run_both(
+      "      lex $1,20\n"
+      "      lex $2,-1\n"
+      "loop: add $1,$2\n"
+      "      brt $1,loop\n"
+      "      sys\n");
+  EXPECT_EQ(c.rtl.taken_branches, c.acc.taken_branches);
+  EXPECT_GT(c.rtl.taken_branches, 10u);
+  EXPECT_EQ(c.rtl.flush_cycles, 2 * c.rtl.taken_branches);
+  EXPECT_EQ(c.acc.flush_cycles, 2 * c.acc.taken_branches);
+  EXPECT_EQ(c.acc.cycles, c.rtl.cycles);
+}
+
 // --- Differential: RTL vs functional (state) and accounting (cycles) ---
 
 /// Same generator as test_property.cpp, kept local for independence.
@@ -181,7 +303,7 @@ class RandomProgram {
       case 7:
         return "slt " + r() + "," + r() + "\n";
       case 8:
-        return "lex " + r() + "," + std::to_string((rng_() % 256) - 128) +
+        return "lex " + r() + "," + std::to_string(static_cast<int>(rng_() % 256) - 128) +
                "\n";
       case 9: {
         const std::string addr = r();
@@ -245,6 +367,9 @@ TEST_P(RtlDifferential, MatchesFunctionalStateAndAccountingCycles) {
   EXPECT_EQ(sr.cycles, sa.cycles) << "seed " << GetParam();
   EXPECT_EQ(sr.data_stall_cycles, sa.data_stall_cycles)
       << "seed " << GetParam();
+  EXPECT_EQ(sr.taken_branches, sa.taken_branches) << "seed " << GetParam();
+  EXPECT_EQ(sr.flush_cycles, sa.flush_cycles) << "seed " << GetParam();
+  EXPECT_EQ(sr.flush_cycles, 2 * sr.taken_branches) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RtlDifferential,
