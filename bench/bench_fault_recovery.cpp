@@ -1,0 +1,170 @@
+// bench_fault_recovery — cost of the fault-tolerance layer (ISSUE:
+// fault-tolerant execution).
+//
+// Measured:
+//   * checkpoint save / restore of full machine state, dense and
+//     RE-compressed Qat register files (mid-Figure-10, registers in flight);
+//   * Figure 10 end to end, plain run() vs CheckpointingRunner at several
+//     checkpoint intervals (the overhead of periodic snapshots);
+//   * Figure 10 under a forced RE chunk-pool exhaustion, paying one
+//     transparent RE -> dense migration mid-run;
+//   * a full rollback-recovery run with an injected register upset.
+#include <benchmark/benchmark.h>
+
+#include "arch/recovery.hpp"
+#include "arch/simulators.hpp"
+#include "asm/programs.hpp"
+
+namespace {
+
+using namespace tangled;
+
+/// Advance to mid-Figure-10 (40 instructions): Qat registers hold real state.
+void advance_fig10(FunctionalSim& sim) {
+  sim.load(assemble(figure10_source()));
+  sim.run(40);
+}
+
+void BM_checkpoint_save_dense(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  FunctionalSim sim(ways, pbp::Backend::kDense);
+  advance_fig10(sim);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto b = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+  state.counters["ways"] = static_cast<double>(ways);
+}
+
+void BM_checkpoint_save_re(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  FunctionalSim sim(ways, pbp::Backend::kCompressed);
+  advance_fig10(sim);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto b = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+  state.counters["ways"] = static_cast<double>(ways);
+}
+
+void BM_checkpoint_restore_dense(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  FunctionalSim sim(ways, pbp::Backend::kDense);
+  advance_fig10(sim);
+  const auto bytes = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+  FunctionalSim target(ways, pbp::Backend::kDense);
+  for (auto _ : state) {
+    load_checkpoint(bytes, target.cpu(), target.memory(), target.qat());
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes.size());
+  state.counters["ways"] = static_cast<double>(ways);
+}
+
+void BM_checkpoint_restore_re(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  FunctionalSim sim(ways, pbp::Backend::kCompressed);
+  advance_fig10(sim);
+  const auto bytes = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+  FunctionalSim target(ways, pbp::Backend::kCompressed);
+  for (auto _ : state) {
+    load_checkpoint(bytes, target.cpu(), target.memory(), target.qat());
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes.size());
+  state.counters["ways"] = static_cast<double>(ways);
+}
+
+void BM_fig10_plain(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  for (auto _ : state) {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    const SimStats st = sim.run();
+    if (!st.halted || sim.cpu().reg(0) != 5) {
+      state.SkipWithError("wrong factors");
+    }
+  }
+}
+
+/// Overhead of periodic checkpointing on a fault-free Figure 10 run.
+void BM_fig10_checkpointed(benchmark::State& state) {
+  const auto every = static_cast<std::uint64_t>(state.range(0));
+  const Program p = assemble(figure10_source());
+  std::uint64_t checkpoints = 0;
+  for (auto _ : state) {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    CheckpointingRunner<FunctionalSim> runner(sim, every);
+    const RecoveryStats rs = runner.run(100'000, [](const FunctionalSim& s) {
+      return s.cpu().regs[0] == 5 && s.cpu().regs[1] == 3;
+    });
+    checkpoints = rs.checkpoints_taken;
+    if (!rs.halted || rs.gave_up) state.SkipWithError("did not converge");
+  }
+  state.counters["checkpoints"] = static_cast<double>(checkpoints);
+  state.counters["checkpoint_every"] = static_cast<double>(every);
+}
+
+/// Forced pool exhaustion: one transparent RE -> dense migration mid-run.
+void BM_fig10_migration(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  std::uint64_t migrations = 0;
+  for (auto _ : state) {
+    FunctionalSim sim(16, pbp::Backend::kCompressed);
+    sim.load(p);
+    FaultPlan plan;
+    plan.max_pool_symbols = 8;
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run();
+    migrations = sim.qat().stats().backend_migrations;
+    if (!st.halted || st.trap || sim.cpu().reg(0) != 5) {
+      state.SkipWithError("migration run failed");
+    }
+  }
+  state.counters["migrations"] = static_cast<double>(migrations);
+}
+
+/// Full recovery: a register upset near the end forces one rollback.
+void BM_fig10_rollback_recovery(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    FaultPlan plan;
+    FaultEvent e;
+    e.target = FaultEvent::Target::kHostReg;
+    e.at_instr = 90;
+    e.addr = 0;
+    e.bit = 3;
+    plan.events.push_back(e);
+    sim.set_fault_plan(plan);
+    CheckpointingRunner<FunctionalSim> runner(sim, 25);
+    const RecoveryStats rs = runner.run(100'000, [](const FunctionalSim& s) {
+      return s.cpu().regs[0] == 5 && s.cpu().regs[1] == 3;
+    });
+    replayed = rs.instructions;
+    if (!rs.halted || rs.gave_up || !rs.recovered) {
+      state.SkipWithError("recovery failed");
+    }
+  }
+  state.counters["instructions_incl_replay"] = static_cast<double>(replayed);
+}
+
+BENCHMARK(BM_checkpoint_save_dense)->Arg(8)->Arg(16);
+BENCHMARK(BM_checkpoint_save_re)->Arg(16)->Arg(24);
+BENCHMARK(BM_checkpoint_restore_dense)->Arg(8)->Arg(16);
+BENCHMARK(BM_checkpoint_restore_re)->Arg(16)->Arg(24);
+BENCHMARK(BM_fig10_plain);
+BENCHMARK(BM_fig10_checkpointed)->Arg(10)->Arg(25)->Arg(50);
+BENCHMARK(BM_fig10_migration);
+BENCHMARK(BM_fig10_rollback_recovery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -16,9 +16,17 @@
 //   tangled_run -m 5000000 prog.s          instruction limit
 //   tangled_run -q 80 prog.s               also dump Qat register @80
 //   tangled_run -c prog.s                  report unexecuted instructions
+//   tangled_run --max-cycles=100000 prog.s watchdog: trap if still running
+//   tangled_run --inject=seed=7,events=4 prog.s   seeded fault injection
+//   tangled_run --checkpoint-every=500 prog.s     periodic checkpoints with
+//                                          rollback recovery (SimBase models)
 //
-// Reads from stdin when the file is "-".  Exits nonzero on assembly errors
-// or when the program hits the instruction limit without reaching sys.
+// Reads from stdin when the file is "-".  Exit codes:
+//   0  program halted cleanly (sys)
+//   1  assembly / configuration error
+//   2  bad usage
+//   3  instruction limit reached without halting
+//   4  the machine trapped (illegal instruction, Qat fault, watchdog, ...)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "arch/multicycle_fsm.hpp"
+#include "arch/recovery.hpp"
 #include "arch/rtl_pipeline.hpp"
 #include "arch/simulators.hpp"
 #include "asm/assembler.hpp"
@@ -39,8 +48,27 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: tangled_run [-s func|multi|pipe4|pipe5|pipe5-nofwd] "
-               "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] [-d] "
-               "[-q reg]... file.s|-\n");
+               "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] "
+               "[--max-cycles=N] [--inject=seed=N,events=N,horizon=N,pool=N] "
+               "[--checkpoint-every=N] [-d] [-q reg]... file.s|-\n");
+}
+
+const char* status_text(const tangled::SimStats& st) {
+  if (st.trap) return "TRAPPED";
+  return st.halted ? "halted (sys)" : "INSTRUCTION LIMIT REACHED";
+}
+
+int exit_code(const tangled::SimStats& st) {
+  if (st.trap) return 4;
+  return st.halted ? 0 : 3;
+}
+
+/// Printed after the stats line whenever the machine trapped.
+void report_trap(const tangled::SimStats& st) {
+  if (st.trap) {
+    std::printf("trap: %s at pc=%u\n",
+                tangled::trap_kind_name(st.trap.kind), st.trap.pc);
+  }
 }
 
 }  // namespace
@@ -69,6 +97,9 @@ int run_main(int argc, char** argv) {
   std::string backend_name = "dense";
   unsigned ways = 8;
   std::uint64_t max_instructions = 10'000'000;
+  std::uint64_t max_cycles = 0;
+  std::uint64_t checkpoint_every = 0;
+  std::string inject_spec;
   bool disassemble_only = false;
   bool pipeline_diagram = false;
   bool coverage = false;
@@ -105,6 +136,12 @@ int run_main(int argc, char** argv) {
       ways = static_cast<unsigned>(std::atoi(next_arg()));
     } else if (arg == "-m") {
       max_instructions = std::strtoull(next_arg(), nullptr, 10);
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      max_cycles = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      inject_spec = arg.substr(9);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
     } else if (arg == "-d") {
       disassemble_only = true;
     } else if (arg == "-t") {
@@ -159,9 +196,21 @@ int run_main(int argc, char** argv) {
     return 0;
   }
 
+  if (checkpoint_every != 0 && sim_kind != "func" && sim_kind != "multi" &&
+      sim_kind.rfind("pipe", 0) != 0) {
+    std::fprintf(stderr,
+                 "tangled_run: --checkpoint-every needs -s func|multi|pipe* "
+                 "(the instruction-atomic models)\n");
+    return 2;
+  }
+
   if (sim_kind == "multi-fsm") {
     MultiCycleFsmSim sim(ways, backend);
     sim.load(program);
+    if (!inject_spec.empty()) {
+      sim.set_fault_plan(FaultPlan::parse(inject_spec, ways));
+    }
+    sim.set_max_cycles(max_cycles);
     const SimStats st = sim.run(max_instructions);
     if (!sim.console().empty()) std::fputs(sim.console().c_str(), stdout);
     std::printf("== multi-fsm (explicit state machine), %u-way %s Qat ==\n",
@@ -182,14 +231,19 @@ int run_main(int argc, char** argv) {
         static_cast<unsigned long long>(sim.state_cycles(McState::kEx)),
         static_cast<unsigned long long>(sim.state_cycles(McState::kMem)),
         static_cast<unsigned long long>(sim.state_cycles(McState::kWb)),
-        st.halted ? "halted (sys)" : "INSTRUCTION LIMIT REACHED");
-    return st.halted ? 0 : 3;
+        status_text(st));
+    report_trap(st);
+    return exit_code(st);
   }
 
   if (sim_kind == "rtl") {
     RtlPipelineSim sim(ways, backend);
     sim.enable_trace(pipeline_diagram);
     sim.load(program);
+    if (!inject_spec.empty()) {
+      sim.set_fault_plan(FaultPlan::parse(inject_spec, ways));
+    }
+    sim.set_max_cycles(max_cycles);
     const SimStats st = sim.run(max_instructions);
     if (pipeline_diagram) std::fputs(sim.diagram().c_str(), stdout);
     std::printf("== rtl (latch-level 5-stage), %u-way %s Qat ==\n", ways,
@@ -212,8 +266,9 @@ int run_main(int argc, char** argv) {
         static_cast<unsigned long long>(st.data_stall_cycles),
         static_cast<unsigned long long>(st.flush_cycles),
         static_cast<unsigned long long>(st.fetch_extra_cycles),
-        st.halted ? "halted (sys)" : "INSTRUCTION LIMIT REACHED");
-    return st.halted ? 0 : 3;
+        status_text(st));
+    report_trap(st);
+    return exit_code(st);
   }
 
   std::unique_ptr<SimBase> sim;
@@ -236,6 +291,41 @@ int run_main(int argc, char** argv) {
   }
 
   sim->load(program);
+  if (!inject_spec.empty()) {
+    sim->set_fault_plan(FaultPlan::parse(inject_spec, ways));
+  }
+  sim->set_max_cycles(max_cycles);
+
+  if (checkpoint_every != 0) {
+    // Periodic-checkpoint driver: snapshot every N instructions, roll back
+    // and resume when a slice ends in a trap.
+    CheckpointingRunner<SimBase> runner(*sim, checkpoint_every);
+    const RecoveryStats rs = runner.run(
+        max_instructions, [](const SimBase&) { return true; });
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+      std::printf("%-4s= %5u (0x%04x)%s", reg_name(r).c_str(),
+                  sim->cpu().reg(r), sim->cpu().reg(r),
+                  (r % 4 == 3) ? "\n" : "   ");
+    }
+    if (!sim->console().empty()) std::fputs(sim->console().c_str(), stdout);
+    std::printf(
+        "recovery: %llu instructions (re-execution included), %llu "
+        "checkpoints, %llu rollbacks, %llu restarts | %s\n",
+        static_cast<unsigned long long>(rs.instructions),
+        static_cast<unsigned long long>(rs.checkpoints_taken),
+        static_cast<unsigned long long>(rs.rollbacks),
+        static_cast<unsigned long long>(rs.restarts),
+        rs.gave_up ? "GAVE UP"
+                   : (rs.halted ? "halted (sys)"
+                                : "INSTRUCTION LIMIT REACHED"));
+    if (rs.final_trap) {
+      std::printf("trap: %s at pc=%u\n",
+                  trap_kind_name(rs.final_trap.kind), rs.final_trap.pc);
+    }
+    if (rs.gave_up || rs.final_trap) return 4;
+    return rs.halted ? 0 : 3;
+  }
+
   const SimStats st = sim->run(max_instructions);
 
   if (coverage) {
@@ -276,7 +366,8 @@ int run_main(int argc, char** argv) {
       static_cast<unsigned long long>(st.data_stall_cycles),
       static_cast<unsigned long long>(st.flush_cycles),
       static_cast<unsigned long long>(st.fetch_extra_cycles),
-      st.halted ? "halted (sys)" : "INSTRUCTION LIMIT REACHED");
-  return st.halted ? 0 : 3;
+      status_text(st));
+  report_trap(st);
+  return exit_code(st);
 }
 }  // namespace

@@ -4,7 +4,10 @@
 #   scripts/check.sh            normal (Release) build + full ctest
 #   scripts/check.sh --asan     additionally build + test with
 #                               -DTANGLED_SANITIZE=ON (ASan + UBSan)
-#   scripts/check.sh --all      both configs
+#   scripts/check.sh soak       fault-injection soak (ctest -L soak) under
+#                               the sanitizer config — the ISSUE's
+#                               "no uncaught exception, ever" gate
+#   scripts/check.sh --all      both configs + the sanitized soak
 #
 # Build trees: build/ (normal, the repo default) and build-asan/.
 set -euo pipefail
@@ -22,21 +25,34 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
 }
 
+run_soak() {
+  echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
+  echo "== building sanitized soak harness =="
+  cmake --build build-asan -j "$(nproc)" --target tangled_soak
+  echo "== fault-injection soak (ctest -L soak, sanitized) =="
+  ctest --test-dir build-asan -L soak --output-on-failure -j "$(nproc)"
+}
+
 mode="${1:-}"
 
 case "${mode}" in
   --asan)
     run_config build-asan -DTANGLED_SANITIZE=ON
     ;;
+  soak)
+    run_soak
+    ;;
   --all)
     run_config build
     run_config build-asan -DTANGLED_SANITIZE=ON
+    run_soak
     ;;
   "")
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak]" >&2
     exit 2
     ;;
 esac

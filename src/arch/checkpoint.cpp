@@ -1,0 +1,80 @@
+#include "arch/checkpoint.hpp"
+
+#include <stdexcept>
+
+#include "pbp/serialize.hpp"
+
+namespace tangled {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434e4754;  // "TGNC" little-endian
+constexpr std::uint16_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
+                                          const Memory& mem,
+                                          const QatEngine& qat) {
+  pbp::ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  // --- CPU ---
+  for (const std::uint16_t r : cpu.regs) w.u16(r);
+  w.u16(cpu.pc);
+  w.u8(cpu.halted ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(cpu.trap.kind));
+  w.u16(cpu.trap.pc);
+  // --- Memory, run-length encoded (equal-value runs) ---
+  const auto& words = mem.words();
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> runs;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    std::size_t j = i + 1;
+    while (j < words.size() && words[j] == words[i]) ++j;
+    runs.emplace_back(static_cast<std::uint32_t>(j - i), words[i]);
+    i = j;
+  }
+  w.u32(static_cast<std::uint32_t>(runs.size()));
+  for (const auto& [len, val] : runs) {
+    w.u32(len);
+    w.u16(val);
+  }
+  // --- Qat coprocessor ---
+  qat.serialize(w);
+  return w.take();
+}
+
+void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
+                     Memory& mem, QatEngine& qat) {
+  pbp::ByteReader r(bytes.data(), bytes.size());
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  if (r.u16() != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  CpuState fresh;
+  for (auto& reg : fresh.regs) reg = r.u16();
+  fresh.pc = r.u16();
+  fresh.halted = r.u8() != 0;
+  fresh.trap.kind = static_cast<TrapKind>(r.u8());
+  fresh.trap.pc = r.u16();
+  auto& words = mem.words_mut();
+  const std::uint32_t n_runs = r.u32();
+  std::size_t at = 0;
+  for (std::uint32_t run = 0; run < n_runs; ++run) {
+    const std::uint32_t len = r.u32();
+    const std::uint16_t val = r.u16();
+    if (at + len > words.size()) {
+      throw std::runtime_error("checkpoint: memory runs overflow the image");
+    }
+    for (std::uint32_t k = 0; k < len; ++k) words[at++] = val;
+  }
+  if (at != words.size()) {
+    throw std::runtime_error("checkpoint: memory runs do not cover memory");
+  }
+  qat.restore(r);
+  cpu = fresh;  // commit only after every piece parsed
+}
+
+}  // namespace tangled

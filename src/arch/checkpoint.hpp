@@ -1,0 +1,38 @@
+// checkpoint.hpp — serializable snapshots of full Tangled machine state.
+//
+// A checkpoint captures everything the architecture defines: the host CPU
+// (registers, pc, halt/trap status), the 64Ki-word memory (run-length
+// encoded — idle memory is overwhelmingly zero), and the Qat coprocessor
+// register file in whichever backend representation is live (dense AoB word
+// dumps, or RE chunk-pool symbols plus per-register run lists) together
+// with its hardware counters.
+//
+// Format (all little-endian, pbp/serialize.hpp primitives):
+//   u32 magic "TNGC"  u16 version
+//   cpu:  16×u16 regs, u16 pc, u8 halted, u8 trap kind, u16 trap pc
+//   mem:  u32 n_runs, then n_runs × (u32 length, u16 value)
+//   qat:  QatEngine::serialize (backend snapshot + stats)
+//
+// The recovery driver (recovery.hpp) takes periodic checkpoints and rolls
+// back to the latest one when a fault-injected run traps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cpu.hpp"
+
+namespace tangled {
+
+/// Snapshot the machine into a byte vector.
+std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
+                                          const Memory& mem,
+                                          const QatEngine& qat);
+
+/// Restore a snapshot.  The QatEngine's backend is replaced by the
+/// checkpointed one (kind and all).  Throws std::runtime_error on a
+/// malformed or truncated stream.
+void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
+                     Memory& mem, QatEngine& qat);
+
+}  // namespace tangled

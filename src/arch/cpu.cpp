@@ -1,5 +1,7 @@
 #include "arch/cpu.hpp"
 
+#include <stdexcept>
+
 #include "arch/bfloat16.hpp"
 
 namespace tangled {
@@ -7,6 +9,20 @@ namespace {
 
 std::int16_t s16(std::uint16_t v) { return static_cast<std::int16_t>(v); }
 std::uint16_t u16(int v) { return static_cast<std::uint16_t>(v); }
+
+/// Classify an exception escaping the Qat coprocessor.  Pool symbol-space
+/// exhaustion (ChunkPool throws std::length_error) is a recoverable resource
+/// trap — the backend guarantees the register file is unchanged when it
+/// throws; anything else is a coprocessor fault.
+TrapKind classify_qat_failure() {
+  try {
+    throw;  // rethrow the in-flight exception to inspect its type
+  } catch (const std::length_error&) {
+    return TrapKind::kResourceExhausted;
+  } catch (const std::exception&) {
+    return TrapKind::kQatFault;
+  }
+}
 
 /// Table 1 `shift $d,$s`: left for non-negative $s, arithmetic right for
 /// negative $s (the sign selects direction, as in the paper's earlier ISAs).
@@ -99,7 +115,14 @@ ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
       write(d | s);
       break;
     case Op::kRecip:
-      write(Bf16(d).recip().bits());
+      // Bf16::recip(±0) is defined (inf), but at the ISA level a reciprocal
+      // of zero is the divide-by-zero datapath fault: trap, don't commit.
+      if (Bf16(d).is_zero()) {
+        o.halt = true;
+        o.trap = TrapKind::kDivideByZero;
+      } else {
+        write(Bf16(d).recip().bits());
+      }
       break;
     case Op::kShift:
       write(do_shift(d, s));
@@ -130,18 +153,31 @@ ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
     case Op::kQNext:
     case Op::kQPop: {
       std::uint16_t value = d;
-      qat.execute(i, value);
-      write(value);
+      try {
+        qat.execute(i, value);
+        write(value);
+      } catch (...) {
+        o.halt = true;
+        o.trap = classify_qat_failure();
+      }
       break;
     }
     case Op::kInvalid:
-      o.halt = true;  // undefined opcodes halt, like the class simulators
+      // Undefined opcodes used to halt silently; now they raise an
+      // architectural trap so every simulator reports the same cause.
+      o.halt = true;
+      o.trap = TrapKind::kIllegalInstruction;
       break;
     default: {
       // Remaining Qat data operations touch no Tangled register; the
       // coprocessor register file is read and written here, in EX.
       std::uint16_t dummy = 0;
-      qat.execute(i, dummy);
+      try {
+        qat.execute(i, dummy);
+      } catch (...) {
+        o.halt = true;
+        o.trap = classify_qat_failure();
+      }
       break;
     }
   }
@@ -154,11 +190,20 @@ ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
   const ExOut o =
       exec_stage(i, cpu.pc, words, cpu.reg(i.d), cpu.reg(i.s), qat);
   ExecResult r;
-  r.next_pc = o.taken ? o.target : u16(cpu.pc + words);
   r.taken_branch = o.taken;
   r.halted = o.halt;
   r.print = o.print;
   r.print_value = o.print_value;
+  r.trap = o.trap;
+  if (o.trap != TrapKind::kNone) {
+    // Precise trap: the faulting instruction does not commit and the PC
+    // stays at it, so every simulator reports the identical machine state.
+    r.next_pc = cpu.pc;
+    cpu.trap = Trap{o.trap, cpu.pc};
+    cpu.halted = true;
+    return r;
+  }
+  r.next_pc = o.taken ? o.target : u16(cpu.pc + words);
   if (o.is_store) mem.write(o.addr, o.store_data);
   if (o.writes_reg) {
     cpu.set_reg(i.d, o.is_load ? mem.read(o.addr) : o.value);

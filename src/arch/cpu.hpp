@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/qat_engine.hpp"
+#include "arch/trap.hpp"
 #include "isa/isa.hpp"
 
 namespace tangled {
@@ -26,12 +27,21 @@ class Memory {
   std::uint16_t read(std::uint16_t addr) const { return words_[addr]; }
   void write(std::uint16_t addr, std::uint16_t v) { words_[addr] = v; }
 
-  /// Load a program image at address 0.
-  void load(const std::vector<std::uint16_t>& image) {
-    for (std::size_t i = 0; i < image.size() && i < words_.size(); ++i) {
+  /// Load a program image at address 0.  An image wider than the address
+  /// space is refused outright (nothing is written) and reported false, so
+  /// the caller can raise a kMemImageOverflow trap instead of silently
+  /// executing a truncated program.
+  [[nodiscard]] bool load(const std::vector<std::uint16_t>& image) {
+    if (image.size() > words_.size()) return false;
+    for (std::size_t i = 0; i < image.size(); ++i) {
       words_[i] = image[i];
     }
+    return true;
   }
+
+  /// Whole-array access for checkpointing and fault injection.
+  const std::vector<std::uint16_t>& words() const { return words_; }
+  std::vector<std::uint16_t>& words_mut() { return words_; }
 
  private:
   std::vector<std::uint16_t> words_;
@@ -41,6 +51,9 @@ struct CpuState {
   std::array<std::uint16_t, kNumRegs> regs{};
   std::uint16_t pc = 0;
   bool halted = false;
+  /// First trap taken, if any.  A trap always halts the machine; the
+  /// faulting instruction does not commit and pc stays at it.
+  Trap trap{};
 
   std::uint16_t reg(unsigned r) const { return regs[r & 15u]; }
   void set_reg(unsigned r, std::uint16_t v) { regs[r & 15u] = v; }
@@ -49,9 +62,10 @@ struct CpuState {
 struct ExecResult {
   std::uint16_t next_pc = 0;
   bool taken_branch = false;  // PC diverged from fall-through
-  bool halted = false;        // sys or invalid opcode
+  bool halted = false;        // sys, or any trap
   bool print = false;         // sys $r console service fired
   std::uint16_t print_value = 0;
+  TrapKind trap = TrapKind::kNone;  // cause if this instruction trapped
 };
 
 /// What the EX stage produces from an instruction and its (possibly
@@ -70,6 +84,9 @@ struct ExOut {
   bool halt = false;
   bool print = false;           // sys $r console service
   std::uint16_t print_value = 0;
+  /// kNone for a normal instruction.  A trapping instruction sets halt too,
+  /// and must not commit (writes_reg / is_store are left false).
+  TrapKind trap = TrapKind::kNone;
 };
 
 /// The EX-stage datapath: pure in the Tangled operand values (d_val/s_val),

@@ -1,0 +1,164 @@
+#include "arch/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tangled {
+namespace {
+
+/// SplitMix64 — tiny, deterministic, and good enough for fault schedules.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+const char* target_name(FaultEvent::Target t) {
+  switch (t) {
+    case FaultEvent::Target::kMemoryWord:
+      return "mem";
+    case FaultEvent::Target::kHostReg:
+      return "reg";
+    case FaultEvent::Target::kQatChannel:
+      return "qat";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << target_name(target) << "@" << at_instr << ":" << addr;
+  if (target == Target::kQatChannel) {
+    os << ".ch" << channel;
+  } else {
+    os << ".b" << bit;
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
+                            std::uint64_t horizon, unsigned ways) {
+  FaultPlan plan;
+  SplitMix64 rng{seed ^ 0x7461676c6564ull};  // decorrelate seed 0 from state 0
+  if (horizon == 0) horizon = 1;
+  const std::uint64_t channel_mask = (std::uint64_t{1} << ways) - 1;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultEvent e;
+    switch (rng.next() % 3) {
+      case 0:
+        e.target = FaultEvent::Target::kMemoryWord;
+        // Bias toward the image/data the factoring programs actually touch.
+        e.addr = static_cast<std::uint16_t>(rng.next() % 256);
+        e.bit = static_cast<unsigned>(rng.next() % 16);
+        break;
+      case 1:
+        e.target = FaultEvent::Target::kHostReg;
+        e.addr = static_cast<std::uint16_t>(rng.next() % 16);
+        e.bit = static_cast<unsigned>(rng.next() % 16);
+        break;
+      default:
+        e.target = FaultEvent::Target::kQatChannel;
+        e.addr = static_cast<std::uint16_t>(rng.next() % 16);
+        e.channel = rng.next() & channel_mask;
+        break;
+    }
+    e.at_instr = 1 + rng.next() % horizon;
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, unsigned ways) {
+  std::uint64_t seed = 1;
+  std::size_t events = 4;
+  std::uint64_t horizon = 5000;
+  std::size_t pool = 0;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::uint64_t value = std::stoull(item.substr(eq + 1));
+    if (key == "seed") {
+      seed = value;
+    } else if (key == "events") {
+      events = static_cast<std::size_t>(value);
+    } else if (key == "horizon") {
+      horizon = value;
+    } else if (key == "pool") {
+      pool = static_cast<std::size_t>(value);
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
+    }
+  }
+  FaultPlan plan = random(seed, events, horizon, ways);
+  plan.max_pool_symbols = pool;
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "faults[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << " ";
+    os << events[i].to_string();
+  }
+  os << "]";
+  if (max_pool_symbols != 0) os << " pool<=" << max_pool_symbols;
+  return os.str();
+}
+
+void FaultInjector::set_plan(FaultPlan plan) {
+  std::stable_sort(
+      plan.events.begin(), plan.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.at_instr < b.at_instr;
+      });
+  plan_ = std::move(plan);
+  cursor_ = 0;
+}
+
+TrapKind FaultInjector::apply_due(std::uint64_t retired, CpuState& cpu,
+                                  Memory& mem, QatEngine& qat) {
+  TrapKind first_fault = TrapKind::kNone;
+  while (cursor_ < plan_.events.size() &&
+         plan_.events[cursor_].at_instr <= retired) {
+    const FaultEvent& e = plan_.events[cursor_++];
+    try {
+      switch (e.target) {
+        case FaultEvent::Target::kMemoryWord:
+          mem.write(e.addr, static_cast<std::uint16_t>(
+                                mem.read(e.addr) ^ (1u << (e.bit & 15u))));
+          break;
+        case FaultEvent::Target::kHostReg:
+          cpu.set_reg(e.addr, static_cast<std::uint16_t>(
+                                  cpu.reg(e.addr) ^ (1u << (e.bit & 15u))));
+          break;
+        case FaultEvent::Target::kQatChannel:
+          qat.flip_channel(static_cast<unsigned>(e.addr), e.channel);
+          break;
+      }
+    } catch (const std::length_error&) {
+      if (first_fault == TrapKind::kNone) {
+        first_fault = TrapKind::kResourceExhausted;
+      }
+    } catch (const std::exception&) {
+      if (first_fault == TrapKind::kNone) first_fault = TrapKind::kQatFault;
+    }
+  }
+  return first_fault;
+}
+
+}  // namespace tangled

@@ -1,0 +1,88 @@
+// fault.hpp — seeded transient-fault injection for the Tangled simulators.
+//
+// A FaultPlan is a deterministic schedule of single-event upsets: bit flips
+// in memory words, host registers, or Qat register channels, plus an
+// optional forced RE chunk-pool symbol cap (the resource-exhaustion fault).
+// Events are keyed on the simulator's *retired-instruction* counter — a
+// monotone clock that never rewinds, so after a checkpoint rollback the
+// already-consumed one-shot faults do not refire and re-execution converges.
+//
+// The soak harness (tests/test_fault_soak.cpp) runs the Figure 10 factoring
+// program under hundreds of random plans and requires every run to end in a
+// correct answer, a recorded trap, or a successful rollback — never an
+// uncaught exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cpu.hpp"
+
+namespace tangled {
+
+/// One scheduled single-event upset.
+struct FaultEvent {
+  enum class Target : std::uint8_t {
+    kMemoryWord,  // flip `bit` of mem[addr]
+    kHostReg,     // flip `bit` of $addr
+    kQatChannel,  // invert channel `channel` of Qat register @addr
+  };
+  Target target = Target::kMemoryWord;
+  std::uint64_t at_instr = 0;  // fires once retired instructions reach this
+  std::uint16_t addr = 0;      // memory word / host register / Qat register
+  unsigned bit = 0;            // bit index for 16-bit targets
+  std::uint64_t channel = 0;   // channel index for Qat targets
+
+  std::string to_string() const;
+};
+
+/// A full schedule: upset events plus an optional pool symbol cap applied
+/// before the run starts (forces RE exhaustion / graceful degradation).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  std::size_t max_pool_symbols = 0;  // 0 = leave the pool uncapped
+
+  bool empty() const { return events.empty() && max_pool_symbols == 0; }
+
+  /// Deterministic plan from a seed: n_events upsets uniformly over
+  /// retire-times [1, horizon], targets biased toward state the factoring
+  /// programs actually touch (low memory, all host regs, low Qat regs).
+  static FaultPlan random(std::uint64_t seed, std::size_t n_events,
+                          std::uint64_t horizon, unsigned ways);
+
+  /// Parse a --inject spec: comma-separated key=value pairs
+  ///   seed=N  events=N  horizon=N  pool=N
+  /// e.g. "seed=42,events=8,horizon=2000,pool=64".  Unknown keys throw
+  /// std::invalid_argument.  `ways` bounds the Qat channel indices.
+  static FaultPlan parse(const std::string& spec, unsigned ways);
+
+  std::string to_string() const;
+};
+
+/// Applies a plan's due events at instruction boundaries.  The cursor is
+/// deliberately NOT part of checkpointed machine state: faults are transient
+/// events on the wall clock of retired instructions, so a rollback replays
+/// the program but not the upsets.
+class FaultInjector {
+ public:
+  void set_plan(FaultPlan plan);
+  const FaultPlan& plan() const { return plan_; }
+  bool armed() const { return !plan_.events.empty(); }
+
+  /// Apply every event due at `retired` retired instructions.  Returns
+  /// TrapKind::kNone normally; if injecting a fault itself faults (a Qat
+  /// channel flip on an exhausted pool too wide to migrate), returns the
+  /// classified trap kind instead of letting the exception escape.
+  TrapKind apply_due(std::uint64_t retired, CpuState& cpu, Memory& mem,
+                     QatEngine& qat);
+
+  /// Events consumed so far (for reporting).
+  std::size_t applied() const { return cursor_; }
+
+ private:
+  FaultPlan plan_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace tangled

@@ -39,6 +39,9 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
         break;
       case McState::kEx:
         ex = exec_stage(dec.instr, cpu_.pc, dec.words, dval, sval, qat_);
+        // A trapping instruction has no commit flags set, so it flows
+        // straight to WB (keeping the 4-cycles-per-instruction occupancy
+        // the accounting model charges) where the trap is recorded.
         state = (ex.is_load || ex.is_store) ? McState::kMem : McState::kWb;
         break;
       case McState::kMem:
@@ -50,6 +53,16 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
         state = McState::kWb;
         break;
       case McState::kWb:
+        if (ex.trap != TrapKind::kNone) {
+          // Precise trap: nothing commits, PC stays at the faulting
+          // instruction — identical to execute_instr's behaviour.
+          cpu_.trap = Trap{ex.trap, cpu_.pc};
+          cpu_.halted = true;
+          ++stats.instructions;
+          ++retired_total_;
+          state = McState::kFetch;
+          break;
+        }
         if (ex.writes_reg) {
           cpu_.set_reg(dec.instr.d, ex.is_load ? mem_data : ex.value);
         }
@@ -60,21 +73,36 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
         cpu_.pc = ex.taken ? ex.target
                            : static_cast<std::uint16_t>(cpu_.pc + dec.words);
         ++stats.instructions;
+        ++retired_total_;
         if (ex.taken) ++stats.taken_branches;
         if (ex.halt) cpu_.halted = true;
+        if (!cpu_.halted && injector_.armed()) {
+          const TrapKind tk =
+              injector_.apply_due(retired_total_, cpu_, mem_, qat_);
+          if (tk != TrapKind::kNone) {
+            cpu_.trap = Trap{tk, cpu_.pc};
+            cpu_.halted = true;
+          }
+        }
         state = McState::kFetch;
         if (!cpu_.halted && stats.instructions >= max_instructions) {
           stats.cycles = cycle + 1;
           stats.halted = false;
+          stats.trap = cpu_.trap;
           stats.fetch_extra_cycles =
               state_cycles_[static_cast<unsigned>(McState::kFetch2)];
           return stats;
         }
         break;
     }
+    if (!cpu_.halted && max_cycles_ != 0 && cycle + 1 >= max_cycles_) {
+      cpu_.trap = Trap{TrapKind::kWatchdogExpired, cpu_.pc};
+      cpu_.halted = true;
+    }
   }
   stats.cycles = cycle;
   stats.halted = cpu_.halted;
+  stats.trap = cpu_.trap;
   stats.fetch_extra_cycles =
       state_cycles_[static_cast<unsigned>(McState::kFetch2)];
   return stats;

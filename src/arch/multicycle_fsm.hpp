@@ -41,10 +41,26 @@ class MultiCycleFsmSim {
                             pbp::Backend backend = pbp::Backend::kDense)
       : qat_(ways, backend) {}
 
-  void load(const Program& p) { mem_.load(p.words); }
-  void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }
+  void load(const Program& p) { load_words(p.words); }
+  void load_words(const std::vector<std::uint16_t>& w) {
+    if (!mem_.load(w)) {
+      cpu_.trap = Trap{TrapKind::kMemImageOverflow, 0};
+      cpu_.halted = true;
+    }
+  }
 
   SimStats run(std::uint64_t max_instructions = 1'000'000);
+
+  // --- Fault tolerance (same contract as SimBase) ---
+  void set_fault_plan(FaultPlan plan) {
+    if (plan.max_pool_symbols != 0) {
+      qat_.set_pool_symbol_cap(plan.max_pool_symbols);
+    }
+    injector_.set_plan(std::move(plan));
+  }
+  const FaultInjector& injector() const { return injector_; }
+  void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
+  std::uint64_t retired_total() const { return retired_total_; }
 
   CpuState& cpu() { return cpu_; }
   const CpuState& cpu() const { return cpu_; }
@@ -63,6 +79,9 @@ class MultiCycleFsmSim {
   QatEngine qat_;
   std::string console_;
   std::array<std::uint64_t, kMcStateCount> state_cycles_{};
+  FaultInjector injector_;
+  std::uint64_t retired_total_ = 0;
+  std::uint64_t max_cycles_ = 0;
 };
 
 }  // namespace tangled

@@ -17,77 +17,118 @@ void QatEngine::set_reg(unsigned r, const Aob& v) {
 }
 
 void QatEngine::zero(unsigned a) {
-  backend_->zero(a & 0xffu);
+  mutate([&] { backend_->zero(a & 0xffu); });
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::one(unsigned a) {
-  backend_->one(a & 0xffu);
+  mutate([&] { backend_->one(a & 0xffu); });
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::had(unsigned a, unsigned k) {
-  backend_->had(a & 0xffu, k);
+  mutate([&] { backend_->had(a & 0xffu, k); });
   ++stats_.ops;
   ++stats_.reg_writes;
 }
 
 void QatEngine::not_(unsigned a) {
-  backend_->not_(a & 0xffu);
+  mutate([&] { backend_->not_(a & 0xffu); });
   ++stats_.ops;
   ++stats_.reg_reads;
   ++stats_.reg_writes;
 }
 
 void QatEngine::cnot(unsigned a, unsigned b) {
-  backend_->cnot(a & 0xffu, b & 0xffu);
+  mutate([&] { backend_->cnot(a & 0xffu, b & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::ccnot(unsigned a, unsigned b, unsigned c) {
-  backend_->ccnot(a & 0xffu, b & 0xffu, c & 0xffu);
+  mutate([&] { backend_->ccnot(a & 0xffu, b & 0xffu, c & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 3;
   ++stats_.reg_writes;
 }
 
 void QatEngine::swap(unsigned a, unsigned b) {
+  mutate([&] { backend_->swap(a & 0xffu, b & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 2;
   stats_.reg_writes += 2;
-  backend_->swap(a & 0xffu, b & 0xffu);
 }
 
 void QatEngine::cswap(unsigned a, unsigned b, unsigned c) {
+  mutate([&] { backend_->cswap(a & 0xffu, b & 0xffu, c & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 3;
   stats_.reg_writes += 2;
-  backend_->cswap(a & 0xffu, b & 0xffu, c & 0xffu);
 }
 
 void QatEngine::and_(unsigned a, unsigned b, unsigned c) {
-  backend_->and_(a & 0xffu, b & 0xffu, c & 0xffu);
+  mutate([&] { backend_->and_(a & 0xffu, b & 0xffu, c & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::or_(unsigned a, unsigned b, unsigned c) {
-  backend_->or_(a & 0xffu, b & 0xffu, c & 0xffu);
+  mutate([&] { backend_->or_(a & 0xffu, b & 0xffu, c & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
 }
 
 void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
-  backend_->xor_(a & 0xffu, b & 0xffu, c & 0xffu);
+  mutate([&] { backend_->xor_(a & 0xffu, b & 0xffu, c & 0xffu); });
   ++stats_.ops;
   stats_.reg_reads += 2;
   ++stats_.reg_writes;
+}
+
+bool QatEngine::try_degrade_to_dense() {
+  if (backend_->kind() != pbp::Backend::kCompressed ||
+      backend_->ways() > pbp::kMaxAobWays) {
+    return false;
+  }
+  // Decompress every live register into a fresh dense file.  reg_aob only
+  // reads interned chunks — it never allocates new pool symbols — so this
+  // cannot itself hit the exhausted-pool condition that brought us here.
+  auto dense = std::make_unique<pbp::DenseQatBackend>(backend_->ways(),
+                                                      backend_->num_regs());
+  for (unsigned r = 0; r < backend_->num_regs(); ++r) {
+    dense->set_reg_aob(r, backend_->reg_aob(r));
+  }
+  backend_ = std::move(dense);
+  ++stats_.backend_migrations;
+  return true;
+}
+
+void QatEngine::flip_channel(unsigned r, std::size_t ch) {
+  const unsigned a = r & 0xffu;
+  ch &= backend_->channels() - 1;  // same wrap the meas mux tree applies
+  const bool v = backend_->meas(a, ch);
+  mutate([&] { backend_->set_channel(a, ch, !v); });
+}
+
+void QatEngine::serialize(pbp::ByteWriter& w) const {
+  backend_->serialize(w);
+  w.u64(stats_.ops);
+  w.u64(stats_.reg_reads);
+  w.u64(stats_.reg_writes);
+  w.u64(stats_.backend_migrations);
+}
+
+void QatEngine::restore(pbp::ByteReader& r) {
+  backend_ = pbp::deserialize_qat_backend(r);
+  stats_.ops = r.u64();
+  stats_.reg_reads = r.u64();
+  stats_.reg_writes = r.u64();
+  stats_.backend_migrations = r.u64();
 }
 
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "isa/isa.hpp"
@@ -43,6 +44,7 @@ struct QatStats {
   std::uint64_t ops = 0;            // Qat instructions executed
   std::uint64_t reg_reads = 0;      // register-file read ports used
   std::uint64_t reg_writes = 0;     // register-file write ports used
+  std::uint64_t backend_migrations = 0;  // RE→dense graceful degradations
 };
 
 class QatEngine {
@@ -110,6 +112,20 @@ class QatEngine {
   const QatStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  // --- Fault tolerance ---
+  /// Cap the RE backend's chunk-pool symbol space (forced-exhaustion fault
+  /// injection).  No-op on a dense backend.
+  void set_pool_symbol_cap(std::size_t n) { backend_->set_symbol_cap(n); }
+  /// Invert one channel of one register (transient-fault injection).  Like
+  /// any mutating operation, may trigger an RE→dense migration if the pool
+  /// is exhausted.
+  void flip_channel(unsigned r, std::size_t ch);
+  /// Snapshot / restore the whole coprocessor: register file (either
+  /// backend) plus the hardware counters.
+  void serialize(pbp::ByteWriter& w) const;
+  /// Throws std::runtime_error on a malformed stream.
+  void restore(pbp::ByteReader& r);
+
   // --- Structural ALU models (Figures 7 and 8). ---
   /// Figure 8's barrel-shift + recursive count-trailing-zeros network,
   /// transliterated: step 1 clears channels 0..s, step 2 halves the vector
@@ -125,6 +141,24 @@ class QatEngine {
   static unsigned next_gate_delay(unsigned ways, unsigned or_fan_in);
 
  private:
+  /// Graceful degradation (ISSUE: fault-tolerant execution layer).  Every
+  /// mutating Table 3 op funnels through here: on RE pool symbol-space
+  /// exhaustion (std::length_error) at ways ≤ kMaxAobWays the register file
+  /// transparently migrates to a dense backend and the op retries — RE ops
+  /// build their result fully before committing, so the failed attempt left
+  /// no partial state behind.  Wider register files have no dense form, so
+  /// the exception escapes and becomes a kResourceExhausted trap.
+  template <typename F>
+  void mutate(F&& f) {
+    try {
+      f();
+    } catch (const std::length_error&) {
+      if (!try_degrade_to_dense()) throw;
+      f();
+    }
+  }
+  bool try_degrade_to_dense();
+
   std::unique_ptr<pbp::QatBackend> backend_;
   mutable QatStats stats_;
 };

@@ -1,0 +1,123 @@
+// recovery.hpp — periodic-checkpoint execution with rollback recovery.
+//
+// CheckpointingRunner drives any simulator exposing the SimBase-shaped
+// surface (cpu()/memory()/qat()/run()/injector()) in slices, snapshotting
+// full machine state (checkpoint.hpp) every `checkpoint_every` instructions.
+// When a slice ends in a trap — or halts with a *wrong* answer, detected by
+// the caller's validate predicate — the runner restores the latest
+// checkpoint and resumes.  Repeated failure falls back to the initial
+// checkpoint (a full restart).
+//
+// Why this converges: fault events (fault.hpp) are keyed on the simulator's
+// monotone retired-instruction clock, which a restore does NOT rewind, so
+// every upset fires at most once.  Once the plan is exhausted, re-execution
+// is deterministic and fault-free, ending in the correct answer or a clean
+// architectural trap.  The attempt budget is therefore sized from the plan.
+//
+// checkpoint_every = 0 selects restart-only recovery: no mid-run snapshots,
+// every failure restores the initial state.  This is the REQUIRED mode for
+// RtlPipelineSim — its run() discards in-flight pipeline latches between
+// calls, so mid-run slicing is not architecturally sound there; the
+// instruction-atomic models (SimBase family, MultiCycleFsmSim) slice safely
+// because their run() returns only at instruction boundaries.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arch/checkpoint.hpp"
+#include "arch/simulators.hpp"
+
+namespace tangled {
+
+struct RecoveryStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t rollbacks = 0;  // restores of the latest checkpoint
+  std::uint64_t restarts = 0;   // restores of the initial checkpoint
+  std::uint64_t instructions = 0;  // total retired, re-execution included
+  Trap final_trap{};
+  bool halted = false;
+  bool recovered = false;  // at least one restore happened along the way
+  bool gave_up = false;    // attempt budget exhausted without a clean finish
+};
+
+template <typename Sim>
+class CheckpointingRunner {
+ public:
+  CheckpointingRunner(Sim& sim, std::uint64_t checkpoint_every)
+      : sim_(sim), every_(checkpoint_every) {}
+
+  /// Run to completion (at most max_instructions along any one lineage).
+  /// `validate` is called on a clean halt; returning false marks the run as
+  /// silently corrupted and triggers recovery exactly like a trap.
+  template <typename Validate>
+  RecoveryStats run(std::uint64_t max_instructions, Validate&& validate) {
+    RecoveryStats rs;
+    const std::vector<std::uint8_t> initial =
+        save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
+    std::vector<std::uint8_t> latest = initial;
+    ++rs.checkpoints_taken;
+
+    std::uint64_t completed = 0;  // instructions along the current lineage
+    std::uint64_t base = 0;       // `completed` when `latest` was taken
+    // Every fault event fires at most once, so this many attempts always
+    // reach the deterministic fault-free tail (+ slack for validate-driven
+    // restarts on a plan-free run).
+    const std::uint64_t max_attempts =
+        static_cast<std::uint64_t>(sim_.injector().plan().events.size()) + 4;
+    std::uint64_t failures = 0;
+
+    while (true) {
+      const std::uint64_t slice =
+          every_ == 0 ? max_instructions - completed
+                      : std::min(every_, max_instructions - completed);
+      const SimStats s = sim_.run(slice);
+      rs.instructions += s.instructions;
+      completed += s.instructions;
+
+      if (s.halted && !s.trap && validate(sim_)) {
+        rs.halted = true;
+        return rs;
+      }
+
+      // A lineage fails by trapping, by halting with a wrong answer, or by
+      // exhausting its instruction budget without halting (a fault-corrupted
+      // branch can loop forever — recover from that too).
+      if (s.halted || completed >= max_instructions) {
+        ++failures;
+        if (failures >= max_attempts) {
+          rs.gave_up = true;
+          rs.halted = s.halted;
+          rs.final_trap = s.trap;
+          return rs;
+        }
+        if (every_ != 0 && failures <= max_attempts / 2) {
+          load_checkpoint(latest, sim_.cpu(), sim_.memory(), sim_.qat());
+          completed = base;
+          ++rs.rollbacks;
+        } else {
+          // Persistent failure (or restart-only mode): the damage may
+          // predate `latest`; go back to the beginning.
+          load_checkpoint(initial, sim_.cpu(), sim_.memory(), sim_.qat());
+          latest = initial;
+          completed = 0;
+          base = 0;
+          ++rs.restarts;
+        }
+        rs.recovered = true;
+        continue;
+      }
+
+      latest = save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
+      base = completed;
+      ++rs.checkpoints_taken;
+    }
+  }
+
+ private:
+  Sim& sim_;
+  std::uint64_t every_;
+};
+
+}  // namespace tangled

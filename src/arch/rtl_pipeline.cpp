@@ -18,6 +18,12 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
   stats_ = {};
   console_.clear();
   rows_.clear();
+  if (cpu_.halted) {
+    // Image-overflow trap at load time, or a previous run halted/trapped.
+    stats_.halted = true;
+    stats_.trap = cpu_.trap;
+    return stats_;
+  }
 
   IfId ifid;
   IdEx idex;
@@ -41,11 +47,35 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       if (memwb.writes_reg) cpu_.set_reg(memwb.instr.d, memwb.value);
       mark(memwb.seq, cycle, 'W');
       ++stats_.instructions;
+      ++retired_total_;
       if (memwb.halt) {
+        if (memwb.trap != TrapKind::kNone) {
+          // Precise trap: report the faulting instruction's PC as the
+          // architectural PC, matching the instruction-atomic models.
+          cpu_.trap = Trap{memwb.trap, memwb.pc};
+          cpu_.pc = memwb.pc;
+        } else {
+          // Clean halt (sys, one word): the architectural PC is the next
+          // word, not the run-ahead fetch pointer.
+          cpu_.pc = static_cast<std::uint16_t>(memwb.pc + 1);
+        }
         cpu_.halted = true;
         stats_.halted = true;
+        stats_.trap = cpu_.trap;
         stats_.cycles = cycle + 1;
         return stats_;
+      }
+      if (injector_.armed()) {
+        const TrapKind tk =
+            injector_.apply_due(retired_total_, cpu_, mem_, qat_);
+        if (tk != TrapKind::kNone) {
+          cpu_.trap = Trap{tk, cpu_.pc};
+          cpu_.halted = true;
+          stats_.halted = true;
+          stats_.trap = cpu_.trap;
+          stats_.cycles = cycle + 1;
+          return stats_;
+        }
       }
       if (stats_.instructions >= max_instructions) {
         stats_.cycles = cycle + 1;
@@ -58,9 +88,11 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
     if (exmem.valid) {
       const ExOut& o = exmem.out;
       new_memwb.valid = true;
+      new_memwb.pc = exmem.pc;
       new_memwb.instr = exmem.instr;
       new_memwb.writes_reg = o.writes_reg;
       new_memwb.halt = o.halt;
+      new_memwb.trap = o.trap;
       new_memwb.seq = exmem.seq;
       if (o.is_store) {
         mem_.write(o.addr, o.store_data);
@@ -103,6 +135,7 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       const ExOut o =
           exec_stage(idex.instr, idex.pc, idex.words, dv, sv, qat_);
       new_exmem.valid = true;
+      new_exmem.pc = idex.pc;
       new_exmem.instr = idex.instr;
       new_exmem.out = o;
       new_exmem.seq = idex.seq;
@@ -247,8 +280,19 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       // Bubble into EX while ID holds.
       idex = IdEx{};
     }
+
+    // ----- watchdog -----
+    if (max_cycles_ != 0 && cycle + 1 >= max_cycles_) {
+      cpu_.trap = Trap{TrapKind::kWatchdogExpired, cpu_.pc};
+      cpu_.halted = true;
+      stats_.halted = true;
+      stats_.trap = cpu_.trap;
+      stats_.cycles = cycle + 1;
+      return stats_;
+    }
   }
   stats_.cycles = cycle;
+  stats_.trap = cpu_.trap;
   return stats_;
 }
 

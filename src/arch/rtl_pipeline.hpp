@@ -36,12 +36,28 @@ class RtlPipelineSim {
                           pbp::Backend backend = pbp::Backend::kDense)
       : qat_(ways, backend) {}
 
-  void load(const Program& p) { mem_.load(p.words); }
-  void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }
+  void load(const Program& p) { load_words(p.words); }
+  void load_words(const std::vector<std::uint16_t>& w) {
+    if (!mem_.load(w)) {
+      cpu_.trap = Trap{TrapKind::kMemImageOverflow, 0};
+      cpu_.halted = true;
+    }
+  }
 
   /// Simulate cycle-by-cycle until the halting instruction retires (or the
   /// instruction limit trips).  Enable tracing first to get a diagram.
   SimStats run(std::uint64_t max_instructions = 1'000'000);
+
+  // --- Fault tolerance (same contract as SimBase) ---
+  void set_fault_plan(FaultPlan plan) {
+    if (plan.max_pool_symbols != 0) {
+      qat_.set_pool_symbol_cap(plan.max_pool_symbols);
+    }
+    injector_.set_plan(std::move(plan));
+  }
+  const FaultInjector& injector() const { return injector_; }
+  void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
+  std::uint64_t retired_total() const { return retired_total_; }
 
   CpuState& cpu() { return cpu_; }
   const CpuState& cpu() const { return cpu_; }
@@ -78,16 +94,19 @@ class RtlPipelineSim {
   };
   struct ExMem {
     bool valid = false;
+    std::uint16_t pc = 0;
     Instr instr;
-    ExOut out;
+    ExOut out;  // carries the trap cause, if EX trapped
     std::uint64_t seq = 0;
   };
   struct MemWb {
     bool valid = false;
+    std::uint16_t pc = 0;
     Instr instr;
     bool writes_reg = false;
     std::uint16_t value = 0;
     bool halt = false;
+    TrapKind trap = TrapKind::kNone;
     std::uint64_t seq = 0;
   };
 
@@ -106,6 +125,9 @@ class RtlPipelineSim {
   std::string console_;
   bool trace_enabled_ = false;
   std::vector<TraceRow> rows_;
+  FaultInjector injector_;
+  std::uint64_t retired_total_ = 0;
+  std::uint64_t max_cycles_ = 0;
 };
 
 }  // namespace tangled

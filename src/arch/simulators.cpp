@@ -24,9 +24,23 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
     }
     account(dec.instr, dec.words, exec);
     cpu_.pc = exec.next_pc;
+    ++retired_total_;
+    if (!cpu_.halted && injector_.armed()) {
+      const TrapKind tk =
+          injector_.apply_due(retired_total_, cpu_, mem_, qat_);
+      if (tk != TrapKind::kNone) {
+        cpu_.trap = Trap{tk, cpu_.pc};
+        cpu_.halted = true;
+      }
+    }
+    if (!cpu_.halted && max_cycles_ != 0 && stats_.cycles >= max_cycles_) {
+      cpu_.trap = Trap{TrapKind::kWatchdogExpired, cpu_.pc};
+      cpu_.halted = true;
+    }
   }
   stats_.cycles += drain_cycles();
   stats_.halted = cpu_.halted;
+  stats_.trap = cpu_.trap;
   return stats_;
 }
 

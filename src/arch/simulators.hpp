@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arch/cpu.hpp"
+#include "arch/fault.hpp"
 #include "asm/assembler.hpp"
 
 namespace tangled {
@@ -39,6 +40,7 @@ struct SimStats {
   std::uint64_t flush_cycles = 0;        // taken-branch squashes
   std::uint64_t fetch_extra_cycles = 0;  // second words of Qat instructions
   bool halted = false;
+  Trap trap{};  // why the machine halted, if it trapped
 
   double cpi() const {
     return instructions == 0 ? 0.0
@@ -57,11 +59,35 @@ class SimBase {
       : qat_(ways, backend) {}
   virtual ~SimBase() = default;
 
-  void load(const Program& p) { mem_.load(p.words); }
-  void load_words(const std::vector<std::uint16_t>& w) { mem_.load(w); }
+  void load(const Program& p) { load_words(p.words); }
+  /// An image wider than the 64Ki-word address space raises an immediate
+  /// kMemImageOverflow trap (the machine starts halted) instead of the old
+  /// silent truncation.
+  void load_words(const std::vector<std::uint16_t>& w) {
+    if (!mem_.load(w)) {
+      cpu_.trap = Trap{TrapKind::kMemImageOverflow, 0};
+      cpu_.halted = true;
+    }
+  }
 
-  /// Run until sys/invalid or max_instructions; returns the statistics.
+  /// Run until sys/trap or max_instructions; returns the statistics.
   SimStats run(std::uint64_t max_instructions = 1'000'000);
+
+  // --- Fault tolerance ---
+  /// Arm a fault-injection plan (applies its pool symbol cap immediately).
+  void set_fault_plan(FaultPlan plan) {
+    if (plan.max_pool_symbols != 0) {
+      qat_.set_pool_symbol_cap(plan.max_pool_symbols);
+    }
+    injector_.set_plan(std::move(plan));
+  }
+  const FaultInjector& injector() const { return injector_; }
+  /// Watchdog: trap with kWatchdogExpired once a run's cycle count reaches
+  /// n (0 disables).  Unlike max_instructions, expiry halts the machine.
+  void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
+  /// Instructions retired across ALL run() calls — the monotone clock fault
+  /// events are keyed on (never reset, never rewound by a rollback).
+  std::uint64_t retired_total() const { return retired_total_; }
 
   CpuState& cpu() { return cpu_; }
   const CpuState& cpu() const { return cpu_; }
@@ -97,6 +123,9 @@ class SimBase {
   SimStats stats_;
   std::string console_;
   std::vector<std::uint64_t> coverage_ = std::vector<std::uint64_t>(65536, 0);
+  FaultInjector injector_;
+  std::uint64_t retired_total_ = 0;
+  std::uint64_t max_cycles_ = 0;
 };
 
 /// Single-cycle implementation (Figure 6): every instruction, including the

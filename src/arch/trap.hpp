@@ -1,0 +1,69 @@
+// trap.hpp — architectural traps for the Tangled/Qat machine.
+//
+// The paper's host is a *conventional* processor, and a conventional
+// processor does not die on a bad instruction: it halts with a recorded
+// cause.  Every fault the simulators can encounter — an undefined encoding
+// reaching EX, a Qat coprocessor operational fault, Qat resource exhaustion
+// the RE backend cannot absorb, a watchdog expiry, an oversized program
+// image — is converted into a Trap record instead of an escaping C++
+// exception.  All five timing models (functional, multi-cycle accounting,
+// multi-cycle FSM, pipeline accounting, latch-level RTL) report the same
+// TrapKind, trap PC, and architectural state for the same faulting program;
+// tests/test_traps.cpp proves it differentially.  A trap in a wrong-path /
+// flushed pipeline slot never fires: traps are raised in EX, which only
+// correct-path instructions reach.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tangled {
+
+enum class TrapKind : std::uint8_t {
+  kNone = 0,
+  kIllegalInstruction,  // undefined encoding reached EX
+  kDivideByZero,        // recip with a +-0 operand (the LUT has no 1/0 row)
+  kQatFault,            // Qat coprocessor operational fault
+  kResourceExhausted,   // Qat resource limit (chunk-pool symbol space)
+  kWatchdogExpired,     // cycle watchdog tripped (runaway program)
+  kMemImageOverflow,    // program image larger than the 64Ki-word memory
+};
+
+inline const char* trap_kind_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::kNone:
+      return "none";
+    case TrapKind::kIllegalInstruction:
+      return "illegal-instruction";
+    case TrapKind::kDivideByZero:
+      return "divide-by-zero";
+    case TrapKind::kQatFault:
+      return "qat-fault";
+    case TrapKind::kResourceExhausted:
+      return "resource-exhausted";
+    case TrapKind::kWatchdogExpired:
+      return "watchdog-expired";
+    case TrapKind::kMemImageOverflow:
+      return "mem-image-overflow";
+  }
+  return "unknown";
+}
+
+/// The architectural trap record: what stopped the machine and where.  On a
+/// trap the faulting instruction does not commit, the PC stays at the
+/// faulting instruction, and the machine halts — identically in every
+/// simulator model.
+struct Trap {
+  TrapKind kind = TrapKind::kNone;
+  std::uint16_t pc = 0;
+
+  explicit operator bool() const { return kind != TrapKind::kNone; }
+  bool operator==(const Trap&) const = default;
+};
+
+inline std::string to_string(const Trap& t) {
+  if (!t) return "no trap";
+  return std::string(trap_kind_name(t.kind)) + " at pc=" + std::to_string(t.pc);
+}
+
+}  // namespace tangled

@@ -97,6 +97,10 @@ void DenseQatBackend::set_reg_aob(unsigned a, const Aob& v) {
   regs_[idx(a)] = v;
 }
 
+void DenseQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
+  regs_[idx(a)].set(ch, v);
+}
+
 std::string DenseQatBackend::reg_string(unsigned a,
                                         std::size_t max_bits) const {
   return regs_[idx(a)].to_string(max_bits);
@@ -104,6 +108,41 @@ std::string DenseQatBackend::reg_string(unsigned a,
 
 std::size_t DenseQatBackend::storage_bytes() const {
   return static_cast<std::size_t>(num_regs_) * (channels() / 8);
+}
+
+namespace {
+
+constexpr std::uint8_t kSnapshotDense = 0;
+constexpr std::uint8_t kSnapshotRe = 1;
+
+void write_aob_words(ByteWriter& w, const Aob& a) {
+  for (const std::uint64_t word : a.words()) w.u64(word);
+}
+
+Aob read_aob_words(ByteReader& r, unsigned ways) {
+  Aob a(ways);
+  auto words = a.words_mut();
+  for (auto& word : words) word = r.u64();
+  return a;
+}
+
+}  // namespace
+
+void DenseQatBackend::serialize(ByteWriter& w) const {
+  w.u8(kSnapshotDense);
+  w.u32(ways_);
+  w.u32(num_regs_);
+  for (const Aob& reg : regs_) write_aob_words(w, reg);
+}
+
+std::unique_ptr<DenseQatBackend> DenseQatBackend::deserialize(ByteReader& r) {
+  const unsigned ways = r.u32();
+  const unsigned num_regs = r.u32();
+  auto b = std::make_unique<DenseQatBackend>(ways, num_regs);
+  for (unsigned i = 0; i < num_regs; ++i) {
+    b->regs_[i] = read_aob_words(r, ways);
+  }
+  return b;
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +276,12 @@ void ReQatBackend::set_reg_aob(unsigned a, const Aob& v) {
   put(a, Re::from_aob(pool_, v));
 }
 
+void ReQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
+  Re t = get(a);
+  t.set(ch, v);
+  put(a, std::move(t));
+}
+
 std::string ReQatBackend::reg_string(unsigned a, std::size_t max_bits) const {
   return get(a).to_string(max_bits);
 }
@@ -253,6 +298,62 @@ std::size_t ReQatBackend::total_runs() const {
   return n;
 }
 
+void ReQatBackend::serialize(ByteWriter& w) const {
+  w.u8(kSnapshotRe);
+  w.u32(ways_);
+  w.u32(num_regs_);
+  w.u32(pool_->chunk_ways());
+  w.u64(pool_->max_symbols());
+  // Pool symbols 0 (zeros) and 1 (ones) are implicit — every ChunkPool
+  // interns them at construction in that order.
+  w.u32(static_cast<std::uint32_t>(pool_->size()));
+  for (ChunkPool::SymbolId id = 2; id < pool_->size(); ++id) {
+    write_aob_words(w, pool_->chunk(id));
+  }
+  for (const auto& reg : regs_) {
+    const auto runs = reg->runs();
+    w.u32(static_cast<std::uint32_t>(runs.size()));
+    for (const auto& [sym, count] : runs) {
+      w.u32(sym);
+      w.u64(count);
+    }
+  }
+}
+
+std::unique_ptr<ReQatBackend> ReQatBackend::deserialize(ByteReader& r) {
+  const unsigned ways = r.u32();
+  const unsigned num_regs = r.u32();
+  const unsigned chunk_ways = r.u32();
+  const std::uint64_t max_symbols = r.u64();
+  auto b = std::make_unique<ReQatBackend>(ways, num_regs, chunk_ways);
+  // Re-intern the chunk table in id order: hash-consing plus the absence of
+  // duplicates in a serialized pool make the ids come back identical.
+  const std::uint32_t n_symbols = r.u32();
+  for (std::uint32_t id = 2; id < n_symbols; ++id) {
+    const ChunkPool::SymbolId got =
+        b->pool_->intern(read_aob_words(r, b->pool_->chunk_ways()));
+    if (got != id) {
+      throw std::runtime_error("ReQatBackend: snapshot pool not canonical");
+    }
+  }
+  // Reapply the cap only after the snapshot's own symbols are back in — a
+  // forced-exhaustion cap must survive restore, not block it.
+  b->pool_->set_max_symbols(max_symbols);
+  for (unsigned i = 0; i < num_regs; ++i) {
+    const std::uint32_t n_runs = r.u32();
+    std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>> runs;
+    runs.reserve(n_runs);
+    for (std::uint32_t j = 0; j < n_runs; ++j) {
+      const ChunkPool::SymbolId sym = r.u32();
+      const std::uint64_t count = r.u64();
+      runs.emplace_back(sym, count);
+    }
+    b->regs_[i] =
+        std::make_shared<const Re>(Re::from_runs(b->pool_, ways, runs));
+  }
+  return b;
+}
+
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
@@ -265,6 +366,17 @@ std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
       return std::make_unique<ReQatBackend>(ways, num_regs, chunk_ways);
   }
   throw std::invalid_argument("make_qat_backend: unknown backend");
+}
+
+std::unique_ptr<QatBackend> deserialize_qat_backend(ByteReader& r) {
+  switch (r.u8()) {
+    case kSnapshotDense:
+      return DenseQatBackend::deserialize(r);
+    case kSnapshotRe:
+      return ReQatBackend::deserialize(r);
+    default:
+      throw std::runtime_error("deserialize_qat_backend: unknown kind byte");
+  }
 }
 
 }  // namespace pbp

@@ -33,6 +33,7 @@
 #include "pbp/aob.hpp"
 #include "pbp/pbit.hpp"
 #include "pbp/re.hpp"
+#include "pbp/serialize.hpp"
 
 namespace pbp {
 
@@ -80,11 +81,23 @@ class QatBackend {
   /// kMaxAobWays — at that size there is no dense form to give.
   virtual Aob reg_aob(unsigned a) const = 0;
   virtual void set_reg_aob(unsigned a, const Aob& v) = 0;
+  /// Write one channel of one register (fault injection, checkpoint repair).
+  virtual void set_channel(unsigned a, std::size_t ch, bool v) = 0;
   /// "01101..." debug rendering without full decompression.
   virtual std::string reg_string(unsigned a, std::size_t max_bits) const = 0;
   /// Bytes the register file occupies in this representation (the §1.2
   /// storage claim, measurable).
   virtual std::size_t storage_bytes() const = 0;
+
+  // --- Fault-tolerance hooks ---
+  /// Lower the RE chunk-pool symbol ceiling (forced-exhaustion fault
+  /// injection).  Dense register files have no pool; the call is a no-op.
+  virtual void set_symbol_cap(std::size_t) {}
+
+  /// Snapshot the full register-file state: dense as raw AoB word dumps, RE
+  /// as the pool's chunk symbols plus per-register run lists.  Restored by
+  /// deserialize_qat_backend.
+  virtual void serialize(ByteWriter& w) const = 0;
 
  protected:
   QatBackend(unsigned ways, unsigned num_regs);
@@ -125,8 +138,12 @@ class DenseQatBackend final : public QatBackend {
 
   Aob reg_aob(unsigned a) const override;
   void set_reg_aob(unsigned a, const Aob& v) override;
+  void set_channel(unsigned a, std::size_t ch, bool v) override;
   std::string reg_string(unsigned a, std::size_t max_bits) const override;
   std::size_t storage_bytes() const override;
+
+  void serialize(ByteWriter& w) const override;
+  static std::unique_ptr<DenseQatBackend> deserialize(ByteReader& r);
 
  private:
   std::vector<Aob> regs_;
@@ -141,6 +158,9 @@ class ReQatBackend final : public QatBackend {
   /// ways in [chunk_ways, kMaxReWays].  chunk_ways is clamped down to ways
   /// for tiny register files so small-E differential tests stay exact.
   ReQatBackend(unsigned ways, unsigned num_regs, unsigned chunk_ways = 12);
+  // Movable so VirtualQat::restore can swap in a deserialized register file.
+  ReQatBackend(ReQatBackend&&) = default;
+  ReQatBackend& operator=(ReQatBackend&&) = default;
 
   Backend kind() const override { return Backend::kCompressed; }
   const std::shared_ptr<ChunkPool>& pool() const { return pool_; }
@@ -167,8 +187,13 @@ class ReQatBackend final : public QatBackend {
 
   Aob reg_aob(unsigned a) const override;
   void set_reg_aob(unsigned a, const Aob& v) override;
+  void set_channel(unsigned a, std::size_t ch, bool v) override;
   std::string reg_string(unsigned a, std::size_t max_bits) const override;
   std::size_t storage_bytes() const override;
+
+  void set_symbol_cap(std::size_t n) override { pool_->set_max_symbols(n); }
+  void serialize(ByteWriter& w) const override;
+  static std::unique_ptr<ReQatBackend> deserialize(ByteReader& r);
 
   /// Direct compressed view (VirtualQat's public surface).
   const Re& re_reg(unsigned a) const { return *regs_[idx(a)]; }
@@ -195,5 +220,9 @@ class ReQatBackend final : public QatBackend {
 std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
                                              unsigned num_regs = 256,
                                              unsigned chunk_ways = 12);
+
+/// Rebuild a backend from a QatBackend::serialize stream (either kind).
+/// Throws std::runtime_error on a malformed stream.
+std::unique_ptr<QatBackend> deserialize_qat_backend(ByteReader& r);
 
 }  // namespace pbp

@@ -71,6 +71,13 @@ ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
   return id;
 }
 
+void ChunkPool::set_max_symbols(std::size_t n) {
+  if (n < 2) {
+    throw std::invalid_argument("ChunkPool: max_symbols must admit 0 and 1");
+  }
+  max_symbols_ = std::min(n, kMaxSymbols);
+}
+
 ChunkPool::SymbolId ChunkPool::hadamard_symbol(unsigned k) {
   if (k >= chunk_ways_) {
     throw std::invalid_argument("ChunkPool: hadamard_symbol k >= chunk_ways");
@@ -203,6 +210,34 @@ Re Re::from_aob(std::shared_ptr<ChunkPool> pool, const Aob& a) {
   }
   r.runs_ = std::move(runs);
   return r;
+}
+
+Re Re::from_runs(
+    std::shared_ptr<ChunkPool> pool, unsigned ways,
+    const std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>>& runs) {
+  Re r(std::move(pool), ways);
+  std::vector<Run> out;
+  out.reserve(runs.size());
+  std::uint64_t total = 0;
+  for (const auto& [sym, count] : runs) {
+    if (sym >= r.pool_->size()) {
+      throw std::invalid_argument("Re::from_runs: unknown symbol");
+    }
+    total += count;
+    r.push_run(out, sym, count);
+  }
+  if (total != r.chunks_total()) {
+    throw std::invalid_argument("Re::from_runs: run counts do not cover 2^E");
+  }
+  r.runs_ = std::move(out);
+  return r;
+}
+
+std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>> Re::runs() const {
+  std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>> out;
+  out.reserve(runs_.size());
+  for (const Run& run : runs_) out.emplace_back(run.sym, run.count);
+  return out;
 }
 
 Aob Re::to_aob() const {

@@ -76,6 +76,14 @@ class ChunkPool {
   std::uint64_t memo_hits() const { return memo_hits_; }
   std::uint64_t memo_misses() const { return memo_misses_; }
 
+  /// The active symbol-space ceiling (kMaxSymbols unless lowered).
+  std::size_t max_symbols() const { return max_symbols_; }
+  /// Lower (or raise, up to kMaxSymbols) the symbol ceiling mid-flight.
+  /// Symbols already interned stay valid; only *new* interns are refused
+  /// once the pool is at the cap.  The fault-injection harness uses this to
+  /// force exhaustion without rebuilding the register file.
+  void set_max_symbols(std::size_t n);
+
  private:
   unsigned chunk_ways_;
   std::size_t max_symbols_;
@@ -100,6 +108,12 @@ class Re {
   static Re ones(std::shared_ptr<ChunkPool> pool, unsigned ways);
   static Re hadamard(std::shared_ptr<ChunkPool> pool, unsigned ways, unsigned k);
   static Re from_aob(std::shared_ptr<ChunkPool> pool, const Aob& a);
+  /// Rebuild from a serialized run list (checkpoint restore).  The symbols
+  /// must already be interned in `pool` and the counts must cover exactly
+  /// 2^(ways - chunk_ways) chunks; throws std::invalid_argument otherwise.
+  static Re from_runs(
+      std::shared_ptr<ChunkPool> pool, unsigned ways,
+      const std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>>& runs);
 
   /// Decompress (only valid for ways small enough for a dense Aob).
   Aob to_aob() const;
@@ -132,6 +146,8 @@ class Re {
   // --- Compression metrics (bench_re_compression) ---
   /// Number of RLE runs in this value.
   std::size_t run_count() const { return runs_.size(); }
+  /// The (symbol, repeat-count) run list — the value's checkpoint form.
+  std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>> runs() const;
   /// Bytes to store this value in compressed form (runs only; pool amortized).
   std::size_t compressed_bytes() const;
   /// Bytes a dense AoB of the same ways would need.

@@ -1,0 +1,76 @@
+// serialize.hpp — minimal byte-stream (de)serialization shared by the
+// checkpoint/restore machinery (arch/checkpoint.hpp) and the Qat backend
+// snapshot format (qat_backend.hpp).
+//
+// Little-endian, fixed-width fields, no alignment: the same bytes restore on
+// any host this repo builds for.  The reader throws std::runtime_error on a
+// short or malformed stream rather than reading past the end — a corrupt
+// checkpoint must fail loudly, never restore garbage state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pbp {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= size_) {
+      throw std::runtime_error("ByteReader: truncated stream");
+    }
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pbp

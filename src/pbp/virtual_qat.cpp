@@ -5,4 +5,13 @@ namespace pbp {
 VirtualQat::VirtualQat(unsigned ways, unsigned chunk_ways, unsigned num_regs)
     : impl_(ways, num_regs, chunk_ways) {}
 
+void VirtualQat::restore(ByteReader& r) {
+  auto backend = deserialize_qat_backend(r);
+  auto* re = dynamic_cast<ReQatBackend*>(backend.get());
+  if (re == nullptr) {
+    throw std::runtime_error("VirtualQat: snapshot is not an RE register file");
+  }
+  impl_ = std::move(*re);
+}
+
 }  // namespace pbp

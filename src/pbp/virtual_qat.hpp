@@ -69,6 +69,14 @@ class VirtualQat {
   /// Total compressed bytes across all registers (storage metric).
   std::size_t storage_bytes() const { return impl_.storage_bytes(); }
 
+  // --- Fault tolerance ---
+  /// Forced-exhaustion fault injection: cap the shared pool's symbol space.
+  void set_symbol_cap(std::size_t n) { impl_.set_symbol_cap(n); }
+  /// Snapshot / restore the whole register file (pool symbols + run lists).
+  void save(ByteWriter& w) const { impl_.serialize(w); }
+  /// Throws std::runtime_error on a malformed or mismatched snapshot.
+  void restore(ByteReader& r);
+
  private:
   ReQatBackend impl_;
 };

@@ -1,0 +1,217 @@
+// Checkpoint/restore: full-machine snapshots (CPU + memory + Qat register
+// file in either backend representation) must round-trip exactly, and the
+// CheckpointingRunner must recover a faulted run via rollback/restart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/checkpoint.hpp"
+#include "arch/recovery.hpp"
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+
+namespace tangled {
+namespace {
+
+/// Everything a checkpoint promises to preserve, read back out of a sim.
+struct MachineState {
+  std::array<std::uint16_t, kNumRegs> regs{};
+  std::uint16_t pc = 0;
+  bool halted = false;
+  Trap trap{};
+  std::vector<std::string> qat_regs;  // reg_string works at any width
+  std::vector<std::uint16_t> mem_head;
+
+  bool operator==(const MachineState& o) const {
+    return regs == o.regs && pc == o.pc && halted == o.halted &&
+           trap == o.trap && qat_regs == o.qat_regs && mem_head == o.mem_head;
+  }
+};
+
+template <typename Sim>
+MachineState snapshot_state(Sim& sim, unsigned n_qat_regs = 96) {
+  MachineState m;
+  m.regs = sim.cpu().regs;
+  m.pc = sim.cpu().pc;
+  m.halted = sim.cpu().halted;
+  m.trap = sim.cpu().trap;
+  for (unsigned r = 0; r < n_qat_regs; ++r) {
+    m.qat_regs.push_back(sim.qat().reg_string(r, 128));
+  }
+  for (std::uint16_t a = 0; a < 256; ++a) {
+    m.mem_head.push_back(sim.memory().read(a));
+  }
+  return m;
+}
+
+template <typename Sim>
+void roundtrip_mid_run(unsigned ways, pbp::Backend backend) {
+  const Program p = assemble(figure10_source());
+
+  Sim sim(ways, backend);
+  sim.load(p);
+  sim.run(40);  // stop mid-program, Qat registers in flight
+  ASSERT_FALSE(sim.cpu().halted);
+  const std::vector<std::uint8_t> bytes =
+      save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+
+  // Reference: let the original continue to the end.
+  sim.run();
+  ASSERT_TRUE(sim.cpu().halted);
+  const MachineState want = snapshot_state(sim);
+  EXPECT_EQ(sim.cpu().regs[0], 5u);
+  EXPECT_EQ(sim.cpu().regs[1], 3u);
+
+  // A FRESH machine restored from the snapshot must reach the same end.
+  Sim fresh(ways, backend);
+  load_checkpoint(bytes, fresh.cpu(), fresh.memory(), fresh.qat());
+  EXPECT_EQ(fresh.qat().backend_kind(), backend);
+  fresh.run();
+  const MachineState got = snapshot_state(fresh);
+  EXPECT_EQ(want, got);
+}
+
+TEST(Checkpoint, DenseMidRunRoundTrip) {
+  roundtrip_mid_run<FunctionalSim>(8, pbp::Backend::kDense);
+}
+
+TEST(Checkpoint, ReMidRunRoundTrip) {
+  roundtrip_mid_run<FunctionalSim>(16, pbp::Backend::kCompressed);
+}
+
+TEST(Checkpoint, RestoreOverwritesDivergedState) {
+  // Restoring must fully replace whatever the target machine did since.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  sim.run(40);
+  const std::vector<std::uint8_t> bytes =
+      save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+  const MachineState at_save = snapshot_state(sim);
+
+  sim.run();  // diverge: run to completion
+  ASSERT_TRUE(sim.cpu().halted);
+  sim.memory().write(200, 0xbeef);  // and scribble on memory
+
+  load_checkpoint(bytes, sim.cpu(), sim.memory(), sim.qat());
+  EXPECT_EQ(snapshot_state(sim), at_save);
+  EXPECT_FALSE(sim.cpu().halted);
+}
+
+TEST(Checkpoint, WideCompressedRoundTrip) {
+  // 36-way RE registers have no dense form; the checkpoint must carry the
+  // chunk pool + run lists directly.
+  FunctionalSim sim(36, pbp::Backend::kCompressed);
+  sim.load(assemble("\thad @1,0\n\thad @2,20\n\tsys\n"));
+  sim.run();
+  ASSERT_TRUE(sim.cpu().halted);
+  const std::vector<std::uint8_t> bytes =
+      save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+
+  FunctionalSim fresh(36, pbp::Backend::kCompressed);
+  load_checkpoint(bytes, fresh.cpu(), fresh.memory(), fresh.qat());
+  EXPECT_EQ(fresh.qat().reg_string(1, 64), sim.qat().reg_string(1, 64));
+  EXPECT_EQ(fresh.qat().reg_string(2, 64), sim.qat().reg_string(2, 64));
+  EXPECT_EQ(fresh.qat().reg_popcount(1), sim.qat().reg_popcount(1));
+  EXPECT_EQ(fresh.qat().reg_popcount(2), sim.qat().reg_popcount(2));
+}
+
+TEST(Checkpoint, TruncatedStreamThrows) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble("\tlex $1,1\n\tsys\n"));
+  std::vector<std::uint8_t> bytes =
+      save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+  bytes.resize(bytes.size() / 2);
+  FunctionalSim target(8, pbp::Backend::kDense);
+  EXPECT_THROW(
+      load_checkpoint(bytes, target.cpu(), target.memory(), target.qat()),
+      std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  std::vector<std::uint8_t> bytes =
+      save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+  bytes[0] ^= 0xff;
+  FunctionalSim target(8, pbp::Backend::kDense);
+  EXPECT_THROW(
+      load_checkpoint(bytes, target.cpu(), target.memory(), target.qat()),
+      std::runtime_error);
+}
+
+TEST(Checkpoint, RunnerRecoversFromInjectedRegisterFlip) {
+  // Flip a bit of $0 right after the factoring answer lands in it: the run
+  // halts with a wrong answer, validate() rejects it, and the runner rolls
+  // back.  The fault is keyed on the monotone retired clock, so it does not
+  // refire on re-execution and the second lineage is clean.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  FaultPlan plan;
+  FaultEvent e;
+  e.target = FaultEvent::Target::kHostReg;
+  e.at_instr = 90;  // fig10 retires 91 instructions
+  e.addr = 0;
+  e.bit = 3;
+  plan.events.push_back(e);
+  sim.set_fault_plan(plan);
+
+  CheckpointingRunner<FunctionalSim> runner(sim, 25);
+  const RecoveryStats rs = runner.run(100'000, [](const FunctionalSim& s) {
+    return s.cpu().regs[0] == 5 && s.cpu().regs[1] == 3;
+  });
+  EXPECT_TRUE(rs.halted);
+  EXPECT_FALSE(rs.gave_up);
+  EXPECT_TRUE(rs.recovered);
+  EXPECT_GE(rs.rollbacks + rs.restarts, 1u);
+  EXPECT_EQ(sim.cpu().regs[0], 5u);
+  EXPECT_EQ(sim.cpu().regs[1], 3u);
+}
+
+TEST(Checkpoint, RunnerRestartOnlyModeRecovers) {
+  // checkpoint_every = 0: no mid-run snapshots, recovery = full restart.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  FaultPlan plan;
+  FaultEvent e;
+  e.target = FaultEvent::Target::kHostReg;
+  e.at_instr = 90;  // corrupt $0 after the answer lands in it
+  e.addr = 0;
+  e.bit = 3;
+  plan.events.push_back(e);
+  sim.set_fault_plan(plan);
+
+  CheckpointingRunner<FunctionalSim> runner(sim, 0);
+  const RecoveryStats rs = runner.run(100'000, [](const FunctionalSim& s) {
+    return s.cpu().regs[0] == 5 && s.cpu().regs[1] == 3;
+  });
+  EXPECT_TRUE(rs.halted);
+  EXPECT_FALSE(rs.gave_up);
+  EXPECT_TRUE(rs.recovered);
+  EXPECT_EQ(rs.rollbacks, 0u);  // no mid-run checkpoints to roll back to
+  EXPECT_EQ(rs.restarts, 1u);
+  EXPECT_EQ(sim.cpu().regs[0], 5u);
+  EXPECT_EQ(sim.cpu().regs[1], 3u);
+}
+
+TEST(Checkpoint, CleanRunTakesNoRestores) {
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  CheckpointingRunner<FunctionalSim> runner(sim, 25);
+  const RecoveryStats rs = runner.run(100'000, [](const FunctionalSim& s) {
+    return s.cpu().regs[0] == 5 && s.cpu().regs[1] == 3;
+  });
+  EXPECT_TRUE(rs.halted);
+  EXPECT_FALSE(rs.recovered);
+  EXPECT_EQ(rs.rollbacks, 0u);
+  EXPECT_EQ(rs.restarts, 0u);
+  EXPECT_EQ(rs.instructions, 91u);
+}
+
+}  // namespace
+}  // namespace tangled

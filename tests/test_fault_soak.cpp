@@ -1,0 +1,138 @@
+// Fault-injection soak (label `soak`): hundreds of seeded random fault
+// plans against the Figure 10 factoring program.  The contract under test
+// is the ISSUE's acceptance bar: every run must end in a correct answer, a
+// recorded architectural trap, or a successful rollback — NEVER an uncaught
+// exception.  scripts/check.sh additionally runs this suite under
+// AddressSanitizer/UBSan (-DTANGLED_SANITIZE=ON).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "arch/multicycle_fsm.hpp"
+#include "arch/recovery.hpp"
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+
+namespace tangled {
+namespace {
+
+constexpr std::uint64_t kBudget = 20'000;  // fig10 needs 91 instructions
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+/// Soak aggregates: proof the plans actually upset state, not just that
+/// nothing crashed.
+struct SoakTally {
+  std::uint64_t runs = 0;
+  std::uint64_t recovered = 0;  // runs needing at least one restore
+  std::uint64_t faults_applied = 0;
+};
+
+/// One seeded recovery run.  The contract: converge to the correct
+/// factoring answer; any escaping exception fails the whole suite.
+template <typename Sim>
+void soak_one(Sim& sim, const Program& p, std::uint64_t seed,
+              std::uint64_t checkpoint_every, unsigned ways,
+              SoakTally& tally) {
+  sim.load(p);
+  sim.set_fault_plan(FaultPlan::random(seed, /*n_events=*/6,
+                                       /*horizon=*/120, ways));
+  CheckpointingRunner<Sim> runner(sim, checkpoint_every);
+  const RecoveryStats rs = runner.run(
+      kBudget, [](const Sim& s) { return factors_ok(s.cpu()); });
+  ++tally.runs;
+  tally.faults_applied += sim.injector().applied();
+  if (rs.recovered) ++tally.recovered;
+  EXPECT_FALSE(rs.gave_up) << "seed " << seed << " exhausted its attempt "
+                           << "budget; final trap "
+                           << to_string(rs.final_trap);
+  if (rs.gave_up) return;
+  EXPECT_TRUE(rs.halted) << "seed " << seed;
+  EXPECT_TRUE(factors_ok(sim.cpu())) << "seed " << seed;
+}
+
+TEST(FaultSoak, FunctionalDenseRollback) {
+  const Program p = assemble(figure10_source());
+  SoakTally tally;
+  for (std::uint64_t seed = 0; seed < 70; ++seed) {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    soak_one(sim, p, seed, /*checkpoint_every=*/25, 8, tally);
+  }
+  EXPECT_GT(tally.faults_applied, 0u);  // the plans really fired
+  EXPECT_GT(tally.recovered, 0u);       // and some runs really needed recovery
+}
+
+TEST(FaultSoak, FunctionalCompressedRollback) {
+  const Program p = assemble(figure10_source());
+  SoakTally tally;
+  for (std::uint64_t seed = 100; seed < 170; ++seed) {
+    FunctionalSim sim(16, pbp::Backend::kCompressed);
+    soak_one(sim, p, seed, /*checkpoint_every=*/25, 16, tally);
+  }
+  EXPECT_GT(tally.faults_applied, 0u);
+  EXPECT_GT(tally.recovered, 0u);
+}
+
+TEST(FaultSoak, MultiCycleFsmRollback) {
+  const Program p = assemble(figure10_source());
+  SoakTally tally;
+  for (std::uint64_t seed = 200; seed < 270; ++seed) {
+    MultiCycleFsmSim sim(8, pbp::Backend::kDense);
+    soak_one(sim, p, seed, /*checkpoint_every=*/25, 8, tally);
+  }
+  EXPECT_GT(tally.faults_applied, 0u);
+  EXPECT_GT(tally.recovered, 0u);
+}
+
+TEST(FaultSoak, RtlPipelineRestartOnly) {
+  // The latch-level model discards in-flight pipeline state between run()
+  // calls, so mid-run slicing is not sound there: recovery is restart-only
+  // (checkpoint_every = 0).
+  const Program p = assemble(figure10_source());
+  SoakTally tally;
+  for (std::uint64_t seed = 300; seed < 330; ++seed) {
+    RtlPipelineSim sim(8, pbp::Backend::kDense);
+    soak_one(sim, p, seed, /*checkpoint_every=*/0, 8, tally);
+  }
+  EXPECT_GT(tally.faults_applied, 0u);
+  EXPECT_GT(tally.recovered, 0u);
+}
+
+TEST(FaultSoak, PoolExhaustionMigratesAndStillFactors) {
+  // The ISSUE's acceptance scenario: force RE chunk-pool exhaustion at
+  // ways <= 16 and require the full factoring run to finish with the
+  // correct answer via a transparent RE -> dense migration.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(16, pbp::Backend::kCompressed);
+  sim.load(p);
+  FaultPlan plan;
+  plan.max_pool_symbols = 8;
+  sim.set_fault_plan(plan);
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+  EXPECT_TRUE(factors_ok(sim.cpu()));
+  EXPECT_EQ(sim.qat().backend_kind(), pbp::Backend::kDense);
+  EXPECT_EQ(sim.qat().stats().backend_migrations, 1u);
+}
+
+TEST(FaultSoak, PoolExhaustionAtWideWaysTrapsCleanly) {
+  // Beyond kMaxAobWays there is no dense escape hatch: the same forced
+  // exhaustion must end in a clean kResourceExhausted trap, not an abort.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(36, pbp::Backend::kCompressed);
+  sim.load(p);
+  FaultPlan plan;
+  plan.max_pool_symbols = 8;
+  sim.set_fault_plan(plan);
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,309 @@
+// Differential trap equivalence: every simulator model must report the SAME
+// TrapKind, trap PC, and architectural state for a corpus of faulting
+// programs — an architectural trap is part of the ISA contract, not a
+// modelling detail.  Also pins the wrong-path rule: a trap in a flushed
+// (wrong-path) pipeline slot must NOT fire on the latch-level model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/bfloat16.hpp"
+#include "arch/multicycle_fsm.hpp"
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+
+namespace tangled {
+namespace {
+
+struct Outcome {
+  bool halted = false;
+  Trap trap{};
+  std::uint16_t pc = 0;
+  std::array<std::uint16_t, kNumRegs> regs{};
+  std::string model;
+
+  bool operator==(const Outcome& o) const {
+    return halted == o.halted && trap == o.trap && pc == o.pc &&
+           regs == o.regs;
+  }
+};
+
+template <typename Sim>
+Outcome run_on(Sim&& sim, const Program& p, const char* model,
+               const FaultPlan* plan = nullptr) {
+  sim.load(p);
+  if (plan != nullptr) sim.set_fault_plan(*plan);
+  const SimStats st = sim.run(100'000);
+  Outcome o;
+  o.halted = st.halted;
+  o.trap = sim.cpu().trap;
+  o.pc = sim.cpu().pc;
+  o.regs = sim.cpu().regs;
+  o.model = model;
+  return o;
+}
+
+/// Run `src` on all five implementation models and require identical
+/// trap kind, trap PC, final PC, and register file.
+std::vector<Outcome> run_everywhere(const std::string& src, unsigned ways = 8,
+                                    pbp::Backend backend = pbp::Backend::kDense,
+                                    const FaultPlan* plan = nullptr) {
+  const Program p = assemble(src);
+  std::vector<Outcome> outs;
+  outs.push_back(run_on(FunctionalSim(ways, backend), p, "func", plan));
+  outs.push_back(run_on(MultiCycleSim(ways, backend), p, "multi", plan));
+  outs.push_back(run_on(
+      PipelineSim(ways, {.stages = 5, .forwarding = true}, backend), p,
+      "pipe5", plan));
+  outs.push_back(run_on(MultiCycleFsmSim(ways, backend), p, "multi-fsm",
+                        plan));
+  outs.push_back(run_on(RtlPipelineSim(ways, backend), p, "rtl", plan));
+  return outs;
+}
+
+void expect_all_equal(const std::vector<Outcome>& outs) {
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_EQ(outs[0], outs[i])
+        << outs[i].model << " diverged from " << outs[0].model << ": trap "
+        << to_string(outs[i].trap) << " vs " << to_string(outs[0].trap)
+        << ", pc " << outs[i].pc << " vs " << outs[0].pc;
+  }
+}
+
+TEST(Traps, IllegalOpcodeDecodesInvalid) {
+  EXPECT_EQ(decode(0xf000, 0).instr.op, Op::kInvalid);
+}
+
+TEST(Traps, IllegalInstructionAllModels) {
+  const auto outs = run_everywhere(
+      "\tlex $1,5\n"
+      "\t.word 0xf000\n"
+      "\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kIllegalInstruction);
+  EXPECT_EQ(outs[0].trap.pc, 1u);  // pc stays at the faulting word
+  EXPECT_EQ(outs[0].pc, 1u);
+  EXPECT_EQ(outs[0].regs[1], 5u);  // prior state committed
+}
+
+TEST(Traps, SysHaltIsNotATrap) {
+  const auto outs = run_everywhere("\tlex $1,3\n\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kNone);
+}
+
+TEST(Traps, SysPrintContinuesThenHalts) {
+  const auto outs =
+      run_everywhere("\tlex $1,9\n\tsys $1\n\tlex $2,4\n\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kNone);
+  EXPECT_EQ(outs[0].regs[2], 4u);
+}
+
+TEST(Traps, RecipOfZeroIsDivideByZero) {
+  const auto outs = run_everywhere(
+      "\tlex $1,0\n"
+      "\trecip $1\n"
+      "\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kDivideByZero);
+  EXPECT_EQ(outs[0].trap.pc, 1u);
+  EXPECT_EQ(outs[0].regs[1], 0u);  // the faulting instruction did not commit
+}
+
+TEST(Traps, RecipOfNonZeroStillWorks) {
+  // bf16 2.0 = 0x4000; recip -> 0.5 = 0x3f00.  Build 0x4000 from lex+lhi.
+  const auto outs = run_everywhere(
+      "\tlex $1,0\n"
+      "\tlhi $1,0x40\n"
+      "\trecip $1\n"
+      "\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kNone);
+  EXPECT_EQ(outs[0].regs[1], Bf16(0x4000).recip().bits());
+}
+
+TEST(Traps, PoolExhaustionTrapsAtUnmigratableWays) {
+  // RE registers at 36 ways have no dense form (> kMaxAobWays), so symbol
+  // exhaustion must surface as a clean kResourceExhausted trap, identically
+  // everywhere.  Cap = 4: zeros/ones are implicit, the first two `had`s
+  // intern one chunk each, the third has no room.
+  FaultPlan plan;
+  plan.max_pool_symbols = 4;
+  const auto outs = run_everywhere(
+      "\thad @1,0\n"
+      "\thad @2,1\n"
+      "\thad @3,2\n"
+      "\tsys\n",
+      36, pbp::Backend::kCompressed, &plan);
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kResourceExhausted);
+  EXPECT_EQ(outs[0].trap.pc, 4u);  // had is a two-word instruction
+}
+
+TEST(Traps, PoolExhaustionMigratesAtDenseableWays) {
+  // Same program, 16 ways: the engine must degrade RE -> dense transparently
+  // and finish with NO trap and the right register contents.
+  FaultPlan plan;
+  plan.max_pool_symbols = 4;
+  const Program p = assemble(
+      "\thad @1,0\n"
+      "\thad @2,1\n"
+      "\thad @3,2\n"
+      "\tsys\n");
+  FunctionalSim sim(16, pbp::Backend::kCompressed);
+  sim.load(p);
+  sim.set_fault_plan(plan);
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+  EXPECT_EQ(sim.qat().backend_kind(), pbp::Backend::kDense);
+  EXPECT_EQ(sim.qat().stats().backend_migrations, 1u);
+  // had @3,2 must hold the right pattern despite the mid-run migration.
+  FunctionalSim ref(16, pbp::Backend::kDense);
+  ref.load(p);
+  ref.run();
+  for (unsigned r = 1; r <= 3; ++r) {
+    EXPECT_EQ(sim.qat().reg(r), ref.qat().reg(r)) << "@" << r;
+  }
+}
+
+TEST(Traps, WrongPathIllegalInstructionDoesNotTrap) {
+  // The invalid word sits in the taken branch's shadow: the latch-level
+  // pipeline fetches it, then the EX-resolved branch flushes it before it
+  // can reach EX.  No model may trap.
+  const auto outs = run_everywhere(
+      "\tlex $1,1\n"
+      "\tbrt $1,skip\n"
+      "\t.word 0xf000\n"
+      "skip:\tlex $2,7\n"
+      "\tsys\n");
+  expect_all_equal(outs);
+  ASSERT_TRUE(outs[0].halted);
+  EXPECT_EQ(outs[0].trap.kind, TrapKind::kNone);
+  EXPECT_EQ(outs[0].regs[2], 7u);
+}
+
+TEST(Traps, WatchdogExpiresOnInfiniteLoop) {
+  const Program p = assemble("self:\tbr self\n");
+  FunctionalSim f(8);
+  f.load(p);
+  f.set_max_cycles(100);
+  const SimStats sf = f.run();
+  ASSERT_TRUE(sf.halted);
+  EXPECT_EQ(sf.trap.kind, TrapKind::kWatchdogExpired);
+  EXPECT_EQ(sf.cycles, 100u);
+
+  MultiCycleFsmSim m(8);
+  m.load(p);
+  m.set_max_cycles(100);
+  const SimStats sm = m.run();
+  ASSERT_TRUE(sm.halted);
+  EXPECT_EQ(sm.trap.kind, TrapKind::kWatchdogExpired);
+
+  RtlPipelineSim r(8);
+  r.load(p);
+  r.set_max_cycles(100);
+  const SimStats sr = r.run();
+  ASSERT_TRUE(sr.halted);
+  EXPECT_EQ(sr.trap.kind, TrapKind::kWatchdogExpired);
+  EXPECT_EQ(sr.cycles, 100u);
+}
+
+TEST(Traps, OversizedImageTrapsAtLoad) {
+  const std::vector<std::uint16_t> huge(65537, 0x1234);
+  FunctionalSim f(8);
+  f.load_words(huge);
+  const SimStats st = f.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kMemImageOverflow);
+  EXPECT_EQ(st.instructions, 0u);     // nothing executed
+  EXPECT_EQ(f.memory().read(0), 0u);  // and nothing partially loaded
+
+  RtlPipelineSim r(8);
+  r.load_words(huge);
+  const SimStats sr = r.run();
+  ASSERT_TRUE(sr.halted);
+  EXPECT_EQ(sr.trap.kind, TrapKind::kMemImageOverflow);
+
+  MultiCycleFsmSim m(8);
+  m.load_words(huge);
+  const SimStats sm = m.run();
+  ASSERT_TRUE(sm.halted);
+  EXPECT_EQ(sm.trap.kind, TrapKind::kMemImageOverflow);
+}
+
+TEST(Traps, ExactSizeImageStillLoads) {
+  std::vector<std::uint16_t> image(65536, 0);
+  image[0] = assemble("\tsys\n").words[0];
+  FunctionalSim f(8);
+  f.load_words(image);
+  const SimStats st = f.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+}
+
+TEST(Traps, InjectedChannelFlipPastExhaustionIsARecordedTrap) {
+  // A fault-injected channel flip that itself exhausts an unmigratable pool
+  // must surface as a recorded trap, not an escaping exception.
+  FaultPlan plan;
+  plan.max_pool_symbols = 4;
+  FaultEvent e;
+  e.target = FaultEvent::Target::kQatChannel;
+  e.at_instr = 3;
+  e.addr = 1;
+  e.channel = 5;
+  plan.events.push_back(e);
+  const Program p = assemble(
+      "\thad @1,0\n"
+      "\thad @2,1\n"
+      "\tlex $1,1\n"
+      "\tlex $2,2\n"
+      "\tsys\n");
+  FunctionalSim sim(36, pbp::Backend::kCompressed);
+  sim.load(p);
+  sim.set_fault_plan(plan);
+  const SimStats st = sim.run();
+  ASSERT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kResourceExhausted);
+}
+
+TEST(Traps, FaultPlanParseRoundTrip) {
+  const FaultPlan a = FaultPlan::parse("seed=7,events=5,horizon=300,pool=64", 8);
+  EXPECT_EQ(a.events.size(), 5u);
+  EXPECT_EQ(a.max_pool_symbols, 64u);
+  const FaultPlan b = FaultPlan::random(7, 5, 300, 8);
+  ASSERT_EQ(b.events.size(), a.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].to_string(), b.events[i].to_string());
+  }
+  EXPECT_THROW(FaultPlan::parse("bogus=1", 8), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed", 8), std::invalid_argument);
+}
+
+TEST(Traps, TrapNamesAreStable) {
+  EXPECT_STREQ(trap_kind_name(TrapKind::kNone), "none");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kIllegalInstruction),
+               "illegal-instruction");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kDivideByZero), "divide-by-zero");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kQatFault), "qat-fault");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kWatchdogExpired),
+               "watchdog-expired");
+  EXPECT_STREQ(trap_kind_name(TrapKind::kMemImageOverflow),
+               "mem-image-overflow");
+}
+
+}  // namespace
+}  // namespace tangled
