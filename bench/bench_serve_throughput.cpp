@@ -1,0 +1,125 @@
+// bench_serve_throughput — job-service throughput (ISSUE: concurrent serve
+// layer).
+//
+// Measured, each over a full submit → wait_all → drain cycle of Figure 10
+// factoring jobs:
+//   * clean-batch throughput vs worker-thread count (scaling curve);
+//   * a 25%-poisoned batch (the acceptance mix: recovery retries included);
+//   * an RE batch under pool pressure (migration admission on the hot path);
+//   * raw submit/report overhead with a trivial 2-instruction program —
+//     the serve layer's fixed cost per job.
+// Reported counter: jobs_per_s (wall-clock: UseRealTime, since CPU-time
+// rates are meaningless for a multithreaded server).  Numbers live in
+// EXPERIMENTS.md, "Serve layer".
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+
+namespace {
+
+using namespace tangled;
+using namespace tangled::serve;
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+constexpr unsigned kBatch = 64;
+
+Job fig10_job(const Program& p, unsigned i, bool poison) {
+  static const SimKind kKinds[] = {SimKind::kFunc,  SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5, SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+  Job j;
+  j.sim = kKinds[i % std::size(kKinds)];
+  j.program = p;
+  j.max_instructions = 20'000;
+  j.checkpoint_every = 25;
+  j.validate = factors_ok;
+  if (poison) {
+    FaultEvent ev;
+    ev.target = FaultEvent::Target::kHostReg;
+    ev.at_instr = 85;
+    ev.addr = 0;
+    ev.bit = 1;
+    j.fault_plan.events.push_back(ev);
+  }
+  return j;
+}
+
+void run_batch(benchmark::State& state, const Program& p, unsigned threads,
+               double inject_frac, pbp::Backend backend,
+               std::size_t pool_cap) {
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    JobServerConfig config;
+    config.threads = threads;
+    config.queue_capacity = kBatch;
+    JobServer server(config);
+    const unsigned poisoned =
+        static_cast<unsigned>(kBatch * inject_frac + 0.5);
+    for (unsigned i = 0; i < kBatch; ++i) {
+      Job j = fig10_job(p, i, i < poisoned);
+      j.backend = backend;
+      j.ways = backend == pbp::Backend::kCompressed ? 16 : 8;
+      j.fault_plan.max_pool_symbols = pool_cap;
+      server.submit(std::move(j));
+    }
+    const auto reports = server.wait_all();
+    jobs_done += reports.size();
+    benchmark::DoNotOptimize(reports);
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+}
+
+void BM_serve_clean_batch(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  run_batch(state, p, static_cast<unsigned>(state.range(0)),
+            /*inject_frac=*/0.0, pbp::Backend::kDense, /*pool_cap=*/0);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_serve_clean_batch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_serve_poisoned_batch(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  run_batch(state, p, /*threads=*/8, /*inject_frac=*/0.25,
+            pbp::Backend::kDense, /*pool_cap=*/0);
+}
+BENCHMARK(BM_serve_poisoned_batch)->UseRealTime();
+
+void BM_serve_re_migration_batch(benchmark::State& state) {
+  const Program p = assemble(figure10_source());
+  run_batch(state, p, /*threads=*/8, /*inject_frac=*/0.0,
+            pbp::Backend::kCompressed, /*pool_cap=*/8);
+}
+BENCHMARK(BM_serve_re_migration_batch)->UseRealTime();
+
+void BM_serve_fixed_overhead(benchmark::State& state) {
+  // 2 instructions per job: what's left is queueing, reservation, sim
+  // construction, and report publication.
+  const Program p = assemble("lex $1,1\nsys\n");
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    JobServer server({.threads = 8, .queue_capacity = kBatch});
+    for (unsigned i = 0; i < kBatch; ++i) {
+      Job j;
+      j.program = p;
+      j.max_instructions = 100;
+      server.submit(std::move(j));
+    }
+    jobs_done += server.wait_all().size();
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_serve_fixed_overhead)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

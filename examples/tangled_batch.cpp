@@ -1,0 +1,245 @@
+// tangled_batch — batch front end for the concurrent job service
+// (src/serve): submits a fleet of Figure 10 factoring jobs across every
+// simulator model, optionally poisoning a fraction of them with injected
+// faults, and verifies the server's exactly-once reporting contract before
+// printing a summary.
+//
+//   tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
+//
+// The poison plan flips a bit of $0 late in the run (retired instruction
+// 85 of 91), after the last checkpoint, so a poisoned job CANNOT complete
+// by luck: it either recovers through the checkpointing runner / a serve
+// retry (validate catches the wrong answer) or quarantines with a trap.
+// The binary exits non-zero if any report is lost or duplicated, or if a
+// poisoned job completed without recovering.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+
+using namespace tangled;
+using namespace tangled::serve;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tangled_batch [options]\n"
+      "  --jobs=N         jobs to submit (default 64)\n"
+      "  --threads=K      worker threads (default 8)\n"
+      "  --deadline-ms=N  per-job wall-clock deadline, 0 = none (default 0)\n"
+      "  --inject-frac=F  fraction of jobs given a poison fault plan\n"
+      "                   (default 0.25)\n"
+      "  --retry-max=N    serve-level retries after the runner gives up\n"
+      "                   (default 2)\n"
+      "  --backend=B      dense | re (default dense)\n"
+      "  --ways=N         Qat ways per job (default 8)\n"
+      "  --queue=N        submission queue capacity (default 32)\n"
+      "  --mem-mb=N       global memory budget in MiB (default 256)\n"
+      "  --verbose        print every job report\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 64;
+  unsigned threads = 8;
+  unsigned deadline_ms = 0;
+  double inject_frac = 0.25;
+  int retry_max = 2;
+  unsigned ways = 8;
+  unsigned queue = 32;
+  unsigned mem_mb = 256;
+  pbp::Backend backend = pbp::Backend::kDense;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--jobs", &v)) {
+      jobs = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--threads", &v)) {
+      threads = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--deadline-ms", &v)) {
+      deadline_ms = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--inject-frac", &v)) {
+      inject_frac = std::stod(v);
+    } else if (parse_flag(argv[i], "--retry-max", &v)) {
+      retry_max = std::stoi(v);
+    } else if (parse_flag(argv[i], "--ways", &v)) {
+      ways = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--queue", &v)) {
+      queue = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--mem-mb", &v)) {
+      mem_mb = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(argv[i], "--backend", &v)) {
+      if (v == "dense") {
+        backend = pbp::Backend::kDense;
+      } else if (v == "re" || v == "compressed") {
+        backend = pbp::Backend::kCompressed;
+      } else {
+        usage();
+        return 2;
+      }
+    } else if (std::string(argv[i]) == "--verbose") {
+      verbose = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (inject_frac < 0.0 || inject_frac > 1.0) {
+    std::fprintf(stderr, "tangled_batch: --inject-frac must be in [0,1]\n");
+    return 2;
+  }
+
+  const Program fig10 = assemble(figure10_source());
+  static const SimKind kKinds[] = {SimKind::kFunc,  SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5, SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+
+  JobServerConfig config;
+  config.threads = threads;
+  config.queue_capacity = queue;
+  config.memory_budget_bytes = std::size_t{mem_mb} << 20;
+  config.retry_max = retry_max < 0 ? 0 : static_cast<unsigned>(retry_max);
+  config.default_deadline = std::chrono::milliseconds(deadline_ms);
+  JobServer server(config);
+
+  // Poison: flip bit 1 of $0 ($0 5 -> 7) at retired instruction 85, past
+  // the last 25-instruction checkpoint of the 91-instruction program.  The
+  // retired-instruction clock never rewinds, so re-execution after the
+  // rollback is fault-free and converges on the right factors.
+  const unsigned poisoned =
+      static_cast<unsigned>(static_cast<double>(jobs) * inject_frac + 0.5);
+  std::set<std::uint64_t> poisoned_ids;
+  std::vector<JobServer::JobId> ids;
+  ids.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    Job j;
+    j.sim = kKinds[i % std::size(kKinds)];
+    j.backend = backend;
+    j.ways = ways;
+    j.program = fig10;
+    j.max_instructions = 20'000;
+    j.checkpoint_every = 25;
+    j.validate = factors_ok;
+    const bool poison = i < poisoned;
+    j.name = std::string(sim_kind_name(j.sim)) + (poison ? "/poisoned" : "");
+    if (poison) {
+      FaultEvent ev;
+      ev.target = FaultEvent::Target::kHostReg;
+      ev.at_instr = 85;
+      ev.addr = 0;
+      ev.bit = 1;
+      j.fault_plan.events.push_back(ev);
+    }
+    const auto id = server.submit(std::move(j));
+    if (!id) {
+      std::fprintf(stderr, "tangled_batch: submission %u refused\n", i);
+      return 1;
+    }
+    ids.push_back(*id);
+    if (poison) poisoned_ids.insert(*id);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<JobReport> reports = server.wait_all();
+  server.shutdown(true);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  // --- Verify the exactly-once contract and the recovery contract. ---
+  int violations = 0;
+  std::set<std::uint64_t> seen;
+  for (const auto& r : reports) {
+    if (!seen.insert(r.id).second) {
+      std::fprintf(stderr, "DUPLICATE report for job %llu\n",
+                   static_cast<unsigned long long>(r.id));
+      ++violations;
+    }
+  }
+  for (const auto id : ids) {
+    if (!seen.count(id)) {
+      std::fprintf(stderr, "LOST report for job %llu\n",
+                   static_cast<unsigned long long>(id));
+      ++violations;
+    }
+  }
+  std::map<JobOutcome, unsigned> by_outcome;
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_migrations = 0;
+  unsigned recovered = 0;
+  for (const auto& r : reports) {
+    ++by_outcome[r.outcome];
+    total_retries += r.retries;
+    total_migrations += r.backend_migrations;
+    if (r.recovered) ++recovered;
+    if (verbose) std::printf("%s\n", r.to_string().c_str());
+    if (poisoned_ids.count(r.id)) {
+      const bool recovered_ok =
+          r.outcome == JobOutcome::kCompleted && r.retries > 0;
+      const bool quarantined_ok = r.outcome == JobOutcome::kQuarantined;
+      const bool stopped_ok = r.outcome == JobOutcome::kDeadlineExpired ||
+                              r.outcome == JobOutcome::kCancelled;
+      if (!recovered_ok && !quarantined_ok && !stopped_ok) {
+        std::fprintf(stderr,
+                     "POISONED job neither recovered nor quarantined: %s\n",
+                     r.to_string().c_str());
+        ++violations;
+      }
+    }
+  }
+
+  const ServerStats s = server.stats();
+  std::printf("tangled_batch: %zu jobs on %u threads in %.1f ms "
+              "(%.1f jobs/s)\n",
+              reports.size(), threads, wall_ms,
+              wall_ms > 0 ? 1000.0 * static_cast<double>(reports.size()) /
+                                wall_ms
+                          : 0.0);
+  std::printf("  completed %u, quarantined %u, deadline-expired %u, "
+              "cancelled %u, rejected %u, errors %u\n",
+              by_outcome[JobOutcome::kCompleted],
+              by_outcome[JobOutcome::kQuarantined],
+              by_outcome[JobOutcome::kDeadlineExpired],
+              by_outcome[JobOutcome::kCancelled],
+              by_outcome[JobOutcome::kRejectedMemory],
+              by_outcome[JobOutcome::kError]);
+  std::printf("  poisoned %u, recovered %u, retries %llu, migrations %llu "
+              "(shed %llu), peak memory %zu KiB\n",
+              poisoned, recovered,
+              static_cast<unsigned long long>(total_retries),
+              static_cast<unsigned long long>(total_migrations),
+              static_cast<unsigned long long>(s.migrations_shed),
+              s.peak_in_flight_bytes >> 10);
+  if (violations != 0) {
+    std::fprintf(stderr, "tangled_batch: %d contract violation(s)\n",
+                 violations);
+    return 1;
+  }
+  std::printf("  exactly-once contract: OK\n");
+  return 0;
+}

@@ -185,7 +185,7 @@ int run_main(int argc, char** argv) {
 
   Program program;
   try {
-    program = assemble(source);
+    program = assemble(source, path == "-" ? "<stdin>" : path);
   } catch (const AsmError& e) {
     std::fprintf(stderr, "tangled_run: %s\n", e.what());
     return 1;

@@ -7,9 +7,14 @@
 #   scripts/check.sh soak       fault-injection soak (ctest -L soak) under
 #                               the sanitizer config — the ISSUE's
 #                               "no uncaught exception, ever" gate
-#   scripts/check.sh --all      both configs + the sanitized soak
+#   scripts/check.sh tsan       serve-layer concurrency tests (ctest -L
+#                               serve) under -DTANGLED_TSAN=ON
+#                               (ThreadSanitizer) — the data-race gate for
+#                               src/serve
+#   scripts/check.sh --all     both configs + the sanitized soak + the
+#                               TSAN serve run
 #
-# Build trees: build/ (normal, the repo default) and build-asan/.
+# Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,6 +39,18 @@ run_soak() {
   ctest --test-dir build-asan -L soak --output-on-failure -j "$(nproc)"
 }
 
+run_tsan() {
+  echo "== configuring build-tsan (-DTANGLED_TSAN=ON) =="
+  cmake -B build-tsan -S . -DTANGLED_TSAN=ON >/dev/null
+  echo "== building TSAN serve harnesses =="
+  cmake --build build-tsan -j "$(nproc)" \
+    --target tangled_serve_tests tangled_serve_stress tangled_batch
+  echo "== serve concurrency tests (ctest -L serve, ThreadSanitizer) =="
+  ctest --test-dir build-tsan -L serve --output-on-failure
+  echo "== tangled_batch acceptance run (ThreadSanitizer) =="
+  ./build-tsan/examples/tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
+}
+
 mode="${1:-}"
 
 case "${mode}" in
@@ -43,16 +60,20 @@ case "${mode}" in
   soak)
     run_soak
     ;;
+  tsan)
+    run_tsan
+    ;;
   --all)
     run_config build
     run_config build-asan -DTANGLED_SANITIZE=ON
     run_soak
+    run_tsan
     ;;
   "")
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan]" >&2
     exit 2
     ;;
 esac

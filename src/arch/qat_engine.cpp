@@ -18,82 +18,94 @@ void QatEngine::set_reg(unsigned r, const Aob& v) {
 
 void QatEngine::zero(unsigned a) {
   mutate([&] { backend_->zero(a & 0xffu); });
-  ++stats_.ops;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::one(unsigned a) {
   mutate([&] { backend_->one(a & 0xffu); });
-  ++stats_.ops;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::had(unsigned a, unsigned k) {
   mutate([&] { backend_->had(a & 0xffu, k); });
-  ++stats_.ops;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::not_(unsigned a) {
   mutate([&] { backend_->not_(a & 0xffu); });
-  ++stats_.ops;
-  ++stats_.reg_reads;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::cnot(unsigned a, unsigned b) {
   mutate([&] { backend_->cnot(a & 0xffu, b & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 2;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(2, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::ccnot(unsigned a, unsigned b, unsigned c) {
   mutate([&] { backend_->ccnot(a & 0xffu, b & 0xffu, c & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 3;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(3, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::swap(unsigned a, unsigned b) {
   mutate([&] { backend_->swap(a & 0xffu, b & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 2;
-  stats_.reg_writes += 2;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(2, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(2, std::memory_order_relaxed);
 }
 
 void QatEngine::cswap(unsigned a, unsigned b, unsigned c) {
   mutate([&] { backend_->cswap(a & 0xffu, b & 0xffu, c & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 3;
-  stats_.reg_writes += 2;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(3, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(2, std::memory_order_relaxed);
 }
 
 void QatEngine::and_(unsigned a, unsigned b, unsigned c) {
   mutate([&] { backend_->and_(a & 0xffu, b & 0xffu, c & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 2;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(2, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::or_(unsigned a, unsigned b, unsigned c) {
   mutate([&] { backend_->or_(a & 0xffu, b & 0xffu, c & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 2;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(2, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
   mutate([&] { backend_->xor_(a & 0xffu, b & 0xffu, c & 0xffu); });
-  ++stats_.ops;
-  stats_.reg_reads += 2;
-  ++stats_.reg_writes;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(2, std::memory_order_relaxed);
+  stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool QatEngine::try_degrade_to_dense() {
   if (backend_->kind() != pbp::Backend::kCompressed ||
       backend_->ways() > pbp::kMaxAobWays) {
     return false;
+  }
+  // Memory-pressure veto (serve-layer admission control): a migration
+  // replaces kilobytes of runs with the full dense register file, so ask the
+  // installed guard for the extra bytes first.  A veto means the exhaustion
+  // escapes as a clean kResourceExhausted trap instead.
+  if (migration_guard_) {
+    const std::size_t dense =
+        pbp::dense_backend_bytes(backend_->ways(), backend_->num_regs());
+    const std::size_t current = backend_->storage_bytes();
+    if (!migration_guard_(dense > current ? dense - current : 0)) {
+      return false;
+    }
   }
   // Decompress every live register into a fresh dense file.  reg_aob only
   // reads interned chunks — it never allocates new pool symbols — so this
@@ -104,7 +116,7 @@ bool QatEngine::try_degrade_to_dense() {
     dense->set_reg_aob(r, backend_->reg_aob(r));
   }
   backend_ = std::move(dense);
-  ++stats_.backend_migrations;
+  stats_.backend_migrations.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -132,23 +144,23 @@ void QatEngine::restore(pbp::ByteReader& r) {
 }
 
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {
-  ++stats_.ops;
-  ++stats_.reg_reads;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(1, std::memory_order_relaxed);
   // The hardware indexes a 2^WAYS-bit vector with a 16-bit register; the
   // backend masks ch to the channel range exactly as the mux tree would.
   return backend_->meas(a & 0xffu, ch) ? 1 : 0;
 }
 
 std::uint16_t QatEngine::next(unsigned a, std::uint16_t ch) const {
-  ++stats_.ops;
-  ++stats_.reg_reads;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(1, std::memory_order_relaxed);
   const auto r = backend_->next_one(a & 0xffu, ch);
   return r ? static_cast<std::uint16_t>(*r) : 0;
 }
 
 std::uint16_t QatEngine::pop(unsigned a, std::uint16_t ch) const {
-  ++stats_.ops;
-  ++stats_.reg_reads;
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.reg_reads.fetch_add(1, std::memory_order_relaxed);
   return static_cast<std::uint16_t>(backend_->pop_after(a & 0xffu, ch));
 }
 

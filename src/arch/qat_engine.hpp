@@ -27,7 +27,9 @@
 // tests/test_qat_engine.cpp proves the two models identical.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -40,11 +42,43 @@
 namespace tangled {
 
 /// Statistics a hardware counter block would expose.
+///
+/// The counters are atomics so a monitoring thread (the serve layer's
+/// progress reporting, src/serve) can read them while the owning job is
+/// mutating the engine on its worker thread.  Increments use relaxed
+/// ordering: each counter is an independent monotone tally, and a reader
+/// only needs freedom from torn/duplicated values, not cross-counter
+/// consistency — snapshot() documents exactly that contract.
 struct QatStats {
-  std::uint64_t ops = 0;            // Qat instructions executed
-  std::uint64_t reg_reads = 0;      // register-file read ports used
-  std::uint64_t reg_writes = 0;     // register-file write ports used
-  std::uint64_t backend_migrations = 0;  // RE→dense graceful degradations
+  std::atomic<std::uint64_t> ops{0};        // Qat instructions executed
+  std::atomic<std::uint64_t> reg_reads{0};  // register-file read ports used
+  std::atomic<std::uint64_t> reg_writes{0}; // register-file write ports used
+  std::atomic<std::uint64_t> backend_migrations{0};  // RE→dense degradations
+
+  QatStats() = default;
+  QatStats(const QatStats& o) { *this = o; }
+  QatStats& operator=(const QatStats& o) {
+    ops.store(o.ops.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    reg_reads.store(o.reg_reads.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    reg_writes.store(o.reg_writes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    backend_migrations.store(
+        o.backend_migrations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+/// A plain (non-atomic) copy of the counters, taken with relaxed loads.
+/// Each field is individually exact; fields may be skewed relative to each
+/// other by operations in flight at snapshot time.
+struct QatStatsSnapshot {
+  std::uint64_t ops = 0;
+  std::uint64_t reg_reads = 0;
+  std::uint64_t reg_writes = 0;
+  std::uint64_t backend_migrations = 0;
 };
 
 class QatEngine {
@@ -110,6 +144,13 @@ class QatEngine {
   void execute(const Instr& i, std::uint16_t& d_value);
 
   const QatStats& stats() const { return stats_; }
+  /// Relaxed-load copy of the counters, safe from any thread (see QatStats).
+  QatStatsSnapshot stats_snapshot() const {
+    return {stats_.ops.load(std::memory_order_relaxed),
+            stats_.reg_reads.load(std::memory_order_relaxed),
+            stats_.reg_writes.load(std::memory_order_relaxed),
+            stats_.backend_migrations.load(std::memory_order_relaxed)};
+  }
   void reset_stats() { stats_ = {}; }
 
   // --- Fault tolerance ---
@@ -120,6 +161,15 @@ class QatEngine {
   /// any mutating operation, may trigger an RE→dense migration if the pool
   /// is exhausted.
   void flip_channel(unsigned r, std::size_t ch);
+  /// Memory-pressure hook (serve layer admission control): called with the
+  /// extra bytes an RE→dense migration would materialize, before it runs.
+  /// Returning false vetoes the migration — the exhaustion then surfaces as
+  /// a clean kResourceExhausted trap instead of a multi-gigabyte dense
+  /// register file appearing under a loaded server.  The guard survives
+  /// checkpoint restore (it is policy, not machine state).
+  void set_migration_guard(std::function<bool(std::size_t)> guard) {
+    migration_guard_ = std::move(guard);
+  }
   /// Snapshot / restore the whole coprocessor: register file (either
   /// backend) plus the hardware counters.
   void serialize(pbp::ByteWriter& w) const;
@@ -161,6 +211,7 @@ class QatEngine {
 
   std::unique_ptr<pbp::QatBackend> backend_;
   mutable QatStats stats_;
+  std::function<bool(std::size_t)> migration_guard_;
 };
 
 }  // namespace tangled

@@ -36,23 +36,44 @@ struct RecoveryStats {
   std::uint64_t rollbacks = 0;  // restores of the latest checkpoint
   std::uint64_t restarts = 0;   // restores of the initial checkpoint
   std::uint64_t instructions = 0;  // total retired, re-execution included
+  std::uint64_t cycles = 0;        // total simulated, re-execution included
   Trap final_trap{};
   bool halted = false;
   bool recovered = false;  // at least one restore happened along the way
   bool gave_up = false;    // attempt budget exhausted without a clean finish
+  bool stopped = false;    // the caller's should_stop predicate fired
 };
 
 template <typename Sim>
 class CheckpointingRunner {
  public:
-  CheckpointingRunner(Sim& sim, std::uint64_t checkpoint_every)
-      : sim_(sim), every_(checkpoint_every) {}
+  /// `slice_cap` (0 = unlimited) bounds any single sim.run() slice even in
+  /// restart-only mode, so a caller's should_stop predicate (deadline,
+  /// cancellation — src/serve) is consulted at least that often.  Only safe
+  /// on the instruction-atomic models; leave it 0 for RtlPipelineSim, whose
+  /// run() discards in-flight pipeline latches between calls.  When both
+  /// checkpoint_every and slice_cap are set, the checkpoint cadence is their
+  /// minimum (a checkpoint is taken after every clean slice).
+  CheckpointingRunner(Sim& sim, std::uint64_t checkpoint_every,
+                      std::uint64_t slice_cap = 0)
+      : sim_(sim), every_(checkpoint_every), slice_cap_(slice_cap) {}
 
   /// Run to completion (at most max_instructions along any one lineage).
   /// `validate` is called on a clean halt; returning false marks the run as
   /// silently corrupted and triggers recovery exactly like a trap.
   template <typename Validate>
   RecoveryStats run(std::uint64_t max_instructions, Validate&& validate) {
+    return run(max_instructions, std::forward<Validate>(validate),
+               [] { return false; });
+  }
+
+  /// As above, plus a cooperative stop predicate checked between slices.
+  /// When it returns true the runner returns immediately with stopped set;
+  /// the machine is left exactly as the last slice left it (no restore), so
+  /// the caller can inspect partial state before discarding the sim.
+  template <typename Validate, typename ShouldStop>
+  RecoveryStats run(std::uint64_t max_instructions, Validate&& validate,
+                    ShouldStop&& should_stop) {
     RecoveryStats rs;
     const std::vector<std::uint8_t> initial =
         save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
@@ -69,11 +90,16 @@ class CheckpointingRunner {
     std::uint64_t failures = 0;
 
     while (true) {
-      const std::uint64_t slice =
-          every_ == 0 ? max_instructions - completed
-                      : std::min(every_, max_instructions - completed);
+      if (should_stop()) {
+        rs.stopped = true;
+        return rs;
+      }
+      std::uint64_t slice = max_instructions - completed;
+      if (every_ != 0) slice = std::min(slice, every_);
+      if (slice_cap_ != 0) slice = std::min(slice, slice_cap_);
       const SimStats s = sim_.run(slice);
       rs.instructions += s.instructions;
+      rs.cycles += s.cycles;
       completed += s.instructions;
 
       if (s.halted && !s.trap && validate(sim_)) {
@@ -109,15 +135,20 @@ class CheckpointingRunner {
         continue;
       }
 
-      latest = save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
-      base = completed;
-      ++rs.checkpoints_taken;
+      // Restart-only mode (every_ == 0) never snapshots mid-run, even when a
+      // slice cap splits the run for stop-predicate polling.
+      if (every_ != 0) {
+        latest = save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
+        base = completed;
+        ++rs.checkpoints_taken;
+      }
     }
   }
 
  private:
   Sim& sim_;
   std::uint64_t every_;
+  std::uint64_t slice_cap_;
 };
 
 }  // namespace tangled

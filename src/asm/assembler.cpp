@@ -47,8 +47,28 @@ std::vector<Line> parse_lines(const std::string& source) {
   std::size_t number = 0;
   while (std::getline(in, raw)) {
     ++number;
-    // Strip comment.
-    if (const auto pos = raw.find(';'); pos != std::string::npos) {
+    // Strip comment — quote-aware, so `;` inside a string literal is text.
+    // A string left open at end of line is a hard error here, before the
+    // naive splitting below can scramble it into nonsense operands.
+    {
+      bool in_string = false;
+      std::size_t pos = raw.size();
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char c = raw[i];
+        if (in_string) {
+          if (c == '\\' && i + 1 < raw.size()) {
+            ++i;  // escaped character, including \"
+          } else if (c == '"') {
+            in_string = false;
+          }
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == ';') {
+          pos = i;
+          break;
+        }
+      }
+      if (in_string) throw AsmError(number, "unterminated string literal");
       raw.resize(pos);
     }
     std::string text = trim(raw);
@@ -56,9 +76,12 @@ std::vector<Line> parse_lines(const std::string& source) {
     Line line;
     line.number = number;
     // Constant definition: `name = value` (an equ).  Encoded as the pseudo
-    // mnemonic "=" with the name as first operand.
+    // mnemonic "=" with the name as first operand.  `=` or `:` inside a
+    // string literal is text, so only look left of the first quote.
+    const std::size_t quote = text.find('"');
     if (const auto eq = text.find('='); eq != std::string::npos &&
-                                        text.find(':') == std::string::npos) {
+                                        eq < quote &&
+                                        text.find(':') >= quote) {
       const std::string name = trim(text.substr(0, eq));
       const std::string value = trim(text.substr(eq + 1));
       if (!is_ident(name) || value.empty()) {
@@ -72,7 +95,7 @@ std::vector<Line> parse_lines(const std::string& source) {
     // Leading label(s).
     while (true) {
       const auto colon = text.find(':');
-      if (colon == std::string::npos) break;
+      if (colon == std::string::npos || colon > text.find('"')) break;
       const std::string head = trim(text.substr(0, colon));
       if (!is_ident(head)) {
         throw AsmError(number, "bad label '" + head + "'");
@@ -94,8 +117,20 @@ std::vector<Line> parse_lines(const std::string& source) {
       if (sp != std::string::npos) {
         std::string ops = text.substr(sp + 1);
         std::string cur;
-        for (const char c : ops) {
-          if (c == ',') {
+        bool in_string = false;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          const char c = ops[i];
+          if (in_string) {
+            cur += c;
+            if (c == '\\' && i + 1 < ops.size()) {
+              cur += ops[++i];
+            } else if (c == '"') {
+              in_string = false;
+            }
+          } else if (c == '"') {
+            in_string = true;
+            cur += c;
+          } else if (c == ',') {
             line.operands.push_back(trim(cur));
             cur.clear();
           } else {
@@ -169,6 +204,7 @@ enum class Form {
   kWord,      // .word
   kSpace,     // .space n — n zero words
   kOrigin,    // .origin addr — pad with zeros to addr
+  kAscii,     // .ascii "text" — one character per word
   kEqu,       // name = value
 };
 
@@ -231,6 +267,7 @@ std::optional<Stmt> classify(const Line& line) {
   if (m == ".word") return Stmt{Form::kWord};
   if (m == ".space") return Stmt{Form::kSpace};
   if (m == ".origin") return Stmt{Form::kOrigin};
+  if (m == ".ascii") return Stmt{Form::kAscii};
   if (m == "=") return Stmt{Form::kEqu};
   return std::nullopt;
 }
@@ -262,6 +299,7 @@ std::size_t stmt_words(const Stmt& s) {
       return 4;  // branch-over ; jump(3)
     case Form::kSpace:
     case Form::kOrigin:
+    case Form::kAscii:
     case Form::kEqu:
       return 0;  // sized by place_labels (value-dependent / no output)
   }
@@ -305,17 +343,31 @@ class Assembler {
               static_cast<std::uint16_t>(early_value(line, 1));
           break;
         }
-        case Form::kSpace:
-          pc += static_cast<std::size_t>(early_value(line, 0));
+        case Form::kSpace: {
+          const long n = early_value(line, 0);
+          // Guard before the size_t cast: a negative count would wrap to an
+          // enormous block and surface as a baffling "program too large".
+          if (n < 0 || n > 0x10000) {
+            throw AsmError(line.number, ".space count out of range (0..65536)");
+          }
+          pc += static_cast<std::size_t>(n);
           break;
+        }
         case Form::kOrigin: {
           const long target = early_value(line, 0);
+          if (target < 0 || target > 0x10000) {
+            throw AsmError(line.number,
+                           ".origin address out of range (0..65536)");
+          }
           if (target < static_cast<long>(pc)) {
             throw AsmError(line.number, ".origin moves backwards");
           }
           pc = static_cast<std::size_t>(target);
           break;
         }
+        case Form::kAscii:
+          pc += need_string(line, 0).size();
+          break;
         default:
           pc += stmt_words(*stmt);
           break;
@@ -375,6 +427,43 @@ class Assembler {
       return it->second;
     }
     throw AsmError(line.number, "undefined symbol '" + s + "'");
+  }
+
+  /// Decode a quoted string operand ("text", \n \t \0 \\ \" escapes).
+  std::string need_string(const Line& line, std::size_t idx) const {
+    if (idx >= line.operands.size()) {
+      throw AsmError(line.number, "missing string operand");
+    }
+    const std::string& s = line.operands[idx];
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+      throw AsmError(line.number, "expected a quoted string, got '" + s + "'");
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+      char c = s[i];
+      if (c == '"') {
+        // A closing quote with trailing junk ("ab"c) ends up here.
+        throw AsmError(line.number, "malformed string literal " + s);
+      }
+      if (c == '\\') {
+        if (i + 2 >= s.size()) {
+          throw AsmError(line.number, "dangling escape in string literal");
+        }
+        const char e = s[++i];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default:
+            throw AsmError(line.number,
+                           std::string("unknown escape '\\") + e + "'");
+        }
+      }
+      out += c;
+    }
+    return out;
   }
 
   void expect_operands(const Line& line, std::size_t n) const {
@@ -568,6 +657,9 @@ class Assembler {
         case Form::kSpace: {
           expect_operands(line, 1);
           const long n = need_value(line, 0);
+          if (n < 0 || n > 0x10000) {
+            throw AsmError(line.number, ".space count out of range (0..65536)");
+          }
           program_.words.insert(program_.words.end(),
                                 static_cast<std::size_t>(n), 0);
           break;
@@ -576,6 +668,14 @@ class Assembler {
           expect_operands(line, 1);
           const auto target = static_cast<std::size_t>(need_value(line, 0));
           program_.words.resize(target, 0);
+          break;
+        }
+        case Form::kAscii: {
+          expect_operands(line, 1);
+          for (const char c : need_string(line, 0)) {
+            program_.words.push_back(
+                static_cast<std::uint16_t>(static_cast<unsigned char>(c)));
+          }
           break;
         }
         case Form::kEqu:
@@ -590,7 +690,15 @@ class Assembler {
 
 }  // namespace
 
-Program assemble(const std::string& source) { return Assembler(source).run(); }
+Program assemble(const std::string& source, const std::string& file) {
+  try {
+    return Assembler(source).run();
+  } catch (const AsmError& e) {
+    // Internal throws carry line numbers only; attach the file name at the
+    // single public boundary so every diagnostic reads "file:line: message".
+    throw AsmError(file, e.line(), e.message());
+  }
+}
 
 std::string disassemble_words(const std::vector<std::uint16_t>& words,
                               std::size_t max_words) {

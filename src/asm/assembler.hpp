@@ -15,7 +15,9 @@
 //       jumpf $c,lab      →  brt $c,+skip ; jump lab
 //       jumpt $c,lab      →  brf $c,+skip ; jump lab
 //       li $d,imm16       →  lex $d,low8 ; lhi $d,high8
-//   * `.word value` data directive
+//   * `.word value`, `.space n`, `.origin addr`, and `.ascii "text"` data
+//     directives (.ascii stores one character per word; \n \t \0 \\ \"
+//     escapes; `;` inside quotes is text, not a comment)
 //
 // Branch targets must be within the signed-8-bit PC-relative range;
 // assembly errors carry 1-based line numbers.
@@ -31,15 +33,26 @@
 
 namespace tangled {
 
+/// Structured assembly diagnostic: file (when known), 1-based source line,
+/// and the bare message.  what() renders the conventional "file:line: msg".
 class AsmError : public std::runtime_error {
  public:
   AsmError(std::size_t line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+      : AsmError("<input>", line, message) {}
+  AsmError(const std::string& file, std::size_t line,
+           const std::string& message)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + message),
+        file_(file),
+        line_(line),
+        message_(message) {}
+  const std::string& file() const { return file_; }
   std::size_t line() const { return line_; }
+  const std::string& message() const { return message_; }
 
  private:
+  std::string file_;
   std::size_t line_;
+  std::string message_;
 };
 
 struct Program {
@@ -48,8 +61,10 @@ struct Program {
   std::size_t instruction_count = 0;                   // after macro expansion
 };
 
-/// Assemble `source`; throws AsmError on the first problem.
-Program assemble(const std::string& source);
+/// Assemble `source`; throws AsmError on the first problem.  `file` names
+/// the source in diagnostics ("prog.s:12: unknown instruction ...").
+Program assemble(const std::string& source,
+                 const std::string& file = "<input>");
 
 /// Disassemble a memory image into one line per instruction (for the CLI and
 /// round-trip tests).  Stops at `max_words` or the end of the image.

@@ -356,6 +356,14 @@ std::unique_ptr<ReQatBackend> ReQatBackend::deserialize(ByteReader& r) {
 
 // ---------------------------------------------------------------------------
 
+std::size_t dense_backend_bytes(unsigned ways, unsigned num_regs) {
+  if (ways >= 64) return SIZE_MAX;
+  const std::size_t per_reg = (std::size_t{1} << ways) / 8;
+  if (per_reg != 0 && num_regs > SIZE_MAX / per_reg) return SIZE_MAX;
+  // Sub-byte registers (ways < 3) still occupy at least a word each.
+  return num_regs * std::max<std::size_t>(per_reg, 8);
+}
+
 std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
                                              unsigned num_regs,
                                              unsigned chunk_ways) {

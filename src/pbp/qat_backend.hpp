@@ -216,6 +216,14 @@ class ReQatBackend final : public QatBackend {
   std::vector<std::shared_ptr<const Re>> constants_;
 };
 
+/// Bytes a dense register file of this geometry materializes (the §1.2
+/// storage claim, and the serve layer's admission-control unit): num_regs
+/// registers of 2^ways bits.  This is what an RE→dense migration would
+/// allocate, so admission control and the QatEngine migration guard both
+/// price jobs with it.  Saturates at SIZE_MAX instead of overflowing for
+/// ways near the 64-bit limit.
+std::size_t dense_backend_bytes(unsigned ways, unsigned num_regs = 256);
+
 /// Factory keyed by the pbit-layer Backend enum (the user-facing choice).
 std::unique_ptr<QatBackend> make_qat_backend(Backend kind, unsigned ways,
                                              unsigned num_regs = 256,

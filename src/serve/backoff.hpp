@@ -1,0 +1,36 @@
+// backoff.hpp — capped exponential backoff with jitter for serve-level
+// retries.
+//
+// Attempt n (1-based) doubles a base delay up to a cap, then draws the
+// actual sleep uniformly from [delay/2, delay]: the lower bound keeps some
+// separation between retrying jobs even with an unlucky draw, the jitter
+// decorrelates jobs that failed together (the classic thundering-herd fix).
+// Deterministic given the caller's RNG, so tests can pin exact schedules.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace tangled::serve {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds base{2};
+  std::chrono::milliseconds cap{250};
+};
+
+/// Jittered delay before retry `attempt` (1-based: the delay slept after
+/// the attempt-th failure).  Zero base yields zero (backoff disabled).
+inline std::chrono::milliseconds backoff_delay(const BackoffPolicy& policy,
+                                               unsigned attempt,
+                                               std::mt19937_64& rng) {
+  if (policy.base.count() <= 0) return std::chrono::milliseconds{0};
+  // base << (attempt-1), saturating at the cap without shifting into UB.
+  std::int64_t d = policy.base.count();
+  for (unsigned i = 1; i < attempt && d < policy.cap.count(); ++i) d *= 2;
+  d = std::min<std::int64_t>(d, policy.cap.count());
+  std::uniform_int_distribution<std::int64_t> jitter(d - d / 2, d);
+  return std::chrono::milliseconds{jitter(rng)};
+}
+
+}  // namespace tangled::serve

@@ -1,0 +1,78 @@
+#include "serve/job.hpp"
+
+#include <stdexcept>
+
+namespace tangled::serve {
+
+const char* sim_kind_name(SimKind k) {
+  switch (k) {
+    case SimKind::kFunc:
+      return "func";
+    case SimKind::kMulti:
+      return "multi";
+    case SimKind::kMultiFsm:
+      return "multi-fsm";
+    case SimKind::kPipe4:
+      return "pipe4";
+    case SimKind::kPipe5:
+      return "pipe5";
+    case SimKind::kPipe5NoFwd:
+      return "pipe5-nofwd";
+    case SimKind::kRtl:
+      return "rtl";
+  }
+  return "unknown";
+}
+
+SimKind parse_sim_kind(const std::string& name) {
+  if (name == "func") return SimKind::kFunc;
+  if (name == "multi") return SimKind::kMulti;
+  if (name == "multi-fsm") return SimKind::kMultiFsm;
+  if (name == "pipe4") return SimKind::kPipe4;
+  if (name == "pipe5") return SimKind::kPipe5;
+  if (name == "pipe5-nofwd") return SimKind::kPipe5NoFwd;
+  if (name == "rtl") return SimKind::kRtl;
+  throw std::invalid_argument("unknown simulator kind '" + name + "'");
+}
+
+const char* job_outcome_name(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::kCompleted:
+      return "completed";
+    case JobOutcome::kQuarantined:
+      return "quarantined";
+    case JobOutcome::kDeadlineExpired:
+      return "deadline-expired";
+    case JobOutcome::kCancelled:
+      return "cancelled";
+    case JobOutcome::kRejectedMemory:
+      return "rejected-memory";
+    case JobOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string JobReport::to_string() const {
+  std::string s = "job " + std::to_string(id);
+  if (!name.empty()) s += " (" + name + ")";
+  s += ": ";
+  s += job_outcome_name(outcome);
+  if (outcome == JobOutcome::kQuarantined) {
+    s += " [trap: ";
+    s += trap_kind_name(trap.kind);
+    s += "]";
+  }
+  if (outcome == JobOutcome::kError) s += " [" + error + "]";
+  s += ", attempts " + std::to_string(attempts);
+  s += ", retries " + std::to_string(retries);
+  if (recovered) s += " (recovered)";
+  s += ", " + std::to_string(instructions) + " instr";
+  s += ", " + std::to_string(qat_ops) + " qat ops";
+  if (backend_migrations != 0) {
+    s += ", " + std::to_string(backend_migrations) + " migration(s)";
+  }
+  return s;
+}
+
+}  // namespace tangled::serve

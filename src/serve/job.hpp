@@ -1,0 +1,107 @@
+// job.hpp — job descriptions and terminal reports for the concurrent
+// Tangled/Qat job service (src/serve/job_server.hpp).
+//
+// A Job is everything needed to run one machine to completion: the
+// assembled program, which of the five simulator models executes it, the
+// Qat register-file backend and width, a fault-injection plan, and the
+// per-job robustness knobs (instruction budget, cycle watchdog, checkpoint
+// cadence, wall-clock deadline, retry budget).  A JobReport is the single
+// terminal record the server publishes for every admitted job — exactly
+// once, whatever happened: clean completion, recovery, quarantine after the
+// retry budget, deadline expiry, cancellation, or memory-admission
+// rejection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "arch/cpu.hpp"
+#include "arch/fault.hpp"
+#include "arch/trap.hpp"
+#include "asm/assembler.hpp"
+
+namespace tangled::serve {
+
+/// Which of the five implementation models executes the job.
+enum class SimKind : std::uint8_t {
+  kFunc,        // single-cycle (Figure 6)
+  kMulti,       // multi-cycle, accounting form
+  kMultiFsm,    // multi-cycle, explicit state machine
+  kPipe4,       // 4-stage pipeline
+  kPipe5,       // 5-stage pipeline
+  kPipe5NoFwd,  // 5-stage, forwarding disabled
+  kRtl,         // latch-level 5-stage pipeline (restart-only recovery)
+};
+
+const char* sim_kind_name(SimKind k);
+/// Parse "func" / "multi" / "multi-fsm" / "pipe4" / "pipe5" /
+/// "pipe5-nofwd" / "rtl"; throws std::invalid_argument otherwise.
+SimKind parse_sim_kind(const std::string& name);
+
+struct Job {
+  std::string name;  // free-form tag echoed into the report
+  Program program;
+  SimKind sim = SimKind::kFunc;
+  pbp::Backend backend = pbp::Backend::kDense;
+  unsigned ways = 8;
+
+  std::uint64_t max_instructions = 10'000'000;
+  std::uint64_t max_cycles = 0;        // cycle watchdog, 0 = off
+  /// Checkpoint cadence for rollback recovery (arch/recovery.hpp); 0 =
+  /// restart-only.  Forced to 0 on the RTL model, where mid-run slicing is
+  /// not architecturally sound.
+  std::uint64_t checkpoint_every = 0;
+  FaultPlan fault_plan;
+
+  /// Wall-clock deadline measured from submission (queue wait included);
+  /// zero means "use the server default" (which may itself be none).
+  std::chrono::milliseconds deadline{0};
+  /// Serve-level retries (full re-runs with exponential backoff) after the
+  /// checkpointing runner gives up; -1 means "use the server default".
+  int retry_max = -1;
+
+  /// Called on a clean halt; returning false marks the run as silently
+  /// corrupted and triggers recovery exactly like a trap.  Null accepts any
+  /// clean halt.
+  std::function<bool(const CpuState&)> validate;
+};
+
+enum class JobOutcome : std::uint8_t {
+  kCompleted,       // clean halt (validate passed); may have recovered
+  kQuarantined,     // retry budget exhausted; trap records the last cause
+  kDeadlineExpired, // wall-clock deadline hit (queued or running)
+  kCancelled,       // cooperative cancellation honoured
+  kRejectedMemory,  // admission control: register file exceeds the budget
+  kError,           // configuration error (bad ways/backend combination)
+};
+
+const char* job_outcome_name(JobOutcome o);
+
+/// The single terminal record for an admitted job.
+struct JobReport {
+  std::uint64_t id = 0;
+  std::string name;
+  JobOutcome outcome = JobOutcome::kError;
+  Trap trap{};               // terminal trap when quarantined (may be kNone
+                             // for a wrong-answer or livelock quarantine)
+  std::string error;         // kError detail
+
+  unsigned attempts = 0;         // checkpointing-runner invocations
+  std::uint64_t retries = 0;     // rollbacks + restarts + re-run attempts
+  bool recovered = false;        // at least one retry happened
+  std::uint64_t instructions = 0;  // retired, re-execution included
+  std::uint64_t cycles = 0;        // simulated cycles, re-execution included
+  std::uint64_t qat_ops = 0;
+  std::uint64_t backend_migrations = 0;  // RE→dense degradations
+
+  std::size_t reserved_bytes = 0;  // memory-budget reservation held
+  double queue_ms = 0.0;    // submission → execution start
+  double exec_ms = 0.0;     // execution start → terminal
+  double backoff_ms = 0.0;  // of exec_ms, spent sleeping between retries
+
+  std::string to_string() const;
+};
+
+}  // namespace tangled::serve

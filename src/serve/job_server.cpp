@@ -1,0 +1,551 @@
+#include "serve/job_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <random>
+
+#include "arch/multicycle_fsm.hpp"
+#include "arch/recovery.hpp"
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+#include "serve/backoff.hpp"
+
+namespace tangled::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Reservation charged for an RE job's compressed register file + chunk
+/// pool.  Deliberately generous: real compressed files measure in the tens
+/// of kilobytes (EXPERIMENTS.md §1.2); a migration to dense re-reserves the
+/// difference through the migration guard.
+constexpr std::size_t kReReserveBytes = std::size_t{4} << 20;  // 4 MiB
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+struct JobServer::JobState {
+  std::atomic<bool> cancel{false};
+  std::atomic<JobPhase> phase{JobPhase::kQueued};
+  std::atomic<unsigned> attempts{0};
+  /// Extra budget bytes reserved by RE→dense migrations in the CURRENT
+  /// attempt (guarded by the server mutex; released when the attempt's sim
+  /// is destroyed).
+  std::size_t extra_reserved = 0;
+
+  /// Guards `engine` (set while a sim is live on the worker stack) and the
+  /// backoff sleep.  progress() reads the engine's atomic counters under
+  /// this mutex; the worker clears the pointer under it before destroying
+  /// the sim, so a reader can never touch a dead engine.
+  mutable std::mutex mu;
+  std::condition_variable cv;  // backoff sleeps; woken by cancel()
+  const QatEngine* engine = nullptr;
+};
+
+struct JobServer::QueuedJob {
+  JobId id = 0;
+  Job job;
+  Clock::time_point submitted;
+  Clock::time_point deadline;  // Clock::time_point::max() = none
+  Clock::time_point started;   // filled at dequeue
+  std::shared_ptr<JobState> state;
+};
+
+JobServer::JobServer(JobServerConfig config) : config_(config) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  workers_.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+JobServer::~JobServer() { shutdown(true); }
+
+std::optional<JobServer::JobId> JobServer::submit(Job job) {
+  std::unique_lock lk(mu_);
+  space_cv_.wait(lk, [&] {
+    return !accepting_ || queue_.size() < config_.queue_capacity;
+  });
+  if (!accepting_) return std::nullopt;
+
+  auto qj = std::make_unique<QueuedJob>();
+  qj->id = next_id_++;
+  qj->job = std::move(job);
+  qj->submitted = Clock::now();
+  const auto deadline = qj->job.deadline.count() > 0
+                            ? qj->job.deadline
+                            : config_.default_deadline;
+  qj->deadline = deadline.count() > 0 ? qj->submitted + deadline
+                                      : Clock::time_point::max();
+  qj->state = std::make_shared<JobState>();
+
+  const JobId id = qj->id;
+  states_.emplace(id, qj->state);
+  submission_order_.push_back(id);
+  queue_.push_back(std::move(qj));
+  ++tallies_.submitted;
+  queue_cv_.notify_one();
+  return id;
+}
+
+std::optional<JobServer::JobId> JobServer::try_submit(
+    Job job, std::string* reject_reason) {
+  {
+    std::lock_guard lk(mu_);
+    if (!accepting_) {
+      if (reject_reason != nullptr) *reject_reason = "shutting-down";
+      return std::nullopt;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++tallies_.queue_full_rejections;
+      if (reject_reason != nullptr) *reject_reason = "queue-full";
+      return std::nullopt;
+    }
+  }
+  // Space existed a moment ago; submit() re-checks under the same lock and
+  // can only block briefly if a racing submitter stole the slot.
+  return submit(std::move(job));
+}
+
+bool JobServer::cancel(JobId id) {
+  std::shared_ptr<JobState> st;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = states_.find(id);
+    if (it == states_.end() || reports_.count(id) != 0) return false;
+    st = it->second;
+  }
+  st->cancel.store(true, std::memory_order_relaxed);
+  st->cv.notify_all();      // interrupt a backoff sleep
+  memory_cv_.notify_all();  // interrupt a memory-reservation wait
+  return true;
+}
+
+JobReport JobServer::wait(JobId id) {
+  std::unique_lock lk(mu_);
+  if (states_.find(id) == states_.end()) {
+    throw std::invalid_argument("JobServer::wait: unknown job id " +
+                                std::to_string(id));
+  }
+  report_cv_.wait(lk, [&] { return reports_.count(id) != 0; });
+  return reports_.at(id);
+}
+
+std::vector<JobReport> JobServer::wait_all() {
+  std::unique_lock lk(mu_);
+  report_cv_.wait(lk,
+                  [&] { return reports_.size() == submission_order_.size(); });
+  std::vector<JobReport> out;
+  out.reserve(submission_order_.size());
+  for (const JobId id : submission_order_) out.push_back(reports_.at(id));
+  return out;
+}
+
+std::optional<JobProgress> JobServer::progress(JobId id) const {
+  std::shared_ptr<JobState> st;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = states_.find(id);
+    if (it == states_.end()) return std::nullopt;
+    st = it->second;
+  }
+  JobProgress p;
+  p.phase = st->phase.load(std::memory_order_relaxed);
+  p.attempts = st->attempts.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lk(st->mu);
+    if (st->engine != nullptr) p.qat = st->engine->stats_snapshot();
+  }
+  return p;
+}
+
+ServerStats JobServer::stats() const {
+  std::lock_guard lk(mu_);
+  ServerStats s = tallies_;
+  s.in_flight_bytes = reserved_bytes_;
+  s.peak_in_flight_bytes = peak_reserved_bytes_;
+  s.queue_depth = queue_.size();
+  s.active_jobs = active_;
+  return s;
+}
+
+void JobServer::shutdown(bool drain) {
+  std::lock_guard shutdown_lk(shutdown_mu_);
+  std::vector<std::unique_ptr<QueuedJob>> to_cancel;
+  {
+    std::lock_guard lk(mu_);
+    if (joined_) return;
+    accepting_ = false;
+    space_cv_.notify_all();
+    if (!drain) {
+      to_cancel.reserve(queue_.size());
+      while (!queue_.empty()) {
+        to_cancel.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      for (auto& [id, st] : states_) {
+        if (reports_.count(id) == 0) {
+          st->cancel.store(true, std::memory_order_relaxed);
+          st->cv.notify_all();
+        }
+      }
+      memory_cv_.notify_all();
+    }
+  }
+  // Queued-but-never-run jobs still get their terminal report.
+  for (auto& qj : to_cancel) {
+    qj->started = Clock::now();
+    JobReport rep;
+    rep.outcome = JobOutcome::kCancelled;
+    publish(*qj, *qj->state, std::move(rep));
+  }
+  {
+    std::unique_lock lk(mu_);
+    drain_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+  {
+    std::lock_guard lk(mu_);
+    joined_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory budget.
+
+bool JobServer::reserve_memory(std::size_t bytes, JobState& st,
+                               Clock::time_point deadline) {
+  std::unique_lock lk(mu_);
+  const auto fits = [&] {
+    return reserved_bytes_ + bytes <= config_.memory_budget_bytes;
+  };
+  const auto interrupted = [&] {
+    return st.cancel.load(std::memory_order_relaxed);
+  };
+  while (!fits()) {
+    if (interrupted()) return false;
+    if (deadline == Clock::time_point::max()) {
+      memory_cv_.wait(lk);
+    } else if (memory_cv_.wait_until(lk, deadline) ==
+               std::cv_status::timeout) {
+      return false;
+    }
+  }
+  reserved_bytes_ += bytes;
+  peak_reserved_bytes_ = std::max(peak_reserved_bytes_, reserved_bytes_);
+  return true;
+}
+
+bool JobServer::try_reserve_extra(std::size_t bytes, JobState& st) {
+  std::lock_guard lk(mu_);
+  if (reserved_bytes_ + bytes > config_.memory_budget_bytes) {
+    ++tallies_.migrations_shed;
+    return false;
+  }
+  reserved_bytes_ += bytes;
+  peak_reserved_bytes_ = std::max(peak_reserved_bytes_, reserved_bytes_);
+  st.extra_reserved += bytes;
+  return true;
+}
+
+void JobServer::release_memory(std::size_t bytes) {
+  if (bytes == 0) return;
+  {
+    std::lock_guard lk(mu_);
+    assert(bytes <= reserved_bytes_);
+    reserved_bytes_ -= bytes;
+  }
+  memory_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+void JobServer::worker_main() {
+  for (;;) {
+    std::unique_ptr<QueuedJob> qj;
+    {
+      std::unique_lock lk(mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      qj = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      space_cv_.notify_one();
+    }
+    qj->started = Clock::now();
+    auto st = qj->state;  // keep alive across publish
+    JobReport rep = execute(*qj, *st);
+    publish(*qj, *st, std::move(rep));
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep) {
+  rep.id = qj.id;
+  rep.name = qj.job.name;
+  rep.queue_ms = ms_between(qj.submitted, qj.started);
+  rep.exec_ms = ms_between(qj.started, Clock::now());
+  st.phase.store(JobPhase::kDone, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mu_);
+    const bool inserted = reports_.emplace(qj.id, std::move(rep)).second;
+    // The exactly-once contract: each admitted job reaches publish() on
+    // precisely one path (worker terminal, or shutdown(false) for jobs
+    // still queued).  A duplicate here is a server bug, not a job failure.
+    assert(inserted);
+    (void)inserted;
+    switch (reports_.at(qj.id).outcome) {
+      case JobOutcome::kCompleted:
+        ++tallies_.completed;
+        break;
+      case JobOutcome::kQuarantined:
+        ++tallies_.quarantined;
+        break;
+      case JobOutcome::kDeadlineExpired:
+        ++tallies_.deadline_expired;
+        break;
+      case JobOutcome::kCancelled:
+        ++tallies_.cancelled;
+        break;
+      case JobOutcome::kRejectedMemory:
+        ++tallies_.rejected_memory;
+        break;
+      case JobOutcome::kError:
+        ++tallies_.errors;
+        break;
+    }
+    tallies_.retries += reports_.at(qj.id).retries;
+  }
+  report_cv_.notify_all();
+}
+
+JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
+  JobReport rep;
+  const Job& job = qj.job;
+
+  if (st.cancel.load(std::memory_order_relaxed)) {
+    rep.outcome = JobOutcome::kCancelled;
+    return rep;
+  }
+  if (Clock::now() >= qj.deadline) {
+    rep.outcome = JobOutcome::kDeadlineExpired;
+    return rep;
+  }
+
+  // --- Admission: reserve the register-file footprint. ---
+  const std::size_t estimate =
+      job.backend == pbp::Backend::kDense
+          ? pbp::dense_backend_bytes(job.ways, kNumQatRegs)
+          : kReReserveBytes;
+  if (estimate > config_.memory_budget_bytes) {
+    // A register file wider than the whole budget can never be admitted.
+    rep.outcome = JobOutcome::kRejectedMemory;
+    rep.error = "register file needs " + std::to_string(estimate) +
+                " bytes, budget is " +
+                std::to_string(config_.memory_budget_bytes);
+    return rep;
+  }
+  st.phase.store(JobPhase::kWaitingMemory, std::memory_order_relaxed);
+  if (!reserve_memory(estimate, st, qj.deadline)) {
+    rep.outcome = st.cancel.load(std::memory_order_relaxed)
+                      ? JobOutcome::kCancelled
+                      : JobOutcome::kDeadlineExpired;
+    return rep;
+  }
+  rep.reserved_bytes = estimate;
+
+  switch (job.sim) {
+    case SimKind::kFunc:
+      execute_with<FunctionalSim>(
+          [&] { return std::make_unique<FunctionalSim>(job.ways, job.backend); },
+          qj, st, rep);
+      break;
+    case SimKind::kMulti:
+      execute_with<MultiCycleSim>(
+          [&] { return std::make_unique<MultiCycleSim>(job.ways, job.backend); },
+          qj, st, rep);
+      break;
+    case SimKind::kMultiFsm:
+      execute_with<MultiCycleFsmSim>(
+          [&] {
+            return std::make_unique<MultiCycleFsmSim>(job.ways, job.backend);
+          },
+          qj, st, rep);
+      break;
+    case SimKind::kPipe4:
+      execute_with<PipelineSim>(
+          [&] {
+            return std::make_unique<PipelineSim>(
+                job.ways, PipelineConfig{.stages = 4, .forwarding = true},
+                job.backend);
+          },
+          qj, st, rep);
+      break;
+    case SimKind::kPipe5:
+      execute_with<PipelineSim>(
+          [&] {
+            return std::make_unique<PipelineSim>(
+                job.ways, PipelineConfig{.stages = 5, .forwarding = true},
+                job.backend);
+          },
+          qj, st, rep);
+      break;
+    case SimKind::kPipe5NoFwd:
+      execute_with<PipelineSim>(
+          [&] {
+            return std::make_unique<PipelineSim>(
+                job.ways, PipelineConfig{.stages = 5, .forwarding = false},
+                job.backend);
+          },
+          qj, st, rep);
+      break;
+    case SimKind::kRtl:
+      execute_with<RtlPipelineSim>(
+          [&] {
+            return std::make_unique<RtlPipelineSim>(job.ways, job.backend);
+          },
+          qj, st, rep);
+      break;
+  }
+
+  release_memory(rep.reserved_bytes);
+  rep.reserved_bytes = estimate;
+  return rep;
+}
+
+template <typename SimT, typename MakeSim>
+void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
+                             JobReport& rep) {
+  const Job& job = qj.job;
+  // Mid-run slicing (checkpoints, stop-predicate polling) is only sound on
+  // the instruction-atomic models; the latch-level pipeline discards
+  // in-flight state between run() calls (see arch/recovery.hpp).
+  const bool atomic_model = job.sim != SimKind::kRtl;
+  const std::uint64_t checkpoint_every =
+      atomic_model ? job.checkpoint_every : 0;
+  const std::uint64_t slice_cap =
+      atomic_model ? config_.slice_instructions : 0;
+  const unsigned retry_max =
+      job.retry_max >= 0 ? static_cast<unsigned>(job.retry_max)
+                         : config_.retry_max;
+
+  std::mt19937_64 jitter_rng(config_.seed ^ qj.id);
+  const BackoffPolicy backoff{config_.backoff_base, config_.backoff_cap};
+
+  const auto cancelled = [&] {
+    return st.cancel.load(std::memory_order_relaxed);
+  };
+  const auto past_deadline = [&] { return Clock::now() >= qj.deadline; };
+
+  for (unsigned attempt = 1; attempt <= retry_max + 1; ++attempt) {
+    st.attempts.store(attempt, std::memory_order_relaxed);
+    rep.attempts = attempt;
+    if (cancelled()) {
+      rep.outcome = JobOutcome::kCancelled;
+      return;
+    }
+    if (past_deadline()) {
+      rep.outcome = JobOutcome::kDeadlineExpired;
+      return;
+    }
+
+    RecoveryStats rs;
+    bool run_ok = false;
+    {
+      // Sim scope: the engine pointer published for progress() is cleared
+      // (under st.mu) before the sim leaves scope.
+      std::unique_ptr<SimT> sim;
+      try {
+        sim = make_sim();
+      } catch (const std::exception& e) {
+        rep.outcome = JobOutcome::kError;
+        rep.error = e.what();
+        return;
+      }
+      sim->load(job.program);
+      if (!job.fault_plan.empty()) sim->set_fault_plan(job.fault_plan);
+      sim->set_max_cycles(job.max_cycles);
+      if (job.backend == pbp::Backend::kCompressed) {
+        // Memory-pressure hook: an RE→dense migration must fit in the
+        // budget or it is shed and the exhaustion traps instead.
+        sim->qat().set_migration_guard([this, &st](std::size_t extra) {
+          return try_reserve_extra(extra, st);
+        });
+      }
+      {
+        std::lock_guard lk(st.mu);
+        st.engine = &sim->qat();
+      }
+      st.phase.store(JobPhase::kRunning, std::memory_order_relaxed);
+
+      CheckpointingRunner<SimT> runner(*sim, checkpoint_every, slice_cap);
+      rs = runner.run(
+          job.max_instructions,
+          [&](const SimT& s) {
+            return !job.validate || job.validate(s.cpu());
+          },
+          [&] { return cancelled() || past_deadline(); });
+
+      {
+        std::lock_guard lk(st.mu);
+        st.engine = nullptr;
+      }
+      rep.instructions += rs.instructions;
+      rep.cycles += rs.cycles;
+      rep.retries += rs.rollbacks + rs.restarts;
+      const QatStatsSnapshot qs = sim->qat().stats_snapshot();
+      rep.qat_ops += qs.ops;
+      rep.backend_migrations += qs.backend_migrations;
+      if (rs.gave_up) rep.trap = rs.final_trap;
+      run_ok = rs.halted && !rs.gave_up && !rs.stopped;
+    }
+    // The attempt's sim (and any dense file a migration materialized) is
+    // gone; hand its extra reservation back to the budget.
+    std::size_t extra = 0;
+    {
+      std::lock_guard lk(mu_);
+      extra = st.extra_reserved;
+      st.extra_reserved = 0;
+    }
+    release_memory(extra);
+
+    if (rs.stopped) {
+      rep.outcome = cancelled() ? JobOutcome::kCancelled
+                                : JobOutcome::kDeadlineExpired;
+      return;
+    }
+    if (run_ok) {
+      rep.recovered = rs.recovered || attempt > 1;
+      rep.outcome = JobOutcome::kCompleted;
+      return;
+    }
+    // The runner gave up: quarantine, or back off and re-run.
+    if (attempt == retry_max + 1) {
+      rep.outcome = JobOutcome::kQuarantined;
+      return;
+    }
+    ++rep.retries;  // the upcoming re-run
+    st.phase.store(JobPhase::kBackoff, std::memory_order_relaxed);
+    const auto delay = backoff_delay(backoff, attempt, jitter_rng);
+    const auto wake = std::min(qj.deadline, Clock::now() + delay);
+    std::unique_lock lk(st.mu);
+    st.cv.wait_until(lk, wake, [&] { return cancelled(); });
+    lk.unlock();
+    rep.backoff_ms += static_cast<double>(delay.count());
+  }
+}
+
+}  // namespace tangled::serve

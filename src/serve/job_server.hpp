@@ -1,0 +1,190 @@
+// job_server.hpp — a thread-pooled, admission-controlled execution service
+// for Tangled/Qat jobs (the ISSUE 3 tentpole).
+//
+// The server owns K worker threads and a bounded submission queue.  Every
+// admitted job runs with per-job isolation (its own simulator, memory image
+// and Qat register file — the machine models share no mutable state), under
+// a wall-clock deadline and the existing cycle watchdog, with cooperative
+// cancellation.  A trap, an injected fault, or a silently-wrong answer
+// retries through arch/recovery.hpp's CheckpointingRunner; when the runner
+// gives up, the serve layer re-runs the job up to retry_max times with
+// capped exponential backoff + jitter before quarantining it.  Whatever
+// happens, each admitted job produces exactly one terminal JobReport.
+//
+// Admission control:
+//   * bounded queue — submit() blocks for space (backpressure); try_submit()
+//     rejects immediately with "queue-full";
+//   * memory budget — each job reserves its register-file footprint
+//     (pbp::dense_backend_bytes for dense jobs) before running; jobs wider
+//     than the whole budget are rejected with kRejectedMemory, and RE jobs
+//     install a migration guard so that under pressure an RE→dense
+//     degradation is shed (vetoed) rather than allowed to balloon memory —
+//     the job then traps kResourceExhausted and retries or quarantines;
+//   * graceful drain — shutdown(drain=true) stops admissions, runs the
+//     queue dry and joins the workers; shutdown(drain=false) additionally
+//     cancels queued and running jobs.  Either way no report is lost or
+//     duplicated.
+//
+// Thread-safety of observation: progress() reads the running job's QatStats
+// through the engine's relaxed-atomic counters (see arch/qat_engine.hpp),
+// so a monitoring thread can poll a job mid-run without racing the engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/qat_engine.hpp"
+#include "serve/job.hpp"
+
+namespace tangled::serve {
+
+struct JobServerConfig {
+  unsigned threads = 4;
+  std::size_t queue_capacity = 64;
+  /// Global register-file memory budget shared by all in-flight jobs.
+  std::size_t memory_budget_bytes = std::size_t{512} << 20;  // 512 MiB
+  /// Serve-level re-runs after the checkpointing runner gives up.
+  unsigned retry_max = 2;
+  std::chrono::milliseconds backoff_base{2};
+  std::chrono::milliseconds backoff_cap{250};
+  /// Default wall-clock deadline for jobs that don't set one; zero = none.
+  std::chrono::milliseconds default_deadline{0};
+  /// Cancellation/deadline polling granularity: the checkpointing runner's
+  /// slice cap on the instruction-atomic models (0 would disable polling).
+  std::uint64_t slice_instructions = 4096;
+  /// Base seed for backoff jitter (per-job: seed ^ job id).
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+enum class JobPhase : std::uint8_t {
+  kQueued,
+  kWaitingMemory,
+  kRunning,
+  kBackoff,
+  kDone,
+};
+
+/// Live, race-free view of one job (counters are relaxed-atomic snapshots).
+struct JobProgress {
+  JobPhase phase = JobPhase::kQueued;
+  unsigned attempts = 0;
+  QatStatsSnapshot qat;
+};
+
+/// Aggregate server counters (a snapshot; see stats()).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t rejected_memory = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t retries = 0;          // serve + runner retries, all jobs
+  std::uint64_t migrations_shed = 0;  // RE→dense degradations vetoed
+  std::uint64_t queue_full_rejections = 0;
+  std::size_t in_flight_bytes = 0;
+  std::size_t peak_in_flight_bytes = 0;
+  std::size_t queue_depth = 0;
+  unsigned active_jobs = 0;
+};
+
+class JobServer {
+ public:
+  using JobId = std::uint64_t;
+
+  explicit JobServer(JobServerConfig config = {});
+  /// Drains gracefully (shutdown(true)) if the caller has not already.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Blocking submission: waits for queue space (backpressure).  Returns
+  /// nullopt only when the server is shutting down.
+  std::optional<JobId> submit(Job job);
+  /// Non-blocking submission: rejects immediately when the queue is full or
+  /// the server is shutting down; `reject_reason` (optional) is set to
+  /// "queue-full" or "shutting-down".
+  std::optional<JobId> try_submit(Job job,
+                                  std::string* reject_reason = nullptr);
+
+  /// Cooperative cancellation.  True if the job was still pending or
+  /// running (its report will read kCancelled unless it finished first);
+  /// false if it already reached a terminal state or the id is unknown.
+  bool cancel(JobId id);
+
+  /// Block until the job's terminal report is published.
+  JobReport wait(JobId id);
+  /// Block until every job submitted so far is terminal; returns all
+  /// reports published since construction, in submission order.
+  std::vector<JobReport> wait_all();
+
+  /// Live view of a job; nullopt for unknown ids.
+  std::optional<JobProgress> progress(JobId id) const;
+
+  ServerStats stats() const;
+  const JobServerConfig& config() const { return config_; }
+
+  /// Stop admissions.  drain=true: run queued jobs to completion, then
+  /// join.  drain=false: queued jobs terminate kCancelled without running,
+  /// running jobs are cooperatively cancelled, then join.  Idempotent.
+  void shutdown(bool drain = true);
+
+ private:
+  struct JobState;
+  struct QueuedJob;
+
+  void worker_main();
+  JobReport execute(QueuedJob& qj, JobState& st);
+  template <typename SimT, typename MakeSim>
+  void execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
+                    JobReport& rep);
+  void publish(QueuedJob& qj, JobState& st, JobReport rep);
+
+  /// Block until `bytes` fits in the budget (or deadline/cancel/shutdown).
+  /// Returns false when the wait was interrupted.
+  bool reserve_memory(std::size_t bytes, JobState& st,
+                      std::chrono::steady_clock::time_point deadline);
+  /// Non-blocking reservation used by the RE→dense migration guard.
+  bool try_reserve_extra(std::size_t bytes, JobState& st);
+  void release_memory(std::size_t bytes);
+
+  JobServerConfig config_;
+
+  /// Serialises concurrent shutdown() calls (destructor vs explicit call);
+  /// never taken while holding mu_.
+  std::mutex shutdown_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // workers: queue non-empty / stopping
+  std::condition_variable space_cv_;   // submitters: queue has space
+  std::condition_variable memory_cv_;  // reservers: budget freed
+  std::condition_variable report_cv_;  // waiters: report published
+  std::condition_variable drain_cv_;   // shutdown: queue empty, none active
+
+  std::deque<std::unique_ptr<QueuedJob>> queue_;
+  std::unordered_map<JobId, std::shared_ptr<JobState>> states_;
+  std::unordered_map<JobId, JobReport> reports_;
+  std::vector<JobId> submission_order_;
+  std::vector<std::thread> workers_;
+
+  JobId next_id_ = 1;
+  unsigned active_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool joined_ = false;
+
+  std::size_t reserved_bytes_ = 0;
+  std::size_t peak_reserved_bytes_ = 0;
+  ServerStats tallies_;  // terminal-outcome counters, guarded by mu_
+};
+
+}  // namespace tangled::serve

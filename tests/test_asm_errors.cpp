@@ -1,0 +1,125 @@
+// test_asm_errors.cpp — malformed-input corpus for the assembler front end.
+//
+// Every entry must yield a structured AsmError carrying the file name and
+// the 1-based line of the offending statement — never a crash, never a
+// silent mis-assembly.  The corpus covers the classic front-end holes: bad
+// mnemonics, out-of-range literals, unterminated strings, bad escapes, and
+// labels/symbols that dangle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+
+namespace tangled {
+namespace {
+
+struct Malformed {
+  const char* tag;
+  const char* source;
+  std::size_t line;  // expected 1-based error line
+};
+
+const std::vector<Malformed>& corpus() {
+  static const std::vector<Malformed> k = {
+      // Bad mnemonics.
+      {"unknown-mnemonic", "frobnicate $1,$2\n", 1},
+      {"unknown-directive", ".data 7\n", 1},
+      {"mnemonic-on-line-3", "lex $1,1\nsys $1\nbogus\n", 3},
+      {"qat-form-of-tangled-op", "add @1,@2\n", 1},  // no Qat add exists
+
+      // Out-of-range literals.
+      {"lex-too-big", "lex $1,300\n", 1},
+      {"lex-too-negative", "lex $1,-200\n", 1},
+      {"lhi-negative", "lhi $1,-1\n", 1},
+      {"word-too-wide", ".word 65536\n", 1},
+      {"word-absurd", ".word 18446744073709551616\n", 1},
+      {"had-index-7bit", "had @1,64\n", 1},
+      {"space-negative", ".space -4\n", 1},
+      {"space-huge", ".space 70000\n", 1},
+      {"origin-negative", ".origin -1\n", 1},
+      {"origin-huge", ".origin 70000\n", 1},
+      {"bad-register", "add $16,$1\n", 1},
+      {"bad-qat-register", "one @256\n", 1},
+
+      // Strings.
+      {"unterminated-string", ".ascii \"no closing quote\n", 1},
+      {"unterminated-line-2", "sys\n.ascii \"oops\n", 2},
+      {"string-trailing-junk", ".ascii \"ab\"cd\"\n", 1},
+      {"unknown-escape", ".ascii \"bad \\q escape\"\n", 1},
+      {"not-a-string", ".ascii 42\n", 1},
+      {"missing-string", ".ascii\n", 1},
+
+      // Dangling labels and symbols.
+      {"branch-to-nowhere", "loop: brt $1,elsewhere\n", 1},
+      {"jump-to-nowhere", "jump nowhere\n", 1},
+      {"duplicate-label", "x: sys\nx: sys\n", 2},
+      {"equ-forward-ref", "x = y\ny = 2\n", 1},
+      {"bad-label", "1bad: sys\n", 1},
+
+      // Operand shape.
+      {"missing-operand", "add $1\n", 1},
+      {"extra-operand", "not $1,$2\n", 1},
+      {"empty-operand", "add $1,,$2\n", 1},
+      {"swapped-sigils", "meas @1,$2\n", 1},
+  };
+  return k;
+}
+
+TEST(AsmErrors, CorpusYieldsStructuredErrors) {
+  for (const auto& m : corpus()) {
+    try {
+      assemble(m.source, std::string(m.tag) + ".s");
+      FAIL() << m.tag << ": expected AsmError, assembled cleanly";
+    } catch (const AsmError& e) {
+      EXPECT_EQ(e.line(), m.line) << m.tag << ": " << e.what();
+      EXPECT_EQ(e.file(), std::string(m.tag) + ".s") << m.tag;
+      EXPECT_FALSE(e.message().empty()) << m.tag;
+      // what() renders the conventional compiler-style prefix.
+      EXPECT_NE(std::string(e.what()).find(':'), std::string::npos) << m.tag;
+    } catch (const std::exception& e) {
+      FAIL() << m.tag << ": wrong exception type: " << e.what();
+    }
+  }
+}
+
+TEST(AsmErrors, DefaultFileNameIsInput) {
+  try {
+    assemble("bogus\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.file(), "<input>");
+    EXPECT_EQ(std::string(e.what()).rfind("<input>:1: ", 0), 0u) << e.what();
+  }
+}
+
+// The hardening must not break well-formed strings: quote-aware comment
+// stripping and operand splitting keep `;`, `,`, `:` and `=` inside quotes.
+TEST(AsmErrors, WellFormedStringsStillAssemble) {
+  const Program p = assemble(
+      "msg: .ascii \"a;b,c:d=e\"\n"
+      "     .ascii \"tab\\there\\n\"  ; trailing comment\n"
+      "     .ascii \"q\\\"q\\\\\"\n"
+      "     .ascii \"\\0\"\n");
+  const std::string expect = std::string("a;b,c:d=e") + "tab\there\n" +
+                             "q\"q\\" + std::string(1, '\0');
+  ASSERT_EQ(p.words.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(p.words[i], static_cast<unsigned char>(expect[i])) << i;
+  }
+  EXPECT_EQ(p.labels.at("msg"), 0u);
+}
+
+// Labels placed after a .ascii block must account for its width.
+TEST(AsmErrors, AsciiAdvancesLabelPlacement) {
+  const Program p = assemble(
+      ".ascii \"abc\"\n"
+      "after: .word 7\n");
+  EXPECT_EQ(p.labels.at("after"), 3u);
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.words[3], 7u);
+}
+
+}  // namespace
+}  // namespace tangled

@@ -1,0 +1,297 @@
+// test_serve.cpp — unit tests for the concurrent job service (label
+// `serve`): admission control, deadlines, cancellation, retry/quarantine,
+// memory budgeting with RE→dense migration shedding, and drain semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "pbp/qat_backend.hpp"
+#include "serve/backoff.hpp"
+#include "serve/job_server.hpp"
+
+namespace tangled::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+Job fig10_job(SimKind sim, pbp::Backend backend = pbp::Backend::kDense,
+              unsigned ways = 8) {
+  Job j;
+  j.name = std::string("fig10-") + sim_kind_name(sim);
+  j.program = assemble(figure10_source());
+  j.sim = sim;
+  j.backend = backend;
+  j.ways = ways;
+  j.max_instructions = 20'000;
+  j.checkpoint_every = 25;
+  j.validate = factors_ok;
+  return j;
+}
+
+Job spin_job() {
+  Job j;
+  j.name = "spin";
+  j.program = assemble("loop: br loop\n");
+  j.max_instructions = 2'000'000'000ULL;
+  return j;
+}
+
+TEST(Serve, CleanJobsOnEveryModelComplete) {
+  JobServer server({.threads = 4});
+  std::vector<JobServer::JobId> ids;
+  for (const SimKind k :
+       {SimKind::kFunc, SimKind::kMulti, SimKind::kMultiFsm, SimKind::kPipe4,
+        SimKind::kPipe5, SimKind::kPipe5NoFwd, SimKind::kRtl}) {
+    const auto id = server.submit(fig10_job(k));
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  const auto reports = server.wait_all();
+  ASSERT_EQ(reports.size(), ids.size());
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+    EXPECT_EQ(r.attempts, 1u) << r.to_string();
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.qat_ops, 0u);
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, ids.size());
+  EXPECT_EQ(s.completed, ids.size());
+  EXPECT_EQ(s.in_flight_bytes, 0u);  // everything released
+}
+
+TEST(Serve, InjectedFaultsRecoverThroughCheckpointRunner) {
+  JobServer server({.threads = 4});
+  unsigned recovered = 0;
+  std::vector<JobServer::JobId> ids;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Job j = fig10_job(SimKind::kFunc);
+    j.name = "faulty-" + std::to_string(seed);
+    j.fault_plan = FaultPlan::random(seed, /*n_events=*/6, /*horizon=*/120, 8);
+    ids.push_back(*server.submit(std::move(j)));
+  }
+  for (const auto id : ids) {
+    const JobReport r = server.wait(id);
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+    if (r.recovered) ++recovered;
+  }
+  EXPECT_GT(recovered, 0u) << "no fault plan forced a recovery";
+}
+
+TEST(Serve, HopelessJobQuarantinesWithTrapKind) {
+  // RE at ways beyond the dense escape hatch + a capped chunk pool: every
+  // attempt deterministically dies with kResourceExhausted, so the job must
+  // burn its retries and quarantine with that trap recorded.
+  JobServer server(
+      {.threads = 1, .retry_max = 2, .backoff_base = 1ms, .backoff_cap = 4ms});
+  Job j = fig10_job(SimKind::kFunc, pbp::Backend::kCompressed, 36);
+  j.fault_plan.max_pool_symbols = 8;
+  j.validate = nullptr;
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kQuarantined) << r.to_string();
+  EXPECT_EQ(r.trap.kind, TrapKind::kResourceExhausted) << r.to_string();
+  EXPECT_EQ(r.attempts, 3u);  // 1 + retry_max
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.backoff_ms, 0.0) << "retries must be separated by backoff";
+}
+
+TEST(Serve, DeadlineExpiresARunawayJob) {
+  JobServer server({.threads = 1});
+  Job j = spin_job();
+  j.deadline = 50ms;
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kDeadlineExpired) << r.to_string();
+  EXPECT_LT(r.exec_ms, 5000.0);  // polled out long before max_instructions
+}
+
+TEST(Serve, CancelStopsARunningJob) {
+  JobServer server({.threads = 1});
+  const auto id = *server.submit(spin_job());
+  // Let it reach the worker, then cancel cooperatively.
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(server.cancel(*server.submit(spin_job())));  // queued one too
+  EXPECT_TRUE(server.cancel(id));
+  const auto reports = server.wait_all();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.outcome, JobOutcome::kCancelled) << r.to_string();
+  }
+  EXPECT_FALSE(server.cancel(id)) << "terminal jobs cannot be re-cancelled";
+  EXPECT_FALSE(server.cancel(9999)) << "unknown ids are not cancellable";
+}
+
+TEST(Serve, QueueFullRejectsButBlockingSubmitBackpressures) {
+  JobServer server({.threads = 1, .queue_capacity = 1});
+  // Occupy the worker and fill the single queue slot.
+  const auto running = *server.submit(spin_job());
+  std::this_thread::sleep_for(20ms);
+  const auto queued = *server.submit(spin_job());
+  std::string reason;
+  EXPECT_FALSE(server.try_submit(spin_job(), &reason).has_value());
+  EXPECT_EQ(reason, "queue-full");
+  EXPECT_GE(server.stats().queue_full_rejections, 1u);
+  // A blocking submit parks until space frees up (the cancel below).
+  std::thread unblocker([&] {
+    std::this_thread::sleep_for(30ms);
+    server.cancel(running);
+    server.cancel(queued);
+  });
+  Job third = fig10_job(SimKind::kFunc);
+  const auto id3 = server.submit(std::move(third));
+  unblocker.join();
+  ASSERT_TRUE(id3.has_value());
+  server.cancel(*id3);  // don't care how it ends; just that it terminates
+  const auto reports = server.wait_all();
+  EXPECT_EQ(reports.size(), 3u);
+}
+
+TEST(Serve, OversizedDenseJobIsRejectedByAdmission) {
+  // dense ways=20 needs 2^20/8 * 256 = 32 MiB; give the server half that.
+  JobServer server({.threads = 1, .memory_budget_bytes = 16u << 20});
+  Job j = fig10_job(SimKind::kFunc, pbp::Backend::kDense, 20);
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kRejectedMemory) << r.to_string();
+  EXPECT_NE(r.error.find("budget"), std::string::npos) << r.error;
+  EXPECT_EQ(server.stats().rejected_memory, 1u);
+}
+
+TEST(Serve, MemoryBudgetSerializesWideJobs) {
+  // Two dense ways=16 jobs (2 MiB each) against a 3 MiB budget: they must
+  // run one at a time, and both must finish.
+  JobServer server({.threads = 2, .memory_budget_bytes = 3u << 20});
+  const auto a = *server.submit(fig10_job(SimKind::kFunc,
+                                          pbp::Backend::kDense, 16));
+  const auto b = *server.submit(fig10_job(SimKind::kMulti,
+                                          pbp::Backend::kDense, 16));
+  EXPECT_EQ(server.wait(a).outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(server.wait(b).outcome, JobOutcome::kCompleted);
+  const ServerStats s = server.stats();
+  EXPECT_LE(s.peak_in_flight_bytes, std::size_t{3} << 20);
+  EXPECT_EQ(s.in_flight_bytes, 0u);
+}
+
+TEST(Serve, MigrationShedsUnderMemoryPressure) {
+  // An RE job whose pool is capped wants to degrade to dense (2 MiB extra at
+  // ways=16).  With a budget that can't absorb the delta the migration is
+  // vetoed, the job traps kResourceExhausted, and the shed is counted.
+  JobServer server({.threads = 1,
+                    .memory_budget_bytes = 5u << 20,
+                    .retry_max = 1,
+                    .backoff_base = 1ms,
+                    .backoff_cap = 2ms});
+  Job j = fig10_job(SimKind::kFunc, pbp::Backend::kCompressed, 16);
+  j.fault_plan.max_pool_symbols = 8;
+  j.validate = nullptr;
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kQuarantined) << r.to_string();
+  EXPECT_EQ(r.trap.kind, TrapKind::kResourceExhausted) << r.to_string();
+  EXPECT_EQ(r.backend_migrations, 0u);
+  EXPECT_GT(server.stats().migrations_shed, 0u);
+}
+
+TEST(Serve, MigrationProceedsWhenBudgetAllows) {
+  // Same job, roomy budget: the degradation is admitted and the job
+  // completes on the dense backend.
+  JobServer server({.threads = 1, .memory_budget_bytes = 64u << 20});
+  Job j = fig10_job(SimKind::kFunc, pbp::Backend::kCompressed, 16);
+  j.fault_plan.max_pool_symbols = 8;
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  EXPECT_EQ(r.backend_migrations, 1u) << r.to_string();
+  EXPECT_EQ(server.stats().migrations_shed, 0u);
+  EXPECT_EQ(server.stats().in_flight_bytes, 0u);  // extra reservation freed
+}
+
+TEST(Serve, DrainShutdownRunsEverythingExactlyOnce) {
+  std::vector<JobServer::JobId> ids;
+  std::vector<JobReport> reports;
+  {
+    JobServer server({.threads = 2});
+    for (int i = 0; i < 12; ++i) {
+      ids.push_back(*server.submit(fig10_job(SimKind::kFunc)));
+    }
+    server.shutdown(/*drain=*/true);
+    EXPECT_FALSE(server.submit(fig10_job(SimKind::kFunc)).has_value());
+    std::string reason;
+    EXPECT_FALSE(server.try_submit(fig10_job(SimKind::kFunc), &reason));
+    EXPECT_EQ(reason, "shutting-down");
+    reports = server.wait_all();  // everything already terminal
+  }
+  ASSERT_EQ(reports.size(), ids.size());
+  std::set<std::uint64_t> seen;
+  for (const auto& r : reports) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate report " << r.id;
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  }
+}
+
+TEST(Serve, AbortShutdownCancelsQueuedJobs) {
+  JobServer server({.threads = 1});
+  const auto running = *server.submit(spin_job());
+  std::vector<JobServer::JobId> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(*server.submit(spin_job()));
+  std::this_thread::sleep_for(20ms);
+  server.shutdown(/*drain=*/false);
+  EXPECT_EQ(server.wait(running).outcome, JobOutcome::kCancelled);
+  for (const auto id : queued) {
+    const JobReport r = server.wait(id);
+    EXPECT_EQ(r.outcome, JobOutcome::kCancelled) << r.to_string();
+    EXPECT_EQ(r.attempts, 0u) << "queued jobs must not have run";
+  }
+}
+
+TEST(Serve, ProgressIsObservableMidRun) {
+  JobServer server({.threads = 1});
+  const auto id = *server.submit(spin_job());
+  std::this_thread::sleep_for(30ms);
+  const auto p = server.progress(id);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->phase, JobPhase::kRunning);
+  EXPECT_EQ(p->attempts, 1u);
+  EXPECT_FALSE(server.progress(424242).has_value());
+  server.cancel(id);
+  server.wait(id);
+  EXPECT_EQ(server.progress(id)->phase, JobPhase::kDone);
+}
+
+TEST(Serve, BackoffDelaysDoubleAndJitter) {
+  std::mt19937_64 rng(7);
+  const BackoffPolicy policy{.base = 4ms, .cap = 64ms};
+  for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+    const auto nominal = std::min<std::int64_t>(4LL << (attempt - 1), 64);
+    for (int i = 0; i < 50; ++i) {
+      const auto d = backoff_delay(policy, attempt, rng);
+      EXPECT_GE(d.count(), nominal - nominal / 2) << "attempt " << attempt;
+      EXPECT_LE(d.count(), nominal) << "attempt " << attempt;
+    }
+  }
+  const BackoffPolicy off{.base = 0ms, .cap = 64ms};
+  EXPECT_EQ(backoff_delay(off, 3, rng).count(), 0);
+}
+
+TEST(Serve, SimKindNamesRoundTrip) {
+  for (const SimKind k :
+       {SimKind::kFunc, SimKind::kMulti, SimKind::kMultiFsm, SimKind::kPipe4,
+        SimKind::kPipe5, SimKind::kPipe5NoFwd, SimKind::kRtl}) {
+    EXPECT_EQ(parse_sim_kind(sim_kind_name(k)), k);
+  }
+  EXPECT_THROW(parse_sim_kind("warp-drive"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangled::serve

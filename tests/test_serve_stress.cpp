@@ -1,0 +1,233 @@
+// test_serve_stress.cpp — serve-layer soak (labels `serve`, `soak`; the
+// TSAN target of scripts/check.sh tsan).
+//
+// 200+ jobs against 8 worker threads with a deliberately hostile mix:
+// clean runs on every model, fault-injected runs, hopeless (quarantining)
+// runs, runaway programs under short deadlines, mid-flight cancellations,
+// memory-pressured RE jobs, and a monitoring thread hammering progress()
+// and stats() throughout.  The contract: exactly one terminal JobReport per
+// admitted job, no losses, no duplicates, tallies that add up, and a clean
+// drain at the end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+
+namespace tangled::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+TEST(ServeStress, MixedWorkloadNeverLosesAJob) {
+  constexpr unsigned kJobs = 240;
+  const Program fig10 = assemble(figure10_source());
+  const Program spin = assemble("loop: br loop\n");
+
+  JobServer server({.threads = 8,
+                    .queue_capacity = 32,
+                    .memory_budget_bytes = 48u << 20,
+                    .retry_max = 2,
+                    .backoff_base = 1ms,
+                    .backoff_cap = 8ms});
+
+  // Monitoring thread: polls live state the whole time.  Under TSAN this is
+  // what proves QatStats snapshots and server counters are race-free.
+  std::atomic<bool> monitoring{true};
+  std::atomic<std::uint64_t> polls{0};
+  std::thread monitor([&] {
+    while (monitoring.load(std::memory_order_relaxed)) {
+      const ServerStats s = server.stats();
+      EXPECT_LE(s.in_flight_bytes, server.config().memory_budget_bytes);
+      for (std::uint64_t id = 1; id <= kJobs; ++id) {
+        if (const auto p = server.progress(id)) {
+          polls.fetch_add(1 + p->qat.ops / (p->qat.ops + 1),
+                          std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  static const SimKind kKinds[] = {SimKind::kFunc,  SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5, SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+  std::vector<JobServer::JobId> ids;
+  std::map<std::string, unsigned> expected;  // flavor -> count submitted
+  ids.reserve(kJobs);
+
+  // Concurrent canceller: "cancel" jobs spin forever, so they must be
+  // cancelled while submission is still in progress — 8 of them would
+  // otherwise pin every worker and deadlock the bounded queue.  The small
+  // delay makes most cancellations land mid-run rather than mid-queue.
+  std::mutex cancel_mu;
+  std::vector<JobServer::JobId> pending_cancel;
+  std::atomic<bool> cancelling{true};
+  std::thread canceller([&] {
+    while (true) {
+      std::vector<JobServer::JobId> batch;
+      {
+        std::lock_guard lk(cancel_mu);
+        batch.swap(pending_cancel);
+      }
+      for (const auto id : batch) server.cancel(id);
+      if (batch.empty() && !cancelling.load(std::memory_order_relaxed)) {
+        return;
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+  });
+
+  for (unsigned i = 0; i < kJobs; ++i) {
+    Job j;
+    j.sim = kKinds[i % std::size(kKinds)];
+    const unsigned flavor = i % 10;
+    if (flavor < 4) {
+      // Clean factoring run.
+      j.name = "clean";
+      j.program = fig10;
+      j.max_instructions = 20'000;
+      j.checkpoint_every = 25;
+      j.validate = factors_ok;
+    } else if (flavor < 7) {
+      // Fault-injected factoring run: must recover or quarantine, never
+      // report a wrong answer as completed.
+      j.name = "fault";
+      j.program = fig10;
+      j.max_instructions = 20'000;
+      j.checkpoint_every = 25;
+      j.fault_plan = FaultPlan::random(1000 + i, 6, 120, 8);
+      j.validate = factors_ok;
+    } else if (flavor == 7) {
+      // Runaway under a short deadline.
+      j.name = "deadline";
+      j.program = spin;
+      j.sim = SimKind::kFunc;  // instruction-atomic → deadline polls apply
+      j.max_instructions = 2'000'000'000ULL;
+      j.deadline = 40ms;
+    } else if (flavor == 8) {
+      // Runaway that we cancel from outside.
+      j.name = "cancel";
+      j.program = spin;
+      j.sim = SimKind::kFunc;
+      j.max_instructions = 2'000'000'000ULL;
+    } else {
+      // RE job under pool pressure: migrates or quarantines, budget held.
+      j.name = "re-pressure";
+      j.program = fig10;
+      j.backend = pbp::Backend::kCompressed;
+      j.ways = 16;
+      j.max_instructions = 20'000;
+      j.fault_plan.max_pool_symbols = 8;
+    }
+    ++expected[j.name];
+    const auto id = server.submit(std::move(j));
+    ASSERT_TRUE(id.has_value()) << "submission " << i << " refused";
+    ids.push_back(*id);
+    if (flavor == 8) {
+      std::lock_guard lk(cancel_mu);
+      pending_cancel.push_back(*id);
+    }
+  }
+  cancelling.store(false, std::memory_order_relaxed);
+
+  const auto reports = server.wait_all();
+  monitoring.store(false, std::memory_order_relaxed);
+  monitor.join();
+  canceller.join();
+
+  // Exactly one terminal report per admitted job, ids exact.
+  ASSERT_EQ(reports.size(), ids.size());
+  std::set<std::uint64_t> seen;
+  for (const auto& r : reports) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate report for " << r.id;
+  }
+  for (const auto id : ids) {
+    EXPECT_TRUE(seen.count(id)) << "job " << id << " lost";
+  }
+
+  std::map<JobOutcome, unsigned> by_outcome;
+  for (const auto& r : reports) {
+    ++by_outcome[r.outcome];
+    switch (r.outcome) {
+      case JobOutcome::kCompleted:
+        if (r.name == "clean" || r.name == "fault") {
+          // validate() enforced factors_ok, so completion == right answer.
+          EXPECT_GT(r.instructions, 0u);
+        }
+        if (r.name == "fault" && r.attempts > 1) {
+          EXPECT_TRUE(r.recovered) << r.to_string();
+        }
+        break;
+      case JobOutcome::kQuarantined:
+        EXPECT_TRUE(r.name == "fault" || r.name == "re-pressure")
+            << r.to_string();
+        break;
+      case JobOutcome::kDeadlineExpired:
+        EXPECT_EQ(r.name, "deadline") << r.to_string();
+        break;
+      case JobOutcome::kCancelled:
+        EXPECT_EQ(r.name, "cancel") << r.to_string();
+        break;
+      default:
+        ADD_FAILURE() << "unexpected outcome: " << r.to_string();
+    }
+  }
+  // Every clean job completed; every deadline job expired; every cancel job
+  // cancelled (they spin forever, so nothing else can terminate them).
+  EXPECT_EQ(by_outcome[JobOutcome::kDeadlineExpired], expected["deadline"]);
+  EXPECT_EQ(by_outcome[JobOutcome::kCancelled], expected["cancel"]);
+  EXPECT_GE(by_outcome[JobOutcome::kCompleted], expected["clean"]);
+
+  // Tallies agree with the published reports, and the drain left nothing.
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, kJobs);
+  EXPECT_EQ(s.completed, by_outcome[JobOutcome::kCompleted]);
+  EXPECT_EQ(s.quarantined, by_outcome[JobOutcome::kQuarantined]);
+  EXPECT_EQ(s.deadline_expired, by_outcome[JobOutcome::kDeadlineExpired]);
+  EXPECT_EQ(s.cancelled, by_outcome[JobOutcome::kCancelled]);
+  EXPECT_EQ(s.in_flight_bytes, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.active_jobs, 0u);
+  EXPECT_GT(polls.load(), 0u);
+
+  server.shutdown(/*drain=*/true);  // idempotent with the destructor
+}
+
+// Hammer construction/teardown: a server that is created, loaded, and
+// abort-shutdown repeatedly must neither deadlock nor leak reports.
+TEST(ServeStress, RepeatedAbortShutdownIsClean) {
+  const Program spin = assemble("loop: br loop\n");
+  for (int round = 0; round < 10; ++round) {
+    JobServer server({.threads = 4, .queue_capacity = 8});
+    std::vector<JobServer::JobId> ids;
+    for (int i = 0; i < 8; ++i) {
+      Job j;
+      j.name = "spin";
+      j.program = spin;
+      j.max_instructions = 2'000'000'000ULL;
+      const auto id = server.submit(std::move(j));
+      if (id) ids.push_back(*id);
+    }
+    server.shutdown(/*drain=*/false);
+    for (const auto id : ids) {
+      EXPECT_EQ(server.wait(id).outcome, JobOutcome::kCancelled);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tangled::serve
