@@ -1,0 +1,94 @@
+// bench_ecc_overhead — cost of the data-integrity layer (ISSUE: end-to-end
+// data integrity).
+//
+// Measured:
+//   * Figure 10 end to end per ECC mode (off / detect / correct), dense and
+//     RE-compressed backends, with and without a periodic scrub cadence —
+//     the verify-on-access tax on real Qat-heavy code;
+//   * a full scrub sweep of protected state (Qat register file + 64K-word
+//     Tangled memory) in isolation — the cost one scrub interval pays;
+//   * the sidecar storage footprint per mode (reported as a counter).
+#include <benchmark/benchmark.h>
+
+#include "arch/simulators.hpp"
+#include "asm/programs.hpp"
+
+namespace {
+
+using namespace tangled;
+
+pbp::EccMode mode_of(std::int64_t r) {
+  switch (r) {
+    case 1:
+      return pbp::EccMode::kDetect;
+    case 2:
+      return pbp::EccMode::kCorrect;
+    default:
+      return pbp::EccMode::kOff;
+  }
+}
+
+void run_fig10(benchmark::State& state, pbp::Backend backend, unsigned ways,
+               std::uint64_t scrub_every) {
+  const pbp::EccMode mode = mode_of(state.range(0));
+  const Program p = assemble(figure10_source());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    FunctionalSim sim(ways, backend);
+    sim.load(p);
+    sim.set_ecc_mode(mode);
+    sim.set_scrub_every(scrub_every);
+    const SimStats st = sim.run(20'000);
+    instructions += st.instructions;
+    benchmark::DoNotOptimize(sim.cpu().regs[0]);
+  }
+  state.counters["instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  {
+    FunctionalSim sim(ways, backend);
+    sim.load(p);
+    sim.set_ecc_mode(mode);
+    state.counters["qat_ecc_bytes"] =
+        static_cast<double>(sim.qat().backend().ecc_bytes());
+  }
+  state.SetLabel(pbp::ecc_mode_name(mode));
+}
+
+void BM_fig10_dense(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kDense, 8, /*scrub_every=*/0);
+}
+BENCHMARK(BM_fig10_dense)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_fig10_dense16(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kDense, 16, /*scrub_every=*/0);
+}
+BENCHMARK(BM_fig10_dense16)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_fig10_re16(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kCompressed, 16, /*scrub_every=*/0);
+}
+BENCHMARK(BM_fig10_re16)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_fig10_dense_scrub25(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kDense, 8, /*scrub_every=*/25);
+}
+BENCHMARK(BM_fig10_dense_scrub25)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_scrub_sweep(benchmark::State& state) {
+  const pbp::EccMode mode = mode_of(state.range(0));
+  FunctionalSim sim(16, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.set_ecc_mode(mode);
+  sim.run(40);  // registers in flight
+  for (auto _ : state) {
+    auto sweep = sim.qat().scrub();
+    sweep += sim.memory().scrub_ecc();
+    benchmark::DoNotOptimize(sweep);
+  }
+  state.SetLabel(pbp::ecc_mode_name(mode));
+}
+BENCHMARK(BM_scrub_sweep)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

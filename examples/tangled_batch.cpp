@@ -10,8 +10,13 @@
 // 85 of 91), after the last checkpoint, so a poisoned job CANNOT complete
 // by luck: it either recovers through the checkpointing runner / a serve
 // retry (validate catches the wrong answer) or quarantines with a trap.
+// With --ecc on, the poison is instead a raw storage upset beneath the Qat
+// register file — invisible to validate until read — so the integrity
+// layer itself must catch it: detect raises a corruption trap and rolls
+// back; correct repairs in place (reported in the ecc summary line).
 // The binary exits non-zero if any report is lost or duplicated, or if a
-// poisoned job completed without recovering.
+// poisoned job completed without recovering (or, under ecc=correct,
+// without a counted repair).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +50,10 @@ void usage() {
       "  --ways=N         Qat ways per job (default 8)\n"
       "  --queue=N        submission queue capacity (default 32)\n"
       "  --mem-mb=N       global memory budget in MiB (default 256)\n"
+      "  --ecc=M          off | detect | correct: SECDED over Qat + data\n"
+      "                   memory for every job (default off)\n"
+      "  --scrub-every=N  background scrub cadence in retired instructions\n"
+      "                   (default 0 = off)\n"
       "  --verbose        print every job report\n");
 }
 
@@ -71,6 +80,8 @@ int main(int argc, char** argv) {
   unsigned queue = 32;
   unsigned mem_mb = 256;
   pbp::Backend backend = pbp::Backend::kDense;
+  pbp::EccMode ecc = pbp::EccMode::kOff;
+  std::uint64_t scrub_every = 0;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +111,19 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (parse_flag(argv[i], "--ecc", &v)) {
+      if (v == "off") {
+        ecc = pbp::EccMode::kOff;
+      } else if (v == "detect") {
+        ecc = pbp::EccMode::kDetect;
+      } else if (v == "correct") {
+        ecc = pbp::EccMode::kCorrect;
+      } else {
+        usage();
+        return 2;
+      }
+    } else if (parse_flag(argv[i], "--scrub-every", &v)) {
+      scrub_every = std::stoull(v);
     } else if (std::string(argv[i]) == "--verbose") {
       verbose = true;
     } else {
@@ -143,15 +167,24 @@ int main(int argc, char** argv) {
     j.program = fig10;
     j.max_instructions = 20'000;
     j.checkpoint_every = 25;
+    j.ecc = ecc;
+    j.scrub_every = scrub_every;
     j.validate = factors_ok;
     const bool poison = i < poisoned;
     j.name = std::string(sim_kind_name(j.sim)) + (poison ? "/poisoned" : "");
     if (poison) {
       FaultEvent ev;
-      ev.target = FaultEvent::Target::kHostReg;
-      ev.at_instr = 85;
-      ev.addr = 0;
-      ev.bit = 1;
+      if (ecc != pbp::EccMode::kOff) {
+        ev.target = FaultEvent::Target::kQatStorage;
+        ev.at_instr = 85;
+        ev.addr = 2;
+        ev.channel = 5;
+      } else {
+        ev.target = FaultEvent::Target::kHostReg;
+        ev.at_instr = 85;
+        ev.addr = 0;
+        ev.bit = 1;
+      }
       j.fault_plan.events.push_back(ev);
     }
     const auto id = server.submit(std::move(j));
@@ -191,16 +224,21 @@ int main(int argc, char** argv) {
   std::map<JobOutcome, unsigned> by_outcome;
   std::uint64_t total_retries = 0;
   std::uint64_t total_migrations = 0;
+  std::uint64_t total_corrected = 0;
+  std::uint64_t total_detected = 0;
   unsigned recovered = 0;
   for (const auto& r : reports) {
     ++by_outcome[r.outcome];
     total_retries += r.retries;
     total_migrations += r.backend_migrations;
+    total_corrected += r.ecc_corrected;
+    total_detected += r.ecc_detected;
     if (r.recovered) ++recovered;
     if (verbose) std::printf("%s\n", r.to_string().c_str());
     if (poisoned_ids.count(r.id)) {
       const bool recovered_ok =
-          r.outcome == JobOutcome::kCompleted && r.retries > 0;
+          r.outcome == JobOutcome::kCompleted &&
+          (r.retries > 0 || r.ecc_corrected > 0);
       const bool quarantined_ok = r.outcome == JobOutcome::kQuarantined;
       const bool stopped_ok = r.outcome == JobOutcome::kDeadlineExpired ||
                               r.outcome == JobOutcome::kCancelled;
@@ -235,6 +273,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_migrations),
               static_cast<unsigned long long>(s.migrations_shed),
               s.peak_in_flight_bytes >> 10);
+  if (ecc != pbp::EccMode::kOff) {
+    std::printf("  ecc: %llu upset(s) corrected, %llu detected\n",
+                static_cast<unsigned long long>(total_corrected),
+                static_cast<unsigned long long>(total_detected));
+  }
   if (violations != 0) {
     std::fprintf(stderr, "tangled_batch: %d contract violation(s)\n",
                  violations);

@@ -20,6 +20,10 @@
 //   tangled_run --inject=seed=7,events=4 prog.s   seeded fault injection
 //   tangled_run --checkpoint-every=500 prog.s     periodic checkpoints with
 //                                          rollback recovery (SimBase models)
+//   tangled_run --ecc=correct prog.s       SECDED over Qat + data memory
+//                                          (off | detect | correct)
+//   tangled_run --scrub-every=1000 prog.s  background scrub cadence, in
+//                                          retired instructions
 //
 // Reads from stdin when the file is "-".  Exit codes:
 //   0  program halted cleanly (sys)
@@ -27,6 +31,8 @@
 //   2  bad usage
 //   3  instruction limit reached without halting
 //   4  the machine trapped (illegal instruction, Qat fault, watchdog, ...)
+//   5  uncorrectable data corruption (ECC detected an upset it could not
+//      repair; the affected instruction did not commit)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +56,8 @@ void usage() {
                "usage: tangled_run [-s func|multi|pipe4|pipe5|pipe5-nofwd] "
                "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] "
                "[--max-cycles=N] [--inject=seed=N,events=N,horizon=N,pool=N] "
-               "[--checkpoint-every=N] [-d] [-q reg]... file.s|-\n");
+               "[--checkpoint-every=N] [--ecc=off|detect|correct] "
+               "[--scrub-every=N] [-d] [-q reg]... file.s|-\n");
 }
 
 const char* status_text(const tangled::SimStats& st) {
@@ -59,7 +66,9 @@ const char* status_text(const tangled::SimStats& st) {
 }
 
 int exit_code(const tangled::SimStats& st) {
-  if (st.trap) return 4;
+  if (st.trap) {
+    return st.trap.kind == tangled::TrapKind::kDataCorruption ? 5 : 4;
+  }
   return st.halted ? 0 : 3;
 }
 
@@ -69,6 +78,20 @@ void report_trap(const tangled::SimStats& st) {
     std::printf("trap: %s at pc=%u\n",
                 tangled::trap_kind_name(st.trap.kind), st.trap.pc);
   }
+}
+
+/// Printed whenever ECC is on: corrected / detected upset tallies across the
+/// Qat register file and Tangled data memory, plus scrub sweeps run.
+template <typename Sim>
+void report_ecc(Sim& sim, pbp::EccMode mode) {
+  if (mode == pbp::EccMode::kOff) return;
+  const auto qs = sim.qat().stats_snapshot();
+  std::printf("ecc: %llu corrected, %llu detected, %llu scrub sweep(s)\n",
+              static_cast<unsigned long long>(qs.ecc_corrected +
+                                              sim.memory().ecc_corrected()),
+              static_cast<unsigned long long>(qs.ecc_detected +
+                                              sim.memory().ecc_detected()),
+              static_cast<unsigned long long>(qs.ecc_scrubs));
 }
 
 }  // namespace
@@ -99,6 +122,8 @@ int run_main(int argc, char** argv) {
   std::uint64_t max_instructions = 10'000'000;
   std::uint64_t max_cycles = 0;
   std::uint64_t checkpoint_every = 0;
+  pbp::EccMode ecc_mode = pbp::EccMode::kOff;
+  std::uint64_t scrub_every = 0;
   std::string inject_spec;
   bool disassemble_only = false;
   bool pipeline_diagram = false;
@@ -142,6 +167,20 @@ int run_main(int argc, char** argv) {
       inject_spec = arg.substr(9);
     } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
       checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
+    } else if (arg.rfind("--ecc=", 0) == 0) {
+      const std::string mode = arg.substr(6);
+      if (mode == "off") {
+        ecc_mode = pbp::EccMode::kOff;
+      } else if (mode == "detect") {
+        ecc_mode = pbp::EccMode::kDetect;
+      } else if (mode == "correct") {
+        ecc_mode = pbp::EccMode::kCorrect;
+      } else {
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--scrub-every=", 0) == 0) {
+      scrub_every = std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else if (arg == "-d") {
       disassemble_only = true;
     } else if (arg == "-t") {
@@ -211,6 +250,8 @@ int run_main(int argc, char** argv) {
       sim.set_fault_plan(FaultPlan::parse(inject_spec, ways));
     }
     sim.set_max_cycles(max_cycles);
+    sim.set_ecc_mode(ecc_mode);
+    sim.set_scrub_every(scrub_every);
     const SimStats st = sim.run(max_instructions);
     if (!sim.console().empty()) std::fputs(sim.console().c_str(), stdout);
     std::printf("== multi-fsm (explicit state machine), %u-way %s Qat ==\n",
@@ -233,6 +274,7 @@ int run_main(int argc, char** argv) {
         static_cast<unsigned long long>(sim.state_cycles(McState::kWb)),
         status_text(st));
     report_trap(st);
+    report_ecc(sim, ecc_mode);
     return exit_code(st);
   }
 
@@ -244,6 +286,8 @@ int run_main(int argc, char** argv) {
       sim.set_fault_plan(FaultPlan::parse(inject_spec, ways));
     }
     sim.set_max_cycles(max_cycles);
+    sim.set_ecc_mode(ecc_mode);
+    sim.set_scrub_every(scrub_every);
     const SimStats st = sim.run(max_instructions);
     if (pipeline_diagram) std::fputs(sim.diagram().c_str(), stdout);
     std::printf("== rtl (latch-level 5-stage), %u-way %s Qat ==\n", ways,
@@ -268,6 +312,7 @@ int run_main(int argc, char** argv) {
         static_cast<unsigned long long>(st.fetch_extra_cycles),
         status_text(st));
     report_trap(st);
+    report_ecc(sim, ecc_mode);
     return exit_code(st);
   }
 
@@ -295,6 +340,8 @@ int run_main(int argc, char** argv) {
     sim->set_fault_plan(FaultPlan::parse(inject_spec, ways));
   }
   sim->set_max_cycles(max_cycles);
+  sim->set_ecc_mode(ecc_mode);
+  sim->set_scrub_every(scrub_every);
 
   if (checkpoint_every != 0) {
     // Periodic-checkpoint driver: snapshot every N instructions, roll back
@@ -322,7 +369,9 @@ int run_main(int argc, char** argv) {
       std::printf("trap: %s at pc=%u\n",
                   trap_kind_name(rs.final_trap.kind), rs.final_trap.pc);
     }
-    if (rs.gave_up || rs.final_trap) return 4;
+    if (rs.gave_up || rs.final_trap) {
+      return rs.final_trap.kind == TrapKind::kDataCorruption ? 5 : 4;
+    }
     return rs.halted ? 0 : 3;
   }
 
@@ -368,6 +417,7 @@ int run_main(int argc, char** argv) {
       static_cast<unsigned long long>(st.fetch_extra_cycles),
       status_text(st));
   report_trap(st);
+  report_ecc(*sim, ecc_mode);
   return exit_code(st);
 }
 }  // namespace

@@ -11,8 +11,14 @@
 #                               serve) under -DTANGLED_TSAN=ON
 #                               (ThreadSanitizer) — the data-race gate for
 #                               src/serve
+#   scripts/check.sh integrity  data-integrity suite (ctest -L integrity:
+#                               ECC codec/verify/scrub, corruption-trap
+#                               precision, checkpoint tamper rejection,
+#                               storage-upset soak) under the sanitizer
+#                               config — the "no wrong-answer completion,
+#                               ever" gate
 #   scripts/check.sh --all     both configs + the sanitized soak + the
-#                               TSAN serve run
+#                               integrity suite + the TSAN serve run
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
@@ -33,10 +39,21 @@ run_config() {
 run_soak() {
   echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
   cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
-  echo "== building sanitized soak harness =="
-  cmake --build build-asan -j "$(nproc)" --target tangled_soak
-  echo "== fault-injection soak (ctest -L soak, sanitized) =="
+  echo "== building sanitized soak harnesses =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target tangled_soak tangled_storage_soak
+  echo "== fault + storage-upset soak (ctest -L soak, sanitized) =="
   ctest --test-dir build-asan -L soak --output-on-failure -j "$(nproc)"
+}
+
+run_integrity() {
+  echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
+  echo "== building sanitized integrity harnesses =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target tangled_integrity tangled_storage_soak
+  echo "== data-integrity suite (ctest -L integrity, sanitized) =="
+  ctest --test-dir build-asan -L integrity --output-on-failure -j "$(nproc)"
 }
 
 run_tsan() {
@@ -63,17 +80,21 @@ case "${mode}" in
   tsan)
     run_tsan
     ;;
+  integrity)
+    run_integrity
+    ;;
   --all)
     run_config build
     run_config build-asan -DTANGLED_SANITIZE=ON
     run_soak
+    run_integrity
     run_tsan
     ;;
   "")
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity]" >&2
     exit 2
     ;;
 esac

@@ -1,5 +1,6 @@
 #include "arch/checkpoint.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "pbp/serialize.hpp"
@@ -8,16 +9,14 @@ namespace tangled {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x434e4754;  // "TGNC" little-endian
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersion = 2;
+// u32 magic + u16 version + u32 payload length + u32 crc32.
+constexpr std::size_t kHeaderBytes = 4 + 2 + 4 + 4;
 
-}  // namespace
-
-std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
-                                          const Memory& mem,
-                                          const QatEngine& qat) {
+std::vector<std::uint8_t> encode_payload(const CpuState& cpu,
+                                         const Memory& mem,
+                                         const QatEngine& qat) {
   pbp::ByteWriter w;
-  w.u32(kMagic);
-  w.u16(kVersion);
   // --- CPU ---
   for (const std::uint16_t r : cpu.regs) w.u16(r);
   w.u16(cpu.pc);
@@ -44,15 +43,8 @@ std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
   return w.take();
 }
 
-void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
-                     Memory& mem, QatEngine& qat) {
-  pbp::ByteReader r(bytes.data(), bytes.size());
-  if (r.u32() != kMagic) {
-    throw std::runtime_error("checkpoint: bad magic");
-  }
-  if (r.u16() != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version");
-  }
+void decode_payload(pbp::ByteReader& r, CpuState& cpu, Memory& mem,
+                    QatEngine& qat) {
   CpuState fresh;
   for (auto& reg : fresh.regs) reg = r.u16();
   fresh.pc = r.u16();
@@ -66,15 +58,123 @@ void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
     const std::uint32_t len = r.u32();
     const std::uint16_t val = r.u16();
     if (at + len > words.size()) {
-      throw std::runtime_error("checkpoint: memory runs overflow the image");
+      throw CheckpointError(CheckpointError::Kind::kMalformed,
+                            "memory runs overflow the image");
     }
     for (std::uint32_t k = 0; k < len; ++k) words[at++] = val;
   }
   if (at != words.size()) {
-    throw std::runtime_error("checkpoint: memory runs do not cover memory");
+    throw CheckpointError(CheckpointError::Kind::kMalformed,
+                          "memory runs do not cover memory");
   }
+  // The bulk rewrite above bypassed write(); rebuild the ECC sidecar so the
+  // restored image is protected (and clean) under the *current* policy.
+  mem.refresh_ecc();
   qat.restore(r);
   cpu = fresh;  // commit only after every piece parsed
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
+                                          const Memory& mem,
+                                          const QatEngine& qat) {
+  const std::vector<std::uint8_t> payload = encode_payload(cpu, mem, qat);
+  pbp::ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(pbp::crc32(payload));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
+                     Memory& mem, QatEngine& qat) {
+  if (bytes.size() < kHeaderBytes) {
+    throw CheckpointError(CheckpointError::Kind::kTruncated,
+                          "shorter than the fixed header");
+  }
+  pbp::ByteReader r(bytes.data(), bytes.size());
+  if (r.u32() != kMagic) {
+    throw CheckpointError(CheckpointError::Kind::kBadMagic, "bad magic");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kVersion) {
+    throw CheckpointError(
+        CheckpointError::Kind::kBadVersion,
+        "unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t length = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (length != r.remaining()) {
+    throw CheckpointError(
+        CheckpointError::Kind::kTruncated,
+        "payload length " + std::to_string(length) + " but " +
+            std::to_string(r.remaining()) + " bytes follow the header");
+  }
+  if (pbp::crc32(bytes.data() + kHeaderBytes, length) != crc) {
+    throw CheckpointError(CheckpointError::Kind::kCrcMismatch,
+                          "payload CRC mismatch");
+  }
+  try {
+    decode_payload(r, cpu, mem, qat);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // ByteReader underruns / backend geometry rejections inside a
+    // CRC-clean image: structurally invalid, not bit-rotted.
+    throw CheckpointError(CheckpointError::Kind::kMalformed, e.what());
+  }
+}
+
+void save_checkpoint_file(const std::string& path, const CpuState& cpu,
+                          const Memory& mem, const QatEngine& qat) {
+  const std::vector<std::uint8_t> bytes = save_checkpoint(cpu, mem, qat);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw CheckpointError(CheckpointError::Kind::kIoError,
+                          "cannot open " + tmp + " for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(CheckpointError::Kind::kIoError,
+                          "short write to " + tmp);
+  }
+  // Atomic publication: readers see either the old complete image or the
+  // new complete image, never a half-written one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError(CheckpointError::Kind::kIoError,
+                          "cannot rename " + tmp + " over " + path);
+  }
+}
+
+void load_checkpoint_file(const std::string& path, CpuState& cpu, Memory& mem,
+                          QatEngine& qat) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw CheckpointError(CheckpointError::Kind::kIoError,
+                          "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw CheckpointError(CheckpointError::Kind::kIoError,
+                          "read error on " + path);
+  }
+  load_checkpoint(bytes, cpu, mem, qat);
 }
 
 }  // namespace tangled

@@ -7,32 +7,77 @@
 // dumps, or RE chunk-pool symbols plus per-register run lists) together
 // with its hardware counters.
 //
-// Format (all little-endian, pbp/serialize.hpp primitives):
-//   u32 magic "TNGC"  u16 version
-//   cpu:  16×u16 regs, u16 pc, u8 halted, u8 trap kind, u16 trap pc
-//   mem:  u32 n_runs, then n_runs × (u32 length, u16 value)
-//   qat:  QatEngine::serialize (backend snapshot + stats)
+// Format v2 (all little-endian, pbp/serialize.hpp primitives) — a framed
+// image so a truncated or bit-flipped file is *rejected*, never restored:
+//   header:  u32 magic "TNGC"  u16 version  u32 payload_length  u32 crc32
+//   payload: cpu:  16×u16 regs, u16 pc, u8 halted, u8 trap kind, u16 trap pc
+//            mem:  u32 n_runs, then n_runs × (u32 length, u16 value)
+//            qat:  QatEngine::serialize (backend snapshot + stats)
+// crc32 (IEEE 802.3) covers the payload only; the magic/version/length
+// fields are validated structurally.  Anything wrong throws CheckpointError
+// with a machine-readable kind, and the target machine state is untouched.
 //
 // The recovery driver (recovery.hpp) takes periodic checkpoints and rolls
-// back to the latest one when a fault-injected run traps.
+// back to the latest one when a fault-injected run traps.  On-disk images
+// (save_checkpoint_file) are written to a temp file and atomically renamed
+// into place, so a crash mid-write never leaves a half image under the
+// real name.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "arch/cpu.hpp"
 
 namespace tangled {
 
-/// Snapshot the machine into a byte vector.
+/// Structured rejection of a checkpoint image.  Every failure mode a
+/// tampered, truncated, or stale file can exhibit gets its own kind, so
+/// callers (and tests) can assert the *reason*, not just "it threw".
+class CheckpointError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kBadMagic,     // not a checkpoint file at all
+    kBadVersion,   // a checkpoint, but from an incompatible format
+    kTruncated,    // shorter than the header + declared payload length
+    kCrcMismatch,  // framing intact but payload bits flipped
+    kMalformed,    // CRC-clean yet structurally invalid (logic error /
+                   // deliberate tamper that re-computed the CRC)
+    kIoError,      // file could not be read or written
+  };
+
+  CheckpointError(Kind kind, const std::string& what)
+      : std::runtime_error("checkpoint: " + what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Snapshot the machine into a framed byte vector.
 std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
                                           const Memory& mem,
                                           const QatEngine& qat);
 
 /// Restore a snapshot.  The QatEngine's backend is replaced by the
-/// checkpointed one (kind and all).  Throws std::runtime_error on a
-/// malformed or truncated stream.
+/// checkpointed one (kind and all); memory's ECC sidecar is rebuilt and the
+/// engine's ECC policy re-applied (policy is not machine state).  Throws
+/// CheckpointError on any malformed, truncated, or corrupted image —
+/// in which case cpu/mem/qat are left unchanged whenever the damage is
+/// detectable before commit (magic/version/length/CRC all are).
 void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
                      Memory& mem, QatEngine& qat);
+
+/// Durable on-disk image: writes `path` + ".tmp" then atomically renames it
+/// over `path`.  Throws CheckpointError(kIoError) on filesystem failure.
+void save_checkpoint_file(const std::string& path, const CpuState& cpu,
+                          const Memory& mem, const QatEngine& qat);
+
+/// Load and restore an on-disk image; same guarantees as load_checkpoint,
+/// plus CheckpointError(kIoError) if the file cannot be read.
+void load_checkpoint_file(const std::string& path, CpuState& cpu, Memory& mem,
+                          QatEngine& qat);
 
 }  // namespace tangled

@@ -17,6 +17,10 @@ std::uint16_t u16(int v) { return static_cast<std::uint16_t>(v); }
 TrapKind classify_qat_failure() {
   try {
     throw;  // rethrow the in-flight exception to inspect its type
+  } catch (const pbp::CorruptionError&) {
+    // Ordered first: CorruptionError derives from std::runtime_error, so
+    // the broader clauses below would otherwise swallow it.
+    return TrapKind::kDataCorruption;
   } catch (const std::length_error&) {
     return TrapKind::kResourceExhausted;
   } catch (const std::exception&) {
@@ -204,12 +208,111 @@ ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
     return r;
   }
   r.next_pc = o.taken ? o.target : u16(cpu.pc + words);
-  if (o.is_store) mem.write(o.addr, o.store_data);
-  if (o.writes_reg) {
-    cpu.set_reg(i.d, o.is_load ? mem.read(o.addr) : o.value);
+  if (o.is_load) {
+    // Verified load: an uncorrectable upset in the loaded word is a
+    // precise data-corruption trap — nothing commits, PC stays put.
+    bool corrupt = false;
+    const std::uint16_t v = mem.load_checked(o.addr, &corrupt);
+    if (corrupt) {
+      r.next_pc = cpu.pc;
+      r.halted = true;
+      r.trap = TrapKind::kDataCorruption;
+      cpu.trap = Trap{TrapKind::kDataCorruption, cpu.pc};
+      cpu.halted = true;
+      return r;
+    }
+    cpu.set_reg(i.d, v);
+  } else {
+    if (o.is_store) mem.write(o.addr, o.store_data);
+    if (o.writes_reg) cpu.set_reg(i.d, o.value);
   }
   cpu.halted = r.halted;
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Memory integrity layer.
+
+void Memory::set_ecc_mode(pbp::EccMode m) {
+  ecc_ = m;
+  if (ecc_ == pbp::EccMode::kOff) {
+    check_.clear();
+    check_.shrink_to_fit();
+    return;
+  }
+  refresh_ecc();
+}
+
+void Memory::refresh_ecc() {
+  if (ecc_ == pbp::EccMode::kOff) return;
+  check_.resize(words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    check_[i] = pbp::secded16_encode(words_[i]);
+  }
+}
+
+std::uint16_t Memory::load_checked(std::uint16_t addr, bool* corrupt) {
+  if (ecc_ == pbp::EccMode::kOff) return words_[addr];
+  if (ecc_ == pbp::EccMode::kDetect) {
+    if (!pbp::secded16_clean(words_[addr], check_[addr])) {
+      ++detected_;
+      *corrupt = true;
+    }
+    return words_[addr];
+  }
+  std::uint16_t payload = words_[addr];
+  std::uint8_t check = check_[addr];
+  switch (pbp::secded16_check(payload, check)) {
+    case pbp::EccCheck::kClean:
+      break;
+    case pbp::EccCheck::kCorrected:
+      words_[addr] = payload;
+      check_[addr] = check;
+      ++corrected_;
+      break;
+    case pbp::EccCheck::kUncorrectable:
+      ++detected_;
+      *corrupt = true;
+      break;
+  }
+  return words_[addr];
+}
+
+pbp::EccSweep Memory::scrub_ecc() {
+  pbp::EccSweep sweep;
+  if (ecc_ == pbp::EccMode::kOff) return sweep;
+  sweep.words = words_.size();
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (ecc_ == pbp::EccMode::kDetect) {
+      if (!pbp::secded16_clean(words_[i], check_[i])) ++sweep.uncorrectable;
+      continue;
+    }
+    std::uint16_t payload = words_[i];
+    std::uint8_t check = check_[i];
+    switch (pbp::secded16_check(payload, check)) {
+      case pbp::EccCheck::kClean:
+        break;
+      case pbp::EccCheck::kCorrected:
+        words_[i] = payload;
+        check_[i] = check;
+        ++sweep.corrected;
+        break;
+      case pbp::EccCheck::kUncorrectable:
+        ++sweep.uncorrectable;
+        break;
+    }
+  }
+  corrected_ += sweep.corrected;
+  detected_ += sweep.uncorrectable;
+  return sweep;
+}
+
+TrapKind scrub_protected_state(QatEngine& qat, Memory& mem) {
+  const pbp::EccSweep qs = qat.scrub();
+  const pbp::EccSweep ms = mem.scrub_ecc();
+  return (qs.uncorrectable != 0 || ms.uncorrectable != 0)
+             ? TrapKind::kDataCorruption
+             : TrapKind::kNone;
 }
 
 }  // namespace tangled

@@ -15,17 +15,27 @@
 #include "arch/qat_engine.hpp"
 #include "arch/trap.hpp"
 #include "isa/isa.hpp"
+#include "pbp/ecc.hpp"
 
 namespace tangled {
 
 /// 64Ki 16-bit words, word-addressed — the "simplified memory interface" of
 /// the class projects (§3.1).
+///
+/// Optionally SECDED-protected: with an EccMode other than kOff each word
+/// carries a (22,16) check byte maintained by write() and verified by the
+/// load_checked()/scrub_ecc() paths.  read()/words_mut() stay raw — they
+/// model the array itself, and the checkpoint/fault machinery that uses
+/// them re-syncs via refresh_ecc()/storage_upset().
 class Memory {
  public:
   Memory() : words_(65536, 0) {}
 
   std::uint16_t read(std::uint16_t addr) const { return words_[addr]; }
-  void write(std::uint16_t addr, std::uint16_t v) { words_[addr] = v; }
+  void write(std::uint16_t addr, std::uint16_t v) {
+    words_[addr] = v;
+    if (ecc_ != pbp::EccMode::kOff) check_[addr] = pbp::secded16_encode(v);
+  }
 
   /// Load a program image at address 0.  An image wider than the address
   /// space is refused outright (nothing is written) and reported false, so
@@ -36,15 +46,54 @@ class Memory {
     for (std::size_t i = 0; i < image.size(); ++i) {
       words_[i] = image[i];
     }
+    refresh_ecc();
     return true;
   }
 
-  /// Whole-array access for checkpointing and fault injection.
+  /// Whole-array access for checkpointing and fault injection.  After
+  /// mutating through words_mut() with protection on, call refresh_ecc().
   const std::vector<std::uint16_t>& words() const { return words_; }
   std::vector<std::uint16_t>& words_mut() { return words_; }
 
+  // --- Integrity layer -----------------------------------------------
+
+  /// Select the protection policy; (re)builds the check sidecar from the
+  /// current contents, so the mode can change at any point in a run.
+  void set_ecc_mode(pbp::EccMode m);
+  pbp::EccMode ecc_mode() const { return ecc_; }
+
+  /// Verified read used by the fetch and load datapaths.  kCorrect
+  /// repairs a single-bit upset in place (counted); an uncorrectable
+  /// upset — or, under kDetect, any mismatch — sets *corrupt and returns
+  /// the raw word, which the caller must not commit.
+  std::uint16_t load_checked(std::uint16_t addr, bool* corrupt);
+
+  /// Verify (and under kCorrect repair) every protected word.
+  pbp::EccSweep scrub_ecc();
+
+  /// Re-encode the whole sidecar from the payload array — the
+  /// trusted-bulk-update hook for checkpoint restore and load().
+  void refresh_ecc();
+
+  /// Storage-upset model: flip a raw payload bit *without* touching the
+  /// check byte, exactly what a particle strike does to the array.
+  void storage_upset(std::uint16_t addr, unsigned bit) {
+    words_[addr] = static_cast<std::uint16_t>(words_[addr] ^ (1u << (bit & 15u)));
+  }
+
+  std::uint64_t ecc_corrected() const { return corrected_; }
+  std::uint64_t ecc_detected() const { return detected_; }
+  /// Sidecar footprint in bytes (0 when protection is off).
+  std::size_t ecc_bytes() const {
+    return ecc_ == pbp::EccMode::kOff ? 0 : check_.size();
+  }
+
  private:
   std::vector<std::uint16_t> words_;
+  std::vector<std::uint8_t> check_;  // one SECDED byte per word when on
+  pbp::EccMode ecc_ = pbp::EccMode::kOff;
+  std::uint64_t corrected_ = 0;  // monotone: never rewound by rollback
+  std::uint64_t detected_ = 0;
 };
 
 struct CpuState {
@@ -99,5 +148,12 @@ ExOut exec_stage(const Instr& i, std::uint16_t pc, unsigned words,
 /// length (for fall-through PC).  The caller owns timing entirely.
 ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
                          const Instr& i, unsigned words);
+
+/// Sweep both protected stores (Qat register file / chunk pool and
+/// Tangled memory), repairing what the configured modes allow.  Returns
+/// kDataCorruption if either sweep found an uncorrectable upset (under
+/// kDetect, any upset), kNone otherwise.  Shared by the simulators'
+/// periodic scrubber and the checkpoint runner's pre-snapshot sweep.
+TrapKind scrub_protected_state(QatEngine& qat, Memory& mem);
 
 }  // namespace tangled

@@ -26,6 +26,10 @@ const char* target_name(FaultEvent::Target t) {
       return "reg";
     case FaultEvent::Target::kQatChannel:
       return "qat";
+    case FaultEvent::Target::kQatStorage:
+      return "qstorage";
+    case FaultEvent::Target::kMemStorage:
+      return "mstorage";
   }
   return "?";
 }
@@ -35,7 +39,7 @@ const char* target_name(FaultEvent::Target t) {
 std::string FaultEvent::to_string() const {
   std::ostringstream os;
   os << target_name(target) << "@" << at_instr << ":" << addr;
-  if (target == Target::kQatChannel) {
+  if (target == Target::kQatChannel || target == Target::kQatStorage) {
     os << ".ch" << channel;
   } else {
     os << ".b" << bit;
@@ -75,11 +79,35 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
   return plan;
 }
 
+FaultPlan FaultPlan::random_storage(std::uint64_t seed, std::size_t n_events,
+                                    std::uint64_t horizon, unsigned ways) {
+  FaultPlan plan;
+  SplitMix64 rng{seed ^ 0x73746f72616765ull};  // distinct stream from random()
+  if (horizon == 0) horizon = 1;
+  const std::uint64_t channel_mask = (std::uint64_t{1} << ways) - 1;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultEvent e;
+    if (rng.next() % 2 == 0) {
+      e.target = FaultEvent::Target::kQatStorage;
+      e.addr = static_cast<std::uint16_t>(rng.next() % 16);
+      e.channel = rng.next() & channel_mask;
+    } else {
+      e.target = FaultEvent::Target::kMemStorage;
+      e.addr = static_cast<std::uint16_t>(rng.next() % 256);
+      e.bit = static_cast<unsigned>(rng.next() % 16);
+    }
+    e.at_instr = 1 + rng.next() % horizon;
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec, unsigned ways) {
   std::uint64_t seed = 1;
   std::size_t events = 4;
   std::uint64_t horizon = 5000;
   std::size_t pool = 0;
+  bool storage = false;
   std::istringstream is(spec);
   std::string item;
   while (std::getline(is, item, ',')) {
@@ -99,11 +127,14 @@ FaultPlan FaultPlan::parse(const std::string& spec, unsigned ways) {
       horizon = value;
     } else if (key == "pool") {
       pool = static_cast<std::size_t>(value);
+    } else if (key == "storage") {
+      storage = value != 0;
     } else {
       throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
     }
   }
-  FaultPlan plan = random(seed, events, horizon, ways);
+  FaultPlan plan = storage ? random_storage(seed, events, horizon, ways)
+                           : random(seed, events, horizon, ways);
   plan.max_pool_symbols = pool;
   return plan;
 }
@@ -149,6 +180,19 @@ TrapKind FaultInjector::apply_due(std::uint64_t retired, CpuState& cpu,
         case FaultEvent::Target::kQatChannel:
           qat.flip_channel(static_cast<unsigned>(e.addr), e.channel);
           break;
+        case FaultEvent::Target::kQatStorage:
+          qat.storage_upset(static_cast<unsigned>(e.addr), e.channel);
+          break;
+        case FaultEvent::Target::kMemStorage:
+          mem.storage_upset(e.addr, e.bit);
+          break;
+      }
+    } catch (const pbp::CorruptionError&) {
+      // Ordered first: CorruptionError derives from std::runtime_error.
+      // (flip_channel reads the register before writing it, so an earlier
+      // storage upset can surface right here at injection time.)
+      if (first_fault == TrapKind::kNone) {
+        first_fault = TrapKind::kDataCorruption;
       }
     } catch (const std::length_error&) {
       if (first_fault == TrapKind::kNone) {

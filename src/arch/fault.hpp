@@ -27,6 +27,12 @@ struct FaultEvent {
     kMemoryWord,  // flip `bit` of mem[addr]
     kHostReg,     // flip `bit` of $addr
     kQatChannel,  // invert channel `channel` of Qat register @addr
+    // Storage upsets (ECC-protected payload, NOT architectural state):
+    // these flip raw stored bits *underneath* the integrity sidecar, so
+    // unlike the targets above the codec can see — and with ecc=correct,
+    // repair — them.  With ecc=off they are silent data corruption.
+    kQatStorage,  // flip stored channel bit `channel` of Qat register @addr
+    kMemStorage,  // flip `bit` of mem[addr] without re-encoding its ECC
   };
   Target target = Target::kMemoryWord;
   std::uint64_t at_instr = 0;  // fires once retired instructions reach this
@@ -51,10 +57,17 @@ struct FaultPlan {
   static FaultPlan random(std::uint64_t seed, std::size_t n_events,
                           std::uint64_t horizon, unsigned ways);
 
+  /// Deterministic storage-upset plan: n_events raw payload flips spread
+  /// over Qat registers and memory words (the ECC soak workload).
+  static FaultPlan random_storage(std::uint64_t seed, std::size_t n_events,
+                                  std::uint64_t horizon, unsigned ways);
+
   /// Parse a --inject spec: comma-separated key=value pairs
-  ///   seed=N  events=N  horizon=N  pool=N
-  /// e.g. "seed=42,events=8,horizon=2000,pool=64".  Unknown keys throw
-  /// std::invalid_argument.  `ways` bounds the Qat channel indices.
+  ///   seed=N  events=N  horizon=N  pool=N  storage=1
+  /// e.g. "seed=42,events=8,horizon=2000,pool=64".  `storage=1` draws the
+  /// events from the storage-upset model (random_storage) instead of the
+  /// architectural one.  Unknown keys throw std::invalid_argument.  `ways`
+  /// bounds the Qat channel indices.
   static FaultPlan parse(const std::string& spec, unsigned ways);
 
   std::string to_string() const;

@@ -21,17 +21,36 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
   for (; cycle < cycle_limit && !cpu_.halted; ++cycle) {
     ++state_cycles_[static_cast<unsigned>(state)];
     switch (state) {
-      case McState::kFetch:
-        ir0 = mem_.read(cpu_.pc);
+      case McState::kFetch: {
+        // Verified fetch: an uncorrectable upset in the instruction word is
+        // a precise trap at the fetch PC — nothing enters the datapath.
+        bool corrupt = false;
+        ir0 = mem_.load_checked(cpu_.pc, &corrupt);
+        if (corrupt) {
+          cpu_.trap = Trap{TrapKind::kDataCorruption, cpu_.pc};
+          cpu_.halted = true;
+          break;
+        }
         // Peek the length to decide whether a second fetch state is needed.
         state = decode(ir0, 0).words == 2 ? McState::kFetch2
                                           : McState::kDecode;
         if (state == McState::kDecode) dec = decode(ir0, 0);
         break;
-      case McState::kFetch2:
-        dec = decode(ir0, mem_.read(static_cast<std::uint16_t>(cpu_.pc + 1)));
+      }
+      case McState::kFetch2: {
+        bool corrupt = false;
+        const std::uint16_t ir1 =
+            mem_.load_checked(static_cast<std::uint16_t>(cpu_.pc + 1),
+                              &corrupt);
+        if (corrupt) {
+          cpu_.trap = Trap{TrapKind::kDataCorruption, cpu_.pc};
+          cpu_.halted = true;
+          break;
+        }
+        dec = decode(ir0, ir1);
         state = McState::kDecode;
         break;
+      }
       case McState::kDecode:
         dval = cpu_.reg(dec.instr.d);
         sval = cpu_.reg(dec.instr.s);
@@ -48,7 +67,16 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
         if (ex.is_store) {
           mem_.write(ex.addr, ex.store_data);
         } else {
-          mem_data = mem_.read(ex.addr);
+          bool corrupt = false;
+          mem_data = mem_.load_checked(ex.addr, &corrupt);
+          if (corrupt) {
+            // Convert the load into a trapping bubble: WB sees the trap,
+            // commits nothing, and leaves the PC at the faulting load —
+            // the same precise state execute_instr produces.
+            ex.trap = TrapKind::kDataCorruption;
+            ex.writes_reg = false;
+            ex.is_load = false;
+          }
         }
         state = McState::kWb;
         break;
@@ -84,6 +112,16 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
             cpu_.halted = true;
           }
         }
+        // Background scrubber on the shared retired-instruction clock (the
+        // same architectural point SimBase::run scrubs at).
+        if (!cpu_.halted && scrub_every_ != 0 && ecc_enabled() &&
+            retired_total_ % scrub_every_ == 0) {
+          const TrapKind tk = scrub_protected_state(qat_, mem_);
+          if (tk != TrapKind::kNone) {
+            cpu_.trap = Trap{tk, cpu_.pc};
+            cpu_.halted = true;
+          }
+        }
         state = McState::kFetch;
         if (!cpu_.halted && stats.instructions >= max_instructions) {
           stats.cycles = cycle + 1;
@@ -99,6 +137,11 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
       cpu_.trap = Trap{TrapKind::kWatchdogExpired, cpu_.pc};
       cpu_.halted = true;
     }
+  }
+  // Clean-halt integrity gate (same contract as SimBase::run).
+  if (cpu_.halted && cpu_.trap.kind == TrapKind::kNone && ecc_enabled()) {
+    const TrapKind tk = scrub_protected_state(qat_, mem_);
+    if (tk != TrapKind::kNone) cpu_.trap = Trap{tk, cpu_.pc};
   }
   stats.cycles = cycle;
   stats.halted = cpu_.halted;

@@ -62,6 +62,17 @@ class MultiCycleFsmSim {
   void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
   std::uint64_t retired_total() const { return retired_total_; }
 
+  // --- Data integrity (same contract as SimBase) ---
+  void set_ecc_mode(pbp::EccMode m) {
+    mem_.set_ecc_mode(m);
+    qat_.set_ecc_mode(m);
+  }
+  void set_scrub_every(std::uint64_t n) { scrub_every_ = n; }
+  bool ecc_enabled() const {
+    return mem_.ecc_mode() != pbp::EccMode::kOff ||
+           qat_.ecc_mode() != pbp::EccMode::kOff;
+  }
+
   CpuState& cpu() { return cpu_; }
   const CpuState& cpu() const { return cpu_; }
   Memory& memory() { return mem_; }
@@ -82,6 +93,7 @@ class MultiCycleFsmSim {
   FaultInjector injector_;
   std::uint64_t retired_total_ = 0;
   std::uint64_t max_cycles_ = 0;
+  std::uint64_t scrub_every_ = 0;
 };
 
 }  // namespace tangled

@@ -90,10 +90,61 @@ void QatEngine::xor_(unsigned a, unsigned b, unsigned c) {
   stats_.reg_writes.fetch_add(1, std::memory_order_relaxed);
 }
 
+void QatEngine::set_ecc_mode(pbp::EccMode m) {
+  ecc_mode_ = m;
+  backend_->set_ecc_mode(m);
+}
+
+void QatEngine::drain_ecc() {
+  const pbp::EccSweep s = backend_->take_ecc_counts();
+  if (s.corrected != 0) {
+    stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
+  }
+  if (s.uncorrectable != 0) {
+    stats_.ecc_detected.fetch_add(s.uncorrectable, std::memory_order_relaxed);
+  }
+}
+
+pbp::EccSweep QatEngine::scrub() {
+  drain_ecc();  // access-path tallies first, so ordering stays monotone
+  const pbp::EccSweep s = backend_->scrub_ecc();
+  if (s.corrected != 0) {
+    stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
+  }
+  if (s.uncorrectable != 0) {
+    stats_.ecc_detected.fetch_add(s.uncorrectable, std::memory_order_relaxed);
+  }
+  stats_.ecc_scrubs.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+void QatEngine::storage_upset(unsigned r, std::size_t ch) {
+  backend_->storage_upset(r & 0xffu, ch);
+}
+
 bool QatEngine::try_degrade_to_dense() {
   if (backend_->kind() != pbp::Backend::kCompressed ||
       backend_->ways() > pbp::kMaxAobWays) {
     return false;
+  }
+  // Integrity gate: repair the pool before decompressing, and refuse to
+  // migrate state carrying an uncorrectable upset — reg_aob would copy the
+  // corruption into the fresh dense file and *launder* it past the codec
+  // (the new sidecar would canonically encode the wrong bits).  The throw
+  // escapes mutate()'s length_error handler and surfaces as a precise
+  // kDataCorruption trap.
+  if (ecc_mode_ != pbp::EccMode::kOff) {
+    drain_ecc();
+    const pbp::EccSweep s = backend_->scrub_ecc();
+    if (s.corrected != 0) {
+      stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
+    }
+    if (s.uncorrectable != 0) {
+      stats_.ecc_detected.fetch_add(s.uncorrectable,
+                                    std::memory_order_relaxed);
+      throw pbp::CorruptionError(
+          "QatEngine: uncorrectable upset blocks RE->dense migration");
+    }
   }
   // Memory-pressure veto (serve-layer admission control): a migration
   // replaces kilobytes of runs with the full dense register file, so ask the
@@ -115,6 +166,7 @@ bool QatEngine::try_degrade_to_dense() {
   for (unsigned r = 0; r < backend_->num_regs(); ++r) {
     dense->set_reg_aob(r, backend_->reg_aob(r));
   }
+  dense->set_ecc_mode(ecc_mode_);  // policy follows the data to the new file
   backend_ = std::move(dense);
   stats_.backend_migrations.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -136,11 +188,18 @@ void QatEngine::serialize(pbp::ByteWriter& w) const {
 }
 
 void QatEngine::restore(pbp::ByteReader& r) {
+  // Drain the dying backend's pending ECC tallies first: the ECC counters
+  // are deliberately NOT in the snapshot (serialize() above writes only the
+  // four architectural counters), so corrected/detected telemetry stays
+  // monotone across rollback instead of rewinding with the machine state.
+  drain_ecc();
   backend_ = pbp::deserialize_qat_backend(r);
   stats_.ops = r.u64();
   stats_.reg_reads = r.u64();
   stats_.reg_writes = r.u64();
   stats_.backend_migrations = r.u64();
+  // ECC mode is policy, not machine state: re-protect the restored file.
+  backend_->set_ecc_mode(ecc_mode_);
 }
 
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {
@@ -178,6 +237,19 @@ std::size_t QatEngine::pop_wide(unsigned a, std::size_t ch) const {
 }
 
 void QatEngine::execute(const Instr& i, std::uint16_t& d_value) {
+  // Publish access-path ECC tallies after every instruction — on BOTH the
+  // success and the trap (CorruptionError) path, so a detect-mode trap is
+  // visible in stats before the simulator ever reaches a scrub point.
+  try {
+    execute_op(i, d_value);
+  } catch (...) {
+    drain_ecc();
+    throw;
+  }
+  drain_ecc();
+}
+
+void QatEngine::execute_op(const Instr& i, std::uint16_t& d_value) {
   switch (i.op) {
     case Op::kQNot:
       not_(i.qa);

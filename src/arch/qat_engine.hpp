@@ -54,6 +54,9 @@ struct QatStats {
   std::atomic<std::uint64_t> reg_reads{0};  // register-file read ports used
   std::atomic<std::uint64_t> reg_writes{0}; // register-file write ports used
   std::atomic<std::uint64_t> backend_migrations{0};  // RE→dense degradations
+  std::atomic<std::uint64_t> ecc_corrected{0};  // single-bit upsets repaired
+  std::atomic<std::uint64_t> ecc_detected{0};   // uncorrectable upsets seen
+  std::atomic<std::uint64_t> ecc_scrubs{0};     // background scrub passes
 
   QatStats() = default;
   QatStats(const QatStats& o) { *this = o; }
@@ -67,6 +70,12 @@ struct QatStats {
     backend_migrations.store(
         o.backend_migrations.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    ecc_corrected.store(o.ecc_corrected.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    ecc_detected.store(o.ecc_detected.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    ecc_scrubs.store(o.ecc_scrubs.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     return *this;
   }
 };
@@ -79,6 +88,9 @@ struct QatStatsSnapshot {
   std::uint64_t reg_reads = 0;
   std::uint64_t reg_writes = 0;
   std::uint64_t backend_migrations = 0;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
+  std::uint64_t ecc_scrubs = 0;
 };
 
 class QatEngine {
@@ -149,7 +161,10 @@ class QatEngine {
     return {stats_.ops.load(std::memory_order_relaxed),
             stats_.reg_reads.load(std::memory_order_relaxed),
             stats_.reg_writes.load(std::memory_order_relaxed),
-            stats_.backend_migrations.load(std::memory_order_relaxed)};
+            stats_.backend_migrations.load(std::memory_order_relaxed),
+            stats_.ecc_corrected.load(std::memory_order_relaxed),
+            stats_.ecc_detected.load(std::memory_order_relaxed),
+            stats_.ecc_scrubs.load(std::memory_order_relaxed)};
   }
   void reset_stats() { stats_ = {}; }
 
@@ -170,6 +185,23 @@ class QatEngine {
   void set_migration_guard(std::function<bool(std::size_t)> guard) {
     migration_guard_ = std::move(guard);
   }
+  // --- Data integrity (end-to-end ECC, this repo's robustness layer) ---
+  /// Select the register-file protection policy.  Policy, not machine
+  /// state: it survives checkpoint restore and RE→dense migration (both
+  /// re-apply it to the replacement backend), and the ECC counters are
+  /// never serialized so telemetry stays monotone across rollback.
+  void set_ecc_mode(pbp::EccMode m);
+  pbp::EccMode ecc_mode() const { return ecc_mode_; }
+  /// Sweep the whole register file: repairs correctable upsets (kCorrect),
+  /// tallies the rest.  Never throws; callers trap on uncorrectable != 0.
+  /// Also drains the backend's access-path tallies into stats().
+  pbp::EccSweep scrub();
+  /// Storage-upset fault model: flip one raw payload bit of register r
+  /// (channel ch, wrapped) *underneath* the ECC sidecar — unlike
+  /// flip_channel this does not re-encode, so the codec sees a genuine
+  /// upset.  On the RE backend the flip lands in the shared chunk pool.
+  void storage_upset(unsigned r, std::size_t ch);
+
   /// Snapshot / restore the whole coprocessor: register file (either
   /// backend) plus the hardware counters.
   void serialize(pbp::ByteWriter& w) const;
@@ -208,10 +240,14 @@ class QatEngine {
     }
   }
   bool try_degrade_to_dense();
+  void execute_op(const Instr& i, std::uint16_t& d_value);
+  /// Move the backend's pending access-path ECC tallies into stats_.
+  void drain_ecc();
 
   std::unique_ptr<pbp::QatBackend> backend_;
   mutable QatStats stats_;
   std::function<bool(std::size_t)> migration_guard_;
+  pbp::EccMode ecc_mode_ = pbp::EccMode::kOff;
 };
 
 }  // namespace tangled

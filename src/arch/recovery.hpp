@@ -107,15 +107,33 @@ class CheckpointingRunner {
         return rs;
       }
 
+      bool failed = s.halted || completed >= max_instructions;
+      Trap fail_trap = s.trap;
+      bool fail_halted = s.halted;
+      // Integrity gate before snapshotting: a checkpoint serializes raw
+      // payload words, and restore re-encodes the ECC sidecar over them —
+      // so snapshotting a latent upset would *launder* it into a "clean"
+      // image that survives every future rollback.  Scrub first; an
+      // uncorrectable upset makes this slice a failure instead.
+      if (!failed && every_ != 0 && sim_.ecc_enabled()) {
+        const TrapKind tk =
+            scrub_protected_state(sim_.qat(), sim_.memory());
+        if (tk != TrapKind::kNone) {
+          failed = true;
+          fail_halted = true;
+          fail_trap = Trap{tk, sim_.cpu().pc};
+        }
+      }
+
       // A lineage fails by trapping, by halting with a wrong answer, or by
       // exhausting its instruction budget without halting (a fault-corrupted
       // branch can loop forever — recover from that too).
-      if (s.halted || completed >= max_instructions) {
+      if (failed) {
         ++failures;
         if (failures >= max_attempts) {
           rs.gave_up = true;
-          rs.halted = s.halted;
-          rs.final_trap = s.trap;
+          rs.halted = fail_halted;
+          rs.final_trap = fail_trap;
           return rs;
         }
         if (every_ != 0 && failures <= max_attempts / 2) {

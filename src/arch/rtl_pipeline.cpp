@@ -58,6 +58,12 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
           // Clean halt (sys, one word): the architectural PC is the next
           // word, not the run-ahead fetch pointer.
           cpu_.pc = static_cast<std::uint16_t>(memwb.pc + 1);
+          // Clean-halt integrity gate (same contract as SimBase::run): a
+          // protected run may not report success over corrupt state.
+          if (ecc_enabled()) {
+            const TrapKind tk = scrub_protected_state(qat_, mem_);
+            if (tk != TrapKind::kNone) cpu_.trap = Trap{tk, cpu_.pc};
+          }
         }
         cpu_.halted = true;
         stats_.halted = true;
@@ -68,6 +74,20 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       if (injector_.armed()) {
         const TrapKind tk =
             injector_.apply_due(retired_total_, cpu_, mem_, qat_);
+        if (tk != TrapKind::kNone) {
+          cpu_.trap = Trap{tk, cpu_.pc};
+          cpu_.halted = true;
+          stats_.halted = true;
+          stats_.trap = cpu_.trap;
+          stats_.cycles = cycle + 1;
+          return stats_;
+        }
+      }
+      // Background scrubber on the shared retired-instruction clock (the
+      // same architectural point the instruction-atomic models scrub at).
+      if (scrub_every_ != 0 && ecc_enabled() &&
+          retired_total_ % scrub_every_ == 0) {
+        const TrapKind tk = scrub_protected_state(qat_, mem_);
         if (tk != TrapKind::kNone) {
           cpu_.trap = Trap{tk, cpu_.pc};
           cpu_.halted = true;
@@ -132,8 +152,31 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
           forwarded(idex.instr.d, idex.dval, reads_d(idex.instr.op));
       const std::uint16_t sv =
           forwarded(idex.instr.s, idex.sval, reads_s(idex.instr.op));
-      const ExOut o =
-          exec_stage(idex.instr, idex.pc, idex.words, dv, sv, qat_);
+      ExOut o;
+      if (idex.poisoned) {
+        // A poisoned fetch reaching EX is by construction correct-path:
+        // synthesize the precise data-corruption trap here instead of
+        // executing garbage bits.
+        o.halt = true;
+        o.trap = TrapKind::kDataCorruption;
+      } else {
+        o = exec_stage(idex.instr, idex.pc, idex.words, dv, sv, qat_);
+        if (o.is_load && o.trap == TrapKind::kNone) {
+          // Verified load, probed at EX so the trap is precise (MEM commits
+          // a store of the *next* instruction before WB would see a MEM-
+          // stage trap).  Under kCorrect the probe repairs the word in
+          // place and MEM's raw read next cycle returns the corrected
+          // value.
+          bool corrupt = false;
+          (void)mem_.load_checked(o.addr, &corrupt);
+          if (corrupt) {
+            o.halt = true;
+            o.trap = TrapKind::kDataCorruption;
+            o.writes_reg = false;
+            o.is_load = false;
+          }
+        }
+      }
       new_exmem.valid = true;
       new_exmem.pc = idex.pc;
       new_exmem.instr = idex.instr;
@@ -176,6 +219,7 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
         new_idex.instr = ifid.instr;
         new_idex.words = ifid.words;
         new_idex.seq = ifid.seq;
+        new_idex.poisoned = ifid.poisoned;
         // Register file read (WB already wrote this cycle).
         new_idex.dval = cpu_.reg(ifid.instr.d);
         new_idex.sval = cpu_.reg(ifid.instr.s);
@@ -218,8 +262,10 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       new_idex.valid = new_idex.valid && false;
     } else if (!stall && !fetch_stopped) {
       if (pending_valid) {
-        // Second word of a two-word Qat instruction.
-        const std::uint16_t w1 = mem_.read(cpu_.pc);
+        // Second word of a two-word Qat instruction (fetch verified; an
+        // upset poisons the whole slot).
+        bool corrupt = false;
+        const std::uint16_t w1 = mem_.load_checked(cpu_.pc, &corrupt);
         cpu_.pc = static_cast<std::uint16_t>(cpu_.pc + 1);
         const Decoded dec = decode(pending_w0, w1);
         new_ifid.valid = true;
@@ -227,18 +273,31 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
         new_ifid.instr = dec.instr;
         new_ifid.words = 2;
         new_ifid.seq = pending_seq;
+        new_ifid.poisoned = corrupt;
         pending_valid = false;
         ++stats_.fetch_extra_cycles;
         mark(pending_seq, cycle, 'f');
       } else {
-        const std::uint16_t w0 = mem_.read(cpu_.pc);
+        bool corrupt = false;
+        const std::uint16_t w0 = mem_.load_checked(cpu_.pc, &corrupt);
         const Decoded peek = decode(w0, 0);
         const std::uint64_t seq = seq_counter++;
         if (trace_enabled_) {
           // Row text is refined after full decode for two-word forms.
           rows_.push_back({seq, "", {}});
         }
-        if (peek.words == 2) {
+        if (corrupt) {
+          // Poisoned first word: never trust its decoded length — carry a
+          // one-word poisoned slot to EX for the precise trap.
+          new_ifid.valid = true;
+          new_ifid.pc = cpu_.pc;
+          new_ifid.instr = peek.instr;
+          new_ifid.words = 1;
+          new_ifid.seq = seq;
+          new_ifid.poisoned = true;
+          cpu_.pc = static_cast<std::uint16_t>(cpu_.pc + 1);
+          mark(seq, cycle, 'F');
+        } else if (peek.words == 2) {
           pending_valid = true;
           pending_w0 = w0;
           pending_pc = cpu_.pc;

@@ -59,6 +59,17 @@ class RtlPipelineSim {
   void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
   std::uint64_t retired_total() const { return retired_total_; }
 
+  // --- Data integrity (same contract as SimBase) ---
+  void set_ecc_mode(pbp::EccMode m) {
+    mem_.set_ecc_mode(m);
+    qat_.set_ecc_mode(m);
+  }
+  void set_scrub_every(std::uint64_t n) { scrub_every_ = n; }
+  bool ecc_enabled() const {
+    return mem_.ecc_mode() != pbp::EccMode::kOff ||
+           qat_.ecc_mode() != pbp::EccMode::kOff;
+  }
+
   CpuState& cpu() { return cpu_; }
   const CpuState& cpu() const { return cpu_; }
   Memory& memory() { return mem_; }
@@ -82,6 +93,10 @@ class RtlPipelineSim {
     Instr instr;
     unsigned words = 1;
     std::uint64_t seq = 0;  // fetch order, for tracing
+    // Uncorrectable upset seen while fetching this slot: the latch carries
+    // the poison to EX, where a precise kDataCorruption trap is raised —
+    // a wrong-path poisoned fetch is squashed like any other slot.
+    bool poisoned = false;
   };
   struct IdEx {
     bool valid = false;
@@ -91,6 +106,7 @@ class RtlPipelineSim {
     std::uint16_t dval = 0;
     std::uint16_t sval = 0;
     std::uint64_t seq = 0;
+    bool poisoned = false;
   };
   struct ExMem {
     bool valid = false;
@@ -128,6 +144,7 @@ class RtlPipelineSim {
   FaultInjector injector_;
   std::uint64_t retired_total_ = 0;
   std::uint64_t max_cycles_ = 0;
+  std::uint64_t scrub_every_ = 0;
 };
 
 }  // namespace tangled

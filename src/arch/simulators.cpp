@@ -9,8 +9,23 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
   console_.clear();
   reset_timing();
   while (!cpu_.halted && stats_.instructions < max_instructions) {
-    const std::uint16_t w0 = mem_.read(cpu_.pc);
-    const std::uint16_t w1 = mem_.read(static_cast<std::uint16_t>(cpu_.pc + 1));
+    // Verified fetch: an uncorrectable upset in an instruction word is a
+    // precise kDataCorruption trap at the fetch PC — the instruction never
+    // enters the machine (it does not retire and consumes no cycles), so
+    // every timing model reports the identical trap state.  The second
+    // word is only verified when the first word says it exists.
+    bool corrupt = false;
+    const std::uint16_t w0 = mem_.load_checked(cpu_.pc, &corrupt);
+    std::uint16_t w1 = 0;
+    if (!corrupt && decode(w0, 0).words == 2) {
+      w1 = mem_.load_checked(static_cast<std::uint16_t>(cpu_.pc + 1),
+                             &corrupt);
+    }
+    if (corrupt) {
+      cpu_.trap = Trap{TrapKind::kDataCorruption, cpu_.pc};
+      cpu_.halted = true;
+      break;
+    }
     const Decoded dec = decode(w0, w1);
     ++coverage_[cpu_.pc];
     const ExecResult exec =
@@ -33,10 +48,28 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
         cpu_.halted = true;
       }
     }
+    // Background scrubber, keyed on the same monotone retired-instruction
+    // clock as fault events so every timing model scrubs (and, on an
+    // uncorrectable upset, traps) at the identical architectural point.
+    if (!cpu_.halted && scrub_every_ != 0 && ecc_enabled() &&
+        retired_total_ % scrub_every_ == 0) {
+      const TrapKind tk = scrub_protected_state(qat_, mem_);
+      if (tk != TrapKind::kNone) {
+        cpu_.trap = Trap{tk, cpu_.pc};
+        cpu_.halted = true;
+      }
+    }
     if (!cpu_.halted && max_cycles_ != 0 && stats_.cycles >= max_cycles_) {
       cpu_.trap = Trap{TrapKind::kWatchdogExpired, cpu_.pc};
       cpu_.halted = true;
     }
+  }
+  // Clean-halt integrity gate: one final sweep so a protected run can never
+  // report success while an undetected upset sits in its state (a detect-
+  // mode run in particular must end in a trap, not silent completion).
+  if (cpu_.halted && cpu_.trap.kind == TrapKind::kNone && ecc_enabled()) {
+    const TrapKind tk = scrub_protected_state(qat_, mem_);
+    if (tk != TrapKind::kNone) cpu_.trap = Trap{tk, cpu_.pc};
   }
   stats_.cycles += drain_cycles();
   stats_.halted = cpu_.halted;

@@ -85,6 +85,24 @@ class SimBase {
   /// Watchdog: trap with kWatchdogExpired once a run's cycle count reaches
   /// n (0 disables).  Unlike max_instructions, expiry halts the machine.
   void set_max_cycles(std::uint64_t n) { max_cycles_ = n; }
+
+  // --- Data integrity ---
+  /// Protect Tangled data memory and the Qat register file with the same
+  /// policy.  Call before or after load(); memory re-encodes its sidecar on
+  /// every image load.
+  void set_ecc_mode(pbp::EccMode m) {
+    mem_.set_ecc_mode(m);
+    qat_.set_ecc_mode(m);
+  }
+  /// Background scrubber period: sweep all protected state every n retired
+  /// instructions (0 disables).  Keyed on retired_total(), the same
+  /// monotone clock fault events use, so every timing model scrubs — and
+  /// traps — at the identical architectural point.
+  void set_scrub_every(std::uint64_t n) { scrub_every_ = n; }
+  bool ecc_enabled() const {
+    return mem_.ecc_mode() != pbp::EccMode::kOff ||
+           qat_.ecc_mode() != pbp::EccMode::kOff;
+  }
   /// Instructions retired across ALL run() calls — the monotone clock fault
   /// events are keyed on (never reset, never rewound by a rollback).
   std::uint64_t retired_total() const { return retired_total_; }
@@ -126,6 +144,7 @@ class SimBase {
   FaultInjector injector_;
   std::uint64_t retired_total_ = 0;
   std::uint64_t max_cycles_ = 0;
+  std::uint64_t scrub_every_ = 0;
 };
 
 /// Single-cycle implementation (Figure 6): every instruction, including the

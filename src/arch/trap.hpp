@@ -27,6 +27,7 @@ enum class TrapKind : std::uint8_t {
   kResourceExhausted,   // Qat resource limit (chunk-pool symbol space)
   kWatchdogExpired,     // cycle watchdog tripped (runaway program)
   kMemImageOverflow,    // program image larger than the 64Ki-word memory
+  kDataCorruption,      // uncorrectable upset in ECC-protected storage
 };
 
 inline const char* trap_kind_name(TrapKind k) {
@@ -45,6 +46,8 @@ inline const char* trap_kind_name(TrapKind k) {
       return "watchdog-expired";
     case TrapKind::kMemImageOverflow:
       return "mem-image-overflow";
+    case TrapKind::kDataCorruption:
+      return "data-corruption";
   }
   return "unknown";
 }

@@ -1,0 +1,133 @@
+#include "pbp/ecc.hpp"
+
+#include <bit>
+
+namespace pbp {
+
+const char* ecc_mode_name(EccMode m) {
+  switch (m) {
+    case EccMode::kOff:
+      return "off";
+    case EccMode::kDetect:
+      return "detect";
+    case EccMode::kCorrect:
+      return "correct";
+  }
+  return "?";
+}
+
+EccMode parse_ecc_mode(const std::string& s) {
+  if (s == "off") return EccMode::kOff;
+  if (s == "detect") return EccMode::kDetect;
+  if (s == "correct") return EccMode::kCorrect;
+  throw std::invalid_argument("bad ecc mode '" + s +
+                              "' (want off|detect|correct)");
+}
+
+namespace {
+
+/// Build-time tables for one extended-Hamming code.  Data bit d of the
+/// payload occupies the d-th non-power-of-two codeword position >= 3;
+/// parity bit i covers every position with bit i set.
+template <typename P, int M, int MaxPos>
+struct Tables {
+  static constexpr int kDataBits = static_cast<int>(sizeof(P)) * 8;
+  P mask[M] = {};                 // payload mask per Hamming parity bit
+  int data_of_pos[MaxPos + 1] = {};  // codeword position -> data bit, or -1
+
+  constexpr Tables() {
+    for (int pos = 0; pos <= MaxPos; ++pos) data_of_pos[pos] = -1;
+    int d = 0;
+    for (int pos = 3; pos <= MaxPos && d < kDataBits; ++pos) {
+      if ((pos & (pos - 1)) == 0) continue;  // parity position
+      data_of_pos[pos] = d;
+      for (int i = 0; i < M; ++i) {
+        if ((pos >> i) & 1) mask[i] |= P{1} << d;
+      }
+      ++d;
+    }
+  }
+};
+
+// 64 data bits need 64 non-power positions: 1..71 holds 7 powers, so
+// MaxPos = 71 and m = 7 (syndrome bits 0..6 address positions <= 71).
+constexpr Tables<std::uint64_t, 7, 71> k64;
+// 16 data bits: positions 1..21 hold 5 powers, MaxPos = 21, m = 5.
+constexpr Tables<std::uint16_t, 5, 21> k16;
+
+template <typename P, int M, int MaxPos>
+std::uint8_t encode(const Tables<P, M, MaxPos>& t, P payload) {
+  std::uint8_t h = 0;
+  for (int i = 0; i < M; ++i) {
+    // static_cast<P>: uint16 & uint16 promotes to (signed) int, which
+    // std::popcount rejects.
+    h |= static_cast<std::uint8_t>(
+        (std::popcount(static_cast<P>(payload & t.mask[i])) & 1) << i);
+  }
+  const int overall =
+      (std::popcount(payload) + std::popcount(static_cast<unsigned>(h))) & 1;
+  return static_cast<std::uint8_t>(h | (overall << M));
+}
+
+template <typename P, int M, int MaxPos>
+EccCheck check_and_correct(const Tables<P, M, MaxPos>& t, P& payload,
+                           std::uint8_t& check) {
+  constexpr std::uint8_t kHammingMask = (1u << M) - 1;
+  const std::uint8_t stored_h = check & kHammingMask;
+  const std::uint8_t stored_o = (check >> M) & 1;
+  std::uint8_t computed_h = 0;
+  for (int i = 0; i < M; ++i) {
+    computed_h |= static_cast<std::uint8_t>(
+        (std::popcount(static_cast<P>(payload & t.mask[i])) & 1) << i);
+  }
+  const std::uint8_t syndrome = stored_h ^ computed_h;
+  // Overall parity across every stored bit: payload, stored Hamming
+  // bits, and the stored overall bit.  Even (0) iff an even number of
+  // stored bits flipped.
+  const int overall = (std::popcount(payload) +
+                       std::popcount(static_cast<unsigned>(stored_h)) +
+                       stored_o) &
+                      1;
+  if (syndrome == 0 && overall == 0) return EccCheck::kClean;
+  if (overall == 0) return EccCheck::kUncorrectable;  // double-bit upset
+  // Odd number of flips: assume one, addressed by the syndrome.
+  if (syndrome != 0 && (syndrome & (syndrome - 1)) != 0) {
+    // Non-power syndrome: a data position.
+    const int d = syndrome <= MaxPos ? t.data_of_pos[syndrome] : -1;
+    if (d < 0) return EccCheck::kUncorrectable;  // invalid position
+    payload ^= P{1} << d;
+  }
+  // Power-of-two syndrome (a Hamming check bit flipped) or zero syndrome
+  // (the overall bit flipped) need no payload repair; re-encoding the
+  // check byte canonically fixes every single-bit case at once.
+  check = encode(t, payload);
+  return EccCheck::kCorrected;
+}
+
+}  // namespace
+
+std::uint8_t secded64_encode(std::uint64_t payload) {
+  return encode(k64, payload);
+}
+
+std::uint8_t secded16_encode(std::uint16_t payload) {
+  return encode(k16, payload);
+}
+
+EccCheck secded64_check(std::uint64_t& payload, std::uint8_t& check) {
+  return check_and_correct(k64, payload, check);
+}
+
+EccCheck secded16_check(std::uint16_t& payload, std::uint8_t& check) {
+  return check_and_correct(k16, payload, check);
+}
+
+bool secded64_clean(std::uint64_t payload, std::uint8_t check) {
+  return check == encode(k64, payload);
+}
+
+bool secded16_clean(std::uint16_t payload, std::uint8_t check) {
+  return check == encode(k16, payload);
+}
+
+}  // namespace pbp

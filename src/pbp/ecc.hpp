@@ -1,0 +1,87 @@
+#pragma once
+// SECDED (single-error-correct, double-error-detect) codecs for the
+// integrity layer.
+//
+// Two extended-Hamming codecs protect the machine's payload state:
+//
+//   secded64_*  (72,64)  — one check byte per 64-bit AoB chunk word
+//                          (dense register files and the shared RE pool)
+//   secded16_*  (22,16)  — one check byte per 16-bit Tangled memory word
+//                          (6 of the 8 sidecar bits used)
+//
+// Layout: the classical Hamming construction over codeword positions
+// 1..N with parity bits at the power-of-two positions, plus an overall
+// parity bit for the SECDED extension.  The check byte stores the m
+// Hamming parity bits in bits [0, m) and the overall parity in bit m;
+// the payload word itself is stored unmodified (systematic code), so
+// ecc=off costs nothing and turning protection on never changes the
+// stored payload representation.
+//
+// Decode decision table (S = Hamming syndrome, O = overall parity over
+// payload + stored check bits):
+//   S == 0, O == 0   clean
+//   S != 0, O == 1   single-bit flip: data bit (S = its codeword
+//                    position), or a check bit (S a power of two) —
+//                    corrected in place
+//   S == 0, O == 1   the overall parity bit itself flipped — corrected
+//   S != 0, O == 0   double-bit upset — uncorrectable by construction
+//   S an invalid position — multi-bit upset, uncorrectable
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pbp {
+
+/// Per-run integrity policy for a protected store.
+///  kOff      no checking (and no storage/time overhead on access paths)
+///  kDetect   parity-check-only hardware model: any mismatch is an
+///            uncorrectable corruption (trap), nothing is repaired
+///  kCorrect  full SECDED: single-bit upsets repaired and counted,
+///            double-bit upsets trap
+enum class EccMode : std::uint8_t { kOff = 0, kDetect = 1, kCorrect = 2 };
+
+const char* ecc_mode_name(EccMode m);
+
+/// Parses "off" | "detect" | "correct"; throws std::invalid_argument.
+EccMode parse_ecc_mode(const std::string& s);
+
+/// Uncorrectable corruption in a protected store.  Derives from
+/// std::runtime_error; catch sites that classify Qat failures must order
+/// this BEFORE their broader catch clauses.
+class CorruptionError : public std::runtime_error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Result tallies for a scrub pass (or the pending-counter drain of an
+/// access-path verifier).
+struct EccSweep {
+  std::uint64_t words = 0;          ///< payload words examined
+  std::uint64_t corrected = 0;      ///< single-bit upsets repaired
+  std::uint64_t uncorrectable = 0;  ///< mismatches that could not be fixed
+  EccSweep& operator+=(const EccSweep& o) {
+    words += o.words;
+    corrected += o.corrected;
+    uncorrectable += o.uncorrectable;
+    return *this;
+  }
+};
+
+enum class EccCheck : std::uint8_t { kClean, kCorrected, kUncorrectable };
+
+/// Canonical check byte for a payload word.
+std::uint8_t secded64_encode(std::uint64_t payload);
+std::uint8_t secded16_encode(std::uint16_t payload);
+
+/// Full SECDED decode: repairs a single-bit upset in place (payload or
+/// check byte) and re-encodes the check byte canonically.
+EccCheck secded64_check(std::uint64_t& payload, std::uint8_t& check);
+EccCheck secded16_check(std::uint16_t& payload, std::uint8_t& check);
+
+/// Detect-only probe: true iff the stored check byte matches the payload
+/// exactly (no repair attempted).
+bool secded64_clean(std::uint64_t payload, std::uint8_t check);
+bool secded16_clean(std::uint16_t payload, std::uint8_t check);
+
+}  // namespace pbp

@@ -25,89 +25,238 @@ DenseQatBackend::DenseQatBackend(unsigned ways, unsigned num_regs)
   regs_.assign(num_regs, Aob::zeros(ways));
 }
 
-void DenseQatBackend::zero(unsigned a) { regs_[idx(a)] = Aob::zeros(ways_); }
+void DenseQatBackend::zero(unsigned a) {
+  regs_[idx(a)] = Aob::zeros(ways_);
+  encode_reg(idx(a));
+}
 
-void DenseQatBackend::one(unsigned a) { regs_[idx(a)] = Aob::ones(ways_); }
+void DenseQatBackend::one(unsigned a) {
+  regs_[idx(a)] = Aob::ones(ways_);
+  encode_reg(idx(a));
+}
 
 void DenseQatBackend::had(unsigned a, unsigned k) {
   regs_[idx(a)] = hadamard_generate(ways_, k);
+  encode_reg(idx(a));
 }
 
-void DenseQatBackend::not_(unsigned a) { regs_[idx(a)].invert(); }
+void DenseQatBackend::not_(unsigned a) {
+  verify_reg(a);
+  regs_[idx(a)].invert();
+  encode_reg(idx(a));
+}
 
 void DenseQatBackend::cnot(unsigned a, unsigned b) {
+  verify_reg(a);
+  verify_reg(b);
   regs_[idx(a)] ^= regs_[idx(b)];
+  encode_reg(idx(a));
 }
 
 void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
+  verify_reg(a);
+  verify_reg(b);
+  verify_reg(c);
   regs_[idx(a)] ^= regs_[idx(b)] & regs_[idx(c)];
+  encode_reg(idx(a));
 }
 
 void DenseQatBackend::swap(unsigned a, unsigned b) {
   if (idx(a) == idx(b)) return;
+  // A register move carries payload and sidecar together — an upset in
+  // either register stays exactly as detectable after the swap.
   Aob::swap_values(regs_[idx(a)], regs_[idx(b)]);
+  if (ecc_ != EccMode::kOff) check_[idx(a)].swap(check_[idx(b)]);
 }
 
 void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
   if (idx(a) == idx(b)) return;
+  verify_reg(a);
+  verify_reg(b);
+  verify_reg(c);
   // Aliasing with the control is well-defined: the control is read once.
   const Aob control = regs_[idx(c)];
   Aob::cswap(regs_[idx(a)], regs_[idx(b)], control);
+  encode_reg(idx(a));
+  encode_reg(idx(b));
 }
 
 void DenseQatBackend::and_(unsigned a, unsigned b, unsigned c) {
+  verify_reg(b);
+  verify_reg(c);
   regs_[idx(a)] = regs_[idx(b)] & regs_[idx(c)];
+  encode_reg(idx(a));
 }
 
 void DenseQatBackend::or_(unsigned a, unsigned b, unsigned c) {
+  verify_reg(b);
+  verify_reg(c);
   regs_[idx(a)] = regs_[idx(b)] | regs_[idx(c)];
+  encode_reg(idx(a));
 }
 
 void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
+  verify_reg(b);
+  verify_reg(c);
   regs_[idx(a)] = regs_[idx(b)] ^ regs_[idx(c)];
+  encode_reg(idx(a));
 }
 
 bool DenseQatBackend::meas(unsigned a, std::size_t ch) const {
+  verify_reg_c(a);
   return regs_[idx(a)].get(ch);
 }
 
 std::optional<std::size_t> DenseQatBackend::next_one(unsigned a,
                                                      std::size_t ch) const {
+  verify_reg_c(a);
   return regs_[idx(a)].next_one(ch);
 }
 
 std::size_t DenseQatBackend::pop_after(unsigned a, std::size_t ch) const {
+  verify_reg_c(a);
   return regs_[idx(a)].popcount_after(ch);
 }
 
 std::size_t DenseQatBackend::popcount(unsigned a) const {
+  verify_reg_c(a);
   return regs_[idx(a)].popcount();
 }
 
-bool DenseQatBackend::any(unsigned a) const { return regs_[idx(a)].any(); }
+bool DenseQatBackend::any(unsigned a) const {
+  verify_reg_c(a);
+  return regs_[idx(a)].any();
+}
 
-bool DenseQatBackend::all(unsigned a) const { return regs_[idx(a)].all(); }
+bool DenseQatBackend::all(unsigned a) const {
+  verify_reg_c(a);
+  return regs_[idx(a)].all();
+}
 
-Aob DenseQatBackend::reg_aob(unsigned a) const { return regs_[idx(a)]; }
+Aob DenseQatBackend::reg_aob(unsigned a) const {
+  verify_reg_c(a);
+  return regs_[idx(a)];
+}
 
 void DenseQatBackend::set_reg_aob(unsigned a, const Aob& v) {
   if (v.ways() != ways_) {
     throw std::invalid_argument("DenseQatBackend: wrong AoB size");
   }
   regs_[idx(a)] = v;
+  encode_reg(idx(a));
 }
 
 void DenseQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
+  verify_reg(a);  // repair first: a read-modify-write of one channel
   regs_[idx(a)].set(ch, v);
+  encode_reg(idx(a));
 }
 
 std::string DenseQatBackend::reg_string(unsigned a,
                                         std::size_t max_bits) const {
+  verify_reg_c(a);
   return regs_[idx(a)].to_string(max_bits);
 }
 
 std::size_t DenseQatBackend::storage_bytes() const {
   return static_cast<std::size_t>(num_regs_) * (channels() / 8);
+}
+
+// --- Dense integrity layer ---
+
+void DenseQatBackend::encode_reg(unsigned i) {
+  if (ecc_ == EccMode::kOff) return;
+  const auto w = regs_[i].words();
+  check_[i].resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    check_[i][j] = secded64_encode(w[j]);
+  }
+}
+
+void DenseQatBackend::set_ecc_mode(EccMode m) {
+  ecc_ = m;
+  if (ecc_ == EccMode::kOff) {
+    check_.clear();
+    check_.shrink_to_fit();
+    return;
+  }
+  check_.resize(regs_.size());
+  for (unsigned i = 0; i < regs_.size(); ++i) encode_reg(i);
+}
+
+void DenseQatBackend::verify_reg(unsigned a) {
+  if (ecc_ == EccMode::kOff) return;
+  const unsigned i = idx(a);
+  const auto w = regs_[i].words_mut();
+  auto& chk = check_[i];
+  pending_.words += w.size();
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    if (ecc_ == EccMode::kDetect) {
+      if (!secded64_clean(w[j], chk[j])) {
+        ++pending_.uncorrectable;
+        throw CorruptionError("DenseQatBackend: upset detected in register " +
+                              std::to_string(i));
+      }
+      continue;
+    }
+    switch (secded64_check(w[j], chk[j])) {
+      case EccCheck::kClean:
+        break;
+      case EccCheck::kCorrected:
+        ++pending_.corrected;
+        break;
+      case EccCheck::kUncorrectable:
+        ++pending_.uncorrectable;
+        throw CorruptionError(
+            "DenseQatBackend: uncorrectable upset in register " +
+            std::to_string(i));
+    }
+  }
+}
+
+EccSweep DenseQatBackend::scrub_ecc() {
+  EccSweep sweep;
+  if (ecc_ == EccMode::kOff) return sweep;
+  for (unsigned i = 0; i < regs_.size(); ++i) {
+    const auto w = regs_[i].words_mut();
+    auto& chk = check_[i];
+    sweep.words += w.size();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (ecc_ == EccMode::kDetect) {
+        if (!secded64_clean(w[j], chk[j])) ++sweep.uncorrectable;
+        continue;
+      }
+      switch (secded64_check(w[j], chk[j])) {
+        case EccCheck::kClean:
+          break;
+        case EccCheck::kCorrected:
+          ++sweep.corrected;
+          break;
+        case EccCheck::kUncorrectable:
+          ++sweep.uncorrectable;
+          break;
+      }
+    }
+  }
+  return sweep;
+}
+
+void DenseQatBackend::storage_upset(unsigned r, std::size_t ch) {
+  const auto w = regs_[idx(r)].words_mut();
+  const std::size_t bit = ch & (channels() - 1);
+  w[bit / 64 % w.size()] ^= std::uint64_t{1} << (bit % 64);
+}
+
+EccSweep DenseQatBackend::take_ecc_counts() {
+  const EccSweep out = pending_;
+  pending_ = EccSweep{};
+  return out;
+}
+
+std::size_t DenseQatBackend::ecc_bytes() const {
+  std::size_t n = 0;
+  for (const auto& chk : check_) n += chk.size();
+  return n;
 }
 
 namespace {
@@ -138,6 +287,17 @@ void DenseQatBackend::serialize(ByteWriter& w) const {
 std::unique_ptr<DenseQatBackend> DenseQatBackend::deserialize(ByteReader& r) {
   const unsigned ways = r.u32();
   const unsigned num_regs = r.u32();
+  // Size the register file against the bytes actually present BEFORE
+  // allocating: a malformed header claiming 2^32 registers must fail as a
+  // truncated stream, not as a multi-gigabyte allocation.
+  if (ways == 0 || ways > kMaxAobWays || num_regs == 0) {
+    throw std::runtime_error("DenseQatBackend: snapshot geometry invalid");
+  }
+  const std::size_t words_per_reg =
+      ways >= 6 ? (std::size_t{1} << (ways - 6)) : 1;
+  if (num_regs > r.remaining() / 8 / words_per_reg) {
+    throw std::runtime_error("DenseQatBackend: snapshot truncated");
+  }
   auto b = std::make_unique<DenseQatBackend>(ways, num_regs);
   for (unsigned i = 0; i < num_regs; ++i) {
     b->regs_[i] = read_aob_words(r, ways);
@@ -187,19 +347,33 @@ void ReQatBackend::had(unsigned a, unsigned k) {
   regs_[idx(a)] = constant(2 + k);
 }
 
+void ReQatBackend::guard(unsigned r) const {
+  if (pool_->ecc_mode() == EccMode::kOff) return;
+  for (const auto& [sym, count] : get(r).runs()) {
+    (void)count;
+    pool_->verify_symbol(sym);
+  }
+}
+
 void ReQatBackend::not_(unsigned a) {
+  guard(a);
   Re t = get(a);
   t.invert();
   put(a, std::move(t));
 }
 
 void ReQatBackend::cnot(unsigned a, unsigned b) {
+  guard(a);
+  guard(b);
   Re t = get(a);
   t.apply(BitOp::Xor, get(b));
   put(a, std::move(t));
 }
 
 void ReQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
+  guard(a);
+  guard(b);
+  guard(c);
   Re m = get(b);
   m.apply(BitOp::And, get(c));
   Re t = get(a);
@@ -210,11 +384,16 @@ void ReQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
 void ReQatBackend::swap(unsigned a, unsigned b) {
   if (idx(a) == idx(b)) return;
   // The whole point of copy-on-write: a register move is a pointer move.
+  // No guard needed — the runs (and any upset in the chunks they share)
+  // travel untouched.
   regs_[idx(a)].swap(regs_[idx(b)]);
 }
 
 void ReQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
   if (idx(a) == idx(b)) return;
+  guard(a);
+  guard(b);
+  guard(c);
   Re va = get(a);
   Re vb = get(b);
   Re::cswap(va, vb, get(c));
@@ -223,49 +402,66 @@ void ReQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
 }
 
 void ReQatBackend::and_(unsigned a, unsigned b, unsigned c) {
+  guard(b);
+  guard(c);
   Re t = get(b);
   t.apply(BitOp::And, get(c));
   put(a, std::move(t));
 }
 
 void ReQatBackend::or_(unsigned a, unsigned b, unsigned c) {
+  guard(b);
+  guard(c);
   Re t = get(b);
   t.apply(BitOp::Or, get(c));
   put(a, std::move(t));
 }
 
 void ReQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
+  guard(b);
+  guard(c);
   Re t = get(b);
   t.apply(BitOp::Xor, get(c));
   put(a, std::move(t));
 }
 
 bool ReQatBackend::meas(unsigned a, std::size_t ch) const {
+  guard(a);
   return get(a).get(ch);
 }
 
 std::optional<std::size_t> ReQatBackend::next_one(unsigned a,
                                                   std::size_t ch) const {
+  guard(a);
   return get(a).next_one(ch);
 }
 
 std::size_t ReQatBackend::pop_after(unsigned a, std::size_t ch) const {
+  guard(a);
   return get(a).popcount_after(ch);
 }
 
 std::size_t ReQatBackend::popcount(unsigned a) const {
+  guard(a);
   return get(a).popcount();
 }
 
-bool ReQatBackend::any(unsigned a) const { return get(a).any(); }
+bool ReQatBackend::any(unsigned a) const {
+  guard(a);
+  return get(a).any();
+}
 
-bool ReQatBackend::all(unsigned a) const { return get(a).all(); }
+bool ReQatBackend::all(unsigned a) const {
+  guard(a);
+  return get(a).all();
+}
 
 Aob ReQatBackend::reg_aob(unsigned a) const {
   if (ways_ > kMaxAobWays) {
     throw std::length_error(
         "ReQatBackend: register too wide to materialize densely");
   }
+  guard(a);
   return get(a).to_aob();
 }
 
@@ -277,13 +473,36 @@ void ReQatBackend::set_reg_aob(unsigned a, const Aob& v) {
 }
 
 void ReQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
+  guard(a);  // repair first: a read-modify-write of one channel
   Re t = get(a);
   t.set(ch, v);
   put(a, std::move(t));
 }
 
 std::string ReQatBackend::reg_string(unsigned a, std::size_t max_bits) const {
+  guard(a);
   return get(a).to_string(max_bits);
+}
+
+void ReQatBackend::set_ecc_mode(EccMode m) {
+  ecc_ = m;
+  pool_->set_ecc_mode(m);
+}
+
+void ReQatBackend::storage_upset(unsigned r, std::size_t ch) {
+  const Re& v = get(r);
+  ch &= v.bit_count() - 1;
+  const std::size_t cbits = pool_->chunk_bits();
+  std::uint64_t chunk_index = ch / cbits;
+  for (const auto& [sym, count] : v.runs()) {
+    if (chunk_index < count) {
+      // The flip lands in the shared pool chunk: every run of every
+      // register referencing this symbol reads the corruption.
+      pool_->upset(sym, ch % cbits);
+      return;
+    }
+    chunk_index -= count;
+  }
 }
 
 std::size_t ReQatBackend::storage_bytes() const {
@@ -341,6 +560,12 @@ std::unique_ptr<ReQatBackend> ReQatBackend::deserialize(ByteReader& r) {
   b->pool_->set_max_symbols(max_symbols);
   for (unsigned i = 0; i < num_regs; ++i) {
     const std::uint32_t n_runs = r.u32();
+    // Each run is 12 serialized bytes; cap the reservation by what the
+    // stream can actually hold so a flipped length field cannot demand a
+    // 48 GiB vector before the reader notices the truncation.
+    if (n_runs > r.remaining() / 12) {
+      throw std::runtime_error("ReQatBackend: snapshot truncated");
+    }
     std::vector<std::pair<ChunkPool::SymbolId, std::uint64_t>> runs;
     runs.reserve(n_runs);
     for (std::uint32_t j = 0; j < n_runs; ++j) {

@@ -94,9 +94,42 @@ class QatBackend {
   /// injection).  Dense register files have no pool; the call is a no-op.
   virtual void set_symbol_cap(std::size_t) {}
 
+  // --- Integrity layer ---
+  // Every stored 64-bit payload word optionally carries a (72,64) SECDED
+  // byte.  Operations verify their operand registers before reading and
+  // re-encode destinations after writing; an uncorrectable upset (under
+  // kDetect, any upset) surfaces as CorruptionError from the faulting op,
+  // with the register file otherwise unchanged by that op.
+
+  /// Select the protection policy; (re)builds the check sidecars, so the
+  /// mode can be applied to a freshly deserialized register file.
+  virtual void set_ecc_mode(EccMode m) = 0;
+  EccMode ecc_mode() const { return ecc_; }
+
+  /// Verify one register's payload words on the access path (kCorrect
+  /// repairs single-bit upsets); throws CorruptionError.
+  virtual void verify_reg(unsigned a) = 0;
+
+  /// Verify (and under kCorrect repair) the whole store; never throws.
+  virtual EccSweep scrub_ecc() = 0;
+
+  /// Storage-upset model: flip the raw stored bit backing channel `ch` of
+  /// register r — for the RE backend that bit lives in a shared pool
+  /// chunk, so sibling registers referencing the same symbol corrupt too.
+  virtual void storage_upset(unsigned r, std::size_t ch) = 0;
+
+  /// Drain the access-path verification tallies since the last drain.
+  virtual EccSweep take_ecc_counts() = 0;
+
+  /// Check-sidecar footprint in bytes (0 when protection is off).
+  virtual std::size_t ecc_bytes() const = 0;
+
   /// Snapshot the full register-file state: dense as raw AoB word dumps, RE
   /// as the pool's chunk symbols plus per-register run lists.  Restored by
-  /// deserialize_qat_backend.
+  /// deserialize_qat_backend.  ECC sidecars are NOT serialized — the
+  /// restorer re-applies its policy via set_ecc_mode, and the checkpoint
+  /// runner scrubs before every snapshot so corruption cannot be laundered
+  /// through a save/restore cycle.
   virtual void serialize(ByteWriter& w) const = 0;
 
  protected:
@@ -105,6 +138,7 @@ class QatBackend {
 
   unsigned ways_;
   unsigned num_regs_;
+  EccMode ecc_ = EccMode::kOff;
 };
 
 /// Dense backend: the hardware model.  One materialized Aob per register;
@@ -142,11 +176,28 @@ class DenseQatBackend final : public QatBackend {
   std::string reg_string(unsigned a, std::size_t max_bits) const override;
   std::size_t storage_bytes() const override;
 
+  void set_ecc_mode(EccMode m) override;
+  void verify_reg(unsigned a) override;
+  EccSweep scrub_ecc() override;
+  void storage_upset(unsigned r, std::size_t ch) override;
+  EccSweep take_ecc_counts() override;
+  std::size_t ecc_bytes() const override;
+
   void serialize(ByteWriter& w) const override;
   static std::unique_ptr<DenseQatBackend> deserialize(ByteReader& r);
 
  private:
+  /// Rebuild register i's check bytes after its payload was overwritten.
+  void encode_reg(unsigned i);
+  /// verify_reg from the const measurement paths: repair preserves the
+  /// logical value, so this is the classic logical-const ECC pattern.
+  void verify_reg_c(unsigned a) const {
+    const_cast<DenseQatBackend*>(this)->verify_reg(a);
+  }
+
   std::vector<Aob> regs_;
+  std::vector<std::vector<std::uint8_t>> check_;  // per-reg, empty when off
+  EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
 };
 
 /// RE backend: registers are copy-on-write shared Re values over one shared
@@ -192,6 +243,14 @@ class ReQatBackend final : public QatBackend {
   std::size_t storage_bytes() const override;
 
   void set_symbol_cap(std::size_t n) override { pool_->set_max_symbols(n); }
+
+  void set_ecc_mode(EccMode m) override;
+  void verify_reg(unsigned a) override { guard(a); }
+  EccSweep scrub_ecc() override { return pool_->scrub_ecc(); }
+  void storage_upset(unsigned r, std::size_t ch) override;
+  EccSweep take_ecc_counts() override { return pool_->take_ecc_counts(); }
+  std::size_t ecc_bytes() const override { return pool_->ecc_bytes(); }
+
   void serialize(ByteWriter& w) const override;
   static std::unique_ptr<ReQatBackend> deserialize(ByteReader& r);
 
@@ -205,6 +264,10 @@ class ReQatBackend final : public QatBackend {
   void put(unsigned r, Re v) {
     regs_[idx(r)] = std::make_shared<const Re>(std::move(v));
   }
+  /// Verify every pool symbol register r's runs reference.  Callable from
+  /// the const measurement paths: repairs happen inside the shared pool
+  /// and preserve the logical value.
+  void guard(unsigned r) const;
   /// Memoized constant registers: repeated zero/one/had of the same pattern
   /// share one immutable Re (copy-on-write: a later write to the register
   /// replaces the pointer, never the shared value).

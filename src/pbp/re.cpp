@@ -48,6 +48,7 @@ ChunkPool::ChunkPool(unsigned chunk_ways, std::size_t max_symbols)
   }
   zero_ = intern(Aob::zeros(chunk_ways));
   one_ = intern(Aob::ones(chunk_ways));
+  words_per_chunk_ = chunks_[zero_].word_count();
 }
 
 ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
@@ -68,6 +69,10 @@ ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
   chunks_.push_back(chunk);
   pops_.push_back(std::numeric_limits<std::size_t>::max());
   by_hash_.emplace(h, id);
+  if (ecc_ != EccMode::kOff) {
+    check_.resize(chunks_.size() * words_per_chunk_);
+    encode_symbol(id);
+  }
   return id;
 }
 
@@ -154,6 +159,101 @@ std::size_t ChunkPool::popcount(SymbolId id) {
     pops_[id] = chunks_[id].popcount();
   }
   return pops_[id];
+}
+
+// ---------------------------------------------------------------------------
+// Integrity layer.
+
+void ChunkPool::encode_symbol(SymbolId id) {
+  const auto w = chunks_[id].words();
+  std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
+  for (std::size_t i = 0; i < w.size(); ++i) chk[i] = secded64_encode(w[i]);
+}
+
+void ChunkPool::set_ecc_mode(EccMode m) {
+  ecc_ = m;
+  if (ecc_ == EccMode::kOff) {
+    check_.clear();
+    check_.shrink_to_fit();
+    return;
+  }
+  check_.resize(chunks_.size() * words_per_chunk_);
+  for (SymbolId id = 0; id < chunks_.size(); ++id) encode_symbol(id);
+}
+
+void ChunkPool::verify_symbol(SymbolId id) {
+  if (ecc_ == EccMode::kOff) return;
+  const auto w = chunks_[id].words_mut();
+  std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
+  pending_.words += w.size();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (ecc_ == EccMode::kDetect) {
+      if (!secded64_clean(w[i], chk[i])) {
+        ++pending_.uncorrectable;
+        throw CorruptionError("ChunkPool: upset detected in symbol " +
+                              std::to_string(id));
+      }
+      continue;
+    }
+    switch (secded64_check(w[i], chk[i])) {
+      case EccCheck::kClean:
+        break;
+      case EccCheck::kCorrected:
+        // The repair restores the canonical bits, so the hash index stays
+        // valid; only a popcount cached while corrupted could be stale.
+        pops_[id] = std::numeric_limits<std::size_t>::max();
+        ++pending_.corrected;
+        break;
+      case EccCheck::kUncorrectable:
+        ++pending_.uncorrectable;
+        throw CorruptionError("ChunkPool: uncorrectable upset in symbol " +
+                              std::to_string(id));
+    }
+  }
+}
+
+EccSweep ChunkPool::scrub_ecc() {
+  EccSweep sweep;
+  if (ecc_ == EccMode::kOff) return sweep;
+  for (SymbolId id = 0; id < chunks_.size(); ++id) {
+    const auto w = chunks_[id].words_mut();
+    std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
+    sweep.words += w.size();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (ecc_ == EccMode::kDetect) {
+        if (!secded64_clean(w[i], chk[i])) ++sweep.uncorrectable;
+        continue;
+      }
+      switch (secded64_check(w[i], chk[i])) {
+        case EccCheck::kClean:
+          break;
+        case EccCheck::kCorrected:
+          pops_[id] = std::numeric_limits<std::size_t>::max();
+          ++sweep.corrected;
+          break;
+        case EccCheck::kUncorrectable:
+          ++sweep.uncorrectable;
+          break;
+      }
+    }
+  }
+  return sweep;
+}
+
+void ChunkPool::upset(SymbolId id, std::size_t bit) {
+  if (id >= chunks_.size()) return;
+  const auto w = chunks_[id].words_mut();
+  const std::size_t word = (bit / 64) % w.size();
+  w[word] ^= std::uint64_t{1} << (bit % 64);
+  // The cached count must observe the flipped array, exactly as a reader
+  // of the raw storage would.
+  pops_[id] = std::numeric_limits<std::size_t>::max();
+}
+
+EccSweep ChunkPool::take_ecc_counts() {
+  const EccSweep out = pending_;
+  pending_ = EccSweep{};
+  return out;
 }
 
 // ---------------------------------------------------------------------------

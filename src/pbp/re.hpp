@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pbp/aob.hpp"
+#include "pbp/ecc.hpp"
 
 namespace pbp {
 
@@ -84,7 +85,39 @@ class ChunkPool {
   /// force exhaustion without rebuilding the register file.
   void set_max_symbols(std::size_t n);
 
+  // --- Integrity layer -----------------------------------------------
+  // One (72,64) SECDED byte per stored 64-bit chunk word.  The pool is
+  // the RE backend's only payload store, so protecting it protects every
+  // register that references a symbol — shared corruption included.
+
+  /// Select the protection policy; (re)encodes the whole sidecar.
+  void set_ecc_mode(EccMode m);
+  EccMode ecc_mode() const { return ecc_; }
+
+  /// Verify one symbol's chunk on the access path.  Under kCorrect a
+  /// single-bit upset is repaired in place (and the symbol's cached
+  /// popcount invalidated); an uncorrectable upset — under kDetect, any
+  /// mismatch — throws CorruptionError.  Tallies accumulate until
+  /// take_ecc_counts() drains them.
+  void verify_symbol(SymbolId id);
+
+  /// Sweep every stored chunk; never throws (the caller traps on
+  /// sweep.uncorrectable != 0).
+  EccSweep scrub_ecc();
+
+  /// Storage-upset model: flip a raw payload bit of a stored chunk
+  /// without touching its check byte or cached popcount validity.
+  void upset(SymbolId id, std::size_t bit);
+
+  /// Drain the pending access-path tallies accumulated by verify_symbol.
+  EccSweep take_ecc_counts();
+
+  /// Sidecar footprint in bytes (0 when protection is off).
+  std::size_t ecc_bytes() const { return check_.size(); }
+
  private:
+  void encode_symbol(SymbolId id);
+
   unsigned chunk_ways_;
   std::size_t max_symbols_;
   std::vector<Aob> chunks_;
@@ -96,6 +129,10 @@ class ChunkPool {
   SymbolId one_ = 0;
   std::uint64_t memo_hits_ = 0;
   std::uint64_t memo_misses_ = 0;
+  EccMode ecc_ = EccMode::kOff;
+  std::vector<std::uint8_t> check_;  // words_per_chunk_ bytes per symbol
+  std::size_t words_per_chunk_ = 0;
+  EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
 };
 
 /// One 2^E-bit entangled-superposition value in compressed RE form.

@@ -73,4 +73,32 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Used by the checkpoint file framing to reject bit-flipped or truncated
+/// images before any field is deserialized.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes,
+                           std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
 }  // namespace pbp

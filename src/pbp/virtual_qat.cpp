@@ -11,7 +11,10 @@ void VirtualQat::restore(ByteReader& r) {
   if (re == nullptr) {
     throw std::runtime_error("VirtualQat: snapshot is not an RE register file");
   }
+  // ECC policy survives restore (snapshots carry payload, not policy).
+  const EccMode mode = impl_.ecc_mode();
   impl_ = std::move(*re);
+  impl_.set_ecc_mode(mode);
 }
 
 }  // namespace pbp

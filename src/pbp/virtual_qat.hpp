@@ -69,6 +69,21 @@ class VirtualQat {
   /// Total compressed bytes across all registers (storage metric).
   std::size_t storage_bytes() const { return impl_.storage_bytes(); }
 
+  // --- Data integrity ---
+  /// Protection policy for the shared chunk pool (every op on this engine
+  /// verifies its operands' symbols on access).  Survives restore().
+  void set_ecc_mode(EccMode m) { impl_.set_ecc_mode(m); }
+  EccMode ecc_mode() const { return impl_.ecc_mode(); }
+  /// Sweep every pool chunk; never throws (see QatBackend::scrub_ecc).
+  EccSweep scrub_ecc() { return impl_.scrub_ecc(); }
+  /// Drain the access-path verify tallies.
+  EccSweep take_ecc_counts() { return impl_.take_ecc_counts(); }
+  /// Storage-upset model: flip a raw stored bit under register r.
+  void storage_upset(unsigned r, std::size_t ch) {
+    impl_.storage_upset(r, ch);
+  }
+  std::size_t ecc_bytes() const { return impl_.ecc_bytes(); }
+
   // --- Fault tolerance ---
   /// Forced-exhaustion fault injection: cap the shared pool's symbol space.
   void set_symbol_cap(std::size_t n) { impl_.set_symbol_cap(n); }

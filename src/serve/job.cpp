@@ -72,6 +72,12 @@ std::string JobReport::to_string() const {
   if (backend_migrations != 0) {
     s += ", " + std::to_string(backend_migrations) + " migration(s)";
   }
+  if (ecc_corrected != 0) {
+    s += ", " + std::to_string(ecc_corrected) + " upset(s) corrected";
+  }
+  if (ecc_detected != 0) {
+    s += ", " + std::to_string(ecc_detected) + " upset(s) detected";
+  }
   return s;
 }
 

@@ -21,6 +21,7 @@
 #include "arch/fault.hpp"
 #include "arch/trap.hpp"
 #include "asm/assembler.hpp"
+#include "pbp/ecc.hpp"
 
 namespace tangled::serve {
 
@@ -54,6 +55,13 @@ struct Job {
   /// not architecturally sound.
   std::uint64_t checkpoint_every = 0;
   FaultPlan fault_plan;
+
+  /// Data-integrity policy for the job's machine: ECC over the Qat register
+  /// file and Tangled data memory (pbp/ecc.hpp).
+  pbp::EccMode ecc = pbp::EccMode::kOff;
+  /// Background scrub cadence in retired instructions (0 = off; only
+  /// meaningful with ecc != kOff).
+  std::uint64_t scrub_every = 0;
 
   /// Wall-clock deadline measured from submission (queue wait included);
   /// zero means "use the server default" (which may itself be none).
@@ -95,6 +103,8 @@ struct JobReport {
   std::uint64_t cycles = 0;        // simulated cycles, re-execution included
   std::uint64_t qat_ops = 0;
   std::uint64_t backend_migrations = 0;  // RE→dense degradations
+  std::uint64_t ecc_corrected = 0;  // single-bit upsets repaired (Qat + mem)
+  std::uint64_t ecc_detected = 0;   // uncorrectable upsets trapped
 
   std::size_t reserved_bytes = 0;  // memory-budget reservation held
   double queue_ms = 0.0;    // submission → execution start

@@ -284,16 +284,12 @@ void JobServer::worker_main() {
     qj->started = Clock::now();
     auto st = qj->state;  // keep alive across publish
     JobReport rep = execute(*qj, *st);
-    publish(*qj, *st, std::move(rep));
-    {
-      std::lock_guard lk(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
-    }
+    publish(*qj, *st, std::move(rep), /*worker_terminal=*/true);
   }
 }
 
-void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep) {
+void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
+                        bool worker_terminal) {
   rep.id = qj.id;
   rep.name = qj.job.name;
   rep.queue_ms = ms_between(qj.submitted, qj.started);
@@ -328,6 +324,10 @@ void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep) {
         break;
     }
     tallies_.retries += reports_.at(qj.id).retries;
+    if (worker_terminal) {
+      --active_;
+      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+    }
   }
   report_cv_.notify_all();
 }
@@ -478,6 +478,8 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       sim->load(job.program);
       if (!job.fault_plan.empty()) sim->set_fault_plan(job.fault_plan);
       sim->set_max_cycles(job.max_cycles);
+      sim->set_ecc_mode(job.ecc);
+      sim->set_scrub_every(job.scrub_every);
       if (job.backend == pbp::Backend::kCompressed) {
         // Memory-pressure hook: an RE→dense migration must fit in the
         // budget or it is shed and the exhaustion traps instead.
@@ -509,6 +511,8 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       const QatStatsSnapshot qs = sim->qat().stats_snapshot();
       rep.qat_ops += qs.ops;
       rep.backend_migrations += qs.backend_migrations;
+      rep.ecc_corrected += qs.ecc_corrected + sim->memory().ecc_corrected();
+      rep.ecc_detected += qs.ecc_detected + sim->memory().ecc_detected();
       if (rs.gave_up) rep.trap = rs.final_trap;
       run_ok = rs.halted && !rs.gave_up && !rs.stopped;
     }

@@ -148,7 +148,13 @@ class JobServer {
   template <typename SimT, typename MakeSim>
   void execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
                     JobReport& rep);
-  void publish(QueuedJob& qj, JobState& st, JobReport rep);
+  /// Insert the terminal report and update tallies.  When `worker_terminal`,
+  /// the caller is a worker that incremented `active_` at dequeue: the
+  /// decrement happens in the same critical section as the report insert, so
+  /// no observer can see every report published while `active_jobs` is still
+  /// nonzero.
+  void publish(QueuedJob& qj, JobState& st, JobReport rep,
+               bool worker_terminal = false);
 
   /// Block until `bytes` fits in the budget (or deadline/cancel/shutdown).
   /// Returns false when the wait was interrupted.

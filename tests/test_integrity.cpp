@@ -1,0 +1,735 @@
+// End-to-end data-integrity tests: ECC-protected Qat/Tangled state,
+// corruption traps with precise no-commit semantics, scrubbing, and the
+// checksummed checkpoint format (label `integrity`).
+//
+// Layers covered:
+//   * Memory sidecar: load_checked repair/detect, scrub, refresh;
+//   * Qat backends (dense + RE): verify-on-access, shared-pool upset
+//     semantics, scrub;
+//   * all five simulator models: storage upsets -> kDataCorruption traps
+//     under kDetect (never a silent clean halt), repaired completions under
+//     kCorrect, fetch- and load-path precision (the corrupt word is never
+//     committed);
+//   * differential: ecc=correct is architecturally invisible on fault-free
+//     runs;
+//   * checkpoint durability: v2 framed images (magic/version/length/CRC32),
+//     tamper/truncation rejection with structured CheckpointError kinds,
+//     atomic file save/load, restart-from-program fallback.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/checkpoint.hpp"
+#include "arch/multicycle_fsm.hpp"
+#include "arch/recovery.hpp"
+#include "arch/rtl_pipeline.hpp"
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "pbp/qat_backend.hpp"
+#include "pbp/virtual_qat.hpp"
+
+namespace tangled {
+namespace {
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+/// PipelineSim with the (ways, backend) constructor shape the generic model
+/// helpers expect.
+struct PipelineSim5 : PipelineSim {
+  PipelineSim5(unsigned ways, pbp::Backend backend)
+      : PipelineSim(ways, PipelineConfig{.stages = 5, .forwarding = true},
+                    backend) {}
+};
+
+// ---------------------------------------------------------------------------
+// Memory sidecar
+// ---------------------------------------------------------------------------
+
+TEST(MemoryEcc, CorrectRepairsSingleBitInPlace) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);
+  mem.write(100, 0xbeef);
+  mem.storage_upset(100, 3);
+  EXPECT_EQ(mem.read(100), 0xbeef ^ (1u << 3));  // raw view sees the flip
+  bool corrupt = false;  // only ever set true by load_checked
+  EXPECT_EQ(mem.load_checked(100, &corrupt), 0xbeef);
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(mem.read(100), 0xbeef);  // repaired in place
+  EXPECT_EQ(mem.ecc_corrected(), 1u);
+  EXPECT_EQ(mem.ecc_detected(), 0u);
+}
+
+TEST(MemoryEcc, CorrectTrapsDoubleBit) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);
+  mem.write(7, 0x1234);
+  mem.storage_upset(7, 0);
+  mem.storage_upset(7, 9);
+  bool corrupt = false;
+  (void)mem.load_checked(7, &corrupt);
+  EXPECT_TRUE(corrupt);
+  EXPECT_EQ(mem.ecc_detected(), 1u);
+}
+
+TEST(MemoryEcc, DetectNeverRepairs) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kDetect);
+  mem.write(50, 0x00ff);
+  mem.storage_upset(50, 12);
+  bool corrupt = false;
+  (void)mem.load_checked(50, &corrupt);
+  EXPECT_TRUE(corrupt);
+  EXPECT_EQ(mem.ecc_corrected(), 0u);
+  EXPECT_EQ(mem.read(50), 0x00ff ^ (1u << 12));  // untouched
+}
+
+TEST(MemoryEcc, OffIsSilent) {
+  Memory mem;  // kOff default
+  mem.write(9, 0xaaaa);
+  mem.storage_upset(9, 1);
+  bool corrupt = false;
+  EXPECT_EQ(mem.load_checked(9, &corrupt), 0xaaaa ^ 2u);
+  EXPECT_FALSE(corrupt);  // the silent-corruption threat model
+}
+
+TEST(MemoryEcc, ScrubRepairsAndRefreshResyncs) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);
+  mem.write(1000, 0x5a5a);
+  mem.storage_upset(1000, 7);
+  const pbp::EccSweep sweep = mem.scrub_ecc();
+  EXPECT_EQ(sweep.corrected, 1u);
+  EXPECT_EQ(sweep.uncorrectable, 0u);
+  EXPECT_EQ(mem.read(1000), 0x5a5a);
+
+  // Raw mutation through words_mut() + refresh_ecc() must read clean.
+  mem.words_mut()[1000] = 0x1111;
+  mem.refresh_ecc();
+  bool corrupt = false;
+  EXPECT_EQ(mem.load_checked(1000, &corrupt), 0x1111);
+  EXPECT_FALSE(corrupt);
+}
+
+// ---------------------------------------------------------------------------
+// Qat backends
+// ---------------------------------------------------------------------------
+
+TEST(QatBackendEcc, DenseCorrectRepairsOnAccess) {
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  be.one(4);
+  be.storage_upset(4, 17);
+  EXPECT_TRUE(be.meas(4, 17));  // repaired before the measurement commits
+  const pbp::EccSweep c = be.take_ecc_counts();
+  EXPECT_GE(c.corrected, 1u);
+  EXPECT_EQ(c.uncorrectable, 0u);
+}
+
+TEST(QatBackendEcc, DenseDetectThrowsOnAccess) {
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_mode(pbp::EccMode::kDetect);
+  be.one(4);
+  be.storage_upset(4, 17);
+  EXPECT_THROW((void)be.meas(4, 17), pbp::CorruptionError);
+  EXPECT_GE(be.take_ecc_counts().uncorrectable, 1u);
+}
+
+TEST(QatBackendEcc, DenseDoubleBitUncorrectableEvenInCorrect) {
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  be.one(2);
+  // Two flips in the same 64-bit chunk word.
+  be.storage_upset(2, 3);
+  be.storage_upset(2, 9);
+  EXPECT_THROW((void)be.popcount(2), pbp::CorruptionError);
+}
+
+TEST(QatBackendEcc, DenseScrubRepairs) {
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  be.had(0, 3);
+  be.storage_upset(0, 40);
+  const pbp::EccSweep sweep = be.scrub_ecc();
+  EXPECT_GE(sweep.corrected, 1u);
+  EXPECT_EQ(sweep.uncorrectable, 0u);
+  EXPECT_EQ(be.scrub_ecc().corrected, 0u);  // nothing left to fix
+}
+
+TEST(QatBackendEcc, ReSharedPoolUpsetHitsSiblingsAndRepairs) {
+  pbp::ReQatBackend be(16, 256, /*chunk_ways=*/8);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  // @0 and @1 intern the same all-ones symbol: an upset under @0 is a
+  // shared-chunk upset, visible through @1 too — and one repair fixes both.
+  be.one(0);
+  be.one(1);
+  be.storage_upset(0, 5);
+  EXPECT_TRUE(be.meas(1, 5));
+  EXPECT_GE(be.take_ecc_counts().corrected, 1u);
+  EXPECT_TRUE(be.meas(0, 5));
+  EXPECT_EQ(be.take_ecc_counts().corrected, 0u);
+}
+
+TEST(QatBackendEcc, ReDetectThrowsAndScrubCounts) {
+  pbp::ReQatBackend be(16, 256, /*chunk_ways=*/8);
+  be.set_ecc_mode(pbp::EccMode::kDetect);
+  be.had(3, 7);
+  be.storage_upset(3, 100);
+  EXPECT_THROW((void)be.popcount(3), pbp::CorruptionError);
+  const pbp::EccSweep sweep = be.scrub_ecc();
+  EXPECT_GE(sweep.uncorrectable, 1u);
+  EXPECT_EQ(sweep.corrected, 0u);  // detect never repairs
+}
+
+TEST(QatBackendEcc, EccBytesReportsSidecarFootprint) {
+  pbp::DenseQatBackend be(8, 256);
+  EXPECT_EQ(be.ecc_bytes(), 0u);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  EXPECT_GT(be.ecc_bytes(), 0u);
+  be.set_ecc_mode(pbp::EccMode::kOff);
+  EXPECT_EQ(be.ecc_bytes(), 0u);
+}
+
+TEST(VirtualQatEcc, UpsetRepairScrubAndModeSurvivesRestore) {
+  pbp::VirtualQat vq(24, /*chunk_ways=*/8);
+  vq.set_ecc_mode(pbp::EccMode::kCorrect);
+  vq.had(0, 5);
+  vq.one(1);
+  vq.storage_upset(1, 9);
+  EXPECT_TRUE(vq.meas(1, 9));
+  EXPECT_GE(vq.take_ecc_counts().corrected, 1u);
+
+  pbp::ByteWriter w;
+  vq.save(w);
+  vq.storage_upset(1, 3);  // pending damage is wiped by the restore
+  pbp::ByteReader r(w.bytes());
+  vq.restore(r);
+  EXPECT_EQ(vq.ecc_mode(), pbp::EccMode::kCorrect);  // policy survives
+  const pbp::EccSweep sweep = vq.scrub_ecc();
+  EXPECT_EQ(sweep.uncorrectable, 0u);
+  EXPECT_TRUE(vq.meas(1, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Model-level corruption traps (all five implementation models)
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kBudget = 20'000;
+
+/// A latent storage upset (on state the program never touches again) must
+/// still surface before a "clean" halt under kDetect: the final scrub gate
+/// turns it into a kDataCorruption trap.  Under kCorrect the same run
+/// completes with the right factors and a nonzero corrected tally.
+template <typename Sim>
+void storage_upset_modes(const Program& p, unsigned ways,
+                         pbp::Backend backend, FaultEvent ev) {
+  {
+    Sim sim(ways, backend);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kDetect);
+    FaultPlan plan;
+    plan.events.push_back(ev);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption) << ev.to_string();
+  }
+  {
+    Sim sim(ways, backend);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kCorrect);
+    FaultPlan plan;
+    plan.events.push_back(ev);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_TRUE(st.halted) << ev.to_string();
+    EXPECT_EQ(st.trap.kind, TrapKind::kNone) << ev.to_string();
+    EXPECT_TRUE(factors_ok(sim.cpu()));
+    const auto qs = sim.qat().stats_snapshot();
+    EXPECT_GE(qs.ecc_corrected + sim.memory().ecc_corrected(), 1u);
+  }
+}
+
+FaultEvent qat_upset() {
+  FaultEvent ev;
+  ev.target = FaultEvent::Target::kQatStorage;
+  ev.at_instr = 20;
+  ev.addr = 2;  // @2 is live mid-run
+  ev.channel = 5;
+  return ev;
+}
+
+FaultEvent mem_upset(std::uint16_t addr, unsigned bit, std::uint64_t at) {
+  FaultEvent ev;
+  ev.target = FaultEvent::Target::kMemStorage;
+  ev.at_instr = at;
+  ev.addr = addr;
+  ev.bit = bit;
+  return ev;
+}
+
+TEST(ModelIntegrity, QatUpsetFunctionalDense) {
+  storage_upset_modes<FunctionalSim>(assemble(figure10_source()), 8,
+                                     pbp::Backend::kDense, qat_upset());
+}
+
+TEST(ModelIntegrity, QatUpsetFunctionalCompressed) {
+  storage_upset_modes<FunctionalSim>(assemble(figure10_source()), 16,
+                                     pbp::Backend::kCompressed, qat_upset());
+}
+
+TEST(ModelIntegrity, QatUpsetMultiCycle) {
+  storage_upset_modes<MultiCycleSim>(assemble(figure10_source()), 8,
+                                     pbp::Backend::kDense, qat_upset());
+}
+
+TEST(ModelIntegrity, QatUpsetMultiCycleFsm) {
+  storage_upset_modes<MultiCycleFsmSim>(assemble(figure10_source()), 8,
+                                        pbp::Backend::kDense, qat_upset());
+}
+
+TEST(ModelIntegrity, QatUpsetRtl) {
+  storage_upset_modes<RtlPipelineSim>(assemble(figure10_source()), 8,
+                                      pbp::Backend::kDense, qat_upset());
+}
+
+TEST(ModelIntegrity, MemUpsetOnDataEveryPipeline) {
+  const Program p = assemble(figure10_source());
+  // Data address 4000 is never written by fig10: a pure latent upset, only
+  // the scrub gates can see it.
+  const FaultEvent ev = mem_upset(4000, 6, 30);
+  storage_upset_modes<FunctionalSim>(p, 8, pbp::Backend::kDense, ev);
+  storage_upset_modes<PipelineSim5>(p, 8, pbp::Backend::kDense, ev);
+  storage_upset_modes<MultiCycleFsmSim>(p, 8, pbp::Backend::kDense, ev);
+  storage_upset_modes<RtlPipelineSim>(p, 8, pbp::Backend::kDense, ev);
+}
+
+/// Fetch-path precision: corrupt the not-yet-fetched `sys` word.  kDetect
+/// must trap AT the fetch pc without retiring the instruction; kCorrect
+/// must repair in the fetch path and halt cleanly.
+template <typename Sim>
+void fetch_corruption(const Program& p, std::uint16_t sys_addr) {
+  {
+    Sim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kDetect);
+    FaultPlan plan;
+    plan.events.push_back(mem_upset(sys_addr, 0, 10));
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption);
+    EXPECT_EQ(st.trap.pc, sys_addr);  // precise: the fetch pc
+  }
+  {
+    Sim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kCorrect);
+    FaultPlan plan;
+    plan.events.push_back(mem_upset(sys_addr, 0, 10));
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+    EXPECT_TRUE(factors_ok(sim.cpu()));
+    EXPECT_GE(sim.memory().ecc_corrected(), 1u);
+  }
+}
+
+TEST(ModelIntegrity, FetchCorruptionIsPreciseOnEveryModel) {
+  const Program p = assemble(figure10_source());
+  const auto sys_addr =
+      static_cast<std::uint16_t>(p.words.size() - 1);  // the final `sys`
+  fetch_corruption<FunctionalSim>(p, sys_addr);
+  fetch_corruption<MultiCycleSim>(p, sys_addr);
+  fetch_corruption<PipelineSim5>(p, sys_addr);
+  fetch_corruption<MultiCycleFsmSim>(p, sys_addr);
+  fetch_corruption<RtlPipelineSim>(p, sys_addr);
+}
+
+/// Load-path precision: a corrupted data word must trap at the load under
+/// kDetect — with the destination register NOT committed — and come back
+/// repaired under kCorrect.
+constexpr const char* kLoadProgram = R"(	lex $0,21
+	lex $3,40
+	store $0,$3
+	lex $0,0
+	lex $1,0
+	lex $2,0
+	load $1,$3
+	sys
+)";
+
+template <typename Sim>
+void load_corruption() {
+  const Program p = assemble(kLoadProgram);
+  const FaultEvent ev = mem_upset(40, 2, 4);  // after the store, before the load
+  {
+    Sim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kDetect);
+    FaultPlan plan;
+    plan.events.push_back(ev);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption);
+    EXPECT_EQ(sim.cpu().regs[1], 0u);  // the corrupt value never committed
+  }
+  {
+    Sim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kCorrect);
+    FaultPlan plan;
+    plan.events.push_back(ev);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+    EXPECT_EQ(sim.cpu().regs[1], 21u);  // repaired load value
+    EXPECT_GE(sim.memory().ecc_corrected(), 1u);
+  }
+  {
+    Sim sim(8, pbp::Backend::kDense);  // ecc off: the documented threat
+    sim.load(p);
+    FaultPlan plan;
+    plan.events.push_back(ev);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(sim.cpu().regs[1], 21u ^ 4u);  // silent wrong answer
+  }
+}
+
+TEST(ModelIntegrity, LoadCorruptionIsPreciseOnEveryModel) {
+  load_corruption<FunctionalSim>();
+  load_corruption<MultiCycleSim>();
+  load_corruption<PipelineSim5>();
+  load_corruption<MultiCycleFsmSim>();
+  load_corruption<RtlPipelineSim>();
+}
+
+TEST(ModelIntegrity, PeriodicScrubRunsAndCounts) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.set_ecc_mode(pbp::EccMode::kCorrect);
+  sim.set_scrub_every(10);
+  FaultPlan plan;
+  plan.events.push_back(qat_upset());
+  sim.set_fault_plan(plan);
+  const SimStats st = sim.run(kBudget);
+  EXPECT_TRUE(st.halted);
+  EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+  const auto qs = sim.qat().stats_snapshot();
+  EXPECT_GE(qs.ecc_scrubs, 8u);  // 91 retired / every 10, plus the halt gate
+  EXPECT_GE(qs.ecc_corrected + sim.memory().ecc_corrected(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: protection must be architecturally invisible without faults
+// ---------------------------------------------------------------------------
+
+struct ArchState {
+  std::array<std::uint16_t, kNumRegs> regs{};
+  std::uint16_t pc = 0;
+  bool halted = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::string console;
+  std::vector<std::string> qregs;
+
+  bool operator==(const ArchState& o) const {
+    return regs == o.regs && pc == o.pc && halted == o.halted &&
+           instructions == o.instructions && cycles == o.cycles &&
+           console == o.console && qregs == o.qregs;
+  }
+};
+
+template <typename Sim>
+ArchState run_with_mode(const Program& p, unsigned ways, pbp::Backend backend,
+                        pbp::EccMode mode, std::uint64_t scrub_every) {
+  Sim sim(ways, backend);
+  sim.load(p);
+  sim.set_ecc_mode(mode);
+  sim.set_scrub_every(scrub_every);
+  const SimStats st = sim.run(kBudget);
+  ArchState a;
+  a.regs = sim.cpu().regs;
+  a.pc = sim.cpu().pc;
+  a.halted = st.halted;
+  a.instructions = st.instructions;
+  a.cycles = st.cycles;
+  a.console = sim.console();
+  for (unsigned r = 0; r < 96; ++r) {
+    a.qregs.push_back(sim.qat().reg_string(r, 64));
+  }
+  return a;
+}
+
+template <typename Sim>
+void modes_agree(const Program& p, unsigned ways, pbp::Backend backend) {
+  const ArchState off =
+      run_with_mode<Sim>(p, ways, backend, pbp::EccMode::kOff, 0);
+  const ArchState detect =
+      run_with_mode<Sim>(p, ways, backend, pbp::EccMode::kDetect, 16);
+  const ArchState correct =
+      run_with_mode<Sim>(p, ways, backend, pbp::EccMode::kCorrect, 16);
+  EXPECT_TRUE(off == detect);
+  EXPECT_TRUE(off == correct);
+  EXPECT_TRUE(off.halted);
+}
+
+TEST(EccDifferential, FaultFreeRunsAreModeInvariant) {
+  const Program fig10 = assemble(figure10_source());
+  modes_agree<FunctionalSim>(fig10, 8, pbp::Backend::kDense);
+  modes_agree<MultiCycleSim>(fig10, 8, pbp::Backend::kDense);
+  modes_agree<PipelineSim5>(fig10, 8, pbp::Backend::kDense);
+  modes_agree<MultiCycleFsmSim>(fig10, 8, pbp::Backend::kDense);
+  modes_agree<RtlPipelineSim>(fig10, 8, pbp::Backend::kDense);
+  modes_agree<FunctionalSim>(fig10, 16, pbp::Backend::kCompressed);
+  modes_agree<RtlPipelineSim>(fig10, 16, pbp::Backend::kCompressed);
+
+  const Program loads = assemble(kLoadProgram);
+  modes_agree<FunctionalSim>(loads, 8, pbp::Backend::kDense);
+  modes_agree<RtlPipelineSim>(loads, 8, pbp::Backend::kDense);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint durability (v2 framed format)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> mid_run_image(FunctionalSim& sim) {
+  sim.load(assemble(figure10_source()));
+  sim.run(40);
+  return save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+}
+
+CheckpointError::Kind load_kind(const std::vector<std::uint8_t>& bytes) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  try {
+    load_checkpoint(bytes, sim.cpu(), sim.memory(), sim.qat());
+  } catch (const CheckpointError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "tampered image was accepted";
+  return CheckpointError::Kind::kMalformed;
+}
+
+TEST(CheckpointDurability, EveryPayloadBitFlipIsRejectedByCrc) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  const std::vector<std::uint8_t> image = mid_run_image(sim);
+  // Flip one bit in a spread of payload bytes (every byte would be slow):
+  // the CRC must catch each one.
+  for (std::size_t off = 14; off < image.size();
+       off += 1 + image.size() / 97) {
+    std::vector<std::uint8_t> bad = image;
+    bad[off] ^= 0x10;
+    EXPECT_EQ(load_kind(bad), CheckpointError::Kind::kCrcMismatch)
+        << "offset " << off;
+  }
+}
+
+TEST(CheckpointDurability, TruncationMagicAndVersionAreStructured) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  const std::vector<std::uint8_t> image = mid_run_image(sim);
+
+  std::vector<std::uint8_t> bad(image.begin(), image.begin() + 5);
+  EXPECT_EQ(load_kind(bad), CheckpointError::Kind::kTruncated);
+
+  bad.assign(image.begin(), image.end() - 7);  // body cut short
+  EXPECT_EQ(load_kind(bad), CheckpointError::Kind::kTruncated);
+
+  bad = image;
+  bad[1] ^= 0xff;  // magic
+  EXPECT_EQ(load_kind(bad), CheckpointError::Kind::kBadMagic);
+
+  bad = image;
+  bad[4] ^= 0x04;  // version halfword
+  EXPECT_EQ(load_kind(bad), CheckpointError::Kind::kBadVersion);
+
+  EXPECT_EQ(load_kind({}), CheckpointError::Kind::kTruncated);
+}
+
+TEST(CheckpointDurability, RejectionLeavesNoHalfRestoredRegs) {
+  // A rejected image must not have clobbered the host registers (cpu state
+  // is committed last, after the frame checks).
+  FunctionalSim victim(8, pbp::Backend::kDense);
+  victim.load(assemble(figure10_source()));
+  victim.run(kBudget);
+  ASSERT_TRUE(factors_ok(victim.cpu()));
+
+  FunctionalSim donor(8, pbp::Backend::kDense);
+  std::vector<std::uint8_t> bad = mid_run_image(donor);
+  bad[bad.size() - 1] ^= 0x01;
+  EXPECT_THROW(
+      load_checkpoint(bad, victim.cpu(), victim.memory(), victim.qat()),
+      CheckpointError);
+  EXPECT_TRUE(factors_ok(victim.cpu()));
+}
+
+TEST(CheckpointDurability, FileRoundTripResumesAndFactors) {
+  const std::string path =
+      testing::TempDir() + "/tangled_ckpt_roundtrip.tgnc";
+  const Program p = assemble(figure10_source());
+  {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.run(40);
+    save_checkpoint_file(path, sim.cpu(), sim.memory(), sim.qat());
+  }
+  FunctionalSim resumed(8, pbp::Backend::kDense);
+  load_checkpoint_file(path, resumed.cpu(), resumed.memory(), resumed.qat());
+  const SimStats st = resumed.run(kBudget);
+  EXPECT_TRUE(st.halted);
+  EXPECT_TRUE(factors_ok(resumed.cpu()));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDurability, TamperedFileRejectedThenRestartFromProgram) {
+  const std::string path = testing::TempDir() + "/tangled_ckpt_tamper.tgnc";
+  const Program p = assemble(figure10_source());
+  {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.run(40);
+    save_checkpoint_file(path, sim.cpu(), sim.memory(), sim.qat());
+  }
+  {
+    // Bit-flip the image on disk.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  bool rejected = false;
+  try {
+    load_checkpoint_file(path, sim.cpu(), sim.memory(), sim.qat());
+  } catch (const CheckpointError& e) {
+    rejected = true;
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kCrcMismatch);
+  }
+  EXPECT_TRUE(rejected);
+  // The documented fallback: restart from the program image.
+  sim.load(p);
+  const SimStats st = sim.run(kBudget);
+  EXPECT_TRUE(st.halted);
+  EXPECT_TRUE(factors_ok(sim.cpu()));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDurability, TruncatedFileAndMissingFileAreStructured) {
+  const std::string path = testing::TempDir() + "/tangled_ckpt_trunc.tgnc";
+  {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    const std::vector<std::uint8_t> image = mid_run_image(sim);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size() / 3));
+  }
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  try {
+    load_checkpoint_file(path, sim.cpu(), sim.memory(), sim.qat());
+    ADD_FAILURE() << "truncated file accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kTruncated);
+  }
+  std::remove(path.c_str());
+
+  try {
+    load_checkpoint_file(testing::TempDir() + "/tangled_no_such_file.tgnc",
+                         sim.cpu(), sim.memory(), sim.qat());
+    ADD_FAILURE() << "missing file accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kIoError);
+  }
+}
+
+TEST(CheckpointDurability, SaveFileLeavesNoTempOnSuccess) {
+  const std::string path = testing::TempDir() + "/tangled_ckpt_atomic.tgnc";
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.run(10);
+  save_checkpoint_file(path, sim.cpu(), sim.memory(), sim.qat());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());  // atomically renamed away
+  std::ifstream real(path, std::ios::binary);
+  EXPECT_TRUE(real.good());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDurability, RandomGarbageNeverCrashesTheLoader) {
+  // Deserialize-guard regression: arbitrary bytes must produce a structured
+  // CheckpointError, never a crash or huge allocation.
+  std::uint64_t x = 42;
+  auto rng = [&x]() {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng() % 4096);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    EXPECT_THROW(
+        load_checkpoint(junk, sim.cpu(), sim.memory(), sim.qat()),
+        CheckpointError)
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery integration: scrub gate keeps corruption out of checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryIntegrity, DetectModeUpsetRecoversThroughRollback) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.set_ecc_mode(pbp::EccMode::kDetect);
+  FaultPlan plan;
+  plan.events.push_back(qat_upset());
+  sim.set_fault_plan(plan);
+  CheckpointingRunner<FunctionalSim> runner(sim, /*checkpoint_every=*/25);
+  const RecoveryStats rs = runner.run(
+      kBudget, [](const FunctionalSim& s) { return factors_ok(s.cpu()); });
+  EXPECT_FALSE(rs.gave_up) << to_string(rs.final_trap);
+  EXPECT_TRUE(rs.halted);
+  EXPECT_TRUE(rs.recovered);  // detect cannot repair: it must roll back
+  EXPECT_TRUE(factors_ok(sim.cpu()));
+  const auto qs = sim.qat().stats_snapshot();
+  EXPECT_GE(qs.ecc_detected + sim.memory().ecc_detected(), 1u);
+}
+
+TEST(RecoveryIntegrity, CorrectModeUpsetNeedsNoRollback) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.set_ecc_mode(pbp::EccMode::kCorrect);
+  FaultPlan plan;
+  plan.events.push_back(qat_upset());
+  sim.set_fault_plan(plan);
+  CheckpointingRunner<FunctionalSim> runner(sim, /*checkpoint_every=*/25);
+  const RecoveryStats rs = runner.run(
+      kBudget, [](const FunctionalSim& s) { return factors_ok(s.cpu()); });
+  EXPECT_FALSE(rs.gave_up);
+  EXPECT_TRUE(rs.halted);
+  EXPECT_FALSE(rs.recovered);  // the pre-checkpoint scrub repaired in place
+  EXPECT_TRUE(factors_ok(sim.cpu()));
+  const auto qs = sim.qat().stats_snapshot();
+  EXPECT_GE(qs.ecc_corrected + sim.memory().ecc_corrected(), 1u);
+}
+
+}  // namespace
+}  // namespace tangled

@@ -284,6 +284,42 @@ TEST(Serve, BackoffDelaysDoubleAndJitter) {
   EXPECT_EQ(backoff_delay(off, 3, rng).count(), 0);
 }
 
+TEST(Serve, EccUpsetsAreCountedAndSurvivedPerJob) {
+  // Storage upsets under ecc=correct complete with corrected counts in the
+  // report; under ecc=detect they trap into the recovery machinery and the
+  // report carries the detected count — never a silent wrong answer.
+  JobServer server({.threads = 4});
+  FaultEvent ev;
+  ev.target = FaultEvent::Target::kQatStorage;
+  ev.at_instr = 20;
+  ev.addr = 2;
+  ev.channel = 5;
+
+  Job correct = fig10_job(SimKind::kFunc);
+  correct.ecc = pbp::EccMode::kCorrect;
+  correct.scrub_every = 16;
+  correct.fault_plan.events.push_back(ev);
+  const auto cid = *server.submit(std::move(correct));
+
+  Job detect = fig10_job(SimKind::kPipe5);
+  detect.ecc = pbp::EccMode::kDetect;
+  detect.scrub_every = 16;
+  detect.fault_plan.events.push_back(ev);
+  const auto did = *server.submit(std::move(detect));
+
+  const JobReport cr = server.wait(cid);
+  EXPECT_EQ(cr.outcome, JobOutcome::kCompleted);
+  EXPECT_GE(cr.ecc_corrected, 1u);
+  EXPECT_EQ(cr.ecc_detected, 0u);
+
+  const JobReport dr = server.wait(did);
+  EXPECT_EQ(dr.outcome, JobOutcome::kCompleted);  // recovered via rollback
+  EXPECT_TRUE(dr.recovered);
+  EXPECT_GE(dr.ecc_detected, 1u);
+  EXPECT_EQ(dr.ecc_corrected, 0u);
+  server.shutdown(true);
+}
+
 TEST(Serve, SimKindNamesRoundTrip) {
   for (const SimKind k :
        {SimKind::kFunc, SimKind::kMulti, SimKind::kMultiFsm, SimKind::kPipe4,
