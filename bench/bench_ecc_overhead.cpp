@@ -1,17 +1,25 @@
 // bench_ecc_overhead — cost of the data-integrity layer (ISSUE: end-to-end
-// data integrity).
+// data integrity; verification-scheduling rework).
 //
 // Measured:
 //   * Figure 10 end to end per ECC mode (off / detect / correct), dense and
 //     RE-compressed backends, with and without a periodic scrub cadence —
 //     the verify-on-access tax on real Qat-heavy code;
+//   * the same with --ecc-epoch=25: re-verification of unwritten state is
+//     elided until the retired-instruction clock crosses an epoch boundary;
 //   * a full scrub sweep of protected state (Qat register file + 64K-word
 //     Tangled memory) in isolation — the cost one scrub interval pays;
+//   * the raw SECDED codec kernels (words/s): the scalar per-bit reference
+//     against the table-driven fast path the hot paths use;
 //   * the sidecar storage footprint per mode (reported as a counter).
 #include <benchmark/benchmark.h>
 
+#include <random>
+#include <vector>
+
 #include "arch/simulators.hpp"
 #include "asm/programs.hpp"
+#include "pbp/ecc.hpp"
 
 namespace {
 
@@ -29,7 +37,7 @@ pbp::EccMode mode_of(std::int64_t r) {
 }
 
 void run_fig10(benchmark::State& state, pbp::Backend backend, unsigned ways,
-               std::uint64_t scrub_every) {
+               std::uint64_t scrub_every, std::uint64_t ecc_epoch = 1) {
   const pbp::EccMode mode = mode_of(state.range(0));
   const Program p = assemble(figure10_source());
   std::uint64_t instructions = 0;
@@ -37,6 +45,7 @@ void run_fig10(benchmark::State& state, pbp::Backend backend, unsigned ways,
     FunctionalSim sim(ways, backend);
     sim.load(p);
     sim.set_ecc_mode(mode);
+    sim.set_ecc_epoch(ecc_epoch);
     sim.set_scrub_every(scrub_every);
     const SimStats st = sim.run(20'000);
     instructions += st.instructions;
@@ -74,6 +83,66 @@ void BM_fig10_dense_scrub25(benchmark::State& state) {
 }
 BENCHMARK(BM_fig10_dense_scrub25)->Arg(0)->Arg(1)->Arg(2);
 
+// Epoch-scheduled verification: unwritten state is re-verified only once
+// per 25 retired instructions.  Compare against the epoch-1 rows above.
+void BM_fig10_dense16_epoch25(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kDense, 16, /*scrub_every=*/0,
+            /*ecc_epoch=*/25);
+}
+BENCHMARK(BM_fig10_dense16_epoch25)->Arg(1)->Arg(2);
+
+void BM_fig10_re16_epoch25(benchmark::State& state) {
+  run_fig10(state, pbp::Backend::kCompressed, 16, /*scrub_every=*/0,
+            /*ecc_epoch=*/25);
+}
+BENCHMARK(BM_fig10_re16_epoch25)->Arg(1)->Arg(2);
+
+// Steady-state throughput: one machine constructed up front, Figure 10
+// re-run on it repeatedly (PC reset between runs).  This isolates the
+// per-instruction verification tax from the one-time construction /
+// initial-encode cost the per-run rows above include, and lets the epoch
+// stamps reach their steady state across runs.
+void run_fig10_steady(benchmark::State& state, pbp::Backend backend,
+                      unsigned ways, std::uint64_t ecc_epoch) {
+  const pbp::EccMode mode = mode_of(state.range(0));
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(ways, backend);
+  sim.load(p);
+  sim.set_ecc_mode(mode);
+  sim.set_ecc_epoch(ecc_epoch);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim.cpu().pc = 0;
+    sim.cpu().halted = false;
+    sim.cpu().trap = {};
+    instructions += sim.run(20'000).instructions;
+    benchmark::DoNotOptimize(sim.cpu().regs[0]);
+  }
+  state.counters["instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.SetLabel(pbp::ecc_mode_name(mode));
+}
+
+void BM_fig10_dense16_steady(benchmark::State& state) {
+  run_fig10_steady(state, pbp::Backend::kDense, 16, /*ecc_epoch=*/1);
+}
+BENCHMARK(BM_fig10_dense16_steady)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_fig10_dense16_steady_epoch25(benchmark::State& state) {
+  run_fig10_steady(state, pbp::Backend::kDense, 16, /*ecc_epoch=*/25);
+}
+BENCHMARK(BM_fig10_dense16_steady_epoch25)->Arg(1)->Arg(2);
+
+void BM_fig10_re16_steady(benchmark::State& state) {
+  run_fig10_steady(state, pbp::Backend::kCompressed, 16, /*ecc_epoch=*/1);
+}
+BENCHMARK(BM_fig10_re16_steady)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_fig10_re16_steady_epoch25(benchmark::State& state) {
+  run_fig10_steady(state, pbp::Backend::kCompressed, 16, /*ecc_epoch=*/25);
+}
+BENCHMARK(BM_fig10_re16_steady_epoch25)->Arg(1)->Arg(2);
+
 void BM_scrub_sweep(benchmark::State& state) {
   const pbp::EccMode mode = mode_of(state.range(0));
   FunctionalSim sim(16, pbp::Backend::kDense);
@@ -88,6 +157,65 @@ void BM_scrub_sweep(benchmark::State& state) {
   state.SetLabel(pbp::ecc_mode_name(mode));
 }
 BENCHMARK(BM_scrub_sweep)->Arg(1)->Arg(2);
+
+// --- Raw codec kernels -----------------------------------------------------
+// words/s through the (72,64) encoder: the scalar per-bit reference
+// (secded64_encode) against the table-driven fast path
+// (secded64_encode_fast) that every hot path now uses.
+
+std::vector<std::uint64_t> random_words(std::size_t n) {
+  std::mt19937_64 rng(0xecc5eed);
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng();
+  return w;
+}
+
+void BM_codec64_scalar(benchmark::State& state) {
+  const auto words = random_words(4096);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    std::uint8_t acc = 0;
+    for (const std::uint64_t w : words) acc ^= pbp::secded64_encode(w);
+    benchmark::DoNotOptimize(acc);
+    n += words.size();
+  }
+  state.counters["words_per_s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_codec64_scalar);
+
+void BM_codec64_table(benchmark::State& state) {
+  const auto words = random_words(4096);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    std::uint8_t acc = 0;
+    for (const std::uint64_t w : words) acc ^= pbp::secded64_encode_fast(w);
+    benchmark::DoNotOptimize(acc);
+    n += words.size();
+  }
+  state.counters["words_per_s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_codec64_table);
+
+void BM_codec64_check_block(benchmark::State& state) {
+  const auto words = random_words(4096);
+  std::vector<std::uint8_t> checks(words.size());
+  pbp::secded64_encode_block(words.data(), checks.data(), words.size());
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    pbp::EccSweep sweep;
+    auto mutable_words = words;
+    const auto r =
+        pbp::secded64_check_block(pbp::EccMode::kCorrect, mutable_words.data(),
+                                  checks.data(), words.size(), sweep);
+    benchmark::DoNotOptimize(r);
+    n += words.size();
+  }
+  state.counters["words_per_s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_codec64_check_block);
 
 }  // namespace
 

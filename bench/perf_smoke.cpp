@@ -1,0 +1,101 @@
+// perf_smoke — the `perf` lane of scripts/check.sh: a pass/fail guard on the
+// integrity layer's hot-path cost, not a measurement harness (that is
+// bench_ecc_overhead).  It times the Figure 10 run end to end on the dense
+// ways-16 configuration — construction, initial encode, run, clean-halt
+// gate, exactly what one `tangled_run` invocation pays — with --ecc=off and
+// --ecc=correct at the default epoch, and fails if correct costs more than
+// kMaxRatio times off.
+//
+// Method: the two modes are timed in strict alternation (so CPU frequency
+// drift or a noisy neighbour hits both equally) and each side keeps its
+// MINIMUM over kRounds rounds of kRunsPerRound runs — the minimum is the
+// noise-free estimate of the true cost; means would let one descheduled
+// round fail the build.
+//
+// Exit status: 0 on pass, 1 on a ratio breach, 2 on a wrong answer (the
+// smoke must never bless a build that broke the program it times).
+#include <chrono>
+#include <cstdio>
+
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+
+namespace {
+
+using namespace tangled;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMaxRatio = 8.0;  // correct may cost at most 8x off
+constexpr int kRounds = 12;
+constexpr int kRunsPerRound = 8;
+constexpr std::uint64_t kBudget = 20'000;
+
+/// One full tangled_run-equivalent execution; returns instructions retired
+/// (0 on a wrong answer).
+std::uint64_t one_run(const Program& p, pbp::EccMode mode) {
+  FunctionalSim sim(16, pbp::Backend::kDense);
+  sim.load(p);
+  sim.set_ecc_mode(mode);
+  const SimStats st = sim.run(kBudget);
+  const bool ok = st.halted && st.trap.kind == TrapKind::kNone &&
+                  sim.cpu().regs[0] == 5 && sim.cpu().regs[1] == 3;
+  return ok ? st.instructions : 0;
+}
+
+struct Lane {
+  pbp::EccMode mode;
+  double best_s = 1e30;  // min round time, seconds
+  std::uint64_t instructions = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Program p = assemble(figure10_source());
+  Lane off{pbp::EccMode::kOff};
+  Lane correct{pbp::EccMode::kCorrect};
+
+  // Warm-up: fault in code, touch the tables, settle the allocator.
+  if (one_run(p, off.mode) == 0 || one_run(p, correct.mode) == 0) {
+    std::fprintf(stderr, "perf_smoke: warm-up run produced a wrong answer\n");
+    return 2;
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (Lane* lane : {&off, &correct}) {
+      const auto t0 = Clock::now();
+      std::uint64_t instr = 0;
+      for (int i = 0; i < kRunsPerRound; ++i) instr += one_run(p, lane->mode);
+      const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (instr == 0) {
+        std::fprintf(stderr, "perf_smoke: wrong answer under ecc=%s\n",
+                     pbp::ecc_mode_name(lane->mode));
+        return 2;
+      }
+      lane->instructions = instr;
+      if (s < lane->best_s) lane->best_s = s;
+    }
+  }
+
+  const double off_rate =
+      static_cast<double>(off.instructions) / off.best_s;
+  const double correct_rate =
+      static_cast<double>(correct.instructions) / correct.best_s;
+  const double ratio = correct.best_s / off.best_s;
+  std::printf("perf_smoke: fig10 dense ways=16, min of %d rounds x %d runs\n",
+              kRounds, kRunsPerRound);
+  std::printf("  ecc=off      %10.1f instr/s\n", off_rate);
+  std::printf("  ecc=correct  %10.1f instr/s  (%.2fx the off-mode cost, "
+              "limit %.1fx)\n",
+              correct_rate, ratio, kMaxRatio);
+  if (ratio > kMaxRatio) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — ecc=correct costs %.2fx ecc=off "
+                 "(limit %.1fx)\n",
+                 ratio, kMaxRatio);
+    return 1;
+  }
+  std::printf("perf_smoke: OK\n");
+  return 0;
+}

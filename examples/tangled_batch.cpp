@@ -52,6 +52,8 @@ void usage() {
       "  --mem-mb=N       global memory budget in MiB (default 256)\n"
       "  --ecc=M          off | detect | correct: SECDED over Qat + data\n"
       "                   memory for every job (default off)\n"
+      "  --ecc-epoch=N    verification epoch in retired instructions\n"
+      "                   (default 1 = verify every access)\n"
       "  --scrub-every=N  background scrub cadence in retired instructions\n"
       "                   (default 0 = off)\n"
       "  --verbose        print every job report\n");
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
   unsigned mem_mb = 256;
   pbp::Backend backend = pbp::Backend::kDense;
   pbp::EccMode ecc = pbp::EccMode::kOff;
+  std::uint64_t ecc_epoch = 1;
   std::uint64_t scrub_every = 0;
   bool verbose = false;
 
@@ -122,6 +125,8 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (parse_flag(argv[i], "--ecc-epoch", &v)) {
+      ecc_epoch = std::stoull(v);
     } else if (parse_flag(argv[i], "--scrub-every", &v)) {
       scrub_every = std::stoull(v);
     } else if (std::string(argv[i]) == "--verbose") {
@@ -168,6 +173,7 @@ int main(int argc, char** argv) {
     j.max_instructions = 20'000;
     j.checkpoint_every = 25;
     j.ecc = ecc;
+    j.ecc_epoch = ecc_epoch;
     j.scrub_every = scrub_every;
     j.validate = factors_ok;
     const bool poison = i < poisoned;

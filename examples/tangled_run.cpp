@@ -22,6 +22,10 @@
 //                                          rollback recovery (SimBase models)
 //   tangled_run --ecc=correct prog.s       SECDED over Qat + data memory
 //                                          (off | detect | correct)
+//   tangled_run --ecc-epoch=25 prog.s      verification epoch: skip
+//                                          re-verifying unwritten state for
+//                                          N retired instructions (default 1
+//                                          = verify every access)
 //   tangled_run --scrub-every=1000 prog.s  background scrub cadence, in
 //                                          retired instructions
 //
@@ -57,7 +61,8 @@ void usage() {
                "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] "
                "[--max-cycles=N] [--inject=seed=N,events=N,horizon=N,pool=N] "
                "[--checkpoint-every=N] [--ecc=off|detect|correct] "
-               "[--scrub-every=N] [-d] [-q reg]... file.s|-\n");
+               "[--ecc-epoch=N] [--scrub-every=N] [-d] [-q reg]... "
+               "file.s|-\n");
 }
 
 const char* status_text(const tangled::SimStats& st) {
@@ -81,10 +86,12 @@ void report_trap(const tangled::SimStats& st) {
 }
 
 /// Printed whenever ECC is on: corrected / detected upset tallies across the
-/// Qat register file and Tangled data memory, plus scrub sweeps run.
+/// Qat register file and Tangled data memory, plus scrub sweeps run and the
+/// verification-scheduling counters (words swept / verifies elided).
 template <typename Sim>
 void report_ecc(Sim& sim, pbp::EccMode mode) {
   if (mode == pbp::EccMode::kOff) return;
+  sim.qat().drain_ecc();  // flush pending access-path tallies into stats
   const auto qs = sim.qat().stats_snapshot();
   std::printf("ecc: %llu corrected, %llu detected, %llu scrub sweep(s)\n",
               static_cast<unsigned long long>(qs.ecc_corrected +
@@ -92,6 +99,12 @@ void report_ecc(Sim& sim, pbp::EccMode mode) {
               static_cast<unsigned long long>(qs.ecc_detected +
                                               sim.memory().ecc_detected()),
               static_cast<unsigned long long>(qs.ecc_scrubs));
+  std::printf("ecc: %llu words verified, %llu verifies elided\n",
+              static_cast<unsigned long long>(
+                  qs.ecc_words_verified + sim.memory().ecc_words_verified()),
+              static_cast<unsigned long long>(
+                  qs.ecc_verifies_elided +
+                  sim.memory().ecc_verifies_elided()));
 }
 
 }  // namespace
@@ -123,6 +136,7 @@ int run_main(int argc, char** argv) {
   std::uint64_t max_cycles = 0;
   std::uint64_t checkpoint_every = 0;
   pbp::EccMode ecc_mode = pbp::EccMode::kOff;
+  std::uint64_t ecc_epoch = 1;
   std::uint64_t scrub_every = 0;
   std::string inject_spec;
   bool disassemble_only = false;
@@ -179,6 +193,8 @@ int run_main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg.rfind("--ecc-epoch=", 0) == 0) {
+      ecc_epoch = std::strtoull(arg.c_str() + 12, nullptr, 10);
     } else if (arg.rfind("--scrub-every=", 0) == 0) {
       scrub_every = std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else if (arg == "-d") {
@@ -251,6 +267,7 @@ int run_main(int argc, char** argv) {
     }
     sim.set_max_cycles(max_cycles);
     sim.set_ecc_mode(ecc_mode);
+    sim.set_ecc_epoch(ecc_epoch);
     sim.set_scrub_every(scrub_every);
     const SimStats st = sim.run(max_instructions);
     if (!sim.console().empty()) std::fputs(sim.console().c_str(), stdout);
@@ -287,6 +304,7 @@ int run_main(int argc, char** argv) {
     }
     sim.set_max_cycles(max_cycles);
     sim.set_ecc_mode(ecc_mode);
+    sim.set_ecc_epoch(ecc_epoch);
     sim.set_scrub_every(scrub_every);
     const SimStats st = sim.run(max_instructions);
     if (pipeline_diagram) std::fputs(sim.diagram().c_str(), stdout);
@@ -341,6 +359,7 @@ int run_main(int argc, char** argv) {
   }
   sim->set_max_cycles(max_cycles);
   sim->set_ecc_mode(ecc_mode);
+  sim->set_ecc_epoch(ecc_epoch);
   sim->set_scrub_every(scrub_every);
 
   if (checkpoint_every != 0) {
@@ -369,6 +388,7 @@ int run_main(int argc, char** argv) {
       std::printf("trap: %s at pc=%u\n",
                   trap_kind_name(rs.final_trap.kind), rs.final_trap.pc);
     }
+    report_ecc(*sim, ecc_mode);
     if (rs.gave_up || rs.final_trap) {
       return rs.final_trap.kind == TrapKind::kDataCorruption ? 5 : 4;
     }

@@ -17,8 +17,14 @@
 #                               storage-upset soak) under the sanitizer
 #                               config — the "no wrong-answer completion,
 #                               ever" gate
+#   scripts/check.sh perf       Release perf smoke (ctest -L perf): the
+#                               Figure 10 run with --ecc=correct must stay
+#                               within 8x of --ecc=off at the default
+#                               verification epoch — the "integrity is
+#                               nearly free" gate (bench/perf_smoke.cpp)
 #   scripts/check.sh --all     both configs + the sanitized soak + the
-#                               integrity suite + the TSAN serve run
+#                               integrity suite + the TSAN serve run + the
+#                               perf smoke
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
@@ -68,6 +74,15 @@ run_tsan() {
   ./build-tsan/examples/tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
 }
 
+run_perf() {
+  echo "== configuring build (Release) =="
+  cmake -B build -S . >/dev/null
+  echo "== building perf smoke =="
+  cmake --build build -j "$(nproc)" --target perf_smoke
+  echo "== integrity perf smoke (ctest -L perf, Release) =="
+  ctest --test-dir build -L perf --output-on-failure
+}
+
 mode="${1:-}"
 
 case "${mode}" in
@@ -83,18 +98,22 @@ case "${mode}" in
   integrity)
     run_integrity
     ;;
+  perf)
+    run_perf
+    ;;
   --all)
     run_config build
     run_config build-asan -DTANGLED_SANITIZE=ON
     run_soak
     run_integrity
     run_tsan
+    run_perf
     ;;
   "")
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|perf]" >&2
     exit 2
     ;;
 esac

@@ -236,8 +236,11 @@ ExecResult execute_instr(CpuState& cpu, Memory& mem, QatEngine& qat,
 void Memory::set_ecc_mode(pbp::EccMode m) {
   ecc_ = m;
   if (ecc_ == pbp::EccMode::kOff) {
+    // Lazy sidecar: protection off stores (and pays) nothing.
     check_.clear();
     check_.shrink_to_fit();
+    verified_at_.clear();
+    verified_at_.shrink_to_fit();
     return;
   }
   refresh_ecc();
@@ -246,24 +249,29 @@ void Memory::set_ecc_mode(pbp::EccMode m) {
 void Memory::refresh_ecc() {
   if (ecc_ == pbp::EccMode::kOff) return;
   check_.resize(words_.size());
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    check_[i] = pbp::secded16_encode(words_[i]);
-  }
+  pbp::secded16_encode_block(words_.data(), check_.data(), words_.size());
+  // A trusted bulk re-encode leaves every page canonical.
+  verified_at_.assign(words_.size() / kEccPageWords, ecc_now_ + 1);
 }
 
 std::uint16_t Memory::load_checked(std::uint16_t addr, bool* corrupt) {
   if (ecc_ == pbp::EccMode::kOff) return words_[addr];
+  if (ecc_epoch_ > 1) return load_checked_epoch(addr, corrupt);
+  ++words_verified_;
+  // Fused fast path: one table-driven probe covers the universal clean
+  // case; only a mismatch pays for the scalar reference decode.
+  if (pbp::secded16_encode_fast(words_[addr]) == check_[addr]) {
+    return words_[addr];
+  }
   if (ecc_ == pbp::EccMode::kDetect) {
-    if (!pbp::secded16_clean(words_[addr], check_[addr])) {
-      ++detected_;
-      *corrupt = true;
-    }
+    ++detected_;
+    *corrupt = true;
     return words_[addr];
   }
   std::uint16_t payload = words_[addr];
   std::uint8_t check = check_[addr];
   switch (pbp::secded16_check(payload, check)) {
-    case pbp::EccCheck::kClean:
+    case pbp::EccCheck::kClean:  // unreachable: the probe mismatched
       break;
     case pbp::EccCheck::kCorrected:
       words_[addr] = payload;
@@ -278,29 +286,45 @@ std::uint16_t Memory::load_checked(std::uint16_t addr, bool* corrupt) {
   return words_[addr];
 }
 
+std::uint16_t Memory::load_checked_epoch(std::uint16_t addr, bool* corrupt) {
+  const std::size_t page = addr / kEccPageWords;
+  const std::uint64_t stamp = verified_at_[page];
+  if (stamp != 0 && ecc_now_ < stamp - 1 + ecc_epoch_) {
+    ++verifies_elided_;
+    return words_[addr];
+  }
+  // Stale page: verify the whole page in one block sweep and stamp it.  An
+  // upset anywhere in the page surfaces at this access (page-granular trap
+  // precision at epoch > 1).
+  const std::size_t base = page * kEccPageWords;
+  pbp::EccSweep sweep;
+  const pbp::EccCheck r = pbp::secded16_check_block(
+      ecc_, words_.data() + base, check_.data() + base, kEccPageWords, sweep);
+  words_verified_ += sweep.words;
+  corrected_ += sweep.corrected;
+  detected_ += sweep.uncorrectable;
+  if (r == pbp::EccCheck::kUncorrectable) {
+    *corrupt = true;
+    return words_[addr];
+  }
+  verified_at_[page] = ecc_now_ + 1;
+  return words_[addr];
+}
+
 pbp::EccSweep Memory::scrub_ecc() {
   pbp::EccSweep sweep;
   if (ecc_ == pbp::EccMode::kOff) return sweep;
-  sweep.words = words_.size();
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (ecc_ == pbp::EccMode::kDetect) {
-      if (!pbp::secded16_clean(words_[i], check_[i])) ++sweep.uncorrectable;
-      continue;
+  // Ground truth: scrub ignores the epoch stamps, sweeps every page, and
+  // re-stamps what it verified clean (or repaired).
+  for (std::size_t page = 0; page * kEccPageWords < words_.size(); ++page) {
+    const std::size_t base = page * kEccPageWords;
+    pbp::EccSweep pg;
+    const pbp::EccCheck r = pbp::secded16_check_block(
+        ecc_, words_.data() + base, check_.data() + base, kEccPageWords, pg);
+    if (r != pbp::EccCheck::kUncorrectable && !verified_at_.empty()) {
+      verified_at_[page] = ecc_now_ + 1;
     }
-    std::uint16_t payload = words_[i];
-    std::uint8_t check = check_[i];
-    switch (pbp::secded16_check(payload, check)) {
-      case pbp::EccCheck::kClean:
-        break;
-      case pbp::EccCheck::kCorrected:
-        words_[i] = payload;
-        check_[i] = check;
-        ++sweep.corrected;
-        break;
-      case pbp::EccCheck::kUncorrectable:
-        ++sweep.uncorrectable;
-        break;
-    }
+    sweep += pg;
   }
   corrected_ += sweep.corrected;
   detected_ += sweep.uncorrectable;

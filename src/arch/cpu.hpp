@@ -32,9 +32,13 @@ class Memory {
   Memory() : words_(65536, 0) {}
 
   std::uint16_t read(std::uint16_t addr) const { return words_[addr]; }
+  /// Encode-on-write: the check byte is maintained inline by one
+  /// table-driven encode, so a store costs O(1) extra regardless of mode.
   void write(std::uint16_t addr, std::uint16_t v) {
     words_[addr] = v;
-    if (ecc_ != pbp::EccMode::kOff) check_[addr] = pbp::secded16_encode(v);
+    if (ecc_ != pbp::EccMode::kOff) {
+      check_[addr] = pbp::secded16_encode_fast(v);
+    }
   }
 
   /// Load a program image at address 0.  An image wider than the address
@@ -88,12 +92,38 @@ class Memory {
     return ecc_ == pbp::EccMode::kOff ? 0 : check_.size();
   }
 
+  // --- Verification scheduling (epoch policy; see DESIGN.md §6) -------
+  // Memory stamps are page-granular: kEccPageWords-word pages each carry a
+  // verified_at stamp on the retired-instruction clock.  At epoch > 1 a
+  // stale access verifies its whole page in one block sweep and stamps it;
+  // accesses within the epoch are elided.  Epoch 1 (default) keeps the
+  // historical word-at-a-time verify-every-access path.  A detect-mode
+  // mismatch anywhere in the accessed page traps at the accessing
+  // instruction — page-granular precision, the documented tradeoff.
+
+  static constexpr std::size_t kEccPageWords = 256;
+
+  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  std::uint64_t ecc_epoch() const { return ecc_epoch_; }
+  /// Advance the verification clock (retired-instruction total).
+  void ecc_tick(std::uint64_t now) { ecc_now_ = now; }
+
+  std::uint64_t ecc_words_verified() const { return words_verified_; }
+  std::uint64_t ecc_verifies_elided() const { return verifies_elided_; }
+
  private:
+  std::uint16_t load_checked_epoch(std::uint16_t addr, bool* corrupt);
+
   std::vector<std::uint16_t> words_;
   std::vector<std::uint8_t> check_;  // one SECDED byte per word when on
   pbp::EccMode ecc_ = pbp::EccMode::kOff;
   std::uint64_t corrected_ = 0;  // monotone: never rewound by rollback
   std::uint64_t detected_ = 0;
+  std::uint64_t ecc_epoch_ = 1;
+  std::uint64_t ecc_now_ = 0;
+  std::uint64_t words_verified_ = 0;
+  std::uint64_t verifies_elided_ = 0;
+  std::vector<std::uint64_t> verified_at_;  // per-page stamps; 0 = never
 };
 
 struct CpuState {

@@ -88,6 +88,10 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
           cpu_.halted = true;
           ++stats.instructions;
           ++retired_total_;
+          if (ecc_enabled()) {
+            mem_.ecc_tick(retired_total_);
+            qat_.ecc_tick(retired_total_);
+          }
           state = McState::kFetch;
           break;
         }
@@ -102,6 +106,11 @@ SimStats MultiCycleFsmSim::run(std::uint64_t max_instructions) {
                            : static_cast<std::uint16_t>(cpu_.pc + dec.words);
         ++stats.instructions;
         ++retired_total_;
+        if (ecc_enabled()) {
+          // Same verification-clock advance point as SimBase::run.
+          mem_.ecc_tick(retired_total_);
+          qat_.ecc_tick(retired_total_);
+        }
         if (ex.taken) ++stats.taken_branches;
         if (ex.halt) cpu_.halted = true;
         if (!cpu_.halted && injector_.armed()) {

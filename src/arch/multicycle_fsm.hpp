@@ -67,6 +67,10 @@ class MultiCycleFsmSim {
     mem_.set_ecc_mode(m);
     qat_.set_ecc_mode(m);
   }
+  void set_ecc_epoch(std::uint64_t n) {
+    mem_.set_ecc_epoch(n);
+    qat_.set_ecc_epoch(n);
+  }
   void set_scrub_every(std::uint64_t n) { scrub_every_ = n; }
   bool ecc_enabled() const {
     return mem_.ecc_mode() != pbp::EccMode::kOff ||

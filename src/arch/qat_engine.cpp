@@ -95,25 +95,37 @@ void QatEngine::set_ecc_mode(pbp::EccMode m) {
   backend_->set_ecc_mode(m);
 }
 
-void QatEngine::drain_ecc() {
-  const pbp::EccSweep s = backend_->take_ecc_counts();
+void QatEngine::set_ecc_epoch(std::uint64_t n) {
+  ecc_epoch_ = n == 0 ? 1 : n;
+  backend_->set_ecc_epoch(ecc_epoch_);
+}
+
+void QatEngine::ecc_tick(std::uint64_t now) {
+  ecc_now_ = now;
+  backend_->ecc_tick(now);
+}
+
+void QatEngine::tally_sweep(const pbp::EccSweep& s) {
   if (s.corrected != 0) {
     stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
   }
   if (s.uncorrectable != 0) {
     stats_.ecc_detected.fetch_add(s.uncorrectable, std::memory_order_relaxed);
   }
+  if (s.words != 0) {
+    stats_.ecc_words_verified.fetch_add(s.words, std::memory_order_relaxed);
+  }
+  if (s.elided != 0) {
+    stats_.ecc_verifies_elided.fetch_add(s.elided, std::memory_order_relaxed);
+  }
 }
+
+void QatEngine::drain_ecc() { tally_sweep(backend_->take_ecc_counts()); }
 
 pbp::EccSweep QatEngine::scrub() {
   drain_ecc();  // access-path tallies first, so ordering stays monotone
   const pbp::EccSweep s = backend_->scrub_ecc();
-  if (s.corrected != 0) {
-    stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
-  }
-  if (s.uncorrectable != 0) {
-    stats_.ecc_detected.fetch_add(s.uncorrectable, std::memory_order_relaxed);
-  }
+  tally_sweep(s);
   stats_.ecc_scrubs.fetch_add(1, std::memory_order_relaxed);
   return s;
 }
@@ -136,12 +148,8 @@ bool QatEngine::try_degrade_to_dense() {
   if (ecc_mode_ != pbp::EccMode::kOff) {
     drain_ecc();
     const pbp::EccSweep s = backend_->scrub_ecc();
-    if (s.corrected != 0) {
-      stats_.ecc_corrected.fetch_add(s.corrected, std::memory_order_relaxed);
-    }
+    tally_sweep(s);
     if (s.uncorrectable != 0) {
-      stats_.ecc_detected.fetch_add(s.uncorrectable,
-                                    std::memory_order_relaxed);
       throw pbp::CorruptionError(
           "QatEngine: uncorrectable upset blocks RE->dense migration");
     }
@@ -167,6 +175,8 @@ bool QatEngine::try_degrade_to_dense() {
     dense->set_reg_aob(r, backend_->reg_aob(r));
   }
   dense->set_ecc_mode(ecc_mode_);  // policy follows the data to the new file
+  dense->set_ecc_epoch(ecc_epoch_);
+  dense->ecc_tick(ecc_now_);
   backend_ = std::move(dense);
   stats_.backend_migrations.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -198,8 +208,13 @@ void QatEngine::restore(pbp::ByteReader& r) {
   stats_.reg_reads = r.u64();
   stats_.reg_writes = r.u64();
   stats_.backend_migrations = r.u64();
-  // ECC mode is policy, not machine state: re-protect the restored file.
+  // ECC mode and epoch are policy, not machine state: re-protect the
+  // restored file.  set_ecc_mode re-encodes from the restored payloads, so
+  // every stamp starts over from "just encoded" — a restore never extends
+  // trust in state it did not just rebuild.
   backend_->set_ecc_mode(ecc_mode_);
+  backend_->set_ecc_epoch(ecc_epoch_);
+  backend_->ecc_tick(ecc_now_);
 }
 
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {

@@ -57,6 +57,8 @@ struct QatStats {
   std::atomic<std::uint64_t> ecc_corrected{0};  // single-bit upsets repaired
   std::atomic<std::uint64_t> ecc_detected{0};   // uncorrectable upsets seen
   std::atomic<std::uint64_t> ecc_scrubs{0};     // background scrub passes
+  std::atomic<std::uint64_t> ecc_words_verified{0};  // payload words checked
+  std::atomic<std::uint64_t> ecc_verifies_elided{0};  // epoch-policy skips
 
   QatStats() = default;
   QatStats(const QatStats& o) { *this = o; }
@@ -76,6 +78,12 @@ struct QatStats {
                        std::memory_order_relaxed);
     ecc_scrubs.store(o.ecc_scrubs.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    ecc_words_verified.store(
+        o.ecc_words_verified.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    ecc_verifies_elided.store(
+        o.ecc_verifies_elided.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 };
@@ -91,6 +99,8 @@ struct QatStatsSnapshot {
   std::uint64_t ecc_corrected = 0;
   std::uint64_t ecc_detected = 0;
   std::uint64_t ecc_scrubs = 0;
+  std::uint64_t ecc_words_verified = 0;
+  std::uint64_t ecc_verifies_elided = 0;
 };
 
 class QatEngine {
@@ -164,7 +174,9 @@ class QatEngine {
             stats_.backend_migrations.load(std::memory_order_relaxed),
             stats_.ecc_corrected.load(std::memory_order_relaxed),
             stats_.ecc_detected.load(std::memory_order_relaxed),
-            stats_.ecc_scrubs.load(std::memory_order_relaxed)};
+            stats_.ecc_scrubs.load(std::memory_order_relaxed),
+            stats_.ecc_words_verified.load(std::memory_order_relaxed),
+            stats_.ecc_verifies_elided.load(std::memory_order_relaxed)};
   }
   void reset_stats() { stats_ = {}; }
 
@@ -192,10 +204,20 @@ class QatEngine {
   /// never serialized so telemetry stays monotone across rollback.
   void set_ecc_mode(pbp::EccMode m);
   pbp::EccMode ecc_mode() const { return ecc_mode_; }
+  /// Verification epoch (policy like the mode: survives restore and
+  /// RE→dense migration, never serialized).  0 is clamped to 1.
+  void set_ecc_epoch(std::uint64_t n);
+  std::uint64_t ecc_epoch() const { return ecc_epoch_; }
+  /// Advance the backend's verification clock (retired-instruction total).
+  void ecc_tick(std::uint64_t now);
   /// Sweep the whole register file: repairs correctable upsets (kCorrect),
   /// tallies the rest.  Never throws; callers trap on uncorrectable != 0.
   /// Also drains the backend's access-path tallies into stats().
   pbp::EccSweep scrub();
+  /// Move the backend's pending access-path ECC tallies into stats().
+  /// Reporting paths call this before reading a snapshot; scrub() and
+  /// execute() drain automatically.
+  void drain_ecc();
   /// Storage-upset fault model: flip one raw payload bit of register r
   /// (channel ch, wrapped) *underneath* the ECC sidecar — unlike
   /// flip_channel this does not re-encode, so the codec sees a genuine
@@ -241,13 +263,15 @@ class QatEngine {
   }
   bool try_degrade_to_dense();
   void execute_op(const Instr& i, std::uint16_t& d_value);
-  /// Move the backend's pending access-path ECC tallies into stats_.
-  void drain_ecc();
+  /// Tally one sweep's corrected/uncorrectable/words into stats_.
+  void tally_sweep(const pbp::EccSweep& s);
 
   std::unique_ptr<pbp::QatBackend> backend_;
   mutable QatStats stats_;
   std::function<bool(std::size_t)> migration_guard_;
   pbp::EccMode ecc_mode_ = pbp::EccMode::kOff;
+  std::uint64_t ecc_epoch_ = 1;
+  std::uint64_t ecc_now_ = 0;
 };
 
 }  // namespace tangled

@@ -48,6 +48,11 @@ SimStats RtlPipelineSim::run(std::uint64_t max_instructions) {
       mark(memwb.seq, cycle, 'W');
       ++stats_.instructions;
       ++retired_total_;
+      if (ecc_enabled()) {
+        // Same verification-clock advance point as SimBase::run.
+        mem_.ecc_tick(retired_total_);
+        qat_.ecc_tick(retired_total_);
+      }
       if (memwb.halt) {
         if (memwb.trap != TrapKind::kNone) {
           // Precise trap: report the faulting instruction's PC as the

@@ -40,6 +40,12 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
     account(dec.instr, dec.words, exec);
     cpu_.pc = exec.next_pc;
     ++retired_total_;
+    if (ecc_enabled()) {
+      // Advance the verification clock every retirement so epoch freshness
+      // is measured on the same monotone clock as fault events and scrubs.
+      mem_.ecc_tick(retired_total_);
+      qat_.ecc_tick(retired_total_);
+    }
     if (!cpu_.halted && injector_.armed()) {
       const TrapKind tk =
           injector_.apply_due(retired_total_, cpu_, mem_, qat_);

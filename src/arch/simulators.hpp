@@ -94,6 +94,15 @@ class SimBase {
     mem_.set_ecc_mode(m);
     qat_.set_ecc_mode(m);
   }
+  /// Verification epoch (instructions): re-verification of unwritten state
+  /// is skipped until the retired-instruction clock crosses an epoch
+  /// boundary.  1 (the default) preserves verify-every-access semantics
+  /// exactly; larger values trade detection latency (bounded by one epoch
+  /// plus the scrub period) for throughput.  See DESIGN.md §6.
+  void set_ecc_epoch(std::uint64_t n) {
+    mem_.set_ecc_epoch(n);
+    qat_.set_ecc_epoch(n);
+  }
   /// Background scrubber period: sweep all protected state every n retired
   /// instructions (0 disables).  Keyed on retired_total(), the same
   /// monotone clock fault events use, so every timing model scrubs — and

@@ -130,4 +130,92 @@ bool secded16_clean(std::uint16_t payload, std::uint8_t check) {
   return check == encode(k16, payload);
 }
 
+void secded64_encode_block(const std::uint64_t* words, std::uint8_t* checks,
+                           std::size_t n) {
+  // encode(0) == 0, and bulk encodes run over mostly-zero state (fresh
+  // register files, sparse memories): skip the table lookups for zeros.
+  for (std::size_t i = 0; i < n; ++i) {
+    checks[i] = words[i] == 0 ? 0 : secded64_encode_fast(words[i]);
+  }
+}
+
+void secded16_encode_block(const std::uint16_t* words, std::uint8_t* checks,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    checks[i] = words[i] == 0 ? 0 : secded16_encode_fast(words[i]);
+  }
+}
+
+namespace {
+
+// Shared body of the two check_block kernels.  Clean words (the universal
+// case) cost one table-driven re-encode and a compare; only a mismatch pays
+// for the scalar reference decode.  A stored check byte is canonical by
+// construction (every write path encodes), so probe == stored iff no bit of
+// payload or check has flipped.
+template <typename P, typename EncodeFast, typename CheckScalar>
+EccCheck check_block(EccMode mode, P* words, std::uint8_t* checks,
+                     std::size_t n, EccSweep& sweep, EncodeFast encode_fast,
+                     CheckScalar check_scalar) {
+  sweep.words += n;
+  EccCheck worst = EccCheck::kClean;
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t end = base + 64 < n ? base + 64 : n;
+    // All-zero payload + check is clean (encode(0) == 0), and zeroed state
+    // dominates whole-file sweeps: OR-fold each 64-word chunk first — a
+    // branchless, vectorizable pass — and probe word-by-word only in
+    // chunks that hold any set bit.
+    std::uint64_t fold = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      fold |= static_cast<std::uint64_t>(words[i]) | checks[i];
+    }
+    if (fold == 0) continue;
+    for (std::size_t i = base; i < end; ++i) {
+      if (encode_fast(words[i]) == checks[i]) continue;
+      if (mode == EccMode::kDetect) {
+        // Detect-only hardware has no corrector: any mismatch is an
+        // uncorrectable corruption, and nothing is repaired.
+        ++sweep.uncorrectable;
+        worst = EccCheck::kUncorrectable;
+        continue;
+      }
+      switch (check_scalar(words[i], checks[i])) {
+        case EccCheck::kClean:  // unreachable: the probe already mismatched
+          break;
+        case EccCheck::kCorrected:
+          ++sweep.corrected;
+          if (worst == EccCheck::kClean) worst = EccCheck::kCorrected;
+          break;
+        case EccCheck::kUncorrectable:
+          ++sweep.uncorrectable;
+          worst = EccCheck::kUncorrectable;
+          break;
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+EccCheck secded64_check_block(EccMode mode, std::uint64_t* words,
+                              std::uint8_t* checks, std::size_t n,
+                              EccSweep& sweep) {
+  if (mode == EccMode::kOff) return EccCheck::kClean;
+  return check_block(
+      mode, words, checks, n, sweep,
+      [](std::uint64_t w) { return secded64_encode_fast(w); },
+      [](std::uint64_t& w, std::uint8_t& c) { return secded64_check(w, c); });
+}
+
+EccCheck secded16_check_block(EccMode mode, std::uint16_t* words,
+                              std::uint8_t* checks, std::size_t n,
+                              EccSweep& sweep) {
+  if (mode == EccMode::kOff) return EccCheck::kClean;
+  return check_block(
+      mode, words, checks, n, sweep,
+      [](std::uint16_t w) { return secded16_encode_fast(w); },
+      [](std::uint16_t& w, std::uint8_t& c) { return secded16_check(w, c); });
+}
+
 }  // namespace pbp

@@ -26,6 +26,8 @@
 //   S == 0, O == 1   the overall parity bit itself flipped — corrected
 //   S != 0, O == 0   double-bit upset — uncorrectable by construction
 //   S an invalid position — multi-bit upset, uncorrectable
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -60,10 +62,12 @@ struct EccSweep {
   std::uint64_t words = 0;          ///< payload words examined
   std::uint64_t corrected = 0;      ///< single-bit upsets repaired
   std::uint64_t uncorrectable = 0;  ///< mismatches that could not be fixed
+  std::uint64_t elided = 0;         ///< verifications skipped by epoch policy
   EccSweep& operator+=(const EccSweep& o) {
     words += o.words;
     corrected += o.corrected;
     uncorrectable += o.uncorrectable;
+    elided += o.elided;
     return *this;
   }
 };
@@ -83,5 +87,104 @@ EccCheck secded16_check(std::uint16_t& payload, std::uint8_t& check);
 /// exactly (no repair attempted).
 bool secded64_clean(std::uint64_t payload, std::uint8_t check);
 bool secded16_clean(std::uint16_t payload, std::uint8_t check);
+
+// --- Table-driven fast kernels -------------------------------------------
+//
+// The scalar codecs above walk the codeword bit by bit; that is the
+// exhaustively tested reference, kept as the slow path.  The hot paths use
+// precomputed per-byte parity-contribution tables: the check byte is linear
+// over XOR (each data bit contributes its codeword position to the Hamming
+// syndrome and one overall-parity bit), so the canonical check byte of a
+// word is the XOR of one table entry per payload byte.  The tables are
+// built at compile time from the same position arithmetic the scalar codec
+// uses, and the differential tests in tests/test_ecc.cpp pin the two
+// implementations against each other bit for bit.
+
+namespace detail {
+
+/// Codeword position (1-based, classical Hamming numbering) of data bit d:
+/// the d-th position that is not a power of two, counting from 3.
+constexpr unsigned secded_data_pos(unsigned d) {
+  unsigned pos = 3;
+  unsigned remaining = d;
+  while (true) {
+    if ((pos & (pos - 1)) != 0) {
+      if (remaining == 0) return pos;
+      --remaining;
+    }
+    ++pos;
+  }
+}
+
+/// One 256-entry table per payload byte.  Entry [b][v]: XOR-contribution of
+/// payload byte b holding value v — Hamming bits in [0, M), overall parity
+/// (data parity XOR Hamming-bit parity, so the full codeword has even
+/// parity) in bit M.
+template <int Bytes, int M>
+struct SecdedTables {
+  std::uint8_t t[Bytes][256];
+};
+
+template <int Bytes, int M>
+constexpr SecdedTables<Bytes, M> make_secded_tables() {
+  SecdedTables<Bytes, M> out{};
+  for (int b = 0; b < Bytes; ++b) {
+    for (unsigned v = 0; v < 256; ++v) {
+      unsigned h = 0;
+      unsigned ones = 0;
+      for (unsigned i = 0; i < 8; ++i) {
+        if ((v >> i) & 1u) {
+          h ^= secded_data_pos(static_cast<unsigned>(b) * 8 + i) &
+               ((1u << M) - 1);
+          ++ones;
+        }
+      }
+      const unsigned overall =
+          (ones + static_cast<unsigned>(std::popcount(h))) & 1u;
+      out.t[b][v] = static_cast<std::uint8_t>(h | (overall << M));
+    }
+  }
+  return out;
+}
+
+inline constexpr SecdedTables<8, 7> kSecded64Tab = make_secded_tables<8, 7>();
+inline constexpr SecdedTables<2, 5> kSecded16Tab = make_secded_tables<2, 5>();
+
+}  // namespace detail
+
+/// Canonical check byte via table lookups — bit-identical to
+/// secded64_encode / secded16_encode (pinned by tests).
+inline std::uint8_t secded64_encode_fast(std::uint64_t p) {
+  const auto& t = detail::kSecded64Tab.t;
+  return static_cast<std::uint8_t>(
+      t[0][p & 0xff] ^ t[1][(p >> 8) & 0xff] ^ t[2][(p >> 16) & 0xff] ^
+      t[3][(p >> 24) & 0xff] ^ t[4][(p >> 32) & 0xff] ^
+      t[5][(p >> 40) & 0xff] ^ t[6][(p >> 48) & 0xff] ^ t[7][p >> 56]);
+}
+
+inline std::uint8_t secded16_encode_fast(std::uint16_t p) {
+  const auto& t = detail::kSecded16Tab.t;
+  return static_cast<std::uint8_t>(t[0][p & 0xff] ^ t[1][p >> 8]);
+}
+
+/// Batched canonical encode: checks[i] = encode(words[i]) for i in [0, n).
+void secded64_encode_block(const std::uint64_t* words, std::uint8_t* checks,
+                           std::size_t n);
+void secded16_encode_block(const std::uint16_t* words, std::uint8_t* checks,
+                           std::size_t n);
+
+/// Batched verify for one fused sweep over n words.  Clean words cost one
+/// table-driven probe each; a mismatch falls back to the scalar reference
+/// codec (repairing in place under kCorrect, counting an uncorrectable
+/// under kDetect — detect-mode hardware has no corrector).  The whole block
+/// is always swept (no early-out), tallies accumulate into `sweep`, and
+/// the worst classification seen is returned; callers decide whether
+/// kUncorrectable traps.  kOff returns kClean without touching anything.
+EccCheck secded64_check_block(EccMode mode, std::uint64_t* words,
+                              std::uint8_t* checks, std::size_t n,
+                              EccSweep& sweep);
+EccCheck secded16_check_block(EccMode mode, std::uint16_t* words,
+                              std::uint8_t* checks, std::size_t n,
+                              EccSweep& sweep);
 
 }  // namespace pbp

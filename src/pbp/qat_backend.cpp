@@ -23,11 +23,33 @@ DenseQatBackend::DenseQatBackend(unsigned ways, unsigned num_regs)
     throw std::invalid_argument("DenseQatBackend: ways out of range");
   }
   regs_.assign(num_regs, Aob::zeros(ways));
+  words_per_reg_ = regs_[0].word_count();
 }
 
+// The data ops below are fused verify-compute-encode sweeps: one pass over
+// the operand words does the payload arithmetic AND maintains the check
+// sidecar, instead of a verify pre-pass plus a separate encode-on-writeback
+// pass.  SECDED is linear over XOR (encode(a ^ b) == encode(a) ^ encode(b),
+// encode(0) == 0), so:
+//   * XOR-family destinations derive their check bytes from the operands'
+//     (cnot/xor_: ca ^= cb; not_: ca ^= encode(live-mask));
+//   * AND/OR-family results are re-encoded from the result word, one
+//     table-driven encode per word, in the same loop iteration;
+//   * conditional exchanges XOR the same delta t into both payloads and
+//     encode(t) into both sidecars.
+// Either way a pre-existing upset keeps an intact syndrome: payload and
+// check byte always move by a consistent (delta, encode(delta)) pair, so
+// the register's syndrome is invariant under its own update and the upset
+// stays exactly as detectable afterwards.
+
 void DenseQatBackend::zero(unsigned a) {
-  regs_[idx(a)] = Aob::zeros(ways_);
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  auto w = regs_[i].words_mut();
+  std::fill(w.begin(), w.end(), std::uint64_t{0});
+  if (ecc_ != EccMode::kOff) {
+    std::fill_n(chk(i), words_per_reg_, std::uint8_t{0});  // encode(0) == 0
+    verified_at_[i] = stamp_now();
+  }
 }
 
 void DenseQatBackend::one(unsigned a) {
@@ -41,100 +63,202 @@ void DenseQatBackend::had(unsigned a, unsigned k) {
 }
 
 void DenseQatBackend::not_(unsigned a) {
-  verify_reg(a);
-  regs_[idx(a)].invert();
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  verify_reg(i);
+  regs_[i].invert();
+  if (ecc_ != EccMode::kOff) {
+    // invert() XORs every live bit: one constant delta per word.
+    const std::uint64_t live = regs_[i].bit_count() >= 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << regs_[i].bit_count()) -
+                                         1;
+    const std::uint8_t d = secded64_encode_fast(live);
+    std::uint8_t* c = chk(i);
+    for (std::size_t j = 0; j < words_per_reg_; ++j) c[j] ^= d;
+  }
 }
 
 void DenseQatBackend::cnot(unsigned a, unsigned b) {
-  verify_reg(a);
-  verify_reg(b);
-  regs_[idx(a)] ^= regs_[idx(b)];
-  encode_reg(idx(a));
+  const unsigned ia = idx(a), ib = idx(b);
+  verify_reg(ia);
+  verify_reg(ib);
+  auto wa = regs_[ia].words_mut();
+  const auto wb = regs_[ib].words();
+  if (ecc_ == EccMode::kOff) {
+    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] ^= wb[j];
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  const std::uint8_t* cb = chk(ib);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    wa[j] ^= wb[j];
+    ca[j] ^= cb[j];
+  }
+  stamp_dest(ia, std::min(verified_at_[ia], verified_at_[ib]));
 }
 
 void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
-  verify_reg(a);
-  verify_reg(b);
-  verify_reg(c);
-  regs_[idx(a)] ^= regs_[idx(b)] & regs_[idx(c)];
-  encode_reg(idx(a));
+  const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
+  verify_reg(ia);
+  verify_reg(ib);
+  verify_reg(ic);
+  auto wa = regs_[ia].words_mut();
+  const auto wb = regs_[ib].words();
+  const auto wc = regs_[ic].words();
+  if (ecc_ == EccMode::kOff) {
+    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] ^= wb[j] & wc[j];
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    const std::uint64_t m = wb[j] & wc[j];
+    wa[j] ^= m;
+    ca[j] ^= secded64_encode_fast(m);
+  }
+  stamp_dest(ia, std::min({verified_at_[ia], verified_at_[ib],
+                           verified_at_[ic]}));
 }
 
 void DenseQatBackend::swap(unsigned a, unsigned b) {
   if (idx(a) == idx(b)) return;
-  // A register move carries payload and sidecar together — an upset in
-  // either register stays exactly as detectable after the swap.
+  // A register move carries payload, sidecar and stamp together — an upset
+  // in either register stays exactly as detectable after the swap.
   Aob::swap_values(regs_[idx(a)], regs_[idx(b)]);
-  if (ecc_ != EccMode::kOff) check_[idx(a)].swap(check_[idx(b)]);
+  if (ecc_ != EccMode::kOff) {
+    std::swap_ranges(chk(idx(a)), chk(idx(a)) + words_per_reg_, chk(idx(b)));
+    std::swap(verified_at_[idx(a)], verified_at_[idx(b)]);
+  }
 }
 
 void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
-  if (idx(a) == idx(b)) return;
-  verify_reg(a);
-  verify_reg(b);
-  verify_reg(c);
-  // Aliasing with the control is well-defined: the control is read once.
-  const Aob control = regs_[idx(c)];
-  Aob::cswap(regs_[idx(a)], regs_[idx(b)], control);
-  encode_reg(idx(a));
-  encode_reg(idx(b));
+  const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
+  if (ia == ib) return;
+  verify_reg(ia);
+  verify_reg(ib);
+  verify_reg(ic);
+  auto wa = regs_[ia].words_mut();
+  auto wb = regs_[ib].words_mut();
+  const auto wc = regs_[ic].words();
+  if (ecc_ == EccMode::kOff) {
+    // Aliasing with the control is well-defined: each word's delta is
+    // computed from pre-update values before either target word is written.
+    for (std::size_t j = 0; j < wa.size(); ++j) {
+      const std::uint64_t t = (wa[j] ^ wb[j]) & wc[j];
+      wa[j] ^= t;
+      wb[j] ^= t;
+    }
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  std::uint8_t* cb = chk(ib);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    const std::uint64_t t = (wa[j] ^ wb[j]) & wc[j];
+    wa[j] ^= t;
+    wb[j] ^= t;
+    const std::uint8_t d = secded64_encode_fast(t);
+    ca[j] ^= d;
+    cb[j] ^= d;
+  }
+  const std::uint64_t s = std::min(
+      {verified_at_[ia], verified_at_[ib], verified_at_[ic]});
+  stamp_dest(ia, s);
+  stamp_dest(ib, s);
 }
 
 void DenseQatBackend::and_(unsigned a, unsigned b, unsigned c) {
-  verify_reg(b);
-  verify_reg(c);
-  regs_[idx(a)] = regs_[idx(b)] & regs_[idx(c)];
-  encode_reg(idx(a));
+  const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
+  verify_reg(ib);
+  verify_reg(ic);
+  auto wa = regs_[ia].words_mut();
+  const auto wb = regs_[ib].words();
+  const auto wc = regs_[ic].words();
+  if (ecc_ == EccMode::kOff) {
+    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] & wc[j];
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    const std::uint64_t r = wb[j] & wc[j];
+    wa[j] = r;
+    ca[j] = secded64_encode_fast(r);
+  }
+  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
 void DenseQatBackend::or_(unsigned a, unsigned b, unsigned c) {
-  verify_reg(b);
-  verify_reg(c);
-  regs_[idx(a)] = regs_[idx(b)] | regs_[idx(c)];
-  encode_reg(idx(a));
+  const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
+  verify_reg(ib);
+  verify_reg(ic);
+  auto wa = regs_[ia].words_mut();
+  const auto wb = regs_[ib].words();
+  const auto wc = regs_[ic].words();
+  if (ecc_ == EccMode::kOff) {
+    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] | wc[j];
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    const std::uint64_t r = wb[j] | wc[j];
+    wa[j] = r;
+    ca[j] = secded64_encode_fast(r);
+  }
+  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
 void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
-  verify_reg(b);
-  verify_reg(c);
-  regs_[idx(a)] = regs_[idx(b)] ^ regs_[idx(c)];
-  encode_reg(idx(a));
+  const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
+  verify_reg(ib);
+  verify_reg(ic);
+  auto wa = regs_[ia].words_mut();
+  const auto wb = regs_[ib].words();
+  const auto wc = regs_[ic].words();
+  if (ecc_ == EccMode::kOff) {
+    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] ^ wc[j];
+    return;
+  }
+  std::uint8_t* ca = chk(ia);
+  const std::uint8_t* cb = chk(ib);
+  const std::uint8_t* cc = chk(ic);
+  for (std::size_t j = 0; j < wa.size(); ++j) {
+    wa[j] = wb[j] ^ wc[j];
+    ca[j] = static_cast<std::uint8_t>(cb[j] ^ cc[j]);
+  }
+  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
 bool DenseQatBackend::meas(unsigned a, std::size_t ch) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].get(ch);
 }
 
 std::optional<std::size_t> DenseQatBackend::next_one(unsigned a,
                                                      std::size_t ch) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].next_one(ch);
 }
 
 std::size_t DenseQatBackend::pop_after(unsigned a, std::size_t ch) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].popcount_after(ch);
 }
 
 std::size_t DenseQatBackend::popcount(unsigned a) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].popcount();
 }
 
 bool DenseQatBackend::any(unsigned a) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].any();
 }
 
 bool DenseQatBackend::all(unsigned a) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].all();
 }
 
 Aob DenseQatBackend::reg_aob(unsigned a) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)];
 }
 
@@ -147,14 +271,20 @@ void DenseQatBackend::set_reg_aob(unsigned a, const Aob& v) {
 }
 
 void DenseQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
-  verify_reg(a);  // repair first: a read-modify-write of one channel
-  regs_[idx(a)].set(ch, v);
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  verify_reg(i);  // repair first: a read-modify-write of one channel
+  regs_[i].set(ch, v);
+  if (ecc_ != EccMode::kOff) {
+    // Only one payload word changed; re-encode just that word.
+    const auto w = regs_[i].words();
+    const std::size_t word = (ch & (regs_[i].bit_count() - 1)) / 64;
+    chk(i)[word] = secded64_encode_fast(w[word]);
+  }
 }
 
 std::string DenseQatBackend::reg_string(unsigned a,
                                         std::size_t max_bits) const {
-  verify_reg_c(a);
+  verify_reg(a);
   return regs_[idx(a)].to_string(max_bits);
 }
 
@@ -167,76 +297,58 @@ std::size_t DenseQatBackend::storage_bytes() const {
 void DenseQatBackend::encode_reg(unsigned i) {
   if (ecc_ == EccMode::kOff) return;
   const auto w = regs_[i].words();
-  check_[i].resize(w.size());
-  for (std::size_t j = 0; j < w.size(); ++j) {
-    check_[i][j] = secded64_encode(w[j]);
-  }
+  secded64_encode_block(w.data(), chk(i), w.size());
+  verified_at_[i] = stamp_now();
 }
 
 void DenseQatBackend::set_ecc_mode(EccMode m) {
   ecc_ = m;
   if (ecc_ == EccMode::kOff) {
+    // Lazy sidecar: protection off stores (and pays) nothing.
     check_.clear();
     check_.shrink_to_fit();
+    verified_at_.clear();
+    verified_at_.shrink_to_fit();
     return;
   }
-  check_.resize(regs_.size());
+  check_.resize(regs_.size() * words_per_reg_);
+  verified_at_.assign(regs_.size(), 0);
   for (unsigned i = 0; i < regs_.size(); ++i) encode_reg(i);
 }
 
-void DenseQatBackend::verify_reg(unsigned a) {
+void DenseQatBackend::verify_reg(unsigned a) const {
   if (ecc_ == EccMode::kOff) return;
   const unsigned i = idx(a);
-  const auto w = regs_[i].words_mut();
-  auto& chk = check_[i];
-  pending_.words += w.size();
-  for (std::size_t j = 0; j < w.size(); ++j) {
-    if (ecc_ == EccMode::kDetect) {
-      if (!secded64_clean(w[j], chk[j])) {
-        ++pending_.uncorrectable;
-        throw CorruptionError("DenseQatBackend: upset detected in register " +
-                              std::to_string(i));
-      }
-      continue;
-    }
-    switch (secded64_check(w[j], chk[j])) {
-      case EccCheck::kClean:
-        break;
-      case EccCheck::kCorrected:
-        ++pending_.corrected;
-        break;
-      case EccCheck::kUncorrectable:
-        ++pending_.uncorrectable;
-        throw CorruptionError(
-            "DenseQatBackend: uncorrectable upset in register " +
-            std::to_string(i));
-    }
+  if (epoch_fresh(verified_at_[i])) {
+    ++pending_.elided;
+    return;
   }
+  const auto w = regs_[i].words_mut();
+  const EccCheck r =
+      secded64_check_block(ecc_, w.data(), chk(i), w.size(), pending_);
+  if (r == EccCheck::kUncorrectable) {
+    throw CorruptionError(
+        ecc_ == EccMode::kDetect
+            ? "DenseQatBackend: upset detected in register " +
+                  std::to_string(i)
+            : "DenseQatBackend: uncorrectable upset in register " +
+                  std::to_string(i));
+  }
+  verified_at_[i] = stamp_now();
 }
 
 EccSweep DenseQatBackend::scrub_ecc() {
   EccSweep sweep;
   if (ecc_ == EccMode::kOff) return sweep;
   for (unsigned i = 0; i < regs_.size(); ++i) {
+    // Ground truth: a scrub ignores the epoch stamps and sweeps everything,
+    // then re-stamps what it verified clean (or repaired).
     const auto w = regs_[i].words_mut();
-    auto& chk = check_[i];
-    sweep.words += w.size();
-    for (std::size_t j = 0; j < w.size(); ++j) {
-      if (ecc_ == EccMode::kDetect) {
-        if (!secded64_clean(w[j], chk[j])) ++sweep.uncorrectable;
-        continue;
-      }
-      switch (secded64_check(w[j], chk[j])) {
-        case EccCheck::kClean:
-          break;
-        case EccCheck::kCorrected:
-          ++sweep.corrected;
-          break;
-        case EccCheck::kUncorrectable:
-          ++sweep.uncorrectable;
-          break;
-      }
-    }
+    EccSweep reg;
+    const EccCheck r =
+        secded64_check_block(ecc_, w.data(), chk(i), w.size(), reg);
+    if (r != EccCheck::kUncorrectable) verified_at_[i] = stamp_now();
+    sweep += reg;
   }
   return sweep;
 }
@@ -245,6 +357,9 @@ void DenseQatBackend::storage_upset(unsigned r, std::size_t ch) {
   const auto w = regs_[idx(r)].words_mut();
   const std::size_t bit = ch & (channels() - 1);
   w[bit / 64 % w.size()] ^= std::uint64_t{1} << (bit % 64);
+  // Deliberately no stamp change: the upset model corrupts storage behind
+  // the machine's back, and the epoch policy bounds how long that can stay
+  // unseen.
 }
 
 EccSweep DenseQatBackend::take_ecc_counts() {
@@ -253,11 +368,7 @@ EccSweep DenseQatBackend::take_ecc_counts() {
   return out;
 }
 
-std::size_t DenseQatBackend::ecc_bytes() const {
-  std::size_t n = 0;
-  for (const auto& chk : check_) n += chk.size();
-  return n;
-}
+std::size_t DenseQatBackend::ecc_bytes() const { return check_.size(); }
 
 namespace {
 

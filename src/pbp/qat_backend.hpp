@@ -107,8 +107,27 @@ class QatBackend {
   EccMode ecc_mode() const { return ecc_; }
 
   /// Verify one register's payload words on the access path (kCorrect
-  /// repairs single-bit upsets); throws CorruptionError.
-  virtual void verify_reg(unsigned a) = 0;
+  /// repairs single-bit upsets); throws CorruptionError.  const because the
+  /// measurement paths verify too: a repair preserves the logical value
+  /// (the classic logical-const ECC pattern), and the tallies it bumps are
+  /// mutable bookkeeping.
+  virtual void verify_reg(unsigned a) const = 0;
+
+  // --- Verification scheduling (epoch policy) ---
+  // State verified within the last `epoch` ticks of the simulators' monotone
+  // retired-instruction clock carries a fresh `verified_at` stamp and is not
+  // re-verified on access.  Epoch 1 (the default) makes nothing ever fresh —
+  // exactly the historical verify-on-every-access semantics.  The stamps are
+  // pure policy: scrubs ignore them (and re-stamp what they verify), writes
+  // re-encode rather than stamp-launder, and they are never serialized.
+
+  /// Set the verification epoch in retired instructions (0 is clamped to 1).
+  virtual void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  std::uint64_t ecc_epoch() const { return ecc_epoch_; }
+
+  /// Advance the verification clock (call with the retired-instruction
+  /// total after each commit).
+  virtual void ecc_tick(std::uint64_t now) { ecc_now_ = now; }
 
   /// Verify (and under kCorrect repair) the whole store; never throws.
   virtual EccSweep scrub_ecc() = 0;
@@ -136,9 +155,19 @@ class QatBackend {
   QatBackend(unsigned ways, unsigned num_regs);
   unsigned idx(unsigned r) const { return r % num_regs_; }
 
+  /// A stamp is the clock value at verification time plus one (so 0 means
+  /// "never verified").  Fresh iff the clock has advanced fewer than
+  /// `ecc_epoch_` ticks since then; epoch 1 is never fresh.
+  bool epoch_fresh(std::uint64_t stamp) const {
+    return ecc_epoch_ > 1 && stamp != 0 && ecc_now_ < stamp - 1 + ecc_epoch_;
+  }
+  std::uint64_t stamp_now() const { return ecc_now_ + 1; }
+
   unsigned ways_;
   unsigned num_regs_;
   EccMode ecc_ = EccMode::kOff;
+  std::uint64_t ecc_epoch_ = 1;
+  std::uint64_t ecc_now_ = 0;
 };
 
 /// Dense backend: the hardware model.  One materialized Aob per register;
@@ -177,7 +206,7 @@ class DenseQatBackend final : public QatBackend {
   std::size_t storage_bytes() const override;
 
   void set_ecc_mode(EccMode m) override;
-  void verify_reg(unsigned a) override;
+  void verify_reg(unsigned a) const override;
   EccSweep scrub_ecc() override;
   void storage_upset(unsigned r, std::size_t ch) override;
   EccSweep take_ecc_counts() override;
@@ -187,17 +216,29 @@ class DenseQatBackend final : public QatBackend {
   static std::unique_ptr<DenseQatBackend> deserialize(ByteReader& r);
 
  private:
-  /// Rebuild register i's check bytes after its payload was overwritten.
-  void encode_reg(unsigned i);
-  /// verify_reg from the const measurement paths: repair preserves the
-  /// logical value, so this is the classic logical-const ECC pattern.
-  void verify_reg_c(unsigned a) const {
-    const_cast<DenseQatBackend*>(this)->verify_reg(a);
+  /// Register i's slice of the flat check-byte sidecar.
+  std::uint8_t* chk(unsigned i) const {
+    return check_.data() + std::size_t{i} * words_per_reg_;
   }
+  /// Rebuild register i's check bytes after its payload was fully
+  /// overwritten with trusted data; stamps the register verified.
+  void encode_reg(unsigned i);
+  /// After a fused derivation, the destination is only as fresh as the
+  /// stalest register that participated — never fresher (a derived check
+  /// byte consistently encodes whatever the operands held, including a
+  /// latent upset an elided verify did not look at).  Only valid with ECC
+  /// on (verified_at_ is empty otherwise).
+  void stamp_dest(unsigned i, std::uint64_t stamp) { verified_at_[i] = stamp; }
 
-  std::vector<Aob> regs_;
-  std::vector<std::vector<std::uint8_t>> check_;  // per-reg, empty when off
-  EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
+  std::size_t words_per_reg_ = 1;
+  // mutable: verify_reg repairs through the const measurement paths
+  // (logical value preserved) and tallies into pending_.
+  mutable std::vector<Aob> regs_;
+  // Flat num_regs x words_per_reg sidecar; empty (zero bytes) when off —
+  // allocated lazily by the first set_ecc_mode(detect|correct).
+  mutable std::vector<std::uint8_t> check_;
+  mutable std::vector<std::uint64_t> verified_at_;  // per-reg epoch stamps
+  mutable EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
 };
 
 /// RE backend: registers are copy-on-write shared Re values over one shared
@@ -245,11 +286,20 @@ class ReQatBackend final : public QatBackend {
   void set_symbol_cap(std::size_t n) override { pool_->set_max_symbols(n); }
 
   void set_ecc_mode(EccMode m) override;
-  void verify_reg(unsigned a) override { guard(a); }
+  void verify_reg(unsigned a) const override { guard(a); }
   EccSweep scrub_ecc() override { return pool_->scrub_ecc(); }
   void storage_upset(unsigned r, std::size_t ch) override;
   EccSweep take_ecc_counts() override { return pool_->take_ecc_counts(); }
   std::size_t ecc_bytes() const override { return pool_->ecc_bytes(); }
+  // Epoch policy lives with the storage it guards: the shared pool.
+  void set_ecc_epoch(std::uint64_t n) override {
+    QatBackend::set_ecc_epoch(n);
+    pool_->set_ecc_epoch(ecc_epoch_);
+  }
+  void ecc_tick(std::uint64_t now) override {
+    QatBackend::ecc_tick(now);
+    pool_->ecc_tick(now);
+  }
 
   void serialize(ByteWriter& w) const override;
   static std::unique_ptr<ReQatBackend> deserialize(ByteReader& r);

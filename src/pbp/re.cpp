@@ -71,7 +71,8 @@ ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
   by_hash_.emplace(h, id);
   if (ecc_ != EccMode::kOff) {
     check_.resize(chunks_.size() * words_per_chunk_);
-    encode_symbol(id);
+    verified_at_.resize(chunks_.size(), 0);
+    encode_symbol(id);  // freshly computed chunk: encoded and stamped
   }
   return id;
 }
@@ -167,75 +168,68 @@ std::size_t ChunkPool::popcount(SymbolId id) {
 void ChunkPool::encode_symbol(SymbolId id) {
   const auto w = chunks_[id].words();
   std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
-  for (std::size_t i = 0; i < w.size(); ++i) chk[i] = secded64_encode(w[i]);
+  secded64_encode_block(w.data(), chk, w.size());
+  verified_at_[id] = ecc_now_ + 1;  // trusted full overwrite
 }
 
 void ChunkPool::set_ecc_mode(EccMode m) {
   ecc_ = m;
   if (ecc_ == EccMode::kOff) {
+    // Lazy sidecar: protection off stores (and pays) nothing.
     check_.clear();
     check_.shrink_to_fit();
+    verified_at_.clear();
+    verified_at_.shrink_to_fit();
     return;
   }
   check_.resize(chunks_.size() * words_per_chunk_);
+  verified_at_.assign(chunks_.size(), 0);
   for (SymbolId id = 0; id < chunks_.size(); ++id) encode_symbol(id);
 }
 
 void ChunkPool::verify_symbol(SymbolId id) {
   if (ecc_ == EccMode::kOff) return;
+  if (ecc_epoch_ > 1 && verified_at_[id] != 0 &&
+      ecc_now_ < verified_at_[id] - 1 + ecc_epoch_) {
+    ++pending_.elided;  // verified within the current epoch
+    return;
+  }
   const auto w = chunks_[id].words_mut();
   std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
-  pending_.words += w.size();
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    if (ecc_ == EccMode::kDetect) {
-      if (!secded64_clean(w[i], chk[i])) {
-        ++pending_.uncorrectable;
-        throw CorruptionError("ChunkPool: upset detected in symbol " +
-                              std::to_string(id));
-      }
-      continue;
-    }
-    switch (secded64_check(w[i], chk[i])) {
-      case EccCheck::kClean:
-        break;
-      case EccCheck::kCorrected:
-        // The repair restores the canonical bits, so the hash index stays
-        // valid; only a popcount cached while corrupted could be stale.
-        pops_[id] = std::numeric_limits<std::size_t>::max();
-        ++pending_.corrected;
-        break;
-      case EccCheck::kUncorrectable:
-        ++pending_.uncorrectable;
-        throw CorruptionError("ChunkPool: uncorrectable upset in symbol " +
-                              std::to_string(id));
-    }
+  const std::uint64_t corrected_before = pending_.corrected;
+  const EccCheck r =
+      secded64_check_block(ecc_, w.data(), chk, w.size(), pending_);
+  if (pending_.corrected != corrected_before) {
+    // The repair restores the canonical bits, so the hash index stays
+    // valid; only a popcount cached while corrupted could be stale.
+    pops_[id] = std::numeric_limits<std::size_t>::max();
   }
+  if (r == EccCheck::kUncorrectable) {
+    throw CorruptionError(
+        ecc_ == EccMode::kDetect
+            ? "ChunkPool: upset detected in symbol " + std::to_string(id)
+            : "ChunkPool: uncorrectable upset in symbol " +
+                  std::to_string(id));
+  }
+  verified_at_[id] = ecc_now_ + 1;
 }
 
 EccSweep ChunkPool::scrub_ecc() {
   EccSweep sweep;
   if (ecc_ == EccMode::kOff) return sweep;
   for (SymbolId id = 0; id < chunks_.size(); ++id) {
+    // Ground truth: a scrub ignores the epoch stamps and sweeps everything,
+    // then re-stamps what it verified clean (or repaired).
     const auto w = chunks_[id].words_mut();
     std::uint8_t* chk = check_.data() + std::size_t{id} * words_per_chunk_;
-    sweep.words += w.size();
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      if (ecc_ == EccMode::kDetect) {
-        if (!secded64_clean(w[i], chk[i])) ++sweep.uncorrectable;
-        continue;
-      }
-      switch (secded64_check(w[i], chk[i])) {
-        case EccCheck::kClean:
-          break;
-        case EccCheck::kCorrected:
-          pops_[id] = std::numeric_limits<std::size_t>::max();
-          ++sweep.corrected;
-          break;
-        case EccCheck::kUncorrectable:
-          ++sweep.uncorrectable;
-          break;
-      }
+    EccSweep sym;
+    const EccCheck r =
+        secded64_check_block(ecc_, w.data(), chk, w.size(), sym);
+    if (sym.corrected != 0) {
+      pops_[id] = std::numeric_limits<std::size_t>::max();
     }
+    if (r != EccCheck::kUncorrectable) verified_at_[id] = ecc_now_ + 1;
+    sweep += sym;
   }
   return sweep;
 }

@@ -115,6 +115,15 @@ class ChunkPool {
   /// Sidecar footprint in bytes (0 when protection is off).
   std::size_t ecc_bytes() const { return check_.size(); }
 
+  // --- Verification scheduling (see QatBackend) -----------------------
+  // Per-symbol verified_at stamps on the retired-instruction clock;
+  // verify_symbol elides re-verification of symbols verified within the
+  // current epoch.  Epoch 1 (default) elides nothing; scrubs ignore the
+  // stamps and re-stamp what they sweep; stamps are never serialized.
+  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  std::uint64_t ecc_epoch() const { return ecc_epoch_; }
+  void ecc_tick(std::uint64_t now) { ecc_now_ = now; }
+
  private:
   void encode_symbol(SymbolId id);
 
@@ -133,6 +142,9 @@ class ChunkPool {
   std::vector<std::uint8_t> check_;  // words_per_chunk_ bytes per symbol
   std::size_t words_per_chunk_ = 0;
   EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
+  std::uint64_t ecc_epoch_ = 1;
+  std::uint64_t ecc_now_ = 0;
+  std::vector<std::uint64_t> verified_at_;  // per-symbol stamps; 0 = never
 };
 
 /// One 2^E-bit entangled-superposition value in compressed RE form.

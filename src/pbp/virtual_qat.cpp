@@ -13,8 +13,10 @@ void VirtualQat::restore(ByteReader& r) {
   }
   // ECC policy survives restore (snapshots carry payload, not policy).
   const EccMode mode = impl_.ecc_mode();
+  const std::uint64_t epoch = impl_.ecc_epoch();
   impl_ = std::move(*re);
   impl_.set_ecc_mode(mode);
+  impl_.set_ecc_epoch(epoch);
 }
 
 }  // namespace pbp

@@ -74,6 +74,12 @@ class VirtualQat {
   /// verifies its operands' symbols on access).  Survives restore().
   void set_ecc_mode(EccMode m) { impl_.set_ecc_mode(m); }
   EccMode ecc_mode() const { return impl_.ecc_mode(); }
+  /// Verification epoch (see QatBackend::set_ecc_epoch).  Survives
+  /// restore(), like the mode — both are policy, not machine state.
+  void set_ecc_epoch(std::uint64_t n) { impl_.set_ecc_epoch(n); }
+  std::uint64_t ecc_epoch() const { return impl_.ecc_epoch(); }
+  /// Advance the verification clock.
+  void ecc_tick(std::uint64_t now) { impl_.ecc_tick(now); }
   /// Sweep every pool chunk; never throws (see QatBackend::scrub_ecc).
   EccSweep scrub_ecc() { return impl_.scrub_ecc(); }
   /// Drain the access-path verify tallies.

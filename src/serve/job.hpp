@@ -59,6 +59,9 @@ struct Job {
   /// Data-integrity policy for the job's machine: ECC over the Qat register
   /// file and Tangled data memory (pbp/ecc.hpp).
   pbp::EccMode ecc = pbp::EccMode::kOff;
+  /// Verification epoch in retired instructions (clamped to ≥1; 1 =
+  /// verify every access; only meaningful with ecc != kOff).
+  std::uint64_t ecc_epoch = 1;
   /// Background scrub cadence in retired instructions (0 = off; only
   /// meaningful with ecc != kOff).
   std::uint64_t scrub_every = 0;

@@ -479,6 +479,7 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       if (!job.fault_plan.empty()) sim->set_fault_plan(job.fault_plan);
       sim->set_max_cycles(job.max_cycles);
       sim->set_ecc_mode(job.ecc);
+      sim->set_ecc_epoch(job.ecc_epoch);
       sim->set_scrub_every(job.scrub_every);
       if (job.backend == pbp::Backend::kCompressed) {
         // Memory-pressure hook: an RE→dense migration must fit in the
@@ -508,6 +509,7 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       rep.instructions += rs.instructions;
       rep.cycles += rs.cycles;
       rep.retries += rs.rollbacks + rs.restarts;
+      sim->qat().drain_ecc();  // include pending access-path tallies
       const QatStatsSnapshot qs = sim->qat().stats_snapshot();
       rep.qat_ops += qs.ops;
       rep.backend_migrations += qs.backend_migrations;

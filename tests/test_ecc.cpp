@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "pbp/ecc.hpp"
 
@@ -136,6 +137,178 @@ TEST(Secded64, EveryDoubleFlipDetectsNeverMiscorrects) {
       }
     }
   }
+}
+
+// --- Fast-path (table-driven) codec vs the scalar reference ---------------
+// The hot paths encode with secded*_encode_fast and verify with
+// secded*_check_block; the per-bit scalar codec stays the exhaustive-test
+// reference.  These suites pin the two implementations to each other.
+
+TEST(SecdedFast, Encode16MatchesScalarExhaustively) {
+  for (unsigned v = 0; v <= 0xffffu; ++v) {
+    const std::uint16_t p = static_cast<std::uint16_t>(v);
+    ASSERT_EQ(secded16_encode_fast(p), secded16_encode(p)) << "payload " << v;
+  }
+}
+
+TEST(SecdedFast, Encode64MatchesScalar) {
+  std::uint64_t rng = 164;
+  for (int s = 0; s < 65536; ++s) {
+    const std::uint64_t p = splitmix64(rng);
+    ASSERT_EQ(secded64_encode_fast(p), secded64_encode(p)) << "seed " << s;
+  }
+  // Structured corners the random sweep may miss.
+  for (int b = 0; b < 64; ++b) {
+    const std::uint64_t p = std::uint64_t{1} << b;
+    ASSERT_EQ(secded64_encode_fast(p), secded64_encode(p));
+    ASSERT_EQ(secded64_encode_fast(~p), secded64_encode(~p));
+  }
+  ASSERT_EQ(secded64_encode_fast(0), secded64_encode(0));
+  ASSERT_EQ(secded64_encode_fast(~std::uint64_t{0}),
+            secded64_encode(~std::uint64_t{0}));
+}
+
+TEST(SecdedFast, EncodeBlockMatchesScalarPerWord) {
+  std::uint64_t rng = 165;
+  std::vector<std::uint64_t> w64(1024);
+  for (auto& w : w64) w = splitmix64(rng) & (splitmix64(rng) | splitmix64(rng));
+  w64[17] = 0;  // exercise the zero fast path
+  std::vector<std::uint8_t> c64(w64.size());
+  secded64_encode_block(w64.data(), c64.data(), w64.size());
+  for (std::size_t i = 0; i < w64.size(); ++i) {
+    ASSERT_EQ(c64[i], secded64_encode(w64[i])) << "word " << i;
+  }
+
+  std::vector<std::uint16_t> w16(1024);
+  for (auto& w : w16) w = static_cast<std::uint16_t>(splitmix64(rng));
+  w16[3] = 0;
+  std::vector<std::uint8_t> c16(w16.size());
+  secded16_encode_block(w16.data(), c16.data(), w16.size());
+  for (std::size_t i = 0; i < w16.size(); ++i) {
+    ASSERT_EQ(c16[i], secded16_encode(w16[i])) << "word " << i;
+  }
+}
+
+// Every single codeword-bit flip of a random block: check_block in correct
+// mode must classify and repair exactly like the scalar reference.
+TEST(SecdedFast, CheckBlock64EverySingleFlipCorrects) {
+  std::uint64_t rng = 166;
+  std::vector<std::uint64_t> orig(8);
+  for (auto& w : orig) w = splitmix64(rng);
+  std::vector<std::uint8_t> canonical(orig.size());
+  secded64_encode_block(orig.data(), canonical.data(), orig.size());
+
+  for (std::size_t word = 0; word < orig.size(); ++word) {
+    for (int pos = 0; pos < k64DataBits + k64CheckBits; ++pos) {
+      auto words = orig;
+      auto checks = canonical;
+      flip(words[word], checks[word], pos, k64DataBits);
+      EccSweep sweep;
+      ASSERT_EQ(secded64_check_block(EccMode::kCorrect, words.data(),
+                                     checks.data(), words.size(), sweep),
+                EccCheck::kCorrected)
+          << "word " << word << " flip " << pos;
+      ASSERT_EQ(sweep.corrected, 1u);
+      ASSERT_EQ(sweep.uncorrectable, 0u);
+      ASSERT_EQ(sweep.words, orig.size());
+      ASSERT_EQ(words, orig) << "word " << word << " flip " << pos;
+      ASSERT_EQ(checks, canonical) << "word " << word << " flip " << pos;
+    }
+  }
+}
+
+// Every double flip within one word of a block (all C(72,2) pairs) must be
+// uncorrectable — and in detect mode nothing may be modified.
+TEST(SecdedFast, CheckBlock64EveryDoubleFlipDetects) {
+  std::uint64_t rng = 167;
+  std::vector<std::uint64_t> orig(8);
+  for (auto& w : orig) w = splitmix64(rng);
+  std::vector<std::uint8_t> canonical(orig.size());
+  secded64_encode_block(orig.data(), canonical.data(), orig.size());
+
+  const std::size_t word = 5;
+  for (int a = 0; a < k64DataBits + k64CheckBits; ++a) {
+    for (int b = a + 1; b < k64DataBits + k64CheckBits; ++b) {
+      auto words = orig;
+      auto checks = canonical;
+      flip(words[word], checks[word], a, k64DataBits);
+      flip(words[word], checks[word], b, k64DataBits);
+      EccSweep sweep;
+      ASSERT_EQ(secded64_check_block(EccMode::kCorrect, words.data(),
+                                     checks.data(), words.size(), sweep),
+                EccCheck::kUncorrectable)
+          << "flips " << a << "," << b;
+      ASSERT_EQ(sweep.uncorrectable, 1u);
+      ASSERT_EQ(sweep.corrected, 0u);
+    }
+  }
+}
+
+TEST(SecdedFast, CheckBlock64DetectModeFlagsWithoutRepair) {
+  std::uint64_t rng = 168;
+  std::vector<std::uint64_t> orig(16);
+  for (auto& w : orig) w = splitmix64(rng);
+  std::vector<std::uint8_t> canonical(orig.size());
+  secded64_encode_block(orig.data(), canonical.data(), orig.size());
+
+  auto words = orig;
+  auto checks = canonical;
+  words[2] ^= std::uint64_t{1} << 41;  // single flip: correctable in kCorrect
+  const auto flipped_words = words;
+  EccSweep sweep;
+  ASSERT_EQ(secded64_check_block(EccMode::kDetect, words.data(), checks.data(),
+                                 words.size(), sweep),
+            EccCheck::kUncorrectable);
+  EXPECT_EQ(sweep.uncorrectable, 1u);
+  EXPECT_EQ(sweep.corrected, 0u);
+  // Detect-only hardware has no corrector: payloads and checks untouched.
+  EXPECT_EQ(words, flipped_words);
+  EXPECT_EQ(checks, canonical);
+}
+
+TEST(SecdedFast, CheckBlock16ExhaustiveFlipsOnOneWord) {
+  std::uint64_t rng = 169;
+  std::vector<std::uint16_t> orig(8);
+  for (auto& w : orig) w = static_cast<std::uint16_t>(splitmix64(rng));
+  std::vector<std::uint8_t> canonical(orig.size());
+  secded16_encode_block(orig.data(), canonical.data(), orig.size());
+
+  const std::size_t word = 3;
+  for (int a = 0; a < k16DataBits + k16CheckBits; ++a) {
+    auto words = orig;
+    auto checks = canonical;
+    flip(words[word], checks[word], a, k16DataBits);
+    EccSweep sweep;
+    ASSERT_EQ(secded16_check_block(EccMode::kCorrect, words.data(),
+                                   checks.data(), words.size(), sweep),
+              EccCheck::kCorrected)
+        << "flip " << a;
+    ASSERT_EQ(words, orig);
+    ASSERT_EQ(checks, canonical);
+    for (int b = a + 1; b < k16DataBits + k16CheckBits; ++b) {
+      auto words2 = orig;
+      auto checks2 = canonical;
+      flip(words2[word], checks2[word], a, k16DataBits);
+      flip(words2[word], checks2[word], b, k16DataBits);
+      EccSweep sweep2;
+      ASSERT_EQ(secded16_check_block(EccMode::kCorrect, words2.data(),
+                                     checks2.data(), words2.size(), sweep2),
+                EccCheck::kUncorrectable)
+          << "flips " << a << "," << b;
+    }
+  }
+}
+
+TEST(SecdedFast, CheckBlockOffModeTouchesNothing) {
+  std::vector<std::uint64_t> words = {1, 2, 3};
+  std::vector<std::uint8_t> checks = {0xff, 0xff, 0xff};  // garbage sidecar
+  EccSweep sweep;
+  EXPECT_EQ(secded64_check_block(EccMode::kOff, words.data(), checks.data(),
+                                 words.size(), sweep),
+            EccCheck::kClean);
+  EXPECT_EQ(sweep.words, 0u);
+  EXPECT_EQ(sweep.corrected, 0u);
+  EXPECT_EQ(sweep.uncorrectable, 0u);
 }
 
 TEST(EccMode, ParseAndNameRoundTrip) {

@@ -451,10 +451,12 @@ struct ArchState {
 
 template <typename Sim>
 ArchState run_with_mode(const Program& p, unsigned ways, pbp::Backend backend,
-                        pbp::EccMode mode, std::uint64_t scrub_every) {
+                        pbp::EccMode mode, std::uint64_t scrub_every,
+                        std::uint64_t ecc_epoch = 1) {
   Sim sim(ways, backend);
   sim.load(p);
   sim.set_ecc_mode(mode);
+  sim.set_ecc_epoch(ecc_epoch);
   sim.set_scrub_every(scrub_every);
   const SimStats st = sim.run(kBudget);
   ArchState a;
@@ -496,6 +498,235 @@ TEST(EccDifferential, FaultFreeRunsAreModeInvariant) {
   const Program loads = assemble(kLoadProgram);
   modes_agree<FunctionalSim>(loads, 8, pbp::Backend::kDense);
   modes_agree<RtlPipelineSim>(loads, 8, pbp::Backend::kDense);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-scheduled verification (--ecc-epoch; see DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+TEST(EpochPolicy, ZeroClampsToVerifyEveryAccess) {
+  Memory mem;
+  mem.set_ecc_epoch(0);
+  EXPECT_EQ(mem.ecc_epoch(), 1u);
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_epoch(0);
+  EXPECT_EQ(be.ecc_epoch(), 1u);
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.set_ecc_epoch(0);
+  EXPECT_EQ(sim.qat().ecc_epoch(), 1u);
+}
+
+TEST(EpochPolicy, LazySidecarAllocatesNothingWhenOff) {
+  // --ecc=off pays zero check-byte storage everywhere, including after a
+  // round trip through an enabled mode.
+  Memory mem;
+  EXPECT_EQ(mem.ecc_bytes(), 0u);
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);
+  EXPECT_GT(mem.ecc_bytes(), 0u);
+  mem.set_ecc_mode(pbp::EccMode::kOff);
+  EXPECT_EQ(mem.ecc_bytes(), 0u);
+
+  pbp::ReQatBackend re(16, 256, /*chunk_ways=*/8);
+  EXPECT_EQ(re.ecc_bytes(), 0u);
+  re.set_ecc_mode(pbp::EccMode::kDetect);
+  re.one(0);
+  EXPECT_GT(re.ecc_bytes(), 0u);
+  re.set_ecc_mode(pbp::EccMode::kOff);
+  EXPECT_EQ(re.ecc_bytes(), 0u);
+}
+
+TEST(EpochPolicy, MemoryElidesWithinEpochAndReverifiesAfter) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);  // trusted encode stamps pages
+  mem.set_ecc_epoch(25);
+  mem.ecc_tick(5);
+  bool corrupt = false;
+  mem.write(100, 0xbeef);
+  EXPECT_EQ(mem.load_checked(100, &corrupt), 0xbeef);
+  EXPECT_GE(mem.ecc_verifies_elided(), 1u);  // page still fresh at tick 5
+
+  const std::uint64_t verified_before = mem.ecc_words_verified();
+  mem.ecc_tick(100);  // stamp expired: next access sweeps its whole page
+  EXPECT_EQ(mem.load_checked(100, &corrupt), 0xbeef);
+  EXPECT_EQ(mem.ecc_words_verified(),
+            verified_before + Memory::kEccPageWords);
+  EXPECT_FALSE(corrupt);
+
+  // ...and having just been re-stamped, the next access elides again.
+  const std::uint64_t elided_before = mem.ecc_verifies_elided();
+  EXPECT_EQ(mem.load_checked(101, &corrupt), 0u);
+  EXPECT_EQ(mem.ecc_verifies_elided(), elided_before + 1);
+}
+
+TEST(EpochPolicy, MemoryRepairsLatentUpsetOnceStampExpires) {
+  Memory mem;
+  mem.set_ecc_mode(pbp::EccMode::kCorrect);
+  mem.set_ecc_epoch(25);
+  mem.ecc_tick(1);
+  mem.write(100, 0xbeef);
+  mem.storage_upset(100, 3);
+  mem.ecc_tick(200);  // one epoch later the page is stale again
+  bool corrupt = false;
+  EXPECT_EQ(mem.load_checked(100, &corrupt), 0xbeef);
+  EXPECT_FALSE(corrupt);
+  EXPECT_GE(mem.ecc_corrected(), 1u);
+  EXPECT_EQ(mem.read(100), 0xbeef);  // repaired in place
+}
+
+TEST(EpochPolicy, BackendElidesWithinEpochAndRepairsAfterExpiry) {
+  pbp::DenseQatBackend be(8, 256);
+  be.set_ecc_mode(pbp::EccMode::kCorrect);
+  be.set_ecc_epoch(25);
+  be.ecc_tick(1);
+  be.one(4);            // trusted encode-on-write stamps the register
+  EXPECT_TRUE(be.meas(4, 7));
+  const pbp::EccSweep fresh = be.take_ecc_counts();
+  EXPECT_GE(fresh.elided, 1u);  // read within the epoch skipped verification
+
+  be.storage_upset(4, 9);
+  be.ecc_tick(200);  // stamp expired: the next read verifies and repairs
+  EXPECT_TRUE(be.meas(4, 9));
+  const pbp::EccSweep stale = be.take_ecc_counts();
+  EXPECT_GE(stale.corrected, 1u);
+  EXPECT_EQ(stale.uncorrectable, 0u);
+}
+
+TEST(EpochPolicy, FaultFreeRunsAreEpochInvariant) {
+  // Elision is pure scheduling: with no faults, epoch 25 must be
+  // architecturally indistinguishable from verify-every-access.
+  const Program fig10 = assemble(figure10_source());
+  const ArchState eager = run_with_mode<FunctionalSim>(
+      fig10, 8, pbp::Backend::kDense, pbp::EccMode::kOff, 0);
+  EXPECT_TRUE(eager == run_with_mode<FunctionalSim>(
+                           fig10, 8, pbp::Backend::kDense,
+                           pbp::EccMode::kCorrect, 16, /*ecc_epoch=*/25));
+  EXPECT_TRUE(eager == run_with_mode<FunctionalSim>(
+                           fig10, 8, pbp::Backend::kDense,
+                           pbp::EccMode::kDetect, 0, /*ecc_epoch=*/25));
+  const ArchState rtl = run_with_mode<RtlPipelineSim>(
+      fig10, 16, pbp::Backend::kCompressed, pbp::EccMode::kOff, 0);
+  EXPECT_TRUE(rtl == run_with_mode<RtlPipelineSim>(
+                         fig10, 16, pbp::Backend::kCompressed,
+                         pbp::EccMode::kCorrect, 16, /*ecc_epoch=*/25));
+}
+
+/// Same upset, both epochs: whatever the schedule, a detect-mode run must
+/// end in a corruption trap (never a silent wrong answer) and a correct-mode
+/// run must end in a clean halt with the upset repaired by halt time.  The
+/// trap *site* may legally differ — deferral within one epoch is the
+/// documented tradeoff — but the outcome may not.
+template <typename Sim>
+void epoch_outcomes_match(const Program& p, unsigned ways,
+                          pbp::Backend backend) {
+  for (const std::uint64_t epoch : {std::uint64_t{1}, std::uint64_t{25}}) {
+    {
+      Sim sim(ways, backend);
+      sim.load(p);
+      sim.set_ecc_mode(pbp::EccMode::kDetect);
+      sim.set_ecc_epoch(epoch);
+      FaultPlan plan;
+      plan.events.push_back(qat_upset());
+      sim.set_fault_plan(plan);
+      const SimStats st = sim.run(kBudget);
+      EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption)
+          << "epoch " << epoch;
+    }
+    {
+      Sim sim(ways, backend);
+      sim.load(p);
+      sim.set_ecc_mode(pbp::EccMode::kCorrect);
+      sim.set_ecc_epoch(epoch);
+      FaultPlan plan;
+      plan.events.push_back(qat_upset());
+      sim.set_fault_plan(plan);
+      const SimStats st = sim.run(kBudget);
+      EXPECT_TRUE(st.halted) << "epoch " << epoch;
+      EXPECT_EQ(st.trap.kind, TrapKind::kNone) << "epoch " << epoch;
+      const auto qs = sim.qat().stats_snapshot();
+      EXPECT_GE(qs.ecc_corrected, 1u) << "epoch " << epoch;
+    }
+  }
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerFunctionalDense) {
+  epoch_outcomes_match<FunctionalSim>(assemble(figure10_source()), 8,
+                                      pbp::Backend::kDense);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerFunctionalCompressed) {
+  epoch_outcomes_match<FunctionalSim>(assemble(figure10_source()), 16,
+                                      pbp::Backend::kCompressed);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerMultiCycle) {
+  epoch_outcomes_match<MultiCycleSim>(assemble(figure10_source()), 8,
+                                      pbp::Backend::kDense);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerMultiCycleFsm) {
+  epoch_outcomes_match<MultiCycleFsmSim>(assemble(figure10_source()), 8,
+                                         pbp::Backend::kDense);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerPipeline5) {
+  epoch_outcomes_match<PipelineSim5>(assemble(figure10_source()), 8,
+                                     pbp::Backend::kDense);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerRtl) {
+  epoch_outcomes_match<RtlPipelineSim>(assemble(figure10_source()), 8,
+                                       pbp::Backend::kDense);
+}
+
+TEST(EpochPolicy, UpsetOutcomesMatchEagerRtlCompressed) {
+  epoch_outcomes_match<RtlPipelineSim>(assemble(figure10_source()), 16,
+                                       pbp::Backend::kCompressed);
+}
+
+TEST(EpochPolicy, LargeEpochStillCaughtByCleanHaltGate) {
+  // With the epoch pushed past the program length nothing is ever
+  // re-verified on access — every upset must still be caught by the
+  // clean-halt scrub gate (which ignores freshness stamps).
+  const Program p = assemble(figure10_source());
+  const FaultEvent latent = mem_upset(4000, 6, 30);  // never touched by fig10
+  {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kCorrect);
+    sim.set_ecc_epoch(1'000'000);
+    FaultPlan plan;
+    plan.events.push_back(latent);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.trap.kind, TrapKind::kNone);
+    EXPECT_TRUE(factors_ok(sim.cpu()));
+    EXPECT_GE(sim.memory().ecc_corrected(), 1u);
+  }
+  {
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kDetect);
+    sim.set_ecc_epoch(1'000'000);
+    FaultPlan plan;
+    plan.events.push_back(latent);
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption);
+  }
+  {
+    // Qat upset, detect: the halt gate (or any verified access) must trap;
+    // the upset may not escape through a "clean" halt.
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.set_ecc_mode(pbp::EccMode::kDetect);
+    sim.set_ecc_epoch(1'000'000);
+    FaultPlan plan;
+    plan.events.push_back(qat_upset());
+    sim.set_fault_plan(plan);
+    const SimStats st = sim.run(kBudget);
+    EXPECT_EQ(st.trap.kind, TrapKind::kDataCorruption);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -57,9 +57,10 @@ struct SoakTally {
 template <typename Sim>
 void soak_one(Sim& sim, const Program& p, pbp::EccMode mode,
               FaultPlan plan, std::uint64_t checkpoint_every,
-              SoakTally& tally) {
+              SoakTally& tally, std::uint64_t ecc_epoch = 1) {
   sim.load(p);
   sim.set_ecc_mode(mode);
+  sim.set_ecc_epoch(ecc_epoch);
   sim.set_scrub_every(kScrubEvery);
   sim.set_fault_plan(std::move(plan));
   CheckpointingRunner<Sim> runner(sim, checkpoint_every);
@@ -88,14 +89,15 @@ void soak_one(Sim& sim, const Program& p, pbp::EccMode mode,
 template <typename Sim>
 void soak_seeds(pbp::EccMode mode, unsigned ways, pbp::Backend backend,
                 std::uint64_t checkpoint_every, std::uint64_t seed0,
-                std::uint64_t n_seeds, SoakTally& tally) {
+                std::uint64_t n_seeds, SoakTally& tally,
+                std::uint64_t ecc_epoch = 1) {
   const Program p = assemble(figure10_source());
   for (std::uint64_t seed = seed0; seed < seed0 + n_seeds; ++seed) {
     Sim sim(ways, backend);
     soak_one(sim, p, mode,
              FaultPlan::random_storage(seed, /*n_events=*/4,
                                        /*horizon=*/100, ways),
-             checkpoint_every, tally);
+             checkpoint_every, tally, ecc_epoch);
   }
 }
 
@@ -150,6 +152,46 @@ TEST(StorageSoak, DetectModeNeverSilentlySucceeds) {
   EXPECT_GT(tally.upsets_applied, 0u);
   EXPECT_GT(tally.detected, 0u);
   EXPECT_EQ(tally.corrected, 0u);  // detect never repairs
+  EXPECT_GT(tally.recovered, 0u);
+}
+
+// --- epoch-scheduled verification under fire -----------------------------
+//
+// With --ecc-epoch=25 a corrupted value can legally be *read* within one
+// epoch of the upset before any access-path verification fires; the scrub
+// cadence and the clean-halt gate bound how long it can hide, and the
+// validate predicate catches any answer it poisoned.  These lanes are
+// restart-only (checkpoint_every = 0): a checkpoint sliced inside the
+// detection-latency window could bake the poisoned value into the rollback
+// target, while a restart always re-executes from pristine state — and the
+// retired-instruction clock never rewinds, so the retry is fault-free.
+
+TEST(StorageSoak, Epoch25CorrectModeZeroWrongAnswers) {
+  SoakTally tally;
+  soak_seeds<FunctionalSim>(pbp::EccMode::kCorrect, 8, pbp::Backend::kDense,
+                            0, 12000, 30, tally, /*ecc_epoch=*/25);
+  soak_seeds<RtlPipelineSim>(pbp::EccMode::kCorrect, 8, pbp::Backend::kDense,
+                             0, 13000, 10, tally, /*ecc_epoch=*/25);
+  soak_seeds<FunctionalSim>(pbp::EccMode::kCorrect, 16,
+                            pbp::Backend::kCompressed, 0, 14000, 10, tally,
+                            /*ecc_epoch=*/25);
+  EXPECT_EQ(tally.wrong_answers, 0u);
+  EXPECT_GT(tally.upsets_applied, 0u);
+  EXPECT_GT(tally.corrected, 0u);
+}
+
+TEST(StorageSoak, Epoch25DetectModeNeverSilentlySucceeds) {
+  SoakTally tally;
+  soak_seeds<FunctionalSim>(pbp::EccMode::kDetect, 8, pbp::Backend::kDense,
+                            0, 15000, 25, tally, /*ecc_epoch=*/25);
+  soak_seeds<MultiCycleFsmSim>(pbp::EccMode::kDetect, 8, pbp::Backend::kDense,
+                               0, 16000, 10, tally, /*ecc_epoch=*/25);
+  soak_seeds<RtlPipelineSim>(pbp::EccMode::kDetect, 8, pbp::Backend::kDense,
+                             0, 17000, 10, tally, /*ecc_epoch=*/25);
+  EXPECT_EQ(tally.wrong_answers, 0u);
+  EXPECT_GT(tally.upsets_applied, 0u);
+  EXPECT_GT(tally.detected, 0u);
+  EXPECT_EQ(tally.corrected, 0u);  // detect never repairs, at any epoch
   EXPECT_GT(tally.recovered, 0u);
 }
 
