@@ -19,14 +19,18 @@
 //   BM_factor_program/<ways>/dense
 //   BM_factor_program/<ways>/re
 //   BM_factor_readout/<ways>/<backend>   (measurement family only)
+//   BM_dense_substrate/<ways>/<tier>/<ecc>/<threads>  (raw register file)
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "arch/qat_program.hpp"
 #include "pbp/pint.hpp"
+#include "pbp/qat_backend.hpp"
+#include "pbp/simd.hpp"
 
 namespace {
 
@@ -143,6 +147,68 @@ void FactorArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_factor_program)->Apply(FactorArgs);
 BENCHMARK(BM_factor_readout)->Args({16, 0})->Args({16, 1});
+
+// --- Raw dense substrate at hardware and beyond-hardware widths -----------
+//
+// The vector-dispatch rows: a fixed Table 3 op mix plus one measurement
+// reduction per iteration on a bare DenseQatBackend, with the SIMD tier
+// forced per row.  Ways 20 and 24 are past the historical practical ceiling
+// for dense-with-ECC; with the fused vector SECDED kernels (and optionally
+// worker-thread sharding at >= kShardMinWords) they complete comfortably.
+// word_ops_per_s counts payload words touched by the op mix — the unit the
+// EXPERIMENTS.md before/after tables use.
+void BM_dense_substrate(benchmark::State& state) {
+  const unsigned ways = static_cast<unsigned>(state.range(0));
+  const auto tier = static_cast<pbp::simd::Tier>(state.range(1));
+  const bool ecc_on = state.range(2) != 0;
+  const unsigned threads = static_cast<unsigned>(state.range(3));
+  const pbp::simd::Tier restore = pbp::simd::active();
+  if (!pbp::simd::set_tier(tier)) {
+    state.SkipWithError("SIMD tier not supported on this CPU");
+    return;
+  }
+  {
+    pbp::DenseQatBackend d(ways, /*num_regs=*/16);
+    if (ecc_on) d.set_ecc_mode(pbp::EccMode::kCorrect);
+    d.set_threads(threads);
+    for (unsigned r = 0; r < 16; ++r) d.had(r, r % (ways + 1));
+    const std::size_t words = (std::size_t{1} << ways) / 64;
+    std::size_t touched = 0;
+    for (auto _ : state) {
+      d.cnot(0, 1);
+      d.ccnot(2, 3, 4);
+      d.cswap(5, 6, 7);
+      d.and_(8, 9, 10);
+      d.or_(11, 12, 13);
+      d.xor_(14, 15, 0);
+      benchmark::DoNotOptimize(d.popcount(1));
+      touched += words * 7;
+    }
+    state.counters["word_ops_per_s"] = benchmark::Counter(
+        static_cast<double>(touched), benchmark::Counter::kIsRate);
+    state.counters["storage_bytes"] =
+        static_cast<double>(d.storage_bytes() + d.ecc_bytes());
+    state.SetLabel(std::string(pbp::simd::tier_name(tier)) +
+                   (ecc_on ? "/ecc=correct" : "/ecc=off") + "/t" +
+                   std::to_string(threads));
+  }
+  pbp::simd::set_tier(restore);
+}
+
+void DenseSubstrateArgs(benchmark::internal::Benchmark* b) {
+  const auto best = static_cast<int>(pbp::simd::best_supported());
+  for (const int ways : {16, 20, 24}) {
+    for (const int ecc : {0, 1}) {
+      b->Args({ways, 0, ecc, 1});  // forced-scalar baseline
+      if (best != 0) b->Args({ways, best, ecc, 1});
+    }
+    // Sharded rows only where the register clears kShardMinWords (ways 20+).
+    if (ways >= 20) b->Args({ways, best, 1, 2});
+  }
+}
+
+BENCHMARK(BM_dense_substrate)->Apply(DenseSubstrateArgs)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

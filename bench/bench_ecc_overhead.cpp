@@ -20,6 +20,7 @@
 #include "arch/simulators.hpp"
 #include "asm/programs.hpp"
 #include "pbp/ecc.hpp"
+#include "pbp/simd.hpp"
 
 namespace {
 
@@ -216,6 +217,57 @@ void BM_codec64_check_block(benchmark::State& state) {
       static_cast<double>(n), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_codec64_check_block);
+
+// Block codec per forced SIMD tier (Arg 0 = scalar, 1 = avx2, 2 = avx512):
+// encode_block and the clean-path check sweep, the two kernels every fused
+// dense op and every scrub interval pays.  Unsupported tiers are skipped.
+void with_tier(benchmark::State& state, void (*body)(benchmark::State&)) {
+  const auto tier = static_cast<pbp::simd::Tier>(state.range(0));
+  const pbp::simd::Tier restore = pbp::simd::active();
+  if (!pbp::simd::set_tier(tier)) {
+    state.SkipWithError("SIMD tier not supported on this CPU");
+    return;
+  }
+  body(state);
+  state.SetLabel(pbp::simd::tier_name(tier));
+  pbp::simd::set_tier(restore);
+}
+
+void BM_codec64_encode_block_tier(benchmark::State& state) {
+  with_tier(state, [](benchmark::State& s) {
+    const auto words = random_words(4096);
+    std::vector<std::uint8_t> checks(words.size());
+    std::uint64_t n = 0;
+    for (auto _ : s) {
+      pbp::secded64_encode_block(words.data(), checks.data(), words.size());
+      benchmark::DoNotOptimize(checks.data());
+      n += words.size();
+    }
+    s.counters["words_per_s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+  });
+}
+BENCHMARK(BM_codec64_encode_block_tier)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_codec64_check_block_tier(benchmark::State& state) {
+  with_tier(state, [](benchmark::State& s) {
+    auto words = random_words(4096);
+    std::vector<std::uint8_t> checks(words.size());
+    pbp::secded64_encode_block(words.data(), checks.data(), words.size());
+    std::uint64_t n = 0;
+    for (auto _ : s) {
+      pbp::EccSweep sweep;
+      const auto r = pbp::secded64_check_block(pbp::EccMode::kCorrect,
+                                               words.data(), checks.data(),
+                                               words.size(), sweep);
+      benchmark::DoNotOptimize(r);
+      n += words.size();
+    }
+    s.counters["words_per_s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+  });
+}
+BENCHMARK(BM_codec64_check_block_tier)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -12,6 +12,12 @@
 // noise-free estimate of the true cost; means would let one descheduled
 // round fail the build.
 //
+// Since the vector-dispatch rework it also guards the dense substrate
+// itself: the dispatched tier (whatever best_supported() picks) must not be
+// slower than the forced-scalar baseline on the fused dense op mix — a
+// regression there would silently erase the tentpole speedup while every
+// differential test stayed green.
+//
 // Exit status: 0 on pass, 1 on a ratio breach, 2 on a wrong answer (the
 // smoke must never bless a build that broke the program it times).
 #include <chrono>
@@ -20,6 +26,8 @@
 #include "arch/simulators.hpp"
 #include "asm/assembler.hpp"
 #include "asm/programs.hpp"
+#include "pbp/qat_backend.hpp"
+#include "pbp/simd.hpp"
 
 namespace {
 
@@ -27,6 +35,9 @@ using namespace tangled;
 using Clock = std::chrono::steady_clock;
 
 constexpr double kMaxRatio = 8.0;  // correct may cost at most 8x off
+// The dispatched SIMD tier may cost at most this much of the scalar
+// baseline (>1 tolerates timer noise when best IS scalar).
+constexpr double kMaxSimdRatio = 1.15;
 constexpr int kRounds = 12;
 constexpr int kRunsPerRound = 8;
 constexpr std::uint64_t kBudget = 20'000;
@@ -48,6 +59,34 @@ struct Lane {
   double best_s = 1e30;  // min round time, seconds
   std::uint64_t instructions = 0;
 };
+
+/// Min-of-rounds seconds for the fused dense op mix (ECC on, ways 16, the
+/// bench_backend_compare substrate row) with the given tier forced.
+/// Returns a negative value if the CPU cannot run the tier.
+double time_substrate(pbp::simd::Tier tier) {
+  if (!pbp::simd::set_tier(tier)) return -1.0;
+  pbp::DenseQatBackend d(16, /*num_regs=*/16);
+  d.set_ecc_mode(pbp::EccMode::kCorrect);
+  for (unsigned r = 0; r < 16; ++r) d.had(r, r % 17);
+  auto mix = [&] {
+    d.cnot(0, 1);
+    d.ccnot(2, 3, 4);
+    d.cswap(5, 6, 7);
+    d.and_(8, 9, 10);
+    d.or_(11, 12, 13);
+    d.xor_(14, 15, 0);
+    if (d.popcount(1) == std::size_t(-1)) std::fprintf(stderr, "?");
+  };
+  for (int i = 0; i < 4; ++i) mix();  // warm-up
+  double best = 1e30;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 64; ++i) mix();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -94,6 +133,25 @@ int main() {
                  "perf_smoke: FAIL — ecc=correct costs %.2fx ecc=off "
                  "(limit %.1fx)\n",
                  ratio, kMaxRatio);
+    return 1;
+  }
+
+  // SIMD non-regression: the dispatched tier vs the forced-scalar baseline
+  // on the fused dense substrate.
+  const pbp::simd::Tier best_tier = pbp::simd::best_supported();
+  const double scalar_s = time_substrate(pbp::simd::Tier::kScalar);
+  const double vector_s = time_substrate(best_tier);
+  pbp::simd::set_tier(best_tier);  // restore normal dispatch
+  const double simd_ratio = vector_s / scalar_s;
+  std::printf("  substrate    scalar %.4fs, %s %.4fs  (%.2fx scalar, "
+              "limit %.2fx)\n",
+              scalar_s, pbp::simd::tier_name(best_tier), vector_s, simd_ratio,
+              kMaxSimdRatio);
+  if (simd_ratio > kMaxSimdRatio) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — dispatched tier %s costs %.2fx the "
+                 "forced-scalar dense substrate (limit %.2fx)\n",
+                 pbp::simd::tier_name(best_tier), simd_ratio, kMaxSimdRatio);
     return 1;
   }
   std::printf("perf_smoke: OK\n");

@@ -1,0 +1,64 @@
+// cli_parse.hpp — strict numeric parsing for the example binaries.
+//
+// The historical flag parsing used bare std::atoi / std::strtoull, which
+// silently turn "--ways=abc" into 0 and ignore trailing garbage ("16x" →
+// 16).  These helpers accept a value only when the WHOLE string is a number
+// in range, and report failure so callers can print a usage error and exit
+// with the documented bad-usage code (2).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace cli {
+
+/// Whole-string unsigned decimal parse; rejects empty strings, signs,
+/// whitespace, trailing garbage, and out-of-range values.
+inline std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// As parse_u64, further bounded to `max` (defaults to the unsigned range).
+inline std::optional<unsigned> parse_unsigned(
+    const std::string& s, unsigned max = ~0u) {
+  const auto v = parse_u64(s);
+  if (!v || *v > max) return std::nullopt;
+  return static_cast<unsigned>(*v);
+}
+
+/// Whole-string signed decimal parse (an optional leading '-' plus digits).
+inline std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  const bool neg = s[0] == '-';
+  const auto mag = parse_u64(neg ? s.substr(1) : s);
+  if (!mag) return std::nullopt;
+  if (neg) {
+    if (*mag > std::uint64_t{1} << 31) return std::nullopt;
+    return static_cast<int>(-static_cast<std::int64_t>(*mag));
+  }
+  if (*mag > 0x7fffffffull) return std::nullopt;
+  return static_cast<int>(*mag);
+}
+
+/// Whole-string floating-point parse.
+inline std::optional<double> parse_double(const std::string& s) {
+  if (s.empty() || s[0] == ' ') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace cli

@@ -28,6 +28,7 @@
 
 #include "asm/assembler.hpp"
 #include "asm/programs.hpp"
+#include "cli_parse.hpp"
 #include "serve/job_server.hpp"
 
 using namespace tangled;
@@ -56,6 +57,8 @@ void usage() {
       "                   (default 1 = verify every access)\n"
       "  --scrub-every=N  background scrub cadence in retired instructions\n"
       "                   (default 0 = off)\n"
+      "  --qat-threads=N  intra-register worker threads for wide dense Qat\n"
+      "                   registers (ways >= 20; default 1)\n"
       "  --verbose        print every job report\n");
 }
 
@@ -64,6 +67,27 @@ bool parse_flag(const char* arg, const char* name, std::string* out) {
   if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
   *out = arg + n + 1;
   return true;
+}
+
+/// Strict-parse failure: report the bad value and exit with the documented
+/// bad-usage code instead of letting std::stoul throw (or accept garbage).
+[[noreturn]] void bad_value(const std::string& v, const char* flag) {
+  std::fprintf(stderr, "tangled_batch: invalid value '%s' for %s\n", v.c_str(),
+               flag);
+  usage();
+  std::exit(2);
+}
+
+unsigned parse_small(const std::string& v, const char* flag) {
+  const auto r = cli::parse_unsigned(v);
+  if (!r) bad_value(v, flag);
+  return *r;
+}
+
+std::uint64_t parse_num(const std::string& v, const char* flag) {
+  const auto r = cli::parse_u64(v);
+  if (!r) bad_value(v, flag);
+  return *r;
 }
 
 bool factors_ok(const CpuState& cpu) {
@@ -85,26 +109,31 @@ int main(int argc, char** argv) {
   pbp::EccMode ecc = pbp::EccMode::kOff;
   std::uint64_t ecc_epoch = 1;
   std::uint64_t scrub_every = 0;
+  unsigned qat_threads = 1;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (parse_flag(argv[i], "--jobs", &v)) {
-      jobs = static_cast<unsigned>(std::stoul(v));
+      jobs = parse_small(v, "--jobs");
     } else if (parse_flag(argv[i], "--threads", &v)) {
-      threads = static_cast<unsigned>(std::stoul(v));
+      threads = parse_small(v, "--threads");
     } else if (parse_flag(argv[i], "--deadline-ms", &v)) {
-      deadline_ms = static_cast<unsigned>(std::stoul(v));
+      deadline_ms = parse_small(v, "--deadline-ms");
     } else if (parse_flag(argv[i], "--inject-frac", &v)) {
-      inject_frac = std::stod(v);
+      const auto f = cli::parse_double(v);
+      if (!f) bad_value(v, "--inject-frac");
+      inject_frac = *f;
     } else if (parse_flag(argv[i], "--retry-max", &v)) {
-      retry_max = std::stoi(v);
+      const auto r = cli::parse_int(v);
+      if (!r) bad_value(v, "--retry-max");
+      retry_max = *r;
     } else if (parse_flag(argv[i], "--ways", &v)) {
-      ways = static_cast<unsigned>(std::stoul(v));
+      ways = parse_small(v, "--ways");
     } else if (parse_flag(argv[i], "--queue", &v)) {
-      queue = static_cast<unsigned>(std::stoul(v));
+      queue = parse_small(v, "--queue");
     } else if (parse_flag(argv[i], "--mem-mb", &v)) {
-      mem_mb = static_cast<unsigned>(std::stoul(v));
+      mem_mb = parse_small(v, "--mem-mb");
     } else if (parse_flag(argv[i], "--backend", &v)) {
       if (v == "dense") {
         backend = pbp::Backend::kDense;
@@ -126,9 +155,11 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (parse_flag(argv[i], "--ecc-epoch", &v)) {
-      ecc_epoch = std::stoull(v);
+      ecc_epoch = parse_num(v, "--ecc-epoch");
     } else if (parse_flag(argv[i], "--scrub-every", &v)) {
-      scrub_every = std::stoull(v);
+      scrub_every = parse_num(v, "--scrub-every");
+    } else if (parse_flag(argv[i], "--qat-threads", &v)) {
+      qat_threads = parse_small(v, "--qat-threads");
     } else if (std::string(argv[i]) == "--verbose") {
       verbose = true;
     } else {
@@ -175,6 +206,7 @@ int main(int argc, char** argv) {
     j.ecc = ecc;
     j.ecc_epoch = ecc_epoch;
     j.scrub_every = scrub_every;
+    j.qat_threads = qat_threads;
     j.validate = factors_ok;
     const bool poison = i < poisoned;
     j.name = std::string(sim_kind_name(j.sim)) + (poison ? "/poisoned" : "");

@@ -28,6 +28,9 @@
 //                                          = verify every access)
 //   tangled_run --scrub-every=1000 prog.s  background scrub cadence, in
 //                                          retired instructions
+//   tangled_run --qat-threads=4 -w 24 prog.s   shard wide dense Qat
+//                                          registers (ways >= 20) across
+//                                          worker threads
 //
 // Reads from stdin when the file is "-".  Exit codes:
 //   0  program halted cleanly (sys)
@@ -52,6 +55,7 @@
 #include "arch/rtl_pipeline.hpp"
 #include "arch/simulators.hpp"
 #include "asm/assembler.hpp"
+#include "cli_parse.hpp"
 
 namespace {
 
@@ -61,8 +65,8 @@ void usage() {
                "[-b dense|re] [--backend=dense|re] [-w ways] [-m max] "
                "[--max-cycles=N] [--inject=seed=N,events=N,horizon=N,pool=N] "
                "[--checkpoint-every=N] [--ecc=off|detect|correct] "
-               "[--ecc-epoch=N] [--scrub-every=N] [-d] [-q reg]... "
-               "file.s|-\n");
+               "[--ecc-epoch=N] [--scrub-every=N] [--qat-threads=N] "
+               "[-d] [-q reg]... file.s|-\n");
 }
 
 const char* status_text(const tangled::SimStats& st) {
@@ -138,6 +142,7 @@ int run_main(int argc, char** argv) {
   pbp::EccMode ecc_mode = pbp::EccMode::kOff;
   std::uint64_t ecc_epoch = 1;
   std::uint64_t scrub_every = 0;
+  unsigned qat_threads = 1;
   std::string inject_spec;
   bool disassemble_only = false;
   bool pipeline_diagram = false;
@@ -153,6 +158,30 @@ int run_main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // Strict numeric parse: reject non-numeric / out-of-range values with a
+    // usage error instead of silently reading them as 0 (exit code 2).
+    auto parse_num = [&](const std::string& value,
+                         const char* flag) -> std::uint64_t {
+      const auto v = cli::parse_u64(value);
+      if (!v) {
+        std::fprintf(stderr, "tangled_run: invalid value '%s' for %s\n",
+                     value.c_str(), flag);
+        usage();
+        std::exit(2);
+      }
+      return *v;
+    };
+    auto parse_small = [&](const std::string& value,
+                           const char* flag) -> unsigned {
+      const auto v = cli::parse_unsigned(value);
+      if (!v) {
+        std::fprintf(stderr, "tangled_run: invalid value '%s' for %s\n",
+                     value.c_str(), flag);
+        usage();
+        std::exit(2);
+      }
+      return *v;
     };
     auto set_backend = [&](const std::string& name) {
       backend_name = name;
@@ -172,15 +201,15 @@ int run_main(int argc, char** argv) {
     } else if (arg.rfind("--backend=", 0) == 0) {
       set_backend(arg.substr(10));
     } else if (arg == "-w") {
-      ways = static_cast<unsigned>(std::atoi(next_arg()));
+      ways = parse_small(next_arg(), "-w");
     } else if (arg == "-m") {
-      max_instructions = std::strtoull(next_arg(), nullptr, 10);
+      max_instructions = parse_num(next_arg(), "-m");
     } else if (arg.rfind("--max-cycles=", 0) == 0) {
-      max_cycles = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      max_cycles = parse_num(arg.substr(13), "--max-cycles");
     } else if (arg.rfind("--inject=", 0) == 0) {
       inject_spec = arg.substr(9);
     } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
-      checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
+      checkpoint_every = parse_num(arg.substr(19), "--checkpoint-every");
     } else if (arg.rfind("--ecc=", 0) == 0) {
       const std::string mode = arg.substr(6);
       if (mode == "off") {
@@ -194,9 +223,11 @@ int run_main(int argc, char** argv) {
         return 2;
       }
     } else if (arg.rfind("--ecc-epoch=", 0) == 0) {
-      ecc_epoch = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      ecc_epoch = parse_num(arg.substr(12), "--ecc-epoch");
     } else if (arg.rfind("--scrub-every=", 0) == 0) {
-      scrub_every = std::strtoull(arg.c_str() + 14, nullptr, 10);
+      scrub_every = parse_num(arg.substr(14), "--scrub-every");
+    } else if (arg.rfind("--qat-threads=", 0) == 0) {
+      qat_threads = parse_small(arg.substr(14), "--qat-threads");
     } else if (arg == "-d") {
       disassemble_only = true;
     } else if (arg == "-t") {
@@ -206,7 +237,7 @@ int run_main(int argc, char** argv) {
       coverage = true;
       if (sim_kind == "rtl") sim_kind = "pipe5";  // coverage lives in SimBase
     } else if (arg == "-q") {
-      dump_qregs.push_back(static_cast<unsigned>(std::atoi(next_arg())));
+      dump_qregs.push_back(parse_small(next_arg(), "-q"));
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -269,6 +300,7 @@ int run_main(int argc, char** argv) {
     sim.set_ecc_mode(ecc_mode);
     sim.set_ecc_epoch(ecc_epoch);
     sim.set_scrub_every(scrub_every);
+    sim.set_qat_threads(qat_threads);
     const SimStats st = sim.run(max_instructions);
     if (!sim.console().empty()) std::fputs(sim.console().c_str(), stdout);
     std::printf("== multi-fsm (explicit state machine), %u-way %s Qat ==\n",
@@ -306,6 +338,7 @@ int run_main(int argc, char** argv) {
     sim.set_ecc_mode(ecc_mode);
     sim.set_ecc_epoch(ecc_epoch);
     sim.set_scrub_every(scrub_every);
+    sim.set_qat_threads(qat_threads);
     const SimStats st = sim.run(max_instructions);
     if (pipeline_diagram) std::fputs(sim.diagram().c_str(), stdout);
     std::printf("== rtl (latch-level 5-stage), %u-way %s Qat ==\n", ways,
@@ -361,6 +394,7 @@ int run_main(int argc, char** argv) {
   sim->set_ecc_mode(ecc_mode);
   sim->set_ecc_epoch(ecc_epoch);
   sim->set_scrub_every(scrub_every);
+  sim->set_qat_threads(qat_threads);
 
   if (checkpoint_every != 0) {
     // Periodic-checkpoint driver: snapshot every N instructions, roll back

@@ -20,11 +20,19 @@
 #   scripts/check.sh perf       Release perf smoke (ctest -L perf): the
 #                               Figure 10 run with --ecc=correct must stay
 #                               within 8x of --ecc=off at the default
-#                               verification epoch — the "integrity is
-#                               nearly free" gate (bench/perf_smoke.cpp)
+#                               verification epoch, and the dispatched SIMD
+#                               tier must not regress below the forced-scalar
+#                               dense substrate baseline — the "integrity is
+#                               nearly free" + "vectorization actually pays"
+#                               gates (bench/perf_smoke.cpp)
+#   scripts/check.sh simd       vector-dispatch differential suite (ctest -L
+#                               simd) re-run once per tier with TANGLED_SIMD
+#                               forcing the process-wide dispatch to scalar /
+#                               avx2 / avx512 — the bit-identical gate for
+#                               the dense substrate kernels
 #   scripts/check.sh --all     both configs + the sanitized soak + the
 #                               integrity suite + the TSAN serve run + the
-#                               perf smoke
+#                               simd differential lane + the perf smoke
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
@@ -74,6 +82,23 @@ run_tsan() {
   ./build-tsan/examples/tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
 }
 
+run_simd() {
+  echo "== configuring build (Release) =="
+  cmake -B build -S . >/dev/null
+  echo "== building simd differential suite =="
+  cmake --build build -j "$(nproc)" --target tangled_simd_tests
+  # The in-binary tests already force every CPU-supported tier via
+  # set_tier(); re-running the whole suite under each TANGLED_SIMD override
+  # additionally pins the env-dispatch path itself (the startup tier the
+  # backends inherit).  Unsupported tiers are clamped down by the override
+  # parser, so every lane runs everywhere.
+  for tier in scalar avx2 avx512; do
+    echo "== simd differential suite (ctest -L simd, TANGLED_SIMD=${tier}) =="
+    TANGLED_SIMD="${tier}" ctest --test-dir build -L simd \
+      --output-on-failure -j "$(nproc)"
+  done
+}
+
 run_perf() {
   echo "== configuring build (Release) =="
   cmake -B build -S . >/dev/null
@@ -101,19 +126,23 @@ case "${mode}" in
   perf)
     run_perf
     ;;
+  simd)
+    run_simd
+    ;;
   --all)
     run_config build
     run_config build-asan -DTANGLED_SANITIZE=ON
     run_soak
     run_integrity
     run_tsan
+    run_simd
     run_perf
     ;;
   "")
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|perf]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|perf|simd]" >&2
     exit 2
     ;;
 esac

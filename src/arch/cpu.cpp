@@ -289,7 +289,9 @@ std::uint16_t Memory::load_checked(std::uint16_t addr, bool* corrupt) {
 std::uint16_t Memory::load_checked_epoch(std::uint16_t addr, bool* corrupt) {
   const std::size_t page = addr / kEccPageWords;
   const std::uint64_t stamp = verified_at_[page];
-  if (stamp != 0 && ecc_now_ < stamp - 1 + ecc_epoch_) {
+  // Subtraction-form freshness (pbp/ecc.hpp); the caller already
+  // established ecc_epoch_ > 1.
+  if (pbp::ecc_epoch_fresh(ecc_now_, stamp, ecc_epoch_)) {
     ++verifies_elided_;
     return words_[addr];
   }

@@ -103,7 +103,7 @@ class Memory {
 
   static constexpr std::size_t kEccPageWords = 256;
 
-  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = pbp::clamp_ecc_epoch(n); }
   std::uint64_t ecc_epoch() const { return ecc_epoch_; }
   /// Advance the verification clock (retired-instruction total).
   void ecc_tick(std::uint64_t now) { ecc_now_ = now; }

@@ -96,8 +96,13 @@ void QatEngine::set_ecc_mode(pbp::EccMode m) {
 }
 
 void QatEngine::set_ecc_epoch(std::uint64_t n) {
-  ecc_epoch_ = n == 0 ? 1 : n;
+  ecc_epoch_ = pbp::clamp_ecc_epoch(n);
   backend_->set_ecc_epoch(ecc_epoch_);
+}
+
+void QatEngine::set_qat_threads(unsigned n) {
+  qat_threads_ = n == 0 ? 1 : n;
+  backend_->set_threads(qat_threads_);
 }
 
 void QatEngine::ecc_tick(std::uint64_t now) {
@@ -177,6 +182,7 @@ bool QatEngine::try_degrade_to_dense() {
   dense->set_ecc_mode(ecc_mode_);  // policy follows the data to the new file
   dense->set_ecc_epoch(ecc_epoch_);
   dense->ecc_tick(ecc_now_);
+  dense->set_threads(qat_threads_);
   backend_ = std::move(dense);
   stats_.backend_migrations.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -215,6 +221,7 @@ void QatEngine::restore(pbp::ByteReader& r) {
   backend_->set_ecc_mode(ecc_mode_);
   backend_->set_ecc_epoch(ecc_epoch_);
   backend_->ecc_tick(ecc_now_);
+  backend_->set_threads(qat_threads_);
 }
 
 std::uint16_t QatEngine::meas(unsigned a, std::uint16_t ch) const {

@@ -205,9 +205,15 @@ class QatEngine {
   void set_ecc_mode(pbp::EccMode m);
   pbp::EccMode ecc_mode() const { return ecc_mode_; }
   /// Verification epoch (policy like the mode: survives restore and
-  /// RE→dense migration, never serialized).  0 is clamped to 1.
+  /// RE→dense migration, never serialized).  Clamped into
+  /// [1, pbp::kMaxEccEpoch].
   void set_ecc_epoch(std::uint64_t n);
   std::uint64_t ecc_epoch() const { return ecc_epoch_; }
+  /// Intra-register worker threads for wide dense sweeps (policy like the
+  /// mode: survives restore and RE→dense migration, never serialized, and
+  /// never changes an architectural result).  0 is clamped to 1.
+  void set_qat_threads(unsigned n);
+  unsigned qat_threads() const { return qat_threads_; }
   /// Advance the backend's verification clock (retired-instruction total).
   void ecc_tick(std::uint64_t now);
   /// Sweep the whole register file: repairs correctable upsets (kCorrect),
@@ -272,6 +278,7 @@ class QatEngine {
   pbp::EccMode ecc_mode_ = pbp::EccMode::kOff;
   std::uint64_t ecc_epoch_ = 1;
   std::uint64_t ecc_now_ = 0;
+  unsigned qat_threads_ = 1;
 };
 
 }  // namespace tangled

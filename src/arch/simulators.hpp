@@ -108,6 +108,8 @@ class SimBase {
   /// monotone clock fault events use, so every timing model scrubs — and
   /// traps — at the identical architectural point.
   void set_scrub_every(std::uint64_t n) { scrub_every_ = n; }
+  /// Intra-register worker threads for wide dense Qat sweeps.
+  void set_qat_threads(unsigned n) { qat_.set_qat_threads(n); }
   bool ecc_enabled() const {
     return mem_.ecc_mode() != pbp::EccMode::kOff ||
            qat_.ecc_mode() != pbp::EccMode::kOff;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "pbp/simd.hpp"
+
 namespace pbp {
 namespace {
 
@@ -60,19 +62,19 @@ void Aob::check_compatible(const Aob& o) const {
 
 Aob& Aob::operator&=(const Aob& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= o.w_[i];
+  simd::and_inplace(w_.data(), o.w_.data(), w_.size());
   return *this;
 }
 
 Aob& Aob::operator|=(const Aob& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+  simd::or_inplace(w_.data(), o.w_.data(), w_.size());
   return *this;
 }
 
 Aob& Aob::operator^=(const Aob& o) {
   check_compatible(o);
-  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] ^= o.w_[i];
+  simd::xor_inplace(w_.data(), o.w_.data(), w_.size());
   return *this;
 }
 
@@ -91,13 +93,9 @@ Aob Aob::operator~() const {
 void Aob::cswap(Aob& a, Aob& b, const Aob& c) {
   a.check_compatible(b);
   a.check_compatible(c);
-  for (std::size_t i = 0; i < a.w_.size(); ++i) {
-    // Channel-wise conditional exchange via the classic XOR-mask trick:
-    // t has a 1 exactly where a and b differ AND the control is 1.
-    const std::uint64_t t = (a.w_[i] ^ b.w_[i]) & c.w_[i];
-    a.w_[i] ^= t;
-    b.w_[i] ^= t;
-  }
+  // Channel-wise conditional exchange via the classic XOR-mask trick:
+  // t has a 1 exactly where a and b differ AND the control is 1.
+  simd::cswap(a.w_.data(), b.w_.data(), c.w_.data(), a.w_.size());
 }
 
 void Aob::swap_values(Aob& a, Aob& b) noexcept {
@@ -106,9 +104,7 @@ void Aob::swap_values(Aob& a, Aob& b) noexcept {
 }
 
 std::size_t Aob::popcount() const {
-  std::size_t n = 0;
-  for (const auto w : w_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return simd::popcount(w_.data(), w_.size());
 }
 
 std::size_t Aob::popcount_after(std::size_t ch) const {
@@ -119,10 +115,7 @@ std::size_t Aob::popcount_after(std::size_t ch) const {
   const std::size_t bi = start % kWordBits;
   std::size_t n = static_cast<std::size_t>(
       std::popcount(w_[wi] & (~std::uint64_t{0} << bi)));
-  for (std::size_t i = wi + 1; i < w_.size(); ++i) {
-    n += static_cast<std::size_t>(std::popcount(w_[i]));
-  }
-  return n;
+  return n + simd::popcount(w_.data() + wi + 1, w_.size() - wi - 1);
 }
 
 std::optional<std::size_t> Aob::next_one(std::size_t ch) const {
@@ -132,31 +125,27 @@ std::optional<std::size_t> Aob::next_one(std::size_t ch) const {
   std::size_t wi = start / kWordBits;
   const std::size_t bi = start % kWordBits;
   std::uint64_t w = w_[wi] & (~std::uint64_t{0} << bi);
-  while (true) {
-    if (w != 0) {
-      const std::size_t pos =
-          wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
-      return pos < bit_count() ? std::optional<std::size_t>{pos} : std::nullopt;
-    }
-    if (++wi == w_.size()) return std::nullopt;
+  if (w == 0) {
+    // Skip ahead over the zero run with the vector scan.
+    const std::size_t rest =
+        simd::first_nonzero(w_.data() + wi + 1, w_.size() - wi - 1);
+    if (wi + 1 + rest == w_.size()) return std::nullopt;
+    wi += 1 + rest;
     w = w_[wi];
   }
+  const std::size_t pos =
+      wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+  return pos < bit_count() ? std::optional<std::size_t>{pos} : std::nullopt;
 }
 
 bool Aob::any() const {
-  for (const auto w : w_) {
-    if (w != 0) return true;
-  }
-  return false;
+  return simd::first_nonzero(w_.data(), w_.size()) != w_.size();
 }
 
 bool Aob::all() const {
   const std::size_t bits = bit_count();
   if (bits < kWordBits) return w_[0] == (std::uint64_t{1} << bits) - 1;
-  for (const auto w : w_) {
-    if (w != ~std::uint64_t{0}) return false;
-  }
-  return true;
+  return simd::all_ones(w_.data(), w_.size());
 }
 
 bool Aob::operator==(const Aob& o) const {

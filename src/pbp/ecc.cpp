@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "pbp/simd.hpp"
+
 namespace pbp {
 
 const char* ecc_mode_name(EccMode m) {
@@ -132,11 +134,9 @@ bool secded16_clean(std::uint16_t payload, std::uint8_t check) {
 
 void secded64_encode_block(const std::uint64_t* words, std::uint8_t* checks,
                            std::size_t n) {
-  // encode(0) == 0, and bulk encodes run over mostly-zero state (fresh
-  // register files, sparse memories): skip the table lookups for zeros.
-  for (std::size_t i = 0; i < n; ++i) {
-    checks[i] = words[i] == 0 ? 0 : secded64_encode_fast(words[i]);
-  }
+  // Tier-dispatched: the AVX-512 path evaluates the GF(2) parity masks with
+  // vector popcounts, the scalar path skips table lookups for zero words.
+  simd::secded64_encode(words, checks, n);
 }
 
 void secded16_encode_block(const std::uint16_t* words, std::uint8_t* checks,
@@ -202,10 +202,41 @@ EccCheck secded64_check_block(EccMode mode, std::uint64_t* words,
                               std::uint8_t* checks, std::size_t n,
                               EccSweep& sweep) {
   if (mode == EccMode::kOff) return EccCheck::kClean;
-  return check_block(
-      mode, words, checks, n, sweep,
-      [](std::uint64_t w) { return secded64_encode_fast(w); },
-      [](std::uint64_t& w, std::uint8_t& c) { return secded64_check(w, c); });
+  // The 64-bit path probes whole 64-word chunks through the tier-dispatched
+  // mismatch mask (vector re-encode + compare on AVX-512, OR-fold zero-skip
+  // probe on scalar) and only walks the — almost always empty — set bits.
+  sweep.words += n;
+  EccCheck worst = EccCheck::kClean;
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t len = base + 64 < n ? 64 : n - base;
+    std::uint64_t mm = simd::secded64_mismatch_mask(words + base,
+                                                    checks + base, len);
+    while (mm != 0) {
+      const std::size_t i =
+          base + static_cast<std::size_t>(std::countr_zero(mm));
+      mm &= mm - 1;
+      if (mode == EccMode::kDetect) {
+        // Detect-only hardware has no corrector: any mismatch is an
+        // uncorrectable corruption, and nothing is repaired.
+        ++sweep.uncorrectable;
+        worst = EccCheck::kUncorrectable;
+        continue;
+      }
+      switch (secded64_check(words[i], checks[i])) {
+        case EccCheck::kClean:  // unreachable: the probe already mismatched
+          break;
+        case EccCheck::kCorrected:
+          ++sweep.corrected;
+          if (worst == EccCheck::kClean) worst = EccCheck::kCorrected;
+          break;
+        case EccCheck::kUncorrectable:
+          ++sweep.uncorrectable;
+          worst = EccCheck::kUncorrectable;
+          break;
+      }
+    }
+  }
+  return worst;
 }
 
 EccCheck secded16_check_block(EccMode mode, std::uint16_t* words,

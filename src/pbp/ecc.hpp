@@ -150,6 +150,29 @@ constexpr SecdedTables<Bytes, M> make_secded_tables() {
 inline constexpr SecdedTables<8, 7> kSecded64Tab = make_secded_tables<8, 7>();
 inline constexpr SecdedTables<2, 5> kSecded16Tab = make_secded_tables<2, 5>();
 
+/// The seven GF(2) parity masks of the (72,64) code: Hamming check bit i of
+/// a payload word is parity(word & kSecded64Masks[i]).  This is the same
+/// construction the per-byte tables above collapse, exposed for the SIMD
+/// codec (pbp/simd.cpp), which evaluates the masks with vector popcounts
+/// instead of table lookups — bit-identical by construction, pinned by
+/// tests/test_simd.cpp.
+struct Secded64Masks {
+  std::uint64_t m[7];
+};
+
+constexpr Secded64Masks make_secded64_masks() {
+  Secded64Masks out{};
+  for (unsigned d = 0; d < 64; ++d) {
+    const unsigned pos = secded_data_pos(d);
+    for (unsigned i = 0; i < 7; ++i) {
+      if ((pos >> i) & 1u) out.m[i] |= std::uint64_t{1} << d;
+    }
+  }
+  return out;
+}
+
+inline constexpr Secded64Masks kSecded64Masks = make_secded64_masks();
+
 }  // namespace detail
 
 /// Canonical check byte via table lookups — bit-identical to
@@ -186,5 +209,36 @@ EccCheck secded64_check_block(EccMode mode, std::uint64_t* words,
 EccCheck secded16_check_block(EccMode mode, std::uint16_t* words,
                               std::uint8_t* checks, std::size_t n,
                               EccSweep& sweep);
+
+// --- Verification-epoch policy helpers ------------------------------------
+//
+// Every protected store (DenseQatBackend sidecars, the RE ChunkPool, the
+// Tangled data memory) schedules re-verification on the simulators' monotone
+// retired-instruction clock: state verified within the last `epoch` ticks
+// carries a fresh stamp and is not re-checked on access.  A stamp is the
+// clock value at verification time plus one, so 0 means "never verified".
+// These helpers are the single shared definition of that predicate — the
+// historical per-store copies computed `now < stamp - 1 + epoch`, which
+// wraps for epochs near UINT64_MAX and silently flips freshness.
+
+/// Ceiling for the verification epoch.  2^62 retired instructions is
+/// "verify once, trust for the whole run" on any machine this simulates,
+/// while keeping stamp/epoch arithmetic far from the 64-bit wrap.
+inline constexpr std::uint64_t kMaxEccEpoch = std::uint64_t{1} << 62;
+
+/// Clamp a user-supplied epoch into [1, kMaxEccEpoch] (0 means "verify
+/// every access", i.e. epoch 1).
+constexpr std::uint64_t clamp_ecc_epoch(std::uint64_t n) {
+  return n == 0 ? 1 : (n > kMaxEccEpoch ? kMaxEccEpoch : n);
+}
+
+/// Subtraction-form freshness: `now - (stamp - 1)` is the ticks elapsed
+/// since verification, and never wraps because the clock is monotone
+/// (now >= stamp - 1 always).  Epoch 1 is never fresh — the historical
+/// verify-on-every-access semantics.
+constexpr bool ecc_epoch_fresh(std::uint64_t now, std::uint64_t stamp,
+                               std::uint64_t epoch) {
+  return epoch > 1 && stamp != 0 && now - (stamp - 1) < epoch;
+}
 
 }  // namespace pbp

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pbp/hadamard.hpp"
+#include "pbp/simd.hpp"
 
 namespace pbp {
 
@@ -85,15 +86,16 @@ void DenseQatBackend::cnot(unsigned a, unsigned b) {
   auto wa = regs_[ia].words_mut();
   const auto wb = regs_[ib].words();
   if (ecc_ == EccMode::kOff) {
-    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] ^= wb[j];
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::xor_inplace(wa.data() + b0, wb.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
   const std::uint8_t* cb = chk(ib);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    wa[j] ^= wb[j];
-    ca[j] ^= cb[j];
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::cnot_ecc(wa.data() + b0, wb.data() + b0, ca + b0, cb + b0, b1 - b0);
+  });
   stamp_dest(ia, std::min(verified_at_[ia], verified_at_[ib]));
 }
 
@@ -106,15 +108,16 @@ void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
   const auto wb = regs_[ib].words();
   const auto wc = regs_[ic].words();
   if (ecc_ == EccMode::kOff) {
-    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] ^= wb[j] & wc[j];
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::ccnot(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    const std::uint64_t m = wb[j] & wc[j];
-    wa[j] ^= m;
-    ca[j] ^= secded64_encode_fast(m);
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::ccnot_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
+                    b1 - b0);
+  });
   stamp_dest(ia, std::min({verified_at_[ia], verified_at_[ib],
                            verified_at_[ic]}));
 }
@@ -142,23 +145,17 @@ void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
   if (ecc_ == EccMode::kOff) {
     // Aliasing with the control is well-defined: each word's delta is
     // computed from pre-update values before either target word is written.
-    for (std::size_t j = 0; j < wa.size(); ++j) {
-      const std::uint64_t t = (wa[j] ^ wb[j]) & wc[j];
-      wa[j] ^= t;
-      wb[j] ^= t;
-    }
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::cswap(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
   std::uint8_t* cb = chk(ib);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    const std::uint64_t t = (wa[j] ^ wb[j]) & wc[j];
-    wa[j] ^= t;
-    wb[j] ^= t;
-    const std::uint8_t d = secded64_encode_fast(t);
-    ca[j] ^= d;
-    cb[j] ^= d;
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::cswap_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
+                    cb + b0, b1 - b0);
+  });
   const std::uint64_t s = std::min(
       {verified_at_[ia], verified_at_[ib], verified_at_[ic]});
   stamp_dest(ia, s);
@@ -173,15 +170,16 @@ void DenseQatBackend::and_(unsigned a, unsigned b, unsigned c) {
   const auto wb = regs_[ib].words();
   const auto wc = regs_[ic].words();
   if (ecc_ == EccMode::kOff) {
-    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] & wc[j];
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::and3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    const std::uint64_t r = wb[j] & wc[j];
-    wa[j] = r;
-    ca[j] = secded64_encode_fast(r);
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::and3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
+                   b1 - b0);
+  });
   stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
@@ -193,15 +191,16 @@ void DenseQatBackend::or_(unsigned a, unsigned b, unsigned c) {
   const auto wb = regs_[ib].words();
   const auto wc = regs_[ic].words();
   if (ecc_ == EccMode::kOff) {
-    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] | wc[j];
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::or3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    const std::uint64_t r = wb[j] | wc[j];
-    wa[j] = r;
-    ca[j] = secded64_encode_fast(r);
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::or3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
+                  b1 - b0);
+  });
   stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
@@ -213,16 +212,18 @@ void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
   const auto wb = regs_[ib].words();
   const auto wc = regs_[ic].words();
   if (ecc_ == EccMode::kOff) {
-    for (std::size_t j = 0; j < wa.size(); ++j) wa[j] = wb[j] ^ wc[j];
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+      simd::xor3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+    });
     return;
   }
   std::uint8_t* ca = chk(ia);
   const std::uint8_t* cb = chk(ib);
   const std::uint8_t* cc = chk(ic);
-  for (std::size_t j = 0; j < wa.size(); ++j) {
-    wa[j] = wb[j] ^ wc[j];
-    ca[j] = static_cast<std::uint8_t>(cb[j] ^ cc[j]);
-  }
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    simd::xor3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
+                   cb + b0, cc + b0, b1 - b0);
+  });
   stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
 }
 
@@ -297,7 +298,9 @@ std::size_t DenseQatBackend::storage_bytes() const {
 void DenseQatBackend::encode_reg(unsigned i) {
   if (ecc_ == EccMode::kOff) return;
   const auto w = regs_[i].words();
-  secded64_encode_block(w.data(), chk(i), w.size());
+  for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
+    secded64_encode_block(w.data() + b0, chk(i) + b0, b1 - b0);
+  });
   verified_at_[i] = stamp_now();
 }
 
@@ -324,8 +327,25 @@ void DenseQatBackend::verify_reg(unsigned a) const {
     return;
   }
   const auto w = regs_[i].words_mut();
-  const EccCheck r =
-      secded64_check_block(ecc_, w.data(), chk(i), w.size(), pending_);
+  EccCheck r;
+  if (shards_ && words_per_reg_ >= kShardMinWords) {
+    // Sharded sweep: per-shard tallies combined in shard order afterwards,
+    // so the totals (and the thrown-or-not outcome) match the scalar path.
+    std::vector<EccSweep> sweeps(threads_);
+    std::vector<EccCheck> worst(threads_, EccCheck::kClean);
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned s) {
+      worst[s] = secded64_check_block(ecc_, w.data() + b0, chk(i) + b0,
+                                      b1 - b0, sweeps[s]);
+    });
+    r = EccCheck::kClean;
+    for (unsigned s = 0; s < threads_; ++s) {
+      pending_ += sweeps[s];
+      r = static_cast<EccCheck>(
+          std::max(static_cast<int>(r), static_cast<int>(worst[s])));
+    }
+  } else {
+    r = secded64_check_block(ecc_, w.data(), chk(i), w.size(), pending_);
+  }
   if (r == EccCheck::kUncorrectable) {
     throw CorruptionError(
         ecc_ == EccMode::kDetect
@@ -344,13 +364,33 @@ EccSweep DenseQatBackend::scrub_ecc() {
     // Ground truth: a scrub ignores the epoch stamps and sweeps everything,
     // then re-stamps what it verified clean (or repaired).
     const auto w = regs_[i].words_mut();
-    EccSweep reg;
-    const EccCheck r =
-        secded64_check_block(ecc_, w.data(), chk(i), w.size(), reg);
+    std::vector<EccSweep> sweeps(threads_);
+    std::vector<EccCheck> worst(threads_, EccCheck::kClean);
+    for_shards([&](std::size_t b0, std::size_t b1, unsigned s) {
+      worst[s] = secded64_check_block(ecc_, w.data() + b0, chk(i) + b0,
+                                      b1 - b0, sweeps[s]);
+    });
+    EccCheck r = EccCheck::kClean;
+    for (unsigned s = 0; s < threads_; ++s) {
+      sweep += sweeps[s];
+      r = static_cast<EccCheck>(
+          std::max(static_cast<int>(r), static_cast<int>(worst[s])));
+    }
     if (r != EccCheck::kUncorrectable) verified_at_[i] = stamp_now();
-    sweep += reg;
   }
   return sweep;
+}
+
+void DenseQatBackend::set_threads(unsigned n) {
+  if (n == 0) n = 1;
+  threads_ = n;
+  if (n == 1) {
+    shards_.reset();
+    return;
+  }
+  if (!shards_ || shards_->threads() != n) {
+    shards_ = std::make_unique<ShardPool>(n);
+  }
 }
 
 void DenseQatBackend::storage_upset(unsigned r, std::size_t ch) {

@@ -34,6 +34,7 @@
 #include "pbp/pbit.hpp"
 #include "pbp/re.hpp"
 #include "pbp/serialize.hpp"
+#include "pbp/shard.hpp"
 
 namespace pbp {
 
@@ -121,8 +122,9 @@ class QatBackend {
   // pure policy: scrubs ignore them (and re-stamp what they verify), writes
   // re-encode rather than stamp-launder, and they are never serialized.
 
-  /// Set the verification epoch in retired instructions (0 is clamped to 1).
-  virtual void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  /// Set the verification epoch in retired instructions, clamped into
+  /// [1, kMaxEccEpoch] so the freshness arithmetic stays far from wrap.
+  virtual void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = clamp_ecc_epoch(n); }
   std::uint64_t ecc_epoch() const { return ecc_epoch_; }
 
   /// Advance the verification clock (call with the retired-instruction
@@ -143,6 +145,17 @@ class QatBackend {
   /// Check-sidecar footprint in bytes (0 when protection is off).
   virtual std::size_t ecc_bytes() const = 0;
 
+  // --- Intra-register threading ---
+  // Policy, not state: the thread count shards the word sweeps of wide
+  // dense registers across a persistent worker pool, never changes any
+  // architectural result (shard ranges are disjoint and deterministic), is
+  // never serialized, and survives backend migration only because QatEngine
+  // re-applies it.  Backends without wide word sweeps ignore it.
+
+  /// Shard wide per-register sweeps across n threads (0 is clamped to 1).
+  virtual void set_threads(unsigned) {}
+  virtual unsigned threads() const { return 1; }
+
   /// Snapshot the full register-file state: dense as raw AoB word dumps, RE
   /// as the pool's chunk symbols plus per-register run lists.  Restored by
   /// deserialize_qat_backend.  ECC sidecars are NOT serialized — the
@@ -157,9 +170,10 @@ class QatBackend {
 
   /// A stamp is the clock value at verification time plus one (so 0 means
   /// "never verified").  Fresh iff the clock has advanced fewer than
-  /// `ecc_epoch_` ticks since then; epoch 1 is never fresh.
+  /// `ecc_epoch_` ticks since then; epoch 1 is never fresh.  Subtraction
+  /// form (ecc.hpp): the additive form wrapped for epochs near UINT64_MAX.
   bool epoch_fresh(std::uint64_t stamp) const {
-    return ecc_epoch_ > 1 && stamp != 0 && ecc_now_ < stamp - 1 + ecc_epoch_;
+    return ecc_epoch_fresh(ecc_now_, stamp, ecc_epoch_);
   }
   std::uint64_t stamp_now() const { return ecc_now_ + 1; }
 
@@ -212,8 +226,16 @@ class DenseQatBackend final : public QatBackend {
   EccSweep take_ecc_counts() override;
   std::size_t ecc_bytes() const override;
 
+  void set_threads(unsigned n) override;
+  unsigned threads() const override { return threads_; }
+
   void serialize(ByteWriter& w) const override;
   static std::unique_ptr<DenseQatBackend> deserialize(ByteReader& r);
+
+  /// Registers narrower than this many words are never sharded — the
+  /// hand-off latency of even a warm pool dwarfs the sweep itself below
+  /// 16 Ki words (ways 20).
+  static constexpr std::size_t kShardMinWords = std::size_t{1} << 14;
 
  private:
   /// Register i's slice of the flat check-byte sidecar.
@@ -230,7 +252,24 @@ class DenseQatBackend final : public QatBackend {
   /// on (verified_at_ is empty otherwise).
   void stamp_dest(unsigned i, std::uint64_t stamp) { verified_at_[i] = stamp; }
 
+  /// Run fn(begin, end, shard) over a partition of [0, words_per_reg_):
+  /// through the worker pool when the register is wide enough to shard,
+  /// inline as one shard otherwise.  Ranges are 64-word aligned so SECDED
+  /// check chunks and vector blocks never straddle shards.
+  template <typename Fn>
+  void for_shards(Fn&& fn) const {
+    if (shards_ && words_per_reg_ >= kShardMinWords) {
+      shards_->run(words_per_reg_, 64, fn);
+    } else {
+      fn(std::size_t{0}, words_per_reg_, 0u);
+    }
+  }
+
   std::size_t words_per_reg_ = 1;
+  unsigned threads_ = 1;
+  // Lazily built by set_threads(>1); mutable because the const measurement
+  // paths verify (and therefore sweep) too.
+  mutable std::unique_ptr<ShardPool> shards_;
   // mutable: verify_reg repairs through the const measurement paths
   // (logical value preserved) and tallies into pending_.
   mutable std::vector<Aob> regs_;

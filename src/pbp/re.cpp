@@ -189,8 +189,7 @@ void ChunkPool::set_ecc_mode(EccMode m) {
 
 void ChunkPool::verify_symbol(SymbolId id) {
   if (ecc_ == EccMode::kOff) return;
-  if (ecc_epoch_ > 1 && verified_at_[id] != 0 &&
-      ecc_now_ < verified_at_[id] - 1 + ecc_epoch_) {
+  if (ecc_epoch_fresh(ecc_now_, verified_at_[id], ecc_epoch_)) {
     ++pending_.elided;  // verified within the current epoch
     return;
   }

@@ -120,7 +120,7 @@ class ChunkPool {
   // verify_symbol elides re-verification of symbols verified within the
   // current epoch.  Epoch 1 (default) elides nothing; scrubs ignore the
   // stamps and re-stamp what they sweep; stamps are never serialized.
-  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = n == 0 ? 1 : n; }
+  void set_ecc_epoch(std::uint64_t n) { ecc_epoch_ = clamp_ecc_epoch(n); }
   std::uint64_t ecc_epoch() const { return ecc_epoch_; }
   void ecc_tick(std::uint64_t now) { ecc_now_ = now; }
 

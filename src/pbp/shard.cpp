@@ -1,0 +1,114 @@
+#include "pbp/shard.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pbp {
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                std::size_t align,
+                                                unsigned shard,
+                                                unsigned threads) {
+  if (threads == 0) threads = 1;
+  if (align == 0) align = 1;
+  const std::size_t chunks = (n + align - 1) / align;
+  const std::size_t per = chunks / threads;
+  const std::size_t rem = chunks % threads;
+  const std::size_t c0 =
+      static_cast<std::size_t>(shard) * per + std::min<std::size_t>(shard, rem);
+  const std::size_t c1 = c0 + per + (shard < rem ? 1 : 0);
+  return {std::min(c0 * align, n), std::min(c1 * align, n)};
+}
+
+ShardPool::ShardPool(unsigned threads) : threads_(threads < 1 ? 1 : threads) {
+  errors_.resize(threads_);
+  workers_.reserve(threads_ - 1);
+  for (unsigned s = 1; s < threads_; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardPool::worker_main(unsigned shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, unsigned)>* fn;
+    std::size_t n, align;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+      align = job_align_;
+    }
+    const auto [begin, end] = shard_range(n, align, shard, threads_);
+    std::exception_ptr err;
+    if (begin < end) {
+      try {
+        (*fn)(begin, end, shard);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      errors_[shard] = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardPool::run(
+    std::size_t n, std::size_t align,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+  if (threads_ == 1) {
+    if (n != 0) fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_n_ = n;
+    job_align_ = align;
+    job_fn_ = &fn;
+    remaining_ = threads_ - 1;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // The caller is shard 0.
+  const auto [begin, end] = shard_range(n, align, 0, threads_);
+  if (begin < end) {
+    try {
+      fn(begin, end, 0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      errors_[0] = std::current_exception();
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    job_fn_ = nullptr;
+    for (auto& e : errors_) {
+      if (e) {
+        std::exception_ptr err = e;
+        lk.unlock();
+        std::rethrow_exception(err);
+      }
+    }
+  }
+}
+
+}  // namespace pbp

@@ -1,0 +1,80 @@
+// shard.hpp — persistent worker pool for sharding one wide AoB register.
+//
+// A 2^E-bit register at ways 24 is 16 MiB of packed words; a single fused
+// verify–compute–encode sweep over it is long enough to amortize handing
+// word sub-ranges to a few persistent threads.  The pool is deliberately
+// minimal: run(n, align, fn) splits [0, n) into one contiguous range per
+// shard (aligned down to `align`-word multiples so SECDED check blocks and
+// vector blocks never straddle shards), executes fn(begin, end, shard) on
+// the workers plus the calling thread, and returns when every shard is done.
+//
+// Determinism contract: shard ranges are a pure function of (n, align,
+// thread count), ranges are disjoint, and the dense kernels that run under
+// the pool are elementwise over disjoint words — so the sharded result is
+// bit-identical to the single-threaded one regardless of scheduling.
+// Reductions (popcount, sweep tallies) write per-shard slots and are
+// combined in shard order by the caller.
+//
+// Exceptions thrown by fn on a worker are captured and rethrown on the
+// calling thread after all shards finish (first shard index wins), so a
+// CorruptionError raised mid-sweep propagates exactly like the scalar path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbp {
+
+/// Deterministic word range of `shard` out of `threads` over [0, n):
+/// the first n/align chunks are dealt as evenly as possible, earlier shards
+/// taking the remainder.  Returns {begin, end} (end == begin for an empty
+/// shard).
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                std::size_t align,
+                                                unsigned shard,
+                                                unsigned threads);
+
+class ShardPool {
+ public:
+  /// Spawns threads-1 workers; the caller always executes shard 0 itself.
+  explicit ShardPool(unsigned threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(begin, end, shard) once per shard over a partition of [0, n)
+  /// aligned to `align`-word multiples.  Blocks until every shard returns;
+  /// rethrows the lowest-shard exception if any shard threw.
+  void run(std::size_t n, std::size_t align,
+           const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
+
+ private:
+  void worker_main(unsigned shard);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per run(); workers wait on it
+  unsigned remaining_ = 0;        // worker shards not yet finished
+  bool stop_ = false;
+
+  // Per-run job, valid while remaining_ > 0.
+  std::size_t job_n_ = 0;
+  std::size_t job_align_ = 1;
+  const std::function<void(std::size_t, std::size_t, unsigned)>* job_fn_ =
+      nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace pbp

@@ -1,0 +1,929 @@
+// simd.cpp — runtime-dispatched vector kernels for the dense Qat substrate.
+//
+// Three tiers share one scalar reference semantics:
+//   * scalar  — the historical word loops, kept verbatim as ground truth;
+//   * AVX2    — 256-bit bitwise blocks (4 words per op);
+//   * AVX-512 — 512-bit blocks (8 words per op) plus VPOPCNTQ-based SECDED
+//     encode: check bit i is parity(word & mask[i]) over the seven GF(2)
+//     parity masks, and the overall bit is parity(word) ^ parity(hamming),
+//     evaluated for 8 words at once.  When the CPU additionally has GFNI +
+//     AVX512VBMI, the encode collapses further to one VPERMB + one
+//     VGF2P8AFFINEQB (see the GFNI section below) — a runtime refinement
+//     inside the same tier.
+//
+// The per-tier variants carry GCC/Clang target attributes, so no global
+// -march flags are needed and the binary still runs on machines without the
+// extensions (dispatch never selects a tier the CPU lacks).  AVX2 has no
+// 64-bit vector popcount, so its SECDED paths keep the table-driven scalar
+// encode and only vectorize the payload arithmetic.
+#include "pbp/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "pbp/ecc.hpp"
+
+#if defined(__x86_64__) && defined(TANGLED_SIMD_X86)
+#define TANGLED_SIMD_DISPATCH 1
+#include <immintrin.h>
+#else
+#define TANGLED_SIMD_DISPATCH 0
+#endif
+
+namespace pbp::simd {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+Tier parse_tier(const std::string& s) {
+  if (s == "scalar") return Tier::kScalar;
+  if (s == "avx2") return Tier::kAvx2;
+  if (s == "avx512") return Tier::kAvx512;
+  throw std::invalid_argument("bad SIMD tier '" + s +
+                              "' (want scalar|avx2|avx512)");
+}
+
+Tier best_supported() {
+#if TANGLED_SIMD_DISPATCH
+  static const Tier best = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vpopcntdq")) {
+      return Tier::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+    return Tier::kScalar;
+  }();
+  return best;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+namespace {
+
+std::atomic<Tier>& active_slot() {
+  static std::atomic<Tier> tier = [] {
+    Tier t = best_supported();
+    if (const char* env = std::getenv("TANGLED_SIMD")) {
+      try {
+        const Tier want = parse_tier(env);
+        if (want < t) t = want;  // the override can only lower the tier
+      } catch (const std::invalid_argument&) {
+        // An unparseable override falls back to autodetection.
+      }
+    }
+    return t;
+  }();
+  return tier;
+}
+
+}  // namespace
+
+Tier active() { return active_slot().load(std::memory_order_relaxed); }
+
+bool set_tier(Tier t) {
+  if (t > best_supported()) return false;
+  active_slot().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+bool gfni_supported() {
+#if TANGLED_SIMD_DISPATCH
+  static const bool ok = best_supported() == Tier::kAvx512 &&
+                         __builtin_cpu_supports("gfni") &&
+                         __builtin_cpu_supports("avx512vbmi");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+std::atomic<bool>& gfni_slot() {
+  static std::atomic<bool> on{gfni_supported()};
+  return on;
+}
+
+}  // namespace
+
+bool gfni_active() { return gfni_slot().load(std::memory_order_relaxed); }
+
+bool set_gfni(bool on) {
+  if (on && !gfni_supported()) return false;
+  gfni_slot().store(on, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (ground truth for every other tier).
+
+namespace {
+
+void and_inplace_scalar(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] &= b[i];
+}
+
+void or_inplace_scalar(std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] |= b[i];
+}
+
+void xor_inplace_scalar(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] ^= b[i];
+}
+
+void and3_scalar(std::uint64_t* a, const std::uint64_t* b,
+                 const std::uint64_t* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] & c[i];
+}
+
+void or3_scalar(std::uint64_t* a, const std::uint64_t* b,
+                const std::uint64_t* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] | c[i];
+}
+
+void xor3_scalar(std::uint64_t* a, const std::uint64_t* b,
+                 const std::uint64_t* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] ^ c[i];
+}
+
+void ccnot_scalar(std::uint64_t* a, const std::uint64_t* b,
+                  const std::uint64_t* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] ^= b[i] & c[i];
+}
+
+void cswap_scalar(std::uint64_t* a, std::uint64_t* b, const std::uint64_t* c,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t = (a[i] ^ b[i]) & c[i];
+    a[i] ^= t;
+    b[i] ^= t;
+  }
+}
+
+std::size_t popcount_scalar(const std::uint64_t* a, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return count;
+}
+
+std::size_t first_nonzero_scalar(const std::uint64_t* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return i;
+  }
+  return n;
+}
+
+bool all_ones_scalar(const std::uint64_t* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != ~std::uint64_t{0}) return false;
+  }
+  return true;
+}
+
+void secded64_encode_scalar(const std::uint64_t* words, std::uint8_t* checks,
+                            std::size_t n) {
+  // encode(0) == 0, and bulk encodes run over mostly-zero state: skip the
+  // table lookups for zeros.
+  for (std::size_t i = 0; i < n; ++i) {
+    checks[i] = words[i] == 0 ? 0 : secded64_encode_fast(words[i]);
+  }
+}
+
+std::uint64_t secded64_mismatch_mask_scalar(const std::uint64_t* words,
+                                            const std::uint8_t* checks,
+                                            std::size_t n) {
+  // All-zero payload + check is clean (encode(0) == 0), and zeroed state
+  // dominates whole-file sweeps: OR-fold first — a branchless, vectorizable
+  // pass — and probe word-by-word only when the block holds any set bit.
+  std::uint64_t fold = 0;
+  for (std::size_t i = 0; i < n; ++i) fold |= words[i] | checks[i];
+  if (fold == 0) return 0;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (secded64_encode_fast(words[i]) != checks[i]) {
+      mask |= std::uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+void cnot_ecc_scalar(std::uint64_t* wa, const std::uint64_t* wb,
+                     std::uint8_t* ca, const std::uint8_t* cb,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    wa[i] ^= wb[i];
+    ca[i] ^= cb[i];
+  }
+}
+
+void ccnot_ecc_scalar(std::uint64_t* wa, const std::uint64_t* wb,
+                      const std::uint64_t* wc, std::uint8_t* ca,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t m = wb[i] & wc[i];
+    wa[i] ^= m;
+    ca[i] ^= secded64_encode_fast(m);
+  }
+}
+
+void cswap_ecc_scalar(std::uint64_t* wa, std::uint64_t* wb,
+                      const std::uint64_t* wc, std::uint8_t* ca,
+                      std::uint8_t* cb, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t = (wa[i] ^ wb[i]) & wc[i];
+    wa[i] ^= t;
+    wb[i] ^= t;
+    const std::uint8_t d = secded64_encode_fast(t);
+    ca[i] ^= d;
+    cb[i] ^= d;
+  }
+}
+
+void and3_ecc_scalar(std::uint64_t* wa, const std::uint64_t* wb,
+                     const std::uint64_t* wc, std::uint8_t* ca,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = wb[i] & wc[i];
+    wa[i] = r;
+    ca[i] = secded64_encode_fast(r);
+  }
+}
+
+void or3_ecc_scalar(std::uint64_t* wa, const std::uint64_t* wb,
+                    const std::uint64_t* wc, std::uint8_t* ca,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = wb[i] | wc[i];
+    wa[i] = r;
+    ca[i] = secded64_encode_fast(r);
+  }
+}
+
+void xor3_ecc_scalar(std::uint64_t* wa, const std::uint64_t* wb,
+                     const std::uint64_t* wc, std::uint8_t* ca,
+                     const std::uint8_t* cb, const std::uint8_t* cc,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    wa[i] = wb[i] ^ wc[i];
+    ca[i] = static_cast<std::uint8_t>(cb[i] ^ cc[i]);
+  }
+}
+
+#if TANGLED_SIMD_DISPATCH
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 256-bit bitwise blocks.  No 64-bit vector popcount exists at
+// this tier, so the SECDED-fused kernels vectorize only their payload halves
+// and keep the table-driven scalar encode.
+
+#define TANGLED_TARGET_AVX2 __attribute__((target("avx2")))
+
+TANGLED_TARGET_AVX2
+void and_inplace_avx2(std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+TANGLED_TARGET_AVX2
+void or_inplace_avx2(std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+TANGLED_TARGET_AVX2
+void xor_inplace_avx2(std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_xor_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] ^= b[i];
+}
+
+TANGLED_TARGET_AVX2
+void and3_avx2(std::uint64_t* a, const std::uint64_t* b,
+               const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_and_si256(vb, vc));
+  }
+  for (; i < n; ++i) a[i] = b[i] & c[i];
+}
+
+TANGLED_TARGET_AVX2
+void or3_avx2(std::uint64_t* a, const std::uint64_t* b,
+              const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_or_si256(vb, vc));
+  }
+  for (; i < n; ++i) a[i] = b[i] | c[i];
+}
+
+TANGLED_TARGET_AVX2
+void xor3_avx2(std::uint64_t* a, const std::uint64_t* b,
+               const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_xor_si256(vb, vc));
+  }
+  for (; i < n; ++i) a[i] = b[i] ^ c[i];
+}
+
+TANGLED_TARGET_AVX2
+void ccnot_avx2(std::uint64_t* a, const std::uint64_t* b,
+                const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_xor_si256(va, _mm256_and_si256(vb, vc)));
+  }
+  for (; i < n; ++i) a[i] ^= b[i] & c[i];
+}
+
+TANGLED_TARGET_AVX2
+void cswap_avx2(std::uint64_t* a, std::uint64_t* b, const std::uint64_t* c,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<__m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    const __m256i t =
+        _mm256_and_si256(_mm256_xor_si256(va, vb), vc);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_xor_si256(va, t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + i),
+                        _mm256_xor_si256(vb, t));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t t = (a[i] ^ b[i]) & c[i];
+    a[i] ^= t;
+    b[i] ^= t;
+  }
+}
+
+TANGLED_TARGET_AVX2
+std::size_t first_nonzero_avx2(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    if (!_mm256_testz_si256(v, v)) break;  // some word in this block is set
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return i;
+  }
+  return n;
+}
+
+TANGLED_TARGET_AVX2
+bool all_ones_avx2(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    // testc(v, ones): CF set iff (~v & ones) == 0, i.e. v is all-ones.
+    if (!_mm256_testc_si256(v, ones)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != ~std::uint64_t{0}) return false;
+  }
+  return true;
+}
+
+TANGLED_TARGET_AVX2
+void cnot_ecc_avx2(std::uint64_t* wa, const std::uint64_t* wb,
+                   std::uint8_t* ca, const std::uint8_t* cb, std::size_t n) {
+  xor_inplace_avx2(wa, wb, n);
+  // The check bytes are fully linear too; the compiler vectorizes this
+  // byte-wide XOR on its own.
+  for (std::size_t i = 0; i < n; ++i) ca[i] ^= cb[i];
+}
+
+TANGLED_TARGET_AVX2
+void xor3_ecc_avx2(std::uint64_t* wa, const std::uint64_t* wb,
+                   const std::uint64_t* wc, std::uint8_t* ca,
+                   const std::uint8_t* cb, const std::uint8_t* cc,
+                   std::size_t n) {
+  xor3_avx2(wa, wb, wc, n);
+  for (std::size_t i = 0; i < n; ++i) ca[i] = cb[i] ^ cc[i];
+}
+
+#define TANGLED_AVX2_ECC_FALLBACK(call) call
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier: 512-bit blocks plus VPOPCNTQ SECDED encode.
+
+#define TANGLED_TARGET_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512vl,avx512vpopcntdq")))
+
+// GCC's AVX-512 narrowing/reduction intrinsics expand through
+// _mm512_undefined_epi32(), which GCC 12 flags as used-uninitialized when
+// inlined into callers (PR105593).  The lanes in question are fully
+// overwritten; silence the false positive for the AVX-512 kernels only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+TANGLED_TARGET_AVX512
+void and_inplace_avx512(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_and_si512(va, vb));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+TANGLED_TARGET_AVX512
+void or_inplace_avx512(std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_or_si512(va, vb));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+TANGLED_TARGET_AVX512
+void xor_inplace_avx512(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_xor_si512(va, vb));
+  }
+  for (; i < n; ++i) a[i] ^= b[i];
+}
+
+TANGLED_TARGET_AVX512
+void and3_avx512(std::uint64_t* a, const std::uint64_t* b,
+                 const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(a + i,
+                        _mm512_and_si512(_mm512_loadu_si512(b + i),
+                                         _mm512_loadu_si512(c + i)));
+  }
+  for (; i < n; ++i) a[i] = b[i] & c[i];
+}
+
+TANGLED_TARGET_AVX512
+void or3_avx512(std::uint64_t* a, const std::uint64_t* b,
+                const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(a + i,
+                        _mm512_or_si512(_mm512_loadu_si512(b + i),
+                                        _mm512_loadu_si512(c + i)));
+  }
+  for (; i < n; ++i) a[i] = b[i] | c[i];
+}
+
+TANGLED_TARGET_AVX512
+void xor3_avx512(std::uint64_t* a, const std::uint64_t* b,
+                 const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(a + i,
+                        _mm512_xor_si512(_mm512_loadu_si512(b + i),
+                                         _mm512_loadu_si512(c + i)));
+  }
+  for (; i < n; ++i) a[i] = b[i] ^ c[i];
+}
+
+TANGLED_TARGET_AVX512
+void ccnot_avx512(std::uint64_t* a, const std::uint64_t* b,
+                  const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i m = _mm512_and_si512(_mm512_loadu_si512(b + i),
+                                       _mm512_loadu_si512(c + i));
+    _mm512_storeu_si512(a + i, _mm512_xor_si512(va, m));
+  }
+  for (; i < n; ++i) a[i] ^= b[i] & c[i];
+}
+
+TANGLED_TARGET_AVX512
+void cswap_avx512(std::uint64_t* a, std::uint64_t* b, const std::uint64_t* c,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __m512i t = _mm512_and_si512(_mm512_xor_si512(va, vb),
+                                       _mm512_loadu_si512(c + i));
+    _mm512_storeu_si512(a + i, _mm512_xor_si512(va, t));
+    _mm512_storeu_si512(b + i, _mm512_xor_si512(vb, t));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t t = (a[i] ^ b[i]) & c[i];
+    a[i] ^= t;
+    b[i] ^= t;
+  }
+}
+
+TANGLED_TARGET_AVX512
+std::size_t popcount_avx512(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  std::size_t count =
+      static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return count;
+}
+
+TANGLED_TARGET_AVX512
+std::size_t first_nonzero_avx512(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(a + i);
+    const __mmask8 m = _mm512_test_epi64_mask(v, v);
+    if (m != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(m));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return i;
+  }
+  return n;
+}
+
+TANGLED_TARGET_AVX512
+bool all_ones_avx512(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  const __m512i ones = _mm512_set1_epi64(-1);
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(a + i);
+    if (_mm512_cmpneq_epi64_mask(v, ones) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != ~std::uint64_t{0}) return false;
+  }
+  return true;
+}
+
+/// Canonical (72,64) check bytes of 8 payload words, one per 64-bit lane:
+/// Hamming bit i = parity(word & mask[i]) via VPOPCNTQ, overall bit =
+/// parity(word) ^ parity(hamming bits).  Identical to secded64_encode_fast
+/// by construction (same masks, pinned by tests/test_simd.cpp).
+TANGLED_TARGET_AVX512
+inline __m512i secded64_encode8(__m512i w) {
+  const __m512i one = _mm512_set1_epi64(1);
+  __m512i h = _mm512_setzero_si512();
+  for (int i = 0; i < 7; ++i) {
+    const __m512i masked = _mm512_and_si512(
+        w, _mm512_set1_epi64(
+               static_cast<long long>(detail::kSecded64Masks.m[i])));
+    const __m512i parity =
+        _mm512_and_si512(_mm512_popcnt_epi64(masked), one);
+    h = _mm512_or_si512(h, _mm512_slli_epi64(parity, i));
+  }
+  const __m512i pw = _mm512_and_si512(_mm512_popcnt_epi64(w), one);
+  const __m512i ph = _mm512_and_si512(_mm512_popcnt_epi64(h), one);
+  return _mm512_or_si512(
+      h, _mm512_slli_epi64(_mm512_xor_si512(pw, ph), 7));
+}
+
+/// Narrow 8 check-byte lanes to 8 packed bytes.
+TANGLED_TARGET_AVX512
+inline __m128i narrow_checks(__m512i enc) { return _mm512_cvtepi64_epi8(enc); }
+
+TANGLED_TARGET_AVX512
+inline void store8_checks(std::uint8_t* c, __m128i bytes) {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(c), bytes);
+}
+
+TANGLED_TARGET_AVX512
+void cnot_ecc_avx512(std::uint64_t* wa, const std::uint64_t* wb,
+                     std::uint8_t* ca, const std::uint8_t* cb,
+                     std::size_t n) {
+  xor_inplace_avx512(wa, wb, n);
+  for (std::size_t i = 0; i < n; ++i) ca[i] ^= cb[i];
+}
+
+TANGLED_TARGET_AVX512
+void xor3_ecc_avx512(std::uint64_t* wa, const std::uint64_t* wb,
+                     const std::uint64_t* wc, std::uint8_t* ca,
+                     const std::uint8_t* cb, const std::uint8_t* cc,
+                     std::size_t n) {
+  xor3_avx512(wa, wb, wc, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ca[i] = static_cast<std::uint8_t>(cb[i] ^ cc[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GFNI refinement of the AVX-512 tier.
+//
+// The full (72,64) check byte is one GF(2)-linear map: check bit i of word w
+// is parity(w & R[i]) for eight 64-bit row masks R (the seven Hamming masks
+// plus the folded overall-parity row).  Split each row into its eight bytes
+// and that map factors into eight 8x8 bit-matrix products — exactly what
+// VGF2P8AFFINEQB evaluates, one per byte lane.  So eight words encode with
+//
+//   1 VPERMB          byte-transpose: lane j gathers byte j of every word
+//   1 VGF2P8AFFINEQB  lane j multiplies its bytes by the byte-j column matrix
+//   3 XOR folds       512 -> 64 bits: byte q of the fold is check(word q)
+//
+// against the nine VPOPCNTQ sweeps (~45 512-bit ops) of the portable path.
+// Selected at runtime inside Tier::kAvx512 when the CPU also has GFNI and
+// AVX512VBMI (Ice Lake and later); set_gfni() pins either variant for tests.
+
+#define TANGLED_TARGET_AVX512GF                                         \
+  __attribute__((target(                                                \
+      "avx512f,avx512bw,avx512vl,avx512vpopcntdq,avx512vbmi,gfni")))
+
+struct Secded64GfniTables {
+  alignas(64) std::uint8_t transpose[64];  // VPERMB byte-transpose index
+  alignas(64) std::uint64_t matrices[8];   // per-lane 8x8 GF(2) matrices
+};
+
+constexpr Secded64GfniTables make_secded64_gfni_tables() {
+  Secded64GfniTables t{};
+  // Byte-transpose the 8x8 (lane x byte) grid: destination byte 8j+q reads
+  // source byte 8q+j, so lane j collects byte j of all eight words.
+  for (int j = 0; j < 8; ++j) {
+    for (int q = 0; q < 8; ++q) {
+      t.transpose[8 * j + q] = static_cast<std::uint8_t>(8 * q + j);
+    }
+  }
+  // Row masks of the 8x64 check matrix.  Rows 0..6 are the Hamming parity
+  // masks; row 7 is the overall bit, parity(w) ^ parity(hamming(w)) ==
+  // parity(w & ~(m0 ^ ... ^ m6)).
+  std::uint64_t rows[8] = {};
+  std::uint64_t fold = 0;
+  for (int i = 0; i < 7; ++i) {
+    rows[i] = detail::kSecded64Masks.m[i];
+    fold ^= rows[i];
+  }
+  rows[7] = ~fold;
+  // VGF2P8AFFINEQB reads the matrix row for output bit i from byte 7-i of
+  // the lane's matrix qword; lane j multiplies byte j of each word, so its
+  // matrix holds byte j of every row.
+  for (int j = 0; j < 8; ++j) {
+    std::uint64_t m = 0;
+    for (int k = 0; k < 8; ++k) {
+      m |= ((rows[7 - k] >> (8 * j)) & 0xff) << (8 * k);
+    }
+    t.matrices[j] = m;
+  }
+  return t;
+}
+
+constexpr Secded64GfniTables kSecded64Gfni = make_secded64_gfni_tables();
+
+/// Canonical check bytes of 8 payload words via one affine transform; the
+/// low 8 bytes of the result are checks[0..7].  Bit-identical to
+/// secded64_encode8 + narrow_checks (pinned by tests/test_simd.cpp).
+TANGLED_TARGET_AVX512GF
+inline __m128i secded64_encode8_gfni(__m512i w) {
+  const __m512i t = _mm512_permutexvar_epi8(
+      _mm512_load_si512(kSecded64Gfni.transpose), w);
+  const __m512i y = _mm512_gf2p8affine_epi64_epi8(
+      t, _mm512_load_si512(kSecded64Gfni.matrices), 0);
+  const __m256i f = _mm256_xor_si256(_mm512_castsi512_si256(y),
+                                     _mm512_extracti64x4_epi64(y, 1));
+  const __m128i g = _mm_xor_si128(_mm256_castsi256_si128(f),
+                                  _mm256_extracti128_si256(f, 1));
+  return _mm_xor_si128(g, _mm_unpackhi_epi64(g, g));
+}
+
+// Instantiate the six encode-bearing SECDED kernels twice from one shared
+// body (see simd_secded_kernels.inc): the portable popcount variant and the
+// GFNI variant differ only in the ENC8 hook.
+
+#define TANGLED_SECDED_TARGET TANGLED_TARGET_AVX512
+#define TANGLED_SECDED_FN(name) name##_avx512
+#define TANGLED_SECDED_ENC8(v) narrow_checks(secded64_encode8(v))
+#include "simd_secded_kernels.inc"
+#undef TANGLED_SECDED_TARGET
+#undef TANGLED_SECDED_FN
+#undef TANGLED_SECDED_ENC8
+
+#define TANGLED_SECDED_TARGET TANGLED_TARGET_AVX512GF
+#define TANGLED_SECDED_FN(name) name##_gfni
+#define TANGLED_SECDED_ENC8(v) secded64_encode8_gfni(v)
+#include "simd_secded_kernels.inc"
+#undef TANGLED_SECDED_TARGET
+#undef TANGLED_SECDED_FN
+#undef TANGLED_SECDED_ENC8
+
+#pragma GCC diagnostic pop
+
+#endif  // TANGLED_SIMD_DISPATCH
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public dispatchers.  The per-call switch is negligible against the word
+// loops it guards; ops on tiny registers (ways < 9) spend their time in the
+// virtual-call plumbing either way.
+
+#if TANGLED_SIMD_DISPATCH
+#define TANGLED_DISPATCH(fn, ...)                      \
+  switch (active()) {                                  \
+    case Tier::kAvx512:                                \
+      return fn##_avx512(__VA_ARGS__);                 \
+    case Tier::kAvx2:                                  \
+      return fn##_avx2(__VA_ARGS__);                   \
+    case Tier::kScalar:                                \
+      break;                                           \
+  }                                                    \
+  return fn##_scalar(__VA_ARGS__)
+// AVX2 has no vector popcount / SECDED path: fall through to scalar there.
+#define TANGLED_DISPATCH_512(fn, ...)                  \
+  switch (active()) {                                  \
+    case Tier::kAvx512:                                \
+      return fn##_avx512(__VA_ARGS__);                 \
+    case Tier::kAvx2:                                  \
+    case Tier::kScalar:                                \
+      break;                                           \
+  }                                                    \
+  return fn##_scalar(__VA_ARGS__)
+// Encode-bearing SECDED kernels additionally refine kAvx512 with the GFNI
+// variant when the CPU has it (see secded64_encode8_gfni).
+#define TANGLED_DISPATCH_512GF(fn, ...)                \
+  switch (active()) {                                  \
+    case Tier::kAvx512:                                \
+      if (gfni_active()) return fn##_gfni(__VA_ARGS__); \
+      return fn##_avx512(__VA_ARGS__);                 \
+    case Tier::kAvx2:                                  \
+    case Tier::kScalar:                                \
+      break;                                           \
+  }                                                    \
+  return fn##_scalar(__VA_ARGS__)
+#else
+#define TANGLED_DISPATCH(fn, ...) return fn##_scalar(__VA_ARGS__)
+#define TANGLED_DISPATCH_512(fn, ...) return fn##_scalar(__VA_ARGS__)
+#define TANGLED_DISPATCH_512GF(fn, ...) return fn##_scalar(__VA_ARGS__)
+#endif
+
+void and_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  TANGLED_DISPATCH(and_inplace, a, b, n);
+}
+
+void or_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  TANGLED_DISPATCH(or_inplace, a, b, n);
+}
+
+void xor_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  TANGLED_DISPATCH(xor_inplace, a, b, n);
+}
+
+void and3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+          std::size_t n) {
+  TANGLED_DISPATCH(and3, a, b, c, n);
+}
+
+void or3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+         std::size_t n) {
+  TANGLED_DISPATCH(or3, a, b, c, n);
+}
+
+void xor3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+          std::size_t n) {
+  TANGLED_DISPATCH(xor3, a, b, c, n);
+}
+
+void ccnot(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+           std::size_t n) {
+  TANGLED_DISPATCH(ccnot, a, b, c, n);
+}
+
+void cswap(std::uint64_t* a, std::uint64_t* b, const std::uint64_t* c,
+           std::size_t n) {
+  TANGLED_DISPATCH(cswap, a, b, c, n);
+}
+
+std::size_t popcount(const std::uint64_t* a, std::size_t n) {
+  TANGLED_DISPATCH_512(popcount, a, n);
+}
+
+std::size_t first_nonzero(const std::uint64_t* a, std::size_t n) {
+  TANGLED_DISPATCH(first_nonzero, a, n);
+}
+
+bool all_ones(const std::uint64_t* a, std::size_t n) {
+  TANGLED_DISPATCH(all_ones, a, n);
+}
+
+void secded64_encode(const std::uint64_t* words, std::uint8_t* checks,
+                     std::size_t n) {
+  TANGLED_DISPATCH_512GF(secded64_encode, words, checks, n);
+}
+
+std::uint64_t secded64_mismatch_mask(const std::uint64_t* words,
+                                     const std::uint8_t* checks,
+                                     std::size_t n) {
+  TANGLED_DISPATCH_512GF(secded64_mismatch_mask, words, checks, n);
+}
+
+void cnot_ecc(std::uint64_t* wa, const std::uint64_t* wb, std::uint8_t* ca,
+              const std::uint8_t* cb, std::size_t n) {
+  TANGLED_DISPATCH(cnot_ecc, wa, wb, ca, cb, n);
+}
+
+void ccnot_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+               const std::uint64_t* wc, std::uint8_t* ca, std::size_t n) {
+  TANGLED_DISPATCH_512GF(ccnot_ecc, wa, wb, wc, ca, n);
+}
+
+void cswap_ecc(std::uint64_t* wa, std::uint64_t* wb, const std::uint64_t* wc,
+               std::uint8_t* ca, std::uint8_t* cb, std::size_t n) {
+  TANGLED_DISPATCH_512GF(cswap_ecc, wa, wb, wc, ca, cb, n);
+}
+
+void and3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+              const std::uint64_t* wc, std::uint8_t* ca, std::size_t n) {
+  TANGLED_DISPATCH_512GF(and3_ecc, wa, wb, wc, ca, n);
+}
+
+void or3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+             const std::uint64_t* wc, std::uint8_t* ca, std::size_t n) {
+  TANGLED_DISPATCH_512GF(or3_ecc, wa, wb, wc, ca, n);
+}
+
+void xor3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+              const std::uint64_t* wc, std::uint8_t* ca,
+              const std::uint8_t* cb, const std::uint8_t* cc,
+              std::size_t n) {
+  TANGLED_DISPATCH(xor3_ecc, wa, wb, wc, ca, cb, cc, n);
+}
+
+#undef TANGLED_DISPATCH
+#undef TANGLED_DISPATCH_512
+
+}  // namespace pbp::simd

@@ -1,0 +1,132 @@
+// simd.hpp — portable vector-width dispatch for the dense Qat substrate.
+//
+// The dense datapath is word loops over packed 2^E-bit AoB vectors: the
+// Table 3 bitwise kernels, the measurement reductions, and the fused SECDED
+// verify–compute–encode sweeps of DenseQatBackend.  This header is the one
+// seam those loops go through.  At startup the best instruction-set tier the
+// CPU supports is selected (AVX-512 with VPOPCNTDQ, then AVX2, then plain
+// scalar); the TANGLED_SIMD environment variable (scalar|avx2|avx512) forces
+// a lower tier, and set_tier() gives tests the same control programmatically.
+//
+// Contract: every kernel is bit-identical across tiers.  The payload ops are
+// pure bitwise/popcount arithmetic (lane order cannot matter), and the SECDED
+// kernels compute the same canonical check byte the table-driven scalar
+// codec produces — the AVX-512 path evaluates the eight GF(2) parity masks
+// with VPOPCNTQ instead of eight table lookups, and on GFNI-capable CPUs
+// with a single VGF2P8AFFINEQB bit-matrix product (see below), which is
+// where the dense backend's speedup comes from.  tests/test_simd.cpp pins
+// every kernel against the scalar reference at every supported tier and
+// both avx512 SECDED variants.
+//
+// All kernels tolerate operand aliasing the same way the scalar loops do:
+// each word's result depends only on that word's pre-update operand values
+// (loads happen before stores within a vector block, and blocks are
+// disjoint), so a == b, a == c, b == c and all-equal calls match the scalar
+// semantics exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pbp::simd {
+
+/// Dispatch tiers, ordered: a CPU that supports tier T supports every tier
+/// below it (kAvx512 requires AVX512F/BW/VL + VPOPCNTDQ).
+enum class Tier : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* tier_name(Tier t);
+/// Parses "scalar" | "avx2" | "avx512"; throws std::invalid_argument.
+Tier parse_tier(const std::string& s);
+
+/// Best tier this CPU supports (CPUID probe, cached).
+Tier best_supported();
+
+/// The tier kernels currently dispatch to.  First call applies the
+/// TANGLED_SIMD environment override (clamped to best_supported()).
+Tier active();
+
+/// Force a tier (tests, the check.sh simd lane).  Returns false — and leaves
+/// the active tier unchanged — if the CPU does not support the request.
+bool set_tier(Tier t);
+
+// --- GFNI refinement of the AVX-512 tier ----------------------------------
+//
+// On CPUs with GFNI + AVX512VBMI (Ice Lake and later) the encode-bearing
+// SECDED kernels compute the check byte with one VPERMB byte-transpose plus
+// one VGF2P8AFFINEQB instead of nine VPOPCNTQ parity sweeps — the check map
+// is GF(2)-linear, so it factors into per-byte 8x8 bit-matrix products.
+// This is an internal refinement inside Tier::kAvx512: the tier enum, the
+// TANGLED_SIMD override, and the bit-identical contract are unchanged.
+
+/// CPU can run the GFNI SECDED variant (implies Tier::kAvx512 support).
+bool gfni_supported();
+/// Whether the avx512 tier currently uses the GFNI variant.
+bool gfni_active();
+/// Pin the refinement on or off (tests cover both variants this way).
+/// Returns false — leaving the state unchanged — if `on` is unsupported.
+bool set_gfni(bool on);
+
+// --- Bitwise kernels over packed 64-bit word ranges -----------------------
+
+void and_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+void or_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+void xor_inplace(std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+/// a[i] = b[i] OP c[i]
+void and3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+          std::size_t n);
+void or3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+         std::size_t n);
+void xor3(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+          std::size_t n);
+/// Toffoli payload: a[i] ^= b[i] & c[i]
+void ccnot(std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+           std::size_t n);
+/// Fredkin payload via the XOR-mask trick: t = (a^b)&c; a ^= t; b ^= t.
+void cswap(std::uint64_t* a, std::uint64_t* b, const std::uint64_t* c,
+           std::size_t n);
+
+// --- Measurement-family reductions ----------------------------------------
+
+std::size_t popcount(const std::uint64_t* a, std::size_t n);
+/// Index of the first word with any bit set, or n if none (any / next_one).
+std::size_t first_nonzero(const std::uint64_t* a, std::size_t n);
+/// True iff every word is all-ones (the ALL reduction; callers handle the
+/// sub-word tail mask).
+bool all_ones(const std::uint64_t* a, std::size_t n);
+
+// --- Fused SECDED(72,64) kernels ------------------------------------------
+//
+// One sweep maintains payload and check sidecar together, exploiting the
+// code's GF(2) linearity: encode(x ^ y) == encode(x) ^ encode(y) and
+// encode(0) == 0 (see pbp/ecc.hpp).
+
+/// checks[i] = canonical check byte of words[i].
+void secded64_encode(const std::uint64_t* words, std::uint8_t* checks,
+                     std::size_t n);
+/// Probe up to 64 words: bit i of the result is set iff
+/// encode(words[i]) != checks[i].  n must be <= 64.
+std::uint64_t secded64_mismatch_mask(const std::uint64_t* words,
+                                     const std::uint8_t* checks,
+                                     std::size_t n);
+
+/// cnot: wa ^= wb, ca ^= cb (linear derivation, no re-encode needed).
+void cnot_ecc(std::uint64_t* wa, const std::uint64_t* wb, std::uint8_t* ca,
+              const std::uint8_t* cb, std::size_t n);
+/// ccnot: m = wb & wc; wa ^= m; ca ^= encode(m).
+void ccnot_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+               const std::uint64_t* wc, std::uint8_t* ca, std::size_t n);
+/// cswap: t = (wa^wb) & wc; wa ^= t; wb ^= t; encode(t) into both sidecars.
+void cswap_ecc(std::uint64_t* wa, std::uint64_t* wb, const std::uint64_t* wc,
+               std::uint8_t* ca, std::uint8_t* cb, std::size_t n);
+/// and: wa = wb & wc; ca = encode(wa) (AND is not XOR-linear: re-encode).
+void and3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+              const std::uint64_t* wc, std::uint8_t* ca, std::size_t n);
+void or3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+             const std::uint64_t* wc, std::uint8_t* ca, std::size_t n);
+/// xor: wa = wb ^ wc; ca = cb ^ cc (fully linear).
+void xor3_ecc(std::uint64_t* wa, const std::uint64_t* wb,
+              const std::uint64_t* wc, std::uint8_t* ca,
+              const std::uint8_t* cb, const std::uint8_t* cc, std::size_t n);
+
+}  // namespace pbp::simd

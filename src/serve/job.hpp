@@ -65,6 +65,9 @@ struct Job {
   /// Background scrub cadence in retired instructions (0 = off; only
   /// meaningful with ecc != kOff).
   std::uint64_t scrub_every = 0;
+  /// Intra-register worker threads for wide dense Qat registers (ways >=
+  /// 20); 0 is clamped to 1.  Never changes architectural results.
+  unsigned qat_threads = 1;
 
   /// Wall-clock deadline measured from submission (queue wait included);
   /// zero means "use the server default" (which may itself be none).

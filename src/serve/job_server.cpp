@@ -481,6 +481,7 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       sim->set_ecc_mode(job.ecc);
       sim->set_ecc_epoch(job.ecc_epoch);
       sim->set_scrub_every(job.scrub_every);
+      sim->set_qat_threads(job.qat_threads);
       if (job.backend == pbp::Backend::kCompressed) {
         // Memory-pressure hook: an RE→dense migration must fit in the
         // budget or it is shed and the exhaustion traps instead.

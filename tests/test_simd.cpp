@@ -1,0 +1,747 @@
+// test_simd.cpp — the bit-identical contract of the runtime-dispatched
+// vector kernels (pbp/simd.hpp) and the deterministic sharding layer
+// (pbp/shard.hpp):
+//   * tier control: parse/name round-trip, env-independent set_tier,
+//     unsupported tiers rejected;
+//   * every kernel pinned against a plain reference loop at every supported
+//     tier, across sizes that exercise full vector blocks and ragged tails;
+//   * the fused SECDED kernels pinned against the table-driven scalar codec
+//     (secded64_encode_fast) via the code's GF(2) linearity;
+//   * shard_range coverage/disjointness/alignment and ShardPool execution
+//     including exception propagation;
+//   * forced-tier whole-backend differentials (dense vs RE) across ECC modes
+//     and thread counts, plus operand-aliasing differentials for every
+//     Table 3 op;
+//   * the epoch-freshness overflow regression (--ecc-epoch=UINT64_MAX).
+#include "pbp/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "pbp/ecc.hpp"
+#include "pbp/qat_backend.hpp"
+#include "pbp/shard.hpp"
+
+namespace pbp {
+namespace {
+
+using simd::Tier;
+
+/// Every tier this CPU can actually run (always includes kScalar).
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> out{Tier::kScalar};
+  if (simd::best_supported() >= Tier::kAvx2) out.push_back(Tier::kAvx2);
+  if (simd::best_supported() >= Tier::kAvx512) out.push_back(Tier::kAvx512);
+  return out;
+}
+
+/// RAII tier override so a failing test cannot leak a forced tier into the
+/// rest of the binary.
+class TierGuard {
+ public:
+  explicit TierGuard(Tier t) : saved_(simd::active()) {
+    EXPECT_TRUE(simd::set_tier(t));
+  }
+  ~TierGuard() { simd::set_tier(saved_); }
+
+ private:
+  Tier saved_;
+};
+
+/// SECDED kernel variants: every supported tier, and when the CPU has the
+/// GFNI refinement, the avx512 tier both ways — the popcount path must stay
+/// covered on machines where GFNI would otherwise always win dispatch.
+struct SecdedVariant {
+  Tier tier;
+  bool gfni;
+};
+
+std::vector<SecdedVariant> secded_variants() {
+  std::vector<SecdedVariant> out;
+  for (const Tier t : supported_tiers()) {
+    if (t == Tier::kAvx512 && simd::gfni_supported()) {
+      out.push_back({t, false});
+      out.push_back({t, true});
+    } else {
+      out.push_back({t, simd::gfni_active()});
+    }
+  }
+  return out;
+}
+
+std::string variant_name(const SecdedVariant& v) {
+  std::string s = simd::tier_name(v.tier);
+  if (v.tier == Tier::kAvx512 && simd::gfni_supported()) {
+    s += v.gfni ? "+gfni" : "+popcnt";
+  }
+  return s;
+}
+
+/// TierGuard plus a pinned GFNI refinement state, both restored on exit.
+class VariantGuard {
+ public:
+  explicit VariantGuard(const SecdedVariant& v)
+      : tier_(v.tier), saved_gfni_(simd::gfni_active()) {
+    EXPECT_TRUE(simd::set_gfni(v.gfni));
+  }
+  ~VariantGuard() { simd::set_gfni(saved_gfni_); }
+
+ private:
+  TierGuard tier_;
+  bool saved_gfni_;
+};
+
+/// Sizes that hit: sub-block, one exact AVX2 block, one ragged AVX-512
+/// block, exact AVX-512 blocks, a full SECDED chunk, and a large buffer
+/// with every kind of tail.
+constexpr std::size_t kSizes[] = {0, 1, 3, 4, 7, 8, 9, 63, 64, 65, 100, 1000};
+
+std::vector<std::uint64_t> random_words(std::mt19937_64& rng, std::size_t n,
+                                        bool sprinkle_zeros = false) {
+  std::vector<std::uint64_t> v(n);
+  for (auto& w : v) {
+    w = rng();
+    if (sprinkle_zeros && rng() % 3 == 0) w = 0;  // exercise zero-skip paths
+  }
+  return v;
+}
+
+// --- Tier control ---------------------------------------------------------
+
+TEST(SimdTier, NameParseRoundTrip) {
+  for (const Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    EXPECT_EQ(simd::parse_tier(simd::tier_name(t)), t);
+  }
+  EXPECT_THROW(simd::parse_tier("sse9"), std::invalid_argument);
+  EXPECT_THROW(simd::parse_tier(""), std::invalid_argument);
+}
+
+TEST(SimdTier, SetTierControlsActiveWithinSupport) {
+  const Tier before = simd::active();
+  for (const Tier t : supported_tiers()) {
+    ASSERT_TRUE(simd::set_tier(t));
+    EXPECT_EQ(simd::active(), t);
+  }
+  if (simd::best_supported() < Tier::kAvx512) {
+    EXPECT_FALSE(simd::set_tier(Tier::kAvx512));
+    EXPECT_NE(simd::active(), Tier::kAvx512);
+  }
+  simd::set_tier(before);
+}
+
+TEST(SimdTier, ActiveNeverExceedsBestSupported) {
+  EXPECT_LE(static_cast<int>(simd::active()),
+            static_cast<int>(simd::best_supported()));
+}
+
+TEST(SimdTier, GfniRefinementRespectsSupport) {
+  const bool before = simd::gfni_active();
+  if (simd::gfni_supported()) {
+    EXPECT_EQ(simd::best_supported(), Tier::kAvx512);
+    EXPECT_TRUE(simd::set_gfni(false));
+    EXPECT_FALSE(simd::gfni_active());
+    EXPECT_TRUE(simd::set_gfni(true));
+    EXPECT_TRUE(simd::gfni_active());
+  } else {
+    EXPECT_FALSE(simd::gfni_active());
+    EXPECT_FALSE(simd::set_gfni(true));
+    EXPECT_FALSE(simd::gfni_active());
+    EXPECT_TRUE(simd::set_gfni(false));  // off is always accepted
+  }
+  simd::set_gfni(before);
+}
+
+// --- Bitwise and reduction kernels vs reference loops ---------------------
+
+TEST(SimdKernels, BitwiseMatchReferenceAtEveryTier) {
+  std::mt19937_64 rng(42);
+  for (const Tier t : supported_tiers()) {
+    TierGuard guard(t);
+    for (const std::size_t n : kSizes) {
+      const auto a0 = random_words(rng, n);
+      const auto b = random_words(rng, n);
+      const auto c = random_words(rng, n);
+
+      auto check2 = [&](void (*fn)(std::uint64_t*, const std::uint64_t*,
+                                   std::size_t),
+                        auto op, const char* name) {
+        auto a = a0;
+        fn(a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(a[i], op(a0[i], b[i]))
+              << name << " tier " << simd::tier_name(t) << " n=" << n
+              << " i=" << i;
+        }
+      };
+      check2(simd::and_inplace,
+             [](std::uint64_t x, std::uint64_t y) { return x & y; }, "and");
+      check2(simd::or_inplace,
+             [](std::uint64_t x, std::uint64_t y) { return x | y; }, "or");
+      check2(simd::xor_inplace,
+             [](std::uint64_t x, std::uint64_t y) { return x ^ y; }, "xor");
+
+      auto check3 = [&](void (*fn)(std::uint64_t*, const std::uint64_t*,
+                                   const std::uint64_t*, std::size_t),
+                        auto op, const char* name) {
+        std::vector<std::uint64_t> a(n, 0xdeadbeefull);
+        fn(a.data(), b.data(), c.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(a[i], op(b[i], c[i]))
+              << name << " tier " << simd::tier_name(t) << " n=" << n;
+        }
+      };
+      check3(simd::and3,
+             [](std::uint64_t x, std::uint64_t y) { return x & y; }, "and3");
+      check3(simd::or3,
+             [](std::uint64_t x, std::uint64_t y) { return x | y; }, "or3");
+      check3(simd::xor3,
+             [](std::uint64_t x, std::uint64_t y) { return x ^ y; }, "xor3");
+
+      {
+        auto a = a0;
+        simd::ccnot(a.data(), b.data(), c.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(a[i], a0[i] ^ (b[i] & c[i]))
+              << "ccnot tier " << simd::tier_name(t) << " n=" << n;
+        }
+      }
+      {
+        auto a = a0;
+        auto bb = b;
+        simd::cswap(a.data(), bb.data(), c.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t ea = (a0[i] & ~c[i]) | (b[i] & c[i]);
+          const std::uint64_t eb = (b[i] & ~c[i]) | (a0[i] & c[i]);
+          ASSERT_EQ(a[i], ea) << "cswap-a tier " << simd::tier_name(t);
+          ASSERT_EQ(bb[i], eb) << "cswap-b tier " << simd::tier_name(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ReductionsMatchReferenceAtEveryTier) {
+  std::mt19937_64 rng(7);
+  for (const Tier t : supported_tiers()) {
+    TierGuard guard(t);
+    for (const std::size_t n : kSizes) {
+      auto a = random_words(rng, n, /*sprinkle_zeros=*/true);
+
+      std::size_t pop = 0;
+      for (const auto w : a) pop += std::popcount(w);
+      EXPECT_EQ(simd::popcount(a.data(), n), pop)
+          << "tier " << simd::tier_name(t) << " n=" << n;
+
+      std::size_t first = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != 0) {
+          first = i;
+          break;
+        }
+      }
+      EXPECT_EQ(simd::first_nonzero(a.data(), n), first)
+          << "tier " << simd::tier_name(t) << " n=" << n;
+
+      // All-zero and single-bit-at-end variants for first_nonzero.
+      std::fill(a.begin(), a.end(), 0);
+      EXPECT_EQ(simd::first_nonzero(a.data(), n), n);
+      if (n > 0) {
+        a[n - 1] = 1;
+        EXPECT_EQ(simd::first_nonzero(a.data(), n), n - 1);
+      }
+
+      std::fill(a.begin(), a.end(), ~std::uint64_t{0});
+      EXPECT_TRUE(simd::all_ones(a.data(), n));
+      if (n > 0) {
+        a[n / 2] ^= std::uint64_t{1} << 17;
+        EXPECT_FALSE(simd::all_ones(a.data(), n))
+            << "tier " << simd::tier_name(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+// --- Fused SECDED kernels vs the table-driven codec -----------------------
+
+TEST(SimdSecded, EncodeMatchesScalarCodecAtEveryTier) {
+  std::mt19937_64 rng(11);
+  for (const SecdedVariant v : secded_variants()) {
+    VariantGuard guard(v);
+    for (const std::size_t n : kSizes) {
+      const auto w = random_words(rng, n, /*sprinkle_zeros=*/true);
+      std::vector<std::uint8_t> checks(n, 0xee);
+      simd::secded64_encode(w.data(), checks.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(checks[i], secded64_encode_fast(w[i]))
+            << "variant " << variant_name(v) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdSecded, MismatchMaskMatchesBruteForceAtEveryTier) {
+  std::mt19937_64 rng(13);
+  for (const SecdedVariant v : secded_variants()) {
+    VariantGuard guard(v);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                                std::size_t{8}, std::size_t{33},
+                                std::size_t{64}}) {
+      auto w = random_words(rng, n, /*sprinkle_zeros=*/true);
+      std::vector<std::uint8_t> checks(n);
+      for (std::size_t i = 0; i < n; ++i) checks[i] = secded64_encode_fast(w[i]);
+
+      // Clean block: no mismatches.
+      EXPECT_EQ(simd::secded64_mismatch_mask(w.data(), checks.data(), n), 0u)
+          << "variant " << variant_name(v) << " n=" << n;
+
+      // Flip a scattering of payload / check bits and recompute by brute
+      // force.
+      for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t i = rng() % n;
+        if (rng() % 2) {
+          w[i] ^= std::uint64_t{1} << (rng() % 64);
+        } else {
+          checks[i] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+        }
+        std::uint64_t expect = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (secded64_encode_fast(w[j]) != checks[j]) {
+            expect |= std::uint64_t{1} << j;
+          }
+        }
+        EXPECT_EQ(simd::secded64_mismatch_mask(w.data(), checks.data(), n),
+                  expect)
+            << "variant " << variant_name(v) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdSecded, FusedOpKernelsMatchScalarDerivationAtEveryTier) {
+  std::mt19937_64 rng(17);
+  for (const SecdedVariant v : secded_variants()) {
+    VariantGuard guard(v);
+    for (const std::size_t n : kSizes) {
+      const auto wa0 = random_words(rng, n);
+      const auto wb = random_words(rng, n);
+      const auto wc = random_words(rng, n, /*sprinkle_zeros=*/true);
+      std::vector<std::uint8_t> ca0(n), cb(n), cc(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ca0[i] = secded64_encode_fast(wa0[i]);
+        cb[i] = secded64_encode_fast(wb[i]);
+        cc[i] = secded64_encode_fast(wc[i]);
+      }
+      // Every fused kernel must leave (word, check) consistent AND equal to
+      // the scalar derivation.
+      auto consistent = [&](const std::vector<std::uint64_t>& w,
+                            const std::vector<std::uint8_t>& c,
+                            const char* name) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(c[i], secded64_encode_fast(w[i]))
+              << name << " variant " << variant_name(v) << " n=" << n
+              << " i=" << i;
+        }
+      };
+
+      {
+        auto wa = wa0;
+        auto ca = ca0;
+        simd::cnot_ecc(wa.data(), wb.data(), ca.data(), cb.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(wa[i], wa0[i] ^ wb[i]);
+        }
+        consistent(wa, ca, "cnot_ecc");
+      }
+      {
+        auto wa = wa0;
+        auto ca = ca0;
+        simd::ccnot_ecc(wa.data(), wb.data(), wc.data(), ca.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(wa[i], wa0[i] ^ (wb[i] & wc[i]));
+        }
+        consistent(wa, ca, "ccnot_ecc");
+      }
+      {
+        auto wa = wa0;
+        auto wb2 = wb;
+        auto ca = ca0;
+        auto cb2 = cb;
+        simd::cswap_ecc(wa.data(), wb2.data(), wc.data(), ca.data(),
+                        cb2.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(wa[i], (wa0[i] & ~wc[i]) | (wb[i] & wc[i]));
+          ASSERT_EQ(wb2[i], (wb[i] & ~wc[i]) | (wa0[i] & wc[i]));
+        }
+        consistent(wa, ca, "cswap_ecc-a");
+        consistent(wb2, cb2, "cswap_ecc-b");
+      }
+      {
+        std::vector<std::uint64_t> wa(n, 0x5555);
+        std::vector<std::uint8_t> ca(n, 0xff);
+        simd::and3_ecc(wa.data(), wb.data(), wc.data(), ca.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(wa[i], wb[i] & wc[i]);
+        consistent(wa, ca, "and3_ecc");
+      }
+      {
+        std::vector<std::uint64_t> wa(n, 0x5555);
+        std::vector<std::uint8_t> ca(n, 0xff);
+        simd::or3_ecc(wa.data(), wb.data(), wc.data(), ca.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(wa[i], wb[i] | wc[i]);
+        consistent(wa, ca, "or3_ecc");
+      }
+      {
+        std::vector<std::uint64_t> wa(n, 0x5555);
+        std::vector<std::uint8_t> ca(n, 0xff);
+        simd::xor3_ecc(wa.data(), wb.data(), wc.data(), ca.data(), cb.data(),
+                       cc.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(wa[i], wb[i] ^ wc[i]);
+        consistent(wa, ca, "xor3_ecc");
+      }
+    }
+  }
+}
+
+// --- shard_range / ShardPool ----------------------------------------------
+
+TEST(ShardRange, CoversDisjointlyAndRespectsAlignment) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+        std::size_t{1000}, std::size_t{1} << 14, (std::size_t{1} << 14) + 7,
+        std::size_t{1} << 18}) {
+    for (const unsigned threads : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (unsigned s = 0; s < threads; ++s) {
+        const auto [b, e] = shard_range(n, 64, s, threads);
+        ASSERT_LE(b, e);
+        // Alignment is only meaningful for non-empty ranges (a trailing
+        // empty shard is {n, n}, and n itself need not be aligned).
+        if (b < e) {
+          ASSERT_EQ(b, prev_end) << "gap/overlap at shard " << s
+                                 << " n=" << n;
+          ASSERT_EQ(b % 64, 0u) << "unaligned begin, shard " << s;
+          if (e != n) {
+            ASSERT_EQ(e % 64, 0u) << "unaligned end, shard " << s;
+          }
+          prev_end = e;
+        }
+        covered += e - b;
+      }
+      ASSERT_EQ(covered, n) << "threads=" << threads;
+      ASSERT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ShardPool, RunsEveryShardExactlyOnceOverItsRange) {
+  ShardPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kN = (std::size_t{1} << 14) + 100;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  std::atomic<unsigned> shards_seen{0};
+  pool.run(kN, 64, [&](std::size_t b, std::size_t e, unsigned shard) {
+    EXPECT_LT(shard, 4u);
+    shards_seen.fetch_add(1);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "word " << i;
+  }
+  // Every shard with a non-empty range ran; with this n all 4 have work.
+  EXPECT_EQ(shards_seen.load(), 4u);
+}
+
+TEST(ShardPool, ReusableAcrossJobsAndPropagatesExceptions) {
+  ShardPool pool(3);
+  // A pool must survive many generations (it is persistent across ops).
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.run(640, 64, [&](std::size_t b, std::size_t e, unsigned) {
+      total.fetch_add(e - b);
+    });
+    ASSERT_EQ(total.load(), 640u);
+  }
+  EXPECT_THROW(
+      pool.run(640, 64,
+               [&](std::size_t, std::size_t, unsigned shard) {
+                 if (shard == 1) throw std::runtime_error("shard boom");
+               }),
+      std::runtime_error);
+  // And it still works after an exception.
+  std::atomic<std::size_t> total{0};
+  pool.run(128, 64, [&](std::size_t b, std::size_t e, unsigned) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 128u);
+}
+
+// --- Forced-tier whole-backend differentials ------------------------------
+
+constexpr unsigned kRegs = 12;
+
+template <typename Rng>
+void random_table3_op(Rng& rng, QatBackend& d, QatBackend& r, unsigned ways) {
+  const unsigned a = static_cast<unsigned>(rng() % kRegs);
+  const unsigned b = static_cast<unsigned>(rng() % kRegs);
+  const unsigned c = static_cast<unsigned>(rng() % kRegs);
+  const unsigned k = static_cast<unsigned>(rng() % (ways + 1));
+  switch (rng() % 11) {
+    case 0: d.zero(a); r.zero(a); break;
+    case 1: d.one(a); r.one(a); break;
+    case 2: d.had(a, k); r.had(a, k); break;
+    case 3: d.not_(a); r.not_(a); break;
+    case 4: d.cnot(a, b); r.cnot(a, b); break;
+    case 5: d.ccnot(a, b, c); r.ccnot(a, b, c); break;
+    case 6: d.swap(a, b); r.swap(a, b); break;
+    case 7: d.cswap(a, b, c); r.cswap(a, b, c); break;
+    case 8: d.and_(a, b, c); r.and_(a, b, c); break;
+    case 9: d.or_(a, b, c); r.or_(a, b, c); break;
+    default: d.xor_(a, b, c); r.xor_(a, b, c); break;
+  }
+}
+
+void expect_backends_equal(const QatBackend& d, const QatBackend& r,
+                           const char* what) {
+  for (unsigned reg = 0; reg < kRegs; ++reg) {
+    ASSERT_EQ(d.reg_aob(reg), r.reg_aob(reg)) << what << " reg @" << reg;
+    ASSERT_EQ(d.popcount(reg), r.popcount(reg)) << what << " reg @" << reg;
+    ASSERT_EQ(d.any(reg), r.any(reg)) << what << " reg @" << reg;
+    ASSERT_EQ(d.all(reg), r.all(reg)) << what << " reg @" << reg;
+    ASSERT_EQ(d.next_one(reg, 0), r.next_one(reg, 0)) << what << " @" << reg;
+    ASSERT_EQ(d.pop_after(reg, 1), r.pop_after(reg, 1)) << what << " @" << reg;
+  }
+}
+
+struct TierEccCase {
+  Tier tier;
+  EccMode ecc;
+  unsigned threads;
+};
+
+class ForcedTierDifferential
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(ForcedTierDifferential, DenseMatchesReAcrossWays) {
+  const Tier tier = static_cast<Tier>(std::get<0>(GetParam()));
+  const EccMode ecc = static_cast<EccMode>(std::get<1>(GetParam()));
+  const unsigned threads = std::get<2>(GetParam());
+  if (tier > simd::best_supported()) {
+    GTEST_SKIP() << "CPU lacks " << simd::tier_name(tier);
+  }
+  TierGuard guard(tier);
+  for (const unsigned ways : {6u, 10u, 12u}) {
+    std::mt19937_64 rng(ways * 77 + static_cast<unsigned>(tier));
+    DenseQatBackend dense(ways, kRegs);
+    ReQatBackend re(ways, kRegs, /*chunk_ways=*/4);
+    dense.set_ecc_mode(ecc);
+    dense.set_threads(threads);
+    re.set_ecc_mode(ecc);
+    for (unsigned reg = 0; reg < kRegs; ++reg) {
+      dense.had(reg, reg % (ways + 1));
+      re.had(reg, reg % (ways + 1));
+    }
+    for (int step = 0; step < 80; ++step) {
+      random_table3_op(rng, dense, re, ways);
+      expect_backends_equal(dense, re, simd::tier_name(tier));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiersEccThreads, ForcedTierDifferential,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(Tier::kScalar),
+                          static_cast<int>(Tier::kAvx2),
+                          static_cast<int>(Tier::kAvx512)),
+        ::testing::Values(static_cast<int>(EccMode::kOff),
+                          static_cast<int>(EccMode::kCorrect)),
+        ::testing::Values(1u, 3u)));
+
+// One wide run actually over the sharding threshold (ways 20 ≥ 2^14 words):
+// sharded + SIMD must equal the single-thread scalar dense result bit for
+// bit.  Kept to a handful of ops — each register is 128 KiB.
+TEST(ForcedTierWide, ShardedSimdMatchesScalarAtWays20) {
+  constexpr unsigned kWays = 20;
+  constexpr unsigned kWideRegs = 4;
+  ASSERT_GE((std::size_t{1} << kWays) / 64, DenseQatBackend::kShardMinWords);
+
+  auto run = [&](Tier tier, unsigned threads, EccMode ecc) {
+    TierGuard guard(tier);
+    DenseQatBackend d(kWays, kWideRegs);
+    d.set_ecc_mode(ecc);
+    d.set_threads(threads);
+    d.had(0, 19);
+    d.had(1, 3);
+    d.one(2);
+    d.ccnot(3, 0, 1);
+    d.cswap(0, 1, 3);
+    d.and_(2, 0, 1);
+    d.or_(3, 2, 0);
+    d.xor_(1, 3, 2);
+    d.cnot(2, 1);
+    std::vector<std::size_t> sig;
+    for (unsigned r = 0; r < kWideRegs; ++r) {
+      sig.push_back(d.popcount(r));
+      sig.push_back(d.pop_after(r, 12345));
+      const auto nx = d.next_one(r, 777);
+      sig.push_back(nx ? *nx + 1 : 0);
+    }
+    EXPECT_EQ(d.scrub_ecc().uncorrectable, 0u);
+    return sig;
+  };
+
+  const auto baseline = run(Tier::kScalar, 1, EccMode::kOff);
+  for (const Tier tier : supported_tiers()) {
+    for (const unsigned threads : {1u, 3u}) {
+      for (const EccMode ecc : {EccMode::kOff, EccMode::kCorrect}) {
+        EXPECT_EQ(run(tier, threads, ecc), baseline)
+            << simd::tier_name(tier) << " threads=" << threads
+            << " ecc=" << static_cast<int>(ecc);
+      }
+    }
+  }
+}
+
+// End-to-end coverage of the avx512 popcount SECDED variant on GFNI
+// machines, where default dispatch would otherwise never exercise it: the
+// whole dense-vs-RE differential must hold with the refinement pinned off.
+TEST(GfniRefinement, PopcountVariantMatchesReEndToEnd) {
+  if (!simd::gfni_supported()) {
+    GTEST_SKIP() << "CPU lacks GFNI + AVX512VBMI";
+  }
+  TierGuard tier_guard(Tier::kAvx512);
+  const bool before = simd::gfni_active();
+  ASSERT_TRUE(simd::set_gfni(false));
+  for (const unsigned ways : {6u, 10u, 12u}) {
+    std::mt19937_64 rng(ways * 131);
+    DenseQatBackend dense(ways, kRegs);
+    ReQatBackend re(ways, kRegs, /*chunk_ways=*/4);
+    dense.set_ecc_mode(EccMode::kCorrect);
+    re.set_ecc_mode(EccMode::kCorrect);
+    for (unsigned reg = 0; reg < kRegs; ++reg) {
+      dense.had(reg, reg % (ways + 1));
+      re.had(reg, reg % (ways + 1));
+    }
+    for (int step = 0; step < 80; ++step) {
+      random_table3_op(rng, dense, re, ways);
+      expect_backends_equal(dense, re, "avx512+popcnt");
+      if (::testing::Test::HasFatalFailure()) break;
+    }
+    EXPECT_EQ(dense.scrub_ecc().uncorrectable, 0u);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  simd::set_gfni(before);
+}
+
+// --- Operand-aliasing differentials (ISSUE satellite 3) -------------------
+
+// Every Table 3 op with every aliasing pattern (a==b, a==c, b==c,
+// all-equal), dense at every tier and ECC off/correct vs the RE backend.
+TEST(AliasingDifferential, Table3OpsWithAliasedOperands) {
+  constexpr unsigned ways = 8;
+  struct Triple {
+    unsigned a, b, c;
+  };
+  const Triple patterns[] = {
+      {0, 0, 1},  // a == b
+      {0, 1, 0},  // a == c
+      {0, 1, 1},  // b == c
+      {0, 0, 0},  // all equal
+      {0, 1, 2},  // control: no aliasing
+  };
+  for (const Tier tier : supported_tiers()) {
+    TierGuard guard(tier);
+    for (const EccMode ecc : {EccMode::kOff, EccMode::kCorrect}) {
+      for (const auto& p : patterns) {
+        DenseQatBackend d(ways, kRegs);
+        ReQatBackend r(ways, kRegs, /*chunk_ways=*/4);
+        d.set_ecc_mode(ecc);
+        r.set_ecc_mode(ecc);
+        // Distinct non-trivial contents per register.
+        for (unsigned reg = 0; reg < kRegs; ++reg) {
+          d.had(reg, reg % (ways + 1));
+          r.had(reg, reg % (ways + 1));
+          if (reg % 2) {
+            d.not_(reg);
+            r.not_(reg);
+          }
+        }
+        for (int op = 0; op < 7; ++op) {
+          switch (op) {
+            case 0: d.cnot(p.a, p.b); r.cnot(p.a, p.b); break;
+            case 1: d.ccnot(p.a, p.b, p.c); r.ccnot(p.a, p.b, p.c); break;
+            case 2: d.swap(p.a, p.b); r.swap(p.a, p.b); break;
+            case 3: d.cswap(p.a, p.b, p.c); r.cswap(p.a, p.b, p.c); break;
+            case 4: d.and_(p.a, p.b, p.c); r.and_(p.a, p.b, p.c); break;
+            case 5: d.or_(p.a, p.b, p.c); r.or_(p.a, p.b, p.c); break;
+            default: d.xor_(p.a, p.b, p.c); r.xor_(p.a, p.b, p.c); break;
+          }
+          expect_backends_equal(d, r, simd::tier_name(tier));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+// --- Epoch-overflow regression (ISSUE satellite 1) ------------------------
+
+TEST(EccEpochOverflow, FreshnessArithmeticDoesNotWrap) {
+  // The historical additive form (now < stamp - 1 + epoch) wrapped for large
+  // epochs: stamp=5, epoch=UINT64_MAX gave stamp-1+epoch == 3, so NOTHING
+  // was ever fresh.  The subtraction form must report fresh.
+  constexpr std::uint64_t kHuge = ~std::uint64_t{0};
+  EXPECT_TRUE(ecc_epoch_fresh(/*now=*/10, /*stamp=*/5, kHuge));
+  EXPECT_TRUE(ecc_epoch_fresh(10, 5, kMaxEccEpoch));
+  // Basic semantics preserved: epoch 1 and unstamped state never fresh.
+  EXPECT_FALSE(ecc_epoch_fresh(10, 5, 1));
+  EXPECT_FALSE(ecc_epoch_fresh(10, 0, kHuge));
+  // Exactly-epoch-old state is stale, one tick younger is fresh.
+  EXPECT_FALSE(ecc_epoch_fresh(/*now=*/100, /*stamp=*/1, /*epoch=*/100));
+  EXPECT_TRUE(ecc_epoch_fresh(/*now=*/99, /*stamp=*/1, /*epoch=*/100));
+  // Large clock values (late in a long run) stay exact.
+  const std::uint64_t late = std::uint64_t{1} << 63;
+  EXPECT_TRUE(ecc_epoch_fresh(late + 10, late + 1, kMaxEccEpoch));
+  EXPECT_FALSE(ecc_epoch_fresh(late + kMaxEccEpoch, late + 1, kMaxEccEpoch));
+}
+
+TEST(EccEpochOverflow, SetEpochClampsAndElidesAtUint64Max) {
+  // `--ecc-epoch=UINT64_MAX` (everything-is-fresh-forever) must behave as a
+  // huge epoch, not wrap into verify-always.
+  for (const Backend kind : {Backend::kDense, Backend::kCompressed}) {
+    auto b = make_qat_backend(kind, 8, kRegs);
+    b->set_ecc_mode(EccMode::kCorrect);
+    b->set_ecc_epoch(~std::uint64_t{0});
+    EXPECT_EQ(b->ecc_epoch(), kMaxEccEpoch);
+
+    b->had(1, 3);
+    b->cnot(2, 1);       // verifies + stamps operands/dest
+    b->take_ecc_counts();  // drain
+    b->ecc_tick(1000);   // far along the clock, still inside the epoch
+    b->popcount(1);
+    b->popcount(2);
+    const EccSweep s = b->take_ecc_counts();
+    EXPECT_GT(s.elided, 0u)
+        << "huge epoch failed to elide re-verification ("
+        << (kind == Backend::kDense ? "dense" : "re") << ")";
+    EXPECT_EQ(s.uncorrectable, 0u);
+  }
+}
+
+TEST(EccEpochOverflow, ZeroEpochClampsToVerifyAlways) {
+  DenseQatBackend d(6, 4);
+  d.set_ecc_epoch(0);
+  EXPECT_EQ(d.ecc_epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace pbp
