@@ -11,6 +11,9 @@
 // Reported counter: jobs_per_s (wall-clock: UseRealTime, since CPU-time
 // rates are meaningless for a multithreaded server).  Numbers live in
 // EXPERIMENTS.md, "Serve layer".
+//   * the same fixed-overhead batch pushed through the loopback-TCP front
+//     door (framed wire protocol + CRC + report streaming) — the "wire
+//     tax" relative to in-process submission.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -18,6 +21,8 @@
 #include "asm/assembler.hpp"
 #include "asm/programs.hpp"
 #include "serve/job_server.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
 
 namespace {
 
@@ -119,6 +124,37 @@ void BM_serve_fixed_overhead(benchmark::State& state) {
       static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_serve_fixed_overhead)->UseRealTime();
+
+void BM_serve_tcp_fixed_overhead(benchmark::State& state) {
+  // The same trivial 2-instruction batch, but submitted through the framed
+  // loopback-TCP front door: encode + CRC + syscalls + the report pump.
+  // The delta against BM_serve_fixed_overhead is the wire tax per job.
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    net::NetServerConfig config;
+    config.jobs.threads = 8;
+    config.jobs.queue_capacity = kBatch;
+    net::NetServer server(config);
+    net::ServeClientConfig cc;
+    cc.port = server.port();
+    net::ServeClient client(cc);
+    for (unsigned i = 0; i < kBatch; ++i) {
+      net::SubmitRequest req;
+      req.name = "noop";
+      req.source = "lex $1,1\nsys\n";
+      req.max_instructions = 100;
+      client.submit(req);
+    }
+    for (unsigned i = 0; i < kBatch; ++i) {
+      if (client.next_report(std::chrono::milliseconds{30'000})) ++jobs_done;
+    }
+    server.begin_drain();
+    server.wait_drained();
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_serve_tcp_fixed_overhead)->UseRealTime();
 
 }  // namespace
 

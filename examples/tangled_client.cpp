@@ -1,0 +1,337 @@
+// tangled_client — command-line client for tangled_served: submits jobs
+// over the framed wire protocol, streams back their terminal reports, and
+// exposes the service's health snapshot.
+//
+//   tangled_client --port=PORT --jobs=4 --expect=0=5,1=3
+//   tangled_client --port=PORT --stats
+//
+// With no program file the client submits the paper's Figure 10 factoring
+// program and (by default) validates $0=5, $1=3 server-side.  Exit codes:
+// 0 = every job completed, 1 = a job failed (quarantined/cancelled/...),
+// 2 = bad usage, 3 = transport or server error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/programs.hpp"
+#include "cli_parse.hpp"
+#include "serve/net/client.hpp"
+
+using namespace tangled;
+using namespace tangled::serve;
+using namespace tangled::serve::net;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tangled_client [options] [program.s]\n"
+      "  --host=H             server address (default 127.0.0.1)\n"
+      "  --port=N             server port (required)\n"
+      "  --jobs=N             copies of the program to submit (default 1)\n"
+      "  --sim=K              func | multi | multi-fsm | pipe4 | pipe5 |\n"
+      "                       pipe5-nofwd | rtl (default rotates over all)\n"
+      "  --backend=B          dense | re (default dense)\n"
+      "  --ways=N             Qat ways (default 8)\n"
+      "  --expect=R=V,...     server-side validation: register R must hold\n"
+      "                       V on clean halt (default 0=5,1=3 for the\n"
+      "                       builtin Figure 10 program, none otherwise)\n"
+      "  --deadline-ms=N      per-job wall-clock deadline (default server)\n"
+      "  --retry-max=N        serve-level retries (default server)\n"
+      "  --ecc=M              off | detect | correct (default off)\n"
+      "  --inject=SPEC        FaultPlan spec, e.g. seed=41,events=2\n"
+      "  --cancel=ID          cancel job ID instead of submitting\n"
+      "  --progress=ID        query progress of job ID\n"
+      "  --stats              print the server stats snapshot\n"
+      "  --ping               liveness probe\n"
+      "  --connect-timeout-ms=N  TCP connect budget (default 1000)\n"
+      "  --io-timeout-ms=N    per-frame read/write budget (default 5000)\n"
+      "  --connect-attempts=N connect tries with jittered backoff\n"
+      "                       (default 5)\n"
+      "  --seed=N             backoff-jitter seed (default fixed)\n"
+      "  --verbose            print every job report\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+[[noreturn]] void bad_value(const std::string& v, const char* flag) {
+  std::fprintf(stderr, "tangled_client: invalid value '%s' for %s\n",
+               v.c_str(), flag);
+  usage();
+  std::exit(2);
+}
+
+unsigned parse_small(const std::string& v, const char* flag,
+                     unsigned max = ~0u) {
+  const auto r = cli::parse_unsigned(v, max);
+  if (!r) bad_value(v, flag);
+  return *r;
+}
+
+/// "0=5,1=3" → [(0,5),(1,3)].
+std::vector<std::pair<std::uint16_t, std::uint16_t>> parse_expect(
+    const std::string& spec) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) bad_value(spec, "--expect");
+    const auto reg = cli::parse_unsigned(item.substr(0, eq), 15);
+    const auto val = cli::parse_unsigned(item.substr(eq + 1), 65535);
+    if (!reg || !val) bad_value(spec, "--expect");
+    out.emplace_back(static_cast<std::uint16_t>(*reg),
+                     static_cast<std::uint16_t>(*val));
+  }
+  return out;
+}
+
+int transport_fail(const char* what, const ClientResult& r) {
+  std::fprintf(stderr, "tangled_client: %s failed: %s (%s)\n", what,
+               r.message.c_str(), wire_error_name(r.code));
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeClientConfig cc;
+  SubmitRequest base;
+  unsigned jobs = 1;
+  bool sim_fixed = false;
+  bool have_port = false;
+  bool do_stats = false, do_ping = false, verbose = false;
+  std::uint64_t cancel_id = 0, progress_id = 0;
+  bool do_cancel = false, do_progress = false;
+  std::string program_file;
+  std::string expect_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--host", &v)) {
+      cc.host = v;
+    } else if (parse_flag(argv[i], "--port", &v)) {
+      cc.port = static_cast<std::uint16_t>(parse_small(v, "--port", 65535));
+      have_port = true;
+    } else if (parse_flag(argv[i], "--jobs", &v)) {
+      jobs = parse_small(v, "--jobs");
+    } else if (parse_flag(argv[i], "--sim", &v)) {
+      try {
+        base.sim = parse_sim_kind(v);
+      } catch (const std::invalid_argument&) {
+        bad_value(v, "--sim");
+      }
+      sim_fixed = true;
+    } else if (parse_flag(argv[i], "--backend", &v)) {
+      if (v == "dense") {
+        base.backend = pbp::Backend::kDense;
+      } else if (v == "re" || v == "compressed") {
+        base.backend = pbp::Backend::kCompressed;
+      } else {
+        bad_value(v, "--backend");
+      }
+    } else if (parse_flag(argv[i], "--ways", &v)) {
+      base.ways = parse_small(v, "--ways");
+    } else if (parse_flag(argv[i], "--expect", &v)) {
+      parse_expect(v);  // validate now: bad specs are a usage error (exit 2)
+      expect_spec = v;
+    } else if (parse_flag(argv[i], "--deadline-ms", &v)) {
+      base.deadline_ms = parse_small(v, "--deadline-ms");
+    } else if (parse_flag(argv[i], "--retry-max", &v)) {
+      const auto r = cli::parse_int(v);
+      if (!r) bad_value(v, "--retry-max");
+      base.retry_max = *r;
+    } else if (parse_flag(argv[i], "--ecc", &v)) {
+      if (v == "off") {
+        base.ecc = pbp::EccMode::kOff;
+      } else if (v == "detect") {
+        base.ecc = pbp::EccMode::kDetect;
+      } else if (v == "correct") {
+        base.ecc = pbp::EccMode::kCorrect;
+      } else {
+        bad_value(v, "--ecc");
+      }
+    } else if (parse_flag(argv[i], "--inject", &v)) {
+      base.fault_spec = v;
+    } else if (parse_flag(argv[i], "--cancel", &v)) {
+      const auto id = cli::parse_u64(v);
+      if (!id) bad_value(v, "--cancel");
+      cancel_id = *id;
+      do_cancel = true;
+    } else if (parse_flag(argv[i], "--progress", &v)) {
+      const auto id = cli::parse_u64(v);
+      if (!id) bad_value(v, "--progress");
+      progress_id = *id;
+      do_progress = true;
+    } else if (parse_flag(argv[i], "--connect-timeout-ms", &v)) {
+      cc.connect_timeout =
+          std::chrono::milliseconds(parse_small(v, "--connect-timeout-ms"));
+    } else if (parse_flag(argv[i], "--io-timeout-ms", &v)) {
+      cc.io_timeout =
+          std::chrono::milliseconds(parse_small(v, "--io-timeout-ms"));
+    } else if (parse_flag(argv[i], "--connect-attempts", &v)) {
+      cc.connect_attempts = parse_small(v, "--connect-attempts");
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      const auto s = cli::parse_u64(v);
+      if (!s) bad_value(v, "--seed");
+      cc.seed = *s;
+    } else if (std::string(argv[i]) == "--stats") {
+      do_stats = true;
+    } else if (std::string(argv[i]) == "--ping") {
+      do_ping = true;
+    } else if (std::string(argv[i]) == "--verbose") {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      usage();
+      return 2;
+    } else {
+      program_file = argv[i];
+    }
+  }
+  if (!have_port) {
+    std::fprintf(stderr, "tangled_client: --port is required\n");
+    usage();
+    return 2;
+  }
+
+  ServeClient client(cc);
+  if (const ClientResult r = client.connect(); !r.ok) {
+    return transport_fail("connect", r);
+  }
+
+  if (do_ping) {
+    if (const ClientResult r = client.ping(); !r.ok) {
+      return transport_fail("ping", r);
+    }
+    std::printf("tangled_client: pong\n");
+    return 0;
+  }
+  if (do_stats) {
+    StatsOk s;
+    if (const ClientResult r = client.stats(&s); !r.ok) {
+      return transport_fail("stats", r);
+    }
+    std::printf(
+        "tangled_served stats (snapshot v%u)%s:\n"
+        "  jobs: %llu submitted, %llu completed, %llu quarantined, "
+        "%llu cancelled, %llu retries\n"
+        "  ecc: %llu corrected, %llu detected\n"
+        "  net: %llu conns (%llu active), %llu frames in, %llu out, "
+        "%llu protocol errors, %llu stall closes, %llu retry-after\n"
+        "  reports: %llu streamed, %llu orphaned\n",
+        s.snapshot_version, s.draining ? " [draining]" : "",
+        static_cast<unsigned long long>(s.jobs.submitted),
+        static_cast<unsigned long long>(s.jobs.completed),
+        static_cast<unsigned long long>(s.jobs.quarantined),
+        static_cast<unsigned long long>(s.jobs.cancelled),
+        static_cast<unsigned long long>(s.jobs.retries),
+        static_cast<unsigned long long>(s.ecc_corrected),
+        static_cast<unsigned long long>(s.ecc_detected),
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.connections_active),
+        static_cast<unsigned long long>(s.frames_rx),
+        static_cast<unsigned long long>(s.frames_tx),
+        static_cast<unsigned long long>(s.protocol_errors),
+        static_cast<unsigned long long>(s.stall_closes),
+        static_cast<unsigned long long>(s.retry_after_sent),
+        static_cast<unsigned long long>(s.reports_streamed),
+        static_cast<unsigned long long>(s.reports_orphaned));
+    return 0;
+  }
+  if (do_cancel) {
+    bool cancelled = false;
+    if (const ClientResult r = client.cancel(cancel_id, &cancelled); !r.ok) {
+      return transport_fail("cancel", r);
+    }
+    std::printf("tangled_client: job %llu %s\n",
+                static_cast<unsigned long long>(cancel_id),
+                cancelled ? "cancelled" : "already terminal (or unknown)");
+    return 0;
+  }
+  if (do_progress) {
+    ProgressOk p;
+    if (const ClientResult r = client.progress(progress_id, &p); !r.ok) {
+      return transport_fail("progress", r);
+    }
+    if (!p.known) {
+      std::printf("tangled_client: job %llu unknown\n",
+                  static_cast<unsigned long long>(progress_id));
+      return 1;
+    }
+    std::printf("tangled_client: job %llu phase=%u attempts=%u qat_ops=%llu\n",
+                static_cast<unsigned long long>(progress_id), p.phase,
+                p.attempts, static_cast<unsigned long long>(p.qat_ops));
+    return 0;
+  }
+
+  // --- Submit path. ---
+  if (program_file.empty()) {
+    base.source = figure10_source();
+    base.name = "figure10";
+    if (expect_spec.empty()) expect_spec = "0=5,1=3";
+  } else {
+    std::ifstream in(program_file);
+    if (!in) {
+      std::fprintf(stderr, "tangled_client: cannot read %s\n",
+                   program_file.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    base.source = buf.str();
+    base.name = program_file;
+  }
+  base.expect = parse_expect(expect_spec);
+
+  static const SimKind kKinds[] = {SimKind::kFunc,     SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5,    SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    SubmitRequest req = base;
+    if (!sim_fixed) req.sim = kKinds[i % std::size(kKinds)];
+    req.name += std::string("/") + sim_kind_name(req.sim);
+    ClientResult r;
+    const auto id = client.submit(req, &r);
+    if (!id) return transport_fail("submit", r);
+    ids.push_back(*id);
+  }
+  std::printf("tangled_client: submitted %zu job(s)\n", ids.size());
+
+  unsigned completed = 0, failed = 0;
+  for (std::size_t got = 0; got < ids.size();) {
+    ClientResult r;
+    const auto rep = client.next_report(std::chrono::milliseconds{30'000}, &r);
+    if (!rep) {
+      if (!r.ok) return transport_fail("report stream", r);
+      std::fprintf(stderr, "tangled_client: timed out waiting for reports "
+                           "(%zu of %zu received)\n",
+                   got, ids.size());
+      return 3;
+    }
+    ++got;
+    if (verbose) std::printf("%s\n", rep->to_string().c_str());
+    if (rep->outcome == JobOutcome::kCompleted) {
+      ++completed;
+    } else {
+      ++failed;
+      std::fprintf(stderr, "tangled_client: job %llu %s\n",
+                   static_cast<unsigned long long>(rep->id),
+                   job_outcome_name(rep->outcome));
+    }
+  }
+  std::printf("tangled_client: %u completed, %u failed\n", completed, failed);
+  return failed == 0 ? 0 : 1;
+}

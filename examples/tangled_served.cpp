@@ -1,0 +1,139 @@
+// tangled_served — the network daemon: a JobServer behind the hardened TCP
+// front door (src/serve/net).  Binds 127.0.0.1, prints the bound port (so
+// port 0 works for scripted tests), serves the framed wire protocol, and
+// drains gracefully on SIGTERM/SIGINT: admissions stop, every already-
+// admitted job finishes and its report is flushed to its connection, then
+// the process exits 0 with a stats summary.
+//
+//   tangled_served --port=0 --threads=8 --queue=64
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cli_parse.hpp"
+#include "serve/net/server.hpp"
+
+using namespace tangled::serve;
+using namespace tangled::serve::net;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tangled_served [options]\n"
+      "  --port=N             TCP port on 127.0.0.1; 0 = ephemeral, the\n"
+      "                       bound port is printed (default 0)\n"
+      "  --threads=K          worker threads (default 4)\n"
+      "  --queue=N            submission queue capacity (default 64)\n"
+      "  --mem-mb=N           global memory budget in MiB (default 512)\n"
+      "  --retry-max=N        serve-level retries per job (default 2)\n"
+      "  --submit-wait-ms=N   bounded admission wait before shedding with\n"
+      "                       RETRY_AFTER; 0 = shed immediately (default 0)\n"
+      "  --retry-after-ms=N   delay hint in RETRY_AFTER replies (default 25)\n"
+      "  --idle-timeout-ms=N  close a quiet connection with no in-flight\n"
+      "                       jobs after this long (default 60000)\n"
+      "  --frame-timeout-ms=N slow-loris bound: a frame that began must\n"
+      "                       complete within this (default 5000)\n"
+      "  --max-frame-kb=N     reject frames larger than this (default 1024)\n"
+      "  --max-inflight=N     per-connection unreported-job cap (default 64)\n"
+      "  --max-conns=N        concurrent connection cap (default 256)\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+[[noreturn]] void bad_value(const std::string& v, const char* flag) {
+  std::fprintf(stderr, "tangled_served: invalid value '%s' for %s\n",
+               v.c_str(), flag);
+  usage();
+  std::exit(2);
+}
+
+unsigned parse_small(const std::string& v, const char* flag,
+                     unsigned max = ~0u) {
+  const auto r = cli::parse_unsigned(v, max);
+  if (!r) bad_value(v, flag);
+  return *r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NetServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--port", &v)) {
+      config.port = static_cast<std::uint16_t>(parse_small(v, "--port", 65535));
+    } else if (parse_flag(argv[i], "--threads", &v)) {
+      config.jobs.threads = parse_small(v, "--threads");
+    } else if (parse_flag(argv[i], "--queue", &v)) {
+      config.jobs.queue_capacity = parse_small(v, "--queue");
+    } else if (parse_flag(argv[i], "--mem-mb", &v)) {
+      config.jobs.memory_budget_bytes =
+          std::size_t{parse_small(v, "--mem-mb")} << 20;
+    } else if (parse_flag(argv[i], "--retry-max", &v)) {
+      config.jobs.retry_max = parse_small(v, "--retry-max");
+    } else if (parse_flag(argv[i], "--submit-wait-ms", &v)) {
+      config.submit_wait =
+          std::chrono::milliseconds(parse_small(v, "--submit-wait-ms"));
+    } else if (parse_flag(argv[i], "--retry-after-ms", &v)) {
+      config.retry_after_ms = parse_small(v, "--retry-after-ms");
+    } else if (parse_flag(argv[i], "--idle-timeout-ms", &v)) {
+      config.idle_timeout =
+          std::chrono::milliseconds(parse_small(v, "--idle-timeout-ms"));
+    } else if (parse_flag(argv[i], "--frame-timeout-ms", &v)) {
+      config.frame_timeout =
+          std::chrono::milliseconds(parse_small(v, "--frame-timeout-ms"));
+    } else if (parse_flag(argv[i], "--max-frame-kb", &v)) {
+      config.max_frame_bytes =
+          std::size_t{parse_small(v, "--max-frame-kb")} << 10;
+    } else if (parse_flag(argv[i], "--max-inflight", &v)) {
+      config.max_inflight_per_conn = parse_small(v, "--max-inflight");
+    } else if (parse_flag(argv[i], "--max-conns", &v)) {
+      config.max_connections = parse_small(v, "--max-conns");
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  NetServer server(config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "tangled_served: bind failed: %s\n",
+                 server.error().c_str());
+    return 1;
+  }
+  server.install_signal_drain();
+  std::printf("tangled_served: listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT begins the drain, then until every admitted
+  // job's report has been flushed.
+  server.wait_drained();
+
+  const ServerStats js = server.jobs().stats();
+  const NetStats ns = server.net_stats();
+  std::printf(
+      "tangled_served: drained; %llu submitted, %llu completed, "
+      "%llu quarantined, %llu cancelled\n",
+      static_cast<unsigned long long>(js.submitted),
+      static_cast<unsigned long long>(js.completed),
+      static_cast<unsigned long long>(js.quarantined),
+      static_cast<unsigned long long>(js.cancelled));
+  std::printf(
+      "tangled_served: %llu conns, %llu frames in, %llu out, "
+      "%llu protocol errors, %llu reports streamed (%llu orphaned)\n",
+      static_cast<unsigned long long>(ns.connections_accepted),
+      static_cast<unsigned long long>(ns.frames_rx),
+      static_cast<unsigned long long>(ns.frames_tx),
+      static_cast<unsigned long long>(ns.protocol_errors),
+      static_cast<unsigned long long>(ns.reports_streamed),
+      static_cast<unsigned long long>(ns.reports_orphaned));
+  return 0;
+}

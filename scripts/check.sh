@@ -8,9 +8,17 @@
 #                               the sanitizer config — the ISSUE's
 #                               "no uncaught exception, ever" gate
 #   scripts/check.sh tsan       serve-layer concurrency tests (ctest -L
-#                               serve) under -DTANGLED_TSAN=ON
-#                               (ThreadSanitizer) — the data-race gate for
-#                               src/serve
+#                               'serve|net' minus the chaos soak) under
+#                               -DTANGLED_TSAN=ON (ThreadSanitizer) — the
+#                               data-race gate for src/serve and
+#                               src/serve/net
+#   scripts/check.sh net        network front-door suite (ctest -L net:
+#                               wire codec forgeries, hostile-input
+#                               handling, overload shedding, graceful
+#                               drain, and the 220-run transport-chaos
+#                               soak) under the sanitizer config — the
+#                               "no crash, no leaked job, exactly-once
+#                               reports" gate for src/serve/net
 #   scripts/check.sh integrity  data-integrity suite (ctest -L integrity:
 #                               ECC codec/verify/scrub, corruption-trap
 #                               precision, checkpoint tamper rejection,
@@ -32,7 +40,8 @@
 #                               the dense substrate kernels
 #   scripts/check.sh --all     both configs + the sanitized soak + the
 #                               integrity suite + the TSAN serve run + the
-#                               simd differential lane + the perf smoke
+#                               sanitized net lane + the simd differential
+#                               lane + the perf smoke
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
@@ -75,9 +84,13 @@ run_tsan() {
   cmake -B build-tsan -S . -DTANGLED_TSAN=ON >/dev/null
   echo "== building TSAN serve harnesses =="
   cmake --build build-tsan -j "$(nproc)" \
-    --target tangled_serve_tests tangled_serve_stress tangled_batch
-  echo "== serve concurrency tests (ctest -L serve, ThreadSanitizer) =="
-  ctest --test-dir build-tsan -L serve --output-on-failure
+    --target tangled_serve_tests tangled_serve_stress tangled_net_tests \
+    tangled_batch tangled_served tangled_client
+  echo "== serve + net concurrency tests (ctest -L 'serve|net', ThreadSanitizer) =="
+  # The chaos soak is excluded here: it runs sanitized in `check.sh net`,
+  # and under TSAN's slowdown its wall-clock would dominate the lane.
+  ctest --test-dir build-tsan -L 'serve|net' -E '^tangled_net_chaos$' \
+    --output-on-failure
   echo "== tangled_batch acceptance run (ThreadSanitizer) =="
   ./build-tsan/examples/tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
 }
@@ -97,6 +110,17 @@ run_simd() {
     TANGLED_SIMD="${tier}" ctest --test-dir build -L simd \
       --output-on-failure -j "$(nproc)"
   done
+}
+
+run_net() {
+  echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
+  echo "== building sanitized net harnesses =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target tangled_net_tests tangled_net_chaos tangled_served \
+    tangled_client
+  echo "== net front-door suite + transport-chaos soak (ctest -L net, sanitized) =="
+  ctest --test-dir build-asan -L net --output-on-failure -j "$(nproc)"
 }
 
 run_perf() {
@@ -123,6 +147,9 @@ case "${mode}" in
   integrity)
     run_integrity
     ;;
+  net)
+    run_net
+    ;;
   perf)
     run_perf
     ;;
@@ -135,6 +162,7 @@ case "${mode}" in
     run_soak
     run_integrity
     run_tsan
+    run_net
     run_simd
     run_perf
     ;;
@@ -142,7 +170,7 @@ case "${mode}" in
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|perf|simd]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|net|perf|simd]" >&2
     exit 2
     ;;
 esac

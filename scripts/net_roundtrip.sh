@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# net_roundtrip.sh — end-to-end acceptance for the network front door:
+# start tangled_served on an ephemeral port, run a client round trip
+# (submit + stream reports + stats), SIGTERM the daemon, and require a
+# clean drain (exit 0, no lost reports).
+#
+#   scripts/net_roundtrip.sh [path/to/tangled_served path/to/tangled_client]
+set -u
+
+SERVED=${1:-build/examples/tangled_served}
+CLIENT=${2:-build/examples/tangled_client}
+
+fail() { echo "net_roundtrip: FAIL: $*" >&2; exit 1; }
+
+[ -x "$SERVED" ] || fail "missing $SERVED (build first)"
+[ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
+
+tmp=$(mktemp -d)
+trap 'kill "$served_pid" 2>/dev/null; wait "$served_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+"$SERVED" --port=0 --threads=4 --queue=16 > "$tmp/served.log" 2>&1 &
+served_pid=$!
+
+# The daemon prints its bound port on startup; wait for the line.
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$tmp/served.log")
+  [ -n "$port" ] && break
+  kill -0 "$served_pid" 2>/dev/null || fail "daemon died during startup: $(cat "$tmp/served.log")"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "daemon never printed its port"
+
+"$CLIENT" --port="$port" --ping || fail "ping"
+"$CLIENT" --port="$port" --jobs=7 || fail "submit round trip"
+"$CLIENT" --port="$port" --stats | grep -q "7 submitted, 7 completed" \
+  || fail "stats snapshot disagrees"
+
+# Graceful drain: SIGTERM must flush and exit 0.
+kill -TERM "$served_pid"
+wait "$served_pid"
+rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM"
+grep -q "drained" "$tmp/served.log" || fail "no drain summary: $(cat "$tmp/served.log")"
+
+echo "net_roundtrip: OK"

@@ -68,21 +68,40 @@ JobServer::JobServer(JobServerConfig config) : config_(config) {
 JobServer::~JobServer() { shutdown(true); }
 
 std::optional<JobServer::JobId> JobServer::submit(Job job) {
+  return submit_until(std::move(job), Clock::time_point::max(), nullptr);
+}
+
+std::optional<JobServer::JobId> JobServer::submit_for(
+    Job job, std::chrono::milliseconds max_wait, std::string* reject_reason) {
+  return submit_until(std::move(job), Clock::now() + max_wait, reject_reason);
+}
+
+std::optional<JobServer::JobId> JobServer::submit_until(
+    Job job, Clock::time_point deadline, std::string* reject_reason) {
   std::unique_lock lk(mu_);
-  space_cv_.wait(lk, [&] {
+  const auto admissible = [&] {
     return !accepting_ || queue_.size() < config_.queue_capacity;
-  });
-  if (!accepting_) return std::nullopt;
+  };
+  if (deadline == Clock::time_point::max()) {
+    space_cv_.wait(lk, admissible);
+  } else if (!space_cv_.wait_until(lk, deadline, admissible)) {
+    ++tallies_.queue_full_rejections;
+    if (reject_reason != nullptr) *reject_reason = "queue-full";
+    return std::nullopt;
+  }
+  if (!accepting_) {
+    if (reject_reason != nullptr) *reject_reason = "shutting-down";
+    return std::nullopt;
+  }
 
   auto qj = std::make_unique<QueuedJob>();
   qj->id = next_id_++;
   qj->job = std::move(job);
   qj->submitted = Clock::now();
-  const auto deadline = qj->job.deadline.count() > 0
-                            ? qj->job.deadline
-                            : config_.default_deadline;
-  qj->deadline = deadline.count() > 0 ? qj->submitted + deadline
-                                      : Clock::time_point::max();
+  const auto wall = qj->job.deadline.count() > 0 ? qj->job.deadline
+                                                 : config_.default_deadline;
+  qj->deadline = wall.count() > 0 ? qj->submitted + wall
+                                  : Clock::time_point::max();
   qj->state = std::make_shared<JobState>();
 
   const JobId id = qj->id;
@@ -324,6 +343,8 @@ void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
         break;
     }
     tallies_.retries += reports_.at(qj.id).retries;
+    tallies_.ecc_corrected += reports_.at(qj.id).ecc_corrected;
+    tallies_.ecc_detected += reports_.at(qj.id).ecc_detected;
     if (worker_terminal) {
       --active_;
       if (queue_.empty() && active_ == 0) drain_cv_.notify_all();

@@ -91,6 +91,10 @@ struct ServerStats {
   std::uint64_t retries = 0;          // serve + runner retries, all jobs
   std::uint64_t migrations_shed = 0;  // RE→dense degradations vetoed
   std::uint64_t queue_full_rejections = 0;
+  /// ECC upset totals aggregated over every terminal report (the health
+  /// counters the net front door publishes in its stats snapshot).
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
   std::size_t in_flight_bytes = 0;
   std::size_t peak_in_flight_bytes = 0;
   std::size_t queue_depth = 0;
@@ -111,6 +115,11 @@ class JobServer {
   /// Blocking submission: waits for queue space (backpressure).  Returns
   /// nullopt only when the server is shutting down.
   std::optional<JobId> submit(Job job);
+  /// Bounded-blocking submission: waits at most `max_wait` for queue space,
+  /// then rejects with "queue-full" (or "shutting-down" if admissions
+  /// stopped while waiting).  max_wait = 0 behaves like try_submit.
+  std::optional<JobId> submit_for(Job job, std::chrono::milliseconds max_wait,
+                                  std::string* reject_reason = nullptr);
   /// Non-blocking submission: rejects immediately when the queue is full or
   /// the server is shutting down; `reject_reason` (optional) is set to
   /// "queue-full" or "shutting-down".
@@ -142,6 +151,12 @@ class JobServer {
  private:
   struct JobState;
   struct QueuedJob;
+
+  /// Common submission body: wait for queue space until `deadline`
+  /// (time_point::max() = forever).  Sets `reject_reason` on nullopt.
+  std::optional<JobId> submit_until(
+      Job job, std::chrono::steady_clock::time_point deadline,
+      std::string* reject_reason);
 
   void worker_main();
   JobReport execute(QueuedJob& qj, JobState& st);

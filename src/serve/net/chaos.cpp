@@ -1,0 +1,176 @@
+#include "serve/net/chaos.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <random>
+#include <vector>
+
+namespace tangled::serve::net {
+
+ChaosProxy::ChaosProxy(ChaosConfig config) : config_(config) {
+  listener_ = listen_tcp_loopback(config_.listen_port, &port_, &error_);
+  if (!listener_.valid()) return;
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+ChaosStats ChaosProxy::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+void ChaosProxy::stop() {
+  if (stopping_.exchange(true)) return;
+  wake_.wake();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lk(links_mu_);
+  for (auto& l : links_) {
+    l->client.shutdown_both();
+    l->upstream.shutdown_both();
+  }
+  for (auto& l : links_) {
+    if (l->up.joinable()) l->up.join();
+    if (l->down.joinable()) l->down.join();
+  }
+  links_.clear();
+}
+
+void ChaosProxy::accept_main() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const int fd = accept_or_wake(listener_.fd(), wake_.read_fd());
+    if (fd < 0) break;
+    Socket client(fd);
+    std::string err;
+    Socket upstream =
+        connect_tcp(config_.upstream_host, config_.upstream_port,
+                    std::chrono::milliseconds{2'000}, &err);
+    if (!upstream.valid()) continue;  // upstream gone; drop the client
+    std::uint64_t conn = 0;
+    {
+      std::lock_guard lk(links_mu_);
+      conn = next_conn_++;
+      // Reap finished links so a long soak doesn't accumulate threads.
+      for (auto it = links_.begin(); it != links_.end();) {
+        if ((*it)->dead.load(std::memory_order_acquire)) {
+          if ((*it)->up.joinable()) (*it)->up.join();
+          if ((*it)->down.joinable()) (*it)->down.join();
+          it = links_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.connections;
+    }
+    auto link = std::make_unique<Link>();
+    link->client = std::move(client);
+    link->upstream = std::move(upstream);
+    Link& l = *link;
+    {
+      std::lock_guard lk(links_mu_);
+      links_.push_back(std::move(link));
+    }
+    l.up = std::thread([this, &l, conn] {
+      pump(l, l.client, l.upstream, config_.seed ^ (conn * 2));
+    });
+    l.down = std::thread([this, &l, conn] {
+      pump(l, l.upstream, l.client, config_.seed ^ (conn * 2 + 1));
+    });
+  }
+  listener_.close();
+}
+
+void ChaosProxy::pump(Link& link, Socket& src, Socket& dst,
+                      std::uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<std::uint8_t> buf(4096);
+  const auto kill_link = [&] {
+    src.shutdown_both();
+    dst.shutdown_both();
+  };
+  for (;;) {
+    pollfd p{src.fd(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, 250);
+    if (rc < 0 && errno == EINTR) continue;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (rc < 0) break;
+    if (rc == 0) continue;
+    const ssize_t got = ::recv(src.fd(), buf.data(), buf.size(), 0);
+    if (got == 0) {
+      // Natural half-close: propagate the write-side shutdown so framing
+      // errors still surface downstream, then finish.
+      ::shutdown(dst.fd(), SHUT_WR);
+      break;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::size_t n = static_cast<std::size_t>(got);
+    bool kill = false;
+    if (config_.p_drop > 0 && coin(rng) < config_.p_drop) {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.drops;
+      }
+      kill_link();
+      break;
+    }
+    if (config_.p_truncate > 0 && coin(rng) < config_.p_truncate) {
+      n = std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+      kill = true;
+      std::lock_guard slk(stats_mu_);
+      ++stats_.truncates;
+    }
+    if (config_.p_delay > 0 && coin(rng) < config_.p_delay) {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.delays;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.delay_ms));
+    }
+    if (n > 0 && config_.p_bitflip > 0 && coin(rng) < config_.p_bitflip) {
+      const std::size_t byte =
+          std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+      const unsigned bit = std::uniform_int_distribution<unsigned>(0, 7)(rng);
+      buf[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      std::lock_guard slk(stats_mu_);
+      ++stats_.bitflips;
+    }
+    const bool dup =
+        config_.p_duplicate > 0 && coin(rng) < config_.p_duplicate;
+    if (dup) {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.duplicates;
+    }
+    const auto deadline = Clock::now() + std::chrono::milliseconds{5'000};
+    if (n > 0 && write_all(dst.fd(), buf.data(), n, deadline) !=
+                     IoStatus::kOk) {
+      break;
+    }
+    if (dup && n > 0 &&
+        write_all(dst.fd(), buf.data(), n, deadline) != IoStatus::kOk) {
+      break;
+    }
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.chunks_forwarded;
+    }
+    if (kill) {
+      kill_link();
+      break;
+    }
+  }
+  link.dead.store(true, std::memory_order_release);
+}
+
+}  // namespace tangled::serve::net

@@ -1,0 +1,103 @@
+// chaos.hpp — a fault-injecting TCP proxy for the transport-chaos suite
+// (ISSUE 7).
+//
+// ChaosProxy sits between ServeClient and NetServer on loopback and mutates
+// the byte stream per chunk, with seeded randomness in the spirit of
+// arch/fault.hpp: every run is reproducible from (seed, connection index,
+// direction).  Per forwarded chunk it may, independently:
+//
+//   * drop the chunk and kill the connection (p_drop) — torn stream;
+//   * truncate the chunk and kill the connection (p_truncate) — torn frame;
+//   * delay the chunk (p_delay, delay_ms) — latency / slow peer;
+//   * flip one bit (p_bitflip) — the CRC-32 must catch it;
+//   * duplicate the chunk (p_duplicate) — stale/replayed bytes; downstream
+//     this desynchronizes framing, which the receiver must reject
+//     structurally (bad magic), never crash on.
+//
+// The proxy never parses frames — corruption lands at arbitrary offsets,
+// which is exactly what a torn TCP stream looks like.  Stats count what was
+// injected so the soak can assert the chaos actually happened.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/net/socket.hpp"
+
+namespace tangled::serve::net {
+
+struct ChaosConfig {
+  std::uint16_t listen_port = 0;  // 0 = ephemeral
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  std::uint64_t seed = 0xc4a05ULL;
+  /// Per-chunk probabilities in [0,1]; evaluated independently per chunk.
+  double p_drop = 0.0;
+  double p_truncate = 0.0;
+  double p_delay = 0.0;
+  std::uint32_t delay_ms = 5;
+  double p_bitflip = 0.0;
+  double p_duplicate = 0.0;
+};
+
+struct ChaosStats {
+  std::uint64_t connections = 0;
+  std::uint64_t chunks_forwarded = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t duplicates = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosConfig config);
+  ~ChaosProxy();  // stop()
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool ok() const { return listener_.valid(); }
+  const std::string& error() const { return error_; }
+  std::uint16_t port() const { return port_; }
+  ChaosStats stats() const;
+
+  void stop();
+
+ private:
+  struct Link {
+    Socket client;
+    Socket upstream;
+    std::thread up;    // client → upstream
+    std::thread down;  // upstream → client
+    std::atomic<bool> dead{false};
+  };
+
+  void accept_main();
+  /// Pump src → dst, mutating chunks with an RNG seeded from
+  /// (seed, conn, direction).  Sets link.dead and shuts both sockets on any
+  /// injected kill or natural close.
+  void pump(Link& link, Socket& src, Socket& dst, std::uint64_t rng_seed);
+
+  ChaosConfig config_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  WakePipe wake_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex links_mu_;
+  std::list<std::unique_ptr<Link>> links_;
+  std::uint64_t next_conn_ = 1;
+
+  mutable std::mutex stats_mu_;
+  ChaosStats stats_;
+};
+
+}  // namespace tangled::serve::net

@@ -1,0 +1,282 @@
+#include "serve/net/client.hpp"
+
+#include <thread>
+
+namespace tangled::serve::net {
+
+ServeClient::ServeClient(ServeClientConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+ClientResult ServeClient::connect() {
+  if (sock_.valid()) return {};
+  const unsigned attempts = std::max(1u, config_.connect_attempts);
+  std::string err;
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    sock_ = connect_tcp(config_.host, config_.port, config_.connect_timeout,
+                        &err);
+    if (sock_.valid()) return {};
+    if (attempt < attempts) {
+      std::this_thread::sleep_for(
+          backoff_delay(config_.backoff, attempt, rng_));
+    }
+  }
+  return ClientResult::transport("connect to " + config_.host + ":" +
+                                 std::to_string(config_.port) + " failed: " +
+                                 err);
+}
+
+void ServeClient::disconnect() { sock_.close(); }
+
+ClientResult ServeClient::read_response(Frame* response) {
+  const FrameLimits limits{config_.max_frame_bytes, config_.io_timeout,
+                           config_.io_timeout};
+  for (;;) {
+    Frame f;
+    const RecvStatus st = recv_frame(sock_.fd(), limits, &f);
+    if (st != RecvStatus::kOk) {
+      disconnect();
+      return ClientResult::transport(std::string("recv failed: ") +
+                                     recv_status_name(st));
+    }
+    if (f.type == MsgType::kReport) {
+      // Async report raced the response; keep it for next_report().
+      try {
+        pbp::ByteReader r(f.payload);
+        reports_.push_back(decode_report(r));
+      } catch (const std::exception& e) {
+        disconnect();
+        return ClientResult::transport(std::string("bad report frame: ") +
+                                       e.what());
+      }
+      continue;
+    }
+    *response = std::move(f);
+    return {};
+  }
+}
+
+template <typename Req>
+ClientResult ServeClient::call(MsgType type, const Req& req, Frame* response) {
+  if (!sock_.valid()) {
+    if (const ClientResult c = connect(); !c.ok) return c;
+  }
+  if (!send_message(sock_.fd(), type, req, config_.io_timeout)) {
+    disconnect();
+    return ClientResult::transport("send failed");
+  }
+  ClientResult r = read_response(response);
+  if (!r.ok) return r;
+  if (response->type == MsgType::kError) {
+    try {
+      pbp::ByteReader er(response->payload);
+      const ErrorReply e = ErrorReply::decode(er);
+      return ClientResult::wire(e.code, e.message);
+    } catch (const std::exception& ex) {
+      disconnect();
+      return ClientResult::transport(std::string("bad error frame: ") +
+                                     ex.what());
+    }
+  }
+  return {};
+}
+
+std::optional<std::uint64_t> ServeClient::submit(const SubmitRequest& req,
+                                                 ClientResult* result) {
+  const auto fail = [&](ClientResult r) -> std::optional<std::uint64_t> {
+    if (result != nullptr) *result = std::move(r);
+    return std::nullopt;
+  };
+  for (unsigned shed = 0;; ++shed) {
+    Frame resp;
+    if (ClientResult r = call(MsgType::kSubmit, req, &resp); !r.ok) {
+      return fail(std::move(r));
+    }
+    try {
+      if (resp.type == MsgType::kSubmitOk) {
+        pbp::ByteReader r(resp.payload);
+        const SubmitOk ok = SubmitOk::decode(r);
+        if (result != nullptr) *result = {};
+        return ok.id;
+      }
+      if (resp.type == MsgType::kRetryAfter) {
+        pbp::ByteReader r(resp.payload);
+        const RetryAfter ra = RetryAfter::decode(r);
+        if (shed >= config_.submit_retries) {
+          return fail(ClientResult::wire(
+              WireError::kOverloaded,
+              "server still shedding after " +
+                  std::to_string(config_.submit_retries) + " retries"));
+        }
+        // A shed submission was never admitted, so this retry is safe.
+        std::this_thread::sleep_for(std::chrono::milliseconds(ra.delay_ms));
+        continue;
+      }
+    } catch (const std::exception& e) {
+      disconnect();
+      return fail(ClientResult::transport(std::string("bad reply: ") +
+                                          e.what()));
+    }
+    disconnect();
+    return fail(ClientResult::transport(
+        std::string("unexpected reply ") + msg_type_name(resp.type)));
+  }
+}
+
+ClientResult ServeClient::cancel(std::uint64_t id, bool* cancelled) {
+  Frame resp;
+  if (ClientResult r = call(MsgType::kCancel, CancelRequest{id}, &resp);
+      !r.ok) {
+    return r;
+  }
+  if (resp.type != MsgType::kCancelOk) {
+    disconnect();
+    return ClientResult::transport(std::string("unexpected reply ") +
+                                   msg_type_name(resp.type));
+  }
+  try {
+    pbp::ByteReader r(resp.payload);
+    const CancelOk ok = CancelOk::decode(r);
+    if (cancelled != nullptr) *cancelled = ok.cancelled;
+  } catch (const std::exception& e) {
+    disconnect();
+    return ClientResult::transport(std::string("bad reply: ") + e.what());
+  }
+  return {};
+}
+
+ClientResult ServeClient::progress(std::uint64_t id, ProgressOk* out) {
+  Frame resp;
+  if (ClientResult r = call(MsgType::kProgress, ProgressRequest{id}, &resp);
+      !r.ok) {
+    return r;
+  }
+  if (resp.type != MsgType::kProgressOk) {
+    disconnect();
+    return ClientResult::transport(std::string("unexpected reply ") +
+                                   msg_type_name(resp.type));
+  }
+  try {
+    pbp::ByteReader r(resp.payload);
+    *out = ProgressOk::decode(r);
+  } catch (const std::exception& e) {
+    disconnect();
+    return ClientResult::transport(std::string("bad reply: ") + e.what());
+  }
+  return {};
+}
+
+namespace {
+/// Empty-payload request helper for kStats/kPing-style messages.
+struct EmptyPayload {
+  void encode(pbp::ByteWriter&) const {}
+};
+}  // namespace
+
+ClientResult ServeClient::stats(StatsOk* out) {
+  Frame resp;
+  if (ClientResult r = call(MsgType::kStats, EmptyPayload{}, &resp); !r.ok) {
+    return r;
+  }
+  if (resp.type != MsgType::kStatsOk) {
+    disconnect();
+    return ClientResult::transport(std::string("unexpected reply ") +
+                                   msg_type_name(resp.type));
+  }
+  try {
+    pbp::ByteReader r(resp.payload);
+    *out = StatsOk::decode(r);
+  } catch (const std::exception& e) {
+    disconnect();
+    return ClientResult::transport(std::string("bad reply: ") + e.what());
+  }
+  return {};
+}
+
+ClientResult ServeClient::ping() {
+  struct Probe {
+    std::uint64_t nonce;
+    void encode(pbp::ByteWriter& w) const { w.u64(nonce); }
+  };
+  const std::uint64_t nonce = rng_();
+  Frame resp;
+  if (ClientResult r = call(MsgType::kPing, Probe{nonce}, &resp); !r.ok) {
+    return r;
+  }
+  if (resp.type != MsgType::kPong) {
+    disconnect();
+    return ClientResult::transport(std::string("unexpected reply ") +
+                                   msg_type_name(resp.type));
+  }
+  try {
+    pbp::ByteReader r(resp.payload);
+    if (r.u64() != nonce) {
+      disconnect();
+      return ClientResult::transport("pong echoed a different nonce");
+    }
+  } catch (const std::exception& e) {
+    disconnect();
+    return ClientResult::transport(std::string("bad pong: ") + e.what());
+  }
+  return {};
+}
+
+std::optional<JobReport> ServeClient::next_report(
+    std::chrono::milliseconds timeout, ClientResult* result) {
+  if (result != nullptr) *result = {};
+  if (!reports_.empty()) {
+    JobReport rep = std::move(reports_.front());
+    reports_.pop_front();
+    return rep;
+  }
+  if (!sock_.valid()) {
+    if (result != nullptr) {
+      *result = ClientResult::transport("not connected");
+    }
+    return std::nullopt;
+  }
+  const FrameLimits limits{config_.max_frame_bytes, timeout,
+                           config_.io_timeout};
+  Frame f;
+  const RecvStatus st = recv_frame(sock_.fd(), limits, &f);
+  if (st == RecvStatus::kIdleTimeout) return std::nullopt;  // ok + empty
+  if (st != RecvStatus::kOk) {
+    disconnect();
+    if (result != nullptr) {
+      *result = ClientResult::transport(std::string("recv failed: ") +
+                                        recv_status_name(st));
+    }
+    return std::nullopt;
+  }
+  if (f.type != MsgType::kReport) {
+    // Unsolicited non-report frame outside a call: only the server's
+    // draining/overload errors arrive this way.
+    disconnect();
+    if (result != nullptr) {
+      ClientResult r = ClientResult::transport(
+          std::string("unexpected frame ") + msg_type_name(f.type));
+      if (f.type == MsgType::kError) {
+        try {
+          pbp::ByteReader er(f.payload);
+          const ErrorReply e = ErrorReply::decode(er);
+          r = ClientResult::wire(e.code, e.message);
+        } catch (const std::exception&) {
+        }
+      }
+      *result = std::move(r);
+    }
+    return std::nullopt;
+  }
+  try {
+    pbp::ByteReader r(f.payload);
+    return decode_report(r);
+  } catch (const std::exception& e) {
+    disconnect();
+    if (result != nullptr) {
+      *result = ClientResult::transport(std::string("bad report frame: ") +
+                                        e.what());
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace tangled::serve::net

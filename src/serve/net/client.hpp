@@ -1,0 +1,119 @@
+// client.hpp — ServeClient, the deadline/retry/backoff TCP client for the
+// tangled_served wire protocol (ISSUE 7).
+//
+// The client owns one connection and layers three robustness mechanisms on
+// top of the raw socket:
+//
+//   * timeouts everywhere: connect_timeout bounds the TCP handshake,
+//     io_timeout bounds every framed read and write — no call into
+//     ServeClient blocks longer than its budget;
+//   * reconnect with capped exponential backoff + jitter (serve/backoff.hpp,
+//     the same policy the JobServer uses for retries): connect() makes up to
+//     connect_attempts tries, sleeping backoff_delay between them.  The
+//     jitter RNG is seeded from config.seed, so tests can pin schedules;
+//   * overload cooperation: submit() honours kRetryAfter replies by sleeping
+//     the server's hinted delay and retrying (up to submit_retries times).
+//     A shed submission was never admitted server-side, so the retry cannot
+//     duplicate a job.
+//
+// kReport frames are asynchronous: the server streams each job's terminal
+// report whenever it finishes, so a report may arrive between a request and
+// its response.  ServeClient buffers any kReport it encounters while waiting
+// for a response; next_report() serves the buffer first, then reads from the
+// socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <random>
+#include <string>
+
+#include "serve/backoff.hpp"
+#include "serve/net/socket.hpp"
+#include "serve/net/wire.hpp"
+
+namespace tangled::serve::net {
+
+struct ServeClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{1'000};
+  /// Per-frame read/write budget for every request/response exchange.
+  std::chrono::milliseconds io_timeout{5'000};
+  /// Total connect() tries (1 = no retry).
+  unsigned connect_attempts = 5;
+  BackoffPolicy backoff;
+  std::uint64_t seed = 0xc11e5eedULL;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// How many kRetryAfter sheds submit() absorbs before giving up.
+  unsigned submit_retries = 8;
+};
+
+/// Outcome of one client call.  ok == false carries the failure: a wire
+/// error the server sent (its code/message) or WireError::kTransport for
+/// connect/read/write failures and timeouts.
+struct ClientResult {
+  bool ok = true;
+  WireError code = WireError::kNone;
+  std::string message;
+
+  static ClientResult transport(std::string msg) {
+    return {false, WireError::kTransport, std::move(msg)};
+  }
+  static ClientResult wire(WireError code, std::string msg) {
+    return {false, code, std::move(msg)};
+  }
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(ServeClientConfig config = {});
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Establish the connection, retrying with jittered backoff.  Idempotent
+  /// while connected.  Returns a transport error after the last attempt.
+  ClientResult connect();
+  bool connected() const { return sock_.valid(); }
+  void disconnect();
+
+  /// Submit a job; honours kRetryAfter by sleeping the hinted delay and
+  /// retrying.  Returns the server-issued job id, or nullopt with the
+  /// failure in *result (never admitted twice: a shed submit was not
+  /// admitted at all).
+  std::optional<std::uint64_t> submit(const SubmitRequest& req,
+                                      ClientResult* result = nullptr);
+  /// Cooperative cancel; *cancelled reports whether the job was still live.
+  ClientResult cancel(std::uint64_t id, bool* cancelled = nullptr);
+  ClientResult progress(std::uint64_t id, ProgressOk* out);
+  ClientResult stats(StatsOk* out);
+  /// Round-trip an opaque payload (liveness probe); checks the echo.
+  ClientResult ping();
+
+  /// Next streamed JobReport: buffered ones first, then the socket (waiting
+  /// up to `timeout`).  nullopt = no report within the timeout, or the
+  /// connection failed (*result distinguishes: ok == true means timeout).
+  std::optional<JobReport> next_report(std::chrono::milliseconds timeout,
+                                       ClientResult* result = nullptr);
+  /// Reports already received and buffered (no socket read).
+  std::size_t buffered_reports() const { return reports_.size(); }
+
+  const ServeClientConfig& config() const { return config_; }
+
+ private:
+  /// Send `req` as `type`, then read frames until a non-kReport arrives
+  /// (buffering reports).  Transport failures disconnect and return an
+  /// error; a kError reply is surfaced as its wire code.
+  template <typename Req>
+  ClientResult call(MsgType type, const Req& req, Frame* response);
+  ClientResult read_response(Frame* response);
+
+  ServeClientConfig config_;
+  Socket sock_;
+  std::mt19937_64 rng_;
+  std::deque<JobReport> reports_;
+};
+
+}  // namespace tangled::serve::net

@@ -1,0 +1,589 @@
+#include "serve/net/server.hpp"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <cassert>
+#include <vector>
+
+namespace tangled::serve::net {
+
+namespace {
+
+/// Signal plumbing for install_signal_drain: the handler only write(2)s to
+/// a pipe (async-signal-safe); a watcher thread turns that into
+/// begin_drain().  File-scope because sigaction handlers carry no context.
+std::atomic<int> g_signal_pipe_wr{-1};
+struct sigaction g_old_sigterm;
+struct sigaction g_old_sigint;
+
+void drain_signal_handler(int) {
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const auto rc = ::write(fd, &b, 1);
+  }
+}
+
+}  // namespace
+
+NetServer::NetServer(NetServerConfig config)
+    : config_(config), jobs_(config.jobs) {
+  listener_ = listen_tcp_loopback(config_.port, &port_, &error_);
+  if (!listener_.valid()) return;
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+NetServer::~NetServer() { stop(); }
+
+NetStats NetServer::net_stats() const {
+  std::lock_guard lk(stats_mu_);
+  NetStats s = stats_;
+  return s;
+}
+
+void NetServer::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  accept_wake_.wake();
+  // Wake wait_drained() callers blocked on the draining_ predicate.
+  { std::lock_guard lk(conns_mu_); }
+  conns_cv_.notify_all();
+}
+
+void NetServer::wait_drained() {
+  {
+    std::unique_lock lk(conns_mu_);
+    conns_cv_.wait(lk, [&] {
+      if (!draining_.load(std::memory_order_acquire)) return false;
+      for (const auto& c : conns_) {
+        if (c->done.load(std::memory_order_acquire)) continue;
+        std::lock_guard clk(c->mu);
+        if (!c->pending.empty()) return false;
+      }
+      return true;
+    });
+  }
+  std::lock_guard lifecycle(lifecycle_mu_);
+  if (joined_.load(std::memory_order_acquire)) return;
+  // Every connection-admitted job's report has been flushed (or its
+  // connection died and the job was harvested); now drain the JobServer
+  // itself and tear the transport down.
+  jobs_.shutdown(/*drain=*/true);
+  stopping_.store(true, std::memory_order_release);
+  // Join the accept thread FIRST: once it is gone no new connection can be
+  // mid-setup, so join_all_conns sees a stable population.
+  accept_wake_.wake();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  join_all_conns();
+  if (signals_installed_) {
+    ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
+    ::sigaction(SIGINT, &g_old_sigint, nullptr);
+    g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+    signal_exit_.store(true, std::memory_order_release);
+    signal_wake_.wake();
+    if (signal_thread_.joinable()) signal_thread_.join();
+    signals_installed_ = false;
+  }
+  joined_.store(true, std::memory_order_release);
+}
+
+void NetServer::stop() {
+  if (joined_.load(std::memory_order_acquire)) return;
+  begin_drain();
+  // Hard path: cancel every unflushed job so no pump blocks on a
+  // still-running submission, then close the sockets under the waiters.
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& c : conns_) {
+      std::vector<JobServer::JobId> pending;
+      {
+        std::lock_guard clk(c->mu);
+        c->closing = true;
+        pending.assign(c->pending.begin(), c->pending.end());
+      }
+      for (const auto id : pending) jobs_.cancel(id);
+      c->cv.notify_all();
+      c->sock.shutdown_both();
+    }
+  }
+  conns_cv_.notify_all();
+  wait_drained();
+}
+
+void NetServer::install_signal_drain() {
+  std::lock_guard lifecycle(lifecycle_mu_);
+  if (signals_installed_) return;
+  g_signal_pipe_wr.store(signal_wake_.write_fd(), std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = drain_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, &g_old_sigterm);
+  ::sigaction(SIGINT, &sa, &g_old_sigint);
+  signal_thread_ = std::thread([this] {
+    for (;;) {
+      pollfd p{signal_wake_.read_fd(), POLLIN, 0};
+      const int rc = ::poll(&p, 1, -1);
+      if (rc < 0 && errno == EINTR) continue;
+      signal_wake_.drain();
+      if (signal_exit_.load(std::memory_order_acquire) || rc < 0) return;
+      begin_drain();
+    }
+  });
+  signals_installed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop.
+
+void NetServer::accept_main() {
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire)) break;
+    const int fd = accept_or_wake(listener_.fd(), accept_wake_.read_fd());
+    if (fd < 0) {
+      if (draining_.load(std::memory_order_acquire)) break;
+      accept_wake_.drain();
+      continue;
+    }
+    Socket sock(fd);
+    if (draining_.load(std::memory_order_acquire)) {
+      // Raced a drain: refuse politely.
+      send_message(sock.fd(), MsgType::kError,
+                   ErrorReply{WireError::kShuttingDown, "draining"},
+                   config_.write_timeout);
+      continue;
+    }
+    reap_finished_conns();
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    bool over = false;
+    {
+      std::lock_guard lk(conns_mu_);
+      over = conns_.size() >= config_.max_connections;
+    }
+    if (over) {
+      send_message(sock.fd(), MsgType::kError,
+                   ErrorReply{WireError::kOverloaded, "connection limit"},
+                   config_.write_timeout);
+      std::lock_guard slk(stats_mu_);
+      ++stats_.connections_shed;
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->sock = std::move(sock);
+    Conn& c = *conn;
+    {
+      std::lock_guard lk(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.connections_active;
+    }
+    c.reader = std::thread([this, &c] { reader_main(c); });
+    c.pump = std::thread([this, &c] { pump_main(c); });
+  }
+  listener_.close();
+}
+
+void NetServer::reap_finished_conns() {
+  // Move finished conns out under the lock, join OUTSIDE it: the pump's
+  // last act is a notify that itself takes conns_mu_, so joining while
+  // holding the lock would deadlock.
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : finished) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->pump.joinable()) c->pump.join();
+    std::lock_guard slk(stats_mu_);
+    --stats_.connections_active;
+  }
+}
+
+void NetServer::join_all_conns() {
+  for (;;) {
+    std::unique_ptr<Conn> victim;
+    {
+      std::lock_guard lk(conns_mu_);
+      if (conns_.empty()) return;
+      victim = std::move(conns_.front());
+      conns_.pop_front();
+      std::lock_guard slk(stats_mu_);
+      --stats_.connections_active;
+    }
+    {
+      std::lock_guard clk(victim->mu);
+      victim->closing = true;
+    }
+    victim->cv.notify_all();
+    victim->sock.shutdown_both();  // wakes a reader blocked in poll
+    if (victim->reader.joinable()) victim->reader.join();
+    if (victim->pump.joinable()) victim->pump.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection reader: parse frames, answer requests, classify abuse.
+
+void NetServer::reader_main(Conn& c) {
+  const FrameLimits limits{config_.max_frame_bytes, config_.idle_timeout,
+                           config_.frame_timeout};
+  const auto bump = [this](std::uint64_t NetStats::* field) {
+    std::lock_guard slk(stats_mu_);
+    ++(stats_.*field);
+  };
+  bool alive = true;
+  while (alive) {
+    {
+      std::lock_guard clk(c.mu);
+      if (c.closing) break;
+    }
+    Frame frame;
+    const RecvStatus st = recv_frame(c.sock.fd(), limits, &frame);
+    switch (st) {
+      case RecvStatus::kOk:
+        bump(&NetStats::frames_rx);
+        handle_frame(c, frame);
+        break;
+      case RecvStatus::kIdleTimeout: {
+        // Quiet is fine while reports are owed or a drain is flushing;
+        // otherwise the connection is parked and gets closed.
+        bool has_business = draining_.load(std::memory_order_acquire);
+        if (!has_business) {
+          std::lock_guard clk(c.mu);
+          has_business = !c.pending.empty();
+        }
+        if (!has_business) {
+          bump(&NetStats::stall_closes);
+          alive = false;
+        }
+        break;
+      }
+      case RecvStatus::kEof:
+        alive = false;
+        break;
+      case RecvStatus::kStallTimeout:
+        // Slow loris: a frame began and stalled.  Close without ceremony —
+        // the peer is not reading errors either.
+        bump(&NetStats::stall_closes);
+        alive = false;
+        break;
+      case RecvStatus::kIoError:
+        bump(&NetStats::protocol_errors);
+        alive = false;
+        break;
+      case RecvStatus::kBadMagic:
+        bump(&NetStats::protocol_errors);
+        send_error(c, WireError::kBadMagic, "not a TNGW frame");
+        alive = false;
+        break;
+      case RecvStatus::kBadVersion:
+        bump(&NetStats::protocol_errors);
+        send_error(c, WireError::kBadVersion,
+                   "server speaks wire version " +
+                       std::to_string(kWireVersion));
+        alive = false;
+        break;
+      case RecvStatus::kOversized:
+        bump(&NetStats::protocol_errors);
+        send_error(c, WireError::kOversized,
+                   "frame exceeds " + std::to_string(config_.max_frame_bytes) +
+                       " bytes");
+        alive = false;
+        break;
+      case RecvStatus::kBadCrc:
+        bump(&NetStats::protocol_errors);
+        send_error(c, WireError::kBadCrc, "payload CRC mismatch");
+        alive = false;
+        break;
+    }
+  }
+  // Reader gone ⇒ nobody can cancel or extend this connection's work:
+  // cancel whatever is still unreported so the pump (and a drain) can
+  // finish in bounded time.  Reports are still flushed best-effort — a
+  // half-closed peer that keeps reading sees its jobs terminate cancelled.
+  std::vector<JobServer::JobId> pending;
+  {
+    std::lock_guard clk(c.mu);
+    c.closing = true;
+    pending.assign(c.pending.begin(), c.pending.end());
+  }
+  for (const auto id : pending) jobs_.cancel(id);
+  c.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+
+void NetServer::handle_frame(Conn& c, const Frame& frame) {
+  try {
+    switch (frame.type) {
+      case MsgType::kSubmit:
+        handle_submit(c, frame);
+        return;
+      case MsgType::kCancel: {
+        pbp::ByteReader r(frame.payload);
+        const CancelRequest req = CancelRequest::decode(r);
+        send_reply(c, MsgType::kCancelOk, CancelOk{jobs_.cancel(req.id)});
+        return;
+      }
+      case MsgType::kProgress: {
+        pbp::ByteReader r(frame.payload);
+        const ProgressRequest req = ProgressRequest::decode(r);
+        ProgressOk out;
+        if (const auto p = jobs_.progress(req.id)) {
+          out.known = true;
+          out.phase = static_cast<std::uint8_t>(p->phase);
+          out.attempts = p->attempts;
+          out.qat_ops = p->qat.ops;
+          out.ecc_corrected = p->qat.ecc_corrected;
+          out.ecc_detected = p->qat.ecc_detected;
+        }
+        send_reply(c, MsgType::kProgressOk, out);
+        return;
+      }
+      case MsgType::kStats:
+        send_reply(c, MsgType::kStatsOk, stats_snapshot());
+        return;
+      case MsgType::kPing: {
+        std::lock_guard wlk(c.write_mu);
+        if (send_frame(c.sock.fd(), MsgType::kPong, frame.payload,
+                       config_.write_timeout)) {
+          std::lock_guard slk(stats_mu_);
+          ++stats_.frames_tx;
+        }
+        return;
+      }
+      default:
+        // Unknown-but-well-formed: answer structurally and keep the
+        // connection (a newer client may probe for optional messages).
+        send_error(c, WireError::kUnknownType,
+                   "unknown message type " +
+                       std::to_string(static_cast<unsigned>(frame.type)));
+        return;
+    }
+  } catch (const std::exception& e) {
+    // CRC-clean payload that does not decode: a buggy or hostile peer.
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    send_error(c, WireError::kMalformed, e.what());
+    std::lock_guard clk(c.mu);
+    c.closing = true;
+  }
+}
+
+void NetServer::handle_submit(Conn& c, const Frame& frame) {
+  pbp::ByteReader r(frame.payload);
+  const SubmitRequest req = SubmitRequest::decode(r);
+
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.submits_rejected;
+    }
+    send_error(c, WireError::kShuttingDown, "server is draining");
+    return;
+  }
+  bool over_cap = false;
+  {
+    std::lock_guard clk(c.mu);
+    over_cap = c.pending.size() >= config_.max_inflight_per_conn;
+  }
+  if (over_cap) {
+    // Per-connection overload: shed with a hint, never queue unbounded
+    // report obligations for one peer.
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.retry_after_sent;
+    }
+    send_reply(c, MsgType::kRetryAfter,
+               RetryAfter{config_.retry_after_ms,
+                          RetryAfter::Reason::kConnInFlight});
+    return;
+  }
+
+  Job job;
+  try {
+    job = req.to_job();
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.submits_rejected;
+    }
+    send_error(c, WireError::kBadJob, e.what());
+    return;
+  }
+
+  std::string reason;
+  std::optional<JobServer::JobId> id;
+  if (config_.submit_wait.count() > 0) {
+    id = jobs_.submit_for(std::move(job), config_.submit_wait, &reason);
+  } else {
+    id = jobs_.try_submit(std::move(job), &reason);
+  }
+  if (!id) {
+    if (reason == "queue-full") {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.retry_after_sent;
+      }
+      send_reply(c, MsgType::kRetryAfter,
+                 RetryAfter{config_.retry_after_ms,
+                            RetryAfter::Reason::kQueueFull});
+    } else {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.submits_rejected;
+      }
+      send_error(c, WireError::kShuttingDown, "server is draining");
+    }
+    return;
+  }
+  {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.submits_admitted;
+  }
+  // Enqueue BEFORE the reply so a drain that starts right now already sees
+  // this job as owed to the connection (no admitted job slips the flush).
+  // The kReport may then legally precede the kSubmitOk on the wire — the
+  // client buffers reports while waiting for a response.
+  {
+    std::lock_guard clk(c.mu);
+    c.pending.push_back(*id);
+  }
+  c.cv.notify_all();
+  send_reply(c, MsgType::kSubmitOk, SubmitOk{*id});
+}
+
+bool NetServer::send_error(Conn& c, WireError code,
+                           const std::string& message) {
+  return send_reply(c, MsgType::kError, ErrorReply{code, message});
+}
+
+template <typename T>
+bool NetServer::send_reply(Conn& c, MsgType type, const T& msg) {
+  bool sent = false;
+  {
+    std::lock_guard wlk(c.write_mu);
+    sent = send_message(c.sock.fd(), type, msg, config_.write_timeout);
+  }
+  if (sent) {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.frames_tx;
+  } else {
+    std::lock_guard clk(c.mu);
+    c.write_failed = true;
+  }
+  return sent;
+}
+
+// ---------------------------------------------------------------------------
+// Report pump: stream each admitted job's terminal report, exactly once,
+// in admission order.
+
+void NetServer::pump_main(Conn& c) {
+  for (;;) {
+    JobServer::JobId id = 0;
+    {
+      std::unique_lock clk(c.mu);
+      c.cv.wait(clk, [&] { return !c.pending.empty() || c.closing; });
+      if (c.pending.empty()) break;  // closing && fully flushed
+      id = c.pending.front();
+    }
+    const JobReport rep = jobs_.wait(id);
+    bool try_send = true;
+    {
+      std::lock_guard clk(c.mu);
+      try_send = !c.write_failed;
+    }
+    bool sent = false;
+    if (try_send) {
+      pbp::ByteWriter w;
+      encode_report(rep, w);
+      std::lock_guard wlk(c.write_mu);
+      // Count the stream BEFORE the bytes can reach the peer, so a client
+      // that sees the report and immediately asks for stats gets a snapshot
+      // that already includes it; rolled back below if the send fails.
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.frames_tx;
+        ++stats_.reports_streamed;
+      }
+      sent = send_frame(c.sock.fd(), MsgType::kReport, w.bytes(),
+                        config_.write_timeout);
+    }
+    std::vector<JobServer::JobId> to_cancel;
+    {
+      std::lock_guard clk(c.mu);
+      assert(!c.pending.empty() && c.pending.front() == id);
+      c.pending.pop_front();
+      if (!sent && !c.write_failed) c.write_failed = true;
+      if (!sent) {
+        // Peer unreachable: cancel the rest so each wait() above returns
+        // promptly and the drain path stays bounded.
+        to_cancel.assign(c.pending.begin(), c.pending.end());
+      }
+    }
+    for (const auto cancel_id : to_cancel) jobs_.cancel(cancel_id);
+    if (!sent) {
+      std::lock_guard slk(stats_mu_);
+      if (try_send) {  // roll back the optimistic pre-send bump
+        --stats_.frames_tx;
+        --stats_.reports_streamed;
+      }
+      ++stats_.reports_orphaned;
+    }
+    // Wake drain waiters with the conns_mu_ handshake (avoids the lost
+    // wakeup between their predicate check and sleep).
+    { std::lock_guard lk(conns_mu_); }
+    conns_cv_.notify_all();
+  }
+  // Pump done ⇒ every owed report was flushed or orphaned; close the wire
+  // so the peer sees EOF promptly (also wakes a reader still in recv when
+  // the close was initiated by stop()).
+  c.sock.shutdown_both();
+  c.done.store(true, std::memory_order_release);
+  { std::lock_guard lk(conns_mu_); }
+  conns_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Stats snapshot.
+
+StatsOk NetServer::stats_snapshot() {
+  StatsOk s;
+  s.jobs = jobs_.stats();
+  s.ecc_corrected = s.jobs.ecc_corrected;
+  s.ecc_detected = s.jobs.ecc_detected;
+  {
+    std::lock_guard slk(stats_mu_);
+    s.connections_accepted = stats_.connections_accepted;
+    s.connections_active = stats_.connections_active;
+    s.frames_rx = stats_.frames_rx;
+    s.frames_tx = stats_.frames_tx;
+    s.protocol_errors = stats_.protocol_errors;
+    s.stall_closes = stats_.stall_closes;
+    s.retry_after_sent = stats_.retry_after_sent;
+    s.reports_streamed = stats_.reports_streamed;
+    s.reports_orphaned = stats_.reports_orphaned;
+  }
+  s.draining = draining_.load(std::memory_order_acquire);
+  return s;
+}
+
+}  // namespace tangled::serve::net

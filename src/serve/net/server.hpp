@@ -1,0 +1,181 @@
+// server.hpp — the hardened TCP front door for JobServer (ISSUE 7).
+//
+// NetServer owns a JobServer and exposes it on a loopback TCP port speaking
+// the wire.hpp framed protocol.  The robustness contract:
+//
+//   * per-connection read deadlines: a frame that starts but stalls
+//     (slow loris) closes that connection after frame_timeout, an idle
+//     connection with no in-flight jobs closes after idle_timeout — neither
+//     ever blocks the accept loop or another connection;
+//   * max-frame limit: a forged length field is rejected from the header
+//     alone (kOversized error reply, then close) — the server never
+//     allocates payload space a hostile peer declared;
+//   * torn / garbage / wrong-version frames: structured error reply
+//     (best-effort, bounded write), then connection close; the server's
+//     protocol_errors counter records the abuse;
+//   * overload shedding: a full JobServer queue is answered with
+//     kRetryAfter (+ the configured hint) via try_submit / submit_for — the
+//     accept loop and reader threads never block on admission;
+//   * per-connection in-flight cap: a connection may hold at most
+//     max_inflight_per_conn unreported jobs; beyond that, kRetryAfter with
+//     Reason::kConnInFlight (layered under the global memory budget, which
+//     JobServer already enforces);
+//   * exactly-once report streaming: every job admitted through a
+//     connection produces exactly one kReport frame on that connection, in
+//     admission order, unless the connection dies first — in which case the
+//     job is cancelled and its terminal report is harvested server-side
+//     (counted in reports_orphaned), so an abusive client can never leak a
+//     job or a worker;
+//   * graceful drain: begin_drain() (or SIGTERM/SIGINT via
+//     install_signal_drain) stops accepting connections and submissions,
+//     flushes the reports of every already-admitted job to its connection,
+//     then shuts the JobServer down drain=true.  No accepted job is lost.
+//
+// Threading model: one accept thread, two threads per connection (a reader
+// that parses and answers request frames, and a report pump that streams
+// terminal JobReports).  Writes to a connection are serialized by a
+// per-connection mutex.  This is deliberately thread-per-connection — the
+// serve layer's scale target is "hundreds of tenants", not C10K, and the
+// model keeps every blocking point deadline-bounded and TSAN-checkable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/job_server.hpp"
+#include "serve/net/socket.hpp"
+#include "serve/net/wire.hpp"
+
+namespace tangled::serve::net {
+
+struct NetServerConfig {
+  /// Port to bind on 127.0.0.1; 0 = ephemeral (read it back from port()).
+  std::uint16_t port = 0;
+  JobServerConfig jobs;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Waiting for a frame to BEGIN (quiet client keeping the connection for
+  /// streamed reports).
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// A frame that began must complete within this (slow-loris bound).
+  std::chrono::milliseconds frame_timeout{5'000};
+  std::chrono::milliseconds write_timeout{5'000};
+  /// Bounded admission wait before shedding (0 = shed immediately via
+  /// try_submit; >0 = submit_for with this wait).
+  std::chrono::milliseconds submit_wait{0};
+  /// Delay hint carried in kRetryAfter replies.
+  std::uint32_t retry_after_ms = 25;
+  unsigned max_inflight_per_conn = 64;
+  unsigned max_connections = 256;
+};
+
+/// Net-layer counters (monotonic; see also StatsOk for the wire snapshot).
+struct NetStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_shed = 0;  // over max_connections
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t protocol_errors = 0;  // bad magic/version/crc/oversized/torn
+  std::uint64_t stall_closes = 0;     // slow-loris / idle closes
+  std::uint64_t retry_after_sent = 0;
+  std::uint64_t submits_admitted = 0;
+  std::uint64_t submits_rejected = 0;  // bad-job / shutting-down
+  std::uint64_t reports_streamed = 0;
+  std::uint64_t reports_orphaned = 0;  // connection died before its report
+};
+
+class NetServer {
+ public:
+  explicit NetServer(NetServerConfig config = {});
+  ~NetServer();  // stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// False if the listen socket could not be bound; error() explains.
+  bool ok() const { return listener_.valid(); }
+  const std::string& error() const { return error_; }
+  std::uint16_t port() const { return port_; }
+
+  JobServer& jobs() { return jobs_; }
+  const JobServer& jobs() const { return jobs_; }
+  NetStats net_stats() const;
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Stop accepting connections and submissions.  Existing connections keep
+  /// streaming reports for their admitted jobs.  Idempotent, signal-safe
+  /// enough to be called from the signal watcher thread.
+  void begin_drain();
+
+  /// Block until every admitted job's report has been flushed (or its
+  /// connection died), then drain the JobServer and join all threads.
+  /// Waits for begin_drain() if it has not happened yet.
+  void wait_drained();
+
+  /// Hard stop: begin_drain + cancel every unflushed job, then join.
+  void stop();
+
+  /// Route SIGTERM/SIGINT to begin_drain() through a self-pipe (the handler
+  /// only write(2)s).  Restored on destruction.  One NetServer at a time.
+  void install_signal_drain();
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    Socket sock;
+    std::mutex write_mu;  // serializes reader replies vs pump reports
+
+    std::mutex mu;  // guards pending/flags below
+    std::condition_variable cv;
+    std::deque<JobServer::JobId> pending;  // admitted, report not yet sent
+    bool closing = false;       // reader gone or server stopping
+    bool write_failed = false;  // peer unreachable; orphan remaining jobs
+
+    std::thread reader;
+    std::thread pump;
+    std::atomic<bool> done{false};  // both threads finished
+  };
+
+  void accept_main();
+  void reader_main(Conn& c);
+  void pump_main(Conn& c);
+  void handle_frame(Conn& c, const Frame& frame);
+  void handle_submit(Conn& c, const Frame& frame);
+  bool send_error(Conn& c, WireError code, const std::string& message);
+  template <typename T>
+  bool send_reply(Conn& c, MsgType type, const T& msg);
+  void reap_finished_conns();
+  void join_all_conns();
+  StatsOk stats_snapshot();
+
+  NetServerConfig config_;
+  JobServer jobs_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  WakePipe accept_wake_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+  std::mutex lifecycle_mu_;  // serializes wait_drained/stop
+  std::mutex conns_mu_;
+  std::condition_variable conns_cv_;  // flushed-and-drained waiters
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::thread accept_thread_;
+  std::thread signal_thread_;
+  WakePipe signal_wake_;
+  std::atomic<bool> signal_exit_{false};
+  bool signals_installed_ = false;
+
+  mutable std::mutex stats_mu_;
+  NetStats stats_;
+};
+
+}  // namespace tangled::serve::net

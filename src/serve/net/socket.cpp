@@ -1,0 +1,307 @@
+#include "serve/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tangled::serve::net {
+
+namespace {
+
+/// Remaining poll budget in ms for `deadline`; -1 = wait forever, clamped so
+/// a single poll never exceeds INT_MAX ms.
+int poll_budget_ms(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left.count(), 1 << 30));
+}
+
+IoStatus wait_io(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int budget = poll_budget_ms(deadline);
+    if (budget == 0) return IoStatus::kTimeout;
+    const int rc = ::poll(&p, 1, budget);
+    if (rc > 0) return IoStatus::kOk;  // readable/writable OR error/hup —
+                                       // let recv/send report the detail
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno != EINTR) return IoStatus::kError;
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+WakePipe::WakePipe() {
+  if (::pipe(fds_) != 0) {
+    fds_[0] = fds_[1] = -1;
+    return;
+  }
+  ::fcntl(fds_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds_[1], F_SETFL, O_NONBLOCK);
+}
+
+WakePipe::~WakePipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void WakePipe::wake() const {
+  const char b = 1;
+  // Best effort; a full pipe already guarantees the poller will wake.
+  [[maybe_unused]] const auto rc = ::write(fds_[1], &b, 1);
+}
+
+void WakePipe::drain() const {
+  char buf[64];
+  while (::read(fds_[0], buf, sizeof buf) > 0) {
+  }
+}
+
+IoStatus read_exact(int fd, void* buf, std::size_t n,
+                    Clock::time_point deadline) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const IoStatus w = wait_io(fd, POLLIN, deadline);
+    if (w != IoStatus::kOk) return w;
+    const ssize_t rc = ::recv(fd, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return got == 0 ? IoStatus::kEof : IoStatus::kError;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus write_all(int fd, const void* buf, std::size_t n,
+                   Clock::time_point deadline) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const IoStatus w = wait_io(fd, POLLOUT, deadline);
+    if (w != IoStatus::kOk) return w;
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+Socket listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                           std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (err != nullptr) *err = std::strerror(errno);
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(s.fd(), 64) != 0) {
+    if (err != nullptr) *err = std::strerror(errno);
+    return {};
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      if (err != nullptr) *err = std::strerror(errno);
+      return {};
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return s;
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout, std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (err != nullptr) *err = std::strerror(errno);
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "bad address '" + host + "'";
+    return {};
+  }
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (err != nullptr) *err = std::strerror(errno);
+    return {};
+  }
+  if (rc != 0) {
+    const IoStatus w = wait_io(s.fd(), POLLOUT, Clock::now() + timeout);
+    if (w != IoStatus::kOk) {
+      if (err != nullptr) {
+        *err = w == IoStatus::kTimeout ? "connect timed out"
+                                       : std::strerror(errno);
+      }
+      return {};
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      if (err != nullptr) {
+        *err = std::strerror(so_error != 0 ? so_error : errno);
+      }
+      return {};
+    }
+  }
+  ::fcntl(s.fd(), F_SETFL, flags);  // back to blocking; I/O is poll-paced
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+int accept_or_wake(int listen_fd, int wake_fd) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if ((fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return -1;
+    if ((fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return -1;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client >= 0) {
+        const int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return client;
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return -1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Framed I/O.
+
+const char* recv_status_name(RecvStatus s) {
+  switch (s) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kEof: return "eof";
+    case RecvStatus::kIdleTimeout: return "idle-timeout";
+    case RecvStatus::kStallTimeout: return "stall-timeout";
+    case RecvStatus::kIoError: return "io-error";
+    case RecvStatus::kBadMagic: return "bad-magic";
+    case RecvStatus::kBadVersion: return "bad-version";
+    case RecvStatus::kOversized: return "oversized";
+    case RecvStatus::kBadCrc: return "bad-crc";
+  }
+  return "unknown";
+}
+
+RecvStatus recv_frame(int fd, const FrameLimits& limits, Frame* out) {
+  // Phase 1: wait (idly) for the first byte of a header.
+  const IoStatus idle = wait_io(fd, POLLIN, Clock::now() + limits.idle_timeout);
+  if (idle == IoStatus::kTimeout) return RecvStatus::kIdleTimeout;
+  if (idle != IoStatus::kOk) return RecvStatus::kIoError;
+
+  // Phase 2: once bytes exist, the whole frame must land by this deadline.
+  const auto deadline = Clock::now() + limits.frame_timeout;
+  std::uint8_t header[kHeaderBytes];
+  switch (read_exact(fd, header, kHeaderBytes, deadline)) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kEof:
+      return RecvStatus::kEof;
+    case IoStatus::kTimeout:
+      return RecvStatus::kStallTimeout;
+    case IoStatus::kError:
+      return RecvStatus::kIoError;
+  }
+  FrameHeader h;
+  switch (parse_header(header, limits.max_frame_bytes, &h)) {
+    case FrameCheck::kOk:
+      break;
+    case FrameCheck::kBadMagic:
+      return RecvStatus::kBadMagic;
+    case FrameCheck::kBadVersion:
+      return RecvStatus::kBadVersion;
+    case FrameCheck::kOversized:
+      return RecvStatus::kOversized;
+    case FrameCheck::kBadCrc:
+      return RecvStatus::kBadCrc;  // unreachable from parse_header
+  }
+  out->payload.resize(h.length);
+  if (h.length > 0) {
+    switch (read_exact(fd, out->payload.data(), h.length, deadline)) {
+      case IoStatus::kOk:
+        break;
+      case IoStatus::kTimeout:
+        return RecvStatus::kStallTimeout;
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        return RecvStatus::kIoError;
+    }
+  }
+  if (verify_payload(h, out->payload) != FrameCheck::kOk) {
+    return RecvStatus::kBadCrc;
+  }
+  out->type = static_cast<MsgType>(h.type);
+  return RecvStatus::kOk;
+}
+
+bool send_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload,
+                std::chrono::milliseconds timeout) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  return write_all(fd, bytes.data(), bytes.size(), Clock::now() + timeout) ==
+         IoStatus::kOk;
+}
+
+}  // namespace tangled::serve::net

@@ -1,0 +1,133 @@
+// socket.hpp — minimal deadline-aware TCP plumbing for the serve net layer.
+//
+// Everything here is loopback-grade POSIX: RAII fds, non-blocking connect
+// with a timeout, poll-driven read/write with absolute deadlines, and framed
+// send/recv on top of wire.hpp.  Two properties matter for robustness:
+//
+//   * every blocking operation has a deadline — a peer that stops reading
+//     or writing can stall one connection for at most its timeout, never
+//     the process (slow-loris defense);
+//   * writes use MSG_NOSIGNAL, so a peer that disappeared mid-stream yields
+//     an error return, not a process-killing SIGPIPE.
+//
+// recv_frame distinguishes "no frame started" (kIdleTimeout — the peer is
+// merely quiet, which is fine while it waits for job reports) from "a frame
+// started and stalled" (kStallTimeout — the slow-loris signature, answered
+// by closing the connection).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "serve/net/wire.hpp"
+
+namespace tangled::serve::net {
+
+using Clock = std::chrono::steady_clock;
+
+/// Move-only RAII file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(SHUT_RDWR): unblocks any thread inside poll/recv/send on this
+  /// fd without racing the fd number (close alone can be redistributed).
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A self-pipe: write() from any thread (or a signal handler — write(2) is
+/// async-signal-safe) wakes a poll() that includes read_fd().
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void wake() const;
+  void drain() const;
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+enum class IoStatus : std::uint8_t { kOk, kEof, kTimeout, kError };
+
+/// Read exactly n bytes by `deadline` (time_point::max() = no deadline).
+/// kEof only when the connection closed cleanly at byte 0; a close mid-read
+/// is kError (a torn stream).
+IoStatus read_exact(int fd, void* buf, std::size_t n, Clock::time_point deadline);
+/// Write all n bytes by `deadline`; MSG_NOSIGNAL, partial-write looping.
+IoStatus write_all(int fd, const void* buf, std::size_t n,
+                   Clock::time_point deadline);
+
+/// Bind + listen on 127.0.0.1:port (port 0 = ephemeral; the bound port is
+/// returned through *bound_port).  Invalid socket + *err on failure.
+Socket listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                           std::string* err);
+
+/// Non-blocking connect with a timeout; the returned socket is blocking.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout, std::string* err);
+
+/// Wait for a connection on `listen_fd`, or for `wake_fd` to become
+/// readable.  Returns the accepted fd (>= 0), -1 if woken / listener dead.
+int accept_or_wake(int listen_fd, int wake_fd);
+
+// ---------------------------------------------------------------------------
+// Framed I/O.
+
+enum class RecvStatus : std::uint8_t {
+  kOk,
+  kEof,           // peer closed cleanly between frames
+  kIdleTimeout,   // no frame began within the idle window (not an error)
+  kStallTimeout,  // frame began but did not complete in time (slow loris)
+  kIoError,       // torn stream / reset
+  kBadMagic,
+  kBadVersion,
+  kOversized,
+  kBadCrc,
+};
+
+const char* recv_status_name(RecvStatus s);
+
+struct FrameLimits {
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// How long to wait for the FIRST byte of the next frame.
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// Once a frame has begun, how long it may take to arrive completely.
+  std::chrono::milliseconds frame_timeout{5'000};
+};
+
+/// Receive one frame.  On kBadMagic/kBadVersion/kOversized the header was
+/// read but the payload was NOT (nothing is allocated from a hostile length
+/// field); the caller should answer with a structured error and close.
+RecvStatus recv_frame(int fd, const FrameLimits& limits, Frame* out);
+
+/// Send one frame within `timeout`.
+bool send_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload,
+                std::chrono::milliseconds timeout);
+
+template <typename T>
+bool send_message(int fd, MsgType type, const T& msg,
+                  std::chrono::milliseconds timeout) {
+  pbp::ByteWriter w;
+  msg.encode(w);
+  return send_frame(fd, type, w.bytes(), timeout);
+}
+
+}  // namespace tangled::serve::net

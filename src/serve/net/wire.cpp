@@ -1,0 +1,387 @@
+#include "serve/net/wire.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "arch/fault.hpp"
+#include "asm/assembler.hpp"
+
+namespace tangled::serve::net {
+
+namespace {
+
+void put_string(pbp::ByteWriter& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string get_string(pbp::ByteReader& r, std::size_t max_len = 1 << 20) {
+  const std::uint32_t n = r.u32();
+  if (n > max_len || n > r.remaining()) {
+    throw std::runtime_error("wire: string length out of range");
+  }
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(r.u8()));
+  }
+  return s;
+}
+
+void put_double(pbp::ByteWriter& w, double v) {
+  w.u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double get_double(pbp::ByteReader& r) {
+  return std::bit_cast<double>(r.u64());
+}
+
+/// Range-checked enum decode: a CRC-clean frame can still carry a value the
+/// enum does not define (a hostile or newer peer) — that is kMalformed, not
+/// undefined behaviour.
+template <typename E>
+E checked_enum(std::uint8_t raw, std::uint8_t max, const char* what) {
+  if (raw > max) {
+    throw std::runtime_error(std::string("wire: out-of-range ") + what);
+  }
+  return static_cast<E>(raw);
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kProgress: return "progress";
+    case MsgType::kStats: return "stats";
+    case MsgType::kPing: return "ping";
+    case MsgType::kSubmitOk: return "submit-ok";
+    case MsgType::kRetryAfter: return "retry-after";
+    case MsgType::kCancelOk: return "cancel-ok";
+    case MsgType::kProgressOk: return "progress-ok";
+    case MsgType::kStatsOk: return "stats-ok";
+    case MsgType::kError: return "error";
+    case MsgType::kReport: return "report";
+    case MsgType::kPong: return "pong";
+  }
+  return "unknown";
+}
+
+const char* wire_error_name(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad-magic";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadCrc: return "bad-crc";
+    case WireError::kOversized: return "oversized";
+    case WireError::kMalformed: return "malformed";
+    case WireError::kUnknownType: return "unknown-type";
+    case WireError::kShuttingDown: return "shutting-down";
+    case WireError::kOverloaded: return "overloaded";
+    case WireError::kBadJob: return "bad-job";
+    case WireError::kUnknownJob: return "unknown-job";
+    case WireError::kTransport: return "transport";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+  pbp::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(pbp::crc32(payload));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameCheck parse_header(const std::uint8_t header[kHeaderBytes],
+                        std::size_t max_frame, FrameHeader* out) {
+  pbp::ByteReader r(header, kHeaderBytes);
+  if (r.u32() != kWireMagic) return FrameCheck::kBadMagic;
+  if (r.u16() != kWireVersion) return FrameCheck::kBadVersion;
+  out->type = r.u8();
+  r.u8();  // reserved
+  out->length = r.u32();
+  out->crc = r.u32();
+  if (out->length > max_frame) return FrameCheck::kOversized;
+  return FrameCheck::kOk;
+}
+
+FrameCheck verify_payload(const FrameHeader& header,
+                          const std::vector<std::uint8_t>& payload) {
+  if (payload.size() != header.length || pbp::crc32(payload) != header.crc) {
+    return FrameCheck::kBadCrc;
+  }
+  return FrameCheck::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// SubmitRequest.
+
+void SubmitRequest::encode(pbp::ByteWriter& w) const {
+  put_string(w, name);
+  put_string(w, source);
+  w.u8(static_cast<std::uint8_t>(sim));
+  w.u8(static_cast<std::uint8_t>(backend));
+  w.u32(ways);
+  w.u64(max_instructions);
+  w.u64(max_cycles);
+  w.u64(checkpoint_every);
+  w.u8(static_cast<std::uint8_t>(ecc));
+  w.u64(ecc_epoch);
+  w.u64(scrub_every);
+  w.u32(qat_threads);
+  w.u32(deadline_ms);
+  w.u32(static_cast<std::uint32_t>(retry_max));
+  put_string(w, fault_spec);
+  w.u32(static_cast<std::uint32_t>(expect.size()));
+  for (const auto& [reg, value] : expect) {
+    w.u16(reg);
+    w.u16(value);
+  }
+}
+
+SubmitRequest SubmitRequest::decode(pbp::ByteReader& r) {
+  SubmitRequest s;
+  s.name = get_string(r, 4096);
+  s.source = get_string(r);
+  s.sim = checked_enum<SimKind>(
+      r.u8(), static_cast<std::uint8_t>(SimKind::kRtl), "sim kind");
+  s.backend = checked_enum<pbp::Backend>(
+      r.u8(), static_cast<std::uint8_t>(pbp::Backend::kCompressed), "backend");
+  s.ways = r.u32();
+  s.max_instructions = r.u64();
+  s.max_cycles = r.u64();
+  s.checkpoint_every = r.u64();
+  s.ecc = checked_enum<pbp::EccMode>(
+      r.u8(), static_cast<std::uint8_t>(pbp::EccMode::kCorrect), "ecc mode");
+  s.ecc_epoch = r.u64();
+  s.scrub_every = r.u64();
+  s.qat_threads = r.u32();
+  s.deadline_ms = r.u32();
+  s.retry_max = static_cast<std::int32_t>(r.u32());
+  s.fault_spec = get_string(r, 4096);
+  const std::uint32_t n = r.u32();
+  if (n > kNumRegs) {
+    throw std::runtime_error("wire: too many expect pairs");
+  }
+  s.expect.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint16_t reg = r.u16();
+    const std::uint16_t value = r.u16();
+    if (reg >= kNumRegs) {
+      throw std::runtime_error("wire: expect register out of range");
+    }
+    s.expect.emplace_back(reg, value);
+  }
+  return s;
+}
+
+Job SubmitRequest::to_job() const {
+  Job j;
+  j.name = name;
+  j.program = assemble(source);
+  j.sim = sim;
+  j.backend = backend;
+  j.ways = ways;
+  j.max_instructions = max_instructions;
+  j.max_cycles = max_cycles;
+  j.checkpoint_every = checkpoint_every;
+  j.ecc = ecc;
+  j.ecc_epoch = ecc_epoch;
+  j.scrub_every = scrub_every;
+  j.qat_threads = qat_threads;
+  j.deadline = std::chrono::milliseconds(deadline_ms);
+  j.retry_max = retry_max;
+  if (!fault_spec.empty()) j.fault_plan = FaultPlan::parse(fault_spec, ways);
+  if (!expect.empty()) {
+    j.validate = [pairs = expect](const CpuState& cpu) {
+      for (const auto& [reg, value] : pairs) {
+        if (cpu.regs[reg] != value) return false;
+      }
+      return true;
+    };
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Small messages.
+
+void SubmitOk::encode(pbp::ByteWriter& w) const { w.u64(id); }
+SubmitOk SubmitOk::decode(pbp::ByteReader& r) { return {r.u64()}; }
+
+void RetryAfter::encode(pbp::ByteWriter& w) const {
+  w.u32(delay_ms);
+  w.u8(static_cast<std::uint8_t>(reason));
+}
+RetryAfter RetryAfter::decode(pbp::ByteReader& r) {
+  RetryAfter m;
+  m.delay_ms = r.u32();
+  m.reason = checked_enum<Reason>(
+      r.u8(), static_cast<std::uint8_t>(Reason::kConnInFlight), "shed reason");
+  return m;
+}
+
+void CancelRequest::encode(pbp::ByteWriter& w) const { w.u64(id); }
+CancelRequest CancelRequest::decode(pbp::ByteReader& r) { return {r.u64()}; }
+
+void CancelOk::encode(pbp::ByteWriter& w) const { w.u8(cancelled ? 1 : 0); }
+CancelOk CancelOk::decode(pbp::ByteReader& r) { return {r.u8() != 0}; }
+
+void ProgressRequest::encode(pbp::ByteWriter& w) const { w.u64(id); }
+ProgressRequest ProgressRequest::decode(pbp::ByteReader& r) {
+  return {r.u64()};
+}
+
+void ProgressOk::encode(pbp::ByteWriter& w) const {
+  w.u8(known ? 1 : 0);
+  w.u8(phase);
+  w.u32(attempts);
+  w.u64(qat_ops);
+  w.u64(ecc_corrected);
+  w.u64(ecc_detected);
+}
+ProgressOk ProgressOk::decode(pbp::ByteReader& r) {
+  ProgressOk m;
+  m.known = r.u8() != 0;
+  m.phase = r.u8();
+  m.attempts = r.u32();
+  m.qat_ops = r.u64();
+  m.ecc_corrected = r.u64();
+  m.ecc_detected = r.u64();
+  return m;
+}
+
+void ErrorReply::encode(pbp::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(code));
+  put_string(w, message);
+}
+ErrorReply ErrorReply::decode(pbp::ByteReader& r) {
+  ErrorReply m;
+  m.code = checked_enum<WireError>(
+      r.u8(), static_cast<std::uint8_t>(WireError::kTransport), "error code");
+  m.message = get_string(r, 4096);
+  return m;
+}
+
+void StatsOk::encode(pbp::ByteWriter& w) const {
+  w.u16(snapshot_version);
+  w.u64(jobs.submitted);
+  w.u64(jobs.completed);
+  w.u64(jobs.quarantined);
+  w.u64(jobs.cancelled);
+  w.u64(jobs.deadline_expired);
+  w.u64(jobs.rejected_memory);
+  w.u64(jobs.errors);
+  w.u64(jobs.retries);
+  w.u64(jobs.migrations_shed);
+  w.u64(jobs.queue_full_rejections);
+  w.u64(jobs.in_flight_bytes);
+  w.u64(jobs.peak_in_flight_bytes);
+  w.u64(jobs.queue_depth);
+  w.u32(jobs.active_jobs);
+  w.u64(ecc_corrected);
+  w.u64(ecc_detected);
+  w.u64(connections_accepted);
+  w.u64(connections_active);
+  w.u64(frames_rx);
+  w.u64(frames_tx);
+  w.u64(protocol_errors);
+  w.u64(stall_closes);
+  w.u64(retry_after_sent);
+  w.u64(reports_streamed);
+  w.u64(reports_orphaned);
+  w.u8(draining ? 1 : 0);
+}
+StatsOk StatsOk::decode(pbp::ByteReader& r) {
+  StatsOk m;
+  m.snapshot_version = r.u16();
+  m.jobs.submitted = r.u64();
+  m.jobs.completed = r.u64();
+  m.jobs.quarantined = r.u64();
+  m.jobs.cancelled = r.u64();
+  m.jobs.deadline_expired = r.u64();
+  m.jobs.rejected_memory = r.u64();
+  m.jobs.errors = r.u64();
+  m.jobs.retries = r.u64();
+  m.jobs.migrations_shed = r.u64();
+  m.jobs.queue_full_rejections = r.u64();
+  m.jobs.in_flight_bytes = static_cast<std::size_t>(r.u64());
+  m.jobs.peak_in_flight_bytes = static_cast<std::size_t>(r.u64());
+  m.jobs.queue_depth = static_cast<std::size_t>(r.u64());
+  m.jobs.active_jobs = r.u32();
+  m.ecc_corrected = r.u64();
+  m.ecc_detected = r.u64();
+  m.connections_accepted = r.u64();
+  m.connections_active = r.u64();
+  m.frames_rx = r.u64();
+  m.frames_tx = r.u64();
+  m.protocol_errors = r.u64();
+  m.stall_closes = r.u64();
+  m.retry_after_sent = r.u64();
+  m.reports_streamed = r.u64();
+  m.reports_orphaned = r.u64();
+  m.draining = r.u8() != 0;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// JobReport.
+
+void encode_report(const JobReport& rep, pbp::ByteWriter& w) {
+  w.u64(rep.id);
+  put_string(w, rep.name);
+  w.u8(static_cast<std::uint8_t>(rep.outcome));
+  w.u8(static_cast<std::uint8_t>(rep.trap.kind));
+  w.u16(rep.trap.pc);
+  put_string(w, rep.error);
+  w.u32(rep.attempts);
+  w.u64(rep.retries);
+  w.u8(rep.recovered ? 1 : 0);
+  w.u64(rep.instructions);
+  w.u64(rep.cycles);
+  w.u64(rep.qat_ops);
+  w.u64(rep.backend_migrations);
+  w.u64(rep.ecc_corrected);
+  w.u64(rep.ecc_detected);
+  w.u64(rep.reserved_bytes);
+  put_double(w, rep.queue_ms);
+  put_double(w, rep.exec_ms);
+  put_double(w, rep.backoff_ms);
+}
+
+JobReport decode_report(pbp::ByteReader& r) {
+  JobReport rep;
+  rep.id = r.u64();
+  rep.name = get_string(r, 4096);
+  rep.outcome = checked_enum<JobOutcome>(
+      r.u8(), static_cast<std::uint8_t>(JobOutcome::kError), "outcome");
+  rep.trap.kind = checked_enum<TrapKind>(
+      r.u8(), static_cast<std::uint8_t>(TrapKind::kDataCorruption),
+      "trap kind");
+  rep.trap.pc = r.u16();
+  rep.error = get_string(r, 4096);
+  rep.attempts = r.u32();
+  rep.retries = r.u64();
+  rep.recovered = r.u8() != 0;
+  rep.instructions = r.u64();
+  rep.cycles = r.u64();
+  rep.qat_ops = r.u64();
+  rep.backend_migrations = r.u64();
+  rep.ecc_corrected = r.u64();
+  rep.ecc_detected = r.u64();
+  rep.reserved_bytes = static_cast<std::size_t>(r.u64());
+  rep.queue_ms = get_double(r);
+  rep.exec_ms = get_double(r);
+  rep.backoff_ms = get_double(r);
+  return rep;
+}
+
+}  // namespace tangled::serve::net

@@ -1,0 +1,255 @@
+// wire.hpp — the framed binary protocol spoken between tangled_served and
+// ServeClient (the ISSUE 7 tentpole).
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic   "TNGW" (0x57474E54 little-endian)
+//   4       2     version (kWireVersion; a mismatch is answered with a
+//                 structured kBadVersion error, then the connection closes)
+//   6       1     type    (MsgType)
+//   7       1     reserved (must be 0)
+//   8       4     payload length in bytes (bounded by the receiver's
+//                 max-frame limit — an oversized declaration is rejected
+//                 BEFORE any payload is read, so a hostile peer cannot make
+//                 the server allocate from a forged length field)
+//   12      4     CRC-32 (IEEE 802.3) of the payload bytes
+//   16      n     payload (pbp/serialize.hpp little-endian primitives)
+//
+// This is the checkpoint-v2 framing discipline (arch/checkpoint.hpp) applied
+// to a socket: magic/version/length are validated structurally, the CRC
+// rejects bit-flipped payloads, and anything wrong yields a *structured*
+// error reply (ErrorReply) followed by connection close — torn, truncated,
+// or garbage frames are never partially interpreted.
+//
+// Requests flow client→server, responses and streamed job reports flow
+// server→client.  TCP preserves order, so responses arrive in request
+// order; kReport frames are asynchronous and may interleave anywhere after
+// their job's admission (receivers must buffer them — ServeClient does).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pbp/serialize.hpp"
+#include "serve/job.hpp"
+#include "serve/job_server.hpp"
+
+namespace tangled::serve::net {
+
+constexpr std::uint32_t kWireMagic = 0x57474E54u;  // "TNGW" little-endian
+constexpr std::uint16_t kWireVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;  // 1 MiB
+
+/// Stats snapshots are versioned independently of the frame format so a
+/// field can be appended without a wire-version bump (old clients ignore
+/// trailing bytes they don't know; new clients check snapshot_version).
+constexpr std::uint16_t kStatsSnapshotVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  // Requests (client → server).
+  kSubmit = 1,    // SubmitRequest → kSubmitOk | kRetryAfter | kError
+  kCancel = 2,    // CancelRequest → kCancelOk
+  kProgress = 3,  // ProgressRequest → kProgressOk
+  kStats = 4,     // (empty)       → kStatsOk
+  kPing = 5,      // opaque bytes  → kPong (echo)
+  // Responses (server → client).
+  kSubmitOk = 64,
+  kRetryAfter = 65,  // overload shed: try again after the hinted delay
+  kCancelOk = 66,
+  kProgressOk = 67,
+  kStatsOk = 68,
+  kError = 69,
+  kReport = 70,  // streamed terminal JobReport (async, exactly once per job)
+  kPong = 71,
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Structured error codes carried in ErrorReply payloads.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,        // first 4 bytes were not "TNGW"
+  kBadVersion,      // framed correctly but an incompatible protocol version
+  kBadCrc,          // payload bits flipped in flight
+  kOversized,       // declared payload length exceeds the max-frame limit
+  kMalformed,       // CRC-clean payload that does not decode
+  kUnknownType,     // well-formed frame with an unassigned type byte
+  kShuttingDown,    // server is draining; no new submissions
+  kOverloaded,      // connection limit reached
+  kBadJob,          // submission rejected (assembly error, bad enum, ...)
+  kUnknownJob,      // cancel/progress for an id this server never issued
+  kTransport,       // client-side: connect/read/write failure or timeout
+};
+
+const char* wire_error_name(WireError e);
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode.
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Status of header validation / payload verification.  The subset of
+/// RecvStatus (socket.hpp) that the codec itself can decide.
+enum class FrameCheck : std::uint8_t {
+  kOk,
+  kBadMagic,
+  kBadVersion,
+  kOversized,
+  kBadCrc,
+};
+
+struct FrameHeader {
+  std::uint8_t type = 0;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Serialize a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Validate the fixed 16-byte header.  On kOk, `out` carries the declared
+/// type/length/crc; the caller then reads `length` payload bytes and calls
+/// verify_payload.  `max_frame` bounds length *before* any allocation.
+FrameCheck parse_header(const std::uint8_t header[kHeaderBytes],
+                        std::size_t max_frame, FrameHeader* out);
+
+/// CRC the received payload against the header's declared CRC.
+FrameCheck verify_payload(const FrameHeader& header,
+                          const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Message payloads.  Each encodes with pbp::ByteWriter and decodes with
+// pbp::ByteReader; decode() throws std::runtime_error on truncated or
+// out-of-range fields (the transport maps that to a kMalformed error reply).
+
+struct SubmitRequest {
+  std::string name;
+  /// Assembly source text, assembled server-side (a program is its source;
+  /// shipping text keeps the wire format independent of the encoder).
+  std::string source;
+  SimKind sim = SimKind::kFunc;
+  pbp::Backend backend = pbp::Backend::kDense;
+  std::uint32_t ways = 8;
+  std::uint64_t max_instructions = 10'000'000;
+  std::uint64_t max_cycles = 0;
+  std::uint64_t checkpoint_every = 0;
+  pbp::EccMode ecc = pbp::EccMode::kOff;
+  std::uint64_t ecc_epoch = 1;
+  std::uint64_t scrub_every = 0;
+  std::uint32_t qat_threads = 1;
+  std::uint32_t deadline_ms = 0;  // 0 = server default
+  std::int32_t retry_max = -1;    // -1 = server default
+  /// FaultPlan::parse spec ("seed=41,events=6,..."); empty = no plan.
+  std::string fault_spec;
+  /// Clean-halt validation: every (reg, value) pair must match the final
+  /// host register file, else the run counts as silently corrupted and
+  /// recovers/quarantines exactly like a trap.  Empty accepts any halt.
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> expect;
+
+  void encode(pbp::ByteWriter& w) const;
+  static SubmitRequest decode(pbp::ByteReader& r);
+  /// Materialize the serve-layer Job (assembles `source`, parses
+  /// `fault_spec`, builds the expect-validator).  Throws AsmError /
+  /// std::invalid_argument on bad input.
+  Job to_job() const;
+};
+
+struct SubmitOk {
+  std::uint64_t id = 0;
+  void encode(pbp::ByteWriter& w) const;
+  static SubmitOk decode(pbp::ByteReader& r);
+};
+
+/// Overload shedding: the request was NOT admitted (and never will be as a
+/// side effect); retry after the hinted delay.
+struct RetryAfter {
+  enum class Reason : std::uint8_t {
+    kQueueFull = 0,       // JobServer bounded queue rejected (try_submit)
+    kConnInFlight = 1,    // per-connection in-flight cap reached
+  };
+  std::uint32_t delay_ms = 25;
+  Reason reason = Reason::kQueueFull;
+  void encode(pbp::ByteWriter& w) const;
+  static RetryAfter decode(pbp::ByteReader& r);
+};
+
+struct CancelRequest {
+  std::uint64_t id = 0;
+  void encode(pbp::ByteWriter& w) const;
+  static CancelRequest decode(pbp::ByteReader& r);
+};
+
+struct CancelOk {
+  bool cancelled = false;  // false: already terminal or unknown id
+  void encode(pbp::ByteWriter& w) const;
+  static CancelOk decode(pbp::ByteReader& r);
+};
+
+struct ProgressRequest {
+  std::uint64_t id = 0;
+  void encode(pbp::ByteWriter& w) const;
+  static ProgressRequest decode(pbp::ByteReader& r);
+};
+
+struct ProgressOk {
+  bool known = false;
+  std::uint8_t phase = 0;  // serve::JobPhase
+  std::uint32_t attempts = 0;
+  std::uint64_t qat_ops = 0;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
+  void encode(pbp::ByteWriter& w) const;
+  static ProgressOk decode(pbp::ByteReader& r);
+};
+
+struct ErrorReply {
+  WireError code = WireError::kNone;
+  std::string message;
+  void encode(pbp::ByteWriter& w) const;
+  static ErrorReply decode(pbp::ByteReader& r);
+};
+
+/// The health/metrics snapshot: ServerStats + ECC upset counters + the net
+/// front door's own counters, versioned (kStatsSnapshotVersion).
+struct StatsOk {
+  std::uint16_t snapshot_version = kStatsSnapshotVersion;
+  ServerStats jobs;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
+  // Net front-door counters (NetStats mirror).
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t stall_closes = 0;
+  std::uint64_t retry_after_sent = 0;
+  std::uint64_t reports_streamed = 0;
+  std::uint64_t reports_orphaned = 0;
+  bool draining = false;
+  void encode(pbp::ByteWriter& w) const;
+  static StatsOk decode(pbp::ByteReader& r);
+};
+
+/// JobReport ↔ kReport payload.
+void encode_report(const JobReport& rep, pbp::ByteWriter& w);
+JobReport decode_report(pbp::ByteReader& r);
+
+/// Convenience: encode a payload struct straight into a framed byte vector.
+template <typename T>
+std::vector<std::uint8_t> encode_message(MsgType type, const T& msg) {
+  pbp::ByteWriter w;
+  msg.encode(w);
+  return encode_frame(type, w.bytes());
+}
+
+}  // namespace tangled::serve::net

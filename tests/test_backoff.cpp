@@ -1,0 +1,79 @@
+// test_backoff.cpp — direct unit tests for serve/backoff.hpp (label
+// `serve`): jitter bounds, monotone capped growth, seeded reproducibility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/backoff.hpp"
+
+namespace tangled::serve {
+namespace {
+
+TEST(Backoff, JitterStaysWithinHalfToFullDelay) {
+  const BackoffPolicy policy{std::chrono::milliseconds{2},
+                             std::chrono::milliseconds{250}};
+  std::mt19937_64 rng(12345);
+  for (unsigned attempt = 1; attempt <= 12; ++attempt) {
+    // Nominal delay: base << (attempt-1), saturating at the cap.
+    std::int64_t d = policy.base.count();
+    for (unsigned i = 1; i < attempt && d < policy.cap.count(); ++i) d *= 2;
+    d = std::min<std::int64_t>(d, policy.cap.count());
+    for (int draw = 0; draw < 200; ++draw) {
+      const auto got = backoff_delay(policy, attempt, rng).count();
+      EXPECT_GE(got, d - d / 2) << "attempt " << attempt;
+      EXPECT_LE(got, d) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, NominalDelayIsMonotoneAndCapped) {
+  const BackoffPolicy policy{std::chrono::milliseconds{2},
+                             std::chrono::milliseconds{250}};
+  // The UPPER bound of the jitter window is the nominal delay itself; take
+  // the max over many draws as a tight estimate and require monotone growth
+  // up to the cap.
+  std::mt19937_64 rng(7);
+  std::int64_t prev_max = 0;
+  for (unsigned attempt = 1; attempt <= 16; ++attempt) {
+    std::int64_t max_seen = 0;
+    for (int draw = 0; draw < 500; ++draw) {
+      max_seen =
+          std::max(max_seen, backoff_delay(policy, attempt, rng).count());
+    }
+    EXPECT_GE(max_seen, prev_max) << "attempt " << attempt;
+    EXPECT_LE(max_seen, policy.cap.count());
+    prev_max = max_seen;
+  }
+  // Far past the doubling range the delay is pinned to the cap's window.
+  for (int draw = 0; draw < 100; ++draw) {
+    const auto got = backoff_delay(policy, 60, rng).count();
+    EXPECT_GE(got, policy.cap.count() / 2);
+    EXPECT_LE(got, policy.cap.count());
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  const BackoffPolicy policy;
+  std::mt19937_64 a(0xfeedULL), b(0xfeedULL), c(0xbeefULL);
+  std::vector<std::int64_t> sa, sb, sc;
+  for (unsigned attempt = 1; attempt <= 10; ++attempt) {
+    sa.push_back(backoff_delay(policy, attempt, a).count());
+    sb.push_back(backoff_delay(policy, attempt, b).count());
+    sc.push_back(backoff_delay(policy, attempt, c).count());
+  }
+  EXPECT_EQ(sa, sb) << "same seed must reproduce the exact schedule";
+  EXPECT_NE(sa, sc) << "different seeds should decorrelate";
+}
+
+TEST(Backoff, ZeroBaseDisablesBackoff) {
+  const BackoffPolicy policy{std::chrono::milliseconds{0},
+                             std::chrono::milliseconds{250}};
+  std::mt19937_64 rng(1);
+  for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(backoff_delay(policy, attempt, rng).count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tangled::serve

@@ -1,0 +1,60 @@
+// test_cli_errors.cpp — unit tests for the strict CLI numeric parsers the
+// example binaries share (examples/cli_parse.hpp).  The contract: a value
+// is accepted only when the WHOLE string is a number in range; anything
+// else is nullopt so the binary can exit 2 with a usage message instead of
+// silently running with a zeroed flag (the historical std::atoi failure).
+#include <gtest/gtest.h>
+
+#include "cli_parse.hpp"
+
+namespace {
+
+TEST(CliParse, U64AcceptsWholeDecimalStrings) {
+  EXPECT_EQ(cli::parse_u64("0"), 0u);
+  EXPECT_EQ(cli::parse_u64("42"), 42u);
+  EXPECT_EQ(cli::parse_u64("18446744073709551615"), ~std::uint64_t{0});
+}
+
+TEST(CliParse, U64RejectsGarbageSignsAndOverflow) {
+  EXPECT_FALSE(cli::parse_u64(""));
+  EXPECT_FALSE(cli::parse_u64("abc"));
+  EXPECT_FALSE(cli::parse_u64("12x"));     // trailing garbage
+  EXPECT_FALSE(cli::parse_u64("x12"));     // leading garbage
+  EXPECT_FALSE(cli::parse_u64(" 12"));     // whitespace
+  EXPECT_FALSE(cli::parse_u64("12 "));
+  EXPECT_FALSE(cli::parse_u64("-1"));      // signs are not unsigned
+  EXPECT_FALSE(cli::parse_u64("+1"));
+  EXPECT_FALSE(cli::parse_u64("1.5"));
+  EXPECT_FALSE(cli::parse_u64("18446744073709551616"));  // 2^64 overflows
+}
+
+TEST(CliParse, UnsignedAppliesTheCallerBound) {
+  EXPECT_EQ(cli::parse_unsigned("65535", 65535), 65535u);
+  EXPECT_FALSE(cli::parse_unsigned("65536", 65535));  // the --port=70000 bug
+  EXPECT_FALSE(cli::parse_unsigned("4294967296"));    // > unsigned range
+  EXPECT_EQ(cli::parse_unsigned("0", 0), 0u);
+}
+
+TEST(CliParse, IntHandlesSignsAndRange) {
+  EXPECT_EQ(cli::parse_int("0"), 0);
+  EXPECT_EQ(cli::parse_int("-1"), -1);
+  EXPECT_EQ(cli::parse_int("2147483647"), 2147483647);
+  EXPECT_EQ(cli::parse_int("-2147483648"), -2147483647 - 1);
+  EXPECT_FALSE(cli::parse_int("2147483648"));
+  EXPECT_FALSE(cli::parse_int("-2147483649"));
+  EXPECT_FALSE(cli::parse_int("--1"));
+  EXPECT_FALSE(cli::parse_int("-"));
+  EXPECT_FALSE(cli::parse_int("1e3"));
+}
+
+TEST(CliParse, DoubleRejectsPartialParses) {
+  EXPECT_EQ(cli::parse_double("0.25"), 0.25);
+  EXPECT_EQ(cli::parse_double("-1.5"), -1.5);
+  EXPECT_EQ(cli::parse_double("1e-3"), 1e-3);
+  EXPECT_FALSE(cli::parse_double(""));
+  EXPECT_FALSE(cli::parse_double("0.25x"));
+  EXPECT_FALSE(cli::parse_double(" 0.25"));
+  EXPECT_FALSE(cli::parse_double("nope"));
+}
+
+}  // namespace

@@ -1,0 +1,755 @@
+// test_net.cpp — unit + end-to-end tests for the hardened network front
+// door (labels `net;serve`): wire codec round trips, header validation,
+// submit→report round trips over real loopback TCP, overload shedding
+// (RETRY_AFTER on queue-full and the per-connection in-flight cap),
+// slow-loris / garbage / wrong-version / oversized / torn-frame defense,
+// graceful drain (explicit and via SIGTERM), and client reconnect backoff.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asm/programs.hpp"
+#include "serve/net/chaos.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+
+namespace tangled::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+SubmitRequest fig10_request(SimKind sim = SimKind::kFunc) {
+  SubmitRequest req;
+  req.name = std::string("fig10-") + sim_kind_name(sim);
+  req.source = figure10_source();
+  req.sim = sim;
+  req.max_instructions = 20'000;
+  req.checkpoint_every = 25;
+  req.expect = {{0, 5}, {1, 3}};
+  return req;
+}
+
+SubmitRequest spin_request() {
+  SubmitRequest req;
+  req.name = "spin";
+  req.source = "loop: br loop\n";
+  req.max_instructions = 2'000'000'000ULL;
+  return req;
+}
+
+NetServerConfig small_server(unsigned threads = 2) {
+  NetServerConfig c;
+  c.jobs.threads = threads;
+  return c;
+}
+
+ServeClientConfig client_for(const NetServer& server) {
+  ServeClientConfig c;
+  c.port = server.port();
+  return c;
+}
+
+/// A raw TCP connection for crafting abusive byte streams.
+struct RawConn {
+  Socket sock;
+  bool connect(std::uint16_t port) {
+    std::string err;
+    sock = connect_tcp("127.0.0.1", port, 2000ms, &err);
+    return sock.valid();
+  }
+  bool send_bytes(const std::vector<std::uint8_t>& b) {
+    return write_all(sock.fd(), b.data(), b.size(), Clock::now() + 2s) ==
+           IoStatus::kOk;
+  }
+  RecvStatus recv(Frame* f, std::chrono::milliseconds wait = 2000ms) {
+    return recv_frame(sock.fd(), {kDefaultMaxFrameBytes, wait, wait}, f);
+  }
+  /// True once the server has closed its side (EOF / reset).
+  bool closed_by_peer(std::chrono::milliseconds wait = 2000ms) {
+    Frame f;
+    const RecvStatus st = recv(&f, wait);
+    return st == RecvStatus::kEof || st == RecvStatus::kIoError;
+  }
+};
+
+ErrorReply decode_error(const Frame& f) {
+  EXPECT_EQ(f.type, MsgType::kError);
+  pbp::ByteReader r(f.payload);
+  return ErrorReply::decode(r);
+}
+
+void put_u16(std::vector<std::uint8_t>* v, std::uint16_t x) {
+  v->push_back(static_cast<std::uint8_t>(x));
+  v->push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void put_u32(std::vector<std::uint8_t>* v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    v->push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+}
+
+/// Hand-build a header so each field can be individually forged.
+std::vector<std::uint8_t> forge_header(std::uint32_t magic,
+                                       std::uint16_t version,
+                                       std::uint8_t type, std::uint32_t length,
+                                       std::uint32_t crc) {
+  std::vector<std::uint8_t> h;
+  put_u32(&h, magic);
+  put_u16(&h, version);
+  h.push_back(type);
+  h.push_back(0);
+  put_u32(&h, length);
+  put_u32(&h, crc);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(Wire, SubmitRequestRoundTrips) {
+  SubmitRequest req = fig10_request(SimKind::kPipe5);
+  req.backend = pbp::Backend::kCompressed;
+  req.ways = 21;
+  req.max_cycles = 123;
+  req.ecc = pbp::EccMode::kCorrect;
+  req.ecc_epoch = 64;
+  req.scrub_every = 512;
+  req.qat_threads = 2;
+  req.deadline_ms = 1500;
+  req.retry_max = 3;
+  req.fault_spec = "seed=41,events=2";
+
+  pbp::ByteWriter w;
+  req.encode(w);
+  pbp::ByteReader r(w.bytes());
+  const SubmitRequest back = SubmitRequest::decode(r);
+  EXPECT_EQ(back.name, req.name);
+  EXPECT_EQ(back.source, req.source);
+  EXPECT_EQ(back.sim, req.sim);
+  EXPECT_EQ(back.backend, req.backend);
+  EXPECT_EQ(back.ways, req.ways);
+  EXPECT_EQ(back.max_cycles, req.max_cycles);
+  EXPECT_EQ(back.ecc, req.ecc);
+  EXPECT_EQ(back.ecc_epoch, req.ecc_epoch);
+  EXPECT_EQ(back.scrub_every, req.scrub_every);
+  EXPECT_EQ(back.qat_threads, req.qat_threads);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.retry_max, req.retry_max);
+  EXPECT_EQ(back.fault_spec, req.fault_spec);
+  EXPECT_EQ(back.expect, req.expect);
+}
+
+TEST(Wire, ReportRoundTrips) {
+  JobReport rep;
+  rep.id = 42;
+  rep.name = "fig10/poisoned";
+  rep.outcome = JobOutcome::kQuarantined;
+  rep.trap = Trap{TrapKind::kQatFault, 17};
+  rep.attempts = 3;
+  rep.retries = 5;
+  rep.recovered = true;
+  rep.instructions = 999;
+  rep.qat_ops = 1234;
+  rep.ecc_corrected = 2;
+  rep.queue_ms = 1.5;
+  rep.exec_ms = 20.25;
+
+  pbp::ByteWriter w;
+  encode_report(rep, w);
+  pbp::ByteReader r(w.bytes());
+  const JobReport back = decode_report(r);
+  EXPECT_EQ(back.id, rep.id);
+  EXPECT_EQ(back.name, rep.name);
+  EXPECT_EQ(back.outcome, rep.outcome);
+  EXPECT_EQ(back.trap.kind, rep.trap.kind);
+  EXPECT_EQ(back.trap.pc, rep.trap.pc);
+  EXPECT_EQ(back.attempts, rep.attempts);
+  EXPECT_EQ(back.retries, rep.retries);
+  EXPECT_EQ(back.recovered, rep.recovered);
+  EXPECT_EQ(back.instructions, rep.instructions);
+  EXPECT_EQ(back.qat_ops, rep.qat_ops);
+  EXPECT_EQ(back.ecc_corrected, rep.ecc_corrected);
+  EXPECT_DOUBLE_EQ(back.queue_ms, rep.queue_ms);
+  EXPECT_DOUBLE_EQ(back.exec_ms, rep.exec_ms);
+}
+
+TEST(Wire, HeaderValidationRejectsForgeries) {
+  const std::vector<std::uint8_t> good =
+      encode_frame(MsgType::kPing, {1, 2, 3});
+  ASSERT_GE(good.size(), kHeaderBytes);
+  FrameHeader h;
+  EXPECT_EQ(parse_header(good.data(), kDefaultMaxFrameBytes, &h),
+            FrameCheck::kOk);
+  EXPECT_EQ(h.length, 3u);
+
+  const auto bad_magic = forge_header(0xdeadbeef, kWireVersion, 5, 0, 0);
+  EXPECT_EQ(parse_header(bad_magic.data(), kDefaultMaxFrameBytes, &h),
+            FrameCheck::kBadMagic);
+  const auto bad_version = forge_header(kWireMagic, 999, 5, 0, 0);
+  EXPECT_EQ(parse_header(bad_version.data(), kDefaultMaxFrameBytes, &h),
+            FrameCheck::kBadVersion);
+  // A forged 256 MiB length is rejected from the header alone.
+  const auto oversized =
+      forge_header(kWireMagic, kWireVersion, 5, 256u << 20, 0);
+  EXPECT_EQ(parse_header(oversized.data(), kDefaultMaxFrameBytes, &h),
+            FrameCheck::kOversized);
+}
+
+TEST(Wire, CrcCatchesBitFlip) {
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {7, 8, 9});
+  FrameHeader h;
+  ASSERT_EQ(parse_header(frame.data(), kDefaultMaxFrameBytes, &h),
+            FrameCheck::kOk);
+  std::vector<std::uint8_t> payload(frame.begin() + kHeaderBytes, frame.end());
+  EXPECT_EQ(verify_payload(h, payload), FrameCheck::kOk);
+  payload[1] ^= 0x10;
+  EXPECT_EQ(verify_payload(h, payload), FrameCheck::kBadCrc);
+}
+
+TEST(Wire, MalformedEnumInCrcCleanPayloadThrows) {
+  SubmitRequest req = fig10_request();
+  pbp::ByteWriter w;
+  req.encode(w);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  // The sim-kind byte sits right after the two length-prefixed strings.
+  const std::size_t sim_off = 4 + req.name.size() + 4 + req.source.size();
+  ASSERT_LT(sim_off, bytes.size());
+  bytes[sim_off] = 0xff;
+  pbp::ByteReader r(bytes);
+  EXPECT_THROW(SubmitRequest::decode(r), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over loopback TCP.
+
+TEST(NetServer, SubmitStreamsExactlyOneReportPerJobOnEveryModel) {
+  NetServer server(small_server(4));
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  ASSERT_TRUE(client.connect().ok);
+
+  static const SimKind kKinds[] = {SimKind::kFunc,     SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5,    SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+  std::set<std::uint64_t> ids;
+  for (const SimKind k : kKinds) {
+    ClientResult r;
+    const auto id = client.submit(fig10_request(k), &r);
+    ASSERT_TRUE(id.has_value()) << r.message;
+    EXPECT_TRUE(ids.insert(*id).second) << "duplicate job id";
+  }
+  std::set<std::uint64_t> reported;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ClientResult r;
+    const auto rep = client.next_report(30'000ms, &r);
+    ASSERT_TRUE(rep.has_value()) << r.message;
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    EXPECT_TRUE(ids.count(rep->id)) << "report for a job we never submitted";
+    EXPECT_TRUE(reported.insert(rep->id).second) << "duplicate report";
+  }
+  EXPECT_EQ(reported, ids);
+  // Nothing further arrives: exactly once means exactly once.
+  EXPECT_FALSE(client.next_report(100ms).has_value());
+
+  const NetStats ns = server.net_stats();
+  EXPECT_EQ(ns.submits_admitted, 7u);
+  EXPECT_EQ(ns.reports_streamed, 7u);
+  EXPECT_EQ(ns.reports_orphaned, 0u);
+}
+
+TEST(NetServer, StatsSnapshotCountsJobsAndFrames) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  ASSERT_TRUE(client.submit(fig10_request()).has_value());
+  ASSERT_TRUE(client.next_report(30'000ms).has_value());
+
+  StatsOk s;
+  ASSERT_TRUE(client.stats(&s).ok);
+  EXPECT_EQ(s.snapshot_version, kStatsSnapshotVersion);
+  EXPECT_EQ(s.jobs.submitted, 1u);
+  EXPECT_EQ(s.jobs.completed, 1u);
+  EXPECT_EQ(s.reports_streamed, 1u);
+  EXPECT_FALSE(s.draining);
+  EXPECT_GE(s.frames_rx, 2u);  // submit + stats at least
+  // The stats-ok carrying this snapshot is sent AFTER the snapshot is
+  // taken, so it cannot count itself: submit-ok + report only.
+  EXPECT_GE(s.frames_tx, 2u);
+  EXPECT_EQ(s.connections_accepted, 1u);
+}
+
+TEST(NetServer, EccUpsetsSurfaceInHealthSnapshot) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  // Storage upsets beneath the ECC-corrected Qat register file / memory:
+  // the integrity layer repairs them, the report counts the repairs, and
+  // the server aggregates them into the health snapshot.
+  std::uint64_t total_corrected = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SubmitRequest req = fig10_request(SimKind::kRtl);
+    req.ecc = pbp::EccMode::kCorrect;
+    req.fault_spec =
+        "seed=" + std::to_string(seed) + ",events=4,horizon=100,storage=1";
+    ClientResult r;
+    ASSERT_TRUE(client.submit(req, &r).has_value()) << r.message;
+    const auto rep = client.next_report(30'000ms);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    total_corrected += rep->ecc_corrected;
+  }
+  EXPECT_GE(total_corrected, 1u) << "32 storage upsets and no repair?";
+  StatsOk s;
+  ASSERT_TRUE(client.stats(&s).ok);
+  EXPECT_EQ(s.ecc_corrected, total_corrected);
+}
+
+TEST(NetServer, ProgressAndCancelOverTheWire) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  ClientResult r;
+  const auto id = client.submit(spin_request(), &r);
+  ASSERT_TRUE(id.has_value()) << r.message;
+
+  // Progress becomes visible once the worker picks the job up.
+  ProgressOk p;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client.progress(*id, &p).ok);
+    ASSERT_TRUE(p.known);
+    if (p.qat_ops > 0 || p.attempts > 0) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  ProgressOk unknown;
+  ASSERT_TRUE(client.progress(99'999, &unknown).ok);
+  EXPECT_FALSE(unknown.known);
+
+  bool cancelled = false;
+  ASSERT_TRUE(client.cancel(*id, &cancelled).ok);
+  EXPECT_TRUE(cancelled);
+  const auto rep = client.next_report(30'000ms);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->id, *id);
+  EXPECT_EQ(rep->outcome, JobOutcome::kCancelled);
+  // Cancelling a terminal job reports false, not an error.
+  ASSERT_TRUE(client.cancel(*id, &cancelled).ok);
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(NetServer, QueueFullShedsWithRetryAfter) {
+  NetServerConfig config;
+  config.jobs.threads = 1;
+  config.jobs.queue_capacity = 1;
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  ServeClientConfig cc = client_for(server);
+  cc.submit_retries = 0;  // surface the shed instead of absorbing it
+  ServeClient client(cc);
+
+  // One job runs, one sits in the queue; the third must be shed.
+  ClientResult r;
+  const auto running = client.submit(spin_request(), &r);
+  ASSERT_TRUE(running.has_value()) << r.message;
+  // Wait until the worker dequeued the first job so the queue slot is free.
+  ProgressOk p;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client.progress(*running, &p).ok);
+    if (p.qat_ops > 0 || p.attempts > 0) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  const auto queued = client.submit(spin_request(), &r);
+  ASSERT_TRUE(queued.has_value()) << r.message;
+
+  const auto shed = client.submit(spin_request(), &r);
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, WireError::kOverloaded);
+  EXPECT_GE(server.net_stats().retry_after_sent, 1u);
+
+  // With retries enabled the same submission eventually gets through once
+  // capacity frees up (a shed submit was never admitted, so no duplicate).
+  std::thread unblock([&] {
+    std::this_thread::sleep_for(50ms);
+    ServeClient side(client_for(server));
+    side.cancel(*running);
+    side.cancel(*queued);
+  });
+  ServeClientConfig retry_cc = client_for(server);
+  retry_cc.submit_retries = 200;
+  ServeClient retry_client(retry_cc);
+  const auto admitted = retry_client.submit(fig10_request(), &r);
+  ASSERT_TRUE(admitted.has_value()) << r.message;
+  unblock.join();
+  const auto rep = retry_client.next_report(30'000ms);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->outcome, JobOutcome::kCompleted);
+  // The first client still gets exactly its two cancelled reports.
+  std::set<std::uint64_t> got;
+  for (int i = 0; i < 2; ++i) {
+    const auto cancelled_rep = client.next_report(30'000ms);
+    ASSERT_TRUE(cancelled_rep.has_value());
+    EXPECT_EQ(cancelled_rep->outcome, JobOutcome::kCancelled);
+    got.insert(cancelled_rep->id);
+  }
+  EXPECT_EQ(got, (std::set<std::uint64_t>{*running, *queued}));
+}
+
+TEST(NetServer, PerConnectionInFlightCapSheds) {
+  // Three workers: the first connection's two spin jobs occupy two of them,
+  // leaving one free to actually run the second connection's job.
+  NetServerConfig config = small_server(3);
+  config.max_inflight_per_conn = 2;
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  ServeClientConfig cc = client_for(server);
+  cc.submit_retries = 0;
+  ServeClient client(cc);
+  ClientResult r;
+  const auto a = client.submit(spin_request(), &r);
+  ASSERT_TRUE(a.has_value()) << r.message;
+  const auto b = client.submit(spin_request(), &r);
+  ASSERT_TRUE(b.has_value()) << r.message;
+  EXPECT_FALSE(client.submit(spin_request(), &r).has_value());
+  EXPECT_EQ(r.code, WireError::kOverloaded);
+
+  // A SECOND connection is not constrained by the first one's cap.
+  ServeClient other(client_for(server));
+  const auto c = other.submit(fig10_request(), &r);
+  ASSERT_TRUE(c.has_value()) << r.message;
+  EXPECT_TRUE(other.next_report(30'000ms).has_value());
+
+  client.cancel(*a);
+  client.cancel(*b);
+  EXPECT_TRUE(client.next_report(30'000ms).has_value());
+  EXPECT_TRUE(client.next_report(30'000ms).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Abusive clients.
+
+TEST(NetServer, GarbageBytesGetStructuredBadMagicThenClose) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  std::vector<std::uint8_t> junk(64, 'X');
+  ASSERT_TRUE(raw.send_bytes(junk));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kBadMagic);
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_GE(server.net_stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, WrongVersionGetsStructuredReplyThenClose) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  ASSERT_TRUE(raw.send_bytes(forge_header(
+      kWireMagic, kWireVersion + 7, static_cast<std::uint8_t>(MsgType::kPing),
+      0, pbp::crc32(nullptr, 0))));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kBadVersion);
+  EXPECT_TRUE(raw.closed_by_peer());
+}
+
+TEST(NetServer, OversizedDeclarationRejectedFromHeaderAlone) {
+  NetServerConfig config = small_server();
+  config.max_frame_bytes = 4096;
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  // Declare 512 MiB; send no payload at all — the rejection must come from
+  // the header, before any allocation or payload read.
+  ASSERT_TRUE(raw.send_bytes(forge_header(
+      kWireMagic, kWireVersion, static_cast<std::uint8_t>(MsgType::kSubmit),
+      512u << 20, 0)));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kOversized);
+  EXPECT_TRUE(raw.closed_by_peer());
+}
+
+TEST(NetServer, CorruptPayloadGetsBadCrcThenClose) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {1, 2, 3, 4});
+  frame[kHeaderBytes + 2] ^= 0x40;  // flip a payload bit in flight
+  ASSERT_TRUE(raw.send_bytes(frame));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kBadCrc);
+  EXPECT_TRUE(raw.closed_by_peer());
+}
+
+TEST(NetServer, SlowLorisConnectionIsClosedWithoutBlockingOthers) {
+  NetServerConfig config = small_server();
+  config.frame_timeout = 100ms;
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  RawConn loris;
+  ASSERT_TRUE(loris.connect(server.port()));
+  // Begin a frame (4 bytes of a valid magic) and then stall forever.
+  ASSERT_TRUE(loris.send_bytes({0x54, 0x4e, 0x47, 0x57}));
+
+  // A well-behaved client is served while the loris dangles.
+  ServeClient good(client_for(server));
+  ASSERT_TRUE(good.submit(fig10_request()).has_value());
+  EXPECT_TRUE(good.next_report(30'000ms).has_value());
+
+  EXPECT_TRUE(loris.closed_by_peer(5000ms));
+  EXPECT_GE(server.net_stats().stall_closes, 1u);
+}
+
+TEST(NetServer, TornFrameThenDisconnectLeaksNothing) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  {
+    RawConn raw;
+    ASSERT_TRUE(raw.connect(server.port()));
+    const std::vector<std::uint8_t> frame =
+        encode_message(MsgType::kSubmit, fig10_request());
+    const std::vector<std::uint8_t> half(frame.begin(),
+                                         frame.begin() + frame.size() / 2);
+    ASSERT_TRUE(raw.send_bytes(half));
+  }  // disconnect mid-frame
+  // The server survives and still serves new clients.
+  ServeClient client(client_for(server));
+  ASSERT_TRUE(client.submit(fig10_request()).has_value());
+  EXPECT_TRUE(client.next_report(30'000ms).has_value());
+  EXPECT_EQ(server.jobs().stats().submitted, 1u) << "torn submit was admitted";
+}
+
+TEST(NetServer, UnknownTypeIsAnsweredButKeepsTheConnection) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  ASSERT_TRUE(raw.send_bytes(
+      forge_header(kWireMagic, kWireVersion, 200, 0, pbp::crc32(nullptr, 0))));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kUnknownType);
+  // Same connection still answers a well-formed ping.
+  ASSERT_TRUE(raw.send_bytes(encode_frame(MsgType::kPing, {9})));
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kPong);
+  EXPECT_EQ(f.payload, (std::vector<std::uint8_t>{9}));
+}
+
+TEST(NetServer, MalformedSubmitPayloadGetsStructuredErrorThenClose) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  // CRC-clean but truncated SubmitRequest payload.
+  SubmitRequest req = fig10_request();
+  pbp::ByteWriter w;
+  req.encode(w);
+  std::vector<std::uint8_t> short_payload(w.bytes().begin(),
+                                          w.bytes().begin() + 10);
+  ASSERT_TRUE(raw.send_bytes(encode_frame(MsgType::kSubmit, short_payload)));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  EXPECT_EQ(decode_error(f).code, WireError::kMalformed);
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_EQ(server.jobs().stats().submitted, 0u);
+}
+
+TEST(NetServer, BadAssemblyIsRejectedAsBadJobNotACrash) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  SubmitRequest req;
+  req.name = "nonsense";
+  req.source = "this is not assembly\n";
+  ClientResult r;
+  EXPECT_FALSE(client.submit(req, &r).has_value());
+  EXPECT_EQ(r.code, WireError::kBadJob);
+  // The connection survives a rejected job.
+  EXPECT_TRUE(client.ping().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Drain and reconnect.
+
+TEST(NetServer, GracefulDrainFlushesEveryAdmittedReport) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    const auto id = client.submit(fig10_request(
+        i % 2 == 0 ? SimKind::kRtl : SimKind::kPipe5));
+    ASSERT_TRUE(id.has_value());
+    ids.insert(*id);
+  }
+  server.begin_drain();
+  // Post-drain submissions are refused with a structured error…
+  ClientResult r;
+  EXPECT_FALSE(client.submit(fig10_request(), &r).has_value());
+  EXPECT_EQ(r.code, WireError::kShuttingDown);
+  // …but every admitted report still arrives.
+  std::set<std::uint64_t> reported;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto rep = client.next_report(30'000ms);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    reported.insert(rep->id);
+  }
+  EXPECT_EQ(reported, ids);
+  server.wait_drained();
+  EXPECT_EQ(server.net_stats().reports_orphaned, 0u);
+  EXPECT_EQ(server.net_stats().reports_streamed, ids.size());
+}
+
+TEST(NetServer, SigtermDrainLosesNoAcceptedJob) {
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  server.install_signal_drain();
+  ServeClient client(client_for(server));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = client.submit(fig10_request());
+    ASSERT_TRUE(id.has_value());
+    ids.insert(*id);
+  }
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  std::set<std::uint64_t> reported;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto rep = client.next_report(30'000ms);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted);
+    reported.insert(rep->id);
+  }
+  EXPECT_EQ(reported, ids);
+  server.wait_drained();
+  EXPECT_TRUE(server.draining());
+  EXPECT_EQ(server.net_stats().reports_orphaned, 0u);
+}
+
+TEST(ServeClient, ReconnectBackoffIsBoundedAndEventuallySucceeds) {
+  // No listener: every attempt fails, with jittered sleeps between.
+  ServeClientConfig cc;
+  cc.port = 1;  // reserved port, nothing listens
+  cc.connect_timeout = 100ms;
+  cc.connect_attempts = 3;
+  cc.backoff.base = std::chrono::milliseconds{2};
+  cc.backoff.cap = std::chrono::milliseconds{8};
+  ServeClient client(cc);
+  const auto t0 = Clock::now();
+  const ClientResult r = client.connect();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, WireError::kTransport);
+  // 2 sleeps of at most 8ms each plus 3 bounded connects.
+  EXPECT_LT(Clock::now() - t0, 2s);
+
+  // With a live server the same client connects and works.
+  NetServer server(small_server());
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClientConfig live = client_for(server);
+  live.connect_attempts = 3;
+  ServeClient ok_client(live);
+  EXPECT_TRUE(ok_client.connect().ok);
+  EXPECT_TRUE(ok_client.ping().ok);
+}
+
+TEST(ServeClient, ReportsBufferedDuringCallsAreNotLost) {
+  NetServer server(small_server(4));
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = client.submit(fig10_request());
+    ASSERT_TRUE(id.has_value());
+    ids.insert(*id);
+  }
+  // Poll stats until every job is terminal: the report frames arrive during
+  // these calls and must be buffered, not dropped.
+  StatsOk s;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(client.stats(&s).ok);
+    if (s.jobs.completed == ids.size()) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(s.jobs.completed, ids.size());
+  std::set<std::uint64_t> reported;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto rep = client.next_report(5'000ms);
+    ASSERT_TRUE(rep.has_value());
+    reported.insert(rep->id);
+  }
+  EXPECT_EQ(reported, ids);
+}
+
+// ---------------------------------------------------------------------------
+// JobServer.submit_for (the bounded-admission satellite).
+
+TEST(JobServer, SubmitForTimesOutOnFullQueueAndAdmitsWhenSpaceFrees) {
+  JobServerConfig config;
+  config.threads = 1;
+  config.queue_capacity = 1;
+  JobServer server(config);
+
+  Job spin;
+  spin.name = "spin";
+  spin.program = assemble("loop: br loop\n");
+  spin.max_instructions = 2'000'000'000ULL;
+
+  const auto running = server.submit(spin);
+  ASSERT_TRUE(running.has_value());
+  // Wait for the worker to dequeue so exactly one queue slot exists.
+  for (int i = 0; i < 200 && server.stats().active_jobs == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  const auto queued = server.submit(spin);
+  ASSERT_TRUE(queued.has_value());
+
+  // Queue full: a bounded wait expires with "queue-full" after >= max_wait.
+  std::string reason;
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(server.submit_for(spin, 60ms, &reason).has_value());
+  EXPECT_GE(Clock::now() - t0, 55ms);
+  EXPECT_EQ(reason, "queue-full");
+  EXPECT_GE(server.stats().queue_full_rejections, 1u);
+
+  // Space frees during the wait: the same call admits instead.
+  std::thread unblock([&] {
+    std::this_thread::sleep_for(30ms);
+    server.cancel(*queued);
+    server.cancel(*running);
+  });
+  const auto admitted = server.submit_for(spin, 5'000ms, &reason);
+  EXPECT_TRUE(admitted.has_value());
+  unblock.join();
+  if (admitted) server.cancel(*admitted);
+  server.shutdown(true);
+}
+
+TEST(JobServer, SubmitForReportsShutdownNotQueueFullWhenDraining) {
+  JobServer server({.threads = 1});
+  server.shutdown(true);
+  Job j;
+  j.name = "late";
+  j.program = assemble(figure10_source());
+  std::string reason;
+  EXPECT_FALSE(server.submit_for(std::move(j), 50ms, &reason).has_value());
+  EXPECT_EQ(reason, "shutting-down");
+}
+
+}  // namespace
+}  // namespace tangled::serve::net

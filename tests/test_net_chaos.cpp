@@ -1,0 +1,302 @@
+// test_net_chaos.cpp — the transport-chaos soak for the network front door
+// (labels `net;soak`): 220 seeded abusive-client runs against a live
+// NetServer, plus a fault-injecting proxy (drops, truncation, delays, bit
+// flips, duplication) between a well-behaved client and the server.  The
+// invariants, checked at the end of each soak:
+//
+//   * the server never crashes and drains in bounded time;
+//   * no job leaks: every admitted job reaches exactly one terminal state
+//     (submitted == sum of terminal outcomes, nothing left active);
+//   * the well-behaved client's jobs produce exactly one report each, with
+//     no duplicates, no matter what the abusive connections do;
+//   * the abuse actually registered (protocol errors, stall closes, chaos
+//     injections are all nonzero) — a soak that injected nothing proves
+//     nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asm/programs.hpp"
+#include "serve/net/chaos.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+
+namespace tangled::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kAbusiveRuns = 120;
+constexpr int kProxyRuns = 100;
+
+SubmitRequest fig10_request() {
+  SubmitRequest req;
+  req.name = "fig10";
+  req.source = figure10_source();
+  req.max_instructions = 20'000;
+  req.checkpoint_every = 25;
+  req.expect = {{0, 5}, {1, 3}};
+  return req;
+}
+
+SubmitRequest spin_request() {
+  SubmitRequest req;
+  req.name = "spin";
+  req.source = "loop: br loop\n";
+  req.max_instructions = 2'000'000'000ULL;
+  return req;
+}
+
+struct RawConn {
+  Socket sock;
+  bool connect(std::uint16_t port) {
+    std::string err;
+    sock = connect_tcp("127.0.0.1", port, 2000ms, &err);
+    return sock.valid();
+  }
+  bool send_bytes(const std::vector<std::uint8_t>& b) {
+    return write_all(sock.fd(), b.data(), b.size(), Clock::now() + 2s) ==
+           IoStatus::kOk;
+  }
+  RecvStatus recv(Frame* f, std::chrono::milliseconds wait = 2000ms) {
+    return recv_frame(sock.fd(), {kDefaultMaxFrameBytes, wait, wait}, f);
+  }
+};
+
+/// One seeded abusive-client session.  Returns the scenario index it ran.
+int abuse_once(std::uint16_t port, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int scenario = static_cast<int>(rng() % 9);
+  RawConn raw;
+  if (!raw.connect(port)) return scenario;  // accept raced a reap; fine
+  Frame f;
+  switch (scenario) {
+    case 0: {  // garbage blast
+      std::vector<std::uint8_t> junk(1 + rng() % 512);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+      // Avoid accidentally forging valid magic in byte 0..3.
+      junk[0] = 'X';
+      raw.send_bytes(junk);
+      raw.recv(&f, 500ms);
+      break;
+    }
+    case 1: {  // torn header: a prefix of a valid frame, then vanish
+      const auto frame = encode_message(MsgType::kSubmit, fig10_request());
+      const std::size_t cut = 1 + rng() % (kHeaderBytes - 1);
+      raw.send_bytes({frame.begin(), frame.begin() + cut});
+      break;  // destructor closes mid-header
+    }
+    case 2: {  // torn payload: full header, partial payload, then vanish
+      const auto frame = encode_message(MsgType::kSubmit, fig10_request());
+      const std::size_t cut =
+          kHeaderBytes + rng() % (frame.size() - kHeaderBytes);
+      raw.send_bytes({frame.begin(), frame.begin() + cut});
+      break;
+    }
+    case 3: {  // oversized declaration
+      pbp::ByteWriter w;
+      w.u32(kWireMagic);
+      w.u16(kWireVersion);
+      w.u8(1);
+      w.u8(0);
+      w.u32(64u << 20);
+      w.u32(0);
+      raw.send_bytes(w.take());
+      raw.recv(&f, 500ms);
+      break;
+    }
+    case 4: {  // wrong wire version
+      pbp::ByteWriter w;
+      w.u32(kWireMagic);
+      w.u16(static_cast<std::uint16_t>(kWireVersion + 1 + rng() % 100));
+      w.u8(5);
+      w.u8(0);
+      w.u32(0);
+      w.u32(pbp::crc32(nullptr, 0));
+      raw.send_bytes(w.take());
+      raw.recv(&f, 500ms);
+      break;
+    }
+    case 5: {  // slow loris: begin a frame, stall past the frame timeout
+      raw.send_bytes({0x54, 0x4e, 0x47, 0x57});
+      std::this_thread::sleep_for(150ms);
+      break;
+    }
+    case 6:  // connect and instantly vanish
+      break;
+    case 7: {  // submit a long job, take the SubmitOk, vanish (orphan path)
+      raw.send_bytes(encode_message(MsgType::kSubmit, spin_request()));
+      raw.recv(&f, 2000ms);
+      break;
+    }
+    case 8: {  // submit, cancel mid-job, then vanish without reading reports
+      raw.send_bytes(encode_message(MsgType::kSubmit, spin_request()));
+      if (raw.recv(&f, 2000ms) == RecvStatus::kOk &&
+          f.type == MsgType::kSubmitOk) {
+        pbp::ByteReader r(f.payload);
+        const SubmitOk ok = SubmitOk::decode(r);
+        raw.send_bytes(encode_message(MsgType::kCancel, CancelRequest{ok.id}));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return scenario;
+}
+
+void check_no_leaked_jobs(const ServerStats& s) {
+  const std::uint64_t terminal = s.completed + s.quarantined + s.cancelled +
+                                 s.deadline_expired + s.rejected_memory +
+                                 s.errors;
+  EXPECT_EQ(s.submitted, terminal)
+      << "leaked job(s): " << s.submitted << " admitted, " << terminal
+      << " terminal";
+  EXPECT_EQ(s.active_jobs, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(NetChaos, AbusiveClientSoakLeaksNothingAndServesTheHonestClient) {
+  NetServerConfig config;
+  config.jobs.threads = 4;
+  config.frame_timeout = 100ms;  // make the loris scenarios bite quickly
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  // The honest client runs the whole time, interleaved with the abuse.
+  ServeClientConfig honest_cc;
+  honest_cc.port = server.port();
+  ServeClient honest(honest_cc);
+  std::set<std::uint64_t> honest_ids;
+  std::set<std::uint64_t> honest_reports;
+
+  std::vector<int> scenario_count(9, 0);
+  constexpr int kBatch = 8;
+  for (int base = 0; base < kAbusiveRuns; base += kBatch) {
+    const int n = std::min(kBatch, kAbusiveRuns - base);
+    std::vector<std::thread> abusers;
+    std::vector<int> ran(n, -1);
+    abusers.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      abusers.emplace_back([&, i] {
+        ran[i] = abuse_once(server.port(),
+                            0xab05e0ULL * 2654435761u + base + i);
+      });
+    }
+    // Meanwhile the honest client gets real work done on schedule.
+    ClientResult r;
+    const auto id = honest.submit(fig10_request(), &r);
+    ASSERT_TRUE(id.has_value()) << r.message;
+    ASSERT_TRUE(honest_ids.insert(*id).second);
+    const auto rep = honest.next_report(30'000ms, &r);
+    ASSERT_TRUE(rep.has_value()) << r.message;
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    EXPECT_TRUE(honest_reports.insert(rep->id).second)
+        << "duplicate report for honest job " << rep->id;
+    for (auto& t : abusers) t.join();
+    for (const int s : ran) {
+      if (s >= 0) ++scenario_count[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // No further reports owed to the honest client: exactly once, no extras.
+  EXPECT_FALSE(honest.next_report(200ms).has_value());
+  EXPECT_EQ(honest_reports, honest_ids);
+
+  // Give orphaned spin jobs a beat to reach their cancelled terminal state,
+  // then drain; wait_drained() returning at all proves bounded shutdown.
+  server.begin_drain();
+  server.wait_drained();
+
+  check_no_leaked_jobs(server.jobs().stats());
+  const NetStats ns = server.net_stats();
+  EXPECT_GT(ns.protocol_errors, 0u) << "the abuse never registered";
+  EXPECT_GT(ns.stall_closes, 0u) << "no loris was ever stalled out";
+  EXPECT_EQ(ns.connections_active, 0u);
+  EXPECT_GE(ns.reports_streamed + ns.reports_orphaned,
+            server.jobs().stats().submitted)
+      << "an admitted job's report was neither streamed nor harvested";
+  // Every scenario class actually ran at least once over 120 seeded draws.
+  for (std::size_t s = 0; s < scenario_count.size(); ++s) {
+    EXPECT_GT(scenario_count[s], 0) << "scenario " << s << " never ran";
+  }
+}
+
+TEST(NetChaos, FaultInjectingProxySoakNeverCrashesOrDuplicatesReports) {
+  NetServerConfig config;
+  config.jobs.threads = 4;
+  config.frame_timeout = 500ms;
+  NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  ChaosConfig chaos;
+  chaos.upstream_port = server.port();
+  chaos.seed = 0xc4a05'5eedULL;
+  chaos.p_bitflip = 0.02;
+  chaos.p_truncate = 0.02;
+  chaos.p_drop = 0.01;
+  chaos.p_delay = 0.05;
+  chaos.delay_ms = 2;
+  chaos.p_duplicate = 0.01;
+  ChaosProxy proxy(chaos);
+  ASSERT_TRUE(proxy.ok()) << proxy.error();
+
+  int clean_roundtrips = 0;
+  int transport_failures = 0;
+  std::set<std::uint64_t> reported_ids;
+  for (int run = 0; run < kProxyRuns; ++run) {
+    ServeClientConfig cc;
+    cc.port = proxy.port();
+    cc.io_timeout = 2000ms;
+    cc.connect_attempts = 2;
+    cc.seed = 0x5eedULL + static_cast<std::uint64_t>(run);
+    ServeClient client(cc);
+    ClientResult r;
+    const auto id = client.submit(fig10_request(), &r);
+    if (!id) {
+      // Chaos ate the exchange — acceptable, as long as nothing leaks.
+      ++transport_failures;
+      continue;
+    }
+    const auto rep = client.next_report(30'000ms, &r);
+    if (!rep) {
+      ++transport_failures;
+      continue;
+    }
+    // A report that survived the proxy must be intact (CRC gate) and ours.
+    EXPECT_EQ(rep->id, *id);
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    EXPECT_TRUE(reported_ids.insert(rep->id).second)
+        << "duplicate report id " << rep->id;
+    ++clean_roundtrips;
+  }
+
+  proxy.stop();
+  server.begin_drain();
+  server.wait_drained();
+
+  check_no_leaked_jobs(server.jobs().stats());
+  const ChaosStats cs = proxy.stats();
+  EXPECT_GT(cs.chunks_forwarded, 0u);
+  EXPECT_GT(cs.bitflips + cs.truncates + cs.drops + cs.duplicates, 0u)
+      << "the proxy never injected anything";
+  EXPECT_GT(clean_roundtrips, 0)
+      << "all " << kProxyRuns << " sessions failed; chaos too hot to prove "
+      << "anything (" << transport_failures << " transport failures)";
+  // The CRC gate must have turned at least part of the byte-level chaos
+  // into structured protocol errors rather than crashes.
+  if (cs.bitflips > 0) {
+    EXPECT_GT(server.net_stats().protocol_errors, 0u);
+  }
+  ::testing::Test::RecordProperty("clean_roundtrips", clean_roundtrips);
+  ::testing::Test::RecordProperty("transport_failures", transport_failures);
+}
+
+}  // namespace
+}  // namespace tangled::serve::net
