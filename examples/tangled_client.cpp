@@ -45,6 +45,11 @@ void usage() {
       "  --retry-max=N        serve-level retries (default server)\n"
       "  --ecc=M              off | detect | correct (default off)\n"
       "  --inject=SPEC        FaultPlan spec, e.g. seed=41,events=2\n"
+      "  --idemp=PREFIX       idempotency keys PREFIX/0, PREFIX/1, ...: a\n"
+      "                       rerun against a journaled server dedups onto\n"
+      "                       the stored reports instead of re-executing\n"
+      "  --checkpoint-every=N rollback-recovery checkpoint cadence (and, on\n"
+      "                       a journaled server, the crash-resume cadence)\n"
       "  --cancel=ID          cancel job ID instead of submitting\n"
       "  --progress=ID        query progress of job ID\n"
       "  --stats              print the server stats snapshot\n"
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
   bool do_cancel = false, do_progress = false;
   std::string program_file;
   std::string expect_spec;
+  std::string idemp_prefix;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -163,6 +169,13 @@ int main(int argc, char** argv) {
       }
     } else if (parse_flag(argv[i], "--inject", &v)) {
       base.fault_spec = v;
+    } else if (parse_flag(argv[i], "--idemp", &v)) {
+      if (v.empty()) bad_value(v, "--idemp");
+      idemp_prefix = v;
+    } else if (parse_flag(argv[i], "--checkpoint-every", &v)) {
+      const auto n = cli::parse_u64(v);
+      if (!n) bad_value(v, "--checkpoint-every");
+      base.checkpoint_every = *n;
     } else if (parse_flag(argv[i], "--cancel", &v)) {
       const auto id = cli::parse_u64(v);
       if (!id) bad_value(v, "--cancel");
@@ -228,7 +241,9 @@ int main(int argc, char** argv) {
         "  ecc: %llu corrected, %llu detected\n"
         "  net: %llu conns (%llu active), %llu frames in, %llu out, "
         "%llu protocol errors, %llu stall closes, %llu retry-after\n"
-        "  reports: %llu streamed, %llu orphaned\n",
+        "  reports: %llu streamed, %llu orphaned\n"
+        "  journal: %llu job(s) recovered, %llu replay(s), %llu bytes, "
+        "%llu deduped, %llu shed\n",
         s.snapshot_version, s.draining ? " [draining]" : "",
         static_cast<unsigned long long>(s.jobs.submitted),
         static_cast<unsigned long long>(s.jobs.completed),
@@ -245,7 +260,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.stall_closes),
         static_cast<unsigned long long>(s.retry_after_sent),
         static_cast<unsigned long long>(s.reports_streamed),
-        static_cast<unsigned long long>(s.reports_orphaned));
+        static_cast<unsigned long long>(s.reports_orphaned),
+        static_cast<unsigned long long>(s.jobs.jobs_recovered),
+        static_cast<unsigned long long>(s.jobs.journal_replays),
+        static_cast<unsigned long long>(s.jobs.journal_bytes),
+        static_cast<unsigned long long>(s.jobs.reports_deduped),
+        static_cast<unsigned long long>(s.jobs.journal_shed));
     return 0;
   }
   if (do_cancel) {
@@ -303,6 +323,11 @@ int main(int argc, char** argv) {
     SubmitRequest req = base;
     if (!sim_fixed) req.sim = kKinds[i % std::size(kKinds)];
     req.name += std::string("/") + sim_kind_name(req.sim);
+    // Deterministic per-copy keys: the same command line resubmits the
+    // same keys, so a rerun after a daemon crash observes exactly-once.
+    if (!idemp_prefix.empty()) {
+      req.idempotency_key = idemp_prefix + "/" + std::to_string(i);
+    }
     ClientResult r;
     const auto id = client.submit(req, &r);
     if (!id) return transport_fail("submit", r);

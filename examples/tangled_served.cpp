@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "cli_parse.hpp"
@@ -38,7 +39,15 @@ void usage() {
       "                       complete within this (default 5000)\n"
       "  --max-frame-kb=N     reject frames larger than this (default 1024)\n"
       "  --max-inflight=N     per-connection unreported-job cap (default 64)\n"
-      "  --max-conns=N        concurrent connection cap (default 256)\n");
+      "  --max-conns=N        concurrent connection cap (default 256)\n"
+      "  --journal=DIR        write-ahead journal: admitted jobs survive a\n"
+      "                       crash (replayed + resumed at next start) and\n"
+      "                       idempotency-keyed resubmits dedup onto their\n"
+      "                       stored report (default: no durability)\n"
+      "  --checkpoint-every=N persist a resume image every N instructions\n"
+      "                       for journaled jobs that don't set their own\n"
+      "                       cadence; 0 = crash restarts from scratch\n"
+      "                       (default 0)\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -97,13 +106,29 @@ int main(int argc, char** argv) {
       config.max_inflight_per_conn = parse_small(v, "--max-inflight");
     } else if (parse_flag(argv[i], "--max-conns", &v)) {
       config.max_connections = parse_small(v, "--max-conns");
+    } else if (parse_flag(argv[i], "--journal", &v)) {
+      if (v.empty()) bad_value(v, "--journal");
+      config.jobs.journal_dir = v;
+    } else if (parse_flag(argv[i], "--checkpoint-every", &v)) {
+      const auto n = cli::parse_u64(v);
+      if (!n) bad_value(v, "--checkpoint-every");
+      config.jobs.checkpoint_every_default = *n;
     } else {
       usage();
       return 2;
     }
   }
 
-  NetServer server(config);
+  // The JobServer constructor replays the journal and throws when the
+  // directory is unusable — surface that as a startup error, not a crash.
+  std::unique_ptr<NetServer> server_holder;
+  try {
+    server_holder = std::make_unique<NetServer>(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tangled_served: startup failed: %s\n", e.what());
+    return 1;
+  }
+  NetServer& server = *server_holder;
   if (!server.ok()) {
     std::fprintf(stderr, "tangled_served: bind failed: %s\n",
                  server.error().c_str());
@@ -111,6 +136,15 @@ int main(int argc, char** argv) {
   }
   server.install_signal_drain();
   std::printf("tangled_served: listening on 127.0.0.1:%u\n", server.port());
+  if (!config.jobs.journal_dir.empty()) {
+    const ServerStats rs = server.jobs().stats();
+    std::printf(
+        "tangled_served: journal %s: %llu segment(s) replayed, "
+        "%llu job(s) recovered\n",
+        config.jobs.journal_dir.c_str(),
+        static_cast<unsigned long long>(rs.journal_replays),
+        static_cast<unsigned long long>(rs.jobs_recovered));
+  }
   std::fflush(stdout);
 
   // Block until SIGTERM/SIGINT begins the drain, then until every admitted

@@ -38,10 +38,17 @@
 #                               forcing the process-wide dispatch to scalar /
 #                               avx2 / avx512 — the bit-identical gate for
 #                               the dense substrate kernels
+#   scripts/check.sh crash      durability suite (ctest -L crash: the
+#                               100-round SIGKILL/restart crash soak against
+#                               the real daemon, the ENOSPC/EIO failpoint
+#                               rounds, and the shell-level journal round
+#                               trip) under the sanitizer config — the
+#                               "exactly-once across process death" gate for
+#                               src/serve/journal
 #   scripts/check.sh --all     both configs + the sanitized soak + the
 #                               integrity suite + the TSAN serve run + the
-#                               sanitized net lane + the simd differential
-#                               lane + the perf smoke
+#                               sanitized net lane + the crash lane + the
+#                               simd differential lane + the perf smoke
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
 set -euo pipefail
@@ -85,11 +92,15 @@ run_tsan() {
   echo "== building TSAN serve harnesses =="
   cmake --build build-tsan -j "$(nproc)" \
     --target tangled_serve_tests tangled_serve_stress tangled_net_tests \
-    tangled_batch tangled_served tangled_client
-  echo "== serve + net concurrency tests (ctest -L 'serve|net', ThreadSanitizer) =="
+    tangled_crash_soak tangled_batch tangled_served tangled_client
+  echo "== serve + net + crash concurrency tests (ctest -L 'serve|net|crash', ThreadSanitizer) =="
   # The chaos soak is excluded here: it runs sanitized in `check.sh net`,
-  # and under TSAN's slowdown its wall-clock would dominate the lane.
-  ctest --test-dir build-tsan -L 'serve|net' -E '^tangled_net_chaos$' \
+  # and under TSAN's slowdown its wall-clock would dominate the lane.  The
+  # crash soak runs at 8 rounds for the same reason (100 rounds is the
+  # sanitized `check.sh crash` lane's job); what TSAN adds here is race
+  # coverage of the journal's append path under the server's worker pool.
+  TANGLED_CRASH_ROUNDS=8 \
+    ctest --test-dir build-tsan -L 'serve|net|crash' -E '^tangled_net_chaos$' \
     --output-on-failure
   echo "== tangled_batch acceptance run (ThreadSanitizer) =="
   ./build-tsan/examples/tangled_batch --jobs=64 --threads=8 --inject-frac=0.25
@@ -123,6 +134,17 @@ run_net() {
   ctest --test-dir build-asan -L net --output-on-failure -j "$(nproc)"
 }
 
+run_crash() {
+  echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
+  echo "== building sanitized crash harnesses =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target tangled_crash_soak tangled_served tangled_client
+  echo "== crash-durability suite (ctest -L crash, sanitized, 100 rounds) =="
+  TANGLED_CRASH_ROUNDS=100 \
+    ctest --test-dir build-asan -L crash --output-on-failure
+}
+
 run_perf() {
   echo "== configuring build (Release) =="
   cmake -B build -S . >/dev/null
@@ -150,6 +172,9 @@ case "${mode}" in
   net)
     run_net
     ;;
+  crash)
+    run_crash
+    ;;
   perf)
     run_perf
     ;;
@@ -163,6 +188,7 @@ case "${mode}" in
     run_integrity
     run_tsan
     run_net
+    run_crash
     run_simd
     run_perf
     ;;
@@ -170,7 +196,7 @@ case "${mode}" in
     run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|net|perf|simd]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|net|crash|perf|simd]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# crash_roundtrip.sh — shell-level acceptance for the durable job journal:
+# boot tangled_served with --journal, complete a keyed batch, SIGKILL the
+# daemon, restart it on the same directory, and require (a) the journal to
+# replay, (b) resubmitted keys to dedup onto their stored reports instead of
+# re-executing, and (c) a mid-run crash to recover the admitted job.  Ends
+# with a graceful SIGTERM drain (exit 0).
+#
+#   scripts/crash_roundtrip.sh [path/to/tangled_served path/to/tangled_client]
+set -u -o pipefail
+
+SERVED=${1:-build/examples/tangled_served}
+CLIENT=${2:-build/examples/tangled_client}
+
+fail() { echo "crash_roundtrip: FAIL: $*" >&2; exit 1; }
+
+[ -x "$SERVED" ] || fail "missing $SERVED (build first)"
+[ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
+
+tmp=$(mktemp -d)
+served_pid=""
+trap 'kill -9 "$served_pid" 2>/dev/null; wait "$served_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+# A ~2M-instruction run: long enough for the SIGKILL to land mid-execution.
+cat > "$tmp/long.s" <<'EOF'
+	had @0,3
+	had @1,5
+	and @2,@0,@1
+	li  $1,2000
+	lex $4,-1
+outer:	li  $2,200
+inner:	add $2,$4
+	jumpt $2,inner
+	add $1,$4
+	jumpt $1,outer
+	lex $1,5
+	lex $2,3
+	sys
+EOF
+
+start_daemon() {
+  : > "$tmp/served.log"
+  "$SERVED" --port=0 --threads=4 --journal="$tmp/journal" \
+            --checkpoint-every=200000 > "$tmp/served.log" 2>&1 &
+  served_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$tmp/served.log")
+    [ -n "$port" ] && break
+    kill -0 "$served_pid" 2>/dev/null \
+      || fail "daemon died during startup: $(cat "$tmp/served.log")"
+    sleep 0.1
+  done
+  [ -n "$port" ] || fail "daemon never printed its port"
+}
+
+daemon_alive() {
+  kill -0 "$served_pid" 2>/dev/null \
+    || fail "daemon died during '$1'; log:
+$(cat "$tmp/served.log")"
+}
+
+# --- Phase 1: complete a keyed batch, then crash. -------------------------
+start_daemon
+"$CLIENT" --port="$port" --jobs=5 --sim=func --idemp=batch \
+  | grep -q "5 completed, 0 failed" || fail "keyed batch did not complete"
+daemon_alive "keyed batch"
+kill -9 "$served_pid"
+wait "$served_pid" 2>/dev/null
+
+# --- Phase 2: restart; resubmits must dedup, not re-execute. --------------
+start_daemon
+grep -q "segment(s) replayed" "$tmp/served.log" \
+  || fail "restart did not replay the journal: $(cat "$tmp/served.log")"
+"$CLIENT" --port="$port" --jobs=5 --sim=func --idemp=batch \
+  | grep -q "5 completed, 0 failed" || fail "dedup resubmit failed"
+"$CLIENT" --port="$port" --stats | grep -q "5 deduped" \
+  || fail "stats do not show 5 deduped reports"
+
+# --- Phase 3: crash right after admission; the job must not be lost. ------
+# Depending on where the SIGKILL lands, the restarted daemon either re-runs
+# the admitted-but-unreported job ("1 job(s) recovered") or already holds its
+# durable report (the resubmit dedups).  Both are exactly-once; losing the
+# job is the only failure.
+"$CLIENT" --port="$port" --jobs=1 --sim=func --idemp=midrun \
+          --expect=1=5,2=3 --checkpoint-every=200000 "$tmp/long.s" \
+          > "$tmp/midrun.log" 2>&1 &
+client_pid=$!
+sleep 0.05
+kill -9 "$served_pid"
+wait "$served_pid" 2>/dev/null
+wait "$client_pid" 2>/dev/null || true  # its connection just died; expected
+
+start_daemon
+grep -q "job(s) recovered" "$tmp/served.log" \
+  || fail "restart did not replay the journal: $(cat "$tmp/served.log")"
+# Resubmitting the key attaches to the recovered run or dedups onto the
+# stored report; either way exactly one completed result comes back.
+"$CLIENT" --port="$port" --jobs=1 --sim=func --idemp=midrun \
+          --expect=1=5,2=3 "$tmp/long.s" \
+  | grep -q "1 completed, 0 failed" || fail "admitted job was lost"
+
+# --- Graceful drain. ------------------------------------------------------
+kill -TERM "$served_pid"
+wait "$served_pid"
+rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM"
+grep -q "drained" "$tmp/served.log" || fail "no drain summary"
+
+echo "crash_roundtrip: OK"

@@ -5,12 +5,21 @@
 # clean drain (exit 0, no lost reports).
 #
 #   scripts/net_roundtrip.sh [path/to/tangled_served path/to/tangled_client]
-set -u
+set -u -o pipefail
 
 SERVED=${1:-build/examples/tangled_served}
 CLIENT=${2:-build/examples/tangled_client}
 
 fail() { echo "net_roundtrip: FAIL: $*" >&2; exit 1; }
+
+# A client phase that "fails" because the daemon silently died is a daemon
+# bug, not a client bug: check liveness after every phase and surface the
+# daemon's log, which holds the actual cause.
+daemon_alive() {
+  kill -0 "$served_pid" 2>/dev/null \
+    || fail "daemon died during '$1'; log:
+$(cat "$tmp/served.log")"
+}
 
 [ -x "$SERVED" ] || fail "missing $SERVED (build first)"
 [ -x "$CLIENT" ] || fail "missing $CLIENT (build first)"
@@ -31,10 +40,13 @@ for _ in $(seq 1 100); do
 done
 [ -n "$port" ] || fail "daemon never printed its port"
 
-"$CLIENT" --port="$port" --ping || fail "ping"
-"$CLIENT" --port="$port" --jobs=7 || fail "submit round trip"
+"$CLIENT" --port="$port" --ping || { daemon_alive "ping"; fail "ping"; }
+"$CLIENT" --port="$port" --jobs=7 \
+  || { daemon_alive "submit"; fail "submit round trip"; }
+daemon_alive "submit"
 "$CLIENT" --port="$port" --stats | grep -q "7 submitted, 7 completed" \
-  || fail "stats snapshot disagrees"
+  || { daemon_alive "stats"; fail "stats snapshot disagrees"; }
+daemon_alive "stats"
 
 # Graceful drain: SIGTERM must flush and exit 0.
 kill -TERM "$served_pid"

@@ -1,6 +1,11 @@
 #include "arch/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "pbp/serialize.hpp"
@@ -129,30 +134,88 @@ void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
   }
 }
 
-void save_checkpoint_file(const std::string& path, const CpuState& cpu,
-                          const Memory& mem, const QatEngine& qat) {
-  const std::vector<std::uint8_t> bytes = save_checkpoint(cpu, mem, qat);
+namespace {
+
+std::function<int(const char*)> g_io_failpoint;
+
+int stage_fails(const char* stage) {
+  return g_io_failpoint ? g_io_failpoint(stage) : 0;
+}
+
+[[noreturn]] void throw_io(const std::string& what, int err) {
+  throw CheckpointError(CheckpointError::Kind::kIoError,
+                        what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+void set_checkpoint_io_failpoint(std::function<int(const char*)> hook) {
+  g_io_failpoint = std::move(hook);
+}
+
+void write_file_durable(const std::string& path, const std::uint8_t* data,
+                        std::size_t size) {
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw CheckpointError(CheckpointError::Kind::kIoError,
-                          "cannot open " + tmp + " for writing");
+  int err = stage_fails("open");
+  const int fd =
+      err != 0 ? -1 : ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (err == 0) err = errno;
+    throw_io("cannot open " + tmp + " for writing", err);
   }
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed || !closed) {
-    std::remove(tmp.c_str());
-    throw CheckpointError(CheckpointError::Kind::kIoError,
-                          "short write to " + tmp);
+  err = stage_fails("write");
+  std::size_t off = 0;
+  while (err == 0 && off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errno;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync the temp BEFORE the rename: without it the rename can reach the
+  // disk ahead of the data it names, and a power loss then leaves a
+  // complete-looking file over garbage — the torn-rename window.
+  if (err == 0) err = stage_fails("fsync-tmp");
+  if (err == 0 && ::fsync(fd) != 0) err = errno;
+  if (::close(fd) != 0 && err == 0) err = errno;
+  if (err != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("cannot write " + tmp, err);
   }
   // Atomic publication: readers see either the old complete image or the
   // new complete image, never a half-written one.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw CheckpointError(CheckpointError::Kind::kIoError,
-                          "cannot rename " + tmp + " over " + path);
+  err = stage_fails("rename");
+  if (err == 0 && std::rename(tmp.c_str(), path.c_str()) != 0) err = errno;
+  if (err != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("cannot rename " + tmp + " over " + path, err);
   }
+  // fsync the parent directory AFTER the rename so the new entry itself is
+  // durable.  Failing here still throws: the caller must not record the
+  // image as persisted when a crash could roll the directory back.
+  err = stage_fails("fsync-dir");
+  if (err == 0) {
+    const auto slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : (slash == 0 ? "/" : path.substr(0, slash));
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+      err = errno;
+    } else {
+      if (::fsync(dfd) != 0) err = errno;
+      ::close(dfd);
+    }
+  }
+  if (err != 0) throw_io("cannot fsync parent directory of " + path, err);
+}
+
+void save_checkpoint_file(const std::string& path, const CpuState& cpu,
+                          const Memory& mem, const QatEngine& qat) {
+  const std::vector<std::uint8_t> bytes = save_checkpoint(cpu, mem, qat);
+  write_file_durable(path, bytes.data(), bytes.size());
 }
 
 void load_checkpoint_file(const std::string& path, CpuState& cpu, Memory& mem,

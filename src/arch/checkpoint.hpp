@@ -19,12 +19,17 @@
 //
 // The recovery driver (recovery.hpp) takes periodic checkpoints and rolls
 // back to the latest one when a fault-injected run traps.  On-disk images
-// (save_checkpoint_file) are written to a temp file and atomically renamed
-// into place, so a crash mid-write never leaves a half image under the
-// real name.
+// (save_checkpoint_file) are written with full durability discipline: the
+// bytes go to a temp file which is fsync'd BEFORE the atomic rename (so the
+// rename can never publish a name over unflushed data — the torn-rename
+// window), and the parent directory is fsync'd AFTER it (so the new
+// directory entry itself survives power loss).  A crash at any point leaves
+// either the old complete image or the new complete image under the real
+// name, never a half one.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -70,10 +75,28 @@ std::vector<std::uint8_t> save_checkpoint(const CpuState& cpu,
 void load_checkpoint(const std::vector<std::uint8_t>& bytes, CpuState& cpu,
                      Memory& mem, QatEngine& qat);
 
-/// Durable on-disk image: writes `path` + ".tmp" then atomically renames it
-/// over `path`.  Throws CheckpointError(kIoError) on filesystem failure.
+/// Durable on-disk image: writes `path` + ".tmp", fsyncs it, atomically
+/// renames it over `path`, then fsyncs the parent directory.  Throws
+/// CheckpointError(kIoError) on filesystem failure; on a pre-rename failure
+/// the temp file is removed and the old image (if any) is untouched.  A
+/// post-rename directory-fsync failure also throws: the new image is in
+/// place but not yet durable, so the caller must treat the write as not
+/// having happened and retry.
 void save_checkpoint_file(const std::string& path, const CpuState& cpu,
                           const Memory& mem, const QatEngine& qat);
+
+/// The durable-write primitive behind save_checkpoint_file, exposed so other
+/// durability layers (the serve journal's checkpoint images) share one
+/// fsync discipline.  Same contract and failure semantics.
+void write_file_durable(const std::string& path, const std::uint8_t* data,
+                        std::size_t size);
+
+/// Test-only fault injection for write_file_durable.  The hook is consulted
+/// at each durability stage — "open", "write", "fsync-tmp", "rename",
+/// "fsync-dir" — and a nonzero return fails that stage with the returned
+/// errno.  Pass nullptr to clear.  Not thread-safe; install only in
+/// single-threaded test setup.
+void set_checkpoint_io_failpoint(std::function<int(const char* stage)> hook);
 
 /// Load and restore an on-disk image; same guarantees as load_checkpoint,
 /// plus CheckpointError(kIoError) if the file cannot be read.

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,17 @@ class CheckpointingRunner {
   CheckpointingRunner(Sim& sim, std::uint64_t checkpoint_every,
                       std::uint64_t slice_cap = 0)
       : sim_(sim), every_(checkpoint_every), slice_cap_(slice_cap) {}
+
+  /// Observer for mid-run checkpoints: called with each `latest` image the
+  /// runner takes after a clean slice, plus the lineage instruction count it
+  /// was taken at.  The serve journal uses this to persist resume points
+  /// across process death.  The sink MUST NOT throw — durability failures
+  /// are the sink's own policy (degrade, drop), never an execution fault.
+  /// The initial checkpoint is not reported (a restart from scratch needs
+  /// no image).  No-op in restart-only mode (checkpoint_every == 0).
+  using CheckpointSink =
+      std::function<void(const std::vector<std::uint8_t>&, std::uint64_t)>;
+  void set_checkpoint_sink(CheckpointSink sink) { sink_ = std::move(sink); }
 
   /// Run to completion (at most max_instructions along any one lineage).
   /// `validate` is called on a clean halt; returning false marks the run as
@@ -159,6 +171,7 @@ class CheckpointingRunner {
         latest = save_checkpoint(sim_.cpu(), sim_.memory(), sim_.qat());
         base = completed;
         ++rs.checkpoints_taken;
+        if (sink_) sink_(latest, completed);
       }
     }
   }
@@ -167,6 +180,7 @@ class CheckpointingRunner {
   Sim& sim_;
   std::uint64_t every_;
   std::uint64_t slice_cap_;
+  CheckpointSink sink_;
 };
 
 }  // namespace tangled

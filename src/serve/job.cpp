@@ -1,8 +1,50 @@
 #include "serve/job.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace tangled::serve {
+
+namespace {
+
+void put_string(pbp::ByteWriter& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string get_string(pbp::ByteReader& r, std::size_t max_len = 1 << 20) {
+  const std::uint32_t n = r.u32();
+  if (n > max_len || n > r.remaining()) {
+    throw std::runtime_error("job codec: string length out of range");
+  }
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(r.u8()));
+  }
+  return s;
+}
+
+void put_double(pbp::ByteWriter& w, double v) {
+  w.u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double get_double(pbp::ByteReader& r) {
+  return std::bit_cast<double>(r.u64());
+}
+
+/// Range-checked enum decode: a CRC-clean record can still carry a value
+/// the enum does not define (a hostile peer, a newer writer) — that is a
+/// decode error, not undefined behaviour.
+template <typename E>
+E checked_enum(std::uint8_t raw, std::uint8_t max, const char* what) {
+  if (raw > max) {
+    throw std::runtime_error(std::string("job codec: out-of-range ") + what);
+  }
+  return static_cast<E>(raw);
+}
+
+}  // namespace
 
 const char* sim_kind_name(SimKind k) {
   switch (k) {
@@ -53,6 +95,160 @@ const char* job_outcome_name(JobOutcome o) {
   return "unknown";
 }
 
+// ---------------------------------------------------------------------------
+// JobSpec codec — the one durability format shared by the wire SubmitRequest
+// and the journal admit record.
+
+void JobSpec::serialize(pbp::ByteWriter& w) const {
+  put_string(w, name);
+  put_string(w, source);
+  w.u8(static_cast<std::uint8_t>(sim));
+  w.u8(static_cast<std::uint8_t>(backend));
+  w.u32(ways);
+  w.u64(max_instructions);
+  w.u64(max_cycles);
+  w.u64(checkpoint_every);
+  w.u8(static_cast<std::uint8_t>(ecc));
+  w.u64(ecc_epoch);
+  w.u64(scrub_every);
+  w.u32(qat_threads);
+  w.u32(deadline_ms);
+  w.u32(static_cast<std::uint32_t>(retry_max));
+  put_string(w, fault_spec);
+  w.u32(static_cast<std::uint32_t>(expect.size()));
+  for (const auto& [reg, value] : expect) {
+    w.u16(reg);
+    w.u16(value);
+  }
+  put_string(w, idempotency_key);
+}
+
+JobSpec JobSpec::deserialize(pbp::ByteReader& r) {
+  JobSpec s;
+  s.name = get_string(r, 4096);
+  s.source = get_string(r);
+  s.sim = checked_enum<SimKind>(
+      r.u8(), static_cast<std::uint8_t>(SimKind::kRtl), "sim kind");
+  s.backend = checked_enum<pbp::Backend>(
+      r.u8(), static_cast<std::uint8_t>(pbp::Backend::kCompressed), "backend");
+  s.ways = r.u32();
+  s.max_instructions = r.u64();
+  s.max_cycles = r.u64();
+  s.checkpoint_every = r.u64();
+  s.ecc = checked_enum<pbp::EccMode>(
+      r.u8(), static_cast<std::uint8_t>(pbp::EccMode::kCorrect), "ecc mode");
+  s.ecc_epoch = r.u64();
+  s.scrub_every = r.u64();
+  s.qat_threads = r.u32();
+  s.deadline_ms = r.u32();
+  s.retry_max = static_cast<std::int32_t>(r.u32());
+  s.fault_spec = get_string(r, 4096);
+  const std::uint32_t n = r.u32();
+  if (n > kNumRegs) {
+    throw std::runtime_error("job codec: too many expect pairs");
+  }
+  s.expect.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint16_t reg = r.u16();
+    const std::uint16_t value = r.u16();
+    if (reg >= kNumRegs) {
+      throw std::runtime_error("job codec: expect register out of range");
+    }
+    s.expect.emplace_back(reg, value);
+  }
+  s.idempotency_key = get_string(r, 4096);
+  return s;
+}
+
+Job JobSpec::to_job() const {
+  Job j;
+  j.name = name;
+  j.program = assemble(source);
+  j.sim = sim;
+  j.backend = backend;
+  j.ways = ways;
+  j.max_instructions = max_instructions;
+  j.max_cycles = max_cycles;
+  j.checkpoint_every = checkpoint_every;
+  j.ecc = ecc;
+  j.ecc_epoch = ecc_epoch;
+  j.scrub_every = scrub_every;
+  j.qat_threads = qat_threads;
+  j.deadline = std::chrono::milliseconds(deadline_ms);
+  j.retry_max = retry_max;
+  if (!fault_spec.empty()) j.fault_plan = FaultPlan::parse(fault_spec, ways);
+  if (!expect.empty()) {
+    j.validate = [pairs = expect](const CpuState& cpu) {
+      for (const auto& [reg, value] : pairs) {
+        if (cpu.regs[reg] != value) return false;
+      }
+      return true;
+    };
+  }
+  j.idempotency_key = idempotency_key;
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// JobReport codec — shared by the wire kReport payload and the journal's
+// terminal record.  New fields append at the END so older readers that stop
+// early still parse the prefix.
+
+void JobReport::serialize(pbp::ByteWriter& w) const {
+  w.u64(id);
+  put_string(w, name);
+  w.u8(static_cast<std::uint8_t>(outcome));
+  w.u8(static_cast<std::uint8_t>(trap.kind));
+  w.u16(trap.pc);
+  put_string(w, error);
+  w.u32(attempts);
+  w.u64(retries);
+  w.u8(recovered ? 1 : 0);
+  w.u64(instructions);
+  w.u64(cycles);
+  w.u64(qat_ops);
+  w.u64(backend_migrations);
+  w.u64(ecc_corrected);
+  w.u64(ecc_detected);
+  w.u64(reserved_bytes);
+  put_double(w, queue_ms);
+  put_double(w, exec_ms);
+  put_double(w, backoff_ms);
+  put_string(w, idem_key);
+  w.u8(deduped ? 1 : 0);
+  w.u8(resumed ? 1 : 0);
+}
+
+JobReport JobReport::deserialize(pbp::ByteReader& r) {
+  JobReport rep;
+  rep.id = r.u64();
+  rep.name = get_string(r, 4096);
+  rep.outcome = checked_enum<JobOutcome>(
+      r.u8(), static_cast<std::uint8_t>(JobOutcome::kError), "outcome");
+  rep.trap.kind = checked_enum<TrapKind>(
+      r.u8(), static_cast<std::uint8_t>(TrapKind::kDataCorruption),
+      "trap kind");
+  rep.trap.pc = r.u16();
+  rep.error = get_string(r, 4096);
+  rep.attempts = r.u32();
+  rep.retries = r.u64();
+  rep.recovered = r.u8() != 0;
+  rep.instructions = r.u64();
+  rep.cycles = r.u64();
+  rep.qat_ops = r.u64();
+  rep.backend_migrations = r.u64();
+  rep.ecc_corrected = r.u64();
+  rep.ecc_detected = r.u64();
+  rep.reserved_bytes = static_cast<std::size_t>(r.u64());
+  rep.queue_ms = get_double(r);
+  rep.exec_ms = get_double(r);
+  rep.backoff_ms = get_double(r);
+  rep.idem_key = get_string(r, 4096);
+  rep.deduped = r.u8() != 0;
+  rep.resumed = r.u8() != 0;
+  return rep;
+}
+
 std::string JobReport::to_string() const {
   std::string s = "job " + std::to_string(id);
   if (!name.empty()) s += " (" + name + ")";
@@ -67,6 +263,8 @@ std::string JobReport::to_string() const {
   s += ", attempts " + std::to_string(attempts);
   s += ", retries " + std::to_string(retries);
   if (recovered) s += " (recovered)";
+  if (resumed) s += " (resumed)";
+  if (deduped) s += " (deduped)";
   s += ", " + std::to_string(instructions) + " instr";
   s += ", " + std::to_string(qat_ops) + " qat ops";
   if (backend_migrations != 0) {

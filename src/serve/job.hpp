@@ -16,12 +16,15 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/cpu.hpp"
 #include "arch/fault.hpp"
 #include "arch/trap.hpp"
 #include "asm/assembler.hpp"
 #include "pbp/ecc.hpp"
+#include "pbp/serialize.hpp"
 
 namespace tangled::serve {
 
@@ -80,6 +83,57 @@ struct Job {
   /// corrupted and triggers recovery exactly like a trap.  Null accepts any
   /// clean halt.
   std::function<bool(const CpuState&)> validate;
+
+  /// Client-chosen exactly-once key.  Empty = none (the journal assigns a
+  /// per-process surrogate).  A resubmission bearing the key of a live job
+  /// returns that job's id; bearing the key of a finished job, its stored
+  /// report is re-delivered (deduped) instead of running again.
+  std::string idempotency_key;
+  /// Path of a durable mid-run checkpoint image to resume attempt 1 from
+  /// (set by journal recovery; empty = fresh start).  An unreadable or
+  /// corrupt image silently falls back to a fresh start — resumption is an
+  /// optimization, correctness comes from re-execution.
+  std::string resume_checkpoint;
+};
+
+/// The serializable description of a job — everything a Job carries except
+/// the in-process artifacts (assembled program, validate closure), which
+/// to_job() rebuilds deterministically from `source` / `expect` /
+/// `fault_spec`.  This is the payload of both the wire SubmitRequest and
+/// the journal's admit record: one codec, one durability format.
+struct JobSpec {
+  std::string name;
+  /// Assembly source text, assembled server-side (a program is its source;
+  /// shipping text keeps the format independent of the encoder).
+  std::string source;
+  SimKind sim = SimKind::kFunc;
+  pbp::Backend backend = pbp::Backend::kDense;
+  std::uint32_t ways = 8;
+  std::uint64_t max_instructions = 10'000'000;
+  std::uint64_t max_cycles = 0;
+  std::uint64_t checkpoint_every = 0;
+  pbp::EccMode ecc = pbp::EccMode::kOff;
+  std::uint64_t ecc_epoch = 1;
+  std::uint64_t scrub_every = 0;
+  std::uint32_t qat_threads = 1;
+  std::uint32_t deadline_ms = 0;  // 0 = server default
+  std::int32_t retry_max = -1;    // -1 = server default
+  /// FaultPlan::parse spec ("seed=41,events=6,..."); empty = no plan.
+  std::string fault_spec;
+  /// Clean-halt validation: every (reg, value) pair must match the final
+  /// host register file, else the run counts as silently corrupted and
+  /// recovers/quarantines exactly like a trap.  Empty accepts any halt.
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> expect;
+  /// Exactly-once key (see Job::idempotency_key).
+  std::string idempotency_key;
+
+  void serialize(pbp::ByteWriter& w) const;
+  /// Throws std::runtime_error on truncated or out-of-range fields.
+  static JobSpec deserialize(pbp::ByteReader& r);
+  /// Materialize the serve-layer Job (assembles `source`, parses
+  /// `fault_spec`, builds the expect-validator).  Throws AsmError /
+  /// std::invalid_argument on bad input.
+  Job to_job() const;
 };
 
 enum class JobOutcome : std::uint8_t {
@@ -116,6 +170,15 @@ struct JobReport {
   double queue_ms = 0.0;    // submission → execution start
   double exec_ms = 0.0;     // execution start → terminal
   double backoff_ms = 0.0;  // of exec_ms, spent sleeping between retries
+
+  std::string idem_key;  // exactly-once key the job was admitted under
+  bool deduped = false;  // re-delivery of a stored report, not a fresh run
+  bool resumed = false;  // attempt 1 restored a journaled mid-run checkpoint
+
+  /// Journal/wire codec (the report is both the kReport payload and the
+  /// journal's terminal record).
+  void serialize(pbp::ByteWriter& w) const;
+  static JobReport deserialize(pbp::ByteReader& r);
 
   std::string to_string() const;
 };

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cassert>
 #include <random>
+#include <stdexcept>
 
 #include "arch/multicycle_fsm.hpp"
 #include "arch/recovery.hpp"
 #include "arch/rtl_pipeline.hpp"
 #include "arch/simulators.hpp"
 #include "serve/backoff.hpp"
+#include "serve/journal.hpp"
 
 namespace tangled::serve {
 
@@ -59,6 +61,26 @@ struct JobServer::QueuedJob {
 JobServer::JobServer(JobServerConfig config) : config_(config) {
   if (config_.threads == 0) config_.threads = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  key_nonce_ = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+               std::random_device{}();
+  if (!config_.journal_dir.empty()) {
+    Journal::Config jc;
+    jc.dir = config_.journal_dir;
+    jc.segment_bytes = config_.journal_segment_bytes;
+    Journal::Recovery rec;
+    std::string err;
+    journal_ = Journal::open(jc, &rec, &err);
+    if (journal_ == nullptr) throw std::runtime_error(err);
+    tallies_.journal_replays = rec.segments_replayed;
+    for (auto& [key, rep] : rec.completed) {
+      durable_reports_[key] = std::move(rep);
+    }
+    // Re-run everything admitted but never reported — before the workers
+    // start, so recovered jobs run ahead of new traffic in admit order.
+    for (const auto& rj : rec.incomplete) {
+      recover_job(rj.spec, rj.checkpoint_file);
+    }
+  }
   workers_.reserve(config_.threads);
   for (unsigned i = 0; i < config_.threads; ++i) {
     workers_.emplace_back([this] { worker_main(); });
@@ -132,6 +154,195 @@ std::optional<JobServer::JobId> JobServer::try_submit(
   return submit(std::move(job));
 }
 
+void JobServer::recover_job(const JobSpec& spec,
+                            const std::string& checkpoint_file) {
+  auto qj = std::make_unique<QueuedJob>();
+  qj->submitted = Clock::now();
+  qj->state = std::make_shared<JobState>();
+  bool bad = false;
+  std::string bad_what;
+  try {
+    qj->job = spec.to_job();
+  } catch (const std::exception& e) {
+    // The spec materialized when it was first admitted, so this is a
+    // journal tampered with or a server downgraded across versions; the
+    // key still resolves exactly-once, to an error report.
+    bad = true;
+    bad_what = e.what();
+    qj->job.name = spec.name;
+    qj->job.idempotency_key = spec.idempotency_key;
+  }
+  qj->job.resume_checkpoint = checkpoint_file;
+  if (qj->job.checkpoint_every == 0) {
+    qj->job.checkpoint_every = config_.checkpoint_every_default;
+  }
+  // The deadline clock restarts at recovery: queue time in the previous
+  // process is unknowable and charging it would spuriously expire work the
+  // journal promised to finish.
+  const auto wall = qj->job.deadline.count() > 0 ? qj->job.deadline
+                                                 : config_.default_deadline;
+  qj->deadline = wall.count() > 0 ? qj->submitted + wall
+                                  : Clock::time_point::max();
+  JobId id = 0;
+  {
+    std::lock_guard lk(mu_);
+    id = next_id_++;
+    qj->id = id;
+    states_.emplace(id, qj->state);
+    submission_order_.push_back(id);
+    live_keys_[spec.idempotency_key] = id;
+    ++tallies_.submitted;
+    ++tallies_.jobs_recovered;
+  }
+  if (bad) {
+    qj->started = Clock::now();
+    JobReport rep;
+    rep.outcome = JobOutcome::kError;
+    rep.error = "recovered spec no longer materializes: " + bad_what;
+    publish(*qj, *qj->state, std::move(rep));
+    return;
+  }
+  std::lock_guard lk(mu_);
+  queue_.push_back(std::move(qj));
+  queue_cv_.notify_one();
+}
+
+std::optional<JobServer::JobId> JobServer::submit_spec(
+    JobSpec spec, std::string* reject_reason) {
+  return submit_spec_until(std::move(spec), Clock::time_point::max(),
+                           reject_reason);
+}
+
+std::optional<JobServer::JobId> JobServer::submit_spec_for(
+    JobSpec spec, std::chrono::milliseconds max_wait,
+    std::string* reject_reason) {
+  return submit_spec_until(std::move(spec), Clock::now() + max_wait,
+                           reject_reason);
+}
+
+std::optional<JobServer::JobId> JobServer::try_submit_spec(
+    JobSpec spec, std::string* reject_reason) {
+  return submit_spec_until(std::move(spec), Clock::now(), reject_reason);
+}
+
+std::optional<JobServer::JobId> JobServer::submit_spec_until(
+    JobSpec spec, Clock::time_point deadline, std::string* reject_reason) {
+  Job job;
+  try {
+    job = spec.to_job();
+  } catch (const std::exception& e) {
+    if (reject_reason != nullptr) {
+      *reject_reason = std::string("bad-job: ") + e.what();
+    }
+    return std::nullopt;
+  }
+  if (journal_ == nullptr) {
+    // No durability configured: plain admission (the bad-job gate above
+    // still applied).
+    return submit_until(std::move(job), deadline, reject_reason);
+  }
+  if (job.checkpoint_every == 0) {
+    job.checkpoint_every = config_.checkpoint_every_default;
+  }
+
+  std::unique_lock lk(mu_);
+  if (spec.idempotency_key.empty()) {
+    // Surrogate key: unique within this process AND across restarts (the
+    // nonce), so an unkeyed job can never collide with a journaled one.
+    spec.idempotency_key = "auto:" + std::to_string(key_nonce_) + ":" +
+                           std::to_string(++auto_key_counter_);
+  }
+  job.idempotency_key = spec.idempotency_key;
+  const std::string key = spec.idempotency_key;
+
+  for (;;) {
+    // Exactly-once, finished: answer from the stored report under a fresh
+    // id — nothing runs twice.
+    if (const auto done = durable_reports_.find(key);
+        done != durable_reports_.end()) {
+      const JobId id = next_id_++;
+      JobReport rep = done->second;
+      rep.id = id;
+      rep.deduped = true;
+      auto st = std::make_shared<JobState>();
+      st->phase.store(JobPhase::kDone, std::memory_order_relaxed);
+      states_.emplace(id, st);
+      submission_order_.push_back(id);
+      ++tallies_.submitted;
+      ++tallies_.reports_deduped;
+      apply_terminal_tallies_locked(rep);
+      reports_.emplace(id, std::move(rep));
+      report_cv_.notify_all();
+      return id;
+    }
+    // Exactly-once, live: point the caller at the in-flight job.
+    if (const auto live = live_keys_.find(key); live != live_keys_.end()) {
+      if (live->second != 0) return live->second;
+      // The key is reserved by a submission fsyncing its admit record
+      // outside the lock; the caller retries and lands on the real id.
+      if (reject_reason != nullptr) *reject_reason = "duplicate-pending";
+      return std::nullopt;
+    }
+    if (!accepting_) {
+      if (reject_reason != nullptr) *reject_reason = "shutting-down";
+      return std::nullopt;
+    }
+    if (queue_.size() < config_.queue_capacity) break;
+    if (deadline == Clock::time_point::max()) {
+      space_cv_.wait(lk);
+    } else if (space_cv_.wait_until(lk, deadline) ==
+               std::cv_status::timeout) {
+      ++tallies_.queue_full_rejections;
+      if (reject_reason != nullptr) *reject_reason = "queue-full";
+      return std::nullopt;
+    }
+  }
+
+  // Write-ahead: the admit record must be durable before the job becomes
+  // runnable.  The fsync happens outside mu_ (it can take milliseconds);
+  // the key reservation above keeps a racing duplicate from slipping in.
+  live_keys_[key] = 0;
+  lk.unlock();
+  const bool durable = journal_->append_admit(spec);
+  lk.lock();
+  if (!durable) {
+    live_keys_.erase(key);
+    ++tallies_.journal_shed;
+    if (reject_reason != nullptr) *reject_reason = "journal-unavailable";
+    return std::nullopt;
+  }
+
+  auto qj = std::make_unique<QueuedJob>();
+  qj->id = next_id_++;
+  qj->job = std::move(job);
+  qj->submitted = Clock::now();
+  const auto wall = qj->job.deadline.count() > 0 ? qj->job.deadline
+                                                 : config_.default_deadline;
+  qj->deadline = wall.count() > 0 ? qj->submitted + wall
+                                  : Clock::time_point::max();
+  qj->state = std::make_shared<JobState>();
+  const JobId id = qj->id;
+  live_keys_[key] = id;
+  states_.emplace(id, qj->state);
+  submission_order_.push_back(id);
+  ++tallies_.submitted;
+  if (stopping_) {
+    // shutdown() finished its drain during the fsync window: the workers
+    // are gone, so enqueueing would strand the job.  Its admit record is
+    // durable — a restarted daemon will run it — but THIS process owes the
+    // id a terminal report.
+    lk.unlock();
+    qj->started = Clock::now();
+    JobReport rep;
+    rep.outcome = JobOutcome::kCancelled;
+    publish(*qj, *qj->state, std::move(rep));
+    return id;
+  }
+  queue_.push_back(std::move(qj));
+  queue_cv_.notify_one();
+  return id;
+}
+
 bool JobServer::cancel(JobId id) {
   std::shared_ptr<JobState> st;
   {
@@ -191,6 +402,7 @@ ServerStats JobServer::stats() const {
   s.peak_in_flight_bytes = peak_reserved_bytes_;
   s.queue_depth = queue_.size();
   s.active_jobs = active_;
+  if (journal_ != nullptr) s.journal_bytes = journal_->bytes();
   return s;
 }
 
@@ -307,44 +519,60 @@ void JobServer::worker_main() {
   }
 }
 
+void JobServer::apply_terminal_tallies_locked(const JobReport& rep) {
+  switch (rep.outcome) {
+    case JobOutcome::kCompleted:
+      ++tallies_.completed;
+      break;
+    case JobOutcome::kQuarantined:
+      ++tallies_.quarantined;
+      break;
+    case JobOutcome::kDeadlineExpired:
+      ++tallies_.deadline_expired;
+      break;
+    case JobOutcome::kCancelled:
+      ++tallies_.cancelled;
+      break;
+    case JobOutcome::kRejectedMemory:
+      ++tallies_.rejected_memory;
+      break;
+    case JobOutcome::kError:
+      ++tallies_.errors;
+      break;
+  }
+  tallies_.retries += rep.retries;
+  tallies_.ecc_corrected += rep.ecc_corrected;
+  tallies_.ecc_detected += rep.ecc_detected;
+}
+
 void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
                         bool worker_terminal) {
   rep.id = qj.id;
   rep.name = qj.job.name;
+  rep.idem_key = qj.job.idempotency_key;
   rep.queue_ms = ms_between(qj.submitted, qj.started);
   rep.exec_ms = ms_between(qj.started, Clock::now());
   st.phase.store(JobPhase::kDone, std::memory_order_relaxed);
+  // Write-ahead: the terminal record goes to the journal BEFORE the report
+  // becomes observable.  A crash after the append replays as completed
+  // (future resubmits dedup against the stored report); a crash before it
+  // replays as incomplete and re-runs — never lost, never doubled.
+  if (journal_ != nullptr && !rep.idem_key.empty()) {
+    journal_->append_report(rep);
+  }
   {
     std::lock_guard lk(mu_);
-    const bool inserted = reports_.emplace(qj.id, std::move(rep)).second;
+    const bool inserted = reports_.emplace(qj.id, rep).second;
     // The exactly-once contract: each admitted job reaches publish() on
     // precisely one path (worker terminal, or shutdown(false) for jobs
     // still queued).  A duplicate here is a server bug, not a job failure.
     assert(inserted);
     (void)inserted;
-    switch (reports_.at(qj.id).outcome) {
-      case JobOutcome::kCompleted:
-        ++tallies_.completed;
-        break;
-      case JobOutcome::kQuarantined:
-        ++tallies_.quarantined;
-        break;
-      case JobOutcome::kDeadlineExpired:
-        ++tallies_.deadline_expired;
-        break;
-      case JobOutcome::kCancelled:
-        ++tallies_.cancelled;
-        break;
-      case JobOutcome::kRejectedMemory:
-        ++tallies_.rejected_memory;
-        break;
-      case JobOutcome::kError:
-        ++tallies_.errors;
-        break;
+    apply_terminal_tallies_locked(rep);
+    if (journal_ != nullptr && !rep.idem_key.empty()) {
+      live_keys_.erase(rep.idem_key);
+      durable_reports_[rep.idem_key] = std::move(rep);
     }
-    tallies_.retries += reports_.at(qj.id).retries;
-    tallies_.ecc_corrected += reports_.at(qj.id).ecc_corrected;
-    tallies_.ecc_detected += reports_.at(qj.id).ecc_detected;
     if (worker_terminal) {
       --active_;
       if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
@@ -510,6 +738,20 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
           return try_reserve_extra(extra, st);
         });
       }
+      if (attempt == 1 && !job.resume_checkpoint.empty()) {
+        // Journal recovery: pick the run up from the newest durable image.
+        // ECC policy / sharding were applied above and survive the restore
+        // (policy is never serialized); the sidecars are re-encoded and the
+        // register file re-sharded deterministically by load.  Resumption
+        // is an optimization — a missing or corrupt image just means a
+        // fresh start, correctness comes from re-execution.
+        try {
+          load_checkpoint_file(job.resume_checkpoint, sim->cpu(),
+                               sim->memory(), sim->qat());
+          rep.resumed = true;
+        } catch (const CheckpointError&) {
+        }
+      }
       {
         std::lock_guard lk(st.mu);
         st.engine = &sim->qat();
@@ -517,6 +759,21 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       st.phase.store(JobPhase::kRunning, std::memory_order_relaxed);
 
       CheckpointingRunner<SimT> runner(*sim, checkpoint_every, slice_cap);
+      if (journal_ != nullptr && checkpoint_every != 0 &&
+          !job.idempotency_key.empty()) {
+        // Persist a resume image roughly every checkpoint_every lineage
+        // instructions (the runner snapshots more often when the polling
+        // slice cap is smaller — throttle the disk cadence, not the
+        // in-memory one).
+        runner.set_checkpoint_sink(
+            [this, &job, next_disk = checkpoint_every](
+                const std::vector<std::uint8_t>& image,
+                std::uint64_t completed) mutable {
+              if (completed < next_disk) return;
+              next_disk = completed + job.checkpoint_every;
+              journal_->append_checkpoint(job.idempotency_key, image);
+            });
+      }
       rs = runner.run(
           job.max_instructions,
           [&](const SimT& s) {

@@ -25,6 +25,15 @@
 //     cancels queued and running jobs.  Either way no report is lost or
 //     duplicated.
 //
+// Durability (ISSUE 8): with JobServerConfig::journal_dir set, admissions,
+// periodic checkpoints, and terminal reports are write-ahead-logged
+// (serve/journal.hpp).  The constructor replays the log: jobs admitted but
+// never reported before a crash are re-run — resumed mid-flight from their
+// newest durable checkpoint when one exists — and finished jobs' reports
+// are retained so a resubmission bearing the same idempotency key is
+// answered from the log (deduped) instead of executed twice.  Exactly-once
+// now holds across process death, not just within one.
+//
 // Thread-safety of observation: progress() reads the running job's QatStats
 // through the engine's relaxed-atomic counters (see arch/qat_engine.hpp),
 // so a monitoring thread can poll a job mid-run without racing the engine.
@@ -49,6 +58,17 @@ namespace tangled::serve {
 struct JobServerConfig {
   unsigned threads = 4;
   std::size_t queue_capacity = 64;
+  /// Write-ahead journal directory (serve/journal.hpp); empty = no
+  /// durability (the pre-ISSUE-8 in-memory behaviour).  When set, the
+  /// constructor replays the journal — re-running every admitted job that
+  /// never reported, resuming from its newest durable checkpoint — and
+  /// throws std::runtime_error if the directory is unusable.
+  std::string journal_dir;
+  std::size_t journal_segment_bytes = std::size_t{1} << 20;
+  /// Checkpoint cadence applied to journaled jobs that don't set their own
+  /// (Job::checkpoint_every == 0): how often a resumable image is eligible
+  /// to be persisted.  0 = journaled jobs restart from scratch on crash.
+  std::uint64_t checkpoint_every_default = 0;
   /// Global register-file memory budget shared by all in-flight jobs.
   std::size_t memory_budget_bytes = std::size_t{512} << 20;  // 512 MiB
   /// Serve-level re-runs after the checkpointing runner gives up.
@@ -99,7 +119,15 @@ struct ServerStats {
   std::size_t peak_in_flight_bytes = 0;
   std::size_t queue_depth = 0;
   unsigned active_jobs = 0;
+  // Durability counters (zero when no journal is configured).
+  std::uint64_t jobs_recovered = 0;   // incomplete jobs re-run at startup
+  std::uint64_t journal_replays = 0;  // segments replayed at startup
+  std::uint64_t journal_bytes = 0;    // journal bytes replayed + appended
+  std::uint64_t reports_deduped = 0;  // keyed resubmits answered from the log
+  std::uint64_t journal_shed = 0;     // admissions shed: journal unhealthy
 };
+
+class Journal;
 
 class JobServer {
  public:
@@ -125,6 +153,28 @@ class JobServer {
   /// "queue-full" or "shutting-down".
   std::optional<JobId> try_submit(Job job,
                                   std::string* reject_reason = nullptr);
+
+  /// Durable, exactly-once submission (the journaled front door).  The spec
+  /// is journaled before the job becomes runnable; a spec bearing the
+  /// idempotency key of a live job returns that job's id, and one bearing
+  /// the key of a finished job re-publishes the stored report under a fresh
+  /// id (report.deduped = true) without running anything.  Reject reasons
+  /// beyond submit()'s: "bad-job: ..." (the spec does not materialize),
+  /// "journal-unavailable" (degraded disk — new admissions shed),
+  /// "duplicate-pending" (the key is mid-admission on another thread; retry
+  /// shortly).  Without a configured journal these behave like the plain
+  /// submit family plus the bad-job check.
+  std::optional<JobId> submit_spec(JobSpec spec,
+                                   std::string* reject_reason = nullptr);
+  std::optional<JobId> submit_spec_for(JobSpec spec,
+                                       std::chrono::milliseconds max_wait,
+                                       std::string* reject_reason = nullptr);
+  std::optional<JobId> try_submit_spec(JobSpec spec,
+                                       std::string* reject_reason = nullptr);
+
+  /// The configured journal (nullptr when durability is off) — exposed for
+  /// tests and failpoint injection.
+  Journal* journal() { return journal_.get(); }
 
   /// Cooperative cancellation.  True if the job was still pending or
   /// running (its report will read kCancelled unless it finished first);
@@ -157,6 +207,15 @@ class JobServer {
   std::optional<JobId> submit_until(
       Job job, std::chrono::steady_clock::time_point deadline,
       std::string* reject_reason);
+  std::optional<JobId> submit_spec_until(
+      JobSpec spec, std::chrono::steady_clock::time_point deadline,
+      std::string* reject_reason);
+  /// Enqueue one journal-recovered job (constructor only, workers not yet
+  /// started; bypasses queue capacity — recovered work was already
+  /// admitted once).
+  void recover_job(const JobSpec& spec, const std::string& checkpoint_file);
+  /// Outcome/retry/ECC tallies for one terminal report (mu_ held).
+  void apply_terminal_tallies_locked(const JobReport& rep);
 
   void worker_main();
   JobReport execute(QueuedJob& qj, JobState& st);
@@ -206,6 +265,18 @@ class JobServer {
   std::size_t reserved_bytes_ = 0;
   std::size_t peak_reserved_bytes_ = 0;
   ServerStats tallies_;  // terminal-outcome counters, guarded by mu_
+
+  // --- Durability (all guarded by mu_ except the journal itself, which
+  // has its own lock and is safe to append to without mu_ held). ---
+  std::unique_ptr<Journal> journal_;
+  /// Idempotency key → live job id; value 0 = the key is reserved by a
+  /// submission currently fsyncing its admit record outside mu_.
+  std::unordered_map<std::string, JobId> live_keys_;
+  /// Idempotency key → stored terminal report (the exactly-once memory,
+  /// seeded from journal replay and grown as jobs finish).
+  std::unordered_map<std::string, JobReport> durable_reports_;
+  std::uint64_t auto_key_counter_ = 0;
+  std::uint64_t key_nonce_ = 0;  // distinguishes auto keys across restarts
 };
 
 }  // namespace tangled::serve

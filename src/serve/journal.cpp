@@ -1,0 +1,549 @@
+#include "serve/journal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "arch/checkpoint.hpp"
+#include "pbp/serialize.hpp"
+
+namespace tangled::serve {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4A474E54u;  // "TNGJ" little-endian
+constexpr std::uint16_t kJournalVersion = 1;
+// u32 magic + u16 version + u8 type + u8 reserved + u32 length + u32 crc.
+constexpr std::size_t kRecordHeaderBytes = 16;
+
+constexpr std::uint8_t kAdmit = 1;
+constexpr std::uint8_t kCheckpoint = 2;
+constexpr std::uint8_t kReport = 3;
+
+void put_string(pbp::ByteWriter& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string get_string(pbp::ByteReader& r, std::size_t max_len = 4096) {
+  const std::uint32_t n = r.u32();
+  if (n > max_len || n > r.remaining()) {
+    throw std::runtime_error("journal: string length out of range");
+  }
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(r.u8()));
+  }
+  return s;
+}
+
+std::string segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "journal-%06llu.tgj",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+/// "journal-NNNNNN.tgj" → index; false for anything else.
+bool parse_segment_name(const std::string& name, std::uint64_t* index) {
+  if (name.size() < 13 || name.rfind("journal-", 0) != 0 ||
+      name.substr(name.size() - 4) != ".tgj") {
+    return false;
+  }
+  const std::string digits = name.substr(8, name.size() - 12);
+  if (digits.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *index = v;
+  return true;
+}
+
+bool is_checkpoint_image_name(const std::string& name) {
+  return name.rfind("ckpt-", 0) == 0 && name.size() > 10 &&
+         name.substr(name.size() - 5) == ".tgnc";
+}
+
+bool mkdir_p(const std::string& dir) {
+  std::string path;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    path = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (path.empty() || path == "/") continue;
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st{};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::vector<std::uint8_t> make_frame(std::uint8_t type,
+                                     const std::vector<std::uint8_t>& payload) {
+  pbp::ByteWriter w;
+  w.u32(kJournalMagic);
+  w.u16(kJournalVersion);
+  w.u8(type);
+  w.u8(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(pbp::crc32(payload));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Journal> Journal::open(const Config& config, Recovery* out,
+                                       std::string* err) {
+  *out = Recovery{};
+  if (config.dir.empty()) {
+    if (err != nullptr) *err = "journal: empty directory";
+    return nullptr;
+  }
+  if (!mkdir_p(config.dir)) {
+    if (err != nullptr) {
+      *err = "journal: cannot create directory " + config.dir + ": " +
+             std::strerror(errno);
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<Journal> j(new Journal);
+  j->dir_ = config.dir;
+  j->segment_bytes_ = std::max<std::size_t>(config.segment_bytes, 4096);
+
+  // Collect existing segments, ascending by index.
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::uint64_t max_index = 0;
+  for (const std::string& name : list_dir(config.dir)) {
+    std::uint64_t index = 0;
+    if (parse_segment_name(name, &index)) {
+      segments.emplace_back(index, config.dir + "/" + name);
+      max_index = std::max(max_index, index);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  // Replay.  Per segment, stop at the first torn or corrupt record: an
+  // append is one write + fsync, so only the final record of the final
+  // pre-crash segment can legitimately be torn — everything before it was
+  // made durable in order.
+  std::unordered_map<std::string, JobSpec> specs;
+  for (const auto& [index, path] : segments) {
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(path, &bytes)) {
+      if (err != nullptr) *err = "journal: cannot read " + path;
+      return nullptr;
+    }
+    std::size_t off = 0;
+    while (true) {
+      if (bytes.size() - off < kRecordHeaderBytes) {
+        if (bytes.size() - off > 0) ++out->torn_records;
+        break;
+      }
+      pbp::ByteReader h(bytes.data() + off, kRecordHeaderBytes);
+      const std::uint32_t magic = h.u32();
+      const std::uint16_t version = h.u16();
+      const std::uint8_t type = h.u8();
+      h.u8();  // reserved
+      const std::uint32_t length = h.u32();
+      const std::uint32_t crc = h.u32();
+      if (magic != kJournalMagic || version != kJournalVersion ||
+          length > bytes.size() - off - kRecordHeaderBytes) {
+        ++out->torn_records;
+        break;
+      }
+      const std::uint8_t* payload = bytes.data() + off + kRecordHeaderBytes;
+      if (pbp::crc32(payload, length) != crc) {
+        ++out->torn_records;
+        break;
+      }
+      bool ok = true;
+      try {
+        pbp::ByteReader r(payload, length);
+        switch (type) {
+          case kAdmit: {
+            JobSpec spec = JobSpec::deserialize(r);
+            const std::string& key = spec.idempotency_key;
+            auto it = j->live_.find(key);
+            if (it == j->live_.end()) {
+              j->live_order_.push_back(key);
+              it = j->live_.emplace(key, LiveJob{}).first;
+            }
+            // Keep any checkpoint ref already seen for the key: rotation can
+            // legally duplicate an admit after its checkpoint records.
+            it->second.admit_payload.assign(payload, payload + length);
+            specs[key] = std::move(spec);
+            break;
+          }
+          case kCheckpoint: {
+            const std::string key = get_string(r);
+            const std::uint64_t seq = r.u64();
+            const std::string file = get_string(r);
+            j->next_ckpt_seq_ = std::max(j->next_ckpt_seq_, seq + 1);
+            const auto it = j->live_.find(key);
+            if (it != j->live_.end() && seq >= it->second.ckpt_seq) {
+              it->second.ckpt_file = file;
+              it->second.ckpt_seq = seq;
+            }
+            break;
+          }
+          case kReport: {
+            JobReport rep = JobReport::deserialize(r);
+            const std::string key = rep.idem_key;
+            j->reports_[key].assign(payload, payload + length);
+            j->live_.erase(key);
+            out->completed[key] = std::move(rep);
+            break;
+          }
+          default:
+            // Unknown record type from a newer writer: skip, don't reject.
+            break;
+        }
+      } catch (const std::exception&) {
+        // CRC-clean yet undecodable: treat as the torn tail.
+        ok = false;
+      }
+      if (!ok) {
+        ++out->torn_records;
+        break;
+      }
+      off += kRecordHeaderBytes + length;
+    }
+    ++out->segments_replayed;
+    out->bytes_replayed += off;
+    j->bytes_ += off;
+  }
+
+  for (const std::string& key : j->live_order_) {
+    const auto it = j->live_.find(key);
+    if (it == j->live_.end()) continue;
+    RecoveredJob rj;
+    rj.spec = specs[key];
+    if (!it->second.ckpt_file.empty()) {
+      rj.checkpoint_file = config.dir + "/" + it->second.ckpt_file;
+      rj.checkpoint_seq = it->second.ckpt_seq;
+    }
+    out->incomplete.push_back(std::move(rj));
+  }
+
+  // Fold everything live into one fresh segment, then drop the old ones.
+  std::vector<std::string> old_segments;
+  old_segments.reserve(segments.size());
+  for (const auto& [index, path] : segments) old_segments.push_back(path);
+  j->seg_index_ = max_index + 1;
+  {
+    std::lock_guard<std::mutex> lock(j->mu_);
+    if (!j->compact_locked(old_segments)) {
+      if (err != nullptr) {
+        *err = "journal: cannot write segment " +
+               (config.dir + "/" + segment_name(j->seg_index_)) + ": " +
+               std::strerror(errno);
+      }
+      return nullptr;
+    }
+  }
+
+  // The env failpoint arms only after a successful open: it models the disk
+  // filling up / erroring at runtime, not an unusable journal at startup.
+  if (const char* env = std::getenv("TANGLED_JOURNAL_FAILPOINT")) {
+    const std::string spec(env);
+    const auto at = spec.find('@');
+    if (at != std::string::npos) {
+      const std::string kind = spec.substr(0, at);
+      const int fail_errno =
+          kind == "enospc" ? ENOSPC : (kind == "eio" ? EIO : 0);
+      const std::uint64_t threshold =
+          std::strtoull(spec.c_str() + at + 1, nullptr, 10);
+      if (fail_errno != 0) {
+        auto count = std::make_shared<std::uint64_t>(0);
+        j->failpoint_ = [count, fail_errno, threshold](const char*) -> int {
+          return (*count)++ >= threshold ? fail_errno : 0;
+        };
+      }
+    }
+  }
+  return j;
+}
+
+Journal::~Journal() {
+  if (seg_fd_ >= 0) ::close(seg_fd_);
+}
+
+int Journal::failpoint_locked(const char* op) {
+  return failpoint_ ? failpoint_(op) : 0;
+}
+
+bool Journal::append_record_locked(std::uint8_t type,
+                                   const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = make_frame(type, payload);
+  if (seg_size_ + frame.size() > segment_bytes_) {
+    // Rotation: fold live state into a fresh segment first.  The caller
+    // updated the in-memory mirrors before appending, so the compacted
+    // segment may already carry this record; replay is idempotent either
+    // way.
+    if (!compact_locked({seg_path_})) {
+      healthy_ = false;
+      return false;
+    }
+  }
+  int err = failpoint_locked("append");
+  if (err == 0 && !write_all(seg_fd_, frame.data(), frame.size())) {
+    err = errno;
+  }
+  if (err == 0) err = failpoint_locked("fsync");
+  if (err == 0 && ::fsync(seg_fd_) != 0) err = errno;
+  if (err != 0) {
+    // Degrade, never truncate: whatever reached the disk stays; replay
+    // tolerates a torn final record.
+    healthy_ = false;
+    return false;
+  }
+  seg_size_ += frame.size();
+  bytes_ += frame.size();
+  return true;
+}
+
+bool Journal::compact_locked(const std::vector<std::string>& old_segments) {
+  const std::uint64_t new_index = seg_fd_ >= 0 ? seg_index_ + 1 : seg_index_;
+  const std::string new_path = dir_ + "/" + segment_name(new_index);
+
+  std::vector<std::uint8_t> image;
+  for (const std::string& key : live_order_) {
+    const auto it = live_.find(key);
+    if (it == live_.end()) continue;
+    const auto admit = make_frame(kAdmit, it->second.admit_payload);
+    image.insert(image.end(), admit.begin(), admit.end());
+    if (!it->second.ckpt_file.empty()) {
+      pbp::ByteWriter w;
+      put_string(w, key);
+      w.u64(it->second.ckpt_seq);
+      put_string(w, it->second.ckpt_file);
+      const auto ref = make_frame(kCheckpoint, w.take());
+      image.insert(image.end(), ref.begin(), ref.end());
+    }
+  }
+  for (const auto& [key, payload] : reports_) {
+    const auto rep = make_frame(kReport, payload);
+    image.insert(image.end(), rep.begin(), rep.end());
+  }
+
+  int err = failpoint_locked("append");
+  const int fd = err != 0
+                     ? -1
+                     : ::open(new_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (err != 0) errno = err;
+    return false;
+  }
+  bool ok = write_all(fd, image.data(), image.size());
+  if (ok) {
+    err = failpoint_locked("fsync");
+    if (err != 0) {
+      errno = err;
+      ok = false;
+    }
+  }
+  ok = ok && ::fsync(fd) == 0 && ::close(fd) == 0 && fsync_dir(dir_);
+  if (!ok) {
+    const int saved = errno;
+    ::unlink(new_path.c_str());
+    errno = saved;
+    return false;
+  }
+
+  // The fresh segment is durable; only now retire the old generation.
+  if (seg_fd_ >= 0) ::close(seg_fd_);
+  for (const std::string& path : old_segments) {
+    if (path != new_path) ::unlink(path.c_str());
+  }
+  seg_fd_ = ::open(new_path.c_str(), O_WRONLY | O_APPEND);
+  if (seg_fd_ < 0) return false;
+  seg_index_ = new_index;
+  seg_path_ = new_path;
+  seg_size_ = image.size();
+  bytes_ += image.size();
+
+  // live_order_ accumulates completed keys between compactions; rebuild.
+  std::vector<std::string> order;
+  order.reserve(live_.size());
+  for (const std::string& key : live_order_) {
+    if (live_.count(key) != 0) order.push_back(key);
+  }
+  live_order_ = std::move(order);
+
+  remove_unreferenced_images_locked();
+  return true;
+}
+
+void Journal::remove_unreferenced_images_locked() {
+  for (const std::string& name : list_dir(dir_)) {
+    if (!is_checkpoint_image_name(name)) continue;
+    bool referenced = false;
+    for (const auto& [key, lj] : live_) {
+      if (lj.ckpt_file == name) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) ::unlink((dir_ + "/" + name).c_str());
+  }
+}
+
+bool Journal::append_admit(const JobSpec& spec) {
+  pbp::ByteWriter w;
+  spec.serialize(w);
+  const std::vector<std::uint8_t> payload = w.take();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = spec.idempotency_key;
+  auto it = live_.find(key);
+  if (it == live_.end()) {
+    live_order_.push_back(key);
+    it = live_.emplace(key, LiveJob{}).first;
+  }
+  it->second.admit_payload = payload;
+  if (!healthy_) return false;
+  return append_record_locked(kAdmit, payload);
+}
+
+bool Journal::append_report(const JobReport& rep) {
+  pbp::ByteWriter w;
+  rep.serialize(w);
+  const std::vector<std::uint8_t> payload = w.take();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = rep.idem_key;
+  std::string old_image;
+  const auto it = live_.find(key);
+  if (it != live_.end() && !it->second.ckpt_file.empty()) {
+    old_image = it->second.ckpt_file;
+  }
+  // Mirrors first (same-process dedup must survive a degraded disk) ...
+  reports_[key] = payload;
+  live_.erase(key);
+  // ... then durability.
+  const bool ok = healthy_ && append_record_locked(kReport, payload);
+  // The job is terminal in this process either way; its resume image is
+  // garbage now.  If the report record did not become durable, replay will
+  // fall back to a fresh re-run — correct, just slower.
+  if (!old_image.empty()) ::unlink((dir_ + "/" + old_image).c_str());
+  return ok;
+}
+
+bool Journal::append_checkpoint(const std::string& key,
+                                const std::vector<std::uint8_t>& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!healthy_) return false;
+  const int err = failpoint_locked("checkpoint");
+  if (err != 0) {
+    healthy_ = false;
+    return false;
+  }
+  const std::uint64_t seq = next_ckpt_seq_++;
+  const std::string file = "ckpt-" + std::to_string(seq) + ".tgnc";
+  const std::string full = dir_ + "/" + file;
+  try {
+    write_file_durable(full, image.data(), image.size());
+  } catch (const CheckpointError&) {
+    healthy_ = false;
+    ::unlink(full.c_str());
+    return false;
+  }
+  pbp::ByteWriter w;
+  put_string(w, key);
+  w.u64(seq);
+  put_string(w, file);
+  if (!append_record_locked(kCheckpoint, w.take())) {
+    ::unlink(full.c_str());
+    return false;
+  }
+  const auto it = live_.find(key);
+  if (it == live_.end()) {
+    // The job went terminal while the image was being written; nothing
+    // references it.
+    ::unlink(full.c_str());
+    return true;
+  }
+  if (!it->second.ckpt_file.empty() && it->second.ckpt_file != file) {
+    // Old image retired only after the new reference is durable: a crash
+    // in between leaves both, and recovery picks the newest seq.
+    ::unlink((dir_ + "/" + it->second.ckpt_file).c_str());
+  }
+  it->second.ckpt_file = file;
+  it->second.ckpt_seq = seq;
+  return true;
+}
+
+bool Journal::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return healthy_;
+}
+
+std::uint64_t Journal::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void Journal::set_failpoint(std::function<int(const char* op)> fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failpoint_ = std::move(fp);
+}
+
+}  // namespace tangled::serve

@@ -1,0 +1,156 @@
+// journal.hpp — the serve layer's crash-consistent write-ahead log.
+//
+// The JobServer admits work, runs it, and publishes exactly one terminal
+// report per job — but a SIGKILL between admission and report silently
+// loses everything in flight.  The journal closes that window: every
+// admission, every durable mid-run checkpoint, and every terminal report is
+// appended to an on-disk log BEFORE the corresponding in-memory state
+// becomes observable, so a restarted daemon can replay the log and land in
+// a state where
+//
+//   * every admitted-but-unreported job is re-run (resumed from its newest
+//     journaled checkpoint when one exists), and
+//   * every reported job's report is retained, so a resubmission bearing
+//     the same idempotency key is answered from the log instead of running
+//     again — exactly-once results across process death.
+//
+// On-disk format (checkpoint-v2 / wire framing discipline, little-endian):
+//
+//   record:  u32 magic "TNGJ"  u16 version  u8 type  u8 reserved
+//            u32 payload_length  u32 crc32(payload)  payload
+//
+//   types:   kAdmit      payload = serve::JobSpec::serialize
+//            kCheckpoint payload = key string, u64 seq, image-file string
+//            kReport     payload = serve::JobReport::serialize
+//
+// Records live in segment files `journal-NNNNNN.tgj`; checkpoint images are
+// separate `ckpt-<seq>.tgnc` files (checkpoint-v2 format, written with
+// write_file_durable's fsync-then-rename-then-dir-fsync discipline) so the
+// log itself stays small.  Appends are one write() of the whole frame
+// followed by fsync() — a crash can tear at most the final record, and
+// replay stops a segment at the first torn or corrupt frame (everything
+// before it is intact by construction).
+//
+// Rotation + compaction: when the live segment exceeds Config::segment_bytes
+// the journal writes a fresh segment containing only the *live* state
+// (unreported admits, their newest checkpoint refs, and retained reports),
+// fsyncs it, and only then deletes the old segments and any checkpoint
+// image no live record references.  A crash mid-compaction leaves the old
+// segments plus a possibly-torn new one; ascending replay of both is
+// idempotent, so no crash point loses or duplicates state.
+//
+// Failure policy — degrade, never lie: any filesystem failure (ENOSPC, EIO,
+// a failed fsync) marks the journal unhealthy.  Appends then return false
+// and touch only the in-memory mirrors; the JobServer responds by shedding
+// NEW admissions with a structured retry hint while jobs already admitted
+// run to completion with same-process dedup intact.  An unhealthy journal
+// never crashes the daemon and never truncates what it already made
+// durable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace tangled::serve {
+
+class Journal {
+ public:
+  struct Config {
+    std::string dir;
+    /// Live-segment rotation threshold (compaction trigger).
+    std::size_t segment_bytes = std::size_t{1} << 20;
+  };
+
+  /// One admitted-but-unreported job reconstructed from the log.
+  struct RecoveredJob {
+    JobSpec spec;
+    std::string checkpoint_file;  // full path; empty = restart from scratch
+    std::uint64_t checkpoint_seq = 0;
+  };
+
+  /// Everything replay learned, in admit order.
+  struct Recovery {
+    std::vector<RecoveredJob> incomplete;
+    /// Terminal reports by idempotency key — the exactly-once memory.
+    std::unordered_map<std::string, JobReport> completed;
+    std::uint64_t segments_replayed = 0;
+    std::uint64_t bytes_replayed = 0;
+    std::uint64_t torn_records = 0;  // tail records dropped (crash debris)
+  };
+
+  /// Open (creating the directory if needed), replay every segment into
+  /// `out`, then compact into a fresh segment.  Returns nullptr with `*err`
+  /// set when the directory cannot be created or the fresh segment cannot
+  /// be written — an unusable journal at startup is a configuration error,
+  /// not a degraded mode.
+  static std::unique_ptr<Journal> open(const Config& config, Recovery* out,
+                                       std::string* err);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append + fsync one record.  false = the record is NOT durable (the
+  /// journal is now unhealthy); in-memory dedup state is updated either
+  /// way.  append_admit must precede making the job visible to workers;
+  /// append_report must precede delivering the report to any client.
+  bool append_admit(const JobSpec& spec);
+  bool append_report(const JobReport& rep);
+
+  /// Durably write a checkpoint image for `key` and journal a reference to
+  /// it; the previous image for the key is deleted only after the new
+  /// reference is durable.  false = not durable (image discarded).
+  bool append_checkpoint(const std::string& key,
+                         const std::vector<std::uint8_t>& image);
+
+  bool healthy() const;
+  /// Cumulative journal bytes: replayed at open + appended since.
+  std::uint64_t bytes() const;
+  const std::string& dir() const { return dir_; }
+
+  /// Test fault injection: consulted before each durable operation with
+  /// "append", "fsync", or "checkpoint"; a nonzero return fails that
+  /// operation with the returned errno.  Also installable via the
+  /// TANGLED_JOURNAL_FAILPOINT environment variable ("enospc@N" / "eio@N":
+  /// every durable operation from the Nth onward fails), read at open().
+  void set_failpoint(std::function<int(const char* op)> fp);
+
+ private:
+  Journal() = default;
+
+  struct LiveJob {
+    std::vector<std::uint8_t> admit_payload;
+    std::string ckpt_file;  // basename within dir_; empty = none
+    std::uint64_t ckpt_seq = 0;
+  };
+
+  int failpoint_locked(const char* op);
+  bool append_record_locked(std::uint8_t type,
+                            const std::vector<std::uint8_t>& payload);
+  bool compact_locked(const std::vector<std::string>& old_segments);
+  void remove_unreferenced_images_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::size_t segment_bytes_ = std::size_t{1} << 20;
+  int seg_fd_ = -1;
+  std::uint64_t seg_index_ = 0;
+  std::string seg_path_;
+  std::size_t seg_size_ = 0;
+  bool healthy_ = true;
+  std::uint64_t bytes_ = 0;  // cumulative: replayed + appended
+  std::uint64_t next_ckpt_seq_ = 1;
+  std::unordered_map<std::string, LiveJob> live_;  // key → unreported job
+  std::vector<std::string> live_order_;            // keys in admit order
+  std::unordered_map<std::string, std::vector<std::uint8_t>> reports_;
+  std::function<int(const char*)> failpoint_;
+};
+
+}  // namespace tangled::serve

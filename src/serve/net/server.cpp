@@ -417,24 +417,13 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
     return;
   }
 
-  Job job;
-  try {
-    job = req.to_job();
-  } catch (const std::exception& e) {
-    {
-      std::lock_guard slk(stats_mu_);
-      ++stats_.submits_rejected;
-    }
-    send_error(c, WireError::kBadJob, e.what());
-    return;
-  }
-
   std::string reason;
   std::optional<JobServer::JobId> id;
   if (config_.submit_wait.count() > 0) {
-    id = jobs_.submit_for(std::move(job), config_.submit_wait, &reason);
+    id = jobs_.submit_spec_for(static_cast<const JobSpec&>(req),
+                               config_.submit_wait, &reason);
   } else {
-    id = jobs_.try_submit(std::move(job), &reason);
+    id = jobs_.try_submit_spec(static_cast<const JobSpec&>(req), &reason);
   }
   if (!id) {
     if (reason == "queue-full") {
@@ -445,6 +434,26 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
       send_reply(c, MsgType::kRetryAfter,
                  RetryAfter{config_.retry_after_ms,
                             RetryAfter::Reason::kQueueFull});
+    } else if (reason == "journal-unavailable" ||
+               reason == "duplicate-pending") {
+      // Durability shed: either the journal degraded (new admissions are
+      // refused until the operator restarts with a healthy disk) or the
+      // idempotency key is mid-admission on another connection (a retry
+      // dedups onto the real id).
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.retry_after_sent;
+      }
+      send_reply(c, MsgType::kRetryAfter,
+                 RetryAfter{config_.retry_after_ms,
+                            RetryAfter::Reason::kDurability});
+    } else if (reason.rfind("bad-job", 0) == 0) {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.submits_rejected;
+      }
+      send_error(c, WireError::kBadJob,
+                 reason.size() > 9 ? reason.substr(9) : reason);
     } else {
       {
         std::lock_guard slk(stats_mu_);

@@ -1,10 +1,6 @@
 #include "serve/net/wire.hpp"
 
-#include <bit>
 #include <stdexcept>
-
-#include "arch/fault.hpp"
-#include "asm/assembler.hpp"
 
 namespace tangled::serve::net {
 
@@ -26,14 +22,6 @@ std::string get_string(pbp::ByteReader& r, std::size_t max_len = 1 << 20) {
     s.push_back(static_cast<char>(r.u8()));
   }
   return s;
-}
-
-void put_double(pbp::ByteWriter& w, double v) {
-  w.u64(std::bit_cast<std::uint64_t>(v));
-}
-
-double get_double(pbp::ByteReader& r) {
-  return std::bit_cast<double>(r.u64());
 }
 
 /// Range-checked enum decode: a CRC-clean frame can still carry a value the
@@ -122,97 +110,8 @@ FrameCheck verify_payload(const FrameHeader& header,
 }
 
 // ---------------------------------------------------------------------------
-// SubmitRequest.
-
-void SubmitRequest::encode(pbp::ByteWriter& w) const {
-  put_string(w, name);
-  put_string(w, source);
-  w.u8(static_cast<std::uint8_t>(sim));
-  w.u8(static_cast<std::uint8_t>(backend));
-  w.u32(ways);
-  w.u64(max_instructions);
-  w.u64(max_cycles);
-  w.u64(checkpoint_every);
-  w.u8(static_cast<std::uint8_t>(ecc));
-  w.u64(ecc_epoch);
-  w.u64(scrub_every);
-  w.u32(qat_threads);
-  w.u32(deadline_ms);
-  w.u32(static_cast<std::uint32_t>(retry_max));
-  put_string(w, fault_spec);
-  w.u32(static_cast<std::uint32_t>(expect.size()));
-  for (const auto& [reg, value] : expect) {
-    w.u16(reg);
-    w.u16(value);
-  }
-}
-
-SubmitRequest SubmitRequest::decode(pbp::ByteReader& r) {
-  SubmitRequest s;
-  s.name = get_string(r, 4096);
-  s.source = get_string(r);
-  s.sim = checked_enum<SimKind>(
-      r.u8(), static_cast<std::uint8_t>(SimKind::kRtl), "sim kind");
-  s.backend = checked_enum<pbp::Backend>(
-      r.u8(), static_cast<std::uint8_t>(pbp::Backend::kCompressed), "backend");
-  s.ways = r.u32();
-  s.max_instructions = r.u64();
-  s.max_cycles = r.u64();
-  s.checkpoint_every = r.u64();
-  s.ecc = checked_enum<pbp::EccMode>(
-      r.u8(), static_cast<std::uint8_t>(pbp::EccMode::kCorrect), "ecc mode");
-  s.ecc_epoch = r.u64();
-  s.scrub_every = r.u64();
-  s.qat_threads = r.u32();
-  s.deadline_ms = r.u32();
-  s.retry_max = static_cast<std::int32_t>(r.u32());
-  s.fault_spec = get_string(r, 4096);
-  const std::uint32_t n = r.u32();
-  if (n > kNumRegs) {
-    throw std::runtime_error("wire: too many expect pairs");
-  }
-  s.expect.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint16_t reg = r.u16();
-    const std::uint16_t value = r.u16();
-    if (reg >= kNumRegs) {
-      throw std::runtime_error("wire: expect register out of range");
-    }
-    s.expect.emplace_back(reg, value);
-  }
-  return s;
-}
-
-Job SubmitRequest::to_job() const {
-  Job j;
-  j.name = name;
-  j.program = assemble(source);
-  j.sim = sim;
-  j.backend = backend;
-  j.ways = ways;
-  j.max_instructions = max_instructions;
-  j.max_cycles = max_cycles;
-  j.checkpoint_every = checkpoint_every;
-  j.ecc = ecc;
-  j.ecc_epoch = ecc_epoch;
-  j.scrub_every = scrub_every;
-  j.qat_threads = qat_threads;
-  j.deadline = std::chrono::milliseconds(deadline_ms);
-  j.retry_max = retry_max;
-  if (!fault_spec.empty()) j.fault_plan = FaultPlan::parse(fault_spec, ways);
-  if (!expect.empty()) {
-    j.validate = [pairs = expect](const CpuState& cpu) {
-      for (const auto& [reg, value] : pairs) {
-        if (cpu.regs[reg] != value) return false;
-      }
-      return true;
-    };
-  }
-  return j;
-}
-
-// ---------------------------------------------------------------------------
-// Small messages.
+// Small messages.  (SubmitRequest is serve::JobSpec — its codec lives in
+// serve/job.cpp, shared with the journal's admit records.)
 
 void SubmitOk::encode(pbp::ByteWriter& w) const { w.u64(id); }
 SubmitOk SubmitOk::decode(pbp::ByteReader& r) { return {r.u64()}; }
@@ -225,7 +124,7 @@ RetryAfter RetryAfter::decode(pbp::ByteReader& r) {
   RetryAfter m;
   m.delay_ms = r.u32();
   m.reason = checked_enum<Reason>(
-      r.u8(), static_cast<std::uint8_t>(Reason::kConnInFlight), "shed reason");
+      r.u8(), static_cast<std::uint8_t>(Reason::kDurability), "shed reason");
   return m;
 }
 
@@ -299,6 +198,12 @@ void StatsOk::encode(pbp::ByteWriter& w) const {
   w.u64(reports_streamed);
   w.u64(reports_orphaned);
   w.u8(draining ? 1 : 0);
+  // Snapshot v2: durability counters, appended last.
+  w.u64(jobs.jobs_recovered);
+  w.u64(jobs.journal_replays);
+  w.u64(jobs.journal_bytes);
+  w.u64(jobs.reports_deduped);
+  w.u64(jobs.journal_shed);
 }
 StatsOk StatsOk::decode(pbp::ByteReader& r) {
   StatsOk m;
@@ -329,59 +234,24 @@ StatsOk StatsOk::decode(pbp::ByteReader& r) {
   m.reports_streamed = r.u64();
   m.reports_orphaned = r.u64();
   m.draining = r.u8() != 0;
+  m.jobs.jobs_recovered = r.u64();
+  m.jobs.journal_replays = r.u64();
+  m.jobs.journal_bytes = r.u64();
+  m.jobs.reports_deduped = r.u64();
+  m.jobs.journal_shed = r.u64();
   return m;
 }
 
 // ---------------------------------------------------------------------------
-// JobReport.
+// JobReport — the codec lives in serve/job.cpp (shared with the journal's
+// terminal records); these wrappers keep the wire-facing names.
 
 void encode_report(const JobReport& rep, pbp::ByteWriter& w) {
-  w.u64(rep.id);
-  put_string(w, rep.name);
-  w.u8(static_cast<std::uint8_t>(rep.outcome));
-  w.u8(static_cast<std::uint8_t>(rep.trap.kind));
-  w.u16(rep.trap.pc);
-  put_string(w, rep.error);
-  w.u32(rep.attempts);
-  w.u64(rep.retries);
-  w.u8(rep.recovered ? 1 : 0);
-  w.u64(rep.instructions);
-  w.u64(rep.cycles);
-  w.u64(rep.qat_ops);
-  w.u64(rep.backend_migrations);
-  w.u64(rep.ecc_corrected);
-  w.u64(rep.ecc_detected);
-  w.u64(rep.reserved_bytes);
-  put_double(w, rep.queue_ms);
-  put_double(w, rep.exec_ms);
-  put_double(w, rep.backoff_ms);
+  rep.serialize(w);
 }
 
 JobReport decode_report(pbp::ByteReader& r) {
-  JobReport rep;
-  rep.id = r.u64();
-  rep.name = get_string(r, 4096);
-  rep.outcome = checked_enum<JobOutcome>(
-      r.u8(), static_cast<std::uint8_t>(JobOutcome::kError), "outcome");
-  rep.trap.kind = checked_enum<TrapKind>(
-      r.u8(), static_cast<std::uint8_t>(TrapKind::kDataCorruption),
-      "trap kind");
-  rep.trap.pc = r.u16();
-  rep.error = get_string(r, 4096);
-  rep.attempts = r.u32();
-  rep.retries = r.u64();
-  rep.recovered = r.u8() != 0;
-  rep.instructions = r.u64();
-  rep.cycles = r.u64();
-  rep.qat_ops = r.u64();
-  rep.backend_migrations = r.u64();
-  rep.ecc_corrected = r.u64();
-  rep.ecc_detected = r.u64();
-  rep.reserved_bytes = static_cast<std::size_t>(r.u64());
-  rep.queue_ms = get_double(r);
-  rep.exec_ms = get_double(r);
-  rep.backoff_ms = get_double(r);
-  return rep;
+  return JobReport::deserialize(r);
 }
 
 }  // namespace tangled::serve::net

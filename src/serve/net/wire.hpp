@@ -41,14 +41,17 @@
 namespace tangled::serve::net {
 
 constexpr std::uint32_t kWireMagic = 0x57474E54u;  // "TNGW" little-endian
-constexpr std::uint16_t kWireVersion = 1;
+/// v2 (ISSUE 8): SubmitRequest carries an idempotency key, JobReport
+/// carries key/deduped/resumed, StatsOk carries the durability counters,
+/// RetryAfter gained kDurability.
+constexpr std::uint16_t kWireVersion = 2;
 constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;  // 1 MiB
 
 /// Stats snapshots are versioned independently of the frame format so a
 /// field can be appended without a wire-version bump (old clients ignore
 /// trailing bytes they don't know; new clients check snapshot_version).
-constexpr std::uint16_t kStatsSnapshotVersion = 1;
+constexpr std::uint16_t kStatsSnapshotVersion = 2;
 
 enum class MsgType : std::uint8_t {
   // Requests (client → server).
@@ -131,36 +134,15 @@ FrameCheck verify_payload(const FrameHeader& header,
 // pbp::ByteReader; decode() throws std::runtime_error on truncated or
 // out-of-range fields (the transport maps that to a kMalformed error reply).
 
-struct SubmitRequest {
-  std::string name;
-  /// Assembly source text, assembled server-side (a program is its source;
-  /// shipping text keeps the wire format independent of the encoder).
-  std::string source;
-  SimKind sim = SimKind::kFunc;
-  pbp::Backend backend = pbp::Backend::kDense;
-  std::uint32_t ways = 8;
-  std::uint64_t max_instructions = 10'000'000;
-  std::uint64_t max_cycles = 0;
-  std::uint64_t checkpoint_every = 0;
-  pbp::EccMode ecc = pbp::EccMode::kOff;
-  std::uint64_t ecc_epoch = 1;
-  std::uint64_t scrub_every = 0;
-  std::uint32_t qat_threads = 1;
-  std::uint32_t deadline_ms = 0;  // 0 = server default
-  std::int32_t retry_max = -1;    // -1 = server default
-  /// FaultPlan::parse spec ("seed=41,events=6,..."); empty = no plan.
-  std::string fault_spec;
-  /// Clean-halt validation: every (reg, value) pair must match the final
-  /// host register file, else the run counts as silently corrupted and
-  /// recovers/quarantines exactly like a trap.  Empty accepts any halt.
-  std::vector<std::pair<std::uint16_t, std::uint16_t>> expect;
-
-  void encode(pbp::ByteWriter& w) const;
-  static SubmitRequest decode(pbp::ByteReader& r);
-  /// Materialize the serve-layer Job (assembles `source`, parses
-  /// `fault_spec`, builds the expect-validator).  Throws AsmError /
-  /// std::invalid_argument on bad input.
-  Job to_job() const;
+/// The submit payload IS a serve::JobSpec (serve/job.hpp owns the field
+/// set, the codec, and to_job(): one durability format shared by the wire
+/// and the journal's admit records — including the idempotency key that
+/// makes resubmission after a crash exactly-once).
+struct SubmitRequest : JobSpec {
+  void encode(pbp::ByteWriter& w) const { serialize(w); }
+  static SubmitRequest decode(pbp::ByteReader& r) {
+    return SubmitRequest{JobSpec::deserialize(r)};
+  }
 };
 
 struct SubmitOk {
@@ -175,6 +157,8 @@ struct RetryAfter {
   enum class Reason : std::uint8_t {
     kQueueFull = 0,       // JobServer bounded queue rejected (try_submit)
     kConnInFlight = 1,    // per-connection in-flight cap reached
+    kDurability = 2,      // journal degraded (shed) or the idempotency key
+                          // is mid-admission elsewhere — retry shortly
   };
   std::uint32_t delay_ms = 25;
   Reason reason = Reason::kQueueFull;
@@ -238,6 +222,10 @@ struct StatsOk {
   bool draining = false;
   void encode(pbp::ByteWriter& w) const;
   static StatsOk decode(pbp::ByteReader& r);
+  // Durability counters (snapshot v2, appended; mirrors ServerStats).
+  // Encoded from/into the `jobs` member — listed here as documentation of
+  // the on-wire order: jobs_recovered, journal_replays, journal_bytes,
+  // reports_deduped, journal_shed.
 };
 
 /// JobReport ↔ kReport payload.

@@ -3,8 +3,15 @@
 // CheckpointingRunner must recover a faulted run via rollback/restart.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "arch/checkpoint.hpp"
@@ -211,6 +218,151 @@ TEST(Checkpoint, CleanRunTakesNoRestores) {
   EXPECT_EQ(rs.rollbacks, 0u);
   EXPECT_EQ(rs.restarts, 0u);
   EXPECT_EQ(rs.instructions, 91u);
+}
+
+TEST(Checkpoint, RunnerSinkObservesEveryCleanSlice) {
+  // The CheckpointSink feeds the serve journal's durable resume images: it
+  // must see each in-memory checkpoint the runner takes (not the initial
+  // one) together with the lineage instruction count, in order.
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  CheckpointingRunner<FunctionalSim> runner(sim, 25);
+  std::vector<std::uint64_t> at;
+  std::vector<std::vector<std::uint8_t>> images;
+  runner.set_checkpoint_sink(
+      [&](const std::vector<std::uint8_t>& image, std::uint64_t completed) {
+        images.push_back(image);
+        at.push_back(completed);
+      });
+  const RecoveryStats rs =
+      runner.run(100'000, [](const FunctionalSim&) { return true; });
+  ASSERT_TRUE(rs.halted);
+  // The initial pre-run checkpoint is counted but never sunk (there is
+  // nothing to resume: attempt 1 starts from scratch anyway).
+  ASSERT_EQ(at.size() + 1, rs.checkpoints_taken);
+  ASSERT_GE(at.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(at.begin(), at.end()));
+  // Every sunk image is a complete, restorable machine.
+  FunctionalSim fresh(8, pbp::Backend::kDense);
+  load_checkpoint(images.back(), fresh.cpu(), fresh.memory(), fresh.qat());
+  fresh.run();
+  EXPECT_EQ(fresh.cpu().regs[0], 5u);
+  EXPECT_EQ(fresh.cpu().regs[1], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable on-disk images: the fsync/rename discipline under injected
+// filesystem failures (the ISSUE 8 satellite).  Each failure stage must
+// leave either the old complete image or the new complete image — never a
+// torn file, never a stale .tmp published.
+
+class DurableFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/tangled-ckpt-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr) << std::strerror(errno);
+    dir_ = tmpl;
+    path_ = dir_ + "/image.tgnc";
+  }
+  void TearDown() override {
+    set_checkpoint_io_failpoint(nullptr);
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  static bool exists(const std::string& p) {
+    return ::access(p.c_str(), F_OK) == 0;
+  }
+
+  /// Fail every stage named `stage` with EIO.
+  static void fail_stage(const char* stage) {
+    static std::string want;  // the hook outlives this frame
+    want = stage;
+    set_checkpoint_io_failpoint(
+        [](const char* s) { return want == s ? EIO : 0; });
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(DurableFile, CleanSaveRoundTripsAndLeavesNoTemp) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.run(40);
+  save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat());
+  EXPECT_TRUE(exists(path_));
+  EXPECT_FALSE(exists(path_ + ".tmp"));
+  FunctionalSim fresh(8, pbp::Backend::kDense);
+  load_checkpoint_file(path_, fresh.cpu(), fresh.memory(), fresh.qat());
+  fresh.run();
+  EXPECT_EQ(fresh.cpu().regs[0], 5u);
+  EXPECT_EQ(fresh.cpu().regs[1], 3u);
+}
+
+TEST_F(DurableFile, RenameFailureLeavesOldImageIntact) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble(figure10_source()));
+  sim.run(40);
+  save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat());
+  const std::uint16_t old_pc = sim.cpu().pc;
+
+  sim.run(20);  // newer state that must NOT survive the failed save
+  fail_stage("rename");
+  try {
+    save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat());
+    FAIL() << "rename failpoint did not throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kIoError);
+  }
+  set_checkpoint_io_failpoint(nullptr);
+  EXPECT_FALSE(exists(path_ + ".tmp")) << "failed save must clean its temp";
+
+  // The published name still carries the OLD complete image.
+  FunctionalSim fresh(8, pbp::Backend::kDense);
+  load_checkpoint_file(path_, fresh.cpu(), fresh.memory(), fresh.qat());
+  EXPECT_EQ(fresh.cpu().pc, old_pc);
+}
+
+TEST_F(DurableFile, TmpFsyncFailureNeverPublishes) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble("\tlex $1,1\n\tsys\n"));
+  fail_stage("fsync-tmp");
+  try {
+    save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat());
+    FAIL() << "fsync-tmp failpoint did not throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kIoError);
+  }
+  EXPECT_FALSE(exists(path_)) << "unflushed bytes must never be published";
+  EXPECT_FALSE(exists(path_ + ".tmp"));
+}
+
+TEST_F(DurableFile, WriteFailureNeverPublishes) {
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble("\tlex $1,1\n\tsys\n"));
+  fail_stage("write");
+  EXPECT_THROW(save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat()),
+               CheckpointError);
+  EXPECT_FALSE(exists(path_));
+  EXPECT_FALSE(exists(path_ + ".tmp"));
+}
+
+TEST_F(DurableFile, DirFsyncFailureReportsNotDurable) {
+  // After a rename the image IS in place, but an unflushed directory entry
+  // may vanish on power loss — the caller must see the failure and treat
+  // the save as not having happened.
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(assemble("\tlex $1,1\n\tsys\n"));
+  fail_stage("fsync-dir");
+  try {
+    save_checkpoint_file(path_, sim.cpu(), sim.memory(), sim.qat());
+    FAIL() << "fsync-dir failpoint did not throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::kIoError);
+  }
 }
 
 }  // namespace

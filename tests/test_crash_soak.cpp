@@ -1,0 +1,418 @@
+// test_crash_soak.cpp — SIGKILL/restart chaos for the durable job journal
+// (label `crash`; the ISSUE 8 acceptance harness).
+//
+// Each round boots a REAL tangled_served process (found via the
+// TANGLED_SERVED_BIN compile definition) on a shared journal directory,
+// submits a batch of idempotency-keyed jobs over the real wire protocol,
+// then SIGKILLs the daemon at a seeded random point — sometimes before any
+// job finished, sometimes mid-submission, sometimes after reports were
+// already streamed.  A fresh daemon is then started on the same directory
+// and every key is resubmitted.  The invariants, per round:
+//
+//   * no lost jobs — every key ends with a kCompleted report (the answer is
+//     validated server-side via the spec's expect list);
+//   * no duplicate results — at most one report per key per daemon life,
+//     and a key whose report was already streamed before the kill comes
+//     back deduped with the SAME instruction count (proof the job did not
+//     execute twice);
+//   * clean recovery — the restarted daemon replays the journal without
+//     error and exits 0 on SIGTERM.
+//
+// Round count comes from TANGLED_CRASH_ROUNDS (default 12; scripts/check.sh
+// crash runs 100 under ASan/UBSan, the tsan lane runs 8).
+//
+// The ENOSPC/EIO tests arm the daemon's TANGLED_JOURNAL_FAILPOINT env hook:
+// a full or erroring disk must degrade (shed new admissions with a
+// structured retry hint) — never crash, never corrupt the journal.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/client.hpp"
+
+namespace tangled::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+#ifndef TANGLED_SERVED_BIN
+#error "TANGLED_SERVED_BIN must point at the tangled_served executable"
+#endif
+
+unsigned rounds_from_env(unsigned fallback) {
+  const char* env = std::getenv("TANGLED_CRASH_ROUNDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long v = std::strtoul(env, nullptr, 10);
+  return v == 0 ? fallback : static_cast<unsigned>(v);
+}
+
+/// ~2M-instruction factoring run: long enough that a SIGKILL routinely
+/// lands mid-execution, with mid-run checkpoints for the journal to persist.
+const char* long_source() {
+  return R"(
+        had @0,3
+        had @1,5
+        and @2,@0,@1
+        li  $1,2000
+        lex $4,-1
+ outer: li  $2,200
+ inner: add $2,$4
+        jumpt $2,inner
+        add $1,$4
+        jumpt $1,outer
+        lex $1,5
+        lex $2,3
+        sys
+)";
+}
+
+/// The short fig10-style run (finishes in well under a millisecond).
+const char* short_source() {
+  return R"(
+        lex $1,5
+        lex $2,3
+        sys
+)";
+}
+
+SubmitRequest keyed_request(const std::string& key, bool long_job) {
+  SubmitRequest req;
+  req.name = key;
+  req.source = long_job ? long_source() : short_source();
+  req.sim = SimKind::kFunc;
+  req.ways = 8;
+  req.max_instructions = 8'000'000;
+  req.checkpoint_every = long_job ? 200'000 : 0;
+  req.expect = {{1, 5}, {2, 3}};
+  req.idempotency_key = key;
+  return req;
+}
+
+/// One tangled_served child process with captured stdout.
+class Daemon {
+ public:
+  /// Start on `journal_dir`; `failpoint` (may be empty) becomes the child's
+  /// TANGLED_JOURNAL_FAILPOINT.  Returns false (with a diagnosis in *err)
+  /// when the daemon does not reach its listening line.
+  bool start(const std::string& journal_dir, const std::string& failpoint,
+             std::string* err) {
+    // A Daemon is reused across lives; a stale listening line from the
+    // previous life must not satisfy (or mis-port) this one's parse.
+    output_.clear();
+    port_ = 0;
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      *err = std::string("pipe: ") + std::strerror(errno);
+      return false;
+    }
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      *err = std::string("fork: ") + std::strerror(errno);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      if (!failpoint.empty()) {
+        ::setenv("TANGLED_JOURNAL_FAILPOINT", failpoint.c_str(), 1);
+      } else {
+        ::unsetenv("TANGLED_JOURNAL_FAILPOINT");
+      }
+      const std::string journal = "--journal=" + journal_dir;
+      ::execl(TANGLED_SERVED_BIN, "tangled_served", "--port=0", "--threads=4",
+              journal.c_str(), "--checkpoint-every=200000",
+              "--retry-after-ms=1", "--submit-wait-ms=100", nullptr);
+      std::perror("execl");
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+    // The listening line is the daemon's first output; 10 s is generous.
+    if (!read_until_listening(err)) {
+      kill_now();
+      return false;
+    }
+    return true;
+  }
+
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+  const std::string& output() const { return output_; }
+
+  bool alive() {
+    return pid_ > 0 && ::waitpid(pid_, nullptr, WNOHANG) == 0 &&
+           ::kill(pid_, 0) == 0;
+  }
+
+  /// SIGKILL + reap: the crash.
+  void kill_now() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    close_pipe();
+  }
+
+  /// SIGTERM + reap; returns the daemon's exit code (-1 = signal death).
+  int terminate() {
+    if (pid_ <= 0) return -1;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    drain_pipe();
+    close_pipe();
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  ~Daemon() { kill_now(); }
+
+ private:
+  bool read_until_listening(std::string* err) {
+    const char* needle = "listening on 127.0.0.1:";
+    for (int spins = 0; spins < 1000; ++spins) {
+      const std::size_t at = output_.find(needle);
+      if (at != std::string::npos &&
+          output_.find('\n', at) != std::string::npos) {
+        port_ = static_cast<std::uint16_t>(
+            std::strtoul(output_.c_str() + at + std::strlen(needle), nullptr,
+                         10));
+        return port_ != 0;
+      }
+      pollfd p{out_fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, 10);
+      if (r > 0) {
+        char buf[512];
+        const ssize_t n = ::read(out_fd_, buf, sizeof buf);
+        if (n <= 0) break;  // daemon died before listening
+        output_.append(buf, static_cast<std::size_t>(n));
+      }
+    }
+    *err = "daemon never reported a port; output:\n" + output_;
+    return false;
+  }
+
+  void drain_pipe() {
+    if (out_fd_ < 0) return;
+    char buf[512];
+    while (true) {
+      pollfd p{out_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) break;
+      const ssize_t n = ::read(out_fd_, buf, sizeof buf);
+      if (n <= 0) break;
+      output_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close_pipe() {
+    if (out_fd_ >= 0) ::close(out_fd_);
+    out_fd_ = -1;
+  }
+
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string output_;
+};
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/tangled-crash-XXXXXX";
+    EXPECT_NE(::mkdtemp(tmpl), nullptr) << std::strerror(errno);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    // Best-effort cleanup; the directory holds only journal files.
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ServeClientConfig client_config(std::uint16_t port, std::uint64_t seed) {
+  ServeClientConfig c;
+  c.port = port;
+  c.seed = seed;
+  c.connect_attempts = 3;
+  c.io_timeout = 10'000ms;
+  return c;
+}
+
+TEST(CrashSoak, NoJobLostNoResultDuplicatedAcrossSigkill) {
+  const unsigned rounds = rounds_from_env(12);
+  constexpr unsigned kJobsPerRound = 6;
+  TempDir dir;
+  std::mt19937_64 rng(0xdeadbeefULL);
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Daemon daemon;
+    std::string err;
+    ASSERT_TRUE(daemon.start(dir.path(), "", &err)) << err;
+
+    // Life 1: submit the round's keyed batch, then crash at a random point.
+    std::map<std::string, JobReport> before_kill;
+    {
+      ServeClient client(client_config(daemon.port(), rng()));
+      ASSERT_TRUE(client.connect().ok);
+      for (unsigned i = 0; i < kJobsPerRound; ++i) {
+        const std::string key =
+            "r" + std::to_string(round) + "-j" + std::to_string(i);
+        // Mix long (kill lands mid-run) and short (often already done).
+        const SubmitRequest req = keyed_request(key, i % 2 == 0);
+        // A kill mid-submission is part of the chaos: ignore failures.
+        (void)client.submit(req);
+        if (i == rng() % kJobsPerRound) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(rng() % 25));
+        }
+      }
+      // Sometimes linger and collect a few reports before the kill, so the
+      // dedup path (report durable, then crash) is exercised too.
+      const auto linger = std::chrono::milliseconds(rng() % 40);
+      const auto until = std::chrono::steady_clock::now() + linger;
+      while (std::chrono::steady_clock::now() < until) {
+        const auto rep = client.next_report(5ms);
+        if (!rep) continue;
+        EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+        before_kill[rep->idem_key] = *rep;
+      }
+      daemon.kill_now();  // <-- the crash
+    }
+
+    // Life 2: restart on the same journal, resubmit every key, drain.
+    ASSERT_TRUE(daemon.start(dir.path(), "", &err)) << err;
+    ServeClient client(client_config(daemon.port(), rng()));
+    ASSERT_TRUE(client.connect().ok);
+    for (unsigned i = 0; i < kJobsPerRound; ++i) {
+      const std::string key =
+          "r" + std::to_string(round) + "-j" + std::to_string(i);
+      ClientResult res;
+      const auto id = client.submit(keyed_request(key, i % 2 == 0), &res);
+      ASSERT_TRUE(id.has_value())
+          << key << ": " << wire_error_name(res.code) << " " << res.message;
+    }
+    std::map<std::string, unsigned> seen;
+    std::map<std::string, JobReport> after;
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    while (after.size() < kJobsPerRound &&
+           std::chrono::steady_clock::now() < deadline) {
+      const auto rep = client.next_report(250ms);
+      if (!rep) continue;
+      ++seen[rep->idem_key];
+      after[rep->idem_key] = *rep;
+    }
+
+    for (unsigned i = 0; i < kJobsPerRound; ++i) {
+      const std::string key =
+          "r" + std::to_string(round) + "-j" + std::to_string(i);
+      SCOPED_TRACE(key);
+      ASSERT_EQ(after.count(key), 1u) << "lost job (no terminal report)";
+      const JobReport& rep = after.at(key);
+      EXPECT_EQ(seen[key], 1u) << "duplicate report in one daemon life";
+      // kCompleted implies the expect list matched: the answer is correct.
+      EXPECT_EQ(rep.outcome, JobOutcome::kCompleted) << rep.to_string();
+      EXPECT_EQ(rep.idem_key, key);
+      const auto first = before_kill.find(key);
+      if (first != before_kill.end()) {
+        // The result was already delivered once: the journal must re-serve
+        // THAT run's report, not execute the job a second time.
+        EXPECT_TRUE(rep.deduped) << rep.to_string();
+        EXPECT_EQ(rep.instructions, first->second.instructions);
+        EXPECT_EQ(rep.attempts, first->second.attempts);
+      }
+    }
+
+    EXPECT_EQ(daemon.terminate(), 0)
+        << "drain after recovery must exit cleanly:\n"
+        << daemon.output();
+  }
+}
+
+void disk_failure_round(const std::string& failpoint) {
+  TempDir dir;
+  Daemon daemon;
+  std::string err;
+  ASSERT_TRUE(daemon.start(dir.path(), failpoint, &err)) << err;
+  ServeClient client(client_config(daemon.port(), 0x5eedULL));
+  ASSERT_TRUE(client.connect().ok);
+
+  // Keep submitting until the failpoint bites: admissions must shed with a
+  // structured failure, never kill the daemon.
+  std::vector<std::string> acked;
+  bool shed = false;
+  for (unsigned i = 0; i < 20 && !shed; ++i) {
+    const std::string key = "disk-" + std::to_string(i);
+    ClientResult res;
+    const auto id = client.submit(keyed_request(key, false), &res);
+    if (id.has_value()) {
+      acked.push_back(key);
+    } else {
+      shed = true;
+      EXPECT_NE(res.code, WireError::kTransport)
+          << "shed must be a structured reply, not a dead socket: "
+          << res.message;
+    }
+  }
+  EXPECT_TRUE(shed) << "failpoint never triggered";
+  // Degraded, not dead: the daemon still answers.
+  EXPECT_TRUE(client.ping().ok);
+  EXPECT_TRUE(daemon.alive());
+  EXPECT_EQ(daemon.terminate(), 0) << daemon.output();
+
+  // The journal a degraded daemon leaves behind replays cleanly, and every
+  // acknowledged job is still exactly-once: resubmits complete (deduped or
+  // re-run), with one report each.
+  ASSERT_TRUE(daemon.start(dir.path(), "", &err)) << err;
+  ServeClient fresh(client_config(daemon.port(), 0xf00dULL));
+  ASSERT_TRUE(fresh.connect().ok);
+  for (const std::string& key : acked) {
+    ClientResult res;
+    const auto id = fresh.submit(keyed_request(key, false), &res);
+    ASSERT_TRUE(id.has_value()) << key << ": " << res.message;
+  }
+  std::map<std::string, unsigned> seen;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (seen.size() < acked.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto rep = fresh.next_report(250ms);
+    if (!rep) continue;
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    ++seen[rep->idem_key];
+  }
+  for (const std::string& key : acked) {
+    EXPECT_EQ(seen[key], 1u) << key;
+  }
+  EXPECT_EQ(daemon.terminate(), 0) << daemon.output();
+}
+
+TEST(CrashSoak, EnospcDegradesGracefully) { disk_failure_round("enospc@6"); }
+
+TEST(CrashSoak, EioDegradesGracefully) { disk_failure_round("eio@6"); }
+
+}  // namespace
+}  // namespace tangled::serve::net

@@ -1,0 +1,500 @@
+// test_journal.cpp — the serve layer's write-ahead journal (label `serve`):
+// record round-trips through replay, torn-tail and corrupt-record tolerance,
+// rotation + compaction bounds, failpoint degradation (degrade, never lie),
+// checkpoint-image lifecycle, and the JobServer recovery/dedup contract that
+// makes results exactly-once across process death.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/checkpoint.hpp"
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+#include "serve/journal.hpp"
+
+namespace tangled::serve {
+namespace {
+
+/// A throwaway journal directory, removed (files + dir) on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/tangled-journal-XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr) << std::strerror(errno);
+    path_ = d != nullptr ? d : "";
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    for (const std::string& f : files()) ::unlink((path_ + "/" + f).c_str());
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+  /// Plain-file names in the directory (no ordering guarantee).
+  std::vector<std::string> files(const char* suffix = "") const {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(path_.c_str());
+    if (d == nullptr) return out;
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      if (name.size() >= std::strlen(suffix) &&
+          name.compare(name.size() - std::strlen(suffix), std::string::npos,
+                       suffix) == 0) {
+        out.push_back(name);
+      }
+    }
+    ::closedir(d);
+    return out;
+  }
+
+ private:
+  std::string path_;
+};
+
+Journal::Config journal_config(const TempDir& dir,
+                               std::size_t segment_bytes = 1 << 20) {
+  Journal::Config c;
+  c.dir = dir.path();
+  c.segment_bytes = segment_bytes;
+  return c;
+}
+
+std::unique_ptr<Journal> open_or_die(const Journal::Config& c,
+                                     Journal::Recovery* rec) {
+  std::string err;
+  auto j = Journal::open(c, rec, &err);
+  EXPECT_NE(j, nullptr) << err;
+  return j;
+}
+
+JobSpec fig10_spec(const std::string& key, const std::string& name = "fig10") {
+  JobSpec s;
+  s.name = name;
+  s.source = figure10_source();
+  s.sim = SimKind::kFunc;
+  s.max_instructions = 20'000;
+  s.expect = {{0, 5}, {1, 3}};
+  s.idempotency_key = key;
+  return s;
+}
+
+JobReport fake_report(const std::string& key) {
+  JobReport r;
+  r.id = 7;
+  r.name = "done-" + key;
+  r.outcome = JobOutcome::kCompleted;
+  r.instructions = 123;
+  r.idem_key = key;
+  return r;
+}
+
+void append_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+/// Flip one byte `off_from_end` bytes before EOF.
+void corrupt_tail(const std::string& path, long off_from_end) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -off_from_end, SEEK_END), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -off_from_end, SEEK_END), 0);
+  std::fputc(c ^ 0x41, f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Journal-level tests.
+
+TEST(Journal, ReplayRoundTripsAdmitsCheckpointsAndReports) {
+  TempDir dir;
+  {
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    EXPECT_TRUE(rec.incomplete.empty());
+    EXPECT_TRUE(rec.completed.empty());
+    EXPECT_TRUE(j->append_admit(fig10_spec("a")));
+    EXPECT_TRUE(j->append_admit(fig10_spec("b", "second")));
+    const std::vector<std::uint8_t> image = {1, 2, 3};  // opaque to the log
+    EXPECT_TRUE(j->append_checkpoint("b", image));
+    EXPECT_TRUE(j->append_report(fake_report("a")));
+    EXPECT_TRUE(j->healthy());
+    EXPECT_GT(j->bytes(), 0u);
+  }
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].spec.idempotency_key, "b");
+  EXPECT_EQ(rec.incomplete[0].spec.name, "second");
+  EXPECT_EQ(rec.incomplete[0].checkpoint_seq, 1u);
+  EXPECT_FALSE(rec.incomplete[0].checkpoint_file.empty());
+  ASSERT_EQ(rec.completed.count("a"), 1u);
+  const JobReport& back = rec.completed.at("a");
+  EXPECT_EQ(back.outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(back.instructions, 123u);
+  EXPECT_EQ(back.name, "done-a");
+  EXPECT_GE(rec.segments_replayed, 1u);
+  EXPECT_GT(rec.bytes_replayed, 0u);
+  EXPECT_EQ(rec.torn_records, 0u);
+}
+
+TEST(Journal, TornTailIsDroppedNotFatal) {
+  TempDir dir;
+  {
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    EXPECT_TRUE(j->append_admit(fig10_spec("a")));
+    EXPECT_TRUE(j->append_admit(fig10_spec("b")));
+  }
+  const auto segs = dir.files(".tgj");
+  ASSERT_EQ(segs.size(), 1u);
+  // Crash debris: a record that began but never finished.
+  append_bytes(dir.path() + "/" + segs[0], {'T', 'N', 'G', 'J', 1, 0, 1});
+
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  EXPECT_EQ(rec.incomplete.size(), 2u);
+  EXPECT_EQ(rec.torn_records, 1u);
+}
+
+TEST(Journal, CorruptRecordStopsReplayAtLastGoodRecord) {
+  TempDir dir;
+  {
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    EXPECT_TRUE(j->append_admit(fig10_spec("a")));
+    EXPECT_TRUE(j->append_admit(fig10_spec("b")));
+  }
+  const auto segs = dir.files(".tgj");
+  ASSERT_EQ(segs.size(), 1u);
+  corrupt_tail(dir.path() + "/" + segs[0], 3);  // inside b's payload
+
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].spec.idempotency_key, "a");
+  EXPECT_EQ(rec.torn_records, 1u);
+}
+
+TEST(Journal, RotationCompactsToLiveStateAndBoundsSegments) {
+  TempDir dir;
+  {
+    Journal::Recovery rec;
+    // The minimum segment size forces many rotations (each fig10 admit
+    // record alone is a sizeable fraction of 4 KiB).
+    auto j = open_or_die(journal_config(dir, /*segment_bytes=*/4096), &rec);
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      ASSERT_TRUE(j->append_admit(fig10_spec(key)));
+      ASSERT_TRUE(j->append_report(fake_report(key)));
+    }
+    EXPECT_TRUE(j->healthy());
+    // Rotation never leaves more than the live segment plus at most the
+    // freshly-compacted predecessor's replacement: one file.
+    EXPECT_LE(dir.files(".tgj").size(), 2u);
+  }
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir, 4096), &rec);
+  EXPECT_TRUE(rec.incomplete.empty());
+  EXPECT_EQ(rec.completed.size(), 40u);  // exactly-once memory survives
+}
+
+TEST(Journal, CheckpointImagesReplaceTheirPredecessor) {
+  TempDir dir;
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  sim.run(40);
+  const auto image = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+
+  Journal::Recovery rec0;
+  auto j = open_or_die(journal_config(dir), &rec0);
+  ASSERT_TRUE(j->append_admit(fig10_spec("a")));
+  ASSERT_TRUE(j->append_checkpoint("a", image));
+  ASSERT_TRUE(j->append_checkpoint("a", image));
+  // The older image is deleted once the newer reference is durable.
+  EXPECT_EQ(dir.files(".tgnc").size(), 1u);
+  j.reset();
+
+  Journal::Recovery rec;
+  auto j2 = open_or_die(journal_config(dir), &rec);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].checkpoint_seq, 2u);
+  // The referenced image must exist and load cleanly.
+  FunctionalSim fresh(8, pbp::Backend::kDense);
+  EXPECT_NO_THROW(load_checkpoint_file(rec.incomplete[0].checkpoint_file,
+                                       fresh.cpu(), fresh.memory(),
+                                       fresh.qat()));
+}
+
+TEST(Journal, ReportDeletesTheJobsCheckpointImage) {
+  TempDir dir;
+  const Program p = assemble(figure10_source());
+  FunctionalSim sim(8, pbp::Backend::kDense);
+  sim.load(p);
+  sim.run(40);
+  const auto image = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  ASSERT_TRUE(j->append_admit(fig10_spec("a")));
+  ASSERT_TRUE(j->append_checkpoint("a", image));
+  EXPECT_EQ(dir.files(".tgnc").size(), 1u);
+  ASSERT_TRUE(j->append_report(fake_report("a")));
+  EXPECT_EQ(dir.files(".tgnc").size(), 0u);  // no longer resumable: cleaned
+}
+
+TEST(Journal, FailpointDegradesWithoutLying) {
+  TempDir dir;
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  ASSERT_TRUE(j->append_admit(fig10_spec("before")));
+
+  j->set_failpoint([](const char* op) {
+    return std::strcmp(op, "append") == 0 ? ENOSPC : 0;
+  });
+  EXPECT_FALSE(j->append_admit(fig10_spec("during")));  // NOT durable
+  EXPECT_FALSE(j->healthy());
+  // Unhealthy is sticky: clearing the failpoint does not resurrect the log
+  // (the segment may already be inconsistent with the mirrors).
+  j->set_failpoint(nullptr);
+  EXPECT_FALSE(j->append_report(fake_report("before")));
+  EXPECT_FALSE(j->healthy());
+  j.reset();
+
+  // What was durable before the failure replays; what was shed does not.
+  Journal::Recovery rec2;
+  auto j2 = open_or_die(journal_config(dir), &rec2);
+  ASSERT_EQ(rec2.incomplete.size(), 1u);
+  EXPECT_EQ(rec2.incomplete[0].spec.idempotency_key, "before");
+}
+
+TEST(Journal, FsyncFailpointAlsoDegrades) {
+  TempDir dir;
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  j->set_failpoint([](const char* op) {
+    return std::strcmp(op, "fsync") == 0 ? EIO : 0;
+  });
+  EXPECT_FALSE(j->append_admit(fig10_spec("x")));
+  EXPECT_FALSE(j->healthy());
+}
+
+TEST(Journal, DegradedCheckpointAppendIsNonFatal) {
+  TempDir dir;
+  Journal::Recovery rec;
+  auto j = open_or_die(journal_config(dir), &rec);
+  ASSERT_TRUE(j->append_admit(fig10_spec("a")));
+  j->set_failpoint([](const char* op) {
+    return std::strcmp(op, "checkpoint") == 0 ? ENOSPC : 0;
+  });
+  EXPECT_FALSE(j->append_checkpoint("a", {1, 2, 3}));
+  EXPECT_EQ(dir.files(".tgnc").size(), 0u);  // no orphaned image
+}
+
+// ---------------------------------------------------------------------------
+// JobServer integration: recovery, dedup, resume, shedding.
+
+JobServerConfig served_config(const TempDir& dir) {
+  JobServerConfig c;
+  c.threads = 2;
+  c.journal_dir = dir.path();
+  return c;
+}
+
+TEST(JournalServer, KeyedResultsAreExactlyOnceAcrossRestart) {
+  TempDir dir;
+  JobReport first;
+  {
+    JobServer server(served_config(dir));
+    const auto id = server.submit_spec(fig10_spec("job-1"));
+    ASSERT_TRUE(id.has_value());
+    // Same key while live: the SAME job, not a second run.
+    const auto dup = server.submit_spec(fig10_spec("job-1"));
+    ASSERT_TRUE(dup.has_value());
+    first = server.wait(*id);
+    EXPECT_EQ(first.outcome, JobOutcome::kCompleted) << first.to_string();
+    EXPECT_FALSE(first.deduped);
+    EXPECT_EQ(first.idem_key, "job-1");
+  }
+  JobServer server(served_config(dir));
+  EXPECT_GE(server.stats().journal_replays, 1u);
+  EXPECT_EQ(server.stats().jobs_recovered, 0u);  // it finished last life
+  std::string reason;
+  const auto id = server.submit_spec(fig10_spec("job-1"), &reason);
+  ASSERT_TRUE(id.has_value()) << reason;
+  const JobReport again = server.wait(*id);
+  EXPECT_EQ(again.outcome, JobOutcome::kCompleted) << again.to_string();
+  EXPECT_TRUE(again.deduped) << "resubmit must be served from the journal";
+  EXPECT_EQ(again.instructions, first.instructions);
+  EXPECT_EQ(server.stats().reports_deduped, 1u);
+}
+
+TEST(JournalServer, AdmittedButUnreportedJobRerunsAtStartup) {
+  TempDir dir;
+  {
+    // Simulate a crash after admission: the admit record is durable but no
+    // worker ever ran (journal written directly, no server).
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    ASSERT_TRUE(j->append_admit(fig10_spec("lost")));
+  }
+  JobServer server(served_config(dir));
+  EXPECT_EQ(server.stats().jobs_recovered, 1u);
+  const auto reports = server.wait_all();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].outcome, JobOutcome::kCompleted)
+      << reports[0].to_string();
+  EXPECT_EQ(reports[0].idem_key, "lost");
+  EXPECT_FALSE(reports[0].resumed);  // no checkpoint existed
+  // The re-run's report is itself durable: a resubmit dedups.
+  const auto id = server.submit_spec(fig10_spec("lost"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(server.wait(*id).deduped);
+}
+
+/// The ISSUE 8 satellite: a journaled job using intra-register sharding
+/// (`--qat-threads`, ways ≥ 20) and epoch-scheduled ECC verification
+/// resumes from its durable mid-run checkpoint after "process death" and
+/// still lands on the right answer.
+TEST(JournalServer, ResumeRestoresShardedEccJobMidRun) {
+  static constexpr char kLongLoop[] = R"(
+        had @0,3
+        had @1,5
+        and @2,@0,@1
+        li  $1,250
+        lex $4,-1
+ outer: li  $2,200
+ inner: add $2,$4
+        jumpt $2,inner
+        add $1,$4
+        jumpt $1,outer
+        lex $1,5
+        lex $2,3
+        sys
+)";
+  TempDir dir;
+  JobSpec spec;
+  spec.name = "sharded-resume";
+  spec.source = kLongLoop;
+  spec.sim = SimKind::kFunc;
+  spec.ways = 20;            // wide enough for sharding to engage
+  spec.qat_threads = 2;      // intra-register sharding
+  spec.ecc = pbp::EccMode::kCorrect;
+  spec.ecc_epoch = 25;       // epoch-scheduled verification
+  spec.max_instructions = 2'000'000;
+  spec.expect = {{1, 5}, {2, 3}};
+  spec.idempotency_key = "sharded";
+
+  std::uint64_t midpoint = 0;
+  std::uint64_t full_run = 0;
+  {
+    // Run the first "life" of the job to its midpoint and persist the
+    // journal state a crash would leave behind: admit + one checkpoint.
+    const Program p = assemble(spec.source);
+    FunctionalSim sim(spec.ways, pbp::Backend::kDense);
+    sim.load(p);
+    midpoint = sim.run(50'000).instructions;
+    ASSERT_FALSE(sim.cpu().halted);
+    const auto image = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+    full_run = midpoint + sim.run().instructions;  // reference: run to halt
+    ASSERT_TRUE(sim.cpu().halted);
+
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    ASSERT_TRUE(j->append_admit(spec));
+    ASSERT_TRUE(j->append_checkpoint(spec.idempotency_key, image));
+  }
+
+  JobServer server(served_config(dir));
+  EXPECT_EQ(server.stats().jobs_recovered, 1u);
+  const auto reports = server.wait_all();
+  ASSERT_EQ(reports.size(), 1u);
+  const JobReport& r = reports[0];
+  EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  EXPECT_TRUE(r.resumed) << "attempt 1 must restore the journaled image";
+  // A resumed run retires only the remainder of the program; a fresh run
+  // would have needed the whole thing again.
+  EXPECT_LE(r.instructions + midpoint, full_run + 1000) << r.to_string();
+  EXPECT_LT(r.instructions, full_run) << "resume saved no work";
+}
+
+TEST(JournalServer, CorruptResumeImageFallsBackToFreshStart) {
+  TempDir dir;
+  {
+    const Program p = assemble(figure10_source());
+    FunctionalSim sim(8, pbp::Backend::kDense);
+    sim.load(p);
+    sim.run(40);
+    const auto image = save_checkpoint(sim.cpu(), sim.memory(), sim.qat());
+    Journal::Recovery rec;
+    auto j = open_or_die(journal_config(dir), &rec);
+    ASSERT_TRUE(j->append_admit(fig10_spec("frayed")));
+    ASSERT_TRUE(j->append_checkpoint("frayed", image));
+  }
+  const auto images = dir.files(".tgnc");
+  ASSERT_EQ(images.size(), 1u);
+  corrupt_tail(dir.path() + "/" + images[0], 5);
+
+  JobServer server(served_config(dir));
+  const auto reports = server.wait_all();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].outcome, JobOutcome::kCompleted)
+      << reports[0].to_string();
+  EXPECT_FALSE(reports[0].resumed) << "corrupt image must not be trusted";
+}
+
+TEST(JournalServer, DegradedJournalShedsNewAdmissions) {
+  TempDir dir;
+  JobServer server(served_config(dir));
+  server.journal()->set_failpoint([](const char*) { return ENOSPC; });
+  std::string reason;
+  const auto id = server.try_submit_spec(fig10_spec("wont-fit"), &reason);
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(reason, "journal-unavailable");
+  EXPECT_EQ(server.stats().journal_shed, 1u);
+  // The daemon itself must keep serving: an unkeyed plain submission still
+  // runs (durability degraded, execution alive)... via the non-spec path.
+  Job j = fig10_spec("").to_job();
+  const auto plain = server.submit(std::move(j));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(server.wait(*plain).outcome, JobOutcome::kCompleted);
+}
+
+TEST(JournalServer, BadSpecRejectsWithoutAdmission) {
+  TempDir dir;
+  JobServer server(served_config(dir));
+  JobSpec bad = fig10_spec("nope");
+  bad.source = "not an opcode $$$\n";
+  std::string reason;
+  const auto id = server.submit_spec(bad, &reason);
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(reason.rfind("bad-job:", 0), 0u) << reason;
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(JournalServer, UnusableJournalDirectoryIsAStartupError) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.journal_dir = "/proc/definitely/not/writable";
+  EXPECT_THROW(JobServer server(c), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tangled::serve

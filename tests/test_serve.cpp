@@ -88,6 +88,31 @@ TEST(Serve, InjectedFaultsRecoverThroughCheckpointRunner) {
   EXPECT_GT(recovered, 0u) << "no fault plan forced a recovery";
 }
 
+TEST(Serve, RetryResumesShardedEccJobs) {
+  // The robustness features must compose: a wide job using intra-register
+  // sharding (ways ≥ 20, qat_threads > 1) with epoch-scheduled ECC
+  // verification still recovers through the checkpointing runner when
+  // architectural faults are injected, and still lands on the right answer.
+  JobServer server({.threads = 4});
+  unsigned recovered = 0;
+  std::vector<JobServer::JobId> ids;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Job j = fig10_job(SimKind::kFunc, pbp::Backend::kDense, /*ways=*/20);
+    j.name = "sharded-ecc-faulty-" + std::to_string(seed);
+    j.qat_threads = 2;
+    j.ecc = pbp::EccMode::kCorrect;
+    j.ecc_epoch = 25;
+    j.fault_plan = FaultPlan::random(seed, /*n_events=*/6, /*horizon=*/120, 20);
+    ids.push_back(*server.submit(std::move(j)));
+  }
+  for (const auto id : ids) {
+    const JobReport r = server.wait(id);
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+    if (r.recovered) ++recovered;
+  }
+  EXPECT_GT(recovered, 0u) << "no fault plan forced a recovery";
+}
+
 TEST(Serve, HopelessJobQuarantinesWithTrapKind) {
   // RE at ways beyond the dense escape hatch + a capped chunk pool: every
   // attempt deterministically dies with kResourceExhausted, so the job must
