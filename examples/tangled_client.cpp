@@ -50,9 +50,14 @@ void usage() {
       "                       the stored reports instead of re-executing\n"
       "  --checkpoint-every=N rollback-recovery checkpoint cadence (and, on\n"
       "                       a journaled server, the crash-resume cadence)\n"
+      "  --tenant=NAME        submit as this tenant (weighted-fair share +\n"
+      "                       per-tenant quotas on the server)\n"
+      "  --stall=SPEC         injected-stall seam for supervision drills,\n"
+      "                       e.g. at=500,ms=2000[,times=2]\n"
       "  --cancel=ID          cancel job ID instead of submitting\n"
       "  --progress=ID        query progress of job ID\n"
       "  --stats              print the server stats snapshot\n"
+      "  --stats-json         print the stats snapshot as one JSON line\n"
       "  --ping               liveness probe\n"
       "  --connect-timeout-ms=N  TCP connect budget (default 1000)\n"
       "  --io-timeout-ms=N    per-frame read/write budget (default 5000)\n"
@@ -115,7 +120,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;
   bool sim_fixed = false;
   bool have_port = false;
-  bool do_stats = false, do_ping = false, verbose = false;
+  bool do_stats = false, stats_json = false, do_ping = false, verbose = false;
   std::uint64_t cancel_id = 0, progress_id = 0;
   bool do_cancel = false, do_progress = false;
   std::string program_file;
@@ -176,6 +181,10 @@ int main(int argc, char** argv) {
       const auto n = cli::parse_u64(v);
       if (!n) bad_value(v, "--checkpoint-every");
       base.checkpoint_every = *n;
+    } else if (parse_flag(argv[i], "--tenant", &v)) {
+      base.tenant = v;
+    } else if (parse_flag(argv[i], "--stall", &v)) {
+      base.stall_spec = v;
     } else if (parse_flag(argv[i], "--cancel", &v)) {
       const auto id = cli::parse_u64(v);
       if (!id) bad_value(v, "--cancel");
@@ -200,6 +209,9 @@ int main(int argc, char** argv) {
       cc.seed = *s;
     } else if (std::string(argv[i]) == "--stats") {
       do_stats = true;
+    } else if (std::string(argv[i]) == "--stats-json") {
+      do_stats = true;
+      stats_json = true;
     } else if (std::string(argv[i]) == "--ping") {
       do_ping = true;
     } else if (std::string(argv[i]) == "--verbose") {
@@ -234,6 +246,52 @@ int main(int argc, char** argv) {
     if (const ClientResult r = client.stats(&s); !r.ok) {
       return transport_fail("stats", r);
     }
+    if (stats_json) {
+      std::printf(
+          "{\"snapshot_version\":%u,\"draining\":%s,\"health\":\"%s\","
+          "\"submitted\":%llu,\"completed\":%llu,\"quarantined\":%llu,"
+          "\"cancelled\":%llu,\"retries\":%llu,\"queue_depth\":%llu,"
+          "\"active_jobs\":%u,\"stalls_detected\":%llu,\"preemptions\":%llu,"
+          "\"stall_quarantines\":%llu,\"tenant_sheds\":%llu,"
+          "\"ecc_corrected\":%llu,\"ecc_detected\":%llu,"
+          "\"connections_accepted\":%llu,\"connections_active\":%llu,"
+          "\"frames_rx\":%llu,\"frames_tx\":%llu,\"protocol_errors\":%llu,"
+          "\"stall_closes\":%llu,\"retry_after_sent\":%llu,"
+          "\"reports_streamed\":%llu,\"reports_orphaned\":%llu,"
+          "\"jobs_recovered\":%llu,\"journal_replays\":%llu,"
+          "\"journal_bytes\":%llu,\"reports_deduped\":%llu,"
+          "\"journal_shed\":%llu}\n",
+          s.snapshot_version, s.draining ? "true" : "false",
+          health_state_name(static_cast<HealthState>(s.jobs.health)),
+          static_cast<unsigned long long>(s.jobs.submitted),
+          static_cast<unsigned long long>(s.jobs.completed),
+          static_cast<unsigned long long>(s.jobs.quarantined),
+          static_cast<unsigned long long>(s.jobs.cancelled),
+          static_cast<unsigned long long>(s.jobs.retries),
+          static_cast<unsigned long long>(s.jobs.queue_depth),
+          s.jobs.active_jobs,
+          static_cast<unsigned long long>(s.jobs.stalls_detected),
+          static_cast<unsigned long long>(s.jobs.preemptions),
+          static_cast<unsigned long long>(s.jobs.stall_quarantines),
+          static_cast<unsigned long long>(s.jobs.tenant_sheds),
+          static_cast<unsigned long long>(s.ecc_corrected),
+          static_cast<unsigned long long>(s.ecc_detected),
+          static_cast<unsigned long long>(s.connections_accepted),
+          static_cast<unsigned long long>(s.connections_active),
+          static_cast<unsigned long long>(s.frames_rx),
+          static_cast<unsigned long long>(s.frames_tx),
+          static_cast<unsigned long long>(s.protocol_errors),
+          static_cast<unsigned long long>(s.stall_closes),
+          static_cast<unsigned long long>(s.retry_after_sent),
+          static_cast<unsigned long long>(s.reports_streamed),
+          static_cast<unsigned long long>(s.reports_orphaned),
+          static_cast<unsigned long long>(s.jobs.jobs_recovered),
+          static_cast<unsigned long long>(s.jobs.journal_replays),
+          static_cast<unsigned long long>(s.jobs.journal_bytes),
+          static_cast<unsigned long long>(s.jobs.reports_deduped),
+          static_cast<unsigned long long>(s.jobs.journal_shed));
+      return 0;
+    }
     std::printf(
         "tangled_served stats (snapshot v%u)%s:\n"
         "  jobs: %llu submitted, %llu completed, %llu quarantined, "
@@ -243,7 +301,9 @@ int main(int argc, char** argv) {
         "%llu protocol errors, %llu stall closes, %llu retry-after\n"
         "  reports: %llu streamed, %llu orphaned\n"
         "  journal: %llu job(s) recovered, %llu replay(s), %llu bytes, "
-        "%llu deduped, %llu shed\n",
+        "%llu deduped, %llu shed\n"
+        "  governance: health=%s, %llu stall(s) detected, %llu preemption(s), "
+        "%llu stall quarantine(s), %llu tenant shed(s)\n",
         s.snapshot_version, s.draining ? " [draining]" : "",
         static_cast<unsigned long long>(s.jobs.submitted),
         static_cast<unsigned long long>(s.jobs.completed),
@@ -265,7 +325,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.jobs.journal_replays),
         static_cast<unsigned long long>(s.jobs.journal_bytes),
         static_cast<unsigned long long>(s.jobs.reports_deduped),
-        static_cast<unsigned long long>(s.jobs.journal_shed));
+        static_cast<unsigned long long>(s.jobs.journal_shed),
+        health_state_name(static_cast<HealthState>(s.jobs.health)),
+        static_cast<unsigned long long>(s.jobs.stalls_detected),
+        static_cast<unsigned long long>(s.jobs.preemptions),
+        static_cast<unsigned long long>(s.jobs.stall_quarantines),
+        static_cast<unsigned long long>(s.jobs.tenant_sheds));
     return 0;
   }
   if (do_cancel) {

@@ -47,7 +47,26 @@ void usage() {
       "  --checkpoint-every=N persist a resume image every N instructions\n"
       "                       for journaled jobs that don't set their own\n"
       "                       cadence; 0 = crash restarts from scratch\n"
-      "                       (default 0)\n");
+      "                       (default 0)\n"
+      "  --stall-timeout-ms=N preempt a job whose retired-instruction\n"
+      "                       heartbeat makes no progress for this long and\n"
+      "                       requeue it from its newest checkpoint;\n"
+      "                       0 = stall supervision off (default 0)\n"
+      "  --max-preemptions=N  quarantine a job after N stall preemptions\n"
+      "                       (default 3)\n"
+      "  --tenant-max-queued=N    per-tenant queued-job quota; over-quota\n"
+      "                       submits shed with RETRY_AFTER(tenant-quota);\n"
+      "                       0 = unlimited (default 0)\n"
+      "  --tenant-max-inflight=N  per-tenant running-job cap; 0 = unlimited\n"
+      "                       (default 0)\n"
+      "  --tenant-mem-mb=N    per-tenant memory budget in MiB; 0 = only the\n"
+      "                       global budget applies (default 0)\n"
+      "  --tenant-weight=T=W  weighted-fair share for tenant T (repeatable;\n"
+      "                       unlisted tenants weigh 1)\n"
+      "  --brownout-delay-ms=N   queue delay at which the server browns out\n"
+      "                       and scales its RETRY_AFTER hints (default 500)\n"
+      "  --stats-json         print the drain summary as one JSON line\n"
+      "                       instead of prose\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -75,6 +94,7 @@ unsigned parse_small(const std::string& v, const char* flag,
 
 int main(int argc, char** argv) {
   NetServerConfig config;
+  bool stats_json = false;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (parse_flag(argv[i], "--port", &v)) {
@@ -113,6 +133,29 @@ int main(int argc, char** argv) {
       const auto n = cli::parse_u64(v);
       if (!n) bad_value(v, "--checkpoint-every");
       config.jobs.checkpoint_every_default = *n;
+    } else if (parse_flag(argv[i], "--stall-timeout-ms", &v)) {
+      config.jobs.stall_timeout =
+          std::chrono::milliseconds(parse_small(v, "--stall-timeout-ms"));
+    } else if (parse_flag(argv[i], "--max-preemptions", &v)) {
+      config.jobs.max_preemptions = parse_small(v, "--max-preemptions");
+    } else if (parse_flag(argv[i], "--tenant-max-queued", &v)) {
+      config.jobs.tenant_max_queued = parse_small(v, "--tenant-max-queued");
+    } else if (parse_flag(argv[i], "--tenant-max-inflight", &v)) {
+      config.jobs.tenant_max_inflight = parse_small(v, "--tenant-max-inflight");
+    } else if (parse_flag(argv[i], "--tenant-mem-mb", &v)) {
+      config.jobs.tenant_memory_budget_bytes =
+          std::size_t{parse_small(v, "--tenant-mem-mb")} << 20;
+    } else if (parse_flag(argv[i], "--tenant-weight", &v)) {
+      const auto eq = v.rfind('=');
+      if (eq == std::string::npos || eq == 0) bad_value(v, "--tenant-weight");
+      const unsigned w = parse_small(v.substr(eq + 1), "--tenant-weight");
+      if (w == 0) bad_value(v, "--tenant-weight");
+      config.jobs.tenant_weights.emplace_back(v.substr(0, eq), w);
+    } else if (parse_flag(argv[i], "--brownout-delay-ms", &v)) {
+      config.jobs.brownout_queue_delay =
+          std::chrono::milliseconds(parse_small(v, "--brownout-delay-ms"));
+    } else if (std::string(argv[i]) == "--stats-json") {
+      stats_json = true;
     } else {
       usage();
       return 2;
@@ -153,6 +196,37 @@ int main(int argc, char** argv) {
 
   const ServerStats js = server.jobs().stats();
   const NetStats ns = server.net_stats();
+  if (stats_json) {
+    // One machine-readable line so a harness can scrape the drain summary
+    // without parsing prose.
+    std::printf(
+        "{\"submitted\":%llu,\"completed\":%llu,\"quarantined\":%llu,"
+        "\"cancelled\":%llu,\"retries\":%llu,\"stalls_detected\":%llu,"
+        "\"preemptions\":%llu,\"stall_quarantines\":%llu,"
+        "\"tenant_sheds\":%llu,\"health\":\"%s\",\"jobs_recovered\":%llu,"
+        "\"reports_deduped\":%llu,\"conns\":%llu,\"frames_rx\":%llu,"
+        "\"frames_tx\":%llu,\"protocol_errors\":%llu,"
+        "\"reports_streamed\":%llu,\"reports_orphaned\":%llu}\n",
+        static_cast<unsigned long long>(js.submitted),
+        static_cast<unsigned long long>(js.completed),
+        static_cast<unsigned long long>(js.quarantined),
+        static_cast<unsigned long long>(js.cancelled),
+        static_cast<unsigned long long>(js.retries),
+        static_cast<unsigned long long>(js.stalls_detected),
+        static_cast<unsigned long long>(js.preemptions),
+        static_cast<unsigned long long>(js.stall_quarantines),
+        static_cast<unsigned long long>(js.tenant_sheds),
+        health_state_name(static_cast<HealthState>(js.health)),
+        static_cast<unsigned long long>(js.jobs_recovered),
+        static_cast<unsigned long long>(js.reports_deduped),
+        static_cast<unsigned long long>(ns.connections_accepted),
+        static_cast<unsigned long long>(ns.frames_rx),
+        static_cast<unsigned long long>(ns.frames_tx),
+        static_cast<unsigned long long>(ns.protocol_errors),
+        static_cast<unsigned long long>(ns.reports_streamed),
+        static_cast<unsigned long long>(ns.reports_orphaned));
+    return 0;
+  }
   std::printf(
       "tangled_served: drained; %llu submitted, %llu completed, "
       "%llu quarantined, %llu cancelled\n",

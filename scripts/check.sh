@@ -45,15 +45,52 @@
 #                               trip) under the sanitizer config — the
 #                               "exactly-once across process death" gate for
 #                               src/serve/journal
+#   scripts/check.sh govern     overload-governance suite (ctest -L govern:
+#                               stall watchdog preempt/resume/quarantine,
+#                               weighted-fair tenant quotas, health machine,
+#                               brownout-scaled shed hints, and the
+#                               combined-chaos soak) under the sanitizer
+#                               config — the "no wedged worker, no starved
+#                               tenant, exactly-once under chaos" gate
 #   scripts/check.sh --all     both configs + the sanitized soak + the
 #                               integrity suite + the TSAN serve run + the
 #                               sanitized net lane + the crash lane + the
-#                               simd differential lane + the perf smoke
+#                               govern lane + the simd differential lane +
+#                               the perf smoke
 #
 # Build trees: build/ (normal, the repo default), build-asan/, build-tsan/.
+# Every invocation ends with a per-lane wall-clock summary table.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# --- Per-lane wall-clock bookkeeping: run_lane <name> <cmd...> times the
+# lane; print_lane_summary renders the table every invocation ends with. ---
+LANE_NAMES=()
+LANE_SECS=()
+
+run_lane() {
+  local name="$1"
+  shift
+  local t0="${SECONDS}"
+  "$@"
+  LANE_NAMES+=("${name}")
+  LANE_SECS+=("$((SECONDS - t0))")
+}
+
+print_lane_summary() {
+  [ "${#LANE_NAMES[@]}" -eq 0 ] && return 0
+  echo
+  echo "== lane wall-clock summary =="
+  printf '%-12s %10s\n' "lane" "seconds"
+  printf '%-12s %10s\n' "----" "-------"
+  local i total=0
+  for i in "${!LANE_NAMES[@]}"; do
+    printf '%-12s %10s\n' "${LANE_NAMES[$i]}" "${LANE_SECS[$i]}"
+    total=$((total + LANE_SECS[i]))
+  done
+  printf '%-12s %10s\n' "total" "${total}"
+}
 
 run_config() {
   local dir="$1"
@@ -92,7 +129,8 @@ run_tsan() {
   echo "== building TSAN serve harnesses =="
   cmake --build build-tsan -j "$(nproc)" \
     --target tangled_serve_tests tangled_serve_stress tangled_net_tests \
-    tangled_crash_soak tangled_batch tangled_served tangled_client
+    tangled_supervise_tests tangled_crash_soak tangled_batch \
+    tangled_served tangled_client
   echo "== serve + net + crash concurrency tests (ctest -L 'serve|net|crash', ThreadSanitizer) =="
   # The chaos soak is excluded here: it runs sanitized in `check.sh net`,
   # and under TSAN's slowdown its wall-clock would dominate the lane.  The
@@ -154,51 +192,66 @@ run_perf() {
   ctest --test-dir build -L perf --output-on-failure
 }
 
+run_govern() {
+  echo "== configuring build-asan (-DTANGLED_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DTANGLED_SANITIZE=ON >/dev/null
+  echo "== building sanitized governance harnesses =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target tangled_supervise_tests tangled_govern_soak
+  echo "== governance + supervision suite (ctest -L govern, sanitized) =="
+  ctest --test-dir build-asan -L govern --output-on-failure -j "$(nproc)"
+}
+
 mode="${1:-}"
 
 case "${mode}" in
   --asan)
-    run_config build-asan -DTANGLED_SANITIZE=ON
+    run_lane asan run_config build-asan -DTANGLED_SANITIZE=ON
     ;;
   soak)
-    run_soak
+    run_lane soak run_soak
     ;;
   tsan)
-    run_tsan
+    run_lane tsan run_tsan
     ;;
   integrity)
-    run_integrity
+    run_lane integrity run_integrity
     ;;
   net)
-    run_net
+    run_lane net run_net
     ;;
   crash)
-    run_crash
+    run_lane crash run_crash
+    ;;
+  govern)
+    run_lane govern run_govern
     ;;
   perf)
-    run_perf
+    run_lane perf run_perf
     ;;
   simd)
-    run_simd
+    run_lane simd run_simd
     ;;
   --all)
-    run_config build
-    run_config build-asan -DTANGLED_SANITIZE=ON
-    run_soak
-    run_integrity
-    run_tsan
-    run_net
-    run_crash
-    run_simd
-    run_perf
+    run_lane build run_config build
+    run_lane asan run_config build-asan -DTANGLED_SANITIZE=ON
+    run_lane soak run_soak
+    run_lane integrity run_integrity
+    run_lane tsan run_tsan
+    run_lane net run_net
+    run_lane crash run_crash
+    run_lane govern run_govern
+    run_lane simd run_simd
+    run_lane perf run_perf
     ;;
   "")
-    run_config build
+    run_lane build run_config build
     ;;
   *)
-    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|net|crash|perf|simd]" >&2
+    echo "usage: scripts/check.sh [--asan|--all|soak|tsan|integrity|net|crash|govern|perf|simd]" >&2
     exit 2
     ;;
 esac
 
+print_lane_summary
 echo "== all checks passed =="

@@ -70,6 +70,15 @@ class CheckpointingRunner {
       std::function<void(const std::vector<std::uint8_t>&, std::uint64_t)>;
   void set_checkpoint_sink(CheckpointSink sink) { sink_ = std::move(sink); }
 
+  /// Observer for slice progress: called after every sim.run() slice with the
+  /// number of instructions that slice retired (re-execution included, so a
+  /// recovering run still reads as alive).  The serve supervisor uses this as
+  /// a liveness heartbeat for stall detection.  MUST NOT throw.  Granularity
+  /// is min(checkpoint_every, slice_cap); with both 0 (restart-only RTL runs)
+  /// the whole run is one slice and the observer fires once at the end.
+  using SliceObserver = std::function<void(std::uint64_t)>;
+  void set_slice_observer(SliceObserver obs) { observer_ = std::move(obs); }
+
   /// Run to completion (at most max_instructions along any one lineage).
   /// `validate` is called on a clean halt; returning false marks the run as
   /// silently corrupted and triggers recovery exactly like a trap.
@@ -113,6 +122,7 @@ class CheckpointingRunner {
       rs.instructions += s.instructions;
       rs.cycles += s.cycles;
       completed += s.instructions;
+      if (observer_) observer_(s.instructions);
 
       if (s.halted && !s.trap && validate(sim_)) {
         rs.halted = true;
@@ -181,6 +191,7 @@ class CheckpointingRunner {
   std::uint64_t every_;
   std::uint64_t slice_cap_;
   CheckpointSink sink_;
+  SliceObserver observer_;
 };
 
 }  // namespace tangled

@@ -77,6 +77,49 @@ SimKind parse_sim_kind(const std::string& name) {
   throw std::invalid_argument("unknown simulator kind '" + name + "'");
 }
 
+StallSpec parse_stall_spec(const std::string& spec) {
+  StallSpec out;
+  bool have_at = false;
+  bool have_ms = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(pos, comma - pos);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("stall spec: expected key=value, got '" +
+                                  field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t n = 0;
+    try {
+      std::size_t used = 0;
+      n = std::stoull(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("stall spec: bad value for '" + key + "'");
+    }
+    if (key == "at") {
+      out.at = n;
+      have_at = true;
+    } else if (key == "ms") {
+      out.ms = static_cast<std::uint32_t>(n);
+      have_ms = true;
+    } else if (key == "times") {
+      out.times = static_cast<std::uint32_t>(n);
+    } else {
+      throw std::invalid_argument("stall spec: unknown key '" + key + "'");
+    }
+    pos = comma + 1;
+  }
+  if (!have_at || !have_ms) {
+    throw std::invalid_argument("stall spec: need at=N,ms=M");
+  }
+  return out;
+}
+
 const char* job_outcome_name(JobOutcome o) {
   switch (o) {
     case JobOutcome::kCompleted:
@@ -121,6 +164,8 @@ void JobSpec::serialize(pbp::ByteWriter& w) const {
     w.u16(value);
   }
   put_string(w, idempotency_key);
+  put_string(w, tenant);
+  put_string(w, stall_spec);
 }
 
 JobSpec JobSpec::deserialize(pbp::ByteReader& r) {
@@ -157,6 +202,13 @@ JobSpec JobSpec::deserialize(pbp::ByteReader& r) {
     s.expect.emplace_back(reg, value);
   }
   s.idempotency_key = get_string(r, 4096);
+  // Governance fields (wire v3).  Absent on v2-era journal admit records,
+  // whose payload ends exactly at the key — default them rather than reject
+  // an old journal.  A hostile mid-string truncation still throws above.
+  if (r.remaining() > 0) {
+    s.tenant = get_string(r, 256);
+    s.stall_spec = get_string(r, 256);
+  }
   return s;
 }
 
@@ -186,6 +238,9 @@ Job JobSpec::to_job() const {
     };
   }
   j.idempotency_key = idempotency_key;
+  j.tenant = tenant;
+  if (!stall_spec.empty()) parse_stall_spec(stall_spec);  // reject bad specs
+  j.stall_spec = stall_spec;
   return j;
 }
 
@@ -217,6 +272,8 @@ void JobReport::serialize(pbp::ByteWriter& w) const {
   put_string(w, idem_key);
   w.u8(deduped ? 1 : 0);
   w.u8(resumed ? 1 : 0);
+  put_string(w, tenant);
+  w.u32(preemptions);
 }
 
 JobReport JobReport::deserialize(pbp::ByteReader& r) {
@@ -246,6 +303,11 @@ JobReport JobReport::deserialize(pbp::ByteReader& r) {
   rep.idem_key = get_string(r, 4096);
   rep.deduped = r.u8() != 0;
   rep.resumed = r.u8() != 0;
+  // Governance fields (wire v3); absent on v2-era journal report records.
+  if (r.remaining() > 0) {
+    rep.tenant = get_string(r, 256);
+    rep.preemptions = r.u32();
+  }
   return rep;
 }
 
@@ -265,6 +327,10 @@ std::string JobReport::to_string() const {
   if (recovered) s += " (recovered)";
   if (resumed) s += " (resumed)";
   if (deduped) s += " (deduped)";
+  if (!tenant.empty()) s += ", tenant " + tenant;
+  if (preemptions != 0) {
+    s += ", " + std::to_string(preemptions) + " preemption(s)";
+  }
   s += ", " + std::to_string(instructions) + " instr";
   s += ", " + std::to_string(qat_ops) + " qat ops";
   if (backend_migrations != 0) {

@@ -94,6 +94,20 @@ struct Job {
   /// corrupt image silently falls back to a fresh start — resumption is an
   /// optimization, correctness comes from re-execution.
   std::string resume_checkpoint;
+  /// In-memory resume image (set by the supervisor when it preempts and
+  /// requeues a stalled job; takes precedence over resume_checkpoint).  A
+  /// corrupt image falls back to a fresh start, like resume_checkpoint.
+  std::vector<std::uint8_t> resume_image;
+
+  /// Tenant (accounting principal) the job is admitted under.  Empty maps
+  /// to the shared "default" tenant.  Tenants get weighted-fair dequeue and
+  /// per-tenant in-flight / queue / memory quotas (job_server.hpp).
+  std::string tenant;
+  /// Test seam: "at=N,ms=M" makes the job's slice observer sleep M ms once
+  /// the job has retired >= N instructions — a cooperative, interruptible
+  /// stall for exercising the supervisor.  Empty = off.  Parse errors are
+  /// a submit-time configuration error.
+  std::string stall_spec;
 };
 
 /// The serializable description of a job — everything a Job carries except
@@ -126,6 +140,10 @@ struct JobSpec {
   std::vector<std::pair<std::uint16_t, std::uint16_t>> expect;
   /// Exactly-once key (see Job::idempotency_key).
   std::string idempotency_key;
+  /// Tenant the job is admitted under (see Job::tenant).  Empty = default.
+  std::string tenant;
+  /// Injected-stall test seam (see Job::stall_spec).
+  std::string stall_spec;
 
   void serialize(pbp::ByteWriter& w) const;
   /// Throws std::runtime_error on truncated or out-of-range fields.
@@ -135,6 +153,19 @@ struct JobSpec {
   /// std::invalid_argument on bad input.
   Job to_job() const;
 };
+
+/// Parsed Job::stall_spec: once the job has retired `at` instructions, its
+/// slice observer sleeps `ms` milliseconds (interruptibly — cancellation and
+/// supervisor preemption both cut it short), on the first `times` runs of
+/// the job (preemption-requeues included).
+struct StallSpec {
+  std::uint64_t at = 0;
+  std::uint32_t ms = 0;
+  std::uint32_t times = 1;
+};
+
+/// Parse "at=N,ms=M[,times=K]"; throws std::invalid_argument otherwise.
+StallSpec parse_stall_spec(const std::string& spec);
 
 enum class JobOutcome : std::uint8_t {
   kCompleted,       // clean halt (validate passed); may have recovered
@@ -174,6 +205,9 @@ struct JobReport {
   std::string idem_key;  // exactly-once key the job was admitted under
   bool deduped = false;  // re-delivery of a stored report, not a fresh run
   bool resumed = false;  // attempt 1 restored a journaled mid-run checkpoint
+
+  std::string tenant;            // tenant the job was admitted under
+  std::uint32_t preemptions = 0; // supervisor stall-preemptions survived
 
   /// Journal/wire codec (the report is both the kReport payload and the
   /// journal's terminal record).

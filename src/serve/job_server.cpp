@@ -25,16 +25,45 @@ namespace {
 /// difference through the migration guard.
 constexpr std::size_t kReReserveBytes = std::size_t{4} << 20;  // 4 MiB
 
+/// Stride-scheduler numerator: pass advances by kStrideScale/weight per
+/// dequeue, so a weight-w tenant is picked w times as often as a weight-1
+/// tenant while both are backlogged.
+constexpr std::uint64_t kStrideScale = std::uint64_t{1} << 20;
+
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 }  // namespace
 
+const char* health_state_name(HealthState h) {
+  switch (h) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kBrowningOut:
+      return "browning-out";
+    case HealthState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
 struct JobServer::JobState {
   std::atomic<bool> cancel{false};
+  /// Supervisor stall-preemption request: the runner's stop predicate and
+  /// the injected-stall sleep both poll it; the worker clears it when the
+  /// job is requeued or quarantined.
+  std::atomic<bool> preempt{false};
+  /// Liveness heartbeat: bumped by the runner's slice observer with every
+  /// slice's retired-instruction count (plus a synthetic tick at each
+  /// attempt start, so the supervisor's timer restarts with the attempt).
+  /// The supervisor calls a running job stalled when this stops changing
+  /// for stall_timeout.
+  std::atomic<std::uint64_t> heartbeat{0};
   std::atomic<JobPhase> phase{JobPhase::kQueued};
   std::atomic<unsigned> attempts{0};
+  /// Tenant the job is charged to (immutable after submit).
+  std::string tenant;
   /// Extra budget bytes reserved by RE→dense migrations in the CURRENT
   /// attempt (guarded by the server mutex; released when the attempt's sim
   /// is destroyed).
@@ -56,6 +85,17 @@ struct JobServer::QueuedJob {
   Clock::time_point deadline;  // Clock::time_point::max() = none
   Clock::time_point started;   // filled at dequeue
   std::shared_ptr<JobState> state;
+  /// Partial report carried across stall-preemptions: counters accumulate
+  /// over every run segment; queue_ms/exec_ms sum the per-segment times.
+  JobReport carry;
+  /// Stall-preemptions survived so far (the next stall past
+  /// config.max_preemptions quarantines instead of requeueing).
+  unsigned preempt_count = 0;
+  /// Injected-stall runs consumed (Job::stall_spec `times`).
+  std::uint32_t stalls_fired = 0;
+  /// Set by execute() when the run was preempted and should requeue rather
+  /// than publish.
+  bool requeue = false;
 };
 
 JobServer::JobServer(JobServerConfig config) : config_(config) {
@@ -85,6 +125,7 @@ JobServer::JobServer(JobServerConfig config) : config_(config) {
   for (unsigned i = 0; i < config_.threads; ++i) {
     workers_.emplace_back([this] { worker_main(); });
   }
+  supervisor_ = std::thread([this] { supervisor_main(); });
 }
 
 JobServer::~JobServer() { shutdown(true); }
@@ -101,8 +142,15 @@ std::optional<JobServer::JobId> JobServer::submit_for(
 std::optional<JobServer::JobId> JobServer::submit_until(
     Job job, Clock::time_point deadline, std::string* reject_reason) {
   std::unique_lock lk(mu_);
+  // A flooding tenant is shed immediately, not queued behind global
+  // backpressure — its backlog is its own, by design.
+  if (tenant_over_quota_locked(job.tenant)) {
+    ++tallies_.tenant_sheds;
+    if (reject_reason != nullptr) *reject_reason = "tenant-over-quota";
+    return std::nullopt;
+  }
   const auto admissible = [&] {
-    return !accepting_ || queue_.size() < config_.queue_capacity;
+    return !accepting_ || queued_total_ < config_.queue_capacity;
   };
   if (deadline == Clock::time_point::max()) {
     space_cv_.wait(lk, admissible);
@@ -115,6 +163,11 @@ std::optional<JobServer::JobId> JobServer::submit_until(
     if (reject_reason != nullptr) *reject_reason = "shutting-down";
     return std::nullopt;
   }
+  if (tenant_over_quota_locked(job.tenant)) {  // refilled while waiting
+    ++tallies_.tenant_sheds;
+    if (reject_reason != nullptr) *reject_reason = "tenant-over-quota";
+    return std::nullopt;
+  }
 
   auto qj = std::make_unique<QueuedJob>();
   qj->id = next_id_++;
@@ -125,11 +178,12 @@ std::optional<JobServer::JobId> JobServer::submit_until(
   qj->deadline = wall.count() > 0 ? qj->submitted + wall
                                   : Clock::time_point::max();
   qj->state = std::make_shared<JobState>();
+  qj->state->tenant = qj->job.tenant;
 
   const JobId id = qj->id;
   states_.emplace(id, qj->state);
   submission_order_.push_back(id);
-  queue_.push_back(std::move(qj));
+  enqueue_locked(std::move(qj));
   ++tallies_.submitted;
   queue_cv_.notify_one();
   return id;
@@ -143,7 +197,12 @@ std::optional<JobServer::JobId> JobServer::try_submit(
       if (reject_reason != nullptr) *reject_reason = "shutting-down";
       return std::nullopt;
     }
-    if (queue_.size() >= config_.queue_capacity) {
+    if (tenant_over_quota_locked(job.tenant)) {
+      ++tallies_.tenant_sheds;
+      if (reject_reason != nullptr) *reject_reason = "tenant-over-quota";
+      return std::nullopt;
+    }
+    if (queued_total_ >= config_.queue_capacity) {
       ++tallies_.queue_full_rejections;
       if (reject_reason != nullptr) *reject_reason = "queue-full";
       return std::nullopt;
@@ -159,6 +218,7 @@ void JobServer::recover_job(const JobSpec& spec,
   auto qj = std::make_unique<QueuedJob>();
   qj->submitted = Clock::now();
   qj->state = std::make_shared<JobState>();
+  qj->state->tenant = spec.tenant;
   bool bad = false;
   std::string bad_what;
   try {
@@ -171,6 +231,7 @@ void JobServer::recover_job(const JobSpec& spec,
     bad_what = e.what();
     qj->job.name = spec.name;
     qj->job.idempotency_key = spec.idempotency_key;
+    qj->job.tenant = spec.tenant;
   }
   qj->job.resume_checkpoint = checkpoint_file;
   if (qj->job.checkpoint_every == 0) {
@@ -203,7 +264,7 @@ void JobServer::recover_job(const JobSpec& spec,
     return;
   }
   std::lock_guard lk(mu_);
-  queue_.push_back(std::move(qj));
+  enqueue_locked(std::move(qj));
   queue_cv_.notify_one();
 }
 
@@ -287,7 +348,12 @@ std::optional<JobServer::JobId> JobServer::submit_spec_until(
       if (reject_reason != nullptr) *reject_reason = "shutting-down";
       return std::nullopt;
     }
-    if (queue_.size() < config_.queue_capacity) break;
+    if (tenant_over_quota_locked(job.tenant)) {
+      ++tallies_.tenant_sheds;
+      if (reject_reason != nullptr) *reject_reason = "tenant-over-quota";
+      return std::nullopt;
+    }
+    if (queued_total_ < config_.queue_capacity) break;
     if (deadline == Clock::time_point::max()) {
       space_cv_.wait(lk);
     } else if (space_cv_.wait_until(lk, deadline) ==
@@ -321,6 +387,7 @@ std::optional<JobServer::JobId> JobServer::submit_spec_until(
   qj->deadline = wall.count() > 0 ? qj->submitted + wall
                                   : Clock::time_point::max();
   qj->state = std::make_shared<JobState>();
+  qj->state->tenant = qj->job.tenant;
   const JobId id = qj->id;
   live_keys_[key] = id;
   states_.emplace(id, qj->state);
@@ -338,7 +405,7 @@ std::optional<JobServer::JobId> JobServer::submit_spec_until(
     publish(*qj, *qj->state, std::move(rep));
     return id;
   }
-  queue_.push_back(std::move(qj));
+  enqueue_locked(std::move(qj));
   queue_cv_.notify_one();
   return id;
 }
@@ -400,8 +467,9 @@ ServerStats JobServer::stats() const {
   ServerStats s = tallies_;
   s.in_flight_bytes = reserved_bytes_;
   s.peak_in_flight_bytes = peak_reserved_bytes_;
-  s.queue_depth = queue_.size();
+  s.queue_depth = queued_total_;
   s.active_jobs = active_;
+  s.health = health_.load(std::memory_order_relaxed);
   if (journal_ != nullptr) s.journal_bytes = journal_->bytes();
   return s;
 }
@@ -415,10 +483,13 @@ void JobServer::shutdown(bool drain) {
     accepting_ = false;
     space_cv_.notify_all();
     if (!drain) {
-      to_cancel.reserve(queue_.size());
-      while (!queue_.empty()) {
-        to_cancel.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      to_cancel.reserve(queued_total_);
+      for (auto& [tenant, t] : tenants_) {
+        while (!t.queue.empty()) {
+          to_cancel.push_back(std::move(t.queue.front()));
+          t.queue.pop_front();
+          --queued_total_;
+        }
       }
       for (auto& [id, st] : states_) {
         if (reports_.count(id) == 0) {
@@ -438,11 +509,17 @@ void JobServer::shutdown(bool drain) {
   }
   {
     std::unique_lock lk(mu_);
-    drain_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+    drain_cv_.wait(lk, [&] { return queued_total_ == 0 && active_ == 0; });
     stopping_ = true;
     queue_cv_.notify_all();
   }
   for (auto& w : workers_) w.join();
+  {
+    std::lock_guard slk(sup_mu_);
+    sup_stop_ = true;
+  }
+  sup_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
   {
     std::lock_guard lk(mu_);
     joined_ = true;
@@ -455,8 +532,11 @@ void JobServer::shutdown(bool drain) {
 bool JobServer::reserve_memory(std::size_t bytes, JobState& st,
                                Clock::time_point deadline) {
   std::unique_lock lk(mu_);
+  TenantState& t = tenant_state_locked(st.tenant);
   const auto fits = [&] {
-    return reserved_bytes_ + bytes <= config_.memory_budget_bytes;
+    if (reserved_bytes_ + bytes > config_.memory_budget_bytes) return false;
+    return config_.tenant_memory_budget_bytes == 0 ||
+           t.reserved_bytes + bytes <= config_.tenant_memory_budget_bytes;
   };
   const auto interrupted = [&] {
     return st.cancel.load(std::memory_order_relaxed);
@@ -471,30 +551,106 @@ bool JobServer::reserve_memory(std::size_t bytes, JobState& st,
     }
   }
   reserved_bytes_ += bytes;
+  t.reserved_bytes += bytes;
   peak_reserved_bytes_ = std::max(peak_reserved_bytes_, reserved_bytes_);
   return true;
 }
 
 bool JobServer::try_reserve_extra(std::size_t bytes, JobState& st) {
   std::lock_guard lk(mu_);
-  if (reserved_bytes_ + bytes > config_.memory_budget_bytes) {
+  TenantState& t = tenant_state_locked(st.tenant);
+  const bool over_tenant =
+      config_.tenant_memory_budget_bytes != 0 &&
+      t.reserved_bytes + bytes > config_.tenant_memory_budget_bytes;
+  if (over_tenant || reserved_bytes_ + bytes > config_.memory_budget_bytes) {
     ++tallies_.migrations_shed;
     return false;
   }
   reserved_bytes_ += bytes;
+  t.reserved_bytes += bytes;
   peak_reserved_bytes_ = std::max(peak_reserved_bytes_, reserved_bytes_);
   st.extra_reserved += bytes;
   return true;
 }
 
-void JobServer::release_memory(std::size_t bytes) {
+void JobServer::release_memory(std::size_t bytes, const std::string& tenant) {
   if (bytes == 0) return;
   {
     std::lock_guard lk(mu_);
     assert(bytes <= reserved_bytes_);
     reserved_bytes_ -= bytes;
+    TenantState& t = tenant_state_locked(tenant);
+    assert(bytes <= t.reserved_bytes);
+    t.reserved_bytes -= bytes;
   }
   memory_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Tenant scheduling.
+
+JobServer::TenantState& JobServer::tenant_state_locked(
+    const std::string& tenant) {
+  auto [it, fresh] = tenants_.try_emplace(tenant);
+  TenantState& t = it->second;
+  if (fresh) {
+    t.weight = 1;
+    for (const auto& [name, w] : config_.tenant_weights) {
+      if (name == tenant) t.weight = std::max(1u, w);
+    }
+  }
+  return t;
+}
+
+JobServer::TenantState* JobServer::pick_tenant_locked() {
+  TenantState* best = nullptr;
+  for (auto& [name, t] : tenants_) {
+    if (t.queue.empty()) continue;
+    if (config_.tenant_max_inflight != 0 &&
+        t.inflight >= config_.tenant_max_inflight) {
+      continue;
+    }
+    if (best == nullptr || t.pass < best->pass) best = &t;
+  }
+  return best;
+}
+
+bool JobServer::tenant_over_quota_locked(const std::string& tenant) const {
+  if (config_.tenant_max_queued == 0) return false;
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() &&
+         it->second.queue.size() >= config_.tenant_max_queued;
+}
+
+void JobServer::enqueue_locked(std::unique_ptr<QueuedJob> qj) {
+  TenantState& t = tenant_state_locked(qj->job.tenant);
+  // A tenant joining (or returning from idle) starts at the global virtual
+  // time: it gets its fair share from now on, no credit for idle history.
+  t.pass = std::max(t.pass, global_pass_);
+  t.queue.push_back(std::move(qj));
+  ++queued_total_;
+}
+
+void JobServer::requeue(std::unique_ptr<QueuedJob> qj, JobReport carry) {
+  auto st = qj->state;
+  // Fold this run segment into the carried partial report; the next segment
+  // measures its own queue wait from now.
+  carry.queue_ms += ms_between(qj->submitted, qj->started);
+  carry.exec_ms += ms_between(qj->started, Clock::now());
+  qj->carry = std::move(carry);
+  qj->requeue = false;
+  qj->submitted = Clock::now();
+  st->preempt.store(false, std::memory_order_relaxed);
+  st->phase.store(JobPhase::kQueued, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mu_);
+    ++tallies_.preemptions;
+    TenantState& t = tenant_state_locked(qj->job.tenant);
+    --t.inflight;
+    --active_;
+    enqueue_locked(std::move(qj));
+  }
+  queue_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -505,17 +661,129 @@ void JobServer::worker_main() {
     std::unique_ptr<QueuedJob> qj;
     {
       std::unique_lock lk(mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_
-      qj = std::move(queue_.front());
-      queue_.pop_front();
+      queue_cv_.wait(
+          lk, [&] { return stopping_ || pick_tenant_locked() != nullptr; });
+      TenantState* t = pick_tenant_locked();
+      if (t == nullptr) return;  // stopping_ and nothing dequeueable
+      qj = std::move(t->queue.front());
+      t->queue.pop_front();
+      --queued_total_;
+      // Stride scheduling: global virtual time follows the dequeued tenant,
+      // and the tenant pays 1/weight of a quantum for the slot.
+      global_pass_ = std::max(global_pass_, t->pass);
+      t->pass += kStrideScale / t->weight;
+      ++t->inflight;
       ++active_;
       space_cv_.notify_one();
     }
     qj->started = Clock::now();
     auto st = qj->state;  // keep alive across publish
     JobReport rep = execute(*qj, *st);
+    if (qj->requeue) {
+      // Supervisor preemption: back on the tenant queue with the partial
+      // report carried — no publish, the job is not terminal.
+      requeue(std::move(qj), std::move(rep));
+      continue;
+    }
     publish(*qj, *st, std::move(rep), /*worker_terminal=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: stall watchdog + health machine (ISSUE 9).
+
+void JobServer::supervisor_main() {
+  using namespace std::chrono_literals;
+  std::chrono::milliseconds tick = config_.supervise_tick;
+  if (tick.count() <= 0) {
+    tick = config_.stall_timeout.count() > 0
+               ? std::clamp<std::chrono::milliseconds>(
+                     config_.stall_timeout / 4, 5ms, 250ms)
+               : 50ms;
+  }
+
+  struct Seen {
+    std::uint64_t beat = 0;
+    Clock::time_point changed;
+  };
+  std::unordered_map<JobId, Seen> seen;
+  std::deque<Clock::time_point> recent_stalls;
+
+  std::unique_lock slk(sup_mu_);
+  for (;;) {
+    sup_cv_.wait_for(slk, tick, [&] { return sup_stop_; });
+    if (sup_stop_) return;
+
+    const auto now = Clock::now();
+    std::vector<std::shared_ptr<JobState>> wake;
+    {
+      std::lock_guard lk(mu_);
+      // --- Stall scan: only RUNNING jobs can stall.  Backoff sleeps and
+      // memory waits are intentional idleness, not wedged work. ---
+      if (config_.stall_timeout.count() > 0) {
+        for (auto& [id, st] : states_) {
+          if (st->phase.load(std::memory_order_relaxed) !=
+              JobPhase::kRunning) {
+            seen.erase(id);
+            continue;
+          }
+          if (st->preempt.load(std::memory_order_relaxed)) {
+            // Already preempted; keep nudging until the worker unwinds (a
+            // notify racing the sleeper's predicate check can be lost).
+            wake.push_back(st);
+            continue;
+          }
+          const std::uint64_t beat =
+              st->heartbeat.load(std::memory_order_relaxed);
+          auto [it, fresh] = seen.try_emplace(id, Seen{beat, now});
+          if (fresh) continue;
+          if (it->second.beat != beat) {
+            it->second = Seen{beat, now};
+            continue;
+          }
+          if (now - it->second.changed >= config_.stall_timeout) {
+            st->preempt.store(true, std::memory_order_relaxed);
+            ++tallies_.stalls_detected;
+            recent_stalls.push_back(now);
+            wake.push_back(st);
+            // Restart the timer so the flag is not re-raised while the
+            // worker unwinds the preempted slice.
+            it->second.changed = now;
+          }
+        }
+      }
+
+      // --- Health machine.  Degraded dominates browning-out. ---
+      Clock::time_point oldest = Clock::time_point::max();
+      for (const auto& [name, t] : tenants_) {
+        if (!t.queue.empty()) {
+          oldest = std::min(oldest, t.queue.front()->submitted);
+        }
+      }
+      std::chrono::milliseconds queue_delay{0};
+      if (oldest != Clock::time_point::max()) {
+        queue_delay =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - oldest);
+      }
+      while (!recent_stalls.empty() && now - recent_stalls.front() > 1s) {
+        recent_stalls.pop_front();
+      }
+      HealthState h = HealthState::kHealthy;
+      const bool delay_gated = config_.brownout_queue_delay.count() > 0;
+      if ((delay_gated && queue_delay >= config_.brownout_queue_delay) ||
+          !recent_stalls.empty()) {
+        h = HealthState::kBrowningOut;
+      }
+      if ((journal_ != nullptr && !journal_->healthy()) ||
+          (delay_gated && queue_delay >= 4 * config_.brownout_queue_delay)) {
+        h = HealthState::kDegraded;
+      }
+      health_.store(static_cast<std::uint8_t>(h), std::memory_order_relaxed);
+      tallies_.health = static_cast<std::uint8_t>(h);
+    }
+    // Outside mu_: wake preempted jobs out of injected-stall or backoff
+    // sleeps so the worker frees up promptly.
+    for (const auto& st : wake) st->cv.notify_all();
   }
 }
 
@@ -550,8 +818,12 @@ void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
   rep.id = qj.id;
   rep.name = qj.job.name;
   rep.idem_key = qj.job.idempotency_key;
-  rep.queue_ms = ms_between(qj.submitted, qj.started);
-  rep.exec_ms = ms_between(qj.started, Clock::now());
+  rep.tenant = qj.job.tenant;
+  rep.preemptions = qj.preempt_count;
+  // Accumulate (not assign): a preempted job carries the times of its
+  // earlier run segments in rep already (see requeue()).
+  rep.queue_ms += ms_between(qj.submitted, qj.started);
+  rep.exec_ms += ms_between(qj.started, Clock::now());
   st.phase.store(JobPhase::kDone, std::memory_order_relaxed);
   // Write-ahead: the terminal record goes to the journal BEFORE the report
   // becomes observable.  A crash after the append replays as completed
@@ -575,14 +847,19 @@ void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
     }
     if (worker_terminal) {
       --active_;
-      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+      --tenant_state_locked(qj.job.tenant).inflight;
+      // A tenant freeing an in-flight slot can unblock ineligible queues.
+      queue_cv_.notify_all();
+      if (queued_total_ == 0 && active_ == 0) drain_cv_.notify_all();
     }
   }
   report_cv_.notify_all();
 }
 
 JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
-  JobReport rep;
+  // Resume the partial report of a preempted-and-requeued job: counters
+  // keep accumulating across run segments.
+  JobReport rep = qj.carry;
   const Job& job = qj.job;
 
   if (st.cancel.load(std::memory_order_relaxed)) {
@@ -605,6 +882,14 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
     rep.error = "register file needs " + std::to_string(estimate) +
                 " bytes, budget is " +
                 std::to_string(config_.memory_budget_bytes);
+    return rep;
+  }
+  if (config_.tenant_memory_budget_bytes != 0 &&
+      estimate > config_.tenant_memory_budget_bytes) {
+    rep.outcome = JobOutcome::kRejectedMemory;
+    rep.error = "register file needs " + std::to_string(estimate) +
+                " bytes, tenant budget is " +
+                std::to_string(config_.tenant_memory_budget_bytes);
     return rep;
   }
   st.phase.store(JobPhase::kWaitingMemory, std::memory_order_relaxed);
@@ -670,7 +955,7 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
       break;
   }
 
-  release_memory(rep.reserved_bytes);
+  release_memory(rep.reserved_bytes, job.tenant);
   rep.reserved_bytes = estimate;
   return rep;
 }
@@ -697,11 +982,31 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
   const auto cancelled = [&] {
     return st.cancel.load(std::memory_order_relaxed);
   };
+  const auto preempted = [&] {
+    return st.preempt.load(std::memory_order_relaxed);
+  };
   const auto past_deadline = [&] { return Clock::now() >= qj.deadline; };
 
+  // Injected-stall test seam (Job::stall_spec, parsed at admission): once
+  // this run segment retires `at` instructions, sleep `ms` — cooperatively,
+  // polling cancel/preempt, so the supervisor can always free the worker.
+  std::optional<StallSpec> stall;
+  if (!job.stall_spec.empty()) {
+    try {
+      stall = parse_stall_spec(job.stall_spec);
+    } catch (const std::exception& e) {
+      rep.outcome = JobOutcome::kError;
+      rep.error = e.what();
+      return;
+    }
+  }
+
+  // A requeued job's attempts keep counting up from the earlier segments.
+  const unsigned prior_attempts = rep.attempts;
+
   for (unsigned attempt = 1; attempt <= retry_max + 1; ++attempt) {
-    st.attempts.store(attempt, std::memory_order_relaxed);
-    rep.attempts = attempt;
+    st.attempts.store(prior_attempts + attempt, std::memory_order_relaxed);
+    rep.attempts = prior_attempts + attempt;
     if (cancelled()) {
       rep.outcome = JobOutcome::kCancelled;
       return;
@@ -738,7 +1043,16 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
           return try_reserve_extra(extra, st);
         });
       }
-      if (attempt == 1 && !job.resume_checkpoint.empty()) {
+      if (attempt == 1 && !job.resume_image.empty()) {
+        // Supervisor preemption: resume from the in-memory image the worker
+        // snapshotted when it yielded the slice.  Same fallback contract as
+        // the journal path below: a corrupt image is a fresh start.
+        try {
+          load_checkpoint(job.resume_image, sim->cpu(), sim->memory(),
+                          sim->qat());
+        } catch (const CheckpointError&) {
+        }
+      } else if (attempt == 1 && !job.resume_checkpoint.empty()) {
         // Journal recovery: pick the run up from the newest durable image.
         // ECC policy / sharding were applied above and survive the restore
         // (policy is never serialized); the sidecars are re-encoded and the
@@ -757,8 +1071,32 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
         st.engine = &sim->qat();
       }
       st.phase.store(JobPhase::kRunning, std::memory_order_relaxed);
+      // Synthetic heartbeat at attempt start: the supervisor's stall timer
+      // restarts with the attempt (sim construction and checkpoint load are
+      // not stalls).
+      st.heartbeat.fetch_add(1, std::memory_order_relaxed);
 
       CheckpointingRunner<SimT> runner(*sim, checkpoint_every, slice_cap);
+      std::uint64_t segment_retired = 0;
+      runner.set_slice_observer([&](std::uint64_t retired) {
+        st.heartbeat.fetch_add(retired, std::memory_order_relaxed);
+        segment_retired += retired;
+        if (stall && qj.stalls_fired < stall->times &&
+            segment_retired >= stall->at) {
+          ++qj.stalls_fired;
+          const auto until =
+              Clock::now() + std::chrono::milliseconds(stall->ms);
+          // Chunked so a lost cv notify costs at most one quantum, never
+          // the whole injected sleep.
+          while (Clock::now() < until && !cancelled() && !preempted()) {
+            const auto quantum =
+                std::min(until, Clock::now() + std::chrono::milliseconds(2));
+            std::unique_lock slk(st.mu);
+            st.cv.wait_until(slk, quantum,
+                             [&] { return cancelled() || preempted(); });
+          }
+        }
+      });
       if (journal_ != nullptr && checkpoint_every != 0 &&
           !job.idempotency_key.empty()) {
         // Persist a resume image roughly every checkpoint_every lineage
@@ -779,7 +1117,31 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
           [&](const SimT& s) {
             return !job.validate || job.validate(s.cpu());
           },
-          [&] { return cancelled() || past_deadline(); });
+          [&] { return cancelled() || past_deadline() || preempted(); });
+
+      if (rs.stopped && preempted() && !cancelled() && !past_deadline() &&
+          atomic_model && qj.preempt_count < config_.max_preemptions) {
+        // Preempted and about to requeue: snapshot the machine as the last
+        // slice left it so the next run segment resumes instead of
+        // restarting.  Scrub first — a checkpoint serializes raw payload
+        // words, and snapshotting a latent upset would launder it into a
+        // clean image (same policy as the runner's own snapshots); an
+        // uncorrectable upset just means restart-from-scratch.
+        bool image_ok = true;
+        if (sim->ecc_enabled()) {
+          image_ok = scrub_protected_state(sim->qat(), sim->memory()) ==
+                     TrapKind::kNone;
+        }
+        qj.job.resume_image.clear();
+        if (image_ok) {
+          try {
+            qj.job.resume_image =
+                save_checkpoint(sim->cpu(), sim->memory(), sim->qat());
+          } catch (const std::exception&) {
+            qj.job.resume_image.clear();
+          }
+        }
+      }
 
       {
         std::lock_guard lk(st.mu);
@@ -805,11 +1167,33 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
       extra = st.extra_reserved;
       st.extra_reserved = 0;
     }
-    release_memory(extra);
+    release_memory(extra, job.tenant);
 
     if (rs.stopped) {
-      rep.outcome = cancelled() ? JobOutcome::kCancelled
-                                : JobOutcome::kDeadlineExpired;
+      if (cancelled()) {
+        rep.outcome = JobOutcome::kCancelled;
+        return;
+      }
+      if (past_deadline()) {
+        rep.outcome = JobOutcome::kDeadlineExpired;
+        return;
+      }
+      // Supervisor preemption.  Requeue from the snapshot taken above, or
+      // quarantine a job that has ping-ponged past its preemption budget —
+      // a genuinely wedged program must not bounce forever.
+      if (qj.preempt_count >= config_.max_preemptions) {
+        rep.outcome = JobOutcome::kQuarantined;
+        rep.error = "stalled: no progress within stall_timeout after " +
+                    std::to_string(qj.preempt_count) + " preemption(s)";
+        {
+          std::lock_guard lk(mu_);
+          ++tallies_.stall_quarantines;
+        }
+        return;
+      }
+      ++qj.preempt_count;
+      rep.preemptions = qj.preempt_count;
+      qj.requeue = true;
       return;
     }
     if (run_ok) {

@@ -39,15 +39,18 @@
 // so a monitoring thread can poll a job mid-run without racing the engine.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "arch/qat_engine.hpp"
@@ -82,7 +85,53 @@ struct JobServerConfig {
   std::uint64_t slice_instructions = 4096;
   /// Base seed for backoff jitter (per-job: seed ^ job id).
   std::uint64_t seed = 0x5eed5eedULL;
+
+  // --- Supervision (ISSUE 9). ---
+  /// A running job that retires no instructions for this long is stalled:
+  /// the supervisor preempts it (cooperative slice cancel), requeues it from
+  /// its newest checkpoint, and quarantines it after max_preemptions.
+  /// 0 = stall detection off.
+  std::chrono::milliseconds stall_timeout{0};
+  /// Stall-preemptions a job survives before it is quarantined as wedged
+  /// (outcome kQuarantined, error "stalled...").  0 = quarantine on the
+  /// first stall.
+  unsigned max_preemptions = 3;
+  /// Supervisor scan cadence; 0 = auto (stall_timeout/4, clamped to
+  /// [5, 250] ms — 50 ms when stall detection is off, for health updates).
+  std::chrono::milliseconds supervise_tick{0};
+
+  // --- Per-tenant governance (ISSUE 9). ---
+  /// Max queued jobs per tenant; over it, submissions shed with
+  /// "tenant-over-quota".  0 = no per-tenant queue cap.
+  std::size_t tenant_max_queued = 0;
+  /// Max concurrently running jobs per tenant (weighted-fair dequeue skips
+  /// tenants at their cap).  0 = no cap.
+  unsigned tenant_max_inflight = 0;
+  /// Per-tenant memory-budget slice (register-file reservations); a job
+  /// whose footprint exceeds it is kRejectedMemory even if the global
+  /// budget would fit it.  0 = tenants share only the global budget.
+  std::size_t tenant_memory_budget_bytes = 0;
+  /// Weighted-fair dequeue shares: (tenant, weight) pairs; unlisted tenants
+  /// (including the default "" tenant) get weight 1.  A backlogged tenant
+  /// with weight w is dequeued w times as often as a weight-1 one.
+  std::vector<std::pair<std::string, unsigned>> tenant_weights;
+
+  /// Health machine: the oldest queued job waiting this long marks the
+  /// server browning-out (4x this long: degraded).  0 = queue delay never
+  /// affects health.
+  std::chrono::milliseconds brownout_queue_delay{500};
 };
+
+/// Coarse service health, computed by the supervisor each tick and exported
+/// through stats()/the v3 wire snapshot.  The net front door scales its
+/// RETRY_AFTER hints by it (healthy 1x, browning-out 4x, degraded 16x).
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kBrowningOut = 1,  // queue delay over threshold, or a stall in the last 1 s
+  kDegraded = 2,     // journal unhealthy, or queue delay over 4x threshold
+};
+
+const char* health_state_name(HealthState h);
 
 enum class JobPhase : std::uint8_t {
   kQueued,
@@ -125,6 +174,12 @@ struct ServerStats {
   std::uint64_t journal_bytes = 0;    // journal bytes replayed + appended
   std::uint64_t reports_deduped = 0;  // keyed resubmits answered from the log
   std::uint64_t journal_shed = 0;     // admissions shed: journal unhealthy
+  // Governance counters (ISSUE 9; zero when supervision is off).
+  std::uint64_t stalls_detected = 0;  // supervisor stall detections
+  std::uint64_t preemptions = 0;      // stalled jobs preempted + requeued
+  std::uint64_t stall_quarantines = 0;  // jobs wedged past max_preemptions
+  std::uint64_t tenant_sheds = 0;     // submissions shed: tenant over quota
+  std::uint8_t health = 0;            // HealthState
 };
 
 class Journal;
@@ -191,6 +246,12 @@ class JobServer {
   std::optional<JobProgress> progress(JobId id) const;
 
   ServerStats stats() const;
+  /// Lock-free health read (the supervisor publishes it each tick) — cheap
+  /// enough for the net front door to consult on every shed reply.
+  HealthState health() const {
+    return static_cast<HealthState>(
+        health_.load(std::memory_order_relaxed));
+  }
   const JobServerConfig& config() const { return config_; }
 
   /// Stop admissions.  drain=true: run queued jobs to completion, then
@@ -201,6 +262,19 @@ class JobServer {
  private:
   struct JobState;
   struct QueuedJob;
+
+  /// Per-tenant scheduling state (guarded by mu_).  Tenants are stride-
+  /// scheduled: each dequeue advances the tenant's virtual-time `pass` by
+  /// kStrideScale/weight, and the runnable tenant with the smallest pass
+  /// goes next — so backlogged tenants interleave proportionally to weight
+  /// and a flood parks behind its own pass instead of the global queue.
+  struct TenantState {
+    std::deque<std::unique_ptr<QueuedJob>> queue;
+    std::uint64_t pass = 0;
+    unsigned weight = 1;
+    unsigned inflight = 0;           // dequeued, not yet terminal/requeued
+    std::size_t reserved_bytes = 0;  // memory charged to this tenant
+  };
 
   /// Common submission body: wait for queue space until `deadline`
   /// (time_point::max() = forever).  Sets `reject_reason` on nullopt.
@@ -218,6 +292,18 @@ class JobServer {
   void apply_terminal_tallies_locked(const JobReport& rep);
 
   void worker_main();
+  void supervisor_main();
+  /// Tenant bookkeeping (mu_ held).  tenant_state_locked creates the entry
+  /// on first use (weight from config_.tenant_weights, pass joined at the
+  /// global virtual time); pick_tenant_locked returns the runnable tenant
+  /// with the smallest pass (nullptr: nothing dequeueable).
+  TenantState& tenant_state_locked(const std::string& tenant);
+  TenantState* pick_tenant_locked();
+  bool tenant_over_quota_locked(const std::string& tenant) const;
+  void enqueue_locked(std::unique_ptr<QueuedJob> qj);
+  /// Put a preempted job back on its tenant queue with its partial report
+  /// carried (worker thread, after execute() set qj->requeue).
+  void requeue(std::unique_ptr<QueuedJob> qj, JobReport carry);
   JobReport execute(QueuedJob& qj, JobState& st);
   template <typename SimT, typename MakeSim>
   void execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
@@ -236,7 +322,7 @@ class JobServer {
                       std::chrono::steady_clock::time_point deadline);
   /// Non-blocking reservation used by the RE→dense migration guard.
   bool try_reserve_extra(std::size_t bytes, JobState& st);
-  void release_memory(std::size_t bytes);
+  void release_memory(std::size_t bytes, const std::string& tenant);
 
   JobServerConfig config_;
 
@@ -250,17 +336,30 @@ class JobServer {
   std::condition_variable report_cv_;  // waiters: report published
   std::condition_variable drain_cv_;   // shutdown: queue empty, none active
 
-  std::deque<std::unique_ptr<QueuedJob>> queue_;
+  /// Per-tenant queues (std::map: deterministic iteration makes the stride
+  /// scheduler's tie-break stable).  queued_total_ is the cross-tenant
+  /// queue depth the global capacity bounds.
+  std::map<std::string, TenantState> tenants_;
+  std::size_t queued_total_ = 0;
+  std::uint64_t global_pass_ = 0;
   std::unordered_map<JobId, std::shared_ptr<JobState>> states_;
   std::unordered_map<JobId, JobReport> reports_;
   std::vector<JobId> submission_order_;
   std::vector<std::thread> workers_;
+  std::thread supervisor_;
 
   JobId next_id_ = 1;
   unsigned active_ = 0;
   bool accepting_ = true;
   bool stopping_ = false;
   bool joined_ = false;
+
+  /// Supervisor lifecycle (its sleep uses its own mutex so ticks never
+  /// contend with the hot submit/dequeue path) + the published health.
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
+  std::atomic<std::uint8_t> health_{0};
 
   std::size_t reserved_bytes_ = 0;
   std::size_t peak_reserved_bytes_ = 0;

@@ -387,6 +387,22 @@ void NetServer::handle_frame(Conn& c, const Frame& frame) {
   }
 }
 
+std::uint32_t NetServer::shed_delay_ms() const {
+  // Brownout-aware backpressure: the sicker the server, the longer the
+  // hinted retry delay, so a polite client herd thins itself out before
+  // the overload becomes an outage (healthy 1x, browning-out 4x,
+  // degraded 16x).
+  switch (jobs_.health()) {
+    case HealthState::kBrowningOut:
+      return config_.retry_after_ms * 4;
+    case HealthState::kDegraded:
+      return config_.retry_after_ms * 16;
+    case HealthState::kHealthy:
+      break;
+  }
+  return config_.retry_after_ms;
+}
+
 void NetServer::handle_submit(Conn& c, const Frame& frame) {
   pbp::ByteReader r(frame.payload);
   const SubmitRequest req = SubmitRequest::decode(r);
@@ -412,8 +428,7 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
       ++stats_.retry_after_sent;
     }
     send_reply(c, MsgType::kRetryAfter,
-               RetryAfter{config_.retry_after_ms,
-                          RetryAfter::Reason::kConnInFlight});
+               RetryAfter{shed_delay_ms(), RetryAfter::Reason::kConnInFlight});
     return;
   }
 
@@ -432,8 +447,16 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
         ++stats_.retry_after_sent;
       }
       send_reply(c, MsgType::kRetryAfter,
-                 RetryAfter{config_.retry_after_ms,
-                            RetryAfter::Reason::kQueueFull});
+                 RetryAfter{shed_delay_ms(), RetryAfter::Reason::kQueueFull});
+    } else if (reason == "tenant-over-quota") {
+      // Per-tenant shed: this tenant's queue quota is full; the server has
+      // room for everyone else, so the hint only needs to thin THIS flood.
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.retry_after_sent;
+      }
+      send_reply(c, MsgType::kRetryAfter,
+                 RetryAfter{shed_delay_ms(), RetryAfter::Reason::kTenantQuota});
     } else if (reason == "journal-unavailable" ||
                reason == "duplicate-pending") {
       // Durability shed: either the journal degraded (new admissions are
@@ -445,8 +468,7 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
         ++stats_.retry_after_sent;
       }
       send_reply(c, MsgType::kRetryAfter,
-                 RetryAfter{config_.retry_after_ms,
-                            RetryAfter::Reason::kDurability});
+                 RetryAfter{shed_delay_ms(), RetryAfter::Reason::kDurability});
     } else if (reason.rfind("bad-job", 0) == 0) {
       {
         std::lock_guard slk(stats_mu_);

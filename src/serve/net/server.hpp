@@ -146,6 +146,9 @@ class NetServer {
   void pump_main(Conn& c);
   void handle_frame(Conn& c, const Frame& frame);
   void handle_submit(Conn& c, const Frame& frame);
+  /// retry_after_ms scaled by server health (1x/4x/16x) so a polite client
+  /// herd thins itself before an overload becomes an outage.
+  std::uint32_t shed_delay_ms() const;
   bool send_error(Conn& c, WireError code, const std::string& message);
   template <typename T>
   bool send_reply(Conn& c, MsgType type, const T& msg);

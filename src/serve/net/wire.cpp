@@ -124,7 +124,7 @@ RetryAfter RetryAfter::decode(pbp::ByteReader& r) {
   RetryAfter m;
   m.delay_ms = r.u32();
   m.reason = checked_enum<Reason>(
-      r.u8(), static_cast<std::uint8_t>(Reason::kDurability), "shed reason");
+      r.u8(), static_cast<std::uint8_t>(Reason::kTenantQuota), "shed reason");
   return m;
 }
 
@@ -204,6 +204,12 @@ void StatsOk::encode(pbp::ByteWriter& w) const {
   w.u64(jobs.journal_bytes);
   w.u64(jobs.reports_deduped);
   w.u64(jobs.journal_shed);
+  // Snapshot v3: governance counters + health, appended after the v2 tail.
+  w.u64(jobs.stalls_detected);
+  w.u64(jobs.preemptions);
+  w.u64(jobs.stall_quarantines);
+  w.u64(jobs.tenant_sheds);
+  w.u8(jobs.health);
 }
 StatsOk StatsOk::decode(pbp::ByteReader& r) {
   StatsOk m;
@@ -239,6 +245,11 @@ StatsOk StatsOk::decode(pbp::ByteReader& r) {
   m.jobs.journal_bytes = r.u64();
   m.jobs.reports_deduped = r.u64();
   m.jobs.journal_shed = r.u64();
+  m.jobs.stalls_detected = r.u64();
+  m.jobs.preemptions = r.u64();
+  m.jobs.stall_quarantines = r.u64();
+  m.jobs.tenant_sheds = r.u64();
+  m.jobs.health = r.u8();
   return m;
 }
 

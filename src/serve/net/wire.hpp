@@ -44,14 +44,17 @@ constexpr std::uint32_t kWireMagic = 0x57474E54u;  // "TNGW" little-endian
 /// v2 (ISSUE 8): SubmitRequest carries an idempotency key, JobReport
 /// carries key/deduped/resumed, StatsOk carries the durability counters,
 /// RetryAfter gained kDurability.
-constexpr std::uint16_t kWireVersion = 2;
+/// v3 (ISSUE 9): SubmitRequest carries tenant + stall_spec, JobReport
+/// carries tenant + preemptions, StatsOk carries the governance counters
+/// and the health state, RetryAfter gained kTenantQuota.
+constexpr std::uint16_t kWireVersion = 3;
 constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;  // 1 MiB
 
 /// Stats snapshots are versioned independently of the frame format so a
 /// field can be appended without a wire-version bump (old clients ignore
 /// trailing bytes they don't know; new clients check snapshot_version).
-constexpr std::uint16_t kStatsSnapshotVersion = 2;
+constexpr std::uint16_t kStatsSnapshotVersion = 3;
 
 enum class MsgType : std::uint8_t {
   // Requests (client → server).
@@ -159,6 +162,8 @@ struct RetryAfter {
     kConnInFlight = 1,    // per-connection in-flight cap reached
     kDurability = 2,      // journal degraded (shed) or the idempotency key
                           // is mid-admission elsewhere — retry shortly
+    kTenantQuota = 3,     // the submitting tenant is over its queue quota;
+                          // other tenants are unaffected — back off
   };
   std::uint32_t delay_ms = 25;
   Reason reason = Reason::kQueueFull;
@@ -226,6 +231,9 @@ struct StatsOk {
   // Encoded from/into the `jobs` member — listed here as documentation of
   // the on-wire order: jobs_recovered, journal_replays, journal_bytes,
   // reports_deduped, journal_shed.
+  // Governance counters (snapshot v3, appended after the v2 tail; also
+  // encoded from/into `jobs`): stalls_detected, preemptions,
+  // stall_quarantines, tenant_sheds, health (u8 HealthState).
 };
 
 /// JobReport ↔ kReport payload.

@@ -1,0 +1,459 @@
+// test_govern_soak.cpp — the combined-chaos governance soak (labels
+// `govern;soak`).  One journaled, supervised, multi-tenant NetServer is
+// driven through four layered abuse phases:
+//
+//   A1  governed tenant traffic through a delay-injecting chaos proxy —
+//       a mix of clean, storage-upset (fault-plan + ECC) and injected-stall
+//       jobs from a weighted heavy/light tenant pair.  Strict assertions:
+//       every key yields exactly one correct (validated) report, every
+//       stall job was preempted and still completed, the weighted-fair
+//       dequeue never starves the light tenant, and the whole phase
+//       finishes orders of magnitude faster than the injected stalls would
+//       allow if supervision were broken.
+//   A2  hostile transport: a second proxy that drops/truncates/bitflips.
+//       Keyed submissions are retried across reconnects; the journal dedup
+//       makes the retries safe.  Loose assertions: every key converges to
+//       exactly one agreed terminal outcome, nothing leaks.
+//   B   wedge + flood: jobs that stall on every attempt must quarantine
+//       after exactly max_preemptions, and a flooding tenant must be shed
+//       with "tenant-over-quota" while its admitted backlog still drains.
+//   C   durability failpoint (last — journal unhealthiness is sticky):
+//       admissions shed "journal-unavailable", health degrades, and the
+//       front door's RETRY_AFTER hint scales 16x.
+//
+// Afterwards a fresh JobServer on the same journal directory must recover
+// zero jobs (every admitted job already has a durable terminal record) and
+// answer a resubmitted key from the log — exactly-once across the soak,
+// the chaos, and a restart.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+#include "serve/journal.hpp"
+#include "serve/net/chaos.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/net/socket.hpp"
+
+namespace tangled::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/tangled-govern-soak-XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~TempDir() {
+    if (!path.empty()) std::system(("rm -rf " + path).c_str());
+  }
+};
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 10'000ms) {
+  const auto until = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+/// The per-key traffic mix: clean runs, storage upsets beneath ECC, and
+/// injected stalls that only supervision can unwedge.
+net::SubmitRequest soak_request(const std::string& tenant, unsigned i,
+                                bool with_stalls) {
+  net::SubmitRequest req;
+  req.name = tenant + "-" + std::to_string(i);
+  req.source = figure10_source();
+  req.max_instructions = 20'000;
+  req.checkpoint_every = 25;
+  req.expect = {{0, 5}, {1, 3}};
+  req.tenant = tenant;
+  req.idempotency_key = tenant + "/" + std::to_string(i);
+  if (with_stalls && i % 6 == 5) {
+    // Unsupervised, this sleep wedges a worker for two minutes.
+    req.stall_spec = "at=50,ms=120000";
+  } else if (i % 3 == 0) {
+    req.fault_spec = "seed=" + std::to_string(100 + i) + ",events=4,horizon=120";
+  } else if (i % 3 == 1) {
+    req.ecc = pbp::EccMode::kCorrect;
+    req.scrub_every = 256;
+    req.fault_spec =
+        "seed=" + std::to_string(200 + i) + ",events=4,horizon=100,storage=1";
+  }
+  return req;
+}
+
+/// Shared record of every first report per key, in global arrival order
+/// (the fairness witness), plus re-delivered duplicates for the
+/// exactly-once consistency check.
+struct Ledger {
+  std::mutex mu;
+  std::map<std::string, JobReport> first;
+  std::vector<std::string> arrival_tenants;  // tenant per first report
+  std::uint64_t duplicates_consistent = 0;
+
+  /// Returns false (under the lock) if a re-delivery disagreed with the
+  /// first report — the exactly-once property is broken.
+  bool record(const JobReport& rep) {
+    std::lock_guard lk(mu);
+    auto [it, fresh] = first.emplace(rep.idem_key, rep);
+    if (fresh) {
+      arrival_tenants.push_back(rep.tenant);
+      return true;
+    }
+    ++duplicates_consistent;
+    return it->second.outcome == rep.outcome;
+  }
+  bool has(const std::string& key) {
+    std::lock_guard lk(mu);
+    return first.count(key) != 0;
+  }
+};
+
+/// Submit `keys` through `port`, reconnecting and resubmitting on any
+/// transport casualty until every key has a terminal report (bounded
+/// rounds).  Keyed resubmission is dedup-safe by design — that is the
+/// property under test.
+void drive_tenant(std::uint16_t port, const std::string& tenant, unsigned n,
+                  bool with_stalls, Ledger& ledger, bool& ok) {
+  ok = false;
+  std::set<unsigned> pending;
+  for (unsigned i = 0; i < n; ++i) pending.insert(i);
+  for (int round = 0; round < 60 && !pending.empty(); ++round) {
+    net::ServeClientConfig cc;
+    cc.port = port;
+    net::ServeClient client(cc);
+    if (!client.connect().ok) {
+      std::this_thread::sleep_for(20ms);
+      continue;
+    }
+    std::set<unsigned> submitted;
+    for (const unsigned i : pending) {
+      net::ClientResult r;
+      if (client.submit(soak_request(tenant, i, with_stalls), &r).has_value()) {
+        submitted.insert(i);
+      } else if (r.code != net::WireError::kTransport) {
+        // Overloaded after the client's own RetryAfter budget: back off and
+        // try again next round.
+        std::this_thread::sleep_for(10ms);
+      } else {
+        break;  // connection is gone; reconnect
+      }
+    }
+    while (!submitted.empty()) {
+      net::ClientResult r;
+      const auto rep = client.next_report(30'000ms, &r);
+      if (!rep.has_value()) break;  // casualty — resubmit survivors
+      if (!ledger.record(*rep)) return;  // inconsistent duplicate: fail
+      const std::string prefix = tenant + "/";
+      if (rep->idem_key.rfind(prefix, 0) == 0) {
+        const unsigned i = static_cast<unsigned>(
+            std::strtoul(rep->idem_key.c_str() + prefix.size(), nullptr, 10));
+        submitted.erase(i);
+        pending.erase(i);
+      }
+    }
+  }
+  ok = pending.empty();
+}
+
+TEST(GovernSoak, CombinedChaosKeepsEveryPromise) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+
+  net::NetServerConfig config;
+  config.jobs.threads = 4;
+  config.jobs.queue_capacity = 32;
+  config.jobs.journal_dir = dir.path;
+  config.jobs.journal_segment_bytes = 32 * 1024;  // force rotation under load
+  config.jobs.checkpoint_every_default = 50;
+  config.jobs.stall_timeout = 100ms;
+  config.jobs.max_preemptions = 2;
+  config.jobs.supervise_tick = 10ms;
+  config.jobs.tenant_max_queued = 16;
+  config.jobs.tenant_max_inflight = 3;
+  config.jobs.tenant_weights = {{"heavy", 3}, {"light", 1}};
+  config.jobs.brownout_queue_delay = 200ms;
+  config.retry_after_ms = 5;
+
+  std::uint64_t expected_completed_min = 0;
+  {
+    net::NetServer server(config);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    // ---- Phase A1: governed tenant traffic through delay chaos. ----
+    net::ChaosConfig pc;
+    pc.upstream_port = server.port();
+    pc.p_delay = 0.3;
+    pc.delay_ms = 2;
+    net::ChaosProxy delay_proxy(pc);
+    ASSERT_TRUE(delay_proxy.ok());
+
+    constexpr unsigned kHeavy = 24, kLight = 8;
+    Ledger ledger;
+    bool heavy_ok = false, light_ok = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::thread heavy([&] {
+        drive_tenant(delay_proxy.port(), "heavy", kHeavy, true, ledger,
+                     heavy_ok);
+      });
+      std::thread light([&] {
+        drive_tenant(delay_proxy.port(), "light", kLight, true, ledger,
+                     light_ok);
+      });
+      heavy.join();
+      light.join();
+    }
+    const auto a1_elapsed = std::chrono::steady_clock::now() - t0;
+    ASSERT_TRUE(heavy_ok && light_ok)
+        << "a tenant never collected all its reports (or saw an"
+           " inconsistent duplicate)";
+    // Supervision bound: 6 injected stalls sleep 120 s each — a wedged
+    // worker pool could not finish in any reasonable time.
+    EXPECT_LT(a1_elapsed, 90s) << "a worker sat through an injected stall";
+
+    unsigned stall_jobs = 0;
+    for (const auto& [key, rep] : ledger.first) {
+      EXPECT_EQ(rep.outcome, JobOutcome::kCompleted) << rep.to_string();
+      EXPECT_FALSE(rep.idem_key.empty());
+      if (key == "heavy/5" || key == "heavy/11" || key == "heavy/17" ||
+          key == "heavy/23" || key == "light/5") {
+        ++stall_jobs;
+        EXPECT_GE(rep.preemptions, 1u)
+            << key << " completed without a supervisor preemption";
+      }
+    }
+    EXPECT_EQ(stall_jobs, 5u);
+    EXPECT_EQ(ledger.first.size(), kHeavy + kLight);
+    {
+      const ServerStats s = server.jobs().stats();
+      EXPECT_GE(s.stalls_detected, 5u);
+      EXPECT_GE(s.preemptions, 5u);
+      EXPECT_EQ(s.stall_quarantines, 0u);
+    }
+    // Weighted-fair bound: at the i-th light completion, at most
+    // weight-ratio * i heavy completions may have landed, plus slack for
+    // the 4-way worker pool, requeues, and arrival-order jitter.
+    {
+      std::lock_guard lk(ledger.mu);
+      unsigned heavy_seen = 0, light_seen = 0;
+      for (const auto& t : ledger.arrival_tenants) {
+        if (t == "heavy") ++heavy_seen;
+        if (t != "light") continue;
+        ++light_seen;
+        EXPECT_LE(heavy_seen, 3 * light_seen + 12)
+            << "light tenant starved: " << heavy_seen << " heavy reports"
+            << " before light completion #" << light_seen;
+      }
+      EXPECT_EQ(light_seen, kLight);
+    }
+    // The proxy actually interfered.
+    EXPECT_GT(delay_proxy.stats().delays, 0u);
+
+    // ---- Phase A2: hostile transport (drops / truncation / bitflips). --
+    net::ChaosConfig hc;
+    hc.upstream_port = server.port();
+    hc.seed = 0xbadcafeULL;
+    hc.p_drop = 0.01;
+    hc.p_truncate = 0.01;
+    hc.p_bitflip = 0.01;
+    hc.p_delay = 0.2;
+    hc.delay_ms = 2;
+    net::ChaosProxy hostile_proxy(hc);
+    ASSERT_TRUE(hostile_proxy.ok());
+    constexpr unsigned kChaos = 12;
+    Ledger chaos_ledger;
+    bool chaos_ok = false;
+    drive_tenant(hostile_proxy.port(), "chaos", kChaos, false, chaos_ledger,
+                 chaos_ok);
+    ASSERT_TRUE(chaos_ok) << "a chaos-tenant key never reached a terminal"
+                             " report (or reports disagreed)";
+    EXPECT_EQ(chaos_ledger.first.size(), kChaos);
+    unsigned chaos_completed = 0;
+    for (const auto& [key, rep] : chaos_ledger.first) {
+      // A connection the proxy killed post-admission legitimately cancels
+      // its jobs; anything else must be a clean, validated completion.
+      EXPECT_TRUE(rep.outcome == JobOutcome::kCompleted ||
+                  rep.outcome == JobOutcome::kCancelled)
+          << rep.to_string();
+      chaos_completed += rep.outcome == JobOutcome::kCompleted;
+    }
+    const auto hs = hostile_proxy.stats();
+    EXPECT_GT(hs.drops + hs.truncates + hs.bitflips, 0u)
+        << "hostile proxy injected nothing — weak soak";
+    hostile_proxy.stop();
+    delay_proxy.stop();
+
+    // ---- Phase B: wedges quarantine; a flood is shed, others admitted. --
+    std::vector<JobServer::JobId> wedges;
+    for (int i = 0; i < 3; ++i) {
+      net::SubmitRequest req = soak_request("wedge", 100 + i, false);
+      req.idempotency_key = "wedge/" + std::to_string(i);
+      req.fault_spec.clear();
+      req.ecc = pbp::EccMode::kOff;
+      req.stall_spec = "at=25,ms=120000,times=100";  // stalls every attempt
+      const auto id = server.jobs().submit_spec(req);
+      ASSERT_TRUE(id.has_value());
+      wedges.push_back(*id);
+    }
+    for (const auto id : wedges) {
+      const JobReport r = server.jobs().wait(id);
+      EXPECT_EQ(r.outcome, JobOutcome::kQuarantined) << r.to_string();
+      EXPECT_NE(r.error.find("stalled"), std::string::npos) << r.error;
+      EXPECT_EQ(r.preemptions, config.jobs.max_preemptions) << r.to_string();
+    }
+    EXPECT_EQ(server.jobs().stats().stall_quarantines, 3u);
+
+    // Pin the flood tenant at its in-flight cap with spinners so its
+    // subsequent submissions must queue (not drain), making the queue
+    // quota deterministic to hit.
+    std::vector<JobServer::JobId> plugs;
+    for (int i = 0; i < 3; ++i) {
+      net::SubmitRequest req;
+      req.name = "plug";
+      req.source = "loop: br loop\n";
+      req.max_instructions = 2'000'000'000ULL;
+      req.tenant = "flood";
+      req.idempotency_key = "plug/" + std::to_string(i);
+      const auto id = server.jobs().submit_spec(req);
+      ASSERT_TRUE(id.has_value());
+      plugs.push_back(*id);
+    }
+    ASSERT_TRUE(eventually([&] {
+      unsigned running = 0;
+      for (const auto id : plugs) {
+        const auto p = server.jobs().progress(id);
+        running += p.has_value() && p->phase == JobPhase::kRunning;
+      }
+      return running == plugs.size();
+    }));
+
+    bool flood_shed = false;
+    std::vector<JobServer::JobId> flood;
+    for (int i = 0; i < 200 && !flood_shed; ++i) {
+      net::SubmitRequest req = soak_request("flood", 300 + i, false);
+      req.idempotency_key = "flood/" + std::to_string(i);
+      req.stall_spec.clear();
+      req.fault_spec.clear();
+      req.ecc = pbp::EccMode::kOff;
+      std::string reason;
+      const auto id = server.jobs().try_submit_spec(req, &reason);
+      if (id.has_value()) {
+        flood.push_back(*id);
+      } else {
+        EXPECT_EQ(reason, "tenant-over-quota");
+        flood_shed = true;
+      }
+    }
+    EXPECT_TRUE(flood_shed) << "200 rapid submissions never hit the quota";
+    EXPECT_GE(server.jobs().stats().tenant_sheds, 1u);
+    for (const auto id : plugs) server.jobs().cancel(id);
+    for (const auto id : plugs) {
+      EXPECT_EQ(server.jobs().wait(id).outcome, JobOutcome::kCancelled);
+    }
+    for (const auto id : flood) {
+      EXPECT_EQ(server.jobs().wait(id).outcome, JobOutcome::kCompleted);
+    }
+
+    // ---- Phase C (last: journal unhealthiness is sticky): durability
+    // failpoint → shed admissions, degraded health, 16x hints. ----
+    ASSERT_NE(server.jobs().journal(), nullptr);
+    server.jobs().journal()->set_failpoint([](const char* op) {
+      return std::strcmp(op, "append") == 0 ? ENOSPC : 0;
+    });
+    {
+      net::SubmitRequest req = soak_request("late", 999, false);
+      req.idempotency_key = "late/999";
+      std::string reason;
+      EXPECT_FALSE(server.jobs().try_submit_spec(req, &reason).has_value());
+      EXPECT_EQ(reason, "journal-unavailable");
+    }
+    ASSERT_TRUE(eventually(
+        [&] { return server.jobs().health() == HealthState::kDegraded; }));
+    {
+      std::string err;
+      net::Socket sock =
+          net::connect_tcp("127.0.0.1", server.port(), 2000ms, &err);
+      ASSERT_TRUE(sock.valid()) << err;
+      const auto bytes = net::encode_message(net::MsgType::kSubmit,
+                                             soak_request("late", 998, false));
+      ASSERT_EQ(net::write_all(sock.fd(), bytes.data(), bytes.size(),
+                               net::Clock::now() + 2s),
+                net::IoStatus::kOk);
+      net::Frame reply;
+      ASSERT_EQ(net::recv_frame(sock.fd(),
+                                {net::kDefaultMaxFrameBytes, 2000ms, 2000ms},
+                                &reply),
+                net::RecvStatus::kOk);
+      ASSERT_EQ(reply.type, net::MsgType::kRetryAfter);
+      pbp::ByteReader r(reply.payload);
+      const net::RetryAfter shed = net::RetryAfter::decode(r);
+      EXPECT_EQ(shed.reason, net::RetryAfter::Reason::kDurability);
+      EXPECT_EQ(shed.delay_ms, 16 * config.retry_after_ms)
+          << "degraded health must scale the hint 16x";
+    }
+    server.jobs().journal()->set_failpoint(nullptr);
+
+    // ---- Global accounting: nothing leaked, nothing double-counted. ----
+    const ServerStats s = server.jobs().stats();
+    EXPECT_EQ(s.submitted, s.completed + s.quarantined + s.cancelled +
+                               s.deadline_expired + s.rejected_memory +
+                               s.errors)
+        << "leaked jobs";
+    EXPECT_EQ(s.errors, 0u);
+    EXPECT_EQ(s.rejected_memory, 0u);
+    EXPECT_EQ(s.deadline_expired, 0u);
+    EXPECT_EQ(s.active_jobs, 0u);
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_GE(s.completed,
+              kHeavy + kLight + chaos_completed + flood.size());
+    expected_completed_min = kHeavy + kLight;
+
+    server.begin_drain();
+    server.wait_drained();
+  }
+
+  // ---- Restart: exactly-once survived the whole soak.  Every admitted
+  // job already has a durable terminal record (nothing to recover), and a
+  // resubmitted key is answered from the log without running. ----
+  JobServerConfig jc;
+  jc.threads = 2;
+  jc.journal_dir = dir.path;
+  JobServer revived(jc);
+  EXPECT_EQ(revived.stats().jobs_recovered, 0u)
+      << "an admitted job was left without a durable terminal record";
+  EXPECT_GT(revived.stats().journal_replays, 0u);
+  JobSpec again;
+  again.name = "replayed";
+  again.source = figure10_source();
+  again.max_instructions = 20'000;
+  again.expect = {{0, 5}, {1, 3}};
+  again.idempotency_key = "heavy/0";
+  const auto id = revived.submit_spec(again);
+  ASSERT_TRUE(id.has_value());
+  const JobReport r = revived.wait(*id);
+  EXPECT_TRUE(r.deduped) << "a soak-era key re-ran after restart";
+  EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  (void)expected_completed_min;
+}
+
+}  // namespace
+}  // namespace tangled::serve

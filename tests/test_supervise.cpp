@@ -1,0 +1,587 @@
+// test_supervise.cpp — overload governance and self-healing supervision
+// (labels `govern;serve`): the stall watchdog (detect → preempt → requeue
+// from checkpoint → quarantine after N), weighted-fair tenant dequeue with
+// per-tenant queue/in-flight/memory quotas, the health state machine
+// (healthy → browning-out → degraded), brownout-scaled RETRY_AFTER hints on
+// the wire, the v3 codec tails, and the stall-spec parser.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/simulators.hpp"
+#include "asm/assembler.hpp"
+#include "asm/programs.hpp"
+#include "serve/job_server.hpp"
+#include "serve/journal.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/net/socket.hpp"
+
+namespace tangled::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool factors_ok(const CpuState& cpu) {
+  return cpu.regs[0] == 5 && cpu.regs[1] == 3;
+}
+
+Job fig10_job(const std::string& tenant = "") {
+  Job j;
+  j.name = "fig10";
+  j.program = assemble(figure10_source());
+  j.sim = SimKind::kFunc;
+  j.max_instructions = 20'000;
+  j.checkpoint_every = 25;
+  j.validate = factors_ok;
+  j.tenant = tenant;
+  return j;
+}
+
+Job spin_job(const std::string& tenant = "") {
+  Job j;
+  j.name = "spin";
+  j.program = assemble("loop: br loop\n");
+  j.max_instructions = 2'000'000'000ULL;
+  j.tenant = tenant;
+  return j;
+}
+
+/// Block until `pred` holds or `budget` elapses; true if it held.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 5'000ms) {
+  const auto until = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// Stall-spec parsing.
+
+TEST(StallSpec, ParsesFullAndDefaultedSpecs) {
+  const StallSpec s = parse_stall_spec("at=500,ms=2000,times=3");
+  EXPECT_EQ(s.at, 500u);
+  EXPECT_EQ(s.ms, 2000u);
+  EXPECT_EQ(s.times, 3u);
+  const StallSpec once = parse_stall_spec("at=1,ms=10");
+  EXPECT_EQ(once.times, 1u) << "times must default to one";
+}
+
+TEST(StallSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_stall_spec("at=500"), std::invalid_argument);  // no ms
+  EXPECT_THROW(parse_stall_spec("ms=10"), std::invalid_argument);   // no at
+  EXPECT_THROW(parse_stall_spec("at=x,ms=10"), std::invalid_argument);
+  EXPECT_THROW(parse_stall_spec("at=1,ms=10,bogus=2"), std::invalid_argument);
+  EXPECT_THROW(parse_stall_spec("at=1;ms=10"), std::invalid_argument);
+}
+
+TEST(StallSpec, BadSpecOnAJobReportsErrorNotHang) {
+  JobServer server({.threads = 1});
+  Job j = fig10_job();
+  j.stall_spec = "at=potato";
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kError) << r.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog: detect, preempt, resume, quarantine.
+
+TEST(Supervise, StalledJobIsPreemptedResumedAndCompletes) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.stall_timeout = 40ms;
+  c.supervise_tick = 10ms;
+  c.max_preemptions = 3;
+  JobServer server(c);
+
+  // The injected stall sleeps far longer than the whole test budget: only a
+  // supervisor preemption can finish this job in bounded time.
+  Job j = fig10_job();
+  j.stall_spec = "at=50,ms=120000";
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  EXPECT_GE(r.preemptions, 1u) << r.to_string();
+  EXPECT_LT(elapsed, 30s) << "the worker sat through the injected stall";
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.stalls_detected, 1u);
+  EXPECT_GE(s.preemptions, 1u);
+  EXPECT_EQ(s.stall_quarantines, 0u);
+}
+
+TEST(Supervise, PreemptedJobResumesInsteadOfRestarting) {
+  // A long program stalled mid-run: the preempt snapshot must carry the
+  // first segment's progress, so total retired instructions stay close to
+  // one clean run (a restart would re-retire the prefix).
+  static constexpr char kLongLoop[] = R"(
+        li  $1,250
+        lex $4,-1
+ outer: li  $2,200
+ inner: add $2,$4
+        jumpt $2,inner
+        add $1,$4
+        jumpt $1,outer
+        lex $1,5
+        lex $2,3
+        sys
+)";
+  const Program p = assemble(kLongLoop);
+  FunctionalSim ref(8, pbp::Backend::kDense);
+  ref.load(p);
+  const std::uint64_t clean_run = ref.run().instructions;
+  ASSERT_TRUE(ref.cpu().halted);
+
+  JobServerConfig c;
+  c.threads = 1;
+  c.stall_timeout = 40ms;
+  c.supervise_tick = 10ms;
+  JobServer server(c);
+  Job j;
+  j.name = "long-loop";
+  j.program = p;
+  j.sim = SimKind::kFunc;
+  j.max_instructions = 2'000'000;
+  j.checkpoint_every = 1'000;
+  // Stall halfway through so a from-scratch restart would be visible in the
+  // instruction count.
+  j.stall_spec = "at=" + std::to_string(clean_run / 2) + ",ms=120000";
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kCompleted) << r.to_string();
+  EXPECT_GE(r.preemptions, 1u) << r.to_string();
+  // Sliced execution overshoots a little per segment, never by half a run.
+  EXPECT_LT(r.instructions, clean_run + clean_run / 4)
+      << "preemption restarted the job instead of resuming it";
+}
+
+TEST(Supervise, WedgedJobQuarantinesAfterMaxPreemptions) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.stall_timeout = 30ms;
+  c.supervise_tick = 10ms;
+  c.max_preemptions = 2;
+  JobServer server(c);
+
+  Job j = fig10_job();
+  j.stall_spec = "at=25,ms=120000,times=100";  // stalls again every segment
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto id = *server.submit(std::move(j));
+  const JobReport r = server.wait(id);
+  EXPECT_EQ(r.outcome, JobOutcome::kQuarantined) << r.to_string();
+  EXPECT_NE(r.error.find("stalled"), std::string::npos) << r.error;
+  EXPECT_EQ(r.preemptions, 2u) << r.to_string();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 30s);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.stall_quarantines, 1u);
+  EXPECT_GE(s.stalls_detected, 3u);  // 2 preemptions + the final detection
+  EXPECT_EQ(s.preemptions, 2u);
+}
+
+TEST(Supervise, HealthyJobsAreNeverPreempted) {
+  // Supervision on, nothing stalls: zero preemptions, everything completes.
+  JobServerConfig c;
+  c.threads = 2;
+  c.stall_timeout = 250ms;
+  c.supervise_tick = 10ms;
+  JobServer server(c);
+  std::vector<JobServer::JobId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(*server.submit(fig10_job()));
+  for (const auto id : ids) {
+    EXPECT_EQ(server.wait(id).outcome, JobOutcome::kCompleted);
+  }
+  EXPECT_EQ(server.stats().stalls_detected, 0u);
+  EXPECT_EQ(server.stats().preemptions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant governance.
+
+TEST(Govern, WeightedFairDequeueInterleavesByWeight) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.tenant_weights = {{"heavy", 3}, {"light", 1}};
+  JobServer server(c);
+
+  // Hold the single worker while both tenants build a backlog.
+  const auto blocker = *server.submit(spin_job());
+  ASSERT_TRUE(eventually(
+      [&] { return server.progress(blocker)->phase == JobPhase::kRunning; }));
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  const auto tagged = [&](const std::string& tenant) {
+    Job j = fig10_job(tenant);
+    j.validate = [&order_mu, &order, tenant](const CpuState& cpu) {
+      {
+        std::lock_guard lk(order_mu);
+        order.push_back(tenant);
+      }
+      return factors_ok(cpu);
+    };
+    return j;
+  };
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(server.submit(tagged("heavy")));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(server.submit(tagged("light")));
+
+  server.cancel(blocker);
+  server.wait_all();
+  std::lock_guard lk(order_mu);
+  ASSERT_EQ(order.size(), 12u);
+  // Weight 3 vs 1: the stride scheduler interleaves ~3 heavy per light.
+  unsigned heavy_in_first_8 = 0;
+  for (std::size_t i = 0; i < 8; ++i) heavy_in_first_8 += order[i] == "heavy";
+  EXPECT_GE(heavy_in_first_8, 5u) << "weight-3 tenant not favoured";
+  // ...and the weight-1 tenant is never starved: it lands in every window
+  // of five consecutive dequeues until its backlog drains.
+  int last_light = -1;
+  for (int i = 0; i < 12; ++i) {
+    if (order[static_cast<std::size_t>(i)] == "light") {
+      EXPECT_LE(i - last_light, 5) << "light tenant starved";
+      last_light = i;
+    }
+  }
+  EXPECT_GE(last_light, 0) << "light tenant never ran";
+}
+
+TEST(Govern, TenantQueueQuotaShedsOnlyTheFlooder) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.tenant_max_queued = 2;
+  JobServer server(c);
+  const auto blocker = *server.submit(spin_job());
+  ASSERT_TRUE(eventually(
+      [&] { return server.progress(blocker)->phase == JobPhase::kRunning; }));
+
+  ASSERT_TRUE(server.try_submit(spin_job("noisy")).has_value());
+  ASSERT_TRUE(server.try_submit(spin_job("noisy")).has_value());
+  std::string reason;
+  EXPECT_FALSE(server.try_submit(spin_job("noisy"), &reason).has_value());
+  EXPECT_EQ(reason, "tenant-over-quota");
+  EXPECT_EQ(server.stats().tenant_sheds, 1u);
+  // The blocking submit path sheds a flooding tenant immediately too —
+  // queue backpressure is for the well-behaved.
+  EXPECT_FALSE(server.submit_for(spin_job("noisy"), 50ms, &reason));
+  EXPECT_EQ(reason, "tenant-over-quota");
+  // A different tenant is unaffected.
+  EXPECT_TRUE(server.try_submit(fig10_job("quiet"), &reason).has_value())
+      << reason;
+  server.shutdown(/*drain=*/false);
+}
+
+TEST(Govern, TenantInflightCapLeavesWorkersForOthers) {
+  JobServerConfig c;
+  c.threads = 2;
+  c.tenant_max_inflight = 1;
+  JobServer server(c);
+  const auto hog1 = *server.submit(spin_job("hog"));
+  ASSERT_TRUE(eventually(
+      [&] { return server.progress(hog1)->phase == JobPhase::kRunning; }));
+  const auto hog2 = *server.submit(spin_job("hog"));
+
+  // The second worker must skip the capped tenant and serve someone else.
+  const auto quiet = *server.submit(fig10_job("quiet"));
+  EXPECT_EQ(server.wait(quiet).outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(server.progress(hog2)->phase, JobPhase::kQueued)
+      << "in-flight cap did not hold the second hog job back";
+  server.cancel(hog1);
+  server.cancel(hog2);
+  server.wait_all();
+}
+
+TEST(Govern, TenantMemoryBudgetRejectsOversizedJobs) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.tenant_memory_budget_bytes = 16u << 20;  // dense ways=20 needs 32 MiB
+  JobServer server(c);
+  Job wide = fig10_job("capped");
+  wide.ways = 20;
+  wide.validate = nullptr;
+  const JobReport r = server.wait(*server.submit(std::move(wide)));
+  EXPECT_EQ(r.outcome, JobOutcome::kRejectedMemory) << r.to_string();
+  EXPECT_NE(r.error.find("tenant budget"), std::string::npos) << r.error;
+  // A job inside the slice still runs (2 MiB at ways=16).
+  Job fits = fig10_job("capped");
+  fits.ways = 16;
+  EXPECT_EQ(server.wait(*server.submit(std::move(fits))).outcome,
+            JobOutcome::kCompleted);
+}
+
+// ---------------------------------------------------------------------------
+// Health state machine.
+
+TEST(Health, QueueDelayBrownsOutThenRecovers) {
+  JobServerConfig c;
+  c.threads = 1;
+  c.supervise_tick = 10ms;
+  c.brownout_queue_delay = 80ms;
+  JobServer server(c);
+  EXPECT_EQ(server.health(), HealthState::kHealthy);
+
+  const auto blocker = *server.submit(spin_job());
+  const auto waiting = *server.submit(fig10_job());
+  // The queued job ages past the threshold: first non-healthy state the
+  // supervisor publishes must be browning-out (degraded needs 4x).
+  HealthState first = HealthState::kHealthy;
+  ASSERT_TRUE(eventually([&] {
+    if (first == HealthState::kHealthy) first = server.health();
+    return first != HealthState::kHealthy;
+  }));
+  EXPECT_EQ(first, HealthState::kBrowningOut);
+  EXPECT_EQ(server.stats().health,
+            static_cast<std::uint8_t>(HealthState::kBrowningOut));
+
+  server.cancel(blocker);
+  server.wait(waiting);
+  EXPECT_TRUE(eventually([&] {
+    return server.health() == HealthState::kHealthy;
+  })) << "health must recover once the queue drains";
+}
+
+TEST(Health, UnhealthyJournalDegradesTheServer) {
+  char tmpl[] = "/tmp/tangled-govern-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr) << std::strerror(errno);
+  const std::string dir = tmpl;
+  {
+    JobServerConfig c;
+    c.threads = 1;
+    c.supervise_tick = 10ms;
+    c.journal_dir = dir;
+    JobServer server(c);
+    server.journal()->set_failpoint([](const char* op) {
+      return std::strcmp(op, "append") == 0 ? ENOSPC : 0;
+    });
+    JobSpec spec;
+    spec.name = "shed-me";
+    spec.source = figure10_source();
+    spec.max_instructions = 20'000;
+    std::string reason;
+    EXPECT_FALSE(server.try_submit_spec(spec, &reason).has_value());
+    EXPECT_EQ(reason, "journal-unavailable");
+    EXPECT_TRUE(eventually([&] {
+      return server.health() == HealthState::kDegraded;
+    })) << "a sick journal must degrade the health state";
+  }
+  // Best-effort cleanup of the throwaway journal dir.
+  std::system(("rm -rf " + dir).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Wire: v3 tails, tenant-quota sheds, brownout-scaled hints.
+
+net::SubmitRequest wire_spin(const std::string& tenant) {
+  net::SubmitRequest req;
+  req.name = "spin";
+  req.source = "loop: br loop\n";
+  req.max_instructions = 2'000'000'000ULL;
+  req.tenant = tenant;
+  return req;
+}
+
+/// Minimal raw peer: submit one frame, read one reply (bypasses
+/// ServeClient's RetryAfter absorption so the hint itself is observable).
+bool raw_exchange(std::uint16_t port, const net::SubmitRequest& req,
+                  net::Frame* reply) {
+  std::string err;
+  net::Socket sock = net::connect_tcp("127.0.0.1", port, 2000ms, &err);
+  if (!sock.valid()) return false;
+  const auto bytes = net::encode_message(net::MsgType::kSubmit, req);
+  if (net::write_all(sock.fd(), bytes.data(), bytes.size(),
+                     net::Clock::now() + 2s) != net::IoStatus::kOk) {
+    return false;
+  }
+  return net::recv_frame(sock.fd(),
+                         {net::kDefaultMaxFrameBytes, 2000ms, 2000ms},
+                         reply) == net::RecvStatus::kOk;
+}
+
+TEST(GovernWire, JobSpecAndReportDecodeWithoutTheV3Tail) {
+  // v2-era journal records end before the tenant/stall tail; the decoder
+  // must accept them with defaulted fields (optional-tail discipline).
+  JobSpec spec;
+  spec.name = "v2";
+  spec.source = "sys\n";
+  spec.tenant = "";
+  spec.stall_spec = "";
+  pbp::ByteWriter w;
+  spec.serialize(w);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  ASSERT_GE(bytes.size(), 8u);
+  bytes.resize(bytes.size() - 8);  // strip the two empty tail strings
+  pbp::ByteReader r(bytes);
+  const JobSpec back = JobSpec::deserialize(r);
+  EXPECT_EQ(back.name, "v2");
+  EXPECT_TRUE(back.tenant.empty());
+  EXPECT_TRUE(back.stall_spec.empty());
+
+  JobReport rep;
+  rep.id = 9;
+  rep.outcome = JobOutcome::kCompleted;
+  pbp::ByteWriter rw;
+  rep.serialize(rw);
+  std::vector<std::uint8_t> rbytes = rw.bytes();
+  ASSERT_GE(rbytes.size(), 8u);
+  rbytes.resize(rbytes.size() - 8);  // strip empty tenant + preemptions
+  pbp::ByteReader rr(rbytes);
+  const JobReport rback = JobReport::deserialize(rr);
+  EXPECT_EQ(rback.id, 9u);
+  EXPECT_TRUE(rback.tenant.empty());
+  EXPECT_EQ(rback.preemptions, 0u);
+}
+
+TEST(GovernWire, TenantAndStallRoundTripTheV3Codec) {
+  net::SubmitRequest req = wire_spin("acme");
+  req.stall_spec = "at=10,ms=20,times=2";
+  pbp::ByteWriter w;
+  req.encode(w);
+  pbp::ByteReader r(w.bytes());
+  const net::SubmitRequest back = net::SubmitRequest::decode(r);
+  EXPECT_EQ(back.tenant, "acme");
+  EXPECT_EQ(back.stall_spec, "at=10,ms=20,times=2");
+
+  JobReport rep;
+  rep.tenant = "acme";
+  rep.preemptions = 2;
+  pbp::ByteWriter rw;
+  rep.serialize(rw);
+  pbp::ByteReader rr(rw.bytes());
+  const JobReport rback = JobReport::deserialize(rr);
+  EXPECT_EQ(rback.tenant, "acme");
+  EXPECT_EQ(rback.preemptions, 2u);
+}
+
+TEST(GovernWire, TenantQuotaShedsWithTheirOwnRetryReason) {
+  net::NetServerConfig config;
+  config.jobs.threads = 1;
+  config.jobs.tenant_max_queued = 1;
+  config.jobs.brownout_queue_delay = 0ms;  // keep health out of this test
+  config.retry_after_ms = 10;
+  net::NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::ServeClientConfig cc;
+  cc.port = server.port();
+  net::ServeClient client(cc);
+  net::ClientResult cr;
+  const auto running = client.submit(wire_spin("noisy"), &cr);
+  ASSERT_TRUE(running.has_value()) << cr.message;
+  ASSERT_TRUE(eventually([&] {
+    net::ProgressOk p;
+    return client.progress(*running, &p).ok && p.attempts > 0;
+  }));
+  const auto queued = client.submit(wire_spin("noisy"), &cr);
+  ASSERT_TRUE(queued.has_value()) << cr.message;
+
+  net::Frame reply;
+  ASSERT_TRUE(raw_exchange(server.port(), wire_spin("noisy"), &reply));
+  ASSERT_EQ(reply.type, net::MsgType::kRetryAfter);
+  pbp::ByteReader r(reply.payload);
+  const net::RetryAfter shed = net::RetryAfter::decode(r);
+  EXPECT_EQ(shed.reason, net::RetryAfter::Reason::kTenantQuota);
+  EXPECT_EQ(shed.delay_ms, 10u);  // healthy server: unscaled hint
+  EXPECT_GE(server.jobs().stats().tenant_sheds, 1u);
+
+  bool cancelled = false;
+  client.cancel(*running, &cancelled);
+  client.cancel(*queued, &cancelled);
+  server.stop();
+}
+
+TEST(GovernWire, BrownoutScalesTheRetryAfterHint) {
+  net::NetServerConfig config;
+  config.jobs.threads = 1;
+  config.jobs.queue_capacity = 1;
+  config.jobs.supervise_tick = 10ms;
+  config.jobs.brownout_queue_delay = 60ms;
+  config.retry_after_ms = 10;
+  net::NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::ServeClientConfig cc;
+  cc.port = server.port();
+  net::ServeClient client(cc);
+  net::ClientResult cr;
+  const auto running = client.submit(wire_spin(""), &cr);
+  ASSERT_TRUE(running.has_value()) << cr.message;
+  ASSERT_TRUE(eventually([&] {
+    net::ProgressOk p;
+    return client.progress(*running, &p).ok && p.attempts > 0;
+  }));
+  const auto queued = client.submit(wire_spin(""), &cr);
+  ASSERT_TRUE(queued.has_value()) << cr.message;
+
+  // The queued spin ages past brownout_queue_delay; once the supervisor
+  // publishes browning-out, queue-full sheds must carry a 4x hint.
+  ASSERT_TRUE(eventually([&] {
+    return server.jobs().health() == HealthState::kBrowningOut;
+  }));
+  net::Frame reply;
+  ASSERT_TRUE(raw_exchange(server.port(), wire_spin(""), &reply));
+  ASSERT_EQ(reply.type, net::MsgType::kRetryAfter);
+  pbp::ByteReader r(reply.payload);
+  const net::RetryAfter shed = net::RetryAfter::decode(r);
+  EXPECT_EQ(shed.reason, net::RetryAfter::Reason::kQueueFull);
+  EXPECT_EQ(shed.delay_ms, 40u) << "browning-out must scale the hint 4x";
+
+  bool cancelled = false;
+  client.cancel(*running, &cancelled);
+  client.cancel(*queued, &cancelled);
+  server.stop();
+}
+
+TEST(GovernWire, StatsSnapshotCarriesGovernanceCountersAndHealth) {
+  net::NetServerConfig config;
+  config.jobs.threads = 1;
+  config.jobs.stall_timeout = 40ms;
+  config.jobs.supervise_tick = 10ms;
+  net::NetServer server(config);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::ServeClientConfig cc;
+  cc.port = server.port();
+  net::ServeClient client(cc);
+  net::SubmitRequest req;
+  req.name = "stall";
+  req.source = figure10_source();
+  req.max_instructions = 20'000;
+  req.checkpoint_every = 25;
+  req.expect = {{0, 5}, {1, 3}};
+  req.tenant = "acme";
+  req.stall_spec = "at=50,ms=120000";
+  net::ClientResult cr;
+  const auto id = client.submit(req, &cr);
+  ASSERT_TRUE(id.has_value()) << cr.message;
+  const auto rep = client.next_report(30'000ms, &cr);
+  ASSERT_TRUE(rep.has_value()) << cr.message;
+  EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+  EXPECT_EQ(rep->tenant, "acme") << "tenant must survive the report codec";
+  EXPECT_GE(rep->preemptions, 1u);
+
+  net::StatsOk s;
+  ASSERT_TRUE(client.stats(&s).ok);
+  EXPECT_EQ(s.snapshot_version, net::kStatsSnapshotVersion);
+  EXPECT_GE(s.jobs.stalls_detected, 1u);
+  EXPECT_GE(s.jobs.preemptions, 1u);
+  EXPECT_EQ(s.jobs.stall_quarantines, 0u);
+  EXPECT_LE(s.jobs.health, 2u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tangled::serve
