@@ -146,4 +146,3 @@ BENCHMARK(BM_had_const_reg_copy);
 
 }  // namespace
 
-BENCHMARK_MAIN();

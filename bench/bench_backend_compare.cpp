@@ -212,4 +212,3 @@ BENCHMARK(BM_dense_substrate)->Apply(DenseSubstrateArgs)
 
 }  // namespace
 
-BENCHMARK_MAIN();

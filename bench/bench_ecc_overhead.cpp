@@ -271,4 +271,3 @@ BENCHMARK(BM_codec64_check_block_tier)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();

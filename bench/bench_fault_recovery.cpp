@@ -167,4 +167,3 @@ BENCHMARK(BM_fig10_rollback_recovery);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -86,4 +86,3 @@ BENCHMARK(BM_fig10_pipeline5_nofwd)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();

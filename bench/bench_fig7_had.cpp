@@ -78,4 +78,3 @@ HAD_SWEEP(BM_had_const_reg);
 
 }  // namespace
 
-BENCHMARK_MAIN();

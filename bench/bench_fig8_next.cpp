@@ -87,4 +87,3 @@ NEXT_SWEEP(BM_next_structural_empty);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -127,4 +127,3 @@ BENCHMARK(BM_classical_all_pairs)->Arg(15)->Arg(77)->Arg(221);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// bench_main.cpp — shared entry point for every bench binary.
+//
+// The distro's libbenchmark package is compiled without NDEBUG, so every
+// run prints "***WARNING*** Library was built as DEBUG. Timings may be
+// affected." no matter how THIS repo is built.  The warning is baked into
+// the shared library (PrintBasicContext emits it under #ifndef NDEBUG), so
+// the only clean suppression is at the reporter's error stream: this main
+// installs a line filter that drops exactly that line and forwards every
+// other context/diagnostic line to stderr untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace {
+
+/// std::streambuf that buffers whole lines and forwards them to a sink,
+/// dropping lines carrying the libbenchmark built-as-DEBUG warning.
+class DebugWarningFilter : public std::streambuf {
+ public:
+  explicit DebugWarningFilter(std::ostream& sink) : sink_(sink) {}
+  ~DebugWarningFilter() override { flush_line(); }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return ch;
+    line_.push_back(static_cast<char>(ch));
+    if (ch == '\n') flush_line();
+    return ch;
+  }
+
+ private:
+  void flush_line() {
+    if (line_.empty()) return;
+    if (line_.find("Library was built as DEBUG") == std::string::npos) {
+      sink_ << line_;
+      sink_.flush();
+    }
+    line_.clear();
+  }
+
+  std::ostream& sink_;
+  std::string line_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  DebugWarningFilter filter(std::cerr);
+  std::ostream err(&filter);
+  benchmark::ConsoleReporter reporter;
+  reporter.SetErrorStream(&err);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -111,4 +111,3 @@ MEAS_SWEEP(BM_pop);
 
 }  // namespace
 
-BENCHMARK_MAIN();

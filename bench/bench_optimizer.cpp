@@ -104,4 +104,3 @@ BENCHMARK(BM_optimize_sat);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -103,4 +103,3 @@ BENCHMARK(BM_cpi)
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -124,4 +124,3 @@ BENCHMARK(BM_re_carry_chain)->Arg(16)->Arg(20)->Arg(24);
 
 }  // namespace
 
-BENCHMARK_MAIN();

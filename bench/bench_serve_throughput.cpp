@@ -13,7 +13,11 @@
 // EXPERIMENTS.md, "Serve layer".
 //   * the same fixed-overhead batch pushed through the loopback-TCP front
 //     door (framed wire protocol + CRC + report streaming) — the "wire
-//     tax" relative to in-process submission.
+//     tax" relative to in-process submission;
+//   * fixed overhead with the simulator pool off vs on (cold construction
+//     per job vs pooled reset, ISSUE 10);
+//   * the TCP batch submitted per-frame vs as one kSubmitBatch frame with
+//     coalesced kReportBatch drains.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -106,24 +110,39 @@ void BM_serve_re_migration_batch(benchmark::State& state) {
 BENCHMARK(BM_serve_re_migration_batch)->UseRealTime();
 
 void BM_serve_fixed_overhead(benchmark::State& state) {
-  // 2 instructions per job: what's left is queueing, reservation, sim
-  // construction, and report publication.
+  // 2 instructions per job against a LONG-LIVED server (how tangled_served
+  // actually runs): what's measured is the steady-state per-job floor —
+  // queueing, reservation, sim construction (or pooled reset, Arg =
+  // sim_pool entries), and report publication.  Arg(0) = cold
+  // construct-per-job; Arg(8) = pooled reuse.
   const Program p = assemble("lex $1,1\nsys\n");
+  const auto pool = static_cast<std::size_t>(state.range(0));
+  JobServerConfig config;
+  config.threads = 8;
+  config.queue_capacity = kBatch;
+  config.sim_pool = pool;
+  JobServer server(config);
   std::uint64_t jobs_done = 0;
+  std::vector<JobServer::JobId> ids;
+  ids.reserve(kBatch);
   for (auto _ : state) {
-    JobServer server({.threads = 8, .queue_capacity = kBatch});
+    ids.clear();
     for (unsigned i = 0; i < kBatch; ++i) {
       Job j;
       j.program = p;
       j.max_instructions = 100;
-      server.submit(std::move(j));
+      if (const auto id = server.submit(std::move(j))) ids.push_back(*id);
     }
-    jobs_done += server.wait_all().size();
+    for (const auto id : ids) {
+      benchmark::DoNotOptimize(server.wait(id));
+      ++jobs_done;
+    }
   }
   state.counters["jobs_per_s"] = benchmark::Counter(
       static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+  state.counters["sim_pool"] = static_cast<double>(pool);
 }
-BENCHMARK(BM_serve_fixed_overhead)->UseRealTime();
+BENCHMARK(BM_serve_fixed_overhead)->Arg(0)->Arg(8)->UseRealTime();
 
 void BM_serve_tcp_fixed_overhead(benchmark::State& state) {
   // The same trivial 2-instruction batch, but submitted through the framed
@@ -156,6 +175,43 @@ void BM_serve_tcp_fixed_overhead(benchmark::State& state) {
 }
 BENCHMARK(BM_serve_tcp_fixed_overhead)->UseRealTime();
 
+void BM_serve_tcp_batched_overhead(benchmark::State& state) {
+  // The same trivial batch, but submitted as ONE kSubmitBatch frame and
+  // drained through coalesced kReportBatch frames.  The delta against
+  // BM_serve_tcp_fixed_overhead is the per-frame wire tax that batching
+  // amortizes away.
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    net::NetServerConfig config;
+    config.jobs.threads = 8;
+    config.jobs.queue_capacity = kBatch;
+    net::NetServer server(config);
+    net::ServeClientConfig cc;
+    cc.port = server.port();
+    net::ServeClient client(cc);
+    std::vector<JobSpec> specs(kBatch);
+    for (auto& s : specs) {
+      s.name = "noop";
+      s.source = "lex $1,1\nsys\n";
+      s.max_instructions = 100;
+    }
+    std::vector<net::SubmitBatchOk::Item> items;
+    unsigned admitted = 0;
+    if (client.submit_batch(specs, &items)) {
+      for (const auto& it : items) {
+        if (it.status == net::SubmitBatchOk::Status::kAdmitted) ++admitted;
+      }
+    }
+    for (unsigned i = 0; i < admitted; ++i) {
+      if (client.next_report(std::chrono::milliseconds{30'000})) ++jobs_done;
+    }
+    server.begin_drain();
+    server.wait_drained();
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(jobs_done), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_serve_tcp_batched_overhead)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();

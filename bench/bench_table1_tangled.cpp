@@ -148,4 +148,3 @@ BENCHMARK(BM_isa_mix)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();

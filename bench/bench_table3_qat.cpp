@@ -108,4 +108,3 @@ QAT_SWEEP(BM_qat_pop);
 
 }  // namespace
 
-BENCHMARK_MAIN();

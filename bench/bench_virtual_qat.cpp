@@ -70,4 +70,3 @@ VQAT_SWEEP(BM_vqat_popcount);
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// perf_serve_floor — the serve-layer half of the `perf` lane (ISSUE 10): a
+// pass/fail guard on the fixed cost per trivial job, not a measurement
+// harness (that is bench_serve_throughput).  It drives a LONG-LIVED
+// JobServer with 2-instruction jobs — the configuration where per-job
+// overhead is everything — and enforces two properties the tentpole bought:
+//
+//   1. the pooled floor: with the simulator pool on, steady-state
+//      throughput must beat an absolute jobs/s bar (the pre-pool recorded
+//      floor was ~10k jobs/s; the bar defaults to 20k and is overridable
+//      via TANGLED_SERVE_FLOOR_MIN for slow CI boxes);
+//   2. pooling pays: the pooled server must beat the cold
+//      construct-per-job server by at least kMinPoolGain.
+//
+// Method mirrors perf_smoke: pooled and cold run in strict alternation so
+// frequency drift hits both equally, and each side keeps its MAXIMUM
+// throughput over the rounds — the max is the noise-free estimate of the
+// achievable rate; means would let one descheduled round fail the build.
+//
+// Exit status: 0 on pass, 1 on a floor/ratio breach, 2 on a wrong answer
+// or a lost report (the smoke must never bless a broken serve layer).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "serve/job_server.hpp"
+
+namespace {
+
+using namespace tangled;
+using namespace tangled::serve;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMinPoolGain = 1.3;  // pooled must beat cold by 30%
+constexpr double kDefaultFloor = 20'000.0;  // jobs/s, pooled
+constexpr int kRounds = 8;
+constexpr unsigned kBatch = 64;
+constexpr unsigned kBatchesPerRound = 4;
+
+struct Lane {
+  std::size_t sim_pool;
+  double best_jobs_per_s = 0.0;
+};
+
+/// One timed round against `server`: kBatchesPerRound batches of kBatch
+/// trivial jobs, submit-then-wait per batch.  Returns jobs/s, or -1 on a
+/// lost report or failed job.
+double one_round(JobServer& server, const Program& p) {
+  const auto t0 = Clock::now();
+  std::vector<JobServer::JobId> ids;
+  ids.reserve(kBatch);
+  for (unsigned b = 0; b < kBatchesPerRound; ++b) {
+    ids.clear();
+    for (unsigned i = 0; i < kBatch; ++i) {
+      Job j;
+      j.program = p;
+      j.max_instructions = 100;
+      const auto id = server.submit(std::move(j));
+      if (!id) return -1.0;
+      ids.push_back(*id);
+    }
+    for (const auto id : ids) {
+      const JobReport rep = server.wait(id);
+      if (rep.outcome != JobOutcome::kCompleted) return -1.0;
+    }
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(kBatch) * kBatchesPerRound / secs;
+}
+
+}  // namespace
+
+int main() {
+  const Program p = assemble("lex $1,1\nsys\n");
+
+  Lane pooled{8, 0.0};
+  Lane cold{0, 0.0};
+
+  JobServerConfig pooled_cfg;
+  pooled_cfg.threads = 4;
+  pooled_cfg.queue_capacity = kBatch;
+  pooled_cfg.sim_pool = pooled.sim_pool;
+  JobServer pooled_server(pooled_cfg);
+
+  JobServerConfig cold_cfg = pooled_cfg;
+  cold_cfg.sim_pool = cold.sim_pool;
+  JobServer cold_server(cold_cfg);
+
+  // Warm-up: populate the pool and fault in every code path before timing.
+  if (one_round(pooled_server, p) < 0 || one_round(cold_server, p) < 0) {
+    std::fprintf(stderr, "perf_serve_floor: warm-up round lost a job\n");
+    return 2;
+  }
+
+  for (int r = 0; r < kRounds; ++r) {
+    for (Lane* lane : {&pooled, &cold}) {
+      JobServer& server = lane->sim_pool != 0 ? pooled_server : cold_server;
+      const double rate = one_round(server, p);
+      if (rate < 0) {
+        std::fprintf(stderr, "perf_serve_floor: round %d lost a job\n", r);
+        return 2;
+      }
+      if (rate > lane->best_jobs_per_s) lane->best_jobs_per_s = rate;
+    }
+  }
+
+  double floor = kDefaultFloor;
+  if (const char* env = std::getenv("TANGLED_SERVE_FLOOR_MIN")) {
+    floor = std::atof(env);
+  }
+  const double gain = pooled.best_jobs_per_s / cold.best_jobs_per_s;
+  std::printf(
+      "perf_serve_floor: pooled %.0f jobs/s, cold %.0f jobs/s "
+      "(gain %.2fx, floor %.0f)\n",
+      pooled.best_jobs_per_s, cold.best_jobs_per_s, gain, floor);
+
+  bool ok = true;
+  if (pooled.best_jobs_per_s < floor) {
+    std::fprintf(stderr,
+                 "perf_serve_floor: FAIL pooled floor: %.0f < %.0f jobs/s "
+                 "(override with TANGLED_SERVE_FLOOR_MIN)\n",
+                 pooled.best_jobs_per_s, floor);
+    ok = false;
+  }
+  if (gain < kMinPoolGain) {
+    std::fprintf(stderr,
+                 "perf_serve_floor: FAIL pool gain: %.2fx < %.2fx over "
+                 "cold construction\n",
+                 gain, kMinPoolGain);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

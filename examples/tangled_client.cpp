@@ -34,6 +34,10 @@ void usage() {
       "  --host=H             server address (default 127.0.0.1)\n"
       "  --port=N             server port (required)\n"
       "  --jobs=N             copies of the program to submit (default 1)\n"
+      "  --batch              submit every job in ONE wire frame and drain\n"
+      "                       coalesced report batches (one round-trip\n"
+      "                       instead of one per job; falls back to\n"
+      "                       per-job frames against a pre-batch server)\n"
       "  --sim=K              func | multi | multi-fsm | pipe4 | pipe5 |\n"
       "                       pipe5-nofwd | rtl (default rotates over all)\n"
       "  --backend=B          dense | re (default dense)\n"
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
   bool sim_fixed = false;
   bool have_port = false;
   bool do_stats = false, stats_json = false, do_ping = false, verbose = false;
+  bool use_batch = false;
   std::uint64_t cancel_id = 0, progress_id = 0;
   bool do_cancel = false, do_progress = false;
   std::string program_file;
@@ -212,6 +217,8 @@ int main(int argc, char** argv) {
     } else if (std::string(argv[i]) == "--stats-json") {
       do_stats = true;
       stats_json = true;
+    } else if (std::string(argv[i]) == "--batch") {
+      use_batch = true;
     } else if (std::string(argv[i]) == "--ping") {
       do_ping = true;
     } else if (std::string(argv[i]) == "--verbose") {
@@ -260,7 +267,10 @@ int main(int argc, char** argv) {
           "\"reports_streamed\":%llu,\"reports_orphaned\":%llu,"
           "\"jobs_recovered\":%llu,\"journal_replays\":%llu,"
           "\"journal_bytes\":%llu,\"reports_deduped\":%llu,"
-          "\"journal_shed\":%llu}\n",
+          "\"journal_shed\":%llu,"
+          "\"sim_pool_hits\":%llu,\"sim_pool_misses\":%llu,"
+          "\"batch_submits\":%llu,\"batch_jobs\":%llu,"
+          "\"batch_reports\":%llu}\n",
           s.snapshot_version, s.draining ? "true" : "false",
           health_state_name(static_cast<HealthState>(s.jobs.health)),
           static_cast<unsigned long long>(s.jobs.submitted),
@@ -289,7 +299,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.jobs.journal_replays),
           static_cast<unsigned long long>(s.jobs.journal_bytes),
           static_cast<unsigned long long>(s.jobs.reports_deduped),
-          static_cast<unsigned long long>(s.jobs.journal_shed));
+          static_cast<unsigned long long>(s.jobs.journal_shed),
+          static_cast<unsigned long long>(s.jobs.sim_pool_hits),
+          static_cast<unsigned long long>(s.jobs.sim_pool_misses),
+          static_cast<unsigned long long>(s.batch_submits),
+          static_cast<unsigned long long>(s.batch_jobs),
+          static_cast<unsigned long long>(s.batch_reports));
       return 0;
     }
     std::printf(
@@ -302,6 +317,8 @@ int main(int argc, char** argv) {
         "  reports: %llu streamed, %llu orphaned\n"
         "  journal: %llu job(s) recovered, %llu replay(s), %llu bytes, "
         "%llu deduped, %llu shed\n"
+        "  hot path: %llu pool hit(s), %llu miss(es), %llu batch submit(s) "
+        "(%llu job(s)), %llu coalesced report frame(s)\n"
         "  governance: health=%s, %llu stall(s) detected, %llu preemption(s), "
         "%llu stall quarantine(s), %llu tenant shed(s)\n",
         s.snapshot_version, s.draining ? " [draining]" : "",
@@ -326,6 +343,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.jobs.journal_bytes),
         static_cast<unsigned long long>(s.jobs.reports_deduped),
         static_cast<unsigned long long>(s.jobs.journal_shed),
+        static_cast<unsigned long long>(s.jobs.sim_pool_hits),
+        static_cast<unsigned long long>(s.jobs.sim_pool_misses),
+        static_cast<unsigned long long>(s.batch_submits),
+        static_cast<unsigned long long>(s.batch_jobs),
+        static_cast<unsigned long long>(s.batch_reports),
         health_state_name(static_cast<HealthState>(s.jobs.health)),
         static_cast<unsigned long long>(s.jobs.stalls_detected),
         static_cast<unsigned long long>(s.jobs.preemptions),
@@ -382,8 +404,8 @@ int main(int argc, char** argv) {
                                    SimKind::kMultiFsm, SimKind::kPipe4,
                                    SimKind::kPipe5,    SimKind::kPipe5NoFwd,
                                    SimKind::kRtl};
-  std::vector<std::uint64_t> ids;
-  ids.reserve(jobs);
+  std::vector<SubmitRequest> reqs;
+  reqs.reserve(jobs);
   for (unsigned i = 0; i < jobs; ++i) {
     SubmitRequest req = base;
     if (!sim_fixed) req.sim = kKinds[i % std::size(kKinds)];
@@ -393,12 +415,54 @@ int main(int argc, char** argv) {
     if (!idemp_prefix.empty()) {
       req.idempotency_key = idemp_prefix + "/" + std::to_string(i);
     }
-    ClientResult r;
-    const auto id = client.submit(req, &r);
-    if (!id) return transport_fail("submit", r);
-    ids.push_back(*id);
+    reqs.push_back(std::move(req));
   }
-  std::printf("tangled_client: submitted %zu job(s)\n", ids.size());
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs);
+  unsigned shed = 0;
+  if (use_batch) {
+    std::vector<JobSpec> specs(reqs.begin(), reqs.end());
+    std::vector<SubmitBatchOk::Item> items;
+    ClientResult r;
+    if (!client.submit_batch(specs, &items, &r)) {
+      if (r.code != WireError::kUnknownType) {
+        return transport_fail("batch submit", r);
+      }
+      // Pre-batch server: the connection survives an unknown type, so the
+      // same jobs go through one-at-a-time.
+      std::fprintf(stderr,
+                   "tangled_client: server predates batch submission; "
+                   "falling back to per-job frames\n");
+      use_batch = false;
+    } else {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const auto& it = items[i];
+        if (it.status == SubmitBatchOk::Status::kAdmitted) {
+          ids.push_back(it.id);
+        } else if (it.status == SubmitBatchOk::Status::kRetry) {
+          ++shed;
+          std::fprintf(stderr,
+                       "tangled_client: job %zu shed (retry after %u ms)\n", i,
+                       it.delay_ms);
+        } else {
+          ++shed;
+          std::fprintf(stderr, "tangled_client: job %zu rejected: %s\n", i,
+                       it.message.c_str());
+        }
+      }
+    }
+  }
+  if (!use_batch) {
+    for (const SubmitRequest& req : reqs) {
+      ClientResult r;
+      const auto id = client.submit(req, &r);
+      if (!id) return transport_fail("submit", r);
+      ids.push_back(*id);
+    }
+  }
+  std::printf("tangled_client: submitted %zu job(s)%s\n", ids.size(),
+              use_batch ? " in one batch frame" : "");
 
   unsigned completed = 0, failed = 0;
   for (std::size_t got = 0; got < ids.size();) {
@@ -422,6 +486,7 @@ int main(int argc, char** argv) {
                    job_outcome_name(rep->outcome));
     }
   }
-  std::printf("tangled_client: %u completed, %u failed\n", completed, failed);
-  return failed == 0 ? 0 : 1;
+  std::printf("tangled_client: %u completed, %u failed\n", completed,
+              failed + shed);
+  return failed + shed == 0 ? 0 : 1;
 }

@@ -65,6 +65,12 @@ void usage() {
       "                       unlisted tenants weigh 1)\n"
       "  --brownout-delay-ms=N   queue delay at which the server browns out\n"
       "                       and scales its RETRY_AFTER hints (default 500)\n"
+      "  --sim-pool=N         per-worker simulator cache entries: jobs reuse\n"
+      "                       a reset simulator instead of constructing one;\n"
+      "                       0 = cold-construct per job (default 8)\n"
+      "  --chunk-shards=N     share N RE chunk-pool stripes across eligible\n"
+      "                       compressed-backend jobs; 0 = a private pool\n"
+      "                       per job (default 0)\n"
       "  --stats-json         print the drain summary as one JSON line\n"
       "                       instead of prose\n");
 }
@@ -154,6 +160,10 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--brownout-delay-ms", &v)) {
       config.jobs.brownout_queue_delay =
           std::chrono::milliseconds(parse_small(v, "--brownout-delay-ms"));
+    } else if (parse_flag(argv[i], "--sim-pool", &v)) {
+      config.jobs.sim_pool = parse_small(v, "--sim-pool");
+    } else if (parse_flag(argv[i], "--chunk-shards", &v)) {
+      config.jobs.chunk_shards = parse_small(v, "--chunk-shards");
     } else if (std::string(argv[i]) == "--stats-json") {
       stats_json = true;
     } else {

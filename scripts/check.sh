@@ -8,10 +8,12 @@
 #                               the sanitizer config — the ISSUE's
 #                               "no uncaught exception, ever" gate
 #   scripts/check.sh tsan       serve-layer concurrency tests (ctest -L
-#                               'serve|net' minus the chaos soak) under
-#                               -DTANGLED_TSAN=ON (ThreadSanitizer) — the
-#                               data-race gate for src/serve and
-#                               src/serve/net
+#                               'serve|net' minus the chaos soak, including
+#                               the ISSUE-10 pool-reset differential suite,
+#                               the sharded-ChunkPool stress, and the
+#                               batched-wire tests) under -DTANGLED_TSAN=ON
+#                               (ThreadSanitizer) — the data-race gate for
+#                               src/serve and src/serve/net
 #   scripts/check.sh net        network front-door suite (ctest -L net:
 #                               wire codec forgeries, hostile-input
 #                               handling, overload shedding, graceful
@@ -25,14 +27,19 @@
 #                               storage-upset soak) under the sanitizer
 #                               config — the "no wrong-answer completion,
 #                               ever" gate
-#   scripts/check.sh perf       Release perf smoke (ctest -L perf): the
+#   scripts/check.sh perf       Release perf guards (ctest -L perf): the
 #                               Figure 10 run with --ecc=correct must stay
 #                               within 8x of --ecc=off at the default
-#                               verification epoch, and the dispatched SIMD
+#                               verification epoch, the dispatched SIMD
 #                               tier must not regress below the forced-scalar
-#                               dense substrate baseline — the "integrity is
-#                               nearly free" + "vectorization actually pays"
-#                               gates (bench/perf_smoke.cpp)
+#                               dense substrate baseline, and the serve
+#                               layer's pooled trivial-job floor must clear
+#                               its jobs/s bar while beating cold per-job
+#                               construction — the "integrity is nearly
+#                               free" + "vectorization actually pays" +
+#                               "the fixed-cost floor stays dead" gates
+#                               (bench/perf_smoke.cpp,
+#                               bench/perf_serve_floor.cpp)
 #   scripts/check.sh simd       vector-dispatch differential suite (ctest -L
 #                               simd) re-run once per tier with TANGLED_SIMD
 #                               forcing the process-wide dispatch to scalar /
@@ -186,9 +193,13 @@ run_crash() {
 run_perf() {
   echo "== configuring build (Release) =="
   cmake -B build -S . >/dev/null
-  echo "== building perf smoke =="
-  cmake --build build -j "$(nproc)" --target perf_smoke
-  echo "== integrity perf smoke (ctest -L perf, Release) =="
+  echo "== building perf smoke + serve floor guard =="
+  cmake --build build -j "$(nproc)" --target perf_smoke perf_serve_floor
+  echo "== perf guards (ctest -L perf, Release) =="
+  # perf_smoke: integrity + SIMD cost gates.  perf_serve_floor: the serve
+  # layer's fixed cost per trivial job must clear the pooled jobs/s bar and
+  # pooling must beat cold per-job construction (ISSUE 10; the bar is
+  # overridable via TANGLED_SERVE_FLOOR_MIN for slow CI boxes).
   ctest --test-dir build -L perf --output-on-failure
 }
 

@@ -28,15 +28,28 @@ std::vector<std::uint8_t> encode_payload(const CpuState& cpu,
   w.u8(cpu.halted ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(cpu.trap.kind));
   w.u16(cpu.trap.pc);
-  // --- Memory, run-length encoded (equal-value runs) ---
+  // --- Memory, run-length encoded (equal-value runs).  Words past the
+  // dirty high-water mark are guaranteed zero, so the scan stops there and
+  // the tail is emitted (or merged) as one zero run — O(dirty footprint),
+  // not O(address space), keeping trivial-job checkpoints cheap.  The
+  // encoding is byte-identical to a full scan.
   const auto& words = mem.words();
+  const std::size_t scan = mem.dirty_high_water();
   std::vector<std::pair<std::uint32_t, std::uint16_t>> runs;
   std::size_t i = 0;
-  while (i < words.size()) {
+  while (i < scan) {
     std::size_t j = i + 1;
-    while (j < words.size() && words[j] == words[i]) ++j;
+    while (j < scan && words[j] == words[i]) ++j;
     runs.emplace_back(static_cast<std::uint32_t>(j - i), words[i]);
     i = j;
+  }
+  if (scan < words.size()) {
+    const auto tail = static_cast<std::uint32_t>(words.size() - scan);
+    if (!runs.empty() && runs.back().second == 0) {
+      runs.back().first += tail;
+    } else {
+      runs.emplace_back(tail, 0);
+    }
   }
   w.u32(static_cast<std::uint32_t>(runs.size()));
   for (const auto& [len, val] : runs) {
@@ -59,6 +72,7 @@ void decode_payload(pbp::ByteReader& r, CpuState& cpu, Memory& mem,
   auto& words = mem.words_mut();
   const std::uint32_t n_runs = r.u32();
   std::size_t at = 0;
+  std::size_t nonzero_end = 0;  // true dirty extent of the restored image
   for (std::uint32_t run = 0; run < n_runs; ++run) {
     const std::uint32_t len = r.u32();
     const std::uint16_t val = r.u16();
@@ -67,11 +81,13 @@ void decode_payload(pbp::ByteReader& r, CpuState& cpu, Memory& mem,
                             "memory runs overflow the image");
     }
     for (std::uint32_t k = 0; k < len; ++k) words[at++] = val;
+    if (val != 0) nonzero_end = at;
   }
   if (at != words.size()) {
     throw CheckpointError(CheckpointError::Kind::kMalformed,
                           "memory runs do not cover memory");
   }
+  mem.shrink_dirty_high_water(nonzero_end);
   // The bulk rewrite above bypassed write(); rebuild the ECC sidecar so the
   // restored image is protected (and clean) under the *current* policy.
   mem.refresh_ecc();

@@ -8,7 +8,9 @@
 // programs on every model and compare final state.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +38,7 @@ class Memory {
   /// table-driven encode, so a store costs O(1) extra regardless of mode.
   void write(std::uint16_t addr, std::uint16_t v) {
     words_[addr] = v;
+    if (std::size_t{addr} >= dirty_limit_) dirty_limit_ = std::size_t{addr} + 1;
     if (ecc_ != pbp::EccMode::kOff) {
       check_[addr] = pbp::secded16_encode_fast(v);
     }
@@ -50,6 +53,7 @@ class Memory {
     for (std::size_t i = 0; i < image.size(); ++i) {
       words_[i] = image[i];
     }
+    if (image.size() > dirty_limit_) dirty_limit_ = image.size();
     refresh_ecc();
     return true;
   }
@@ -57,7 +61,43 @@ class Memory {
   /// Whole-array access for checkpointing and fault injection.  After
   /// mutating through words_mut() with protection on, call refresh_ecc().
   const std::vector<std::uint16_t>& words() const { return words_; }
-  std::vector<std::uint16_t>& words_mut() { return words_; }
+  /// High-water mark of written words: every word at index >= this is
+  /// guaranteed still zero.  Checkpoint encoding and reset() exploit it to
+  /// stay O(dirty footprint) instead of O(address space).
+  std::size_t dirty_high_water() const { return dirty_limit_; }
+  std::vector<std::uint16_t>& words_mut() {
+    // The caller may scribble anywhere; pessimize the dirty high-water mark.
+    dirty_limit_ = words_.size();
+    return words_;
+  }
+  /// Caller contract: every word at index >= n is zero.  Checkpoint restore
+  /// bulk-writes through words_mut() (which pins the mark to the full
+  /// array) but knows the true extent from the decoded runs and lowers the
+  /// mark back so later checkpoints stay O(dirty footprint).
+  void shrink_dirty_high_water(std::size_t n) {
+    if (n < dirty_limit_) dirty_limit_ = n;
+  }
+
+  /// Rewind to power-on state: zero payload words, drop the check sidecar,
+  /// reset policy and counters.  Only the dirty prefix of the array is
+  /// touched, so resetting a pooled Memory costs O(words actually written)
+  /// rather than O(64Ki) — the point of reusing the allocation at all.
+  /// Bit-identical to a freshly constructed Memory (tests/test_sim_pool.cpp
+  /// holds this contract).
+  void reset() {
+    std::fill(words_.begin(),
+              words_.begin() + static_cast<std::ptrdiff_t>(dirty_limit_), 0);
+    dirty_limit_ = 0;
+    check_.clear();
+    ecc_ = pbp::EccMode::kOff;
+    corrected_ = 0;
+    detected_ = 0;
+    ecc_epoch_ = 1;
+    ecc_now_ = 0;
+    words_verified_ = 0;
+    verifies_elided_ = 0;
+    verified_at_.clear();
+  }
 
   // --- Integrity layer -----------------------------------------------
 
@@ -83,6 +123,7 @@ class Memory {
   /// check byte, exactly what a particle strike does to the array.
   void storage_upset(std::uint16_t addr, unsigned bit) {
     words_[addr] = static_cast<std::uint16_t>(words_[addr] ^ (1u << (bit & 15u)));
+    if (std::size_t{addr} >= dirty_limit_) dirty_limit_ = std::size_t{addr} + 1;
   }
 
   std::uint64_t ecc_corrected() const { return corrected_; }
@@ -115,6 +156,10 @@ class Memory {
   std::uint16_t load_checked_epoch(std::uint16_t addr, bool* corrupt);
 
   std::vector<std::uint16_t> words_;
+  /// High-water mark of possibly-nonzero payload words; reset() clears only
+  /// [0, dirty_limit_).  words_mut() pins it to the full array because the
+  /// caller can write anywhere through the raw reference.
+  std::size_t dirty_limit_ = 0;
   std::vector<std::uint8_t> check_;  // one SECDED byte per word when on
   pbp::EccMode ecc_ = pbp::EccMode::kOff;
   std::uint64_t corrected_ = 0;  // monotone: never rewound by rollback

@@ -51,6 +51,20 @@ class MultiCycleFsmSim {
 
   SimStats run(std::uint64_t max_instructions = 1'000'000);
 
+  /// Rewind to power-on state, reusing allocations (same contract as
+  /// SimBase::reset(): bit-identical to a freshly constructed sim).
+  void reset() {
+    cpu_ = CpuState{};
+    mem_.reset();
+    qat_.reset();
+    console_.clear();
+    state_cycles_ = {};
+    injector_ = FaultInjector{};
+    retired_total_ = 0;
+    max_cycles_ = 0;
+    scrub_every_ = 0;
+  }
+
   // --- Fault tolerance (same contract as SimBase) ---
   void set_fault_plan(FaultPlan plan) {
     if (plan.max_pool_symbols != 0) {

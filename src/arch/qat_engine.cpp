@@ -9,7 +9,56 @@ namespace tangled {
 using pbp::Aob;
 
 QatEngine::QatEngine(unsigned ways, pbp::Backend backend, unsigned chunk_ways)
-    : backend_(pbp::make_qat_backend(backend, ways, kNumQatRegs, chunk_ways)) {
+    : backend_(pbp::make_qat_backend(backend, ways, kNumQatRegs, chunk_ways)),
+      orig_backend_(backend),
+      orig_ways_(ways),
+      orig_chunk_ways_(chunk_ways) {}
+
+void QatEngine::reset() {
+  if (orig_backend_ == pbp::Backend::kDense) {
+    // In place: the slab allocation (and its cache residency) survives.
+    static_cast<pbp::DenseQatBackend*>(backend_.get())->reset_state();
+  } else {
+    // RE register files (including ones that migrated RE→dense mid-job, or
+    // that adopted a shared chunk pool) are rebuilt over a fresh private
+    // pool: their power-on state is a handful of pointer-sized runs, so
+    // reconstruction is already cheap, and detaching keeps the contract
+    // "reset == fresh-construct" exact — the serve layer re-adopts a
+    // shared stripe per job when the job is eligible.
+    shared_pool_.reset();
+    backend_ = pbp::make_qat_backend(orig_backend_, orig_ways_, kNumQatRegs,
+                                     orig_chunk_ways_);
+  }
+  stats_ = QatStats{};
+  migration_guard_ = nullptr;
+  ecc_mode_ = pbp::EccMode::kOff;
+  ecc_epoch_ = 1;
+  ecc_now_ = 0;
+  qat_threads_ = 1;
+}
+
+void QatEngine::use_chunk_pool(std::shared_ptr<pbp::ChunkPool> pool) {
+  if (pool == nullptr) {
+    // Detach back to a private pool; no-op if already private.
+    if (shared_pool_ != nullptr) {
+      shared_pool_.reset();
+      backend_ = pbp::make_qat_backend(orig_backend_, orig_ways_, kNumQatRegs,
+                                       orig_chunk_ways_);
+    }
+    return;
+  }
+  if (orig_backend_ != pbp::Backend::kCompressed) {
+    throw std::invalid_argument(
+        "QatEngine: shared chunk pools require a compressed backend");
+  }
+  if (pool->chunk_ways() > orig_ways_) {
+    throw std::invalid_argument(
+        "QatEngine: shared pool chunk_ways exceeds engine ways");
+  }
+  shared_pool_ = std::move(pool);
+  backend_ =
+      std::make_unique<pbp::ReQatBackend>(shared_pool_, orig_ways_,
+                                          kNumQatRegs);
 }
 
 void QatEngine::set_reg(unsigned r, const Aob& v) {

@@ -113,6 +113,28 @@ class QatEngine {
                      pbp::Backend backend = pbp::Backend::kDense,
                      unsigned chunk_ways = 12);
 
+  /// Power-on reset: afterwards the engine is bit-identical to a freshly
+  /// constructed QatEngine with this engine's construction parameters —
+  /// every register all-zero, counters zero, ECC/epoch/threads policy back
+  /// to defaults, migration guard cleared, and (if the register file had
+  /// migrated RE→dense) the original backend kind restored.  A dense
+  /// register file is rewound in place (DenseQatBackend::reset_state), so
+  /// the slab stays cache-hot; a compressed one is rebuilt over a fresh
+  /// private pool — a shared pool adopted via use_chunk_pool is detached,
+  /// keeping reset == fresh-construct exact (the serve layer re-adopts a
+  /// stripe per job).  The serve layer's simulator pool leans on this
+  /// contract (tests/test_sim_pool.cpp proves it differentially).
+  void reset();
+
+  /// Serve-layer seam: rebuild the compressed register file over an
+  /// externally owned (possibly cross-job shared) chunk pool.  Only valid
+  /// for engines constructed with Backend::kCompressed and ways >=
+  /// pool->chunk_ways(); throws std::invalid_argument otherwise.  Discards
+  /// current register state (callers adopt pools before loading a
+  /// program).  nullptr detaches back to a private pool (no-op when
+  /// already private).
+  void use_chunk_pool(std::shared_ptr<pbp::ChunkPool> pool);
+
   unsigned ways() const { return backend_->ways(); }
   std::size_t channels() const { return backend_->channels(); }
   pbp::Backend backend_kind() const { return backend_->kind(); }
@@ -273,6 +295,12 @@ class QatEngine {
   void tally_sweep(const pbp::EccSweep& s);
 
   std::unique_ptr<pbp::QatBackend> backend_;
+  // Construction parameters, kept so reset() can restore the power-on
+  // configuration even after an RE→dense migration replaced the backend.
+  pbp::Backend orig_backend_;
+  unsigned orig_ways_;
+  unsigned orig_chunk_ways_;
+  std::shared_ptr<pbp::ChunkPool> shared_pool_;  // set by use_chunk_pool
   mutable QatStats stats_;
   std::function<bool(std::size_t)> migration_guard_;
   pbp::EccMode ecc_mode_ = pbp::EccMode::kOff;

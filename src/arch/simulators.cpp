@@ -28,6 +28,7 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
     }
     const Decoded dec = decode(w0, w1);
     ++coverage_[cpu_.pc];
+    if (cpu_.pc >= coverage_limit_) coverage_limit_ = cpu_.pc + 1;
     const ExecResult exec =
         execute_instr(cpu_, mem_, qat_, dec.instr, dec.words);
     ++stats_.instructions;
@@ -81,6 +82,23 @@ SimStats SimBase::run(std::uint64_t max_instructions) {
   stats_.halted = cpu_.halted;
   stats_.trap = cpu_.trap;
   return stats_;
+}
+
+void SimBase::reset() {
+  cpu_ = CpuState{};
+  mem_.reset();
+  qat_.reset();
+  stats_ = {};
+  console_.clear();
+  std::fill(coverage_.begin(),
+            coverage_.begin() + static_cast<std::ptrdiff_t>(coverage_limit_),
+            std::uint64_t{0});
+  coverage_limit_ = 0;
+  injector_ = FaultInjector{};
+  retired_total_ = 0;
+  max_cycles_ = 0;
+  scrub_every_ = 0;
+  reset_timing();
 }
 
 std::vector<std::uint16_t> SimBase::unexecuted(std::uint16_t limit) const {

@@ -73,6 +73,15 @@ class SimBase {
   /// Run until sys/trap or max_instructions; returns the statistics.
   SimStats run(std::uint64_t max_instructions = 1'000'000);
 
+  /// Rewind to power-on state, reusing every allocation (memory array,
+  /// Qat slab, coverage map).  The contract — enforced by
+  /// tests/test_sim_pool.cpp — is that a reset simulator is bit-identical
+  /// to a freshly constructed one with the same (ways, backend): same
+  /// architectural state, same stats, same ECC counters, same serialized
+  /// Qat bytes.  Cost is O(state actually dirtied), which is what makes a
+  /// per-worker simulator pool cheaper than construction.
+  void reset();
+
   // --- Fault tolerance ---
   /// Arm a fault-injection plan (applies its pool symbol cap immediately).
   void set_fault_plan(FaultPlan plan) {
@@ -152,6 +161,9 @@ class SimBase {
   SimStats stats_;
   std::string console_;
   std::vector<std::uint64_t> coverage_ = std::vector<std::uint64_t>(65536, 0);
+  /// High-water mark of possibly-nonzero coverage counters, so reset()
+  /// clears O(program footprint) instead of the whole 64Ki map.
+  std::size_t coverage_limit_ = 0;
   FaultInjector injector_;
   std::uint64_t retired_total_ = 0;
   std::uint64_t max_cycles_ = 0;

@@ -10,13 +10,124 @@ namespace {
 
 constexpr std::size_t kWordBits = 64;
 
-// Number of storage words for 2^ways bits (at least one, for ways < 6).
+std::size_t mask_ch(unsigned ways, std::size_t ch) {
+  return ch & ((std::size_t{1} << ways) - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// bitview — the raw-word kernels both Aob and the dense slab backend run.
+
+namespace bitview {
+
 std::size_t words_for(unsigned ways) {
   const std::size_t bits = std::size_t{1} << ways;
   return (bits + kWordBits - 1) / kWordBits;
 }
 
-}  // namespace
+bool get(const std::uint64_t* w, unsigned ways, std::size_t ch) {
+  ch = mask_ch(ways, ch);
+  return (w[ch / kWordBits] >> (ch % kWordBits)) & 1u;
+}
+
+void set(std::uint64_t* w, unsigned ways, std::size_t ch, bool v) {
+  ch = mask_ch(ways, ch);
+  const std::uint64_t bit = std::uint64_t{1} << (ch % kWordBits);
+  if (v) {
+    w[ch / kWordBits] |= bit;
+  } else {
+    w[ch / kWordBits] &= ~bit;
+  }
+}
+
+void fill_ones(std::uint64_t* w, std::size_t n, unsigned ways) {
+  const std::size_t bits = std::size_t{1} << ways;
+  for (std::size_t i = 0; i < n; ++i) w[i] = ~std::uint64_t{0};
+  if (bits < kWordBits) w[0] = (std::uint64_t{1} << bits) - 1;
+}
+
+void invert(std::uint64_t* w, std::size_t n, unsigned ways) {
+  const std::size_t bits = std::size_t{1} << ways;
+  for (std::size_t i = 0; i < n; ++i) w[i] = ~w[i];
+  if (bits < kWordBits) w[0] &= (std::uint64_t{1} << bits) - 1;
+}
+
+std::size_t popcount(const std::uint64_t* w, std::size_t n) {
+  return simd::popcount(w, n);
+}
+
+std::size_t popcount_after(const std::uint64_t* w, std::size_t n,
+                           unsigned ways, std::size_t ch) {
+  ch = mask_ch(ways, ch);
+  const std::size_t bits = std::size_t{1} << ways;
+  const std::size_t start = ch + 1;  // strictly after
+  if (start >= bits) return 0;
+  const std::size_t wi = start / kWordBits;
+  const std::size_t bi = start % kWordBits;
+  std::size_t count = static_cast<std::size_t>(
+      std::popcount(w[wi] & (~std::uint64_t{0} << bi)));
+  return count + simd::popcount(w + wi + 1, n - wi - 1);
+}
+
+std::optional<std::size_t> next_one(const std::uint64_t* w, std::size_t n,
+                                    unsigned ways, std::size_t ch) {
+  ch = mask_ch(ways, ch);
+  const std::size_t bits = std::size_t{1} << ways;
+  const std::size_t start = ch + 1;
+  if (start >= bits) return std::nullopt;
+  std::size_t wi = start / kWordBits;
+  const std::size_t bi = start % kWordBits;
+  std::uint64_t word = w[wi] & (~std::uint64_t{0} << bi);
+  if (word == 0) {
+    // Skip ahead over the zero run with the vector scan.
+    const std::size_t rest = simd::first_nonzero(w + wi + 1, n - wi - 1);
+    if (wi + 1 + rest == n) return std::nullopt;
+    wi += 1 + rest;
+    word = w[wi];
+  }
+  const std::size_t pos =
+      wi * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+  return pos < bits ? std::optional<std::size_t>{pos} : std::nullopt;
+}
+
+bool any(const std::uint64_t* w, std::size_t n) {
+  return simd::first_nonzero(w, n) != n;
+}
+
+bool all(const std::uint64_t* w, std::size_t n, unsigned ways) {
+  const std::size_t bits = std::size_t{1} << ways;
+  if (bits < kWordBits) return w[0] == (std::uint64_t{1} << bits) - 1;
+  return simd::all_ones(w, n);
+}
+
+std::uint64_t hash(const std::uint64_t* w, std::size_t n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= w[i];
+    h *= 0x100000001b3ull;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+std::string to_string(const std::uint64_t* w, unsigned ways,
+                      std::size_t max_bits) {
+  const std::size_t n = std::size_t{1} << ways;
+  std::string s;
+  const std::size_t shown = n < max_bits ? n : max_bits;
+  s.reserve(shown + 3);
+  for (std::size_t e = 0; e < shown; ++e) {
+    s.push_back(get(w, ways, e) ? '1' : '0');
+  }
+  if (shown < n) s += "...";
+  return s;
+}
+
+}  // namespace bitview
+
+// ---------------------------------------------------------------------------
+// Aob — a thin owner over the bitview kernels.
 
 Aob::Aob(unsigned ways) : ways_(ways) {
   if (ways > kMaxAobWays) {
@@ -24,32 +135,23 @@ Aob::Aob(unsigned ways) : ways_(ways) {
                                 " exceeds dense-representation limit " +
                                 std::to_string(kMaxAobWays));
   }
-  w_.assign(words_for(ways), 0);
+  w_.assign(bitview::words_for(ways), 0);
 }
 
 Aob Aob::zeros(unsigned ways) { return Aob(ways); }
 
 Aob Aob::ones(unsigned ways) {
   Aob a(ways);
-  const std::size_t bits = a.bit_count();
-  for (auto& w : a.w_) w = ~std::uint64_t{0};
-  if (bits < kWordBits) a.w_[0] = (std::uint64_t{1} << bits) - 1;
+  bitview::fill_ones(a.w_.data(), a.w_.size(), ways);
   return a;
 }
 
 bool Aob::get(std::size_t ch) const {
-  ch = mask_channel(ch);
-  return (w_[ch / kWordBits] >> (ch % kWordBits)) & 1u;
+  return bitview::get(w_.data(), ways_, ch);
 }
 
 void Aob::set(std::size_t ch, bool v) {
-  ch = mask_channel(ch);
-  const std::uint64_t bit = std::uint64_t{1} << (ch % kWordBits);
-  if (v) {
-    w_[ch / kWordBits] |= bit;
-  } else {
-    w_[ch / kWordBits] &= ~bit;
-  }
+  bitview::set(w_.data(), ways_, ch, v);
 }
 
 void Aob::check_compatible(const Aob& o) const {
@@ -78,11 +180,7 @@ Aob& Aob::operator^=(const Aob& o) {
   return *this;
 }
 
-void Aob::invert() {
-  for (auto& w : w_) w = ~w;
-  const std::size_t bits = bit_count();
-  if (bits < kWordBits) w_[0] &= (std::uint64_t{1} << bits) - 1;
-}
+void Aob::invert() { bitview::invert(w_.data(), w_.size(), ways_); }
 
 Aob Aob::operator~() const {
   Aob r = *this;
@@ -104,72 +202,31 @@ void Aob::swap_values(Aob& a, Aob& b) noexcept {
 }
 
 std::size_t Aob::popcount() const {
-  return simd::popcount(w_.data(), w_.size());
+  return bitview::popcount(w_.data(), w_.size());
 }
 
 std::size_t Aob::popcount_after(std::size_t ch) const {
-  ch = mask_channel(ch);
-  const std::size_t start = ch + 1;  // strictly after
-  if (start >= bit_count()) return 0;
-  const std::size_t wi = start / kWordBits;
-  const std::size_t bi = start % kWordBits;
-  std::size_t n = static_cast<std::size_t>(
-      std::popcount(w_[wi] & (~std::uint64_t{0} << bi)));
-  return n + simd::popcount(w_.data() + wi + 1, w_.size() - wi - 1);
+  return bitview::popcount_after(w_.data(), w_.size(), ways_, ch);
 }
 
 std::optional<std::size_t> Aob::next_one(std::size_t ch) const {
-  ch = mask_channel(ch);
-  const std::size_t start = ch + 1;
-  if (start >= bit_count()) return std::nullopt;
-  std::size_t wi = start / kWordBits;
-  const std::size_t bi = start % kWordBits;
-  std::uint64_t w = w_[wi] & (~std::uint64_t{0} << bi);
-  if (w == 0) {
-    // Skip ahead over the zero run with the vector scan.
-    const std::size_t rest =
-        simd::first_nonzero(w_.data() + wi + 1, w_.size() - wi - 1);
-    if (wi + 1 + rest == w_.size()) return std::nullopt;
-    wi += 1 + rest;
-    w = w_[wi];
-  }
-  const std::size_t pos =
-      wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
-  return pos < bit_count() ? std::optional<std::size_t>{pos} : std::nullopt;
+  return bitview::next_one(w_.data(), w_.size(), ways_, ch);
 }
 
-bool Aob::any() const {
-  return simd::first_nonzero(w_.data(), w_.size()) != w_.size();
-}
+bool Aob::any() const { return bitview::any(w_.data(), w_.size()); }
 
-bool Aob::all() const {
-  const std::size_t bits = bit_count();
-  if (bits < kWordBits) return w_[0] == (std::uint64_t{1} << bits) - 1;
-  return simd::all_ones(w_.data(), w_.size());
-}
+bool Aob::all() const { return bitview::all(w_.data(), w_.size(), ways_); }
 
 bool Aob::operator==(const Aob& o) const {
   return ways_ == o.ways_ && w_ == o.w_;
 }
 
 std::uint64_t Aob::hash() const noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const auto w : w_) {
-    h ^= w;
-    h *= 0x100000001b3ull;
-    h ^= h >> 32;
-  }
-  return h;
+  return bitview::hash(w_.data(), w_.size());
 }
 
 std::string Aob::to_string(std::size_t max_bits) const {
-  const std::size_t n = bit_count();
-  std::string s;
-  const std::size_t shown = n < max_bits ? n : max_bits;
-  s.reserve(shown + 3);
-  for (std::size_t e = 0; e < shown; ++e) s.push_back(get(e) ? '1' : '0');
-  if (shown < n) s += "...";
-  return s;
+  return bitview::to_string(w_.data(), ways_, max_bits);
 }
 
 }  // namespace pbp

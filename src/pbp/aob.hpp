@@ -103,4 +103,33 @@ class Aob {
   std::vector<std::uint64_t> w_;
 };
 
+/// Raw-word kernels over a packed 2^ways-bit view (`w` points at
+/// words_for(ways) little-endian 64-bit words).  These are the single source
+/// of truth for the bit-level semantics: Aob's methods delegate here, and the
+/// slab-backed dense register file (qat_backend.cpp) runs the same kernels on
+/// its flat arena — so "reset == fresh-construct bit-identically" is not two
+/// implementations agreeing, it is one implementation.
+namespace bitview {
+
+/// Storage words for 2^ways bits (at least one, for ways < 6).
+std::size_t words_for(unsigned ways);
+
+bool get(const std::uint64_t* w, unsigned ways, std::size_t ch);
+void set(std::uint64_t* w, unsigned ways, std::size_t ch, bool v);
+/// All-ones with the dead tail of word 0 masked off (ways < 6).
+void fill_ones(std::uint64_t* w, std::size_t n, unsigned ways);
+void invert(std::uint64_t* w, std::size_t n, unsigned ways);
+std::size_t popcount(const std::uint64_t* w, std::size_t n);
+std::size_t popcount_after(const std::uint64_t* w, std::size_t n,
+                           unsigned ways, std::size_t ch);
+std::optional<std::size_t> next_one(const std::uint64_t* w, std::size_t n,
+                                    unsigned ways, std::size_t ch);
+bool any(const std::uint64_t* w, std::size_t n);
+bool all(const std::uint64_t* w, std::size_t n, unsigned ways);
+std::uint64_t hash(const std::uint64_t* w, std::size_t n) noexcept;
+std::string to_string(const std::uint64_t* w, unsigned ways,
+                      std::size_t max_bits);
+
+}  // namespace bitview
+
 }  // namespace pbp

@@ -16,15 +16,43 @@ QatBackend::QatBackend(unsigned ways, unsigned num_regs)
 }
 
 // ---------------------------------------------------------------------------
-// DenseQatBackend — the historical std::vector<Aob> register file.
+// DenseQatBackend — the slab-backed register file.  Semantics are the
+// historical std::vector<Aob> file's, bit for bit (the measurement family
+// runs the same bitview kernels Aob runs); storage is one flat arena with a
+// register->slot indirection so swap() stays O(1) and reset_state() can
+// rewind to power-on without giving the allocation back.
 
 DenseQatBackend::DenseQatBackend(unsigned ways, unsigned num_regs)
     : QatBackend(ways, num_regs) {
   if (ways == 0 || ways > kMaxAobWays) {
     throw std::invalid_argument("DenseQatBackend: ways out of range");
   }
-  regs_.assign(num_regs, Aob::zeros(ways));
-  words_per_reg_ = regs_[0].word_count();
+  words_per_reg_ = bitview::words_for(ways);
+  slab_.assign(std::size_t{num_regs} * words_per_reg_, 0);
+  slot_.resize(num_regs);
+  for (std::uint32_t i = 0; i < num_regs; ++i) slot_[i] = i;
+  dirty_.assign(num_regs, false);
+}
+
+void DenseQatBackend::reset_state() {
+  for (std::size_t s = 0; s < dirty_.size(); ++s) {
+    if (!dirty_[s]) continue;
+    std::fill_n(slab_.data() + s * words_per_reg_, words_per_reg_,
+                std::uint64_t{0});
+    dirty_[s] = false;
+  }
+  for (std::uint32_t i = 0; i < slot_.size(); ++i) slot_[i] = i;
+  // clear() without shrink_to_fit: the sidecar's capacity is part of the
+  // cache-hot arena a pooled simulator reuses; its *size* (the observable
+  // state) matches a fresh backend's empty sidecar.
+  check_.clear();
+  verified_at_.clear();
+  pending_ = EccSweep{};
+  ecc_ = EccMode::kOff;
+  ecc_epoch_ = 1;
+  ecc_now_ = 0;
+  threads_ = 1;
+  shards_.reset();
 }
 
 // The data ops below are fused verify-compute-encode sweeps: one pass over
@@ -45,34 +73,39 @@ DenseQatBackend::DenseQatBackend(unsigned ways, unsigned num_regs)
 
 void DenseQatBackend::zero(unsigned a) {
   const unsigned i = idx(a);
-  auto w = regs_[i].words_mut();
-  std::fill(w.begin(), w.end(), std::uint64_t{0});
+  std::fill_n(wp(i), words_per_reg_, std::uint64_t{0});
+  dirty_[slot_[i]] = false;  // back at the power-on value
   if (ecc_ != EccMode::kOff) {
     std::fill_n(chk(i), words_per_reg_, std::uint8_t{0});  // encode(0) == 0
-    verified_at_[i] = stamp_now();
+    vstamp(i) = stamp_now();
   }
 }
 
 void DenseQatBackend::one(unsigned a) {
-  regs_[idx(a)] = Aob::ones(ways_);
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  bitview::fill_ones(wp(i), words_per_reg_, ways_);
+  mark_dirty(i);
+  encode_reg(i);
 }
 
 void DenseQatBackend::had(unsigned a, unsigned k) {
-  regs_[idx(a)] = hadamard_generate(ways_, k);
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  const Aob h = hadamard_generate(ways_, k);
+  std::copy_n(h.words().data(), words_per_reg_, wp(i));
+  mark_dirty(i);
+  encode_reg(i);
 }
 
 void DenseQatBackend::not_(unsigned a) {
   const unsigned i = idx(a);
   verify_reg(i);
-  regs_[i].invert();
+  bitview::invert(wp(i), words_per_reg_, ways_);
+  mark_dirty(i);
   if (ecc_ != EccMode::kOff) {
     // invert() XORs every live bit: one constant delta per word.
-    const std::uint64_t live = regs_[i].bit_count() >= 64
-                                   ? ~std::uint64_t{0}
-                                   : (std::uint64_t{1} << regs_[i].bit_count()) -
-                                         1;
+    const std::uint64_t live =
+        channels() >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << channels()) - 1;
     const std::uint8_t d = secded64_encode_fast(live);
     std::uint8_t* c = chk(i);
     for (std::size_t j = 0; j < words_per_reg_; ++j) c[j] ^= d;
@@ -83,20 +116,21 @@ void DenseQatBackend::cnot(unsigned a, unsigned b) {
   const unsigned ia = idx(a), ib = idx(b);
   verify_reg(ia);
   verify_reg(ib);
-  auto wa = regs_[ia].words_mut();
-  const auto wb = regs_[ib].words();
+  std::uint64_t* wa = wp(ia);
+  const std::uint64_t* wb = wp(ib);
+  mark_dirty(ia);
   if (ecc_ == EccMode::kOff) {
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::xor_inplace(wa.data() + b0, wb.data() + b0, b1 - b0);
+      simd::xor_inplace(wa + b0, wb + b0, b1 - b0);
     });
     return;
   }
   std::uint8_t* ca = chk(ia);
   const std::uint8_t* cb = chk(ib);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::cnot_ecc(wa.data() + b0, wb.data() + b0, ca + b0, cb + b0, b1 - b0);
+    simd::cnot_ecc(wa + b0, wb + b0, ca + b0, cb + b0, b1 - b0);
   });
-  stamp_dest(ia, std::min(verified_at_[ia], verified_at_[ib]));
+  stamp_dest(ia, std::min(vstamp(ia), vstamp(ib)));
 }
 
 void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
@@ -104,33 +138,29 @@ void DenseQatBackend::ccnot(unsigned a, unsigned b, unsigned c) {
   verify_reg(ia);
   verify_reg(ib);
   verify_reg(ic);
-  auto wa = regs_[ia].words_mut();
-  const auto wb = regs_[ib].words();
-  const auto wc = regs_[ic].words();
+  std::uint64_t* wa = wp(ia);
+  const std::uint64_t* wb = wp(ib);
+  const std::uint64_t* wc = wp(ic);
+  mark_dirty(ia);
   if (ecc_ == EccMode::kOff) {
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::ccnot(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+      simd::ccnot(wa + b0, wb + b0, wc + b0, b1 - b0);
     });
     return;
   }
   std::uint8_t* ca = chk(ia);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::ccnot_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
-                    b1 - b0);
+    simd::ccnot_ecc(wa + b0, wb + b0, wc + b0, ca + b0, b1 - b0);
   });
-  stamp_dest(ia, std::min({verified_at_[ia], verified_at_[ib],
-                           verified_at_[ic]}));
+  stamp_dest(ia, std::min({vstamp(ia), vstamp(ib), vstamp(ic)}));
 }
 
 void DenseQatBackend::swap(unsigned a, unsigned b) {
   if (idx(a) == idx(b)) return;
-  // A register move carries payload, sidecar and stamp together — an upset
-  // in either register stays exactly as detectable after the swap.
-  Aob::swap_values(regs_[idx(a)], regs_[idx(b)]);
-  if (ecc_ != EccMode::kOff) {
-    std::swap_ranges(chk(idx(a)), chk(idx(a)) + words_per_reg_, chk(idx(b)));
-    std::swap(verified_at_[idx(a)], verified_at_[idx(b)]);
-  }
+  // A register move is a slot exchange: payload, sidecar, epoch stamp and
+  // dirty flag all travel together (they are slot-indexed), so an upset in
+  // either register stays exactly as detectable after the swap.
+  std::swap(slot_[idx(a)], slot_[idx(b)]);
 }
 
 void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
@@ -139,25 +169,25 @@ void DenseQatBackend::cswap(unsigned a, unsigned b, unsigned c) {
   verify_reg(ia);
   verify_reg(ib);
   verify_reg(ic);
-  auto wa = regs_[ia].words_mut();
-  auto wb = regs_[ib].words_mut();
-  const auto wc = regs_[ic].words();
+  std::uint64_t* wa = wp(ia);
+  std::uint64_t* wb = wp(ib);
+  const std::uint64_t* wc = wp(ic);
+  mark_dirty(ia);
+  mark_dirty(ib);
   if (ecc_ == EccMode::kOff) {
     // Aliasing with the control is well-defined: each word's delta is
     // computed from pre-update values before either target word is written.
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::cswap(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+      simd::cswap(wa + b0, wb + b0, wc + b0, b1 - b0);
     });
     return;
   }
   std::uint8_t* ca = chk(ia);
   std::uint8_t* cb = chk(ib);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::cswap_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
-                    cb + b0, b1 - b0);
+    simd::cswap_ecc(wa + b0, wb + b0, wc + b0, ca + b0, cb + b0, b1 - b0);
   });
-  const std::uint64_t s = std::min(
-      {verified_at_[ia], verified_at_[ib], verified_at_[ic]});
+  const std::uint64_t s = std::min({vstamp(ia), vstamp(ib), vstamp(ic)});
   stamp_dest(ia, s);
   stamp_dest(ib, s);
 }
@@ -166,54 +196,55 @@ void DenseQatBackend::and_(unsigned a, unsigned b, unsigned c) {
   const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
   verify_reg(ib);
   verify_reg(ic);
-  auto wa = regs_[ia].words_mut();
-  const auto wb = regs_[ib].words();
-  const auto wc = regs_[ic].words();
+  std::uint64_t* wa = wp(ia);
+  const std::uint64_t* wb = wp(ib);
+  const std::uint64_t* wc = wp(ic);
+  mark_dirty(ia);
   if (ecc_ == EccMode::kOff) {
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::and3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+      simd::and3(wa + b0, wb + b0, wc + b0, b1 - b0);
     });
     return;
   }
   std::uint8_t* ca = chk(ia);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::and3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
-                   b1 - b0);
+    simd::and3_ecc(wa + b0, wb + b0, wc + b0, ca + b0, b1 - b0);
   });
-  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
+  stamp_dest(ia, std::min(vstamp(ib), vstamp(ic)));
 }
 
 void DenseQatBackend::or_(unsigned a, unsigned b, unsigned c) {
   const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
   verify_reg(ib);
   verify_reg(ic);
-  auto wa = regs_[ia].words_mut();
-  const auto wb = regs_[ib].words();
-  const auto wc = regs_[ic].words();
+  std::uint64_t* wa = wp(ia);
+  const std::uint64_t* wb = wp(ib);
+  const std::uint64_t* wc = wp(ic);
+  mark_dirty(ia);
   if (ecc_ == EccMode::kOff) {
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::or3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+      simd::or3(wa + b0, wb + b0, wc + b0, b1 - b0);
     });
     return;
   }
   std::uint8_t* ca = chk(ia);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::or3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
-                  b1 - b0);
+    simd::or3_ecc(wa + b0, wb + b0, wc + b0, ca + b0, b1 - b0);
   });
-  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
+  stamp_dest(ia, std::min(vstamp(ib), vstamp(ic)));
 }
 
 void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
   const unsigned ia = idx(a), ib = idx(b), ic = idx(c);
   verify_reg(ib);
   verify_reg(ic);
-  auto wa = regs_[ia].words_mut();
-  const auto wb = regs_[ib].words();
-  const auto wc = regs_[ic].words();
+  std::uint64_t* wa = wp(ia);
+  const std::uint64_t* wb = wp(ib);
+  const std::uint64_t* wc = wp(ic);
+  mark_dirty(ia);
   if (ecc_ == EccMode::kOff) {
     for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-      simd::xor3(wa.data() + b0, wb.data() + b0, wc.data() + b0, b1 - b0);
+      simd::xor3(wa + b0, wb + b0, wc + b0, b1 - b0);
     });
     return;
   }
@@ -221,72 +252,76 @@ void DenseQatBackend::xor_(unsigned a, unsigned b, unsigned c) {
   const std::uint8_t* cb = chk(ib);
   const std::uint8_t* cc = chk(ic);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    simd::xor3_ecc(wa.data() + b0, wb.data() + b0, wc.data() + b0, ca + b0,
-                   cb + b0, cc + b0, b1 - b0);
+    simd::xor3_ecc(wa + b0, wb + b0, wc + b0, ca + b0, cb + b0, cc + b0,
+                   b1 - b0);
   });
-  stamp_dest(ia, std::min(verified_at_[ib], verified_at_[ic]));
+  stamp_dest(ia, std::min(vstamp(ib), vstamp(ic)));
 }
 
 bool DenseQatBackend::meas(unsigned a, std::size_t ch) const {
   verify_reg(a);
-  return regs_[idx(a)].get(ch);
+  return bitview::get(wp(idx(a)), ways_, ch);
 }
 
 std::optional<std::size_t> DenseQatBackend::next_one(unsigned a,
                                                      std::size_t ch) const {
   verify_reg(a);
-  return regs_[idx(a)].next_one(ch);
+  return bitview::next_one(wp(idx(a)), words_per_reg_, ways_, ch);
 }
 
 std::size_t DenseQatBackend::pop_after(unsigned a, std::size_t ch) const {
   verify_reg(a);
-  return regs_[idx(a)].popcount_after(ch);
+  return bitview::popcount_after(wp(idx(a)), words_per_reg_, ways_, ch);
 }
 
 std::size_t DenseQatBackend::popcount(unsigned a) const {
   verify_reg(a);
-  return regs_[idx(a)].popcount();
+  return bitview::popcount(wp(idx(a)), words_per_reg_);
 }
 
 bool DenseQatBackend::any(unsigned a) const {
   verify_reg(a);
-  return regs_[idx(a)].any();
+  return bitview::any(wp(idx(a)), words_per_reg_);
 }
 
 bool DenseQatBackend::all(unsigned a) const {
   verify_reg(a);
-  return regs_[idx(a)].all();
+  return bitview::all(wp(idx(a)), words_per_reg_, ways_);
 }
 
 Aob DenseQatBackend::reg_aob(unsigned a) const {
   verify_reg(a);
-  return regs_[idx(a)];
+  Aob out(ways_);
+  std::copy_n(wp(idx(a)), words_per_reg_, out.words_mut().data());
+  return out;
 }
 
 void DenseQatBackend::set_reg_aob(unsigned a, const Aob& v) {
   if (v.ways() != ways_) {
     throw std::invalid_argument("DenseQatBackend: wrong AoB size");
   }
-  regs_[idx(a)] = v;
-  encode_reg(idx(a));
+  const unsigned i = idx(a);
+  std::copy_n(v.words().data(), words_per_reg_, wp(i));
+  mark_dirty(i);
+  encode_reg(i);
 }
 
 void DenseQatBackend::set_channel(unsigned a, std::size_t ch, bool v) {
   const unsigned i = idx(a);
   verify_reg(i);  // repair first: a read-modify-write of one channel
-  regs_[i].set(ch, v);
+  bitview::set(wp(i), ways_, ch, v);
+  mark_dirty(i);
   if (ecc_ != EccMode::kOff) {
     // Only one payload word changed; re-encode just that word.
-    const auto w = regs_[i].words();
-    const std::size_t word = (ch & (regs_[i].bit_count() - 1)) / 64;
-    chk(i)[word] = secded64_encode_fast(w[word]);
+    const std::size_t word = (ch & (channels() - 1)) / 64;
+    chk(i)[word] = secded64_encode_fast(wp(i)[word]);
   }
 }
 
 std::string DenseQatBackend::reg_string(unsigned a,
                                         std::size_t max_bits) const {
   verify_reg(a);
-  return regs_[idx(a)].to_string(max_bits);
+  return bitview::to_string(wp(idx(a)), ways_, max_bits);
 }
 
 std::size_t DenseQatBackend::storage_bytes() const {
@@ -297,11 +332,11 @@ std::size_t DenseQatBackend::storage_bytes() const {
 
 void DenseQatBackend::encode_reg(unsigned i) {
   if (ecc_ == EccMode::kOff) return;
-  const auto w = regs_[i].words();
+  const std::uint64_t* w = wp(i);
   for_shards([&](std::size_t b0, std::size_t b1, unsigned) {
-    secded64_encode_block(w.data() + b0, chk(i) + b0, b1 - b0);
+    secded64_encode_block(w + b0, chk(i) + b0, b1 - b0);
   });
-  verified_at_[i] = stamp_now();
+  vstamp(i) = stamp_now();
 }
 
 void DenseQatBackend::set_ecc_mode(EccMode m) {
@@ -314,19 +349,19 @@ void DenseQatBackend::set_ecc_mode(EccMode m) {
     verified_at_.shrink_to_fit();
     return;
   }
-  check_.resize(regs_.size() * words_per_reg_);
-  verified_at_.assign(regs_.size(), 0);
-  for (unsigned i = 0; i < regs_.size(); ++i) encode_reg(i);
+  check_.resize(std::size_t{num_regs_} * words_per_reg_);
+  verified_at_.assign(num_regs_, 0);
+  for (unsigned i = 0; i < num_regs_; ++i) encode_reg(i);
 }
 
 void DenseQatBackend::verify_reg(unsigned a) const {
   if (ecc_ == EccMode::kOff) return;
   const unsigned i = idx(a);
-  if (epoch_fresh(verified_at_[i])) {
+  if (epoch_fresh(vstamp(i))) {
     ++pending_.elided;
     return;
   }
-  const auto w = regs_[i].words_mut();
+  std::uint64_t* w = wp(i);
   EccCheck r;
   if (shards_ && words_per_reg_ >= kShardMinWords) {
     // Sharded sweep: per-shard tallies combined in shard order afterwards,
@@ -334,8 +369,8 @@ void DenseQatBackend::verify_reg(unsigned a) const {
     std::vector<EccSweep> sweeps(threads_);
     std::vector<EccCheck> worst(threads_, EccCheck::kClean);
     for_shards([&](std::size_t b0, std::size_t b1, unsigned s) {
-      worst[s] = secded64_check_block(ecc_, w.data() + b0, chk(i) + b0,
-                                      b1 - b0, sweeps[s]);
+      worst[s] = secded64_check_block(ecc_, w + b0, chk(i) + b0, b1 - b0,
+                                      sweeps[s]);
     });
     r = EccCheck::kClean;
     for (unsigned s = 0; s < threads_; ++s) {
@@ -344,7 +379,7 @@ void DenseQatBackend::verify_reg(unsigned a) const {
           std::max(static_cast<int>(r), static_cast<int>(worst[s])));
     }
   } else {
-    r = secded64_check_block(ecc_, w.data(), chk(i), w.size(), pending_);
+    r = secded64_check_block(ecc_, w, chk(i), words_per_reg_, pending_);
   }
   if (r == EccCheck::kUncorrectable) {
     throw CorruptionError(
@@ -354,21 +389,21 @@ void DenseQatBackend::verify_reg(unsigned a) const {
             : "DenseQatBackend: uncorrectable upset in register " +
                   std::to_string(i));
   }
-  verified_at_[i] = stamp_now();
+  vstamp(i) = stamp_now();
 }
 
 EccSweep DenseQatBackend::scrub_ecc() {
   EccSweep sweep;
   if (ecc_ == EccMode::kOff) return sweep;
-  for (unsigned i = 0; i < regs_.size(); ++i) {
+  for (unsigned i = 0; i < num_regs_; ++i) {
     // Ground truth: a scrub ignores the epoch stamps and sweeps everything,
     // then re-stamps what it verified clean (or repaired).
-    const auto w = regs_[i].words_mut();
+    std::uint64_t* w = wp(i);
     std::vector<EccSweep> sweeps(threads_);
     std::vector<EccCheck> worst(threads_, EccCheck::kClean);
     for_shards([&](std::size_t b0, std::size_t b1, unsigned s) {
-      worst[s] = secded64_check_block(ecc_, w.data() + b0, chk(i) + b0,
-                                      b1 - b0, sweeps[s]);
+      worst[s] = secded64_check_block(ecc_, w + b0, chk(i) + b0, b1 - b0,
+                                      sweeps[s]);
     });
     EccCheck r = EccCheck::kClean;
     for (unsigned s = 0; s < threads_; ++s) {
@@ -376,7 +411,7 @@ EccSweep DenseQatBackend::scrub_ecc() {
       r = static_cast<EccCheck>(
           std::max(static_cast<int>(r), static_cast<int>(worst[s])));
     }
-    if (r != EccCheck::kUncorrectable) verified_at_[i] = stamp_now();
+    if (r != EccCheck::kUncorrectable) vstamp(i) = stamp_now();
   }
   return sweep;
 }
@@ -394,9 +429,11 @@ void DenseQatBackend::set_threads(unsigned n) {
 }
 
 void DenseQatBackend::storage_upset(unsigned r, std::size_t ch) {
-  const auto w = regs_[idx(r)].words_mut();
+  const unsigned i = idx(r);
+  std::uint64_t* w = wp(i);
   const std::size_t bit = ch & (channels() - 1);
-  w[bit / 64 % w.size()] ^= std::uint64_t{1} << (bit % 64);
+  w[bit / 64 % words_per_reg_] ^= std::uint64_t{1} << (bit % 64);
+  mark_dirty(i);
   // Deliberately no stamp change: the upset model corrupts storage behind
   // the machine's back, and the epoch policy bounds how long that can stay
   // unseen.
@@ -432,7 +469,9 @@ void DenseQatBackend::serialize(ByteWriter& w) const {
   w.u8(kSnapshotDense);
   w.u32(ways_);
   w.u32(num_regs_);
-  for (const Aob& reg : regs_) write_aob_words(w, reg);
+  for (unsigned i = 0; i < num_regs_; ++i) {
+    w.u64_array(wp(i), words_per_reg_);
+  }
 }
 
 std::unique_ptr<DenseQatBackend> DenseQatBackend::deserialize(ByteReader& r) {
@@ -451,7 +490,8 @@ std::unique_ptr<DenseQatBackend> DenseQatBackend::deserialize(ByteReader& r) {
   }
   auto b = std::make_unique<DenseQatBackend>(ways, num_regs);
   for (unsigned i = 0; i < num_regs; ++i) {
-    b->regs_[i] = read_aob_words(r, ways);
+    r.u64_array(b->wp(i), words_per_reg);
+    b->mark_dirty(i);
   }
   return b;
 }
@@ -461,11 +501,22 @@ std::unique_ptr<DenseQatBackend> DenseQatBackend::deserialize(ByteReader& r) {
 
 ReQatBackend::ReQatBackend(unsigned ways, unsigned num_regs,
                            unsigned chunk_ways)
+    : ReQatBackend(std::make_shared<ChunkPool>(std::min(chunk_ways, ways)),
+                   ways, num_regs) {}
+
+ReQatBackend::ReQatBackend(std::shared_ptr<ChunkPool> pool, unsigned ways,
+                           unsigned num_regs)
     : QatBackend(ways, num_regs),
-      pool_(std::make_shared<ChunkPool>(std::min(chunk_ways, ways))),
+      pool_(std::move(pool)),
       constants_(2 + ways) {
   if (ways == 0 || ways > kMaxReWays) {
     throw std::invalid_argument("ReQatBackend: ways out of range");
+  }
+  if (!pool_) {
+    throw std::invalid_argument("ReQatBackend: null pool");
+  }
+  if (ways < pool_->chunk_ways()) {
+    throw std::invalid_argument("ReQatBackend: ways below pool chunk_ways");
   }
   regs_.assign(num_regs, constant(0));
 }

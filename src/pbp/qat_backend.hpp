@@ -232,16 +232,34 @@ class DenseQatBackend final : public QatBackend {
   void serialize(ByteWriter& w) const override;
   static std::unique_ptr<DenseQatBackend> deserialize(ByteReader& r);
 
+  /// Power-on reset in place: every register all-zero, ECC off, sidecars
+  /// empty, verification clock at construction values, threading policy back
+  /// to 1 — bit-identical to a freshly constructed backend of the same
+  /// geometry, but the slab (and the sidecar's capacity) stays allocated and
+  /// cache-hot.  Cost is O(dirty slots), not O(num_regs x words_per_reg):
+  /// only slots some operation may have made nonzero are re-zeroed.  The
+  /// serve layer's simulator pool (src/serve/sim_pool.hpp) is built on this.
+  void reset_state();
+
   /// Registers narrower than this many words are never sharded — the
   /// hand-off latency of even a warm pool dwarfs the sweep itself below
   /// 16 Ki words (ways 20).
   static constexpr std::size_t kShardMinWords = std::size_t{1} << 14;
 
  private:
-  /// Register i's slice of the flat check-byte sidecar.
-  std::uint8_t* chk(unsigned i) const {
-    return check_.data() + std::size_t{i} * words_per_reg_;
+  /// Register i's payload words inside the slab.  Mutable-through-const for
+  /// the same reason regs_ used to be mutable: the const measurement paths
+  /// verify, and a verify may repair in place.
+  std::uint64_t* wp(unsigned i) const {
+    return slab_.data() + std::size_t{slot_[i]} * words_per_reg_;
   }
+  /// Register i's slice of the flat check-byte sidecar (slot-indexed, so a
+  /// swap() slot exchange carries payload + sidecar + stamp together).
+  std::uint8_t* chk(unsigned i) const {
+    return check_.data() + std::size_t{slot_[i]} * words_per_reg_;
+  }
+  std::uint64_t& vstamp(unsigned i) const { return verified_at_[slot_[i]]; }
+  void mark_dirty(unsigned i) { dirty_[slot_[i]] = true; }
   /// Rebuild register i's check bytes after its payload was fully
   /// overwritten with trusted data; stamps the register verified.
   void encode_reg(unsigned i);
@@ -250,7 +268,7 @@ class DenseQatBackend final : public QatBackend {
   /// byte consistently encodes whatever the operands held, including a
   /// latent upset an elided verify did not look at).  Only valid with ECC
   /// on (verified_at_ is empty otherwise).
-  void stamp_dest(unsigned i, std::uint64_t stamp) { verified_at_[i] = stamp; }
+  void stamp_dest(unsigned i, std::uint64_t stamp) { vstamp(i) = stamp; }
 
   /// Run fn(begin, end, shard) over a partition of [0, words_per_reg_):
   /// through the worker pool when the register is wide enough to shard,
@@ -270,13 +288,22 @@ class DenseQatBackend final : public QatBackend {
   // Lazily built by set_threads(>1); mutable because the const measurement
   // paths verify (and therefore sweep) too.
   mutable std::unique_ptr<ShardPool> shards_;
-  // mutable: verify_reg repairs through the const measurement paths
+  // One flat arena backing every register's payload words (num_regs x
+  // words_per_reg), with slot_[r] mapping register r to its slab slot so
+  // swap() stays the O(1) exchange the old per-register std::vector swap
+  // was.  Mutable: verify_reg repairs through the const measurement paths
   // (logical value preserved) and tallies into pending_.
-  mutable std::vector<Aob> regs_;
+  mutable std::vector<std::uint64_t> slab_;
+  std::vector<std::uint32_t> slot_;  // register -> slab slot
+  // Per-slot "payload may hold nonzero words" flags driving the O(dirty)
+  // reset_state() sweep.  zero() clears its slot's flag (the payload is
+  // back at power-on value); every other payload write sets it.
+  std::vector<bool> dirty_;
   // Flat num_regs x words_per_reg sidecar; empty (zero bytes) when off —
-  // allocated lazily by the first set_ecc_mode(detect|correct).
+  // allocated lazily by the first set_ecc_mode(detect|correct).  Slot-
+  // indexed, like verified_at_.
   mutable std::vector<std::uint8_t> check_;
-  mutable std::vector<std::uint64_t> verified_at_;  // per-reg epoch stamps
+  mutable std::vector<std::uint64_t> verified_at_;  // per-slot epoch stamps
   mutable EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
 };
 
@@ -289,6 +316,12 @@ class ReQatBackend final : public QatBackend {
   /// ways in [chunk_ways, kMaxReWays].  chunk_ways is clamped down to ways
   /// for tiny register files so small-E differential tests stay exact.
   ReQatBackend(unsigned ways, unsigned num_regs, unsigned chunk_ways = 12);
+  /// Register file over an externally owned (possibly cross-job shared)
+  /// chunk pool; requires ways >= pool->chunk_ways().  The serve layer's
+  /// sharded pool (ShardedChunkPool) hands concurrency-safe stripes in
+  /// through here so concurrent RE jobs stop serializing on private pools.
+  ReQatBackend(std::shared_ptr<ChunkPool> pool, unsigned ways,
+               unsigned num_regs);
   // Movable so VirtualQat::restore can swap in a deserialized register file.
   ReQatBackend(ReQatBackend&&) = default;
   ReQatBackend& operator=(ReQatBackend&&) = default;

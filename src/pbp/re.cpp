@@ -46,12 +46,40 @@ ChunkPool::ChunkPool(unsigned chunk_ways, std::size_t max_symbols)
   if (max_symbols_ < 2) {
     throw std::invalid_argument("ChunkPool: max_symbols must admit 0 and 1");
   }
-  zero_ = intern(Aob::zeros(chunk_ways));
-  one_ = intern(Aob::ones(chunk_ways));
+  zero_ = intern_impl(Aob::zeros(chunk_ways));
+  one_ = intern_impl(Aob::ones(chunk_ways));
   words_per_chunk_ = chunks_[zero_].word_count();
 }
 
+const Aob& ChunkPool::chunk(SymbolId id) const {
+  // The deque's block map may be growing under a concurrent intern; take
+  // the lock for the index walk.  The returned reference stays valid and
+  // immutable afterwards (stable-reference deque, shared pools are ECC-off).
+  const auto lock = maybe_lock();
+  return chunks_[id];
+}
+
+std::size_t ChunkPool::size() const {
+  const auto lock = maybe_lock();
+  return chunks_.size();
+}
+
+std::uint64_t ChunkPool::memo_hits() const {
+  const auto lock = maybe_lock();
+  return memo_hits_;
+}
+
+std::uint64_t ChunkPool::memo_misses() const {
+  const auto lock = maybe_lock();
+  return memo_misses_;
+}
+
 ChunkPool::SymbolId ChunkPool::intern(const Aob& chunk) {
+  const auto lock = maybe_lock();
+  return intern_impl(chunk);
+}
+
+ChunkPool::SymbolId ChunkPool::intern_impl(const Aob& chunk) {
   if (chunk.ways() != chunk_ways_) {
     throw std::invalid_argument("ChunkPool: wrong chunk size");
   }
@@ -81,6 +109,7 @@ void ChunkPool::set_max_symbols(std::size_t n) {
   if (n < 2) {
     throw std::invalid_argument("ChunkPool: max_symbols must admit 0 and 1");
   }
+  const auto lock = maybe_lock();
   max_symbols_ = std::min(n, kMaxSymbols);
 }
 
@@ -88,10 +117,17 @@ ChunkPool::SymbolId ChunkPool::hadamard_symbol(unsigned k) {
   if (k >= chunk_ways_) {
     throw std::invalid_argument("ChunkPool: hadamard_symbol k >= chunk_ways");
   }
-  return intern(hadamard_generate(chunk_ways_, k));
+  const Aob h = hadamard_generate(chunk_ways_, k);
+  const auto lock = maybe_lock();
+  return intern_impl(h);
 }
 
 ChunkPool::SymbolId ChunkPool::apply(BitOp op, SymbolId a, SymbolId b) {
+  const auto lock = maybe_lock();
+  return apply_impl(op, a, b);
+}
+
+ChunkPool::SymbolId ChunkPool::apply_impl(BitOp op, SymbolId a, SymbolId b) {
   // Trivial identities avoid touching chunk data at all.
   switch (op) {
     case BitOp::And:
@@ -136,12 +172,17 @@ ChunkPool::SymbolId ChunkPool::apply(BitOp op, SymbolId a, SymbolId b) {
     // zero keeps the tail zero, so this is only defensive.)
     rw[0] &= (std::uint64_t{1} << r.bit_count()) - 1;
   }
-  const SymbolId rid = intern(r);
+  const SymbolId rid = intern_impl(r);
   memo_.emplace(key, rid);
   return rid;
 }
 
 ChunkPool::SymbolId ChunkPool::apply_not(SymbolId a) {
+  const auto lock = maybe_lock();
+  return apply_not_impl(a);
+}
+
+ChunkPool::SymbolId ChunkPool::apply_not_impl(SymbolId a) {
   if (a == zero_) return one_;
   if (a == one_) return zero_;
   if (auto it = not_memo_.find(a); it != not_memo_.end()) {
@@ -149,13 +190,18 @@ ChunkPool::SymbolId ChunkPool::apply_not(SymbolId a) {
     return it->second;
   }
   ++memo_misses_;
-  const SymbolId rid = intern(~chunks_[a]);
+  const SymbolId rid = intern_impl(~chunks_[a]);
   not_memo_.emplace(a, rid);
   not_memo_.emplace(rid, a);  // involution: cache both directions
   return rid;
 }
 
 std::size_t ChunkPool::popcount(SymbolId id) {
+  const auto lock = maybe_lock();
+  return popcount_impl(id);
+}
+
+std::size_t ChunkPool::popcount_impl(SymbolId id) {
   if (pops_[id] == std::numeric_limits<std::size_t>::max()) {
     pops_[id] = chunks_[id].popcount();
   }
@@ -173,6 +219,7 @@ void ChunkPool::encode_symbol(SymbolId id) {
 }
 
 void ChunkPool::set_ecc_mode(EccMode m) {
+  const auto lock = maybe_lock();
   ecc_ = m;
   if (ecc_ == EccMode::kOff) {
     // Lazy sidecar: protection off stores (and pays) nothing.
@@ -189,6 +236,7 @@ void ChunkPool::set_ecc_mode(EccMode m) {
 
 void ChunkPool::verify_symbol(SymbolId id) {
   if (ecc_ == EccMode::kOff) return;
+  const auto lock = maybe_lock();
   if (ecc_epoch_fresh(ecc_now_, verified_at_[id], ecc_epoch_)) {
     ++pending_.elided;  // verified within the current epoch
     return;
@@ -216,6 +264,7 @@ void ChunkPool::verify_symbol(SymbolId id) {
 EccSweep ChunkPool::scrub_ecc() {
   EccSweep sweep;
   if (ecc_ == EccMode::kOff) return sweep;
+  const auto lock = maybe_lock();
   for (SymbolId id = 0; id < chunks_.size(); ++id) {
     // Ground truth: a scrub ignores the epoch stamps and sweeps everything,
     // then re-stamps what it verified clean (or repaired).
@@ -234,6 +283,7 @@ EccSweep ChunkPool::scrub_ecc() {
 }
 
 void ChunkPool::upset(SymbolId id, std::size_t bit) {
+  const auto lock = maybe_lock();
   if (id >= chunks_.size()) return;
   const auto w = chunks_[id].words_mut();
   const std::size_t word = (bit / 64) % w.size();
@@ -244,9 +294,42 @@ void ChunkPool::upset(SymbolId id, std::size_t bit) {
 }
 
 EccSweep ChunkPool::take_ecc_counts() {
+  const auto lock = maybe_lock();
   const EccSweep out = pending_;
   pending_ = EccSweep{};
   return out;
+}
+
+std::size_t ChunkPool::ecc_bytes() const {
+  const auto lock = maybe_lock();
+  return check_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedChunkPool.
+
+ShardedChunkPool::ShardedChunkPool(unsigned stripes, unsigned chunk_ways)
+    : chunk_ways_(chunk_ways) {
+  if (stripes == 0) {
+    throw std::invalid_argument("ShardedChunkPool: need at least one stripe");
+  }
+  pools_.reserve(stripes);
+  for (unsigned i = 0; i < stripes; ++i) {
+    auto p = std::make_shared<ChunkPool>(chunk_ways);
+    p->enable_concurrent_use();
+    pools_.push_back(std::move(p));
+  }
+}
+
+const std::shared_ptr<ChunkPool>& ShardedChunkPool::stripe(
+    std::uint64_t key) const {
+  // splitmix64 finalizer: job ids are sequential, so spread them before
+  // reducing modulo the stripe count.
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return pools_[key % pools_.size()];
 }
 
 // ---------------------------------------------------------------------------

@@ -19,8 +19,11 @@
 // tests/test_re.cpp checks them against each other exhaustively at small E.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,9 +58,19 @@ class ChunkPool {
   unsigned chunk_ways() const { return chunk_ways_; }
   std::size_t chunk_bits() const { return std::size_t{1} << chunk_ways_; }
 
+  /// Opt into internal locking so the pool can be shared by concurrent
+  /// jobs (the serve layer's ShardedChunkPool stripes).  Must be called
+  /// before the pool is visible to a second thread.  Chunk *contents* stay
+  /// safe to read without the lock either way: chunks_ is a deque (stable
+  /// references under intern) and interned chunks are immutable — which is
+  /// why shared pools are reserved for ECC-off, fault-free jobs (repair
+  /// and upset are the only chunk mutators).
+  void enable_concurrent_use() { shared_ = true; }
+  bool concurrent() const { return shared_; }
+
   /// Intern a chunk (must be chunk_ways-way); returns its canonical symbol.
   SymbolId intern(const Aob& chunk);
-  const Aob& chunk(SymbolId id) const { return chunks_[id]; }
+  const Aob& chunk(SymbolId id) const;
 
   SymbolId zero_symbol() const { return zero_; }
   SymbolId one_symbol() const { return one_; }
@@ -72,10 +85,10 @@ class ChunkPool {
   std::size_t popcount(SymbolId id);
 
   /// Distinct symbols interned so far (a compression metric).
-  std::size_t size() const { return chunks_.size(); }
+  std::size_t size() const;
   /// Memo-table hits (a symbolic-execution effectiveness metric).
-  std::uint64_t memo_hits() const { return memo_hits_; }
-  std::uint64_t memo_misses() const { return memo_misses_; }
+  std::uint64_t memo_hits() const;
+  std::uint64_t memo_misses() const;
 
   /// The active symbol-space ceiling (kMaxSymbols unless lowered).
   std::size_t max_symbols() const { return max_symbols_; }
@@ -113,7 +126,7 @@ class ChunkPool {
   EccSweep take_ecc_counts();
 
   /// Sidecar footprint in bytes (0 when protection is off).
-  std::size_t ecc_bytes() const { return check_.size(); }
+  std::size_t ecc_bytes() const;
 
   // --- Verification scheduling (see QatBackend) -----------------------
   // Per-symbol verified_at stamps on the retired-instruction clock;
@@ -125,11 +138,29 @@ class ChunkPool {
   void ecc_tick(std::uint64_t now) { ecc_now_ = now; }
 
  private:
+  /// Locked when (and only when) concurrent use was enabled — private
+  /// single-job pools keep their zero-overhead fast path.  All public
+  /// mutators take this once and call the unlocked _impl bodies; the impls
+  /// call each other (apply -> intern) without re-locking, which a plain
+  /// std::mutex would deadlock on.
+  std::unique_lock<std::mutex> maybe_lock() const {
+    return shared_ ? std::unique_lock<std::mutex>(mu_)
+                   : std::unique_lock<std::mutex>();
+  }
+  SymbolId intern_impl(const Aob& chunk);
+  SymbolId apply_impl(BitOp op, SymbolId a, SymbolId b);
+  SymbolId apply_not_impl(SymbolId a);
+  std::size_t popcount_impl(SymbolId id);
   void encode_symbol(SymbolId id);
 
   unsigned chunk_ways_;
   std::size_t max_symbols_;
-  std::vector<Aob> chunks_;
+  bool shared_ = false;
+  mutable std::mutex mu_;
+  // Deque, not vector: intern() must never relocate stored chunks, because
+  // chunk() hands out references that concurrent readers (Re::apply run
+  // walks on other threads) hold across further interns.
+  std::deque<Aob> chunks_;
   std::vector<std::size_t> pops_;  // SIZE_MAX = not yet computed
   std::unordered_multimap<std::uint64_t, SymbolId> by_hash_;
   std::unordered_map<std::uint64_t, SymbolId> memo_;      // packed (op,a,b)
@@ -138,13 +169,40 @@ class ChunkPool {
   SymbolId one_ = 0;
   std::uint64_t memo_hits_ = 0;
   std::uint64_t memo_misses_ = 0;
-  EccMode ecc_ = EccMode::kOff;
+  // Atomics: the ECC policy knobs are read on every op (guard()) and
+  // advanced every retired instruction (ecc_tick) even when jobs share a
+  // stripe; plain fields would race under TSAN despite never changing
+  // value on the shared (ECC-off) path.
+  std::atomic<EccMode> ecc_ = EccMode::kOff;
   std::vector<std::uint8_t> check_;  // words_per_chunk_ bytes per symbol
   std::size_t words_per_chunk_ = 0;
   EccSweep pending_;  // access-path tallies awaiting take_ecc_counts()
-  std::uint64_t ecc_epoch_ = 1;
-  std::uint64_t ecc_now_ = 0;
+  std::atomic<std::uint64_t> ecc_epoch_ = 1;
+  std::atomic<std::uint64_t> ecc_now_ = 0;
   std::vector<std::uint64_t> verified_at_;  // per-symbol stamps; 0 = never
+};
+
+/// N independent lock-striped chunk pools for concurrent RE jobs.  Each
+/// stripe is a ChunkPool with internal locking enabled; a job is pinned to
+/// one stripe (selected by a hash of its id) for its whole life, so two
+/// concurrent RE jobs usually intern into different pools instead of
+/// serializing on one mutex — and jobs landing on the same stripe still
+/// share its hash-consed chunks (the first step toward cross-job
+/// memoization).  Stripes are ECC-off and stay that way: shared chunks must
+/// be immutable after intern.
+class ShardedChunkPool {
+ public:
+  ShardedChunkPool(unsigned stripes, unsigned chunk_ways);
+
+  unsigned stripes() const { return static_cast<unsigned>(pools_.size()); }
+  unsigned chunk_ways() const { return chunk_ways_; }
+
+  /// The stripe a job with this key is pinned to (splitmix64 of the key).
+  const std::shared_ptr<ChunkPool>& stripe(std::uint64_t key) const;
+
+ private:
+  unsigned chunk_ways_;
+  std::vector<std::shared_ptr<ChunkPool>> pools_;
 };
 
 /// One 2^E-bit entangled-superposition value in compressed RE form.

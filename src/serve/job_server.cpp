@@ -12,6 +12,7 @@
 #include "arch/simulators.hpp"
 #include "serve/backoff.hpp"
 #include "serve/journal.hpp"
+#include "serve/sim_pool.hpp"
 
 namespace tangled::serve {
 
@@ -101,6 +102,12 @@ struct JobServer::QueuedJob {
 JobServer::JobServer(JobServerConfig config) : config_(config) {
   if (config_.threads == 0) config_.threads = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.chunk_shards > 0) {
+    // Stripe chunk width 8 so the default job widths (8, 16 ways) are all
+    // eligible; a stripe can serve any job with ways >= its chunk_ways.
+    shards_ = std::make_shared<pbp::ShardedChunkPool>(config_.chunk_shards,
+                                                      /*chunk_ways=*/8);
+  }
   key_nonce_ = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
                std::random_device{}();
   if (!config_.journal_dir.empty()) {
@@ -434,6 +441,14 @@ JobReport JobServer::wait(JobId id) {
   return reports_.at(id);
 }
 
+bool JobServer::try_report(JobId id, JobReport* out) const {
+  std::lock_guard lk(mu_);
+  const auto it = reports_.find(id);
+  if (it == reports_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
 std::vector<JobReport> JobServer::wait_all() {
   std::unique_lock lk(mu_);
   report_cv_.wait(lk,
@@ -471,6 +486,8 @@ ServerStats JobServer::stats() const {
   s.active_jobs = active_;
   s.health = health_.load(std::memory_order_relaxed);
   if (journal_ != nullptr) s.journal_bytes = journal_->bytes();
+  s.sim_pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.sim_pool_misses = pool_misses_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -657,6 +674,12 @@ void JobServer::requeue(std::unique_ptr<QueuedJob> qj, JobReport carry) {
 // Execution.
 
 void JobServer::worker_main() {
+  // Worker-local simulator cache: acquire() is only ever called from this
+  // thread, so the hot path takes no lock.  Hit/miss tallies aggregate
+  // through the server's relaxed atomics.
+  SimulatorPool pool(config_.sim_pool, std::size_t{8} << 20, &pool_hits_,
+                     &pool_misses_);
+  SimulatorPool* pool_ptr = config_.sim_pool > 0 ? &pool : nullptr;
   for (;;) {
     std::unique_ptr<QueuedJob> qj;
     {
@@ -678,7 +701,7 @@ void JobServer::worker_main() {
     }
     qj->started = Clock::now();
     auto st = qj->state;  // keep alive across publish
-    JobReport rep = execute(*qj, *st);
+    JobReport rep = execute(*qj, *st, pool_ptr);
     if (qj->requeue) {
       // Supervisor preemption: back on the tenant queue with the partial
       // report carried — no publish, the job is not terminal.
@@ -856,7 +879,8 @@ void JobServer::publish(QueuedJob& qj, JobState& st, JobReport rep,
   report_cv_.notify_all();
 }
 
-JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
+JobReport JobServer::execute(QueuedJob& qj, JobState& st,
+                             SimulatorPool* pool) {
   // Resume the partial report of a preempted-and-requeued job: counters
   // keep accumulating across run segments.
   JobReport rep = qj.carry;
@@ -905,19 +929,19 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
     case SimKind::kFunc:
       execute_with<FunctionalSim>(
           [&] { return std::make_unique<FunctionalSim>(job.ways, job.backend); },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kMulti:
       execute_with<MultiCycleSim>(
           [&] { return std::make_unique<MultiCycleSim>(job.ways, job.backend); },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kMultiFsm:
       execute_with<MultiCycleFsmSim>(
           [&] {
             return std::make_unique<MultiCycleFsmSim>(job.ways, job.backend);
           },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kPipe4:
       execute_with<PipelineSim>(
@@ -926,7 +950,7 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
                 job.ways, PipelineConfig{.stages = 4, .forwarding = true},
                 job.backend);
           },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kPipe5:
       execute_with<PipelineSim>(
@@ -935,7 +959,7 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
                 job.ways, PipelineConfig{.stages = 5, .forwarding = true},
                 job.backend);
           },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kPipe5NoFwd:
       execute_with<PipelineSim>(
@@ -944,14 +968,14 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
                 job.ways, PipelineConfig{.stages = 5, .forwarding = false},
                 job.backend);
           },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
     case SimKind::kRtl:
       execute_with<RtlPipelineSim>(
           [&] {
             return std::make_unique<RtlPipelineSim>(job.ways, job.backend);
           },
-          qj, st, rep);
+          qj, st, rep, pool);
       break;
   }
 
@@ -962,8 +986,21 @@ JobReport JobServer::execute(QueuedJob& qj, JobState& st) {
 
 template <typename SimT, typename MakeSim>
 void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
-                             JobReport& rep) {
+                             JobReport& rep, SimulatorPool* pool) {
   const Job& job = qj.job;
+  // Shared RE chunk-pool stripe the job is pinned to (by id), when sharding
+  // is on and the job is eligible: compressed backend, no ECC (stripes are
+  // cross-job — per-job integrity state must not leak between jobs), no
+  // fault plan (upsets and symbol caps mutate the pool), and wide enough
+  // for the stripe's chunk width.  A checkpoint restore mid-job silently
+  // reverts the job to a private pool (see DESIGN.md §12) — correct, just
+  // unshared.
+  std::shared_ptr<pbp::ChunkPool> stripe;
+  if (shards_ != nullptr && job.backend == pbp::Backend::kCompressed &&
+      job.ecc == pbp::EccMode::kOff && job.fault_plan.empty() &&
+      job.ways >= shards_->chunk_ways()) {
+    stripe = shards_->stripe(qj.id);
+  }
   // Mid-run slicing (checkpoints, stop-predicate polling) is only sound on
   // the instruction-atomic models; the latch-level pipeline discards
   // in-flight state between run() calls (see arch/recovery.hpp).
@@ -1020,10 +1057,19 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
     bool run_ok = false;
     {
       // Sim scope: the engine pointer published for progress() is cleared
-      // (under st.mu) before the sim leaves scope.
-      std::unique_ptr<SimT> sim;
+      // (under st.mu) before the sim leaves scope.  With pooling on, the
+      // simulator comes back from the worker's cache rewound to power-on
+      // state (reset == fresh-construct, bit-identically); acquiring per
+      // attempt means a retry's machine is as pristine as attempt 1's.
+      std::shared_ptr<SimT> sim;
       try {
-        sim = make_sim();
+        if (pool != nullptr) {
+          sim = pool->acquire<SimT>(job.sim, job.backend, job.ways,
+                                    [&] { return make_sim(); });
+        } else {
+          sim = make_sim();
+        }
+        if (stripe != nullptr) sim->qat().use_chunk_pool(stripe);
       } catch (const std::exception& e) {
         rep.outcome = JobOutcome::kError;
         rep.error = e.what();
@@ -1147,6 +1193,11 @@ void JobServer::execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
         std::lock_guard lk(st.mu);
         st.engine = nullptr;
       }
+      // A pooled sim outlives this job: drop the migration guard (it
+      // captures this attempt's JobState) before the sim goes back to the
+      // cache.  reset() also clears it, but the cached engine must never
+      // hold a dangling closure even while idle.
+      sim->qat().set_migration_guard(nullptr);
       rep.instructions += rs.instructions;
       rep.cycles += rs.cycles;
       rep.retries += rs.rollbacks + rs.restarts;

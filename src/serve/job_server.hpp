@@ -54,9 +54,12 @@
 #include <vector>
 
 #include "arch/qat_engine.hpp"
+#include "pbp/re.hpp"
 #include "serve/job.hpp"
 
 namespace tangled::serve {
+
+class SimulatorPool;
 
 struct JobServerConfig {
   unsigned threads = 4;
@@ -120,6 +123,22 @@ struct JobServerConfig {
   /// server browning-out (4x this long: degraded).  0 = queue delay never
   /// affects health.
   std::chrono::milliseconds brownout_queue_delay{500};
+
+  // --- Hot-path pooling (ISSUE 10). ---
+  /// Per-worker simulator cache: each worker keeps up to this many warm
+  /// simulators, keyed by (SimKind, backend, ways), and hands jobs a
+  /// reset() one instead of constructing from scratch (serve/sim_pool.hpp;
+  /// reset is contractually bit-identical to fresh construction).
+  /// 0 disables pooling — every job cold-constructs, the pre-pool
+  /// behavior.
+  std::size_t sim_pool = 8;
+  /// Shared RE chunk-pool stripes: compressed jobs that carry no ECC and
+  /// no fault plan are pinned (by job id) to one of this many concurrent
+  /// hash-consing pools, so their chunk universes are built once and
+  /// shared instead of re-interned per job — and concurrent RE jobs no
+  /// longer serialize on a single pool.  0 = every compressed job builds
+  /// a private pool (the pre-pool behavior).
+  unsigned chunk_shards = 0;
 };
 
 /// Coarse service health, computed by the supervisor each tick and exported
@@ -180,6 +199,9 @@ struct ServerStats {
   std::uint64_t stall_quarantines = 0;  // jobs wedged past max_preemptions
   std::uint64_t tenant_sheds = 0;     // submissions shed: tenant over quota
   std::uint8_t health = 0;            // HealthState
+  // Hot-path pooling counters (ISSUE 10; zero when sim_pool is 0).
+  std::uint64_t sim_pool_hits = 0;    // jobs served by a reset warm sim
+  std::uint64_t sim_pool_misses = 0;  // jobs that cold-constructed
 };
 
 class Journal;
@@ -238,6 +260,11 @@ class JobServer {
 
   /// Block until the job's terminal report is published.
   JobReport wait(JobId id);
+  /// Non-blocking probe: true (and *out filled) when the job's terminal
+  /// report has been published.  The net layer's report pump uses it to
+  /// coalesce already-finished reports into one batch frame without
+  /// blocking on unfinished ones.
+  bool try_report(JobId id, JobReport* out) const;
   /// Block until every job submitted so far is terminal; returns all
   /// reports published since construction, in submission order.
   std::vector<JobReport> wait_all();
@@ -304,10 +331,10 @@ class JobServer {
   /// Put a preempted job back on its tenant queue with its partial report
   /// carried (worker thread, after execute() set qj->requeue).
   void requeue(std::unique_ptr<QueuedJob> qj, JobReport carry);
-  JobReport execute(QueuedJob& qj, JobState& st);
+  JobReport execute(QueuedJob& qj, JobState& st, SimulatorPool* pool);
   template <typename SimT, typename MakeSim>
   void execute_with(MakeSim&& make_sim, QueuedJob& qj, JobState& st,
-                    JobReport& rep);
+                    JobReport& rep, SimulatorPool* pool);
   /// Insert the terminal report and update tallies.  When `worker_terminal`,
   /// the caller is a worker that incremented `active_` at dequeue: the
   /// decrement happens in the same critical section as the report insert, so
@@ -364,6 +391,13 @@ class JobServer {
   std::size_t reserved_bytes_ = 0;
   std::size_t peak_reserved_bytes_ = 0;
   ServerStats tallies_;  // terminal-outcome counters, guarded by mu_
+
+  /// Simulator-pool counters (workers bump them lock-free; stats() reads).
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> pool_misses_{0};
+  /// Shared RE chunk-pool stripes (config_.chunk_shards > 0); immutable
+  /// after construction, the stripes themselves are internally locked.
+  std::shared_ptr<pbp::ShardedChunkPool> shards_;
 
   // --- Durability (all guarded by mu_ except the journal itself, which
   // has its own lock and is safe to append to without mu_ held). ---

@@ -38,11 +38,16 @@ ClientResult ServeClient::read_response(Frame* response) {
       return ClientResult::transport(std::string("recv failed: ") +
                                      recv_status_name(st));
     }
-    if (f.type == MsgType::kReport) {
-      // Async report raced the response; keep it for next_report().
+    if (f.type == MsgType::kReport || f.type == MsgType::kReportBatch) {
+      // Async report(s) raced the response; keep them for next_report().
       try {
         pbp::ByteReader r(f.payload);
-        reports_.push_back(decode_report(r));
+        if (f.type == MsgType::kReport) {
+          reports_.push_back(decode_report(r));
+        } else {
+          ReportBatch rb = ReportBatch::decode(r);
+          for (auto& rep : rb.reports) reports_.push_back(std::move(rep));
+        }
       } catch (const std::exception& e) {
         disconnect();
         return ClientResult::transport(std::string("bad report frame: ") +
@@ -120,6 +125,48 @@ std::optional<std::uint64_t> ServeClient::submit(const SubmitRequest& req,
     return fail(ClientResult::transport(
         std::string("unexpected reply ") + msg_type_name(resp.type)));
   }
+}
+
+bool ServeClient::submit_batch(const std::vector<JobSpec>& jobs,
+                               std::vector<SubmitBatchOk::Item>* items,
+                               ClientResult* result) {
+  const auto fail = [&](ClientResult r) {
+    if (result != nullptr) *result = std::move(r);
+    return false;
+  };
+  SubmitBatchRequest req;
+  req.jobs = jobs;
+  Frame resp;
+  // One round-trip, no auto-retry: a shed item was never admitted, and the
+  // caller sees exactly which items to resubmit.  A pre-batch server
+  // answers kUnknownType (surfaced via the kError path below) and keeps
+  // the connection open, so falling back to per-job submit() is safe.
+  if (ClientResult r = call(MsgType::kSubmitBatch, req, &resp); !r.ok) {
+    return fail(std::move(r));
+  }
+  if (resp.type != MsgType::kSubmitBatchOk) {
+    disconnect();
+    return fail(ClientResult::transport(std::string("unexpected reply ") +
+                                        msg_type_name(resp.type)));
+  }
+  try {
+    pbp::ByteReader r(resp.payload);
+    SubmitBatchOk ok = SubmitBatchOk::decode(r);
+    if (ok.items.size() != jobs.size()) {
+      disconnect();
+      return fail(ClientResult::transport(
+          "batch reply item count mismatch: sent " +
+          std::to_string(jobs.size()) + ", got " +
+          std::to_string(ok.items.size())));
+    }
+    if (items != nullptr) *items = std::move(ok.items);
+  } catch (const std::exception& e) {
+    disconnect();
+    return fail(ClientResult::transport(std::string("bad reply: ") +
+                                        e.what()));
+  }
+  if (result != nullptr) *result = {};
+  return true;
 }
 
 ClientResult ServeClient::cancel(std::uint64_t id, bool* cancelled) {
@@ -246,6 +293,24 @@ std::optional<JobReport> ServeClient::next_report(
                                         recv_status_name(st));
     }
     return std::nullopt;
+  }
+  if (f.type == MsgType::kReportBatch) {
+    try {
+      pbp::ByteReader r(f.payload);
+      ReportBatch rb = ReportBatch::decode(r);
+      for (auto& rep : rb.reports) reports_.push_back(std::move(rep));
+    } catch (const std::exception& e) {
+      disconnect();
+      if (result != nullptr) {
+        *result = ClientResult::transport(std::string("bad report frame: ") +
+                                          e.what());
+      }
+      return std::nullopt;
+    }
+    if (reports_.empty()) return std::nullopt;  // malformed-but-empty batch
+    JobReport rep = std::move(reports_.front());
+    reports_.pop_front();
+    return rep;
   }
   if (f.type != MsgType::kReport) {
     // Unsolicited non-report frame outside a call: only the server's

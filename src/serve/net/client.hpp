@@ -28,6 +28,7 @@
 #include <optional>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "serve/backoff.hpp"
 #include "serve/net/socket.hpp"
@@ -85,6 +86,17 @@ class ServeClient {
   /// admitted at all).
   std::optional<std::uint64_t> submit(const SubmitRequest& req,
                                       ClientResult* result = nullptr);
+  /// Submit many jobs in ONE round-trip (kSubmitBatch).  On success *items
+  /// holds the per-job admission results aligned with `jobs` — kAdmitted
+  /// items carry ids, kRetry/kError items were NOT admitted and are NOT
+  /// auto-retried (the caller decides which sheds are worth resubmitting).
+  /// After the first submit_batch the server may coalesce this connection's
+  /// reports into kReportBatch frames; next_report() handles both shapes.
+  /// Against a pre-batch server the call fails with WireError::kUnknownType
+  /// and the connection stays usable — fall back to per-job submit().
+  bool submit_batch(const std::vector<JobSpec>& jobs,
+                    std::vector<SubmitBatchOk::Item>* items,
+                    ClientResult* result = nullptr);
   /// Cooperative cancel; *cancelled reports whether the job was still live.
   ClientResult cancel(std::uint64_t id, bool* cancelled = nullptr);
   ClientResult progress(std::uint64_t id, ProgressOk* out);

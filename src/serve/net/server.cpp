@@ -334,6 +334,9 @@ void NetServer::handle_frame(Conn& c, const Frame& frame) {
       case MsgType::kSubmit:
         handle_submit(c, frame);
         return;
+      case MsgType::kSubmitBatch:
+        handle_submit_batch(c, frame);
+        return;
       case MsgType::kCancel: {
         pbp::ByteReader r(frame.payload);
         const CancelRequest req = CancelRequest::decode(r);
@@ -501,6 +504,123 @@ void NetServer::handle_submit(Conn& c, const Frame& frame) {
   send_reply(c, MsgType::kSubmitOk, SubmitOk{*id});
 }
 
+SubmitBatchOk::Item NetServer::admit_spec(Conn& c, const JobSpec& spec) {
+  using Status = SubmitBatchOk::Status;
+  SubmitBatchOk::Item item;
+
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.submits_rejected;
+    }
+    item.status = Status::kError;
+    item.code = static_cast<std::uint8_t>(WireError::kShuttingDown);
+    item.message = "server is draining";
+    return item;
+  }
+  bool over_cap = false;
+  {
+    std::lock_guard clk(c.mu);
+    over_cap = c.pending.size() >= config_.max_inflight_per_conn;
+  }
+  if (over_cap) {
+    // The in-flight cap is re-checked per item: a batch may legally be
+    // admitted only up to the cap, with the tail shed kConnInFlight.
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.retry_after_sent;
+    }
+    item.status = Status::kRetry;
+    item.delay_ms = shed_delay_ms();
+    item.reason = static_cast<std::uint8_t>(RetryAfter::Reason::kConnInFlight);
+    return item;
+  }
+
+  std::string reason;
+  std::optional<JobServer::JobId> id;
+  if (config_.submit_wait.count() > 0) {
+    id = jobs_.submit_spec_for(spec, config_.submit_wait, &reason);
+  } else {
+    id = jobs_.try_submit_spec(spec, &reason);
+  }
+  if (!id) {
+    const auto shed = [&](RetryAfter::Reason why) {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.retry_after_sent;
+      }
+      item.status = Status::kRetry;
+      item.delay_ms = shed_delay_ms();
+      item.reason = static_cast<std::uint8_t>(why);
+    };
+    if (reason == "queue-full") {
+      shed(RetryAfter::Reason::kQueueFull);
+    } else if (reason == "tenant-over-quota") {
+      shed(RetryAfter::Reason::kTenantQuota);
+    } else if (reason == "journal-unavailable" ||
+               reason == "duplicate-pending") {
+      shed(RetryAfter::Reason::kDurability);
+    } else if (reason.rfind("bad-job", 0) == 0) {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.submits_rejected;
+      }
+      item.status = Status::kError;
+      item.code = static_cast<std::uint8_t>(WireError::kBadJob);
+      item.message = reason.size() > 9 ? reason.substr(9) : reason;
+    } else {
+      {
+        std::lock_guard slk(stats_mu_);
+        ++stats_.submits_rejected;
+      }
+      item.status = Status::kError;
+      item.code = static_cast<std::uint8_t>(WireError::kShuttingDown);
+      item.message = "server is draining";
+    }
+    return item;
+  }
+  {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.submits_admitted;
+  }
+  // Same ordering rule as handle_submit: owed to the connection BEFORE the
+  // reply frame, so a concurrent drain already counts it.
+  {
+    std::lock_guard clk(c.mu);
+    c.pending.push_back(*id);
+  }
+  item.status = Status::kAdmitted;
+  item.id = *id;
+  return item;
+}
+
+void NetServer::handle_submit_batch(Conn& c, const Frame& frame) {
+  pbp::ByteReader r(frame.payload);
+  const SubmitBatchRequest req = SubmitBatchRequest::decode(r);
+  {
+    // Sending kSubmitBatch proves the peer decodes the batch family; from
+    // here on the pump may coalesce its reports into kReportBatch frames.
+    std::lock_guard clk(c.mu);
+    c.batch = true;
+  }
+  SubmitBatchOk out;
+  out.items.reserve(req.jobs.size());
+  std::uint64_t admitted = 0;
+  for (const JobSpec& spec : req.jobs) {
+    out.items.push_back(admit_spec(c, spec));
+    if (out.items.back().status == SubmitBatchOk::Status::kAdmitted) {
+      ++admitted;
+    }
+  }
+  {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.batch_submits;
+    stats_.batch_jobs += admitted;
+  }
+  if (admitted > 0) c.cv.notify_all();
+  send_reply(c, MsgType::kSubmitBatchOk, out);
+}
+
 bool NetServer::send_error(Conn& c, WireError code,
                            const std::string& message) {
   return send_reply(c, MsgType::kError, ErrorReply{code, message});
@@ -536,16 +656,41 @@ void NetServer::pump_main(Conn& c) {
       if (c.pending.empty()) break;  // closing && fully flushed
       id = c.pending.front();
     }
-    const JobReport rep = jobs_.wait(id);
+    JobReport rep = jobs_.wait(id);
     bool try_send = true;
+    bool batch_conn = false;
+    std::vector<JobReport> reports;
+    reports.push_back(std::move(rep));
     {
       std::lock_guard clk(c.mu);
       try_send = !c.write_failed;
+      batch_conn = c.batch;
+      if (batch_conn && try_send) {
+        // Coalesce: every report next in admission order that is ALREADY
+        // terminal rides in the same kReportBatch frame — the pump never
+        // waits for more.  Lock order c.mu → JobServer internals is safe;
+        // no JobServer path takes a Conn mutex.
+        JobReport next;
+        while (reports.size() < kMaxBatchReports &&
+               reports.size() < c.pending.size() &&
+               jobs_.try_report(c.pending[reports.size()], &next)) {
+          reports.push_back(std::move(next));
+        }
+      }
     }
+    const std::size_t flushed = reports.size();
     bool sent = false;
     if (try_send) {
       pbp::ByteWriter w;
-      encode_report(rep, w);
+      MsgType type = MsgType::kReport;
+      if (batch_conn) {
+        ReportBatch rb;
+        rb.reports = std::move(reports);
+        rb.encode(w);
+        type = MsgType::kReportBatch;
+      } else {
+        encode_report(reports.front(), w);
+      }
       std::lock_guard wlk(c.write_mu);
       // Count the stream BEFORE the bytes can reach the peer, so a client
       // that sees the report and immediately asks for stats gets a snapshot
@@ -553,16 +698,17 @@ void NetServer::pump_main(Conn& c) {
       {
         std::lock_guard slk(stats_mu_);
         ++stats_.frames_tx;
-        ++stats_.reports_streamed;
+        stats_.reports_streamed += flushed;
+        if (batch_conn) ++stats_.batch_reports;
       }
-      sent = send_frame(c.sock.fd(), MsgType::kReport, w.bytes(),
-                        config_.write_timeout);
+      sent = send_frame(c.sock.fd(), type, w.bytes(), config_.write_timeout);
     }
     std::vector<JobServer::JobId> to_cancel;
     {
       std::lock_guard clk(c.mu);
-      assert(!c.pending.empty() && c.pending.front() == id);
-      c.pending.pop_front();
+      assert(c.pending.size() >= flushed && c.pending.front() == id);
+      c.pending.erase(c.pending.begin(),
+                      c.pending.begin() + static_cast<std::ptrdiff_t>(flushed));
       if (!sent && !c.write_failed) c.write_failed = true;
       if (!sent) {
         // Peer unreachable: cancel the rest so each wait() above returns
@@ -575,9 +721,10 @@ void NetServer::pump_main(Conn& c) {
       std::lock_guard slk(stats_mu_);
       if (try_send) {  // roll back the optimistic pre-send bump
         --stats_.frames_tx;
-        --stats_.reports_streamed;
+        stats_.reports_streamed -= flushed;
+        if (batch_conn) --stats_.batch_reports;
       }
-      ++stats_.reports_orphaned;
+      stats_.reports_orphaned += flushed;
     }
     // Wake drain waiters with the conns_mu_ handshake (avoids the lost
     // wakeup between their predicate check and sleep).
@@ -612,6 +759,9 @@ StatsOk NetServer::stats_snapshot() {
     s.retry_after_sent = stats_.retry_after_sent;
     s.reports_streamed = stats_.reports_streamed;
     s.reports_orphaned = stats_.reports_orphaned;
+    s.batch_submits = stats_.batch_submits;
+    s.batch_jobs = stats_.batch_jobs;
+    s.batch_reports = stats_.batch_reports;
   }
   s.draining = draining_.load(std::memory_order_acquire);
   return s;

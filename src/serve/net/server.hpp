@@ -87,6 +87,10 @@ struct NetStats {
   std::uint64_t submits_rejected = 0;  // bad-job / shutting-down
   std::uint64_t reports_streamed = 0;
   std::uint64_t reports_orphaned = 0;  // connection died before its report
+  // Batched wire (ISSUE 10).
+  std::uint64_t batch_submits = 0;  // kSubmitBatch frames handled
+  std::uint64_t batch_jobs = 0;     // jobs admitted through batches
+  std::uint64_t batch_reports = 0;  // kReportBatch frames sent
 };
 
 class NetServer {
@@ -135,6 +139,9 @@ class NetServer {
     std::deque<JobServer::JobId> pending;  // admitted, report not yet sent
     bool closing = false;       // reader gone or server stopping
     bool write_failed = false;  // peer unreachable; orphan remaining jobs
+    /// Peer has sent a kSubmitBatch, proving it decodes the batch message
+    /// family: the pump may coalesce its reports into kReportBatch frames.
+    bool batch = false;
 
     std::thread reader;
     std::thread pump;
@@ -146,6 +153,10 @@ class NetServer {
   void pump_main(Conn& c);
   void handle_frame(Conn& c, const Frame& frame);
   void handle_submit(Conn& c, const Frame& frame);
+  void handle_submit_batch(Conn& c, const Frame& frame);
+  /// One item's admission (shared semantics with handle_submit): admit /
+  /// shed / reject the spec and, on admission, append the id to c.pending.
+  SubmitBatchOk::Item admit_spec(Conn& c, const JobSpec& spec);
   /// retry_after_ms scaled by server health (1x/4x/16x) so a polite client
   /// herd thins itself before an overload becomes an outage.
   std::uint32_t shed_delay_ms() const;

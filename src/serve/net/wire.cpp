@@ -52,6 +52,9 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kError: return "error";
     case MsgType::kReport: return "report";
     case MsgType::kPong: return "pong";
+    case MsgType::kSubmitBatch: return "submit-batch";
+    case MsgType::kSubmitBatchOk: return "submit-batch-ok";
+    case MsgType::kReportBatch: return "report-batch";
   }
   return "unknown";
 }
@@ -158,6 +161,72 @@ ProgressOk ProgressOk::decode(pbp::ByteReader& r) {
   return m;
 }
 
+void SubmitBatchRequest::encode(pbp::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const JobSpec& j : jobs) j.serialize(w);
+}
+SubmitBatchRequest SubmitBatchRequest::decode(pbp::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxBatchJobs) {
+    throw std::runtime_error("wire: batch job count out of range");
+  }
+  SubmitBatchRequest m;
+  m.jobs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.jobs.push_back(JobSpec::deserialize(r));
+  }
+  return m;
+}
+
+void SubmitBatchOk::encode(pbp::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& it : items) {
+    w.u8(static_cast<std::uint8_t>(it.status));
+    w.u64(it.id);
+    w.u32(it.delay_ms);
+    w.u8(it.reason);
+    w.u8(it.code);
+    put_string(w, it.message);
+  }
+}
+SubmitBatchOk SubmitBatchOk::decode(pbp::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxBatchJobs) {
+    throw std::runtime_error("wire: batch item count out of range");
+  }
+  SubmitBatchOk m;
+  m.items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Item it;
+    it.status = checked_enum<Status>(
+        r.u8(), static_cast<std::uint8_t>(Status::kError), "batch status");
+    it.id = r.u64();
+    it.delay_ms = r.u32();
+    it.reason = r.u8();
+    it.code = r.u8();
+    it.message = get_string(r, 4096);
+    m.items.push_back(std::move(it));
+  }
+  return m;
+}
+
+void ReportBatch::encode(pbp::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(reports.size()));
+  for (const JobReport& rep : reports) rep.serialize(w);
+}
+ReportBatch ReportBatch::decode(pbp::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxBatchReports) {
+    throw std::runtime_error("wire: batch report count out of range");
+  }
+  ReportBatch m;
+  m.reports.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.reports.push_back(JobReport::deserialize(r));
+  }
+  return m;
+}
+
 void ErrorReply::encode(pbp::ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(code));
   put_string(w, message);
@@ -210,6 +279,12 @@ void StatsOk::encode(pbp::ByteWriter& w) const {
   w.u64(jobs.stall_quarantines);
   w.u64(jobs.tenant_sheds);
   w.u8(jobs.health);
+  // Snapshot v4: pooling + batching counters, appended after the v3 tail.
+  w.u64(jobs.sim_pool_hits);
+  w.u64(jobs.sim_pool_misses);
+  w.u64(batch_submits);
+  w.u64(batch_jobs);
+  w.u64(batch_reports);
 }
 StatsOk StatsOk::decode(pbp::ByteReader& r) {
   StatsOk m;
@@ -250,6 +325,11 @@ StatsOk StatsOk::decode(pbp::ByteReader& r) {
   m.jobs.stall_quarantines = r.u64();
   m.jobs.tenant_sheds = r.u64();
   m.jobs.health = r.u8();
+  m.jobs.sim_pool_hits = r.u64();
+  m.jobs.sim_pool_misses = r.u64();
+  m.batch_submits = r.u64();
+  m.batch_jobs = r.u64();
+  m.batch_reports = r.u64();
   return m;
 }
 

@@ -47,6 +47,18 @@ constexpr std::uint32_t kWireMagic = 0x57474E54u;  // "TNGW" little-endian
 /// v3 (ISSUE 9): SubmitRequest carries tenant + stall_spec, JobReport
 /// carries tenant + preemptions, StatsOk carries the governance counters
 /// and the health state, RetryAfter gained kTenantQuota.
+///
+/// Batched submission (ISSUE 10) is a structural extension WITHIN v3, not
+/// a version bump: kSubmitBatch/kSubmitBatchOk/kReportBatch are new
+/// message types, and the protocol already defines what a v3 peer does
+/// with a well-formed frame of a type it does not know — answer
+/// kUnknownType and keep the connection.  A v1-style (per-frame) client
+/// therefore interoperates with a batch-capable server unchanged, and a
+/// batch-capable client can probe: an old server answers kSubmitBatch
+/// with kUnknownType, telling it to fall back to per-frame submits.
+/// The server only coalesces reports into kReportBatch frames for
+/// connections that have sent a kSubmitBatch (proof the peer decodes
+/// them).
 constexpr std::uint16_t kWireVersion = 3;
 constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;  // 1 MiB
@@ -54,7 +66,14 @@ constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;  // 1 MiB
 /// Stats snapshots are versioned independently of the frame format so a
 /// field can be appended without a wire-version bump (old clients ignore
 /// trailing bytes they don't know; new clients check snapshot_version).
-constexpr std::uint16_t kStatsSnapshotVersion = 3;
+/// v4 (ISSUE 10): simulator-pool hit/miss counters and the batched-wire
+/// counters, appended after the v3 tail.
+constexpr std::uint16_t kStatsSnapshotVersion = 4;
+
+/// Decode-side caps for batch messages: a CRC-clean hostile frame must not
+/// make the receiver allocate an absurd vector from a forged count field.
+constexpr std::size_t kMaxBatchJobs = 1024;
+constexpr std::size_t kMaxBatchReports = 1024;
 
 enum class MsgType : std::uint8_t {
   // Requests (client → server).
@@ -63,6 +82,7 @@ enum class MsgType : std::uint8_t {
   kProgress = 3,  // ProgressRequest → kProgressOk
   kStats = 4,     // (empty)       → kStatsOk
   kPing = 5,      // opaque bytes  → kPong (echo)
+  kSubmitBatch = 6,  // SubmitBatchRequest → kSubmitBatchOk | kError
   // Responses (server → client).
   kSubmitOk = 64,
   kRetryAfter = 65,  // overload shed: try again after the hinted delay
@@ -72,6 +92,8 @@ enum class MsgType : std::uint8_t {
   kError = 69,
   kReport = 70,  // streamed terminal JobReport (async, exactly once per job)
   kPong = 71,
+  kSubmitBatchOk = 72,  // per-item admission results, in request order
+  kReportBatch = 73,    // several terminal JobReports in one frame
 };
 
 const char* msg_type_name(MsgType t);
@@ -207,6 +229,47 @@ struct ErrorReply {
   static ErrorReply decode(pbp::ByteReader& r);
 };
 
+/// One frame carrying many SubmitRequests (ISSUE 10).  Admission semantics
+/// per item are identical to a kSubmit: each job is individually admitted,
+/// shed, or rejected, and the per-item results come back in request order
+/// in one SubmitBatchOk.  Admitted jobs still stream exactly one terminal
+/// report each (possibly coalesced into kReportBatch frames).
+struct SubmitBatchRequest {
+  std::vector<JobSpec> jobs;
+  void encode(pbp::ByteWriter& w) const;
+  static SubmitBatchRequest decode(pbp::ByteReader& r);
+};
+
+/// Per-item admission results for one SubmitBatchRequest, aligned with the
+/// request order.  Exactly one of the three shapes applies per item:
+/// kAdmitted carries the job id; kRetry carries the RetryAfter hint (the
+/// job was NOT admitted — resubmitting it cannot duplicate); kError
+/// carries the WireError code + message (bad job, draining, ...).
+struct SubmitBatchOk {
+  enum class Status : std::uint8_t { kAdmitted = 0, kRetry = 1, kError = 2 };
+  struct Item {
+    Status status = Status::kError;
+    std::uint64_t id = 0;          // kAdmitted
+    std::uint32_t delay_ms = 0;    // kRetry
+    std::uint8_t reason = 0;       // kRetry: RetryAfter::Reason
+    std::uint8_t code = 0;         // kError: WireError
+    std::string message;           // kError detail
+  };
+  std::vector<Item> items;
+  void encode(pbp::ByteWriter& w) const;
+  static SubmitBatchOk decode(pbp::ByteReader& r);
+};
+
+/// Several terminal JobReports in one frame: the report pump coalesces
+/// every already-terminal consecutive report owed to a batch-capable
+/// connection, amortizing the per-frame syscall + header tax.  Order is
+/// still admission order; exactly-once still holds per report.
+struct ReportBatch {
+  std::vector<JobReport> reports;
+  void encode(pbp::ByteWriter& w) const;
+  static ReportBatch decode(pbp::ByteReader& r);
+};
+
 /// The health/metrics snapshot: ServerStats + ECC upset counters + the net
 /// front door's own counters, versioned (kStatsSnapshotVersion).
 struct StatsOk {
@@ -225,6 +288,10 @@ struct StatsOk {
   std::uint64_t reports_streamed = 0;
   std::uint64_t reports_orphaned = 0;
   bool draining = false;
+  // Batched-wire counters (snapshot v4; net front-door side).
+  std::uint64_t batch_submits = 0;   // kSubmitBatch frames handled
+  std::uint64_t batch_jobs = 0;      // jobs admitted through batches
+  std::uint64_t batch_reports = 0;   // kReportBatch frames sent
   void encode(pbp::ByteWriter& w) const;
   static StatsOk decode(pbp::ByteReader& r);
   // Durability counters (snapshot v2, appended; mirrors ServerStats).
@@ -234,6 +301,9 @@ struct StatsOk {
   // Governance counters (snapshot v3, appended after the v2 tail; also
   // encoded from/into `jobs`): stalls_detected, preemptions,
   // stall_quarantines, tenant_sheds, health (u8 HealthState).
+  // Pooling + batching counters (snapshot v4, appended after the v3 tail):
+  // jobs.sim_pool_hits, jobs.sim_pool_misses, then the three net-side
+  // batch counters above.
 };
 
 /// JobReport ↔ kReport payload.

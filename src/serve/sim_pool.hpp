@@ -1,0 +1,138 @@
+// sim_pool.hpp — a per-worker cache of warm simulators (the ISSUE 10
+// tentpole's first leg).
+//
+// Constructing a simulator per job is the serve layer's fixed-cost floor:
+// a 64Ki-word memory array, a 64Ki-entry coverage map, and a dense Qat
+// slab are allocated and zeroed before a single instruction runs — ~100 µs
+// of pure overhead on a trivial job.  The pool keeps one simulator per
+// (SimKind, backend, ways) key and hands it back rewound to power-on state
+// via reset(), which costs O(state actually dirtied by the previous job)
+// instead of O(address space): the allocations — and their cache residency
+// — survive across jobs.
+//
+// The hard contract (held by QatEngine::reset / Memory::reset /
+// SimBase::reset and proven differentially by tests/test_sim_pool.cpp) is
+// that a reset simulator is bit-identical to a freshly constructed one:
+// same architectural state, same stats and ECC counters, same serialized
+// Qat bytes, same trap behavior.  Pooling is therefore invisible to jobs.
+//
+// Each worker thread owns its own pool — acquire() is called from exactly
+// one thread, so there is no locking on the hot path.  Hit/miss counters
+// are relaxed atomics aggregated into the server's stats snapshot.
+//
+// Memory discipline: a cached simulator's footprint is NOT charged to the
+// server's admission budget (its job's reservation was released when the
+// job finished), so the pool refuses to cache simulators whose estimated
+// footprint exceeds max_entry_bytes, and evicts least-recently-used
+// entries past max_entries.  Oversized jobs simply fall back to cold
+// construction — exactly the pre-pool behavior.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "arch/qat_engine.hpp"
+#include "pbp/qat_backend.hpp"
+#include "serve/job.hpp"
+
+namespace tangled::serve {
+
+class SimulatorPool {
+ public:
+  /// `max_entries` caches at most that many simulators (0 disables the
+  /// pool entirely: acquire always cold-constructs).  `max_entry_bytes`
+  /// bounds the estimated footprint of any single cached simulator.
+  explicit SimulatorPool(std::size_t max_entries,
+                         std::size_t max_entry_bytes = std::size_t{8} << 20,
+                         std::atomic<std::uint64_t>* hits = nullptr,
+                         std::atomic<std::uint64_t>* misses = nullptr)
+      : max_entries_(max_entries),
+        max_entry_bytes_(max_entry_bytes),
+        hits_(hits),
+        misses_(misses) {}
+
+  /// Return a simulator for (sim, backend, ways): a cached one rewound to
+  /// power-on state, or a freshly made one (cached for next time when it
+  /// fits).  `make` is only invoked on a miss and must return
+  /// std::unique_ptr<SimT>.  The returned simulator stays owned by the
+  /// pool (shared); the caller drops its reference when the job is done
+  /// and the next acquire of the same key resets it.  Exceptions from
+  /// `make` propagate (nothing is cached).
+  template <typename SimT, typename Make>
+  std::shared_ptr<SimT> acquire(SimKind sim, pbp::Backend backend,
+                                unsigned ways, Make&& make) {
+    const Key key{static_cast<std::uint8_t>(sim),
+                  static_cast<std::uint8_t>(backend), ways};
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second.last_use = ++tick_;
+      // SimKind <-> concrete simulator type is a bijection (including the
+      // PipelineSim configs, which get distinct SimKinds), so the erased
+      // pointer under this key is always a SimT.
+      auto s = std::static_pointer_cast<SimT>(it->second.sim);
+      s->reset();
+      bump(hits_);
+      return s;
+    }
+    std::shared_ptr<SimT> s{std::forward<Make>(make)().release()};
+    bump(misses_);
+    if (max_entries_ == 0 || footprint(backend, ways) > max_entry_bytes_) {
+      return s;  // too big to retain uncharged; run cold
+    }
+    if (cache_.size() >= max_entries_) evict_lru();
+    cache_.emplace(key, Entry{s, ++tick_});
+    return s;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  struct Key {
+    std::uint8_t sim;
+    std::uint8_t backend;
+    unsigned ways;
+    bool operator<(const Key& o) const {
+      return std::tie(sim, backend, ways) < std::tie(o.sim, o.backend, o.ways);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<void> sim;
+    std::uint64_t last_use = 0;
+  };
+
+  static void bump(std::atomic<std::uint64_t>* c) {
+    if (c != nullptr) c->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Worst-case retained bytes: the dense slab plus its ECC sidecar (the
+  /// sidecar vector keeps its capacity across reset) plus the fixed
+  /// ~0.8 MiB of memory array + coverage map.  RE register files rebuild
+  /// tiny private pools on reset, so only the fixed part counts.
+  static std::size_t footprint(pbp::Backend backend, unsigned ways) {
+    const std::size_t fixed = std::size_t{1} << 20;
+    if (backend != pbp::Backend::kDense) return fixed;
+    return fixed + 2 * pbp::dense_backend_bytes(ways, kNumQatRegs);
+  }
+
+  void evict_lru() {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    if (victim != cache_.end()) cache_.erase(victim);
+  }
+
+  std::size_t max_entries_;
+  std::size_t max_entry_bytes_;
+  std::atomic<std::uint64_t>* hits_;
+  std::atomic<std::uint64_t>* misses_;
+  std::map<Key, Entry> cache_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace tangled::serve

@@ -585,6 +585,205 @@ TEST(NetServer, BadAssemblyIsRejectedAsBadJobNotACrash) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched submission (ISSUE 10).
+
+TEST(Wire, SubmitBatchRoundTrips) {
+  SubmitBatchRequest req;
+  JobSpec a;
+  a.name = "one";
+  a.source = "sys\n";
+  a.max_instructions = 7;
+  JobSpec b;
+  b.name = "two";
+  b.source = "lex $1,1\nsys\n";
+  b.ways = 16;
+  b.backend = pbp::Backend::kCompressed;
+  req.jobs = {a, b};
+  pbp::ByteWriter w;
+  req.encode(w);
+  pbp::ByteReader r(w.bytes());
+  const SubmitBatchRequest back = SubmitBatchRequest::decode(r);
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].name, "one");
+  EXPECT_EQ(back.jobs[0].max_instructions, 7u);
+  EXPECT_EQ(back.jobs[1].source, b.source);
+  EXPECT_EQ(back.jobs[1].ways, 16u);
+  EXPECT_EQ(back.jobs[1].backend, pbp::Backend::kCompressed);
+
+  SubmitBatchOk ok;
+  SubmitBatchOk::Item admitted;
+  admitted.status = SubmitBatchOk::Status::kAdmitted;
+  admitted.id = 99;
+  SubmitBatchOk::Item shed;
+  shed.status = SubmitBatchOk::Status::kRetry;
+  shed.delay_ms = 250;
+  shed.reason = 2;
+  SubmitBatchOk::Item bad;
+  bad.status = SubmitBatchOk::Status::kError;
+  bad.code = static_cast<std::uint8_t>(WireError::kBadJob);
+  bad.message = "no such mnemonic";
+  ok.items = {admitted, shed, bad};
+  pbp::ByteWriter w2;
+  ok.encode(w2);
+  pbp::ByteReader r2(w2.bytes());
+  const SubmitBatchOk ok_back = SubmitBatchOk::decode(r2);
+  ASSERT_EQ(ok_back.items.size(), 3u);
+  EXPECT_EQ(ok_back.items[0].status, SubmitBatchOk::Status::kAdmitted);
+  EXPECT_EQ(ok_back.items[0].id, 99u);
+  EXPECT_EQ(ok_back.items[1].status, SubmitBatchOk::Status::kRetry);
+  EXPECT_EQ(ok_back.items[1].delay_ms, 250u);
+  EXPECT_EQ(ok_back.items[1].reason, 2u);
+  EXPECT_EQ(ok_back.items[2].status, SubmitBatchOk::Status::kError);
+  EXPECT_EQ(ok_back.items[2].code,
+            static_cast<std::uint8_t>(WireError::kBadJob));
+  EXPECT_EQ(ok_back.items[2].message, "no such mnemonic");
+
+  ReportBatch rb;
+  JobReport rep;
+  rep.id = 5;
+  rep.name = "one";
+  rep.outcome = JobOutcome::kCompleted;
+  rep.instructions = 12;
+  rb.reports = {rep, rep};
+  rb.reports[1].id = 6;
+  pbp::ByteWriter w3;
+  rb.encode(w3);
+  pbp::ByteReader r3(w3.bytes());
+  const ReportBatch rb_back = ReportBatch::decode(r3);
+  ASSERT_EQ(rb_back.reports.size(), 2u);
+  EXPECT_EQ(rb_back.reports[0].id, 5u);
+  EXPECT_EQ(rb_back.reports[1].id, 6u);
+  EXPECT_EQ(rb_back.reports[0].instructions, 12u);
+}
+
+TEST(NetServer, BatchSubmitAdmitsPerItemAndStreamsEveryReport) {
+  NetServer server(small_server(4));
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+
+  // A mixed batch: one valid job per model, plus one that cannot assemble —
+  // admission is per item, so the bad job must NOT poison its neighbors.
+  static const SimKind kKinds[] = {SimKind::kFunc,     SimKind::kMulti,
+                                   SimKind::kMultiFsm, SimKind::kPipe4,
+                                   SimKind::kPipe5,    SimKind::kPipe5NoFwd,
+                                   SimKind::kRtl};
+  std::vector<JobSpec> specs;
+  for (const SimKind k : kKinds) specs.push_back(fig10_request(k));
+  JobSpec bad;
+  bad.name = "nonsense";
+  bad.source = "this is not assembly\n";
+  specs.insert(specs.begin() + 3, bad);
+
+  std::vector<SubmitBatchOk::Item> items;
+  ClientResult r;
+  ASSERT_TRUE(client.submit_batch(specs, &items, &r)) << r.message;
+  ASSERT_EQ(items.size(), specs.size());
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i == 3) {
+      EXPECT_EQ(items[i].status, SubmitBatchOk::Status::kError);
+      EXPECT_EQ(items[i].code, static_cast<std::uint8_t>(WireError::kBadJob));
+      continue;
+    }
+    ASSERT_EQ(items[i].status, SubmitBatchOk::Status::kAdmitted)
+        << "item " << i << ": " << items[i].message;
+    EXPECT_TRUE(ids.insert(items[i].id).second) << "duplicate job id";
+  }
+
+  std::set<std::uint64_t> reported;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ClientResult rr;
+    const auto rep = client.next_report(30'000ms, &rr);
+    ASSERT_TRUE(rep.has_value()) << rr.message;
+    EXPECT_EQ(rep->outcome, JobOutcome::kCompleted) << rep->to_string();
+    EXPECT_TRUE(reported.insert(rep->id).second) << "duplicate report";
+  }
+  EXPECT_EQ(reported, ids);
+  EXPECT_FALSE(client.next_report(100ms).has_value());
+
+  StatsOk s;
+  ASSERT_TRUE(client.stats(&s).ok);
+  EXPECT_EQ(s.snapshot_version, kStatsSnapshotVersion);
+  EXPECT_EQ(s.batch_submits, 1u);
+  EXPECT_EQ(s.batch_jobs, 7u);
+  EXPECT_EQ(s.reports_streamed, 7u);
+}
+
+TEST(NetServer, BatchReportsCoalesceWhenSeveralJobsAreTerminal) {
+  NetServer server(small_server(4));
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServeClient client(client_for(server));
+
+  // The FIRST admitted job stalls 400 ms mid-run while the rest finish
+  // immediately.  The report pump delivers in admission order, so by the
+  // time the stalled head becomes terminal every other report is already
+  // waiting — they MUST come back coalesced in kReportBatch frames.
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec s;
+    s.name = "noop-" + std::to_string(i);
+    s.source = "lex $1,1\nlex $2,2\nlex $3,3\nlex $4,4\nlex $5,5\nsys\n";
+    s.max_instructions = 100;
+    if (i == 0) s.stall_spec = "at=2,ms=400";
+    specs.push_back(s);
+  }
+  std::vector<SubmitBatchOk::Item> items;
+  ClientResult r;
+  ASSERT_TRUE(client.submit_batch(specs, &items, &r)) << r.message;
+  for (const auto& it : items) {
+    ASSERT_EQ(it.status, SubmitBatchOk::Status::kAdmitted) << it.message;
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.next_report(30'000ms).has_value());
+  }
+  StatsOk s;
+  ASSERT_TRUE(client.stats(&s).ok);
+  EXPECT_GE(s.batch_reports, 1u) << "no kReportBatch frame was ever sent";
+  // Coalescing compresses frames: strictly fewer report frames than
+  // reports (6 reports in at most 5 frames means at least one coalesced).
+  EXPECT_EQ(s.reports_streamed, 6u);
+}
+
+TEST(NetServer, UnbatchedV1ClientNeverSeesBatchFrames) {
+  // Interop pin: a connection that never sends kSubmitBatch (a v1 client)
+  // must receive plain kReport frames even while another connection on the
+  // same server is using the batch family.
+  NetServer server(small_server(4));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  ServeClient batch_client(client_for(server));
+  std::vector<JobSpec> specs(3);
+  for (int i = 0; i < 3; ++i) {
+    specs[i].name = "batch-noop";
+    specs[i].source = "lex $1,1\nsys\n";
+    specs[i].max_instructions = 100;
+  }
+  std::vector<SubmitBatchOk::Item> items;
+  ASSERT_TRUE(batch_client.submit_batch(specs, &items));
+
+  RawConn raw;
+  ASSERT_TRUE(raw.connect(server.port()));
+  SubmitRequest req = fig10_request();
+  pbp::ByteWriter w;
+  req.encode(w);
+  ASSERT_TRUE(raw.send_bytes(encode_frame(MsgType::kSubmit, w.bytes())));
+  Frame f;
+  ASSERT_EQ(raw.recv(&f), RecvStatus::kOk);
+  ASSERT_EQ(f.type, MsgType::kSubmitOk);
+  // The terminal report arrives as a v1 kReport frame, never kReportBatch.
+  ASSERT_EQ(raw.recv(&f, 30'000ms), RecvStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kReport);
+  pbp::ByteReader rr(f.payload);
+  const JobReport rep = decode_report(rr);
+  EXPECT_EQ(rep.outcome, JobOutcome::kCompleted) << rep.to_string();
+
+  // And the batch connection still drains all of its own reports.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(batch_client.next_report(30'000ms).has_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Drain and reconnect.
 
 TEST(NetServer, GracefulDrainFlushesEveryAdmittedReport) {
